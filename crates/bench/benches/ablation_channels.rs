@@ -1,0 +1,17 @@
+//! Reproduces ablation_channels of the RoMe paper. The table is printed once, then the
+//! underlying simulation kernel is timed by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", rome_bench::ablation_channels_table());
+    c.bench_function("ablation_channels", |b| b.iter(|| black_box(rome_sim::decode_tpot(&rome_llm::ModelConfig::llama3_405b(), 64, 8192, &rome_sim::AcceleratorSpec::paper_default(), &rome_sim::MemoryModel::rome_iso_bandwidth(&rome_sim::AcceleratorSpec::paper_default())))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduces fig02_hbm_trends of the RoMe paper. The table is printed once, then the
+//! underlying simulation kernel is timed by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", rome_bench::figure02_table());
+    c.bench_function("fig02_hbm_trends", |b| b.iter(|| black_box(rome_hbm::specs::generation_trends())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduces fig13_lbr of the RoMe paper. The table is printed once, then the
+//! underlying simulation kernel is timed by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", rome_bench::figure13_table());
+    c.bench_function("fig13_lbr", |b| b.iter(|| black_box({ let m = rome_llm::ModelConfig::deepseek_v3(); let p = rome_llm::Parallelism::paper_decode(&m); let s = rome_llm::decode_step(&m, &p, 64, 8192); rome_sim::channel_load_balance(&s, 288, 4096) })));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

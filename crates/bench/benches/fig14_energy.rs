@@ -1,0 +1,17 @@
+//! Reproduces fig14_energy of the RoMe paper. The table is printed once, then the
+//! underlying simulation kernel is timed by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", rome_bench::figure14_table(true));
+    c.bench_function("fig14_energy", |b| b.iter(|| black_box({ let a = rome_sim::AcceleratorSpec::paper_default(); rome_sim::decode_energy(&rome_llm::ModelConfig::grok_1(), 256, 8192, &rome_sim::MemoryModel::hbm4_baseline(&a), &rome_sim::MemoryModel::rome(&a), &rome_energy::EnergyParams::hbm4()) })));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduces prefill_sensitivity of the RoMe paper. The table is printed once, then the
+//! underlying simulation kernel is timed by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", rome_bench::prefill_table());
+    c.bench_function("prefill_sensitivity", |b| b.iter(|| black_box(rome_sim::prefill_time(&rome_llm::ModelConfig::grok_1(), 16, 8192, &rome_sim::AcceleratorSpec::paper_default(), &rome_sim::MemoryModel::rome(&rome_sim::AcceleratorSpec::paper_default())))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Reproduces tab05_timing of the RoMe paper. The table is printed once, then the
+//! underlying simulation kernel is timed by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", rome_bench::table05());
+    c.bench_function("tab05_timing", |b| b.iter(|| black_box(rome_core::RomeTimingParams::derive(&rome_hbm::TimingParams::hbm4(), &rome_hbm::Organization::hbm4(), &rome_core::VbaConfig::rome_default()))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

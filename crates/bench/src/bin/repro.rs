@@ -1,0 +1,22 @@
+//! Prints every reproduced table and figure of the RoMe paper.
+//!
+//! Run with `cargo run -p rome-bench --bin repro --release`.
+
+fn main() {
+    let calibrated = std::env::args().any(|a| a == "--calibrated");
+    println!("{}", rome_bench::figure01_table());
+    println!("{}", rome_bench::figure02_table());
+    println!("{}", rome_bench::figure10_table());
+    println!("{}", rome_bench::table04());
+    println!("{}", rome_bench::table05());
+    println!("{}", rome_bench::vba_design_space_table());
+    println!("{}", rome_bench::queue_depth_table());
+    println!("{}", rome_bench::refresh_table());
+    println!("{}", rome_bench::area_table());
+    println!("{}", rome_bench::figure12_table(calibrated));
+    println!("{}", rome_bench::figure13_table());
+    println!("{}", rome_bench::figure14_table(calibrated));
+    println!("{}", rome_bench::prefill_table());
+    println!("{}", rome_bench::ablation_channels_table());
+    println!("{}", rome_bench::ablation_overfetch_table());
+}

@@ -1,0 +1,385 @@
+//! # rome-bench — experiment harness for the RoMe reproduction
+//!
+//! One function per table/figure of the paper. Each returns the reproduced
+//! rows as a formatted text table; the Criterion benches under `benches/`
+//! print these tables and time the underlying simulation kernels, and the
+//! `repro` binary prints every table at once (`cargo run -p rome-bench --bin
+//! repro --release`).
+
+#![warn(missing_docs)]
+
+use rome_core::prelude::*;
+use rome_energy::dram_energy::EnergyParams;
+use rome_energy::{AreaModel, AreaReport};
+use rome_hbm::specs::generation_trends;
+use rome_llm::prelude::*;
+use rome_sim::prelude::*;
+
+/// Figure 1: weight / activation / KV-cache size distribution per model and
+/// stage.
+pub fn figure01_table() -> String {
+    let mut out = String::from(
+        "Fig. 1 — data-object sizes per operator (per device)\nmodel        stage    kind        operator              min          median       max\n",
+    );
+    for model in ModelConfig::paper_models() {
+        for stage in [Stage::Prefill, Stage::Decode] {
+            let rows = footprint_rows(&model, stage, 256, 8192);
+            for s in rome_llm::footprint::summarize(&rows) {
+                out.push_str(&format!(
+                    "{:<12} {:<8} {:<11} {:<20} {:>12} {:>12} {:>12}\n",
+                    s.model,
+                    s.stage.to_string(),
+                    s.kind.to_string(),
+                    "-",
+                    human(s.min_bytes),
+                    human(s.median_bytes),
+                    human(s.max_bytes),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Figure 2: HBM generation trends.
+pub fn figure02_table() -> String {
+    let mut out = String::from(
+        "Fig. 2 — HBM generation trends\ngen     rate(Gb/s)  core(MHz)  width(b)  C/A:DQ   C/A BW (GB/s)\n",
+    );
+    for r in generation_trends() {
+        out.push_str(&format!(
+            "{:<7} {:>9.1} {:>10} {:>9} {:>8.3} {:>14.1}\n",
+            r.generation.name(),
+            r.data_rate_gbps,
+            r.core_frequency_mhz,
+            r.channel_width_bits,
+            r.ca_to_dq_ratio,
+            r.ca_bandwidth_gbs
+        ));
+    }
+    out
+}
+
+/// Figure 10: command-issue latency vs number of C/A pins.
+pub fn figure10_table() -> String {
+    let model = CaPinModel::rome_default();
+    let mut out = String::from(
+        "Fig. 10 — RD_row/WR_row→REF issue latency vs C/A pins (budget = 2×tRRDS)\npins  access(ns)  access+REF(ns)  budget(ns)  ok\n",
+    );
+    for r in model.figure10_sweep(5..=10).iter().rev() {
+        out.push_str(&format!(
+            "{:>4} {:>11.2} {:>15.2} {:>11.2}  {}\n",
+            r.pins,
+            r.access_latency_ns,
+            r.access_then_refresh_latency_ns,
+            r.budget_ns,
+            if r.access_then_refresh_latency_ns <= r.budget_ns { "yes" } else { "no" }
+        ));
+    }
+    out.push_str(&format!(
+        "minimum pins = {}, pins saved per channel = {} (of {})\n",
+        model.min_pins(),
+        model.pins_saved_per_channel(),
+        CaPinModel::conventional_ca_pins()
+    ));
+    out
+}
+
+/// Figure 12: TPOT of HBM4 vs RoMe across batch sizes.
+pub fn figure12_table(calibrated: bool) -> String {
+    let accel = AcceleratorSpec::paper_default();
+    let (hbm4, rome) = memory_models(&accel, calibrated);
+    let rows = figure12_sweep(&accel, &hbm4, &rome, 8192);
+    let mut out = String::from(
+        "Fig. 12 — decode TPOT, HBM4 vs RoMe (seq len 8K)\nmodel        batch   HBM4(ms)   RoMe(ms)   normalized RoMe\n",
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>10.2} {:>10.2} {:>17.3}\n",
+            r.model, r.batch, r.tpot_hbm4_ms, r.tpot_rome_ms, r.normalized_rome
+        ));
+    }
+    for model in ["DeepSeek-V3", "Grok 1", "Llama 3"] {
+        out.push_str(&format!(
+            "mean TPOT reduction {model}: {:.1} % (paper: 10.4 / 10.2 / 9.0 %)\n",
+            rome_sim::sweep::mean_reduction(&rows, model) * 100.0
+        ));
+    }
+    out
+}
+
+/// Figure 13: RoMe channel load-balance rate across batch sizes.
+pub fn figure13_table() -> String {
+    let accel = AcceleratorSpec::paper_default();
+    let rome = MemoryModel::rome(&accel);
+    let rows = rome_sim::sweep::figure13_sweep(&rome, 8192);
+    let mut out = String::from(
+        "Fig. 13 — RoMe channel load balance rate (seq len 8K)\nmodel        batch   LBR_attention   LBR_ffn\n",
+    );
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>15.3} {:>9.3}\n",
+            r.model, r.batch, r.lbr_attention, r.lbr_ffn
+        ));
+    }
+    out
+}
+
+/// Figure 14: DRAM energy of HBM4 vs RoMe at batch 256.
+pub fn figure14_table(calibrated: bool) -> String {
+    let accel = AcceleratorSpec::paper_default();
+    let (hbm4, rome) = memory_models(&accel, calibrated);
+    let params = EnergyParams::hbm4();
+    let mut out = String::from(
+        "Fig. 14 — DRAM energy per decode step at batch 256 (normalized to HBM4)\nmodel        ACT ratio   total ratio   cmd-gen share   (paper ACT: .555/.860/.844, total: .981/.993/.993)\n",
+    );
+    for model in ModelConfig::paper_models() {
+        let cmp = decode_energy(&model, 256, 8192, &hbm4, &rome, &params);
+        out.push_str(&format!(
+            "{:<12} {:>9.3} {:>13.3} {:>15.4}\n",
+            cmp.model,
+            cmp.act_energy_ratio(),
+            cmp.total_energy_ratio(),
+            cmp.command_generator_fraction()
+        ));
+    }
+    out
+}
+
+/// Table IV: simplified MC components.
+pub fn table04() -> String {
+    let cmp = ComplexityComparison::paper_default();
+    let mut out = String::from("Table IV — MC complexity\ncomponent                                conventional             RoMe\n");
+    for (label, conv, rome) in cmp.rows() {
+        out.push_str(&format!("{:<40} {:<24} {}\n", label, conv, rome));
+    }
+    out.push_str(&format!(
+        "scheduling-logic area ratio (RoMe / conventional): {:.3} (paper ≈ 0.091)\n",
+        cmp.scheduling_area_ratio()
+    ));
+    out
+}
+
+/// Table V: timing parameters of HBM4 and RoMe, plus the derivation check.
+pub fn table05() -> String {
+    let hbm4 = rome_hbm::TimingParams::hbm4();
+    let paper = RomeTimingParams::paper_table_v();
+    let derived = RomeTimingParams::derive(
+        &hbm4,
+        &rome_hbm::Organization::hbm4(),
+        &VbaConfig::rome_default(),
+    );
+    let mut out = String::from("Table V — timing parameters (ns)\n");
+    out.push_str(&format!(
+        "HBM4: tRC={} tRP={} tRAS={} tCL={} tRCD={} tWR={} tFAW={} tCCDL={} tCCDS={} tRRD={}\n",
+        hbm4.t_rc, hbm4.t_rp, hbm4.t_ras, hbm4.t_cl, hbm4.t_rcd_rd, hbm4.t_wr, hbm4.t_faw,
+        hbm4.t_ccd_l, hbm4.t_ccd_s, hbm4.t_rrd_s
+    ));
+    out.push_str("RoMe                paper   derived-from-Fig.9\n");
+    for (name, p, d) in [
+        ("tR2RS", paper.t_r2r_s, derived.t_r2r_s),
+        ("tR2RR", paper.t_r2r_r, derived.t_r2r_r),
+        ("tR2WS", paper.t_r2w_s, derived.t_r2w_s),
+        ("tR2WR", paper.t_r2w_r, derived.t_r2w_r),
+        ("tW2RS", paper.t_w2r_s, derived.t_w2r_s),
+        ("tW2RR", paper.t_w2r_r, derived.t_w2r_r),
+        ("tW2WS", paper.t_w2w_s, derived.t_w2w_s),
+        ("tW2WR", paper.t_w2w_r, derived.t_w2w_r),
+        ("tRD_row", paper.t_rd_row, derived.t_rd_row),
+        ("tWR_row", paper.t_wr_row, derived.t_wr_row),
+    ] {
+        out.push_str(&format!("{:<18} {:>6} {:>10}\n", name, p, d));
+    }
+    let plan = ChannelPlan::paper_default();
+    out.push_str(&format!(
+        "channels/cube: HBM4 {} → RoMe {} ({:+.1} % bandwidth), row size 1 KB → 4 KB, AG_MC 32 B → 4 KB\n",
+        plan.baseline_channels,
+        plan.rome_channels,
+        plan.bandwidth_gain() * 100.0
+    ));
+    out
+}
+
+/// §IV-B: the six-point VBA design-space exploration.
+pub fn vba_design_space_table() -> String {
+    let org = rome_hbm::Organization::hbm4();
+    let mut out = String::from(
+        "§IV-B — VBA design space (streaming read bandwidth, single channel)\nconfiguration                                          row(B)  VBAs  bw(GB/s)  dev-from-best  area-ovh  DRAM-mod\n",
+    );
+    let mut results = Vec::new();
+    for cfg in VbaConfig::design_space() {
+        let ctrl_cfg = RomeControllerConfig::with_vba(cfg);
+        let row = ctrl_cfg.row_bytes();
+        let mut ctrl = RomeController::new(ctrl_cfg);
+        let reqs = rome_mc::workload::streaming_reads(0, 2 * 1024 * 1024, row);
+        let report = rome_core::simulate::run_to_completion(&mut ctrl, reqs);
+        results.push((cfg, row, report.achieved_bandwidth_gbps));
+    }
+    let best = results.iter().map(|r| r.2).fold(0.0f64, f64::max);
+    for (cfg, row, bw) in &results {
+        out.push_str(&format!(
+            "{:<54} {:>6} {:>5} {:>9.1} {:>13.1}% {:>8.0}% {:>9}\n",
+            cfg.label(),
+            row,
+            cfg.vbas_per_channel(&org),
+            bw,
+            (1.0 - bw / best) * 100.0,
+            cfg.area_overhead_fraction() * 100.0,
+            if cfg.requires_dram_modification() { "yes" } else { "no" }
+        ));
+    }
+    out.push_str("paper: performance deviation across all six points ≤ 3.6 %\n");
+    out
+}
+
+/// §V-A: request-queue depth vs achievable bandwidth.
+pub fn queue_depth_table() -> String {
+    let mut out = String::from(
+        "§V-A — streaming read bandwidth vs request-queue depth (single channel, GB/s)\ndepth   HBM4    RoMe\n",
+    );
+    for depth in [1usize, 2, 4, 8, 16, 32, 45, 64] {
+        let mut hbm4 = rome_mc::ChannelController::new(
+            rome_mc::ControllerConfig::hbm4_with_queue_depth(depth),
+        );
+        let hbm4_bw = rome_mc::simulate::run_to_completion(
+            &mut hbm4,
+            rome_mc::workload::streaming_reads(0, 512 * 1024, 32),
+        )
+        .achieved_bandwidth_gbps;
+        let mut rome =
+            RomeController::new(RomeControllerConfig::with_queue_depth(depth));
+        let rome_bw = rome_core::simulate::run_to_completion(
+            &mut rome,
+            rome_mc::workload::streaming_reads(0, 2 * 1024 * 1024, 4096),
+        )
+        .achieved_bandwidth_gbps;
+        out.push_str(&format!("{:>5} {:>7.1} {:>7.1}\n", depth, hbm4_bw, rome_bw));
+    }
+    out.push_str("paper: HBM4 needs ≥45 entries for peak; RoMe saturates with 2\n");
+    out
+}
+
+/// §VI-C: area overheads.
+pub fn area_table() -> String {
+    let report = AreaReport::new(
+        &AreaModel::paper_default(),
+        ComplexityComparison::paper_default().scheduling_area_ratio(),
+    );
+    format!(
+        "§VI-C — area overheads\nextra µbump area:              {:.3} mm²\ncommand generator:             {:.1} µm² ({:.4} % of logic die; paper 4268.8 µm² / 0.003 %)\ntotal stack area overhead:     {:.3} % (paper ≈ 0.10 %)\nMC scheduling-logic area:      {:.1} % of conventional (paper ≈ 9.1 %)\n",
+        report.extra_ubump_area_mm2,
+        report.command_generator_area_um2,
+        report.command_generator_fraction * 100.0,
+        report.total_overhead_fraction * 100.0,
+        report.mc_scheduler_area_ratio * 100.0,
+    )
+}
+
+/// §VI-B: prefill sensitivity.
+pub fn prefill_table() -> String {
+    let accel = AcceleratorSpec::paper_default();
+    let hbm4 = MemoryModel::hbm4_baseline(&accel);
+    let rome = MemoryModel::rome(&accel);
+    let mut out = String::from(
+        "§VI-B — prefill time, HBM4 vs RoMe (batch 16, seq 8K)\nmodel        HBM4(ms)   RoMe(ms)   difference\n",
+    );
+    for model in ModelConfig::paper_models() {
+        let h = prefill_time(&model, 16, 8192, &accel, &hbm4);
+        let r = prefill_time(&model, 16, 8192, &accel, &rome);
+        out.push_str(&format!(
+            "{:<12} {:>9.2} {:>10.2} {:>10.3} %\n",
+            model.name,
+            h.tpot_ms,
+            r.tpot_ms,
+            (h.tpot_ms - r.tpot_ms).abs() / h.tpot_ms * 100.0
+        ));
+    }
+    out.push_str("paper: prefill difference ≤ 0.1 % (compute-bound)\n");
+    out
+}
+
+/// §V-B: refresh optimization.
+pub fn refresh_table() -> String {
+    let timing = rome_hbm::TimingParams::hbm4();
+    let cmp = rome_core::refresh::RefreshStallComparison::from_timing(&timing);
+    format!(
+        "§V-B — VBA refresh stall\nnaive (2×tRFCpb):   {} ns\npooled (tRFCpb+tRREFD): {} ns\nreduction: {:.1} %, steady-state VBA unavailability: {:.2} %\n",
+        cmp.naive_stall_ns,
+        cmp.pooled_stall_ns,
+        cmp.reduction() * 100.0,
+        cmp.pooled_unavailability(&timing, 8) * 100.0
+    )
+}
+
+/// Ablation: RoMe without the four extra channels (iso-bandwidth).
+pub fn ablation_channels_table() -> String {
+    let accel = AcceleratorSpec::paper_default();
+    let hbm4 = MemoryModel::hbm4_baseline(&accel);
+    let rome = MemoryModel::rome(&accel);
+    let iso = MemoryModel::rome_iso_bandwidth(&accel);
+    let mut out = String::from(
+        "Ablation — TPOT at batch 64: HBM4 vs RoMe(32ch) vs RoMe(36ch)\nmodel        HBM4(ms)   RoMe-32ch(ms)   RoMe-36ch(ms)\n",
+    );
+    for model in ModelConfig::paper_models() {
+        let a = decode_tpot(&model, 64, 8192, &accel, &hbm4).tpot_ms;
+        let b = decode_tpot(&model, 64, 8192, &accel, &iso).tpot_ms;
+        let c = decode_tpot(&model, 64, 8192, &accel, &rome).tpot_ms;
+        out.push_str(&format!("{:<12} {:>9.2} {:>15.2} {:>15.2}\n", model.name, a, b, c));
+    }
+    out
+}
+
+/// Ablation: overfetch of fine-grained requests (§VII).
+pub fn ablation_overfetch_table() -> String {
+    let mut out = String::from(
+        "Ablation — fine-grained requests on RoMe (§VII)\nreq(B)   RoMe useful frac   HBM4 useful frac   RoMe measured useful GB/s (1 channel)\n",
+    );
+    for r in overfetch_sweep() {
+        out.push_str(&format!(
+            "{:>6} {:>18.3} {:>18.3} {:>24.1}\n",
+            r.request_bytes, r.rome_useful_fraction, r.hbm4_useful_fraction, r.rome_measured_useful_gbps
+        ));
+    }
+    out
+}
+
+fn memory_models(accel: &AcceleratorSpec, calibrated: bool) -> (MemoryModel, MemoryModel) {
+    if calibrated {
+        let mut cal = Calibrator::new();
+        MemoryModel::calibrated_pair(accel, &mut cal)
+    } else {
+        (MemoryModel::hbm4_baseline(accel), MemoryModel::rome(accel))
+    }
+}
+
+fn human(bytes: u64) -> String {
+    rome_hbm::units::DataSize::from_bytes(bytes).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_renders_nonempty() {
+        for (name, table) in [
+            ("fig01", figure01_table()),
+            ("fig02", figure02_table()),
+            ("fig10", figure10_table()),
+            ("fig13", figure13_table()),
+            ("tab04", table04()),
+            ("tab05", table05()),
+            ("area", area_table()),
+            ("refresh", refresh_table()),
+        ] {
+            assert!(table.lines().count() > 3, "{name} table too short:\n{table}");
+        }
+    }
+
+    #[test]
+    fn figure12_table_reports_reductions() {
+        let t = figure12_table(false);
+        assert!(t.contains("mean TPOT reduction"));
+        assert!(t.contains("DeepSeek-V3"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Channel expansion plan (§IV-E).
+//!
+//! The 13 C/A pins RoMe frees per channel add up across a 32-channel cube;
+//! re-budgeting them funds four additional channels (one more channel per
+//! DRAM die, 8 → 9) at a cost of only a dozen extra pins, raising the cube's
+//! bandwidth by 12.5 %.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::organization::Organization;
+
+use crate::pins::CaPinModel;
+
+/// The pin and bandwidth budget of a RoMe cube relative to HBM4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    /// Channels per cube in the conventional baseline.
+    pub baseline_channels: u32,
+    /// Channels per cube under RoMe.
+    pub rome_channels: u32,
+    /// Total interface pins per conventional channel (DQ + C/A + the rest of
+    /// the 120-pin budget cited in §IV-E).
+    pub pins_per_baseline_channel: u32,
+    /// Total interface pins per RoMe channel.
+    pub pins_per_rome_channel: u32,
+    /// DRAM-die channel count in the baseline (channels per die).
+    pub baseline_channels_per_die: u32,
+    /// DRAM-die channel count under RoMe.
+    pub rome_channels_per_die: u32,
+}
+
+impl ChannelPlan {
+    /// Build the paper's plan from the pin model: 32 → 36 channels,
+    /// 120 → 107 pins per channel, 8 → 9 channels per die.
+    pub fn paper_default() -> Self {
+        let pins = CaPinModel::rome_default();
+        let saved = pins.pins_saved_per_channel();
+        ChannelPlan {
+            baseline_channels: 32,
+            rome_channels: 36,
+            pins_per_baseline_channel: 120,
+            pins_per_rome_channel: 120 - saved,
+            baseline_channels_per_die: 8,
+            rome_channels_per_die: 9,
+        }
+    }
+
+    /// Extra channels added per cube.
+    pub fn extra_channels(&self) -> u32 {
+        self.rome_channels - self.baseline_channels
+    }
+
+    /// Total interface pins of the baseline cube.
+    pub fn baseline_total_pins(&self) -> u32 {
+        self.baseline_channels * self.pins_per_baseline_channel
+    }
+
+    /// Total interface pins of the RoMe cube.
+    pub fn rome_total_pins(&self) -> u32 {
+        self.rome_channels * self.pins_per_rome_channel
+    }
+
+    /// Net extra pins RoMe needs at the processor interface.
+    pub fn extra_pins(&self) -> i64 {
+        self.rome_total_pins() as i64 - self.baseline_total_pins() as i64
+    }
+
+    /// Pins freed across the cube before adding channels.
+    pub fn pins_freed_before_expansion(&self) -> u32 {
+        self.baseline_channels * (self.pins_per_baseline_channel - self.pins_per_rome_channel)
+    }
+
+    /// Bandwidth gain of the RoMe cube relative to the baseline, as a
+    /// fraction (0.125 = +12.5 %).
+    pub fn bandwidth_gain(&self) -> f64 {
+        self.rome_channels as f64 / self.baseline_channels as f64 - 1.0
+    }
+
+    /// Peak bandwidth of the RoMe cube in GB/s, given the per-channel
+    /// bandwidth of `org`.
+    pub fn rome_cube_bandwidth_gbps(&self, org: &Organization) -> f64 {
+        org.channel_bandwidth_gbps() * self.rome_channels as f64
+    }
+
+    /// Peak bandwidth of the baseline cube in GB/s.
+    pub fn baseline_cube_bandwidth_gbps(&self, org: &Organization) -> f64 {
+        org.channel_bandwidth_gbps() * self.baseline_channels as f64
+    }
+}
+
+impl Default for ChannelPlan {
+    fn default() -> Self {
+        ChannelPlan::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_matches_section_4e() {
+        let p = ChannelPlan::paper_default();
+        assert_eq!(p.extra_channels(), 4);
+        assert_eq!(p.pins_per_rome_channel, 107);
+        // 13 pins × 32 channels = 416 pins freed before expansion.
+        assert_eq!(p.pins_freed_before_expansion(), 416);
+        // Four new channels cost only a handful of extra pins (the paper
+        // reports 12).
+        assert_eq!(p.extra_pins(), 36 * 107 - 32 * 120);
+        assert!(p.extra_pins() <= 16, "extra pins {}", p.extra_pins());
+        assert!(p.extra_pins() > 0);
+        assert_eq!(p.rome_channels_per_die, p.baseline_channels_per_die + 1);
+    }
+
+    #[test]
+    fn bandwidth_gain_is_12_5_percent() {
+        let p = ChannelPlan::paper_default();
+        assert!((p.bandwidth_gain() - 0.125).abs() < 1e-9);
+        let org = Organization::hbm4();
+        assert_eq!(p.baseline_cube_bandwidth_gbps(&org), 2048.0);
+        assert_eq!(p.rome_cube_bandwidth_gbps(&org), 2304.0);
+    }
+
+    #[test]
+    fn default_is_paper_plan() {
+        assert_eq!(ChannelPlan::default(), ChannelPlan::paper_default());
+    }
+}

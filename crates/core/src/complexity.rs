@@ -1,0 +1,247 @@
+//! Memory-controller complexity model (Table IV and §VI-C).
+//!
+//! The paper argues RoMe simplifies five components of the MC: bank state,
+//! timing parameters, the number of bank FSMs, the request-queue size, and
+//! the scheduling algorithm. This module captures those counts for both
+//! controllers and provides the structural inputs (CAM bits, FSM flops,
+//! comparator counts) the area model in `rome-energy` consumes.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::bank::BankState;
+use rome_hbm::organization::Organization;
+use rome_hbm::timing::TimingParams;
+
+use crate::timing::RomeTimingParams;
+
+/// The scheduling dimensions a controller must reason about.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulingDimensions {
+    /// Whether row-buffer locality must be tracked and exploited.
+    pub row_buffer_locality: bool,
+    /// Whether the scheduler interleaves across bank groups.
+    pub bank_group_interleaving: bool,
+    /// Whether the scheduler interleaves across pseudo channels.
+    pub pseudo_channel_interleaving: bool,
+    /// Whether the scheduler interleaves across (virtual) banks.
+    pub bank_interleaving: bool,
+    /// Whether a page policy must be selected/maintained.
+    pub page_policy: bool,
+}
+
+impl SchedulingDimensions {
+    /// Number of active scheduling concerns.
+    pub fn count(&self) -> usize {
+        [
+            self.row_buffer_locality,
+            self.bank_group_interleaving,
+            self.pseudo_channel_interleaving,
+            self.bank_interleaving,
+            self.page_policy,
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+    }
+}
+
+/// The Table IV description of one memory controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McComplexity {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of timing parameters the scheduler checks.
+    pub timing_parameters: usize,
+    /// Number of bank FSM instances.
+    pub bank_fsms: usize,
+    /// Number of states each bank FSM distinguishes.
+    pub bank_states: usize,
+    /// Request-queue entries required to reach peak bandwidth.
+    pub queue_entries_for_peak: usize,
+    /// Request-queue entries actually provisioned.
+    pub queue_entries_provisioned: usize,
+    /// The scheduling dimensions the controller handles.
+    pub scheduling: SchedulingDimensions,
+    /// Address bits held per queue entry (for CAM sizing).
+    pub address_bits_per_entry: usize,
+}
+
+impl McComplexity {
+    /// The conventional HBM4 controller of the paper's baseline.
+    pub fn conventional(org: &Organization) -> Self {
+        McComplexity {
+            name: "Conventional HBM4 MC".to_string(),
+            timing_parameters: TimingParams::conventional_parameter_count(),
+            // One FSM per bank of one pseudo channel (the paper's Table IV:
+            // "# of total banks per PC" = 64 for HBM4).
+            bank_fsms: org.banks_per_pseudo_channel() as usize,
+            bank_states: BankState::CONVENTIONAL_COUNT,
+            queue_entries_for_peak: 45,
+            queue_entries_provisioned: 64,
+            scheduling: SchedulingDimensions {
+                row_buffer_locality: true,
+                bank_group_interleaving: true,
+                pseudo_channel_interleaving: true,
+                bank_interleaving: true,
+                page_policy: true,
+            },
+            address_bits_per_entry: 34,
+        }
+    }
+
+    /// The RoMe controller (§V-A).
+    pub fn rome() -> Self {
+        McComplexity {
+            name: "RoMe MC".to_string(),
+            timing_parameters: RomeTimingParams::parameter_count(),
+            // Two active VBAs plus up to three refreshing VBAs.
+            bank_fsms: 5,
+            bank_states: 4,
+            queue_entries_for_peak: 2,
+            queue_entries_provisioned: 4,
+            scheduling: SchedulingDimensions {
+                row_buffer_locality: false,
+                bank_group_interleaving: false,
+                pseudo_channel_interleaving: false,
+                bank_interleaving: true,
+                page_policy: false,
+            },
+            address_bits_per_entry: 20,
+        }
+    }
+
+    /// A rough gate-count proxy for the command-scheduling logic:
+    /// CAM bits (entries × address bits, with a comparator per bit), plus
+    /// per-FSM state flops and timing comparators. Used by the area model;
+    /// the absolute value is arbitrary but the *ratio* between controllers is
+    /// what §VI-C reports.
+    pub fn scheduling_logic_units(&self) -> u64 {
+        let cam_bits = (self.queue_entries_provisioned * self.address_bits_per_entry) as u64;
+        // Each CAM bit needs storage + match logic (~2 units per bit).
+        let cam = cam_bits * 2;
+        // Each FSM: ceil(log2(states)) flops plus next-state logic per state.
+        let state_bits = (usize::BITS - (self.bank_states - 1).leading_zeros()) as u64;
+        let fsm = self.bank_fsms as u64 * (state_bits * 4 + self.bank_states as u64 * 3);
+        // Each timing parameter needs a down-counter/comparator per FSM.
+        let timing = (self.timing_parameters * self.bank_fsms) as u64 * 12;
+        // Scheduler priority/selection logic grows with queue size × concerns.
+        let select = (self.queue_entries_provisioned * self.scheduling.count().max(1)) as u64 * 8;
+        // Fixed command/response sequencing logic present in any controller.
+        const BASE_CONTROL_UNITS: u64 = 1000;
+        BASE_CONTROL_UNITS + cam + fsm + timing + select
+    }
+}
+
+/// Side-by-side comparison (the content of Table IV plus the area ratio).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityComparison {
+    /// The conventional controller.
+    pub conventional: McComplexity,
+    /// The RoMe controller.
+    pub rome: McComplexity,
+}
+
+impl ComplexityComparison {
+    /// Build the comparison for the paper's HBM4 organization.
+    pub fn paper_default() -> Self {
+        ComplexityComparison {
+            conventional: McComplexity::conventional(&Organization::hbm4()),
+            rome: McComplexity::rome(),
+        }
+    }
+
+    /// Ratio of RoMe scheduling-logic size to the conventional controller's
+    /// (the paper reports ≈ 9.1 %).
+    pub fn scheduling_area_ratio(&self) -> f64 {
+        self.rome.scheduling_logic_units() as f64 / self.conventional.scheduling_logic_units() as f64
+    }
+
+    /// Render the comparison as aligned table rows (label, conventional,
+    /// RoMe) for the experiment harness.
+    pub fn rows(&self) -> Vec<(String, String, String)> {
+        vec![
+            (
+                "# of timing params.".to_string(),
+                self.conventional.timing_parameters.to_string(),
+                self.rome.timing_parameters.to_string(),
+            ),
+            (
+                "# of bank FSMs".to_string(),
+                self.conventional.bank_fsms.to_string(),
+                self.rome.bank_fsms.to_string(),
+            ),
+            (
+                "# of bank states".to_string(),
+                self.conventional.bank_states.to_string(),
+                self.rome.bank_states.to_string(),
+            ),
+            (
+                "Request queue (peak / provisioned)".to_string(),
+                format!(
+                    "{} / {}",
+                    self.conventional.queue_entries_for_peak,
+                    self.conventional.queue_entries_provisioned
+                ),
+                format!(
+                    "{} / {}",
+                    self.rome.queue_entries_for_peak, self.rome.queue_entries_provisioned
+                ),
+            ),
+            (
+                "Page policy".to_string(),
+                "open".to_string(),
+                "none (always precharge)".to_string(),
+            ),
+            (
+                "Scheduling dimensions".to_string(),
+                self.conventional.scheduling.count().to_string(),
+                self.rome.scheduling.count().to_string(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_counts_match_the_paper() {
+        let cmp = ComplexityComparison::paper_default();
+        assert_eq!(cmp.conventional.timing_parameters, 15);
+        assert_eq!(cmp.rome.timing_parameters, 10);
+        assert_eq!(cmp.conventional.bank_states, 7);
+        assert_eq!(cmp.rome.bank_states, 4);
+        assert_eq!(cmp.conventional.bank_fsms, 64);
+        assert_eq!(cmp.rome.bank_fsms, 5);
+        assert_eq!(cmp.conventional.queue_entries_for_peak, 45);
+        assert_eq!(cmp.rome.queue_entries_for_peak, 2);
+        assert!(cmp.conventional.scheduling.page_policy);
+        assert!(!cmp.rome.scheduling.page_policy);
+    }
+
+    #[test]
+    fn rome_scheduling_logic_is_about_a_tenth_of_conventional() {
+        let cmp = ComplexityComparison::paper_default();
+        let ratio = cmp.scheduling_area_ratio();
+        assert!(
+            ratio > 0.04 && ratio < 0.15,
+            "scheduling-area ratio {ratio:.3} outside the expected band around 9.1 %"
+        );
+    }
+
+    #[test]
+    fn scheduling_dimension_counts() {
+        let cmp = ComplexityComparison::paper_default();
+        assert_eq!(cmp.conventional.scheduling.count(), 5);
+        assert_eq!(cmp.rome.scheduling.count(), 1);
+    }
+
+    #[test]
+    fn rows_render_every_component() {
+        let rows = ComplexityComparison::paper_default().rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|(label, _, _)| label.contains("timing")));
+        assert!(rows.iter().any(|(label, _, _)| label.contains("queue")));
+    }
+}

@@ -1,0 +1,470 @@
+//! The RoMe command generator.
+//!
+//! The command generator sits on the HBM logic die (§IV-C). It receives the
+//! three row-level commands from the RoMe MC and expands each into a fixed,
+//! statically scheduled sequence of conventional DRAM commands: one ACT per
+//! physical bank, a train of column commands interleaved across the two banks
+//! of the VBA at `tCCDS`, and a closing PRE per bank (Fig. 9). Because the
+//! schedule is fixed, the generator needs no bank-state tracking — the
+//! intentional `tRRDS − tCCDS` stagger before the first ACT guarantees the
+//! interleaving is legal.
+//!
+//! The expansion is used two ways in this reproduction: to *verify* against
+//! the cycle-accurate channel model that the schedule respects every HBM4
+//! timing constraint, and to *count* the conventional commands each row
+//! command implies (for the energy model).
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::address::BankAddress;
+use rome_hbm::command::{CommandTarget, DramCommand};
+use rome_hbm::organization::Organization;
+use rome_hbm::timing::TimingParams;
+use rome_hbm::units::Cycle;
+
+use crate::row_command::{RowCommand, RowCommandKind, VbaAddress};
+use crate::vba::{BankMerge, PcMerge, VbaConfig};
+
+/// One step of an expanded command sequence: a relative issue offset (in ns
+/// from the row command's acceptance) and the conventional command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledCommand {
+    /// Offset from the row command's acceptance, in nanoseconds.
+    pub offset: Cycle,
+    /// The conventional DRAM command to issue.
+    pub command: DramCommand,
+}
+
+/// Counts of conventional commands produced by one row command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionCounts {
+    /// Activations.
+    pub activates: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// Per-bank refreshes.
+    pub refreshes: u64,
+}
+
+/// The RoMe command generator for one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandGenerator {
+    org: Organization,
+    timing: TimingParams,
+    vba: VbaConfig,
+}
+
+impl CommandGenerator {
+    /// Create a generator for the given organization, conventional timing,
+    /// and VBA configuration.
+    pub fn new(org: Organization, timing: TimingParams, vba: VbaConfig) -> Self {
+        CommandGenerator { org, timing, vba }
+    }
+
+    /// The VBA configuration the generator drives.
+    pub fn vba_config(&self) -> &VbaConfig {
+        &self.vba
+    }
+
+    /// The physical banks driven by a row command to `target`.
+    ///
+    /// In the default configuration a VBA spans two banks with the same bank
+    /// index in the two bank groups of a pair, across both pseudo channels.
+    /// Banks are returned in the order they are activated.
+    pub fn banks_of_vba(&self, target: VbaAddress) -> Vec<BankAddress> {
+        let vba = target.vba;
+        let sid = target.stack_id;
+        let banks_per_group = self.org.banks_per_group;
+        let pcs: Vec<u8> = match self.vba.pc_merge {
+            PcMerge::LegacyBothPcs => (0..self.org.pseudo_channels).collect(),
+            PcMerge::WidenSinglePc => vec![(vba / (self.org.bank_groups * banks_per_group / 2)) % self.org.pseudo_channels],
+        };
+        let mut out = Vec::new();
+        match self.vba.bank_merge {
+            BankMerge::WidenSingleBank => {
+                // One physical bank per PC: vba indexes (bg, bank) directly.
+                let bg = vba / banks_per_group;
+                let bank = vba % banks_per_group;
+                for pc in &pcs {
+                    out.push(BankAddress::new(*pc, sid, bg % self.org.bank_groups, bank));
+                }
+            }
+            BankMerge::TandemSameBankGroup => {
+                // Two banks of the same bank group: (bank, bank+half).
+                let half = banks_per_group / 2;
+                let bg = vba / half % self.org.bank_groups;
+                let bank = vba % half;
+                for pc in &pcs {
+                    out.push(BankAddress::new(*pc, sid, bg, bank));
+                    out.push(BankAddress::new(*pc, sid, bg, bank + half));
+                }
+            }
+            BankMerge::InterleaveAcrossBankGroups => {
+                // Two banks with the same index in a pair of bank groups.
+                let pairs = self.org.bank_groups / 2;
+                let pair = vba / banks_per_group % pairs;
+                let bank = vba % banks_per_group;
+                for pc in &pcs {
+                    out.push(BankAddress::new(*pc, sid, pair * 2, bank));
+                    out.push(BankAddress::new(*pc, sid, pair * 2 + 1, bank));
+                }
+            }
+        }
+        out
+    }
+
+    /// Expand a row command into its fixed conventional command schedule
+    /// (Fig. 9). Offsets are relative to the acceptance of the row command.
+    pub fn expand(&self, command: RowCommand) -> Vec<ScheduledCommand> {
+        match command.kind {
+            RowCommandKind::RdRow => self.expand_data(command, false),
+            RowCommandKind::WrRow => self.expand_data(command, true),
+            RowCommandKind::RefVba => self.expand_refresh(command),
+        }
+    }
+
+    fn expand_data(&self, command: RowCommand, is_write: bool) -> Vec<ScheduledCommand> {
+        let t = &self.timing;
+        let banks = self.banks_of_vba(command.target);
+        let columns_per_pc_bank = self.org.columns_per_row() as u16;
+        let mut out = Vec::new();
+
+        // The VBA's banks are organized into `slots`: the bank-merge
+        // dimension is time-multiplexed at tCCDS (Fig. 7(d)), while all
+        // pseudo channels of a slot receive their command in the same beat
+        // because both PCs share the C/A pins and operate in lock-step in
+        // legacy mode (Fig. 8(b)). With the default configuration this yields
+        // two slots of two banks each.
+        let slot_count = self.vba.bank_merge.banks_combined().max(1) as usize;
+        let mut slots: Vec<Vec<BankAddress>> = vec![Vec::new(); slot_count];
+        for (i, b) in banks.iter().enumerate() {
+            slots[i % slot_count].push(*b);
+        }
+
+        // ACTs: slot 0 activates immediately, slot 1 activates tRRDS later
+        // (the ACT-to-ACT constraint across bank groups).
+        for (s, slot) in slots.iter().enumerate() {
+            let act_at = Cycle::from(t.t_rrd_s) * s as u64;
+            for b in slot {
+                out.push(ScheduledCommand {
+                    offset: act_at,
+                    command: DramCommand::Act {
+                        target: CommandTarget::from_bank_address(*b),
+                        row: command.row,
+                    },
+                });
+            }
+        }
+
+        // Column commands: beats alternate across slots at tCCDS. The first
+        // beat is delayed by the Fig. 9 stagger (tRRDS − tCCDS) beyond tRCD so
+        // the later slot's tRCD is satisfied when its first beat arrives.
+        let t_rcd = if is_write { t.t_rcd_wr } else { t.t_rcd_rd };
+        let stagger = (slot_count as u32 - 1) * (t.t_rrd_s - t.t_ccd_s);
+        let first_col = Cycle::from(t_rcd + stagger);
+        let total_beats = columns_per_pc_bank as usize * slot_count;
+        let mut last_col_at = vec![0 as Cycle; slot_count];
+        for beat in 0..total_beats {
+            let which = beat % slot_count;
+            let at = first_col + (beat as u64) * Cycle::from(t.t_ccd_s);
+            let column = (beat / slot_count) as u16;
+            last_col_at[which] = at;
+            for b in &slots[which] {
+                let target = CommandTarget::from_bank_address(*b);
+                let cmd = if is_write {
+                    DramCommand::Wr { target, column, auto_precharge: false }
+                } else {
+                    DramCommand::Rd { target, column, auto_precharge: false }
+                };
+                out.push(ScheduledCommand { offset: at, command: cmd });
+            }
+        }
+
+        // Closing PREs: after the last column command to each slot, honouring
+        // read-to-precharge or write recovery.
+        for (s, slot) in slots.iter().enumerate() {
+            let after = if is_write {
+                Cycle::from(t.write_to_precharge(self.org.burst_ns() as u32))
+            } else {
+                Cycle::from(t.t_rtp)
+            };
+            for b in slot {
+                out.push(ScheduledCommand {
+                    offset: last_col_at[s] + after,
+                    command: DramCommand::Pre { target: CommandTarget::from_bank_address(*b) },
+                });
+            }
+        }
+
+        out.sort_by_key(|s| s.offset);
+        out
+    }
+
+    /// The minimum legal gap between two row commands of `kind` issued to the
+    /// *same* VBA, as implied by the generated command schedule (last
+    /// precharge plus `tRP`). This is the self-consistent counterpart of the
+    /// paper's `tRD_row`/`tWR_row` (Table V); see `RomeTimingParams` for the
+    /// published values.
+    pub fn min_same_vba_gap(&self, kind: RowCommandKind) -> Cycle {
+        let probe = RowCommand { kind, target: VbaAddress::new(0, 0, 0), row: 0 };
+        let schedule = self.expand(probe);
+        let last_pre = schedule
+            .iter()
+            .filter(|s| matches!(s.command, DramCommand::Pre { .. }))
+            .map(|s| s.offset)
+            .max()
+            .unwrap_or(0);
+        last_pre + Cycle::from(self.timing.t_rp)
+    }
+
+    fn expand_refresh(&self, command: RowCommand) -> Vec<ScheduledCommand> {
+        // §V-B: the MC issues one refresh per VBA every 2×tREFIpb; the
+        // generator forwards two REFpb commands (one per bank of the VBA)
+        // spaced tRREFD apart, so the VBA stalls for tRFCpb + tRREFD instead
+        // of 2 × tRFCpb.
+        let banks = self.banks_of_vba(command.target);
+        let mut out = Vec::new();
+        let mut seen_pairs: Vec<(u8, u8)> = Vec::new();
+        for b in banks {
+            // One REFpb per distinct (bank group, bank) — both PCs refresh in
+            // lock-step under a single command in legacy mode.
+            if seen_pairs.contains(&(b.bank_group, b.bank)) {
+                continue;
+            }
+            seen_pairs.push((b.bank_group, b.bank));
+            let idx = (seen_pairs.len() - 1) as u64;
+            out.push(ScheduledCommand {
+                offset: idx * Cycle::from(self.timing.t_rrefd),
+                command: DramCommand::RefPerBank { target: CommandTarget::from_bank_address(b) },
+            });
+        }
+        out
+    }
+
+    /// Count the conventional commands a row command expands into.
+    pub fn expansion_counts(&self, kind: RowCommandKind) -> ExpansionCounts {
+        let probe = RowCommand {
+            kind,
+            target: VbaAddress::new(0, 0, 0),
+            row: 0,
+        };
+        let mut counts = ExpansionCounts::default();
+        for s in self.expand(probe) {
+            match s.command {
+                DramCommand::Act { .. } => counts.activates += 1,
+                DramCommand::Rd { .. } => counts.reads += 1,
+                DramCommand::Wr { .. } => counts.writes += 1,
+                DramCommand::Pre { .. } | DramCommand::PreAll { .. } => counts.precharges += 1,
+                DramCommand::RefPerBank { .. } | DramCommand::RefAllBank { .. } => counts.refreshes += 1,
+                DramCommand::Mrs { .. } => {}
+            }
+        }
+        counts
+    }
+
+    /// The total time from row-command acceptance to the completion of the
+    /// last scheduled conventional command's effect (data or precharge),
+    /// i.e. the VBA occupancy of one row command.
+    pub fn occupancy_ns(&self, kind: RowCommandKind) -> Cycle {
+        match kind {
+            RowCommandKind::RefVba => {
+                Cycle::from(self.timing.t_rfc_pb) + Cycle::from(self.timing.t_rrefd)
+            }
+            _ => {
+                let probe = RowCommand { kind, target: VbaAddress::new(0, 0, 0), row: 0 };
+                let schedule = self.expand(probe);
+                let last = schedule.last().map(|s| s.offset).unwrap_or(0);
+                last + Cycle::from(self.timing.t_rp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_hbm::channel::HbmChannel;
+
+    fn generator() -> CommandGenerator {
+        CommandGenerator::new(Organization::hbm4(), TimingParams::hbm4(), VbaConfig::rome_default())
+    }
+
+    #[test]
+    fn default_vba_spans_two_bank_groups_and_both_pcs() {
+        let g = generator();
+        let banks = g.banks_of_vba(VbaAddress::new(0, 0, 0));
+        assert_eq!(banks.len(), 4);
+        let pcs: std::collections::HashSet<u8> = banks.iter().map(|b| b.pseudo_channel).collect();
+        let bgs: std::collections::HashSet<u8> = banks.iter().map(|b| b.bank_group).collect();
+        assert_eq!(pcs.len(), 2);
+        assert_eq!(bgs.len(), 2);
+        // All banks carry the same bank index within their group.
+        let idx: std::collections::HashSet<u8> = banks.iter().map(|b| b.bank).collect();
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn distinct_vbas_map_to_distinct_bank_sets() {
+        let g = generator();
+        let vbas = VbaConfig::rome_default().vbas_per_rank(&Organization::hbm4());
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..vbas as u8 {
+            let mut banks = g.banks_of_vba(VbaAddress::new(0, 0, v));
+            banks.sort();
+            assert!(seen.insert(banks), "VBA {v} reuses another VBA's banks");
+        }
+    }
+
+    #[test]
+    fn rd_row_expands_to_two_acts_64_reads_two_pres_per_pc_pair() {
+        let g = generator();
+        let counts = g.expansion_counts(RowCommandKind::RdRow);
+        // 4 physical banks (2 BG × 2 PC): one ACT and one PRE each, and
+        // 32 columns per bank = 128 column commands carrying 32 B each
+        // (4 KB total).
+        assert_eq!(counts.activates, 4);
+        assert_eq!(counts.precharges, 4);
+        assert_eq!(counts.reads, 128);
+        assert_eq!(counts.writes, 0);
+        let bytes: u64 = counts.reads * 32;
+        assert_eq!(bytes, 4096);
+    }
+
+    #[test]
+    fn wr_row_expansion_mirrors_rd_row_with_writes() {
+        let g = generator();
+        let counts = g.expansion_counts(RowCommandKind::WrRow);
+        assert_eq!(counts.activates, 4);
+        assert_eq!(counts.writes, 128);
+        assert_eq!(counts.reads, 0);
+    }
+
+    #[test]
+    fn refresh_expands_to_paired_refpb_with_trrefd_gap() {
+        let g = generator();
+        let schedule = g.expand(RowCommand::ref_vba(VbaAddress::new(0, 0, 0)));
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule[0].offset, 0);
+        assert_eq!(schedule[1].offset, 8);
+        assert!(matches!(schedule[0].command, DramCommand::RefPerBank { .. }));
+        // Occupancy is tRFCpb + tRREFD, not 2 × tRFCpb (§V-B).
+        assert_eq!(g.occupancy_ns(RowCommandKind::RefVba), 288);
+    }
+
+    #[test]
+    fn expansion_is_legal_under_the_cycle_accurate_channel_model() {
+        let g = generator();
+        let mut channel = HbmChannel::new(Organization::hbm4(), TimingParams::hbm4());
+        let schedule = g.expand(RowCommand::rd_row(VbaAddress::new(0, 0, 3), 17));
+        let base = 0;
+        for s in &schedule {
+            let at = base + s.offset;
+            assert!(
+                channel.can_issue(&s.command, at),
+                "command {:?} at {} violates timing (earliest {})",
+                s.command,
+                at,
+                channel.earliest_issue(&s.command, at)
+            );
+            channel.issue(s.command, at).unwrap();
+        }
+        assert_eq!(channel.counters().reads, 128);
+        assert_eq!(channel.counters().activates, 4);
+        assert_eq!(channel.counters().bytes_read, 4096);
+    }
+
+    #[test]
+    fn wr_row_expansion_is_legal_under_the_channel_model() {
+        let g = generator();
+        let mut channel = HbmChannel::new(Organization::hbm4(), TimingParams::hbm4());
+        for s in g.expand(RowCommand::wr_row(VbaAddress::new(0, 1, 5), 9)) {
+            assert!(channel.can_issue(&s.command, s.offset), "{:?} at {}", s.command, s.offset);
+            channel.issue(s.command, s.offset).unwrap();
+        }
+        assert_eq!(channel.counters().writes, 128);
+        assert_eq!(channel.counters().bytes_written, 4096);
+    }
+
+    #[test]
+    fn back_to_back_rd_rows_to_different_vbas_are_legal_at_t_r2rs() {
+        use crate::timing::RomeTimingParams;
+        let g = generator();
+        let rome_t = RomeTimingParams::paper_table_v();
+        let mut channel = HbmChannel::new(Organization::hbm4(), TimingParams::hbm4());
+        let first = g.expand(RowCommand::rd_row(VbaAddress::new(0, 0, 0), 0));
+        let second = g.expand(RowCommand::rd_row(VbaAddress::new(0, 0, 1), 0));
+        for s in &first {
+            channel.issue(s.command, s.offset).unwrap();
+        }
+        let offset = Cycle::from(rome_t.t_r2r_s);
+        for s in &second {
+            let at = offset + s.offset;
+            assert!(
+                channel.can_issue(&s.command, at),
+                "{:?} at {} (earliest {})",
+                s.command,
+                at,
+                channel.earliest_issue(&s.command, at)
+            );
+            channel.issue(s.command, at).unwrap();
+        }
+        // 256 reads * 32 B = 8 KB moved across the two row commands.
+        assert_eq!(channel.counters().bytes_read, 8192);
+    }
+
+    #[test]
+    fn same_vba_reaccess_is_legal_at_the_generator_gap() {
+        use crate::timing::RomeTimingParams;
+        let g = generator();
+        let mut channel = HbmChannel::new(Organization::hbm4(), TimingParams::hbm4());
+        for s in g.expand(RowCommand::rd_row(VbaAddress::new(0, 0, 0), 0)) {
+            channel.issue(s.command, s.offset).unwrap();
+        }
+        let gap = g.min_same_vba_gap(RowCommandKind::RdRow);
+        // The self-consistent gap must be close to the paper's tRD_row value.
+        let paper = RomeTimingParams::paper_table_v().t_rd_row as i64;
+        assert!((gap as i64 - paper).abs() <= 8, "gap {gap} vs paper {paper}");
+        let offset = gap;
+        for s in g.expand(RowCommand::rd_row(VbaAddress::new(0, 0, 0), 1)) {
+            let at = offset + s.offset;
+            assert!(
+                channel.can_issue(&s.command, at),
+                "{:?} at {} (earliest {})",
+                s.command,
+                at,
+                channel.earliest_issue(&s.command, at)
+            );
+            channel.issue(s.command, at).unwrap();
+        }
+    }
+
+    #[test]
+    fn occupancy_covers_activation_data_and_precharge() {
+        let g = generator();
+        let occ = g.occupancy_ns(RowCommandKind::RdRow);
+        // Roughly tRCD + 64 beats + tRTP + tRP.
+        assert!(occ > 90 && occ < 200, "occupancy {occ}");
+        let occ_w = g.occupancy_ns(RowCommandKind::WrRow);
+        assert!(occ_w > occ);
+    }
+
+    #[test]
+    fn alternative_vba_configs_produce_consistent_expansions() {
+        for cfg in VbaConfig::design_space() {
+            let g = CommandGenerator::new(Organization::hbm4(), TimingParams::hbm4(), cfg);
+            let counts = g.expansion_counts(RowCommandKind::RdRow);
+            let bytes = counts.reads * 32;
+            assert_eq!(
+                bytes,
+                cfg.effective_row_bytes(&Organization::hbm4()),
+                "config {cfg}: bytes {bytes}"
+            );
+            assert!(counts.activates >= 1);
+            assert_eq!(counts.activates, counts.precharges);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Command/address pin accounting (§IV-D, Fig. 10).
+//!
+//! A conventional HBM4 channel carries 10 row C/A pins and 8 column C/A pins.
+//! Under RoMe the column pins disappear entirely (no RD/WR commands cross the
+//! interface), MRS moves onto the row pins, and the address width shrinks
+//! because pseudo-channel bits and one bank bit are no longer needed. The
+//! remaining question is how few pins can serialize a command quickly enough:
+//! the tightest case is a REF immediately following a `RD_row`/`WR_row`,
+//! which must complete within `2 × tRRDS`. The model below reproduces
+//! Figure 10 and the resulting five-pin design point.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::specs::HbmGeneration;
+use rome_hbm::timing::TimingParams;
+
+/// Width of the fields in a RoMe row-level command word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandEncoding {
+    /// Opcode bits (the paper keeps all four HBM4 opcode pins' worth).
+    pub opcode_bits: u32,
+    /// Stack-ID bits.
+    pub stack_id_bits: u32,
+    /// Virtual-bank bits.
+    pub vba_bits: u32,
+    /// Row-address bits.
+    pub row_bits: u32,
+}
+
+impl CommandEncoding {
+    /// The encoding for the default RoMe configuration: 11 commands need a
+    /// 4-bit opcode; 4 stack IDs → 2 bits; 8 VBAs per rank → 3 bits;
+    /// 8192 rows → 13 bits.
+    pub fn rome_default() -> Self {
+        CommandEncoding { opcode_bits: 4, stack_id_bits: 2, vba_bits: 3, row_bits: 13 }
+    }
+
+    /// Total bits in one command word.
+    pub fn total_bits(&self) -> u32 {
+        self.opcode_bits + self.stack_id_bits + self.vba_bits + self.row_bits
+    }
+}
+
+/// The C/A-pin model for a RoMe channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaPinModel {
+    /// Command-word encoding.
+    pub encoding: CommandEncoding,
+    /// C/A pin toggle rate in transfers per nanosecond (HBM4 C/A runs at
+    /// 4 GT/s → 4 transfers per ns).
+    pub ca_transfers_per_ns: u32,
+    /// Conventional timing (for the `2 × tRRDS` issue-latency bound).
+    pub timing: TimingParams,
+}
+
+impl CaPinModel {
+    /// The model for the paper's configuration: the C/A pins toggle at
+    /// double data rate off a 1 GHz command clock (2 transfers per ns), and
+    /// every command word occupies an integer number of command-clock cycles.
+    pub fn rome_default() -> Self {
+        CaPinModel {
+            encoding: CommandEncoding::rome_default(),
+            ca_transfers_per_ns: 2,
+            timing: TimingParams::hbm4(),
+        }
+    }
+
+    fn serialize_ns(&self, bits: u32, pins: u32) -> f64 {
+        assert!(pins > 0, "at least one C/A pin is required");
+        let per_ns = pins * self.ca_transfers_per_ns;
+        ((bits + per_ns - 1) / per_ns) as f64
+    }
+
+    /// Nanoseconds needed to serialize one `RD_row`/`WR_row` command word
+    /// over `pins` pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins` is zero.
+    pub fn issue_latency_ns(&self, pins: u32) -> f64 {
+        self.serialize_ns(self.encoding.total_bits(), pins)
+    }
+
+    /// Latency to issue a `RD_row`/`WR_row` immediately followed by a REF —
+    /// the tightest command-bus sequence (Fig. 10) — over `pins` pins.
+    pub fn access_then_refresh_latency_ns(&self, pins: u32) -> f64 {
+        // The refresh word omits the row address.
+        let refresh_bits =
+            self.encoding.opcode_bits + self.encoding.stack_id_bits + self.encoding.vba_bits;
+        self.serialize_ns(self.encoding.total_bits(), pins) + self.serialize_ns(refresh_bits, pins)
+    }
+
+    /// The issue-latency budget: two ACT-to-ACT windows (`2 × tRRDS`),
+    /// per §IV-D.
+    pub fn latency_budget_ns(&self) -> f64 {
+        2.0 * self.timing.t_rrd_s as f64
+    }
+
+    /// Whether `pins` pins satisfy the budget.
+    pub fn pins_sufficient(&self, pins: u32) -> bool {
+        self.access_then_refresh_latency_ns(pins) <= self.latency_budget_ns()
+    }
+
+    /// The minimum number of C/A pins that satisfies the budget.
+    pub fn min_pins(&self) -> u32 {
+        (1..=18).find(|&p| self.pins_sufficient(p)).unwrap_or(18)
+    }
+
+    /// One row of the Figure 10 sweep: (pins, access→access latency,
+    /// access→refresh latency, budget).
+    pub fn figure10_sweep(&self, pins_range: std::ops::RangeInclusive<u32>) -> Vec<Figure10Row> {
+        pins_range
+            .map(|pins| Figure10Row {
+                pins,
+                access_latency_ns: self.issue_latency_ns(pins),
+                access_then_refresh_latency_ns: self.access_then_refresh_latency_ns(pins),
+                budget_ns: self.latency_budget_ns(),
+            })
+            .collect()
+    }
+
+    /// C/A pins of a conventional HBM4 channel.
+    pub fn conventional_ca_pins() -> u32 {
+        let spec = HbmGeneration::Hbm4.spec();
+        spec.ca_pins_per_channel()
+    }
+
+    /// C/A pins RoMe needs per channel (the five-pin design point of §IV-D).
+    pub fn rome_ca_pins(&self) -> u32 {
+        self.min_pins()
+    }
+
+    /// C/A pins saved per channel relative to conventional HBM4.
+    pub fn pins_saved_per_channel(&self) -> u32 {
+        Self::conventional_ca_pins() - self.rome_ca_pins()
+    }
+}
+
+/// One row of the Figure 10 data series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Figure10Row {
+    /// Number of C/A pins.
+    pub pins: u32,
+    /// Latency to issue one `RD_row`/`WR_row` command word, in ns.
+    pub access_latency_ns: f64,
+    /// Latency to issue a `RD_row`/`WR_row` followed by a REF, in ns.
+    pub access_then_refresh_latency_ns: f64,
+    /// The `2 × tRRDS` budget, in ns.
+    pub budget_ns: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_fits_22_bits() {
+        let e = CommandEncoding::rome_default();
+        assert_eq!(e.total_bits(), 22);
+    }
+
+    #[test]
+    fn five_pins_meet_the_two_trrds_budget() {
+        let m = CaPinModel::rome_default();
+        assert_eq!(m.latency_budget_ns(), 4.0);
+        assert!(m.pins_sufficient(5));
+        assert!(!m.pins_sufficient(2));
+        assert_eq!(m.min_pins(), 5);
+        assert_eq!(m.rome_ca_pins(), 5);
+    }
+
+    #[test]
+    fn conventional_hbm4_channel_has_18_ca_pins() {
+        assert_eq!(CaPinModel::conventional_ca_pins(), 18);
+        let m = CaPinModel::rome_default();
+        assert_eq!(m.pins_saved_per_channel(), 13);
+        // 13 of 18 pins removed is the paper's 72 % reduction.
+        let reduction = m.pins_saved_per_channel() as f64 / CaPinModel::conventional_ca_pins() as f64;
+        assert!((reduction - 0.72).abs() < 0.01);
+    }
+
+    #[test]
+    fn latency_decreases_monotonically_with_pins() {
+        let m = CaPinModel::rome_default();
+        let rows = m.figure10_sweep(5..=10);
+        assert_eq!(rows.len(), 6);
+        for pair in rows.windows(2) {
+            assert!(pair[1].access_then_refresh_latency_ns <= pair[0].access_then_refresh_latency_ns);
+        }
+        // Every point from 5 to 10 pins stays under the budget (Fig. 10).
+        assert!(rows.iter().all(|r| r.access_then_refresh_latency_ns <= r.budget_ns));
+        // Access-only latency is below the combined latency everywhere.
+        assert!(rows.iter().all(|r| r.access_latency_ns < r.access_then_refresh_latency_ns));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_pins_panics() {
+        CaPinModel::rome_default().issue_latency_ns(0);
+    }
+}

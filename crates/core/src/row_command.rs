@@ -1,0 +1,137 @@
+//! The RoMe row-level command interface.
+//!
+//! RoMe exposes exactly three commands to the memory controller: `RD_row`,
+//! `WR_row`, and refresh. The address carried by a row command names a
+//! channel, a stack ID, a **virtual bank** (VBA), and a row — there are no
+//! column, bank-group, or pseudo-channel fields, because a row command always
+//! moves an entire effective row (4 KB in the default configuration) and the
+//! VBA spans both pseudo channels and two bank groups internally.
+
+use serde::{Deserialize, Serialize};
+
+/// The address of one virtual bank within the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VbaAddress {
+    /// Channel index within the memory system.
+    pub channel: u16,
+    /// Stack ID (rank) within the channel.
+    pub stack_id: u8,
+    /// Virtual-bank index within the (channel, stack ID).
+    pub vba: u8,
+}
+
+impl VbaAddress {
+    /// Create a VBA address.
+    pub const fn new(channel: u16, stack_id: u8, vba: u8) -> Self {
+        VbaAddress { channel, stack_id, vba }
+    }
+}
+
+impl std::fmt::Display for VbaAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CH{}/SID{}/VBA{}", self.channel, self.stack_id, self.vba)
+    }
+}
+
+/// The kind of a RoMe interface command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowCommandKind {
+    /// Read one entire effective row.
+    RdRow,
+    /// Write one entire effective row.
+    WrRow,
+    /// Refresh the virtual bank (expanded into paired per-bank refreshes by
+    /// the command generator, §V-B).
+    RefVba,
+}
+
+impl RowCommandKind {
+    /// Whether the command transfers data.
+    pub fn transfers_data(self) -> bool {
+        !matches!(self, RowCommandKind::RefVba)
+    }
+
+    /// The number of distinct commands the RoMe MC can issue (Table IV
+    /// discussion: `RD_row`, `WR_row`, REF).
+    pub const COUNT: usize = 3;
+}
+
+impl std::fmt::Display for RowCommandKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RowCommandKind::RdRow => "RD_row",
+            RowCommandKind::WrRow => "WR_row",
+            RowCommandKind::RefVba => "REF_vba",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A RoMe row-level command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RowCommand {
+    /// What the command does.
+    pub kind: RowCommandKind,
+    /// The virtual bank it targets.
+    pub target: VbaAddress,
+    /// The row within the virtual bank (ignored for refresh).
+    pub row: u32,
+}
+
+impl RowCommand {
+    /// A `RD_row` command.
+    pub const fn rd_row(target: VbaAddress, row: u32) -> Self {
+        RowCommand { kind: RowCommandKind::RdRow, target, row }
+    }
+
+    /// A `WR_row` command.
+    pub const fn wr_row(target: VbaAddress, row: u32) -> Self {
+        RowCommand { kind: RowCommandKind::WrRow, target, row }
+    }
+
+    /// A VBA refresh command.
+    pub const fn ref_vba(target: VbaAddress) -> Self {
+        RowCommand { kind: RowCommandKind::RefVba, target, row: 0 }
+    }
+}
+
+impl std::fmt::Display for RowCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} row {}", self.kind, self.target, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let t = VbaAddress::new(3, 1, 7);
+        assert_eq!(t.to_string(), "CH3/SID1/VBA7");
+        let rd = RowCommand::rd_row(t, 42);
+        assert_eq!(rd.kind, RowCommandKind::RdRow);
+        assert_eq!(rd.to_string(), "RD_row CH3/SID1/VBA7 row 42");
+        let wr = RowCommand::wr_row(t, 1);
+        assert_eq!(wr.kind, RowCommandKind::WrRow);
+        let rf = RowCommand::ref_vba(t);
+        assert_eq!(rf.kind, RowCommandKind::RefVba);
+        assert_eq!(rf.row, 0);
+    }
+
+    #[test]
+    fn data_transfer_classification() {
+        assert!(RowCommandKind::RdRow.transfers_data());
+        assert!(RowCommandKind::WrRow.transfers_data());
+        assert!(!RowCommandKind::RefVba.transfers_data());
+        assert_eq!(RowCommandKind::COUNT, 3);
+    }
+
+    #[test]
+    fn vba_address_ordering_is_lexicographic() {
+        let a = VbaAddress::new(0, 0, 1);
+        let b = VbaAddress::new(0, 1, 0);
+        let c = VbaAddress::new(1, 0, 0);
+        assert!(a < b && b < c);
+    }
+}

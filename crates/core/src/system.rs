@@ -1,0 +1,289 @@
+//! Multi-channel RoMe memory system.
+//!
+//! The RoMe counterpart of `rome_mc::system::MemorySystem`: host requests of
+//! arbitrary size are fragmented into effective-row-sized chunks, steered
+//! across the (expanded) channel set, and executed by per-channel
+//! [`RomeController`]s. Because the access granularity is 4 KB instead of
+//! 32 B, the distribution of a tensor's chunks across channels is coarser —
+//! the load-imbalance effect quantified by the paper's Figure 13, which the
+//! `bytes_per_channel` accessor exposes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::units::Cycle;
+
+use rome_mc::request::{MemoryRequest, RequestId, RequestKind};
+use rome_mc::system::HostCompletion;
+
+use crate::channel_plan::ChannelPlan;
+use crate::controller::{RomeController, RomeControllerConfig, RomeQueueEntry};
+use crate::row_command::VbaAddress;
+use crate::stats::RomeStats;
+
+/// Configuration of a multi-channel RoMe memory system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RomeSystemConfig {
+    /// Number of channels instantiated (36 per cube under the paper's plan).
+    pub channels: u16,
+    /// Per-channel controller configuration.
+    pub controller: RomeControllerConfig,
+}
+
+impl RomeSystemConfig {
+    /// A single-cube RoMe system following the paper's channel plan.
+    pub fn paper_cube() -> Self {
+        RomeSystemConfig {
+            channels: ChannelPlan::paper_default().rome_channels as u16,
+            controller: RomeControllerConfig::paper_default(),
+        }
+    }
+
+    /// A RoMe system with an explicit channel count (used for sampled
+    /// system-level simulation and the iso-bandwidth ablation).
+    pub fn with_channels(channels: u16) -> Self {
+        RomeSystemConfig { channels, controller: RomeControllerConfig::paper_default() }
+    }
+
+    /// Effective row size (request granularity) in bytes.
+    pub fn row_bytes(&self) -> u64 {
+        self.controller.row_bytes()
+    }
+
+    /// Peak bandwidth of the instantiated system in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.controller.organization.channel_bandwidth_gbps() * self.channels as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HostTracker {
+    kind: RequestKind,
+    bytes: u64,
+    arrival: Cycle,
+    fragments_outstanding: u64,
+    last_completion: Cycle,
+}
+
+/// A multi-channel RoMe memory system.
+#[derive(Debug, Clone)]
+pub struct RomeMemorySystem {
+    config: RomeSystemConfig,
+    controllers: Vec<RomeController>,
+    backlog: Vec<(u16, RomeQueueEntry)>,
+    host_requests: HashMap<RequestId, HostTracker>,
+    next_auto_id: u64,
+}
+
+impl RomeMemorySystem {
+    /// Build the system described by `config`.
+    pub fn new(config: RomeSystemConfig) -> Self {
+        let controllers =
+            (0..config.channels).map(|_| RomeController::new(config.controller.clone())).collect();
+        RomeMemorySystem {
+            controllers,
+            backlog: Vec::new(),
+            host_requests: HashMap::new(),
+            next_auto_id: 1 << 48,
+            config,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &RomeSystemConfig {
+        &self.config
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Aggregate statistics across channels.
+    pub fn stats(&self) -> RomeStats {
+        let mut out = RomeStats::new();
+        for c in &self.controllers {
+            out.merge(c.stats());
+        }
+        out
+    }
+
+    /// Useful bytes served per channel (for the channel load-balance rate).
+    pub fn bytes_per_channel(&self) -> Vec<u64> {
+        self.controllers.iter().map(|c| c.stats().bytes_total()).collect()
+    }
+
+    /// Whether all work has drained.
+    pub fn is_idle(&self) -> bool {
+        self.backlog.is_empty() && self.controllers.iter().all(|c| c.is_idle())
+    }
+
+    /// Decode a physical address into (channel, VBA, row): consecutive
+    /// row-sized chunks rotate across channels first, then VBAs, then stack
+    /// IDs, then rows — the RoMe address mapping selected by the paper's
+    /// mapping sweep.
+    pub fn decode(&self, address: u64) -> (u16, VbaAddress, u32) {
+        let row_bytes = self.config.row_bytes();
+        let org = &self.config.controller.organization;
+        let vbas_per_rank = self.config.controller.vba.vbas_per_rank(org).max(1) as u64;
+        let chunk = address / row_bytes;
+        let channel = (chunk % self.config.channels as u64) as u16;
+        let rest = chunk / self.config.channels as u64;
+        let vba = (rest % vbas_per_rank) as u8;
+        let rest = rest / vbas_per_rank;
+        let sid = (rest % org.stack_ids as u64) as u8;
+        let row = ((rest / org.stack_ids as u64) % org.rows_per_bank as u64) as u32;
+        (channel, VbaAddress::new(channel, sid, vba), row)
+    }
+
+    /// Submit a host request; it is fragmented into row-sized chunks.
+    pub fn submit(&mut self, mut request: MemoryRequest) -> RequestId {
+        if request.id.0 == 0 {
+            request.id = RequestId(self.next_auto_id);
+            self.next_auto_id += 1;
+        }
+        let fragments = request.fragments(self.config.row_bytes());
+        self.host_requests.insert(
+            request.id,
+            HostTracker {
+                kind: request.kind,
+                bytes: request.bytes,
+                arrival: request.arrival,
+                fragments_outstanding: fragments.len() as u64,
+                last_completion: 0,
+            },
+        );
+        for frag in fragments {
+            let (channel, target, row) = self.decode(frag.address.raw());
+            self.backlog.push((channel, RomeQueueEntry { request: frag, target, row }));
+        }
+        request.id
+    }
+
+    /// Advance the whole system by one nanosecond.
+    pub fn tick(&mut self, now: Cycle) -> Vec<HostCompletion> {
+        let mut i = 0;
+        while i < self.backlog.len() {
+            let (channel, entry) = self.backlog[i];
+            let n = self.controllers.len();
+            let ctrl = &mut self.controllers[channel as usize % n];
+            if ctrl.slots_free() > 0 {
+                let ok = ctrl.enqueue_decoded(entry);
+                debug_assert!(ok);
+                self.backlog.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        let mut completions = Vec::new();
+        for ctrl in &mut self.controllers {
+            for done in ctrl.tick(now) {
+                if let Some(tracker) = self.host_requests.get_mut(&done.id) {
+                    tracker.fragments_outstanding -= 1;
+                    tracker.last_completion = tracker.last_completion.max(done.completed);
+                    if tracker.fragments_outstanding == 0 {
+                        completions.push(HostCompletion {
+                            id: done.id,
+                            kind: tracker.kind,
+                            bytes: tracker.bytes,
+                            arrival: tracker.arrival,
+                            completed: tracker.last_completion,
+                        });
+                    }
+                }
+            }
+        }
+        for c in &completions {
+            self.host_requests.remove(&c.id);
+        }
+        completions
+    }
+
+    /// Run until idle or `max_ns`, returning completions and the stop time.
+    pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
+        let mut done = Vec::new();
+        let mut now = 0;
+        while !self.is_idle() && now < max_ns {
+            done.extend(self.tick(now));
+            now += 1;
+        }
+        (done, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cube_has_36_channels_and_2_25_tbps() {
+        let cfg = RomeSystemConfig::paper_cube();
+        assert_eq!(cfg.channels, 36);
+        assert_eq!(cfg.peak_bandwidth_gbps(), 2304.0);
+        assert_eq!(cfg.row_bytes(), 4096);
+    }
+
+    #[test]
+    fn decode_round_robins_channels_first() {
+        let sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(4));
+        let (c0, _, _) = sys.decode(0);
+        let (c1, _, _) = sys.decode(4096);
+        let (c4, v4, _) = sys.decode(4 * 4096);
+        assert_eq!(c0, 0);
+        assert_eq!(c1, 1);
+        assert_eq!(c4, 0);
+        assert_eq!(v4.vba, 1);
+    }
+
+    #[test]
+    fn large_transfer_spreads_across_channels_and_completes() {
+        let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(4));
+        sys.submit(MemoryRequest::read(1, 0, 256 * 1024, 0));
+        let (done, finish) = sys.run_until_idle(5_000_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].bytes, 256 * 1024);
+        let per_chan = sys.bytes_per_channel();
+        let max = *per_chan.iter().max().unwrap();
+        let min = *per_chan.iter().min().unwrap();
+        assert_eq!(max, min, "perfectly divisible transfer must balance: {per_chan:?}");
+        // Aggregate bandwidth well above one channel's peak.
+        let bw = (256.0 * 1024.0) / finish as f64;
+        assert!(bw > 150.0, "bandwidth {bw:.1} GB/s");
+    }
+
+    #[test]
+    fn small_transfer_loads_only_some_channels() {
+        // A 12 KiB tensor on a 4-channel system touches only 3 channels:
+        // the imbalance RoMe's Figure 13 quantifies.
+        let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(4));
+        sys.submit(MemoryRequest::read(1, 0, 12 * 1024, 0));
+        sys.run_until_idle(1_000_000);
+        let per_chan = sys.bytes_per_channel();
+        let loaded = per_chan.iter().filter(|&&b| b > 0).count();
+        assert_eq!(loaded, 3, "{per_chan:?}");
+    }
+
+    #[test]
+    fn reads_and_writes_both_complete_with_stats() {
+        let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(2));
+        sys.submit(MemoryRequest::read(1, 0, 64 * 1024, 0));
+        sys.submit(MemoryRequest::write(2, 1 << 20, 64 * 1024, 0));
+        let (done, _) = sys.run_until_idle(5_000_000);
+        assert_eq!(done.len(), 2);
+        let stats = sys.stats();
+        assert_eq!(stats.bytes_read, 64 * 1024);
+        assert_eq!(stats.bytes_written, 64 * 1024);
+        assert_eq!(stats.rd_rows_issued, 16);
+        assert_eq!(stats.wr_rows_issued, 16);
+    }
+
+    #[test]
+    fn auto_ids_are_assigned() {
+        let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(2));
+        let a = sys.submit(MemoryRequest::read(0, 0, 4096, 0));
+        let b = sys.submit(MemoryRequest::read(0, 8192, 4096, 0));
+        assert_ne!(a, b);
+    }
+}

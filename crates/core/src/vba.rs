@@ -1,0 +1,313 @@
+//! The virtual-bank (VBA) design space.
+//!
+//! A VBA is the unit of access under RoMe: a group of conventional banks that
+//! together deliver the channel's full bandwidth from a single logical bank,
+//! so that the MC no longer needs to interleave across bank groups or pseudo
+//! channels. The paper explores three ways of forming a VBA from banks
+//! (Fig. 7 b/c/d) and two ways of removing the pseudo channel from the
+//! interface (Fig. 8 a/b); the default RoMe configuration combines Fig. 7(d)
+//! with Fig. 8(b) because it needs no changes to the DRAM array and adds no
+//! datapath width.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::organization::Organization;
+
+/// How banks are merged into a virtual bank (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BankMerge {
+    /// Fig. 7(b): a single bank doubles its internal access granularity
+    /// (`AG_bank`), BK-BUS width, and I/O-control buffer.
+    WidenSingleBank,
+    /// Fig. 7(c): two banks of the *same* bank group operate in tandem,
+    /// doubling the fetched data per access.
+    TandemSameBankGroup,
+    /// Fig. 7(d): two banks from *different* bank groups are accessed in a
+    /// time-multiplexed manner — no DRAM-internal changes (RoMe's choice).
+    InterleaveAcrossBankGroups,
+}
+
+impl BankMerge {
+    /// All options, in the paper's order.
+    pub const ALL: [BankMerge; 3] = [
+        BankMerge::WidenSingleBank,
+        BankMerge::TandemSameBankGroup,
+        BankMerge::InterleaveAcrossBankGroups,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BankMerge::WidenSingleBank => "Fig7(b) widen-bank",
+            BankMerge::TandemSameBankGroup => "Fig7(c) tandem-same-BG",
+            BankMerge::InterleaveAcrossBankGroups => "Fig7(d) interleave-across-BG",
+        }
+    }
+
+    /// Number of conventional banks combined into one VBA (per pseudo
+    /// channel).
+    pub fn banks_combined(self) -> u32 {
+        match self {
+            BankMerge::WidenSingleBank => 1,
+            BankMerge::TandemSameBankGroup | BankMerge::InterleaveAcrossBankGroups => 2,
+        }
+    }
+
+    /// Multiplier on the bank's internal dataline / BK-BUS width.
+    pub fn bank_datapath_multiplier(self) -> u32 {
+        match self {
+            BankMerge::WidenSingleBank => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the DRAM array or its buses must be modified.
+    pub fn requires_dram_modification(self) -> bool {
+        !matches!(self, BankMerge::InterleaveAcrossBankGroups)
+    }
+}
+
+/// How the two pseudo channels are removed from the interface (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PcMerge {
+    /// Fig. 8(a): one PC fetches twice the data and serves the full channel;
+    /// the BG-BUS and I/O-control buffers double and muxes are added.
+    WidenSinglePc,
+    /// Fig. 8(b): both PCs operate simultaneously, as in HBM1/2 legacy
+    /// channel mode — no extra wiring or buffering (RoMe's choice).
+    LegacyBothPcs,
+}
+
+impl PcMerge {
+    /// All options, in the paper's order.
+    pub const ALL: [PcMerge; 2] = [PcMerge::WidenSinglePc, PcMerge::LegacyBothPcs];
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PcMerge::WidenSinglePc => "Fig8(a) widen-PC",
+            PcMerge::LegacyBothPcs => "Fig8(b) legacy-both-PC",
+        }
+    }
+
+    /// Number of pseudo channels active per access.
+    pub fn pcs_active(self) -> u32 {
+        match self {
+            PcMerge::WidenSinglePc => 1,
+            PcMerge::LegacyBothPcs => 2,
+        }
+    }
+
+    /// Multiplier on the BG-BUS width and I/O-control buffer.
+    pub fn bg_bus_multiplier(self) -> u32 {
+        match self {
+            PcMerge::WidenSinglePc => 2,
+            PcMerge::LegacyBothPcs => 1,
+        }
+    }
+
+    /// Whether extra multiplexers / wiring are needed between GBUSes.
+    pub fn requires_dram_modification(self) -> bool {
+        matches!(self, PcMerge::WidenSinglePc)
+    }
+}
+
+/// A point in the VBA design space: a bank-merge strategy combined with a
+/// PC-merge strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VbaConfig {
+    /// How banks are merged (Fig. 7).
+    pub bank_merge: BankMerge,
+    /// How pseudo channels are merged (Fig. 8).
+    pub pc_merge: PcMerge,
+}
+
+impl VbaConfig {
+    /// RoMe's adopted configuration: Fig. 7(d) + Fig. 8(b).
+    pub fn rome_default() -> Self {
+        VbaConfig {
+            bank_merge: BankMerge::InterleaveAcrossBankGroups,
+            pc_merge: PcMerge::LegacyBothPcs,
+        }
+    }
+
+    /// The full six-point design space explored in §IV-B.
+    pub fn design_space() -> Vec<VbaConfig> {
+        let mut out = Vec::with_capacity(6);
+        for bank_merge in BankMerge::ALL {
+            for pc_merge in PcMerge::ALL {
+                out.push(VbaConfig { bank_merge, pc_merge });
+            }
+        }
+        out
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> String {
+        format!("{} + {}", self.bank_merge.label(), self.pc_merge.label())
+    }
+
+    /// Effective row size of one VBA in bytes, given the underlying
+    /// organization: base row × banks combined × PCs active.
+    pub fn effective_row_bytes(&self, org: &Organization) -> u64 {
+        org.row_bytes as u64
+            * self.bank_merge.banks_combined() as u64
+            * self.pc_merge.pcs_active() as u64
+    }
+
+    /// Number of VBAs per channel.
+    pub fn vbas_per_channel(&self, org: &Organization) -> u32 {
+        let physical = org.banks_per_channel();
+        let per_vba = self.bank_merge.banks_combined() * self.pc_merge.pcs_active();
+        // When only one PC is active per access (Fig. 8(a)) the two PCs are
+        // still controlled as a single channel, so the VBA count counts both
+        // PCs' banks.
+        let denom = match self.pc_merge {
+            PcMerge::WidenSinglePc => self.bank_merge.banks_combined(),
+            PcMerge::LegacyBothPcs => per_vba,
+        };
+        physical / denom
+    }
+
+    /// Number of VBAs per (channel, stack ID).
+    pub fn vbas_per_rank(&self, org: &Organization) -> u32 {
+        self.vbas_per_channel(org) / org.stack_ids as u32
+    }
+
+    /// Number of physical banks driven by one row command.
+    pub fn banks_per_access(&self) -> u32 {
+        self.bank_merge.banks_combined() * self.pc_merge.pcs_active()
+    }
+
+    /// Total datapath-width multiplier relative to the conventional design
+    /// (the paper notes the worst combination reaches 4× and up to 77 % bank
+    /// area overhead).
+    pub fn datapath_multiplier(&self) -> u32 {
+        self.bank_merge.bank_datapath_multiplier() * self.pc_merge.bg_bus_multiplier()
+    }
+
+    /// Estimated DRAM-core area overhead of this configuration relative to
+    /// the conventional bank design, as a fraction (0.0 = none). The scaling
+    /// follows the fine-grained-DRAM area model of O'Connor et al. [51] that
+    /// the paper cites: each doubling of the bank datapath costs ≈ 38.5 % of
+    /// bank area, so the 4× point lands at the paper's "up to 77 %".
+    pub fn area_overhead_fraction(&self) -> f64 {
+        match self.datapath_multiplier() {
+            1 => 0.0,
+            2 => 0.385,
+            _ => 0.77,
+        }
+    }
+
+    /// Whether the configuration needs any change to the DRAM array,
+    /// internal buses, or buffers.
+    pub fn requires_dram_modification(&self) -> bool {
+        self.bank_merge.requires_dram_modification() || self.pc_merge.requires_dram_modification()
+    }
+}
+
+impl Default for VbaConfig {
+    fn default() -> Self {
+        VbaConfig::rome_default()
+    }
+}
+
+impl std::fmt::Display for VbaConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> Organization {
+        Organization::hbm4()
+    }
+
+    #[test]
+    fn design_space_has_six_unique_points() {
+        let space = VbaConfig::design_space();
+        assert_eq!(space.len(), 6);
+        for i in 0..space.len() {
+            for j in (i + 1)..space.len() {
+                assert_ne!(space[i], space[j]);
+            }
+        }
+        assert!(space.contains(&VbaConfig::rome_default()));
+    }
+
+    #[test]
+    fn rome_default_matches_table_v() {
+        let cfg = VbaConfig::rome_default();
+        let org = org();
+        // Table V: RoMe row size 4 KB, 32 banks (VBAs) per channel.
+        assert_eq!(cfg.effective_row_bytes(&org), 4096);
+        assert_eq!(cfg.vbas_per_channel(&org), 32);
+        assert_eq!(cfg.vbas_per_rank(&org), 8);
+        assert_eq!(cfg.banks_per_access(), 4);
+        assert_eq!(cfg.datapath_multiplier(), 1);
+        assert_eq!(cfg.area_overhead_fraction(), 0.0);
+        assert!(!cfg.requires_dram_modification());
+    }
+
+    #[test]
+    fn widen_bank_with_widen_pc_is_the_worst_area_point() {
+        let worst = VbaConfig { bank_merge: BankMerge::WidenSingleBank, pc_merge: PcMerge::WidenSinglePc };
+        assert_eq!(worst.datapath_multiplier(), 4);
+        assert_eq!(worst.area_overhead_fraction(), 0.77);
+        assert!(worst.requires_dram_modification());
+    }
+
+    #[test]
+    fn widen_single_bank_keeps_bank_count() {
+        let org = org();
+        let cfg = VbaConfig { bank_merge: BankMerge::WidenSingleBank, pc_merge: PcMerge::LegacyBothPcs };
+        // One bank per BG-side unit, both PCs ganged: 128 banks / 2 = 64 VBAs,
+        // effective row 2 KB.
+        assert_eq!(cfg.vbas_per_channel(&org), 64);
+        assert_eq!(cfg.effective_row_bytes(&org), 2048);
+        assert_eq!(cfg.area_overhead_fraction(), 0.385);
+    }
+
+    #[test]
+    fn widen_pc_keeps_row_size_at_one_kb_per_bank_pair() {
+        let org = org();
+        let cfg = VbaConfig {
+            bank_merge: BankMerge::InterleaveAcrossBankGroups,
+            pc_merge: PcMerge::WidenSinglePc,
+        };
+        // Fig. 8(a): effective row stays 1 KB * 2 banks = 2 KB, and the bank
+        // count per channel stays higher (both PCs' banks usable separately).
+        assert_eq!(cfg.effective_row_bytes(&org), 2048);
+        assert_eq!(cfg.vbas_per_channel(&org), 64);
+        assert!(cfg.requires_dram_modification());
+    }
+
+    #[test]
+    fn every_point_reports_consistent_row_and_bank_accounting() {
+        let org = org();
+        for cfg in VbaConfig::design_space() {
+            let row = cfg.effective_row_bytes(&org);
+            assert!(row >= 1024 && row <= 4096, "{cfg}: row {row}");
+            assert!(cfg.vbas_per_channel(&org) >= 32);
+            assert!(cfg.datapath_multiplier() >= 1 && cfg.datapath_multiplier() <= 4);
+            // The default is the only point with zero area overhead and no
+            // DRAM modification.
+            if cfg != VbaConfig::rome_default() {
+                assert!(cfg.requires_dram_modification() || cfg.area_overhead_fraction() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        let cfg = VbaConfig::rome_default();
+        let label = cfg.to_string();
+        assert!(label.contains("Fig7(d)"));
+        assert!(label.contains("Fig8(b)"));
+        assert_eq!(BankMerge::ALL.len(), 3);
+        assert_eq!(PcMerge::ALL.len(), 2);
+    }
+}

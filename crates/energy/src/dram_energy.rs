@@ -1,0 +1,269 @@
+//! Per-event DRAM energy model.
+//!
+//! Energy is attributed to five places, mirroring the paper's Figure 14
+//! breakdown: row activation (ACT), column access (CAS, i.e. the array and
+//! datapath energy of RD/WR), the I/O path through the stack (TSVs + PHY),
+//! the interposer link between the processor and the cube (data and C/A),
+//! refresh, and — for RoMe — the logic-die command generator.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::counters::ChannelCounters;
+
+/// DRAM command/data counts the energy model consumes.
+///
+/// Both the conventional system (via [`ChannelCounters`]) and RoMe (via the
+/// command-generator expansion counts) convert into this common form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandCounts {
+    /// Row activations.
+    pub activates: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// Precharges (single-bank or all-bank).
+    pub precharges: u64,
+    /// Per-bank refresh commands.
+    pub refreshes: u64,
+    /// Bytes transferred over the interposer (reads + writes).
+    pub data_bytes: u64,
+    /// Commands sent over the processor↔cube C/A interface. For HBM4 this is
+    /// every RD/WR/ACT/PRE/REF; for RoMe it is one row-level command per
+    /// `RD_row`/`WR_row`/refresh.
+    pub interface_commands: u64,
+    /// Conventional commands generated *inside* the stack by the RoMe
+    /// command generator (zero for the baseline).
+    pub generated_commands: u64,
+}
+
+impl CommandCounts {
+    /// Build counts for the conventional system from channel counters.
+    pub fn from_channel_counters(c: &ChannelCounters) -> Self {
+        CommandCounts {
+            activates: c.activates,
+            reads: c.reads,
+            writes: c.writes,
+            precharges: c.precharges + c.precharge_alls,
+            refreshes: c.refreshes_per_bank + c.refreshes_all_bank,
+            data_bytes: c.bytes_total(),
+            interface_commands: c.row_ca_commands + c.col_ca_commands,
+            generated_commands: 0,
+        }
+    }
+
+    /// Merge another set of counts into this one.
+    pub fn merge(&mut self, other: &CommandCounts) {
+        self.activates += other.activates;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.data_bytes += other.data_bytes;
+        self.interface_commands += other.interface_commands;
+        self.generated_commands += other.generated_commands;
+    }
+
+    /// Scale every counter by `factor` (used to extrapolate sampled windows).
+    pub fn scaled(&self, factor: f64) -> CommandCounts {
+        let s = |v: u64| (v as f64 * factor).round() as u64;
+        CommandCounts {
+            activates: s(self.activates),
+            reads: s(self.reads),
+            writes: s(self.writes),
+            precharges: s(self.precharges),
+            refreshes: s(self.refreshes),
+            data_bytes: s(self.data_bytes),
+            interface_commands: s(self.interface_commands),
+            generated_commands: s(self.generated_commands),
+        }
+    }
+}
+
+/// Energy coefficients, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one activation + implicit restore of a 1 KB row.
+    pub act_pj: f64,
+    /// Array + on-die datapath energy per bit of column access.
+    pub cas_pj_per_bit: f64,
+    /// TSV + PHY energy per bit moved through the stack.
+    pub io_pj_per_bit: f64,
+    /// Interposer link energy per bit between processor and cube.
+    pub interposer_pj_per_bit: f64,
+    /// Energy per command word crossing the interposer C/A interface.
+    pub ca_pj_per_command: f64,
+    /// Energy per per-bank refresh command.
+    pub refresh_pj: f64,
+    /// Energy per conventional command issued by the on-stack command
+    /// generator (RoMe only).
+    pub command_generator_pj: f64,
+}
+
+impl EnergyParams {
+    /// HBM4-class coefficients (order-of-magnitude values from the
+    /// literature; see the crate docs).
+    pub fn hbm4() -> Self {
+        EnergyParams {
+            act_pj: 1600.0,
+            cas_pj_per_bit: 0.55,
+            io_pj_per_bit: 0.45,
+            interposer_pj_per_bit: 0.35,
+            ca_pj_per_command: 18.0,
+            refresh_pj: 12_000.0,
+            command_generator_pj: 1.5,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams::hbm4()
+    }
+}
+
+/// Energy attributed to each component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Activation energy.
+    pub act_pj: f64,
+    /// Column-access (CAS) energy.
+    pub cas_pj: f64,
+    /// Stack I/O energy.
+    pub io_pj: f64,
+    /// Interposer data energy.
+    pub interposer_pj: f64,
+    /// Interposer C/A energy.
+    pub ca_pj: f64,
+    /// Refresh energy.
+    pub refresh_pj: f64,
+    /// Command-generator energy.
+    pub command_generator_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Compute the breakdown for a set of command counts.
+    pub fn from_counts(counts: &CommandCounts, params: &EnergyParams) -> Self {
+        let bits = counts.data_bytes as f64 * 8.0;
+        EnergyBreakdown {
+            act_pj: counts.activates as f64 * params.act_pj,
+            cas_pj: bits * params.cas_pj_per_bit,
+            io_pj: bits * params.io_pj_per_bit,
+            interposer_pj: bits * params.interposer_pj_per_bit,
+            ca_pj: counts.interface_commands as f64 * params.ca_pj_per_command,
+            refresh_pj: counts.refreshes as f64 * params.refresh_pj,
+            command_generator_pj: counts.generated_commands as f64 * params.command_generator_pj,
+        }
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.act_pj
+            + self.cas_pj
+            + self.io_pj
+            + self.interposer_pj
+            + self.ca_pj
+            + self.refresh_pj
+            + self.command_generator_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Energy per byte moved, in pJ/B (0 when nothing moved).
+    pub fn pj_per_byte(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.total_pj() / bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn streaming_counts(bytes: u64, acts_per_kib: f64) -> CommandCounts {
+        let reads = bytes / 32;
+        CommandCounts {
+            activates: (bytes as f64 / 1024.0 * acts_per_kib) as u64,
+            reads,
+            writes: 0,
+            precharges: (bytes as f64 / 1024.0 * acts_per_kib) as u64,
+            refreshes: 0,
+            data_bytes: bytes,
+            interface_commands: reads,
+            generated_commands: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_are_sums_of_components() {
+        let c = streaming_counts(1 << 20, 1.0);
+        let b = EnergyBreakdown::from_counts(&c, &EnergyParams::hbm4());
+        let sum = b.act_pj + b.cas_pj + b.io_pj + b.interposer_pj + b.ca_pj + b.refresh_pj
+            + b.command_generator_pj;
+        assert!((b.total_pj() - sum).abs() < 1e-6);
+        assert!(b.total_joules() > 0.0);
+        assert!(b.pj_per_byte(1 << 20) > 1.0 && b.pj_per_byte(1 << 20) < 30.0);
+        assert_eq!(b.pj_per_byte(0), 0.0);
+    }
+
+    #[test]
+    fn fewer_activations_reduce_act_energy_proportionally() {
+        let params = EnergyParams::hbm4();
+        let many = EnergyBreakdown::from_counts(&streaming_counts(1 << 20, 1.8), &params);
+        let few = EnergyBreakdown::from_counts(&streaming_counts(1 << 20, 1.0), &params);
+        let ratio = few.act_pj / many.act_pj;
+        assert!((ratio - 1.0 / 1.8).abs() < 0.01);
+        assert!(few.total_pj() < many.total_pj());
+    }
+
+    #[test]
+    fn rome_interface_command_energy_is_much_smaller() {
+        // RoMe sends one interface command per 4 KiB instead of one per 32 B.
+        let params = EnergyParams::hbm4();
+        let bytes = 1u64 << 20;
+        let mut rome = streaming_counts(bytes, 1.0);
+        rome.interface_commands = bytes / 4096;
+        rome.generated_commands = bytes / 4096 * 136;
+        let hbm4 = streaming_counts(bytes, 1.0);
+        let e_rome = EnergyBreakdown::from_counts(&rome, &params);
+        let e_hbm4 = EnergyBreakdown::from_counts(&hbm4, &params);
+        assert!(e_rome.ca_pj < e_hbm4.ca_pj / 50.0);
+        // The command generator adds only a tiny amount back.
+        assert!(e_rome.command_generator_pj < e_hbm4.total_pj() * 0.01);
+        assert!(e_rome.total_pj() < e_hbm4.total_pj());
+    }
+
+    #[test]
+    fn counts_conversion_merge_and_scaling() {
+        let counters = ChannelCounters {
+            activates: 10,
+            reads: 100,
+            writes: 20,
+            precharges: 9,
+            precharge_alls: 1,
+            refreshes_per_bank: 3,
+            bytes_read: 3200,
+            bytes_written: 640,
+            row_ca_commands: 23,
+            col_ca_commands: 120,
+            ..ChannelCounters::default()
+        };
+        let mut c = CommandCounts::from_channel_counters(&counters);
+        assert_eq!(c.activates, 10);
+        assert_eq!(c.precharges, 10);
+        assert_eq!(c.data_bytes, 3840);
+        assert_eq!(c.interface_commands, 143);
+        let d = c;
+        c.merge(&d);
+        assert_eq!(c.reads, 200);
+        let half = d.scaled(0.5);
+        assert_eq!(half.reads, 50);
+        assert_eq!(half.data_bytes, 1920);
+    }
+}

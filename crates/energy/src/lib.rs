@@ -1,0 +1,25 @@
+//! # rome-energy — DRAM energy and area models
+//!
+//! Reproduces the §VI-C analysis of the RoMe paper:
+//!
+//! * a per-event **DRAM energy model** (activation, column access, I/O,
+//!   interposer, command bus, refresh, command generator) applied to the
+//!   command counts produced by the cycle-accurate simulation or by the RoMe
+//!   command-generator expansion ([`dram_energy`]);
+//! * an **area model** for the pieces RoMe adds or shrinks: the logic-die
+//!   command generator, the µbump/TSV cost of the four extra channels, and
+//!   the memory-controller scheduling logic ([`area`]).
+//!
+//! Energy coefficients follow the published orders of magnitude for HBM-class
+//! devices (O'Connor et al., MICRO'17; Adhinarayanan et al., ISCA'25). The
+//! absolute joules are not the reproduction target — the HBM4-vs-RoMe ratios
+//! of Figure 14 are.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod dram_energy;
+
+pub use area::{AreaModel, AreaReport};
+pub use dram_energy::{CommandCounts, EnergyBreakdown, EnergyParams};

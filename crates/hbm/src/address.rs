@@ -1,0 +1,173 @@
+//! DRAM address types.
+//!
+//! A physical address presented by the host is decomposed by the memory
+//! controller's address-mapping function into DRAM coordinates: channel,
+//! pseudo channel, stack ID, bank group, bank, row, and column. This module
+//! provides the coordinate types; the mapping functions themselves live in
+//! the memory-controller crates (`rome-mc`, `rome-core`).
+
+use serde::{Deserialize, Serialize};
+
+/// A host physical address (byte address into the flat memory space backed by
+/// the HBM cubes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PhysicalAddress(pub u64);
+
+impl PhysicalAddress {
+    /// Create an address from a raw byte offset.
+    pub const fn new(addr: u64) -> Self {
+        PhysicalAddress(addr)
+    }
+
+    /// The raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Align the address down to `granularity` bytes (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `granularity` is not a power of two.
+    pub fn align_down(self, granularity: u64) -> Self {
+        debug_assert!(granularity.is_power_of_two());
+        PhysicalAddress(self.0 & !(granularity - 1))
+    }
+
+    /// Offset the address by `bytes`.
+    pub fn offset(self, bytes: u64) -> Self {
+        PhysicalAddress(self.0 + bytes)
+    }
+}
+
+impl From<u64> for PhysicalAddress {
+    fn from(v: u64) -> Self {
+        PhysicalAddress(v)
+    }
+}
+
+impl std::fmt::Display for PhysicalAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:012x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for PhysicalAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// The coordinates identifying one bank within one HBM channel.
+///
+/// The pseudo channel, stack ID, bank group, and bank index together select a
+/// unique bank; the channel index itself is carried separately because a
+/// [`crate::channel::HbmChannel`] models exactly one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BankAddress {
+    /// Pseudo channel within the channel (0 or 1 for HBM2+).
+    pub pseudo_channel: u8,
+    /// Stack ID (rank): which group of DRAM dies in the stack.
+    pub stack_id: u8,
+    /// Bank group within the pseudo channel / stack ID.
+    pub bank_group: u8,
+    /// Bank within the bank group.
+    pub bank: u8,
+}
+
+impl BankAddress {
+    /// Create a bank address from its four coordinates.
+    pub const fn new(pseudo_channel: u8, stack_id: u8, bank_group: u8, bank: u8) -> Self {
+        BankAddress { pseudo_channel, stack_id, bank_group, bank }
+    }
+}
+
+impl std::fmt::Display for BankAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PC{}/SID{}/BG{}/BA{}",
+            self.pseudo_channel, self.stack_id, self.bank_group, self.bank
+        )
+    }
+}
+
+/// A fully decomposed DRAM address: channel + bank coordinates + row + column.
+///
+/// Columns are counted in units of the bank access granularity (`AG_bank`,
+/// 32 B per pseudo channel for HBM4), matching the column addresses carried by
+/// `RD`/`WR` commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct DramAddress {
+    /// Channel index within the memory system (across all cubes).
+    pub channel: u16,
+    /// Bank coordinates within the channel.
+    pub bank: BankAddress,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column index within the row, in access-granularity units.
+    pub column: u16,
+}
+
+impl DramAddress {
+    /// Create a DRAM address from all of its coordinates.
+    pub const fn new(channel: u16, bank: BankAddress, row: u32, column: u16) -> Self {
+        DramAddress { channel, bank, row, column }
+    }
+
+    /// The address of the same row with the column reset to zero.
+    pub fn row_base(mut self) -> Self {
+        self.column = 0;
+        self
+    }
+}
+
+impl std::fmt::Display for DramAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CH{}/{}/R{}/C{}", self.channel, self.bank, self.row, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_address_alignment() {
+        let a = PhysicalAddress::new(0x1234);
+        assert_eq!(a.align_down(0x100).raw(), 0x1200);
+        assert_eq!(a.align_down(1).raw(), 0x1234);
+        assert_eq!(a.offset(0x10).raw(), 0x1244);
+        assert_eq!(PhysicalAddress::from(7u64).raw(), 7);
+    }
+
+    #[test]
+    fn physical_address_display_and_hex() {
+        let a = PhysicalAddress::new(0xdead_beef);
+        assert_eq!(a.to_string(), "0x0000deadbeef");
+        assert_eq!(format!("{a:x}"), "deadbeef");
+    }
+
+    #[test]
+    fn bank_address_display() {
+        let b = BankAddress::new(1, 2, 3, 0);
+        assert_eq!(b.to_string(), "PC1/SID2/BG3/BA0");
+    }
+
+    #[test]
+    fn dram_address_row_base_resets_column() {
+        let a = DramAddress::new(4, BankAddress::new(0, 1, 2, 3), 77, 12);
+        let base = a.row_base();
+        assert_eq!(base.column, 0);
+        assert_eq!(base.row, 77);
+        assert_eq!(base.channel, 4);
+        assert_eq!(a.to_string(), "CH4/PC0/SID1/BG2/BA3/R77/C12");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_over_fields() {
+        let lo = DramAddress::new(0, BankAddress::new(0, 0, 0, 0), 0, 0);
+        let hi = DramAddress::new(0, BankAddress::new(0, 0, 0, 0), 1, 0);
+        assert!(lo < hi);
+    }
+}

@@ -1,0 +1,264 @@
+//! DRAM commands and their targets.
+//!
+//! The conventional HBM command set exposed to the memory controller consists
+//! of row commands (`ACT`, `PRE`, `PREab`, refresh) and column commands
+//! (`RD`, `WR`, optionally with auto-precharge). RoMe's `RD_row`/`WR_row`
+//! commands are defined in `rome-core`; the command generator expands them
+//! into sequences of these conventional commands.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::BankAddress;
+
+/// The scope a command applies to inside one channel.
+///
+/// Most commands target a single bank; refresh and precharge-all variants
+/// target a whole pseudo channel (per stack ID).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CommandTarget {
+    /// Bank coordinates; for all-bank commands the `bank_group`/`bank` fields
+    /// are ignored but kept so the type stays `Copy` and cheap.
+    pub bank: BankAddress,
+}
+
+impl CommandTarget {
+    /// Target a specific bank.
+    pub const fn bank(pseudo_channel: u8, stack_id: u8, bank_group: u8, bank: u8) -> Self {
+        CommandTarget { bank: BankAddress::new(pseudo_channel, stack_id, bank_group, bank) }
+    }
+
+    /// Target constructed from an existing [`BankAddress`].
+    pub const fn from_bank_address(bank: BankAddress) -> Self {
+        CommandTarget { bank }
+    }
+}
+
+impl std::fmt::Display for CommandTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.bank)
+    }
+}
+
+/// A conventional DRAM command as issued over the C/A bus of one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Activate (open) `row` in the targeted bank.
+    Act {
+        /// The bank the activation targets.
+        target: CommandTarget,
+        /// The row to open.
+        row: u32,
+    },
+    /// Precharge (close) the open row of the targeted bank.
+    Pre {
+        /// The bank to precharge.
+        target: CommandTarget,
+    },
+    /// Precharge all banks of the targeted pseudo channel + stack ID.
+    PreAll {
+        /// Identifies the pseudo channel and stack ID; bank fields ignored.
+        target: CommandTarget,
+    },
+    /// Column read of one burst (32 B per pseudo channel for HBM4).
+    Rd {
+        /// The bank to read from (its row must be open).
+        target: CommandTarget,
+        /// Column address in access-granularity units.
+        column: u16,
+        /// Whether the bank auto-precharges after the read (RDA).
+        auto_precharge: bool,
+    },
+    /// Column write of one burst.
+    Wr {
+        /// The bank to write to (its row must be open).
+        target: CommandTarget,
+        /// Column address in access-granularity units.
+        column: u16,
+        /// Whether the bank auto-precharges after the write (WRA).
+        auto_precharge: bool,
+    },
+    /// Per-bank refresh (REFpb) of the targeted bank.
+    RefPerBank {
+        /// The bank to refresh.
+        target: CommandTarget,
+    },
+    /// All-bank refresh (REFab) of the targeted pseudo channel + stack ID.
+    RefAllBank {
+        /// Identifies the pseudo channel and stack ID; bank fields ignored.
+        target: CommandTarget,
+    },
+    /// Mode-register set; occupies the row C/A bus but has no bank effect in
+    /// this model.
+    Mrs {
+        /// Pseudo channel + stack ID the MRS is directed at.
+        target: CommandTarget,
+    },
+}
+
+impl DramCommand {
+    /// The command's target coordinates.
+    pub fn target(&self) -> CommandTarget {
+        match *self {
+            DramCommand::Act { target, .. }
+            | DramCommand::Pre { target }
+            | DramCommand::PreAll { target }
+            | DramCommand::Rd { target, .. }
+            | DramCommand::Wr { target, .. }
+            | DramCommand::RefPerBank { target }
+            | DramCommand::RefAllBank { target }
+            | DramCommand::Mrs { target } => target,
+        }
+    }
+
+    /// The coarse command kind, used to index timing-constraint tables.
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            DramCommand::Act { .. } => CommandKind::Act,
+            DramCommand::Pre { .. } => CommandKind::Pre,
+            DramCommand::PreAll { .. } => CommandKind::PreAll,
+            DramCommand::Rd { .. } => CommandKind::Rd,
+            DramCommand::Wr { .. } => CommandKind::Wr,
+            DramCommand::RefPerBank { .. } => CommandKind::RefPb,
+            DramCommand::RefAllBank { .. } => CommandKind::RefAb,
+            DramCommand::Mrs { .. } => CommandKind::Mrs,
+        }
+    }
+
+    /// Whether this command transfers data on the DQ bus.
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Rd { .. } | DramCommand::Wr { .. })
+    }
+
+    /// Whether this command is carried on the row C/A pins (ACT, PRE,
+    /// refresh, MRS) as opposed to the column C/A pins (RD, WR).
+    pub fn uses_row_ca_pins(&self) -> bool {
+        !self.is_column()
+    }
+
+    /// Whether the command targets the whole pseudo channel (per SID) rather
+    /// than a single bank.
+    pub fn is_all_bank(&self) -> bool {
+        matches!(self, DramCommand::PreAll { .. } | DramCommand::RefAllBank { .. })
+    }
+}
+
+/// Coarse classification of DRAM commands, used as the key of timing tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Row activation.
+    Act,
+    /// Single-bank precharge.
+    Pre,
+    /// All-bank precharge.
+    PreAll,
+    /// Column read.
+    Rd,
+    /// Column write.
+    Wr,
+    /// Per-bank refresh.
+    RefPb,
+    /// All-bank refresh.
+    RefAb,
+    /// Mode register set.
+    Mrs,
+}
+
+impl CommandKind {
+    /// All command kinds, in a stable order (useful for iteration in tables).
+    pub const ALL: [CommandKind; 8] = [
+        CommandKind::Act,
+        CommandKind::Pre,
+        CommandKind::PreAll,
+        CommandKind::Rd,
+        CommandKind::Wr,
+        CommandKind::RefPb,
+        CommandKind::RefAb,
+        CommandKind::Mrs,
+    ];
+
+    /// A dense index for array-backed tables.
+    pub const fn index(self) -> usize {
+        match self {
+            CommandKind::Act => 0,
+            CommandKind::Pre => 1,
+            CommandKind::PreAll => 2,
+            CommandKind::Rd => 3,
+            CommandKind::Wr => 4,
+            CommandKind::RefPb => 5,
+            CommandKind::RefAb => 6,
+            CommandKind::Mrs => 7,
+        }
+    }
+
+    /// Number of distinct command kinds.
+    pub const COUNT: usize = 8;
+}
+
+impl std::fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CommandKind::Act => "ACT",
+            CommandKind::Pre => "PRE",
+            CommandKind::PreAll => "PREab",
+            CommandKind::Rd => "RD",
+            CommandKind::Wr => "WR",
+            CommandKind::RefPb => "REFpb",
+            CommandKind::RefAb => "REFab",
+            CommandKind::Mrs => "MRS",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> CommandTarget {
+        CommandTarget::bank(1, 0, 2, 3)
+    }
+
+    #[test]
+    fn command_kind_round_trips_through_index() {
+        for (i, k) in CommandKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(CommandKind::ALL.len(), CommandKind::COUNT);
+    }
+
+    #[test]
+    fn command_classification() {
+        let rd = DramCommand::Rd { target: t(), column: 0, auto_precharge: false };
+        let wr = DramCommand::Wr { target: t(), column: 5, auto_precharge: true };
+        let act = DramCommand::Act { target: t(), row: 9 };
+        let refab = DramCommand::RefAllBank { target: t() };
+
+        assert!(rd.is_column());
+        assert!(wr.is_column());
+        assert!(!act.is_column());
+        assert!(act.uses_row_ca_pins());
+        assert!(!rd.uses_row_ca_pins());
+        assert!(refab.is_all_bank());
+        assert!(!rd.is_all_bank());
+        assert_eq!(rd.kind(), CommandKind::Rd);
+        assert_eq!(wr.kind(), CommandKind::Wr);
+        assert_eq!(act.kind(), CommandKind::Act);
+        assert_eq!(refab.kind(), CommandKind::RefAb);
+    }
+
+    #[test]
+    fn command_target_accessor_matches_constructor() {
+        let c = DramCommand::Pre { target: t() };
+        assert_eq!(c.target(), t());
+        assert_eq!(c.target().to_string(), "PC1/SID0/BG2/BA3");
+        assert_eq!(c.kind().to_string(), "PRE");
+    }
+
+    #[test]
+    fn kind_display_names_are_conventional() {
+        assert_eq!(CommandKind::Act.to_string(), "ACT");
+        assert_eq!(CommandKind::RefPb.to_string(), "REFpb");
+        assert_eq!(CommandKind::Mrs.to_string(), "MRS");
+        assert_eq!(CommandKind::PreAll.to_string(), "PREab");
+    }
+}

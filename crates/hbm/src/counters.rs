@@ -1,0 +1,176 @@
+//! Command and data counters accumulated by the channel model.
+//!
+//! These counters are the interface between the cycle-accurate simulation and
+//! the energy model (`rome-energy`): energy is computed from the number of
+//! activations, column accesses, refreshes, and bytes moved.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Cycle;
+
+/// Event counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelCounters {
+    /// Number of `ACT` commands issued.
+    pub activates: u64,
+    /// Number of single-bank `PRE` commands issued.
+    pub precharges: u64,
+    /// Number of all-bank precharges issued.
+    pub precharge_alls: u64,
+    /// Number of `RD`/`RDA` commands issued.
+    pub reads: u64,
+    /// Number of `WR`/`WRA` commands issued.
+    pub writes: u64,
+    /// Number of per-bank refreshes issued.
+    pub refreshes_per_bank: u64,
+    /// Number of all-bank refreshes issued.
+    pub refreshes_all_bank: u64,
+    /// Number of MRS commands issued.
+    pub mode_register_sets: u64,
+    /// Bytes transferred by read bursts.
+    pub bytes_read: u64,
+    /// Bytes transferred by write bursts.
+    pub bytes_written: u64,
+    /// Nanoseconds during which at least one pseudo channel's data bus was
+    /// transferring data (per-PC busy time summed over PCs).
+    pub data_bus_busy_ns: u64,
+    /// Total commands issued on the row C/A pins.
+    pub row_ca_commands: u64,
+    /// Total commands issued on the column C/A pins.
+    pub col_ca_commands: u64,
+}
+
+impl ChannelCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        ChannelCounters::default()
+    }
+
+    /// Total column commands (reads + writes).
+    pub fn column_commands(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Achieved bandwidth in GB/s over an elapsed window of `elapsed` ns
+    /// (0.0 if the window is empty).
+    pub fn achieved_bandwidth_gbps(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.bytes_total() as f64 / elapsed as f64
+        }
+    }
+
+    /// Data-bus utilization of the channel over `elapsed` ns given
+    /// `pseudo_channels` buses (1.0 = fully busy).
+    pub fn bus_utilization(&self, elapsed: Cycle, pseudo_channels: u32) -> f64 {
+        if elapsed == 0 || pseudo_channels == 0 {
+            0.0
+        } else {
+            self.data_bus_busy_ns as f64 / (elapsed as f64 * pseudo_channels as f64)
+        }
+    }
+
+    /// Merge another counter set into this one (used to aggregate channels).
+    pub fn merge(&mut self, other: &ChannelCounters) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.precharge_alls += other.precharge_alls;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes_per_bank += other.refreshes_per_bank;
+        self.refreshes_all_bank += other.refreshes_all_bank;
+        self.mode_register_sets += other.mode_register_sets;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.data_bus_busy_ns += other.data_bus_busy_ns;
+        self.row_ca_commands += other.row_ca_commands;
+        self.col_ca_commands += other.col_ca_commands;
+    }
+
+    /// Difference `self - baseline`, useful for measuring a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `baseline` exceeds `self`
+    /// (the baseline must have been captured earlier from the same channel).
+    pub fn delta_since(&self, baseline: &ChannelCounters) -> ChannelCounters {
+        ChannelCounters {
+            activates: self.activates - baseline.activates,
+            precharges: self.precharges - baseline.precharges,
+            precharge_alls: self.precharge_alls - baseline.precharge_alls,
+            reads: self.reads - baseline.reads,
+            writes: self.writes - baseline.writes,
+            refreshes_per_bank: self.refreshes_per_bank - baseline.refreshes_per_bank,
+            refreshes_all_bank: self.refreshes_all_bank - baseline.refreshes_all_bank,
+            mode_register_sets: self.mode_register_sets - baseline.mode_register_sets,
+            bytes_read: self.bytes_read - baseline.bytes_read,
+            bytes_written: self.bytes_written - baseline.bytes_written,
+            data_bus_busy_ns: self.data_bus_busy_ns - baseline.data_bus_busy_ns,
+            row_ca_commands: self.row_ca_commands - baseline.row_ca_commands,
+            col_ca_commands: self.col_ca_commands - baseline.col_ca_commands,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = ChannelCounters {
+            reads: 10,
+            writes: 5,
+            bytes_read: 320,
+            bytes_written: 160,
+            data_bus_busy_ns: 15,
+            ..ChannelCounters::new()
+        };
+        assert_eq!(c.column_commands(), 15);
+        assert_eq!(c.bytes_total(), 480);
+        assert_eq!(c.achieved_bandwidth_gbps(10), 48.0);
+        assert_eq!(c.achieved_bandwidth_gbps(0), 0.0);
+        assert_eq!(c.bus_utilization(15, 2), 0.5);
+        assert_eq!(c.bus_utilization(0, 2), 0.0);
+        assert_eq!(c.bus_utilization(15, 0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = ChannelCounters { activates: 1, reads: 2, bytes_read: 64, ..Default::default() };
+        let b = ChannelCounters {
+            activates: 3,
+            reads: 4,
+            writes: 1,
+            bytes_read: 128,
+            bytes_written: 32,
+            row_ca_commands: 7,
+            col_ca_commands: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.activates, 4);
+        assert_eq!(a.reads, 6);
+        assert_eq!(a.writes, 1);
+        assert_eq!(a.bytes_read, 192);
+        assert_eq!(a.bytes_written, 32);
+        assert_eq!(a.row_ca_commands, 7);
+        assert_eq!(a.col_ca_commands, 5);
+    }
+
+    #[test]
+    fn delta_since_subtracts_baseline() {
+        let base = ChannelCounters { reads: 5, bytes_read: 160, ..Default::default() };
+        let now = ChannelCounters { reads: 9, bytes_read: 288, ..Default::default() };
+        let d = now.delta_since(&base);
+        assert_eq!(d.reads, 4);
+        assert_eq!(d.bytes_read, 128);
+        assert_eq!(d.writes, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the DRAM device model.
+
+use crate::command::DramCommand;
+use crate::units::Cycle;
+
+/// Errors returned by the HBM device model.
+///
+/// All variants carry enough context to diagnose which command was rejected
+/// and why, so a memory-controller implementation can log and recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbmError {
+    /// The command violates a DRAM timing constraint: it may not be issued
+    /// before `earliest`.
+    TimingViolation {
+        /// The rejected command.
+        command: DramCommand,
+        /// The cycle at which the command was attempted.
+        at: Cycle,
+        /// The earliest cycle at which the command would be legal.
+        earliest: Cycle,
+    },
+    /// The command is illegal in the bank's current state (e.g. `RD` to a
+    /// precharged bank, `ACT` to a bank that already has an open row).
+    IllegalState {
+        /// The rejected command.
+        command: DramCommand,
+        /// Human-readable description of the state conflict.
+        reason: &'static str,
+    },
+    /// The command addresses a bank, bank group, pseudo channel, stack ID,
+    /// row, or column outside the configured organization.
+    AddressOutOfRange {
+        /// Description of which coordinate was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The exclusive upper bound implied by the organization.
+        limit: u64,
+    },
+    /// A configuration value is inconsistent (e.g. zero banks per bank group).
+    InvalidConfig {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for HbmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HbmError::TimingViolation { command, at, earliest } => write!(
+                f,
+                "timing violation: {command:?} issued at {at} ns but earliest legal cycle is {earliest} ns"
+            ),
+            HbmError::IllegalState { command, reason } => {
+                write!(f, "illegal command for bank state: {command:?} ({reason})")
+            }
+            HbmError::AddressOutOfRange { what, value, limit } => {
+                write!(f, "{what} {value} out of range (limit {limit})")
+            }
+            HbmError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HbmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandTarget;
+
+    #[test]
+    fn display_is_nonempty_and_descriptive() {
+        let t = CommandTarget::bank(0, 0, 0, 0);
+        let e = HbmError::TimingViolation {
+            command: DramCommand::Act { target: t, row: 1 },
+            at: 5,
+            earliest: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("timing violation"));
+        assert!(s.contains("5 ns"));
+        assert!(s.contains("9 ns"));
+
+        let e = HbmError::AddressOutOfRange { what: "row", value: 10_000, limit: 8192 };
+        assert!(e.to_string().contains("row"));
+
+        let e = HbmError::InvalidConfig { reason: "zero banks".into() };
+        assert!(e.to_string().contains("zero banks"));
+
+        let e = HbmError::IllegalState {
+            command: DramCommand::Pre { target: t },
+            reason: "bank idle",
+        };
+        assert!(e.to_string().contains("bank idle"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Send + Sync + 'static + std::error::Error>() {}
+        assert_traits::<HbmError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! # rome-hbm — cycle-accurate HBM DRAM device model
+//!
+//! This crate is the DRAM substrate of the RoMe reproduction. It models an
+//! HBM stack at the level of detail a memory-controller study needs:
+//!
+//! * the **organization** of a cube — channels, pseudo channels (PCs), stack
+//!   IDs (SIDs), bank groups (BGs), banks, rows ([`Organization`]);
+//! * the **command protocol** — `ACT`, `PRE`, `RD`, `WR`, per-bank and
+//!   all-bank refresh ([`command::DramCommand`]);
+//! * the **timing parameters** of HBM4 and their pairwise constraints
+//!   ([`timing::TimingParams`], [`constraints`]);
+//! * per-bank **finite-state machines** and row-buffer state ([`bank`]);
+//! * a cycle-accurate **channel model** that validates command legality,
+//!   tracks data-bus occupancy, and accumulates command/data counters for the
+//!   energy model ([`channel::HbmChannel`]);
+//! * the **HBM generation spec database** (HBM1 → HBM4) used by the paper's
+//!   Figure 2 ([`specs`]).
+//!
+//! All timing is expressed in integer nanoseconds; at HBM4's 8 Gb/s pin rate a
+//! 32 B burst on a 32-bit pseudo channel takes exactly 1 ns, so 1 ns doubles
+//! as the column-command slot (`tCCDS`).
+//!
+//! # Example
+//!
+//! ```
+//! use rome_hbm::{Organization, timing::TimingParams, channel::HbmChannel};
+//! use rome_hbm::command::{DramCommand, CommandTarget};
+//!
+//! let org = Organization::hbm4();
+//! let timing = TimingParams::hbm4();
+//! let mut chan = HbmChannel::new(org, timing);
+//!
+//! // Activate row 3 of bank 0 / BG 0 / PC 0 / SID 0, then read column 0.
+//! let target = CommandTarget::bank(0, 0, 0, 0);
+//! assert!(chan.can_issue(&DramCommand::Act { target, row: 3 }, 0));
+//! chan.issue(DramCommand::Act { target, row: 3 }, 0).unwrap();
+//! let rd = DramCommand::Rd { target, column: 0, auto_precharge: false };
+//! assert_eq!(chan.earliest_issue(&rd, 0), u64::from(chan.timing().t_rcd_rd));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod address;
+pub mod bank;
+pub mod channel;
+pub mod command;
+pub mod constraints;
+pub mod counters;
+pub mod error;
+pub mod organization;
+pub mod refresh;
+pub mod specs;
+pub mod timing;
+pub mod units;
+
+pub use address::{BankAddress, DramAddress, PhysicalAddress};
+pub use bank::{Bank, BankState};
+pub use channel::HbmChannel;
+pub use command::{CommandTarget, DramCommand};
+pub use counters::ChannelCounters;
+pub use error::HbmError;
+pub use organization::Organization;
+pub use specs::{HbmGeneration, HbmSpec};
+pub use timing::TimingParams;
+pub use units::{Cycle, CACHE_LINE_BYTES, KIB, MIB};

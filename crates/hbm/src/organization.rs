@@ -1,0 +1,212 @@
+//! DRAM organization: how a cube is divided into channels, pseudo channels,
+//! stack IDs, bank groups, banks, rows, and columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HbmError;
+use crate::units::DataSize;
+
+/// The organization of one HBM channel (and, by extension, a cube).
+///
+/// The defaults correspond to the HBM4 configuration of the paper's Table V:
+/// 32 channels per cube, 2 pseudo channels per channel, 4 stack IDs,
+/// 4 bank groups × 4 banks per (PC, SID), 1 KB rows, and a 32 B access
+/// granularity per pseudo channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Organization {
+    /// Channels per cube.
+    pub channels_per_cube: u16,
+    /// Pseudo channels per channel.
+    pub pseudo_channels: u8,
+    /// Stack IDs (ranks) per channel.
+    pub stack_ids: u8,
+    /// Bank groups per (pseudo channel, stack ID).
+    pub bank_groups: u8,
+    /// Banks per bank group.
+    pub banks_per_group: u8,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Row size (row-buffer size) per bank in bytes.
+    pub row_bytes: u32,
+    /// Access granularity of one column command, per pseudo channel, in bytes.
+    pub access_granularity: u32,
+    /// Data pins (DQ) per pseudo channel.
+    pub dq_per_pseudo_channel: u16,
+    /// Per-pin data rate in Gb/s.
+    pub data_rate_gbps: f64,
+}
+
+impl Organization {
+    /// The HBM4 organization used as the paper's baseline (Table V).
+    pub fn hbm4() -> Self {
+        Organization {
+            channels_per_cube: 32,
+            pseudo_channels: 2,
+            stack_ids: 4,
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows_per_bank: 8192,
+            row_bytes: 1024,
+            access_granularity: 32,
+            dq_per_pseudo_channel: 32,
+            data_rate_gbps: 8.0,
+        }
+    }
+
+    /// A small organization (fewer banks and rows) for fast unit tests.
+    pub fn tiny() -> Self {
+        Organization {
+            channels_per_cube: 2,
+            pseudo_channels: 2,
+            stack_ids: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows_per_bank: 64,
+            row_bytes: 1024,
+            access_granularity: 32,
+            dq_per_pseudo_channel: 32,
+            data_rate_gbps: 8.0,
+        }
+    }
+
+    /// Validate internal consistency of the organization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbmError::InvalidConfig`] if any dimension is zero, the row
+    /// size is not a multiple of the access granularity, or the access
+    /// granularity does not match the DQ width at a burst length of 8.
+    pub fn validate(&self) -> Result<(), HbmError> {
+        let nonzero: [(&str, u64); 8] = [
+            ("channels_per_cube", self.channels_per_cube as u64),
+            ("pseudo_channels", self.pseudo_channels as u64),
+            ("stack_ids", self.stack_ids as u64),
+            ("bank_groups", self.bank_groups as u64),
+            ("banks_per_group", self.banks_per_group as u64),
+            ("rows_per_bank", self.rows_per_bank as u64),
+            ("row_bytes", self.row_bytes as u64),
+            ("access_granularity", self.access_granularity as u64),
+        ];
+        for (name, v) in nonzero {
+            if v == 0 {
+                return Err(HbmError::InvalidConfig { reason: format!("{name} must be non-zero") });
+            }
+        }
+        if self.row_bytes % self.access_granularity != 0 {
+            return Err(HbmError::InvalidConfig {
+                reason: format!(
+                    "row_bytes ({}) must be a multiple of access_granularity ({})",
+                    self.row_bytes, self.access_granularity
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Banks per pseudo channel (across all stack IDs).
+    pub fn banks_per_pseudo_channel(&self) -> u32 {
+        self.stack_ids as u32 * self.bank_groups as u32 * self.banks_per_group as u32
+    }
+
+    /// Banks per channel (across both pseudo channels and all stack IDs).
+    pub fn banks_per_channel(&self) -> u32 {
+        self.pseudo_channels as u32 * self.banks_per_pseudo_channel()
+    }
+
+    /// Columns (bursts) per row at the configured access granularity.
+    pub fn columns_per_row(&self) -> u32 {
+        self.row_bytes / self.access_granularity
+    }
+
+    /// Capacity of a single bank in bytes.
+    pub fn bank_capacity(&self) -> DataSize {
+        DataSize::from_bytes(self.rows_per_bank as u64 * self.row_bytes as u64)
+    }
+
+    /// Capacity of a single channel in bytes.
+    pub fn channel_capacity(&self) -> DataSize {
+        DataSize::from_bytes(self.bank_capacity().bytes() * self.banks_per_channel() as u64)
+    }
+
+    /// Capacity of the whole cube in bytes.
+    pub fn cube_capacity(&self) -> DataSize {
+        DataSize::from_bytes(self.channel_capacity().bytes() * self.channels_per_cube as u64)
+    }
+
+    /// Peak bandwidth of one pseudo channel in GB/s (bytes per ns).
+    pub fn pseudo_channel_bandwidth_gbps(&self) -> f64 {
+        self.dq_per_pseudo_channel as f64 * self.data_rate_gbps / 8.0
+    }
+
+    /// Peak bandwidth of one channel in GB/s.
+    pub fn channel_bandwidth_gbps(&self) -> f64 {
+        self.pseudo_channel_bandwidth_gbps() * self.pseudo_channels as f64
+    }
+
+    /// Peak bandwidth of the whole cube in GB/s.
+    pub fn cube_bandwidth_gbps(&self) -> f64 {
+        self.channel_bandwidth_gbps() * self.channels_per_cube as f64
+    }
+
+    /// Duration of one burst (one column command's data transfer) on a pseudo
+    /// channel, in nanoseconds.
+    ///
+    /// For HBM4 (32 B burst at 32 GB/s per PC) this is exactly 1 ns.
+    pub fn burst_ns(&self) -> u64 {
+        let bw = self.pseudo_channel_bandwidth_gbps();
+        let ns = self.access_granularity as f64 / bw;
+        ns.round().max(1.0) as u64
+    }
+}
+
+impl Default for Organization {
+    fn default() -> Self {
+        Organization::hbm4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm4_organization_matches_table_v() {
+        let org = Organization::hbm4();
+        org.validate().unwrap();
+        // Table V: 32 channels/cube, 128 banks/channel, 1 KB rows.
+        assert_eq!(org.channels_per_cube, 32);
+        assert_eq!(org.banks_per_channel(), 128);
+        assert_eq!(org.row_bytes as u64, crate::units::KIB);
+        // 2 TB/s per cube at 8 Gb/s with 64 B channels.
+        assert_eq!(org.channel_bandwidth_gbps(), 64.0);
+        assert_eq!(org.cube_bandwidth_gbps(), 2048.0);
+        // 32 GB cube capacity.
+        assert_eq!(org.cube_capacity().bytes(), 32 * 1024 * 1024 * 1024);
+        assert_eq!(org.burst_ns(), 1);
+        assert_eq!(org.columns_per_row(), 32);
+    }
+
+    #[test]
+    fn tiny_organization_is_valid() {
+        let org = Organization::tiny();
+        org.validate().unwrap();
+        assert_eq!(org.banks_per_channel(), 8);
+        assert_eq!(org.banks_per_pseudo_channel(), 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut org = Organization::hbm4();
+        org.bank_groups = 0;
+        assert!(org.validate().is_err());
+
+        let mut org = Organization::hbm4();
+        org.row_bytes = 1000; // not a multiple of 32
+        assert!(org.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_hbm4() {
+        assert_eq!(Organization::default(), Organization::hbm4());
+    }
+}

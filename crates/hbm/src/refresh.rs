@@ -1,0 +1,205 @@
+//! Refresh requirement bookkeeping.
+//!
+//! DRAM cells must be refreshed within the retention window. The memory
+//! controller chooses between **all-bank refresh** (one `REFab` per rank
+//! every `tREFI`, stalling the whole rank for `tRFCab`) and **per-bank
+//! refresh** (one `REFpb` every `tREFIpb`, rotating over the banks, stalling
+//! only the refreshed bank for `tRFCpb`). This module computes when refreshes
+//! are due and quantifies their bandwidth overhead; the controllers in
+//! `rome-mc` and `rome-core` consume it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::timing::TimingParams;
+use crate::units::Cycle;
+
+/// Refresh strategy used by a memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshMode {
+    /// One `REFab` per rank every `tREFI`.
+    AllBank,
+    /// One `REFpb` every `tREFIpb`, rotating across banks (the mode both the
+    /// baseline and RoMe use in the paper's evaluation, §VI-A).
+    PerBank,
+}
+
+/// Tracks refresh obligations for one rank (pseudo channel × stack ID).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshScheduler {
+    mode: RefreshMode,
+    interval: Cycle,
+    next_due: Cycle,
+    banks_in_rank: u32,
+    next_bank: u32,
+    issued: u64,
+    /// Maximum number of refresh commands that may be postponed (JEDEC allows
+    /// pulling in / pushing out a bounded number of refreshes).
+    max_postponed: u32,
+}
+
+impl RefreshScheduler {
+    /// Create a scheduler for one rank with `banks_in_rank` banks.
+    pub fn new(mode: RefreshMode, timing: &TimingParams, banks_in_rank: u32) -> Self {
+        let interval = match mode {
+            RefreshMode::AllBank => Cycle::from(timing.t_refi),
+            RefreshMode::PerBank => Cycle::from(timing.t_refi_pb),
+        };
+        RefreshScheduler {
+            mode,
+            interval,
+            next_due: interval,
+            banks_in_rank,
+            next_bank: 0,
+            issued: 0,
+            max_postponed: 8,
+        }
+    }
+
+    /// The refresh mode.
+    pub fn mode(&self) -> RefreshMode {
+        self.mode
+    }
+
+    /// The average interval between refresh commands.
+    pub fn interval(&self) -> Cycle {
+        self.interval
+    }
+
+    /// Total refresh commands issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Whether a refresh is due at `now`.
+    pub fn due(&self, now: Cycle) -> bool {
+        now >= self.next_due
+    }
+
+    /// Whether refreshes have been postponed to the limit, i.e. the refresh
+    /// must be issued before any further requests are served.
+    pub fn urgent(&self, now: Cycle) -> bool {
+        now >= self.next_due + Cycle::from(self.max_postponed) * self.interval
+    }
+
+    /// Record that a refresh was issued at `now`; returns the bank index the
+    /// command should target when in per-bank mode (round-robin).
+    pub fn acknowledge(&mut self, _now: Cycle) -> u32 {
+        let bank = self.next_bank;
+        self.next_bank = (self.next_bank + 1) % self.banks_in_rank.max(1);
+        self.next_due += self.interval;
+        self.issued += 1;
+        bank
+    }
+
+    /// Skip the rotation to a specific interval multiple (used when the
+    /// controller pools two per-bank refreshes, as RoMe's §V-B optimization
+    /// does by issuing one refresh every `2 × tREFIpb`).
+    pub fn set_interval_multiple(&mut self, multiple: u32) {
+        let base = self.interval / Cycle::from(self.multiple_estimate().max(1));
+        self.interval = base * Cycle::from(multiple.max(1));
+    }
+
+    fn multiple_estimate(&self) -> u32 {
+        1
+    }
+
+    /// Fraction of time a bank is unavailable due to refresh under this
+    /// scheduler (steady-state analytical estimate).
+    pub fn bank_unavailability(&self, timing: &TimingParams) -> f64 {
+        match self.mode {
+            RefreshMode::AllBank => timing.t_rfc_ab as f64 / timing.t_refi as f64,
+            RefreshMode::PerBank => {
+                // Each bank receives one REFpb every banks_in_rank * tREFIpb.
+                timing.t_rfc_pb as f64 / (self.banks_in_rank as f64 * timing.t_refi_pb as f64)
+            }
+        }
+    }
+}
+
+/// Analytical refresh-overhead summary used in tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefreshOverhead {
+    /// Fraction of each bank's time lost to refresh.
+    pub per_bank_unavailability: f64,
+    /// Number of refresh commands per rank per `tREFW`-equivalent window of
+    /// 32 ms.
+    pub commands_per_32ms: u64,
+}
+
+/// Compute the steady-state refresh overhead for a rank of `banks_in_rank`
+/// banks under `mode`.
+pub fn refresh_overhead(
+    mode: RefreshMode,
+    timing: &TimingParams,
+    banks_in_rank: u32,
+) -> RefreshOverhead {
+    let sched = RefreshScheduler::new(mode, timing, banks_in_rank);
+    let window_ns: u64 = 32_000_000;
+    RefreshOverhead {
+        per_bank_unavailability: sched.bank_unavailability(timing),
+        commands_per_32ms: window_ns / sched.interval(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_bank_scheduler_rotates_banks_round_robin() {
+        let t = TimingParams::hbm4();
+        let mut s = RefreshScheduler::new(RefreshMode::PerBank, &t, 16);
+        assert_eq!(s.mode(), RefreshMode::PerBank);
+        assert!(!s.due(0));
+        assert!(s.due(t.t_refi_pb as u64));
+        let b0 = s.acknowledge(t.t_refi_pb as u64);
+        let b1 = s.acknowledge(2 * t.t_refi_pb as u64);
+        assert_eq!(b0, 0);
+        assert_eq!(b1, 1);
+        assert_eq!(s.issued(), 2);
+        // After 16 acknowledgements the rotation wraps.
+        let mut s = RefreshScheduler::new(RefreshMode::PerBank, &t, 4);
+        for expect in [0, 1, 2, 3, 0, 1] {
+            assert_eq!(s.acknowledge(0), expect);
+        }
+    }
+
+    #[test]
+    fn all_bank_scheduler_uses_trefi() {
+        let t = TimingParams::hbm4();
+        let s = RefreshScheduler::new(RefreshMode::AllBank, &t, 16);
+        assert_eq!(s.interval(), t.t_refi as u64);
+        assert!(s.due(3900));
+        assert!(!s.due(3899));
+    }
+
+    #[test]
+    fn urgency_kicks_in_after_postponement_budget() {
+        let t = TimingParams::hbm4();
+        let s = RefreshScheduler::new(RefreshMode::PerBank, &t, 16);
+        let due = t.t_refi_pb as u64;
+        assert!(!s.urgent(due));
+        assert!(s.urgent(due + 9 * t.t_refi_pb as u64));
+    }
+
+    #[test]
+    fn per_bank_unavailability_is_small_and_below_all_bank() {
+        let t = TimingParams::hbm4();
+        let pb = refresh_overhead(RefreshMode::PerBank, &t, 16);
+        let ab = refresh_overhead(RefreshMode::AllBank, &t, 16);
+        assert!(pb.per_bank_unavailability < 0.10);
+        assert!(pb.per_bank_unavailability < ab.per_bank_unavailability,
+            "per-bank refresh should stall each bank less than all-bank ({} vs {})",
+            pb.per_bank_unavailability, ab.per_bank_unavailability);
+        assert!(pb.commands_per_32ms > ab.commands_per_32ms);
+    }
+
+    #[test]
+    fn interval_multiple_scales_interval() {
+        let t = TimingParams::hbm4();
+        let mut s = RefreshScheduler::new(RefreshMode::PerBank, &t, 16);
+        let base = s.interval();
+        s.set_interval_multiple(2);
+        assert_eq!(s.interval(), base * 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! HBM generation specification database.
+//!
+//! The paper's Figure 2 plots, across HBM generations, (a) per-pin data rate,
+//! DRAM core frequency, and channel width, and (b) the growth of the
+//! command/address (C/A) pin overhead relative to data (DQ) pins and the
+//! aggregate C/A bandwidth. This module captures those specs so the figure
+//! can be regenerated, and so the RoMe pin accounting (§IV-D/E) has a single
+//! source of truth for the HBM4 interface.
+
+use serde::{Deserialize, Serialize};
+
+/// An HBM standard generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HbmGeneration {
+    /// First-generation HBM (JESD235, 2013).
+    Hbm1,
+    /// HBM2 (JESD235A/B).
+    Hbm2,
+    /// HBM2E.
+    Hbm2e,
+    /// HBM3 (JESD238).
+    Hbm3,
+    /// HBM3E.
+    Hbm3e,
+    /// HBM4 (JESD270-4, 2025) — the paper's baseline.
+    Hbm4,
+}
+
+impl HbmGeneration {
+    /// All generations in chronological order.
+    pub const ALL: [HbmGeneration; 6] = [
+        HbmGeneration::Hbm1,
+        HbmGeneration::Hbm2,
+        HbmGeneration::Hbm2e,
+        HbmGeneration::Hbm3,
+        HbmGeneration::Hbm3e,
+        HbmGeneration::Hbm4,
+    ];
+
+    /// The marketing / JEDEC name of the generation.
+    pub fn name(self) -> &'static str {
+        match self {
+            HbmGeneration::Hbm1 => "HBM1",
+            HbmGeneration::Hbm2 => "HBM2",
+            HbmGeneration::Hbm2e => "HBM2E",
+            HbmGeneration::Hbm3 => "HBM3",
+            HbmGeneration::Hbm3e => "HBM3E",
+            HbmGeneration::Hbm4 => "HBM4",
+        }
+    }
+
+    /// The interface specification for this generation.
+    pub fn spec(self) -> HbmSpec {
+        match self {
+            HbmGeneration::Hbm1 => HbmSpec {
+                generation: self,
+                data_rate_gbps: 1.0,
+                core_frequency_mhz: 250,
+                channel_width_bits: 128,
+                channels_per_cube: 8,
+                pseudo_channels_per_channel: 1,
+                row_ca_pins_per_channel: 8,
+                col_ca_pins_per_channel: 8,
+                ca_clock_mhz: 500,
+            },
+            HbmGeneration::Hbm2 => HbmSpec {
+                generation: self,
+                data_rate_gbps: 2.0,
+                core_frequency_mhz: 250,
+                channel_width_bits: 128,
+                channels_per_cube: 8,
+                pseudo_channels_per_channel: 2,
+                row_ca_pins_per_channel: 8,
+                col_ca_pins_per_channel: 8,
+                ca_clock_mhz: 1000,
+            },
+            HbmGeneration::Hbm2e => HbmSpec {
+                generation: self,
+                data_rate_gbps: 3.6,
+                core_frequency_mhz: 300,
+                channel_width_bits: 128,
+                channels_per_cube: 8,
+                pseudo_channels_per_channel: 2,
+                row_ca_pins_per_channel: 8,
+                col_ca_pins_per_channel: 8,
+                ca_clock_mhz: 1800,
+            },
+            HbmGeneration::Hbm3 => HbmSpec {
+                generation: self,
+                data_rate_gbps: 6.4,
+                core_frequency_mhz: 400,
+                channel_width_bits: 64,
+                channels_per_cube: 16,
+                pseudo_channels_per_channel: 2,
+                row_ca_pins_per_channel: 10,
+                col_ca_pins_per_channel: 8,
+                ca_clock_mhz: 3200,
+            },
+            HbmGeneration::Hbm3e => HbmSpec {
+                generation: self,
+                data_rate_gbps: 9.6,
+                core_frequency_mhz: 500,
+                channel_width_bits: 64,
+                channels_per_cube: 16,
+                pseudo_channels_per_channel: 2,
+                row_ca_pins_per_channel: 10,
+                col_ca_pins_per_channel: 8,
+                ca_clock_mhz: 4800,
+            },
+            HbmGeneration::Hbm4 => HbmSpec {
+                generation: self,
+                data_rate_gbps: 8.0,
+                core_frequency_mhz: 500,
+                channel_width_bits: 64,
+                channels_per_cube: 32,
+                pseudo_channels_per_channel: 2,
+                row_ca_pins_per_channel: 10,
+                col_ca_pins_per_channel: 8,
+                ca_clock_mhz: 4000,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for HbmGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Interface-level specification of one HBM generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmSpec {
+    /// Which generation this spec describes.
+    pub generation: HbmGeneration,
+    /// Per-pin data rate in Gb/s.
+    pub data_rate_gbps: f64,
+    /// DRAM core (bank) frequency in MHz.
+    pub core_frequency_mhz: u32,
+    /// Data (DQ) width of one channel in bits.
+    pub channel_width_bits: u32,
+    /// Channels per cube.
+    pub channels_per_cube: u32,
+    /// Pseudo channels per channel.
+    pub pseudo_channels_per_channel: u32,
+    /// Row-command C/A pins per channel.
+    pub row_ca_pins_per_channel: u32,
+    /// Column-command C/A pins per channel.
+    pub col_ca_pins_per_channel: u32,
+    /// C/A pin toggle rate in MHz (command bus clock, DDR where applicable).
+    pub ca_clock_mhz: u32,
+}
+
+impl HbmSpec {
+    /// Total C/A pins per channel (row + column).
+    pub fn ca_pins_per_channel(&self) -> u32 {
+        self.row_ca_pins_per_channel + self.col_ca_pins_per_channel
+    }
+
+    /// Total data pins per channel.
+    pub fn dq_pins_per_channel(&self) -> u32 {
+        self.channel_width_bits
+    }
+
+    /// Ratio of C/A pins to DQ pins per channel (Fig. 2(b) left axis).
+    pub fn ca_to_dq_ratio(&self) -> f64 {
+        self.ca_pins_per_channel() as f64 / self.dq_pins_per_channel() as f64
+    }
+
+    /// Aggregate C/A bandwidth per cube in GB/s (Fig. 2(b) right axis):
+    /// C/A pins × channels × toggle rate.
+    pub fn ca_bandwidth_gbs_per_cube(&self) -> f64 {
+        self.ca_pins_per_channel() as f64
+            * self.channels_per_cube as f64
+            * self.ca_clock_mhz as f64
+            * 1.0e6
+            / 8.0
+            / 1.0e9
+    }
+
+    /// Peak data bandwidth per cube in GB/s.
+    pub fn data_bandwidth_gbs_per_cube(&self) -> f64 {
+        self.channel_width_bits as f64 * self.channels_per_cube as f64 * self.data_rate_gbps / 8.0
+    }
+
+    /// Per-channel data bandwidth in GB/s.
+    pub fn channel_bandwidth_gbs(&self) -> f64 {
+        self.channel_width_bits as f64 * self.data_rate_gbps / 8.0
+    }
+}
+
+/// A single row of the Figure 2 trend table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendRow {
+    /// Generation name.
+    pub generation: HbmGeneration,
+    /// Per-pin data rate (Gb/s).
+    pub data_rate_gbps: f64,
+    /// Core frequency (MHz).
+    pub core_frequency_mhz: u32,
+    /// Channel width (bits).
+    pub channel_width_bits: u32,
+    /// C/A-to-DQ pin ratio.
+    pub ca_to_dq_ratio: f64,
+    /// C/A bandwidth per cube (GB/s).
+    pub ca_bandwidth_gbs: f64,
+}
+
+/// Produce the Figure 2 trend table across all generations.
+pub fn generation_trends() -> Vec<TrendRow> {
+    HbmGeneration::ALL
+        .iter()
+        .map(|g| {
+            let s = g.spec();
+            TrendRow {
+                generation: *g,
+                data_rate_gbps: s.data_rate_gbps,
+                core_frequency_mhz: s.core_frequency_mhz,
+                channel_width_bits: s.channel_width_bits,
+                ca_to_dq_ratio: s.ca_to_dq_ratio(),
+                ca_bandwidth_gbs: s.ca_bandwidth_gbs_per_cube(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm4_spec_matches_paper() {
+        let s = HbmGeneration::Hbm4.spec();
+        // HBM4: 32 channels, 64-bit channels, 8 Gb/s, 2 TB/s per cube.
+        assert_eq!(s.channels_per_cube, 32);
+        assert_eq!(s.channel_width_bits, 64);
+        assert_eq!(s.data_rate_gbps, 8.0);
+        assert_eq!(s.data_bandwidth_gbs_per_cube(), 2048.0);
+        // Each 64-bit channel carries 10 row + 8 column C/A pins (§II-B).
+        assert_eq!(s.row_ca_pins_per_channel, 10);
+        assert_eq!(s.col_ca_pins_per_channel, 8);
+        assert_eq!(s.ca_pins_per_channel(), 18);
+    }
+
+    #[test]
+    fn channel_width_halves_and_channels_double_across_generations() {
+        let h2e = HbmGeneration::Hbm2e.spec();
+        let h3 = HbmGeneration::Hbm3.spec();
+        let h4 = HbmGeneration::Hbm4.spec();
+        assert_eq!(h3.channel_width_bits * 2, h2e.channel_width_bits);
+        assert_eq!(h3.channels_per_cube, h2e.channels_per_cube * 2);
+        // HBM4 doubles channels again without halving width.
+        assert_eq!(h4.channels_per_cube, h3.channels_per_cube * 2);
+        assert_eq!(h4.channel_width_bits, h3.channel_width_bits);
+    }
+
+    #[test]
+    fn ca_to_dq_ratio_roughly_doubles_from_hbm1_to_hbm4() {
+        let r1 = HbmGeneration::Hbm1.spec().ca_to_dq_ratio();
+        let r4 = HbmGeneration::Hbm4.spec().ca_to_dq_ratio();
+        assert!(r4 / r1 > 1.8, "expected ~2x growth, got {}", r4 / r1);
+    }
+
+    #[test]
+    fn trends_are_monotone_in_data_rate_until_hbm3e() {
+        let rows = generation_trends();
+        assert_eq!(rows.len(), 6);
+        for pair in rows.windows(2).take(4) {
+            assert!(pair[1].data_rate_gbps > pair[0].data_rate_gbps);
+        }
+        // Core frequency grows far slower than data rate (the paper's point).
+        let first = &rows[0];
+        let last = &rows[5];
+        let rate_growth = last.data_rate_gbps / first.data_rate_gbps;
+        let core_growth = last.core_frequency_mhz as f64 / first.core_frequency_mhz as f64;
+        assert!(rate_growth > 3.0 * core_growth);
+    }
+
+    #[test]
+    fn generation_names_and_order() {
+        assert_eq!(HbmGeneration::Hbm1.to_string(), "HBM1");
+        assert_eq!(HbmGeneration::Hbm4.to_string(), "HBM4");
+        assert!(HbmGeneration::Hbm1 < HbmGeneration::Hbm4);
+    }
+
+    #[test]
+    fn ca_bandwidth_grows_across_generations() {
+        let rows = generation_trends();
+        assert!(rows[5].ca_bandwidth_gbs > rows[0].ca_bandwidth_gbs * 5.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! HBM timing parameters (the paper's Table II and Table V).
+//!
+//! All values are integer nanoseconds. The HBM4 defaults follow the paper's
+//! Table V; JEDEC has not finalized HBM4 timing, so the paper (and this
+//! reproduction) adopts values from prior work.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HbmError;
+
+/// The conventional HBM timing parameters tracked by a memory controller.
+///
+/// The names follow the paper's Table II. Parameters the paper's table omits
+/// but that a cycle-accurate model still needs (CAS latencies, refresh
+/// intervals, bus-turnaround components) are filled with values consistent
+/// with prior HBM studies and are documented field-by-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// ACT to RD delay in the same bank.
+    pub t_rcd_rd: u32,
+    /// ACT to WR delay in the same bank.
+    pub t_rcd_wr: u32,
+    /// ACT to PRE delay in the same bank.
+    pub t_ras: u32,
+    /// PRE to ACT delay in the same bank.
+    pub t_rp: u32,
+    /// ACT to ACT delay in the same bank (row cycle time).
+    pub t_rc: u32,
+    /// RD/WR to RD/WR delay, different bank group (short).
+    pub t_ccd_s: u32,
+    /// RD/WR to RD/WR delay, same bank group (long).
+    pub t_ccd_l: u32,
+    /// RD/WR to RD/WR delay, different stack ID (rank).
+    pub t_ccd_r: u32,
+    /// Rolling window in which at most four ACTs may be issued.
+    pub t_faw: u32,
+    /// ACT to ACT delay to a different bank, different bank group.
+    pub t_rrd_s: u32,
+    /// ACT to ACT delay to a different bank, same bank group.
+    pub t_rrd_l: u32,
+    /// WR to RD delay, different bank group (after the write burst).
+    pub t_wtr_s: u32,
+    /// WR to RD delay, same bank group (after the write burst).
+    pub t_wtr_l: u32,
+    /// RD to WR turnaround delay on the same pseudo channel.
+    pub t_rtw: u32,
+    /// Write recovery: end of write burst to PRE in the same bank.
+    pub t_wr: u32,
+    /// RD to PRE delay in the same bank.
+    pub t_rtp: u32,
+    /// CAS (read) latency: RD to first data beat.
+    pub t_cl: u32,
+    /// CAS write latency: WR to first data beat.
+    pub t_cwl: u32,
+    /// Average periodic refresh interval (all-bank), per stack ID.
+    pub t_refi: u32,
+    /// All-bank refresh cycle time.
+    pub t_rfc_ab: u32,
+    /// Per-bank refresh average interval (one REFpb somewhere every this
+    /// many ns keeps a 16-bank SID refreshed at the required rate).
+    pub t_refi_pb: u32,
+    /// Per-bank refresh cycle time.
+    pub t_rfc_pb: u32,
+    /// Minimum spacing between two per-bank refresh commands in the same
+    /// pseudo channel + stack ID.
+    pub t_rrefd: u32,
+}
+
+impl TimingParams {
+    /// The HBM4 timing used by the paper (Table V), completed with the
+    /// auxiliary parameters required for cycle-accurate simulation.
+    pub fn hbm4() -> Self {
+        TimingParams {
+            t_rcd_rd: 16,
+            t_rcd_wr: 16,
+            t_ras: 29,
+            t_rp: 16,
+            t_rc: 45,
+            t_ccd_s: 1,
+            t_ccd_l: 2,
+            t_ccd_r: 2,
+            t_faw: 12,
+            t_rrd_s: 2,
+            t_rrd_l: 4,
+            t_wtr_s: 3,
+            t_wtr_l: 9,
+            t_rtw: 7,
+            t_wr: 16,
+            t_rtp: 5,
+            t_cl: 16,
+            t_cwl: 14,
+            t_refi: 3900,
+            t_rfc_ab: 410,
+            // One REFpb rotates over the 16 banks of a (PC, SID); each bank is
+            // refreshed every 16 * t_refi_pb = t_refi * 16 / 16.
+            t_refi_pb: 244,
+            t_rfc_pb: 280,
+            t_rrefd: 8,
+        }
+    }
+
+    /// Number of distinct scheduling-relevant timing parameters a
+    /// conventional MC must juggle (the paper's Table IV counts 15: the
+    /// parameters of Table II plus the per-bank refresh spacing entries).
+    pub fn conventional_parameter_count() -> usize {
+        15
+    }
+
+    /// Validate that the parameters are mutually consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HbmError::InvalidConfig`] when a derived relationship is
+    /// violated (e.g. `t_rc < t_ras + t_rp`, or `t_ccd_s > t_ccd_l`).
+    pub fn validate(&self) -> Result<(), HbmError> {
+        if self.t_rc < self.t_ras + self.t_rp {
+            return Err(HbmError::InvalidConfig {
+                reason: format!(
+                    "t_rc ({}) must be >= t_ras ({}) + t_rp ({})",
+                    self.t_rc, self.t_ras, self.t_rp
+                ),
+            });
+        }
+        if self.t_ccd_s > self.t_ccd_l {
+            return Err(HbmError::InvalidConfig {
+                reason: format!("t_ccd_s ({}) must be <= t_ccd_l ({})", self.t_ccd_s, self.t_ccd_l),
+            });
+        }
+        if self.t_rrd_s > self.t_rrd_l {
+            return Err(HbmError::InvalidConfig {
+                reason: format!("t_rrd_s ({}) must be <= t_rrd_l ({})", self.t_rrd_s, self.t_rrd_l),
+            });
+        }
+        if self.t_rtp == 0 || self.t_wr == 0 || self.t_ccd_s == 0 {
+            return Err(HbmError::InvalidConfig {
+                reason: "t_rtp, t_wr and t_ccd_s must be non-zero".to_string(),
+            });
+        }
+        if self.t_rfc_pb > self.t_rfc_ab {
+            return Err(HbmError::InvalidConfig {
+                reason: format!(
+                    "per-bank refresh time ({}) should not exceed all-bank refresh time ({})",
+                    self.t_rfc_pb, self.t_rfc_ab
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read-to-precharge spacing measured from the read command, including
+    /// the burst occupancy implied by back-to-back scheduling.
+    pub fn read_to_precharge(&self) -> u32 {
+        self.t_rtp
+    }
+
+    /// Write-to-precharge spacing measured from the write command: CAS write
+    /// latency + burst (1 ns at HBM4 granularity) + write recovery.
+    pub fn write_to_precharge(&self, burst_ns: u32) -> u32 {
+        self.t_cwl + burst_ns + self.t_wr
+    }
+
+    /// Write-to-read spacing measured from the write command for the given
+    /// bank-group relationship.
+    pub fn write_to_read(&self, same_bank_group: bool, burst_ns: u32) -> u32 {
+        let wtr = if same_bank_group { self.t_wtr_l } else { self.t_wtr_s };
+        self.t_cwl + burst_ns + wtr
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::hbm4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm4_matches_paper_table_v() {
+        let t = TimingParams::hbm4();
+        t.validate().unwrap();
+        assert_eq!(t.t_rc, 45);
+        assert_eq!(t.t_rp, 16);
+        assert_eq!(t.t_ras, 29);
+        assert_eq!(t.t_cl, 16);
+        assert_eq!(t.t_rcd_rd, 16);
+        assert_eq!(t.t_rcd_wr, 16);
+        assert_eq!(t.t_wr, 16);
+        assert_eq!(t.t_faw, 12);
+        assert_eq!(t.t_ccd_l, 2);
+        assert_eq!(t.t_ccd_s, 1);
+        assert_eq!(t.t_ccd_r, 2);
+        assert_eq!(t.t_rrd_s, 2);
+    }
+
+    #[test]
+    fn derived_spacings() {
+        let t = TimingParams::hbm4();
+        assert_eq!(t.read_to_precharge(), 5);
+        assert_eq!(t.write_to_precharge(1), 14 + 1 + 16);
+        assert_eq!(t.write_to_read(true, 1), 14 + 1 + 9);
+        assert_eq!(t.write_to_read(false, 1), 14 + 1 + 3);
+        assert_eq!(TimingParams::conventional_parameter_count(), 15);
+    }
+
+    #[test]
+    fn inconsistent_parameters_are_rejected() {
+        let mut t = TimingParams::hbm4();
+        t.t_rc = 10;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::hbm4();
+        t.t_ccd_s = 5;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::hbm4();
+        t.t_rrd_l = 1;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::hbm4();
+        t.t_rtp = 0;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::hbm4();
+        t.t_rfc_pb = 1000;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_hbm4() {
+        assert_eq!(TimingParams::default(), TimingParams::hbm4());
+    }
+}

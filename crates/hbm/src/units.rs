@@ -1,0 +1,184 @@
+//! Base units used throughout the memory-system model.
+//!
+//! All DRAM timing is expressed in integer nanoseconds. At HBM4's 8 Gb/s data
+//! rate a 32-byte burst on a 32-bit pseudo channel occupies the data bus for
+//! exactly one nanosecond, so `1 ns == 1 column-command slot (tCCDS)`. Using a
+//! plain integer keeps the hot simulation loops allocation- and
+//! rounding-free; higher layers convert to seconds only when reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation time in nanoseconds (one "cycle" of the model).
+pub type Cycle = u64;
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+
+/// One mebibyte (1024 * 1024 bytes).
+pub const MIB: u64 = 1024 * 1024;
+
+/// One gibibyte.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// The cache-line-sized access granularity of a conventional HBM4 pseudo
+/// channel (GPU cache line, §II-A of the paper).
+pub const CACHE_LINE_BYTES: u64 = 32;
+
+/// Convert a byte count and a duration in nanoseconds into GB/s
+/// (decimal gigabytes, as used for bandwidth figures in the paper).
+///
+/// Returns `0.0` when `ns == 0`.
+///
+/// ```
+/// // 32 bytes in 1 ns is 32 GB/s, the HBM4 per-PC bandwidth.
+/// assert_eq!(rome_hbm::units::bytes_per_ns_to_gbps(32, 1), 32.0);
+/// ```
+pub fn bytes_per_ns_to_gbps(bytes: u64, ns: Cycle) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        bytes as f64 / ns as f64
+    }
+}
+
+/// Convert gigabytes per second into bytes per nanosecond (identical numeric
+/// value; provided for readability at call sites).
+pub fn gbps_to_bytes_per_ns(gbps: f64) -> f64 {
+    gbps
+}
+
+/// A data size, in bytes, with convenience constructors and pretty printing.
+///
+/// ```
+/// use rome_hbm::units::DataSize;
+/// let sz = DataSize::from_mib(12);
+/// assert_eq!(sz.bytes(), 12 * 1024 * 1024);
+/// assert_eq!(sz.to_string(), "12.00 MiB");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct DataSize(u64);
+
+impl DataSize {
+    /// Create a size from a raw byte count.
+    pub const fn from_bytes(bytes: u64) -> Self {
+        DataSize(bytes)
+    }
+
+    /// Create a size from kibibytes.
+    pub const fn from_kib(kib: u64) -> Self {
+        DataSize(kib * KIB)
+    }
+
+    /// Create a size from mebibytes.
+    pub const fn from_mib(mib: u64) -> Self {
+        DataSize(mib * MIB)
+    }
+
+    /// Create a size from gibibytes.
+    pub const fn from_gib(gib: u64) -> Self {
+        DataSize(gib * GIB)
+    }
+
+    /// The raw byte count.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// The size in mebibytes, as a float.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// The size in kibibytes, as a float.
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / KIB as f64
+    }
+
+    /// Saturating addition of two sizes.
+    pub fn saturating_add(self, other: DataSize) -> DataSize {
+        DataSize(self.0.saturating_add(other.0))
+    }
+}
+
+impl std::ops::Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        DataSize(iter.map(|d| d.0).sum())
+    }
+}
+
+impl From<u64> for DataSize {
+    fn from(bytes: u64) -> Self {
+        DataSize(bytes)
+    }
+}
+
+impl std::fmt::Display for DataSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0 as f64;
+        if self.0 >= GIB {
+            write!(f, "{:.2} GiB", b / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2} MiB", b / MIB as f64)
+        } else if self.0 >= KIB {
+            write!(f, "{:.2} KiB", b / KIB as f64)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_conversion_round_trip() {
+        assert_eq!(bytes_per_ns_to_gbps(64, 2), 32.0);
+        assert_eq!(bytes_per_ns_to_gbps(0, 0), 0.0);
+        assert_eq!(gbps_to_bytes_per_ns(32.0), 32.0);
+    }
+
+    #[test]
+    fn data_size_constructors_and_display() {
+        assert_eq!(DataSize::from_kib(4).bytes(), 4096);
+        assert_eq!(DataSize::from_mib(1).bytes(), MIB);
+        assert_eq!(DataSize::from_gib(2).bytes(), 2 * GIB);
+        assert_eq!(DataSize::from_bytes(100).to_string(), "100 B");
+        assert_eq!(DataSize::from_kib(4).to_string(), "4.00 KiB");
+        assert_eq!(DataSize::from_gib(1).to_string(), "1.00 GiB");
+    }
+
+    #[test]
+    fn data_size_arithmetic() {
+        let a = DataSize::from_kib(1) + DataSize::from_kib(3);
+        assert_eq!(a, DataSize::from_kib(4));
+        let mut b = DataSize::from_bytes(10);
+        b += DataSize::from_bytes(20);
+        assert_eq!(b.bytes(), 30);
+        let total: DataSize = [DataSize::from_kib(1), DataSize::from_kib(2)].into_iter().sum();
+        assert_eq!(total, DataSize::from_kib(3));
+        assert_eq!(
+            DataSize::from_bytes(u64::MAX).saturating_add(DataSize::from_bytes(1)),
+            DataSize::from_bytes(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn data_size_fraction_views() {
+        assert_eq!(DataSize::from_mib(3).as_mib(), 3.0);
+        assert_eq!(DataSize::from_kib(5).as_kib(), 5.0);
+    }
+}

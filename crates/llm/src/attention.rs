@@ -1,0 +1,186 @@
+//! Attention-layer configurations: grouped-query attention (GQA) and
+//! multi-head latent attention (MLA).
+//!
+//! The two mechanisms differ in what they store per token (full K/V heads vs
+//! a compressed latent) and in their projection weights, which is why the
+//! paper's three models show such different KV-cache footprints (Figure 1)
+//! and channel-load-balance behaviour (Figure 13).
+
+use serde::{Deserialize, Serialize};
+
+/// The attention mechanism of one decoder layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttentionConfig {
+    /// Grouped-query attention: `heads` query heads share `kv_heads` K/V
+    /// heads of dimension `head_dim`.
+    Gqa {
+        /// Number of query heads.
+        heads: u32,
+        /// Number of key/value heads.
+        kv_heads: u32,
+        /// Dimension of each head.
+        head_dim: u32,
+    },
+    /// Multi-head latent attention (DeepSeek): K/V are compressed into a
+    /// latent of `kv_lora_rank` dimensions plus a shared `rope_dim` rotary
+    /// component; queries are also low-rank projected through `q_lora_rank`.
+    Mla {
+        /// Number of query heads.
+        heads: u32,
+        /// Per-head dimension of the non-rotary (nope) part.
+        nope_head_dim: u32,
+        /// Per-head dimension of the rotary part.
+        rope_head_dim: u32,
+        /// Per-head value dimension.
+        v_head_dim: u32,
+        /// Rank of the query low-rank projection.
+        q_lora_rank: u32,
+        /// Rank of the compressed KV latent.
+        kv_lora_rank: u32,
+    },
+}
+
+impl AttentionConfig {
+    /// Number of query heads.
+    pub fn heads(&self) -> u32 {
+        match *self {
+            AttentionConfig::Gqa { heads, .. } | AttentionConfig::Mla { heads, .. } => heads,
+        }
+    }
+
+    /// Bytes of KV-cache state stored per token per layer (before any
+    /// parallel partitioning), for elements of `dtype_bytes` bytes.
+    pub fn kv_bytes_per_token(&self, dtype_bytes: u64) -> u64 {
+        match *self {
+            AttentionConfig::Gqa { kv_heads, head_dim, .. } => {
+                2 * kv_heads as u64 * head_dim as u64 * dtype_bytes
+            }
+            AttentionConfig::Mla { kv_lora_rank, rope_head_dim, .. } => {
+                (kv_lora_rank as u64 + rope_head_dim as u64) * dtype_bytes
+            }
+        }
+    }
+
+    /// Number of projection-weight parameters per layer, given the model
+    /// hidden size.
+    pub fn weight_params(&self, hidden: u64) -> u64 {
+        match *self {
+            AttentionConfig::Gqa { heads, kv_heads, head_dim, .. } => {
+                let q = hidden * heads as u64 * head_dim as u64;
+                let k = hidden * kv_heads as u64 * head_dim as u64;
+                let v = k;
+                let o = heads as u64 * head_dim as u64 * hidden;
+                q + k + v + o
+            }
+            AttentionConfig::Mla {
+                heads,
+                nope_head_dim,
+                rope_head_dim,
+                v_head_dim,
+                q_lora_rank,
+                kv_lora_rank,
+            } => {
+                let q_down = hidden * q_lora_rank as u64;
+                let q_up = q_lora_rank as u64 * heads as u64 * (nope_head_dim + rope_head_dim) as u64;
+                let kv_down = hidden * (kv_lora_rank + rope_head_dim) as u64;
+                let kv_up =
+                    kv_lora_rank as u64 * heads as u64 * (nope_head_dim + v_head_dim) as u64;
+                let o = heads as u64 * v_head_dim as u64 * hidden;
+                q_down + q_up + kv_down + kv_up + o
+            }
+        }
+    }
+
+    /// FLOPs of the projection GEMMs for `tokens` tokens (2 FLOPs per
+    /// parameter per token).
+    pub fn projection_flops(&self, hidden: u64, tokens: u64) -> u64 {
+        2 * self.weight_params(hidden) * tokens
+    }
+
+    /// FLOPs of the score+context attention computation for `tokens` new
+    /// tokens attending over a context of `context_len` tokens.
+    pub fn attention_flops(&self, context_len: u64, tokens: u64) -> u64 {
+        match *self {
+            AttentionConfig::Gqa { heads, head_dim, .. } => {
+                // QK^T and PV: 2 × 2 × heads × head_dim per (token, context).
+                4 * heads as u64 * head_dim as u64 * context_len * tokens
+            }
+            AttentionConfig::Mla { heads, nope_head_dim, rope_head_dim, v_head_dim, .. } => {
+                let score_dim = (nope_head_dim + rope_head_dim) as u64;
+                2 * heads as u64 * (score_dim + v_head_dim as u64) * context_len * tokens
+            }
+        }
+    }
+
+    /// Whether this is multi-head latent attention.
+    pub fn is_mla(&self) -> bool {
+        matches!(self, AttentionConfig::Mla { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gqa_llama() -> AttentionConfig {
+        AttentionConfig::Gqa { heads: 128, kv_heads: 8, head_dim: 128 }
+    }
+
+    fn mla_deepseek() -> AttentionConfig {
+        AttentionConfig::Mla {
+            heads: 128,
+            nope_head_dim: 128,
+            rope_head_dim: 64,
+            v_head_dim: 128,
+            q_lora_rank: 1536,
+            kv_lora_rank: 512,
+        }
+    }
+
+    #[test]
+    fn gqa_kv_bytes_per_token() {
+        // Llama-3-405B: 2 (K+V) × 8 heads × 128 dims × 2 B = 4 KiB per token
+        // per layer.
+        assert_eq!(gqa_llama().kv_bytes_per_token(2), 4096);
+    }
+
+    #[test]
+    fn mla_kv_is_an_order_of_magnitude_smaller_than_gqa() {
+        // DeepSeek-V3 stores 512 + 64 = 576 elements = 1152 B per token.
+        assert_eq!(mla_deepseek().kv_bytes_per_token(2), 1152);
+        assert!(mla_deepseek().kv_bytes_per_token(2) < gqa_llama().kv_bytes_per_token(2));
+    }
+
+    #[test]
+    fn gqa_weight_params_scale_with_heads() {
+        let hidden = 16384u64;
+        let params = gqa_llama().weight_params(hidden);
+        // Q: 16384×16384, K/V: 16384×1024 each, O: 16384×16384.
+        let expected = hidden * 16384 + 2 * hidden * 1024 + 16384 * hidden;
+        assert_eq!(params, expected);
+    }
+
+    #[test]
+    fn mla_weight_params_are_positive_and_dominated_by_up_projections() {
+        let params = mla_deepseek().weight_params(7168);
+        // DeepSeek-V3 attention weights are roughly 187 M parameters/layer.
+        assert!(params > 150_000_000 && params < 250_000_000, "{params}");
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_tokens_and_context() {
+        let a = gqa_llama();
+        assert_eq!(a.projection_flops(1024, 4), 4 * a.projection_flops(1024, 1));
+        assert_eq!(a.attention_flops(1000, 2), 2 * a.attention_flops(1000, 1));
+        assert_eq!(a.attention_flops(2000, 1), 2 * a.attention_flops(1000, 1));
+        assert!(mla_deepseek().attention_flops(8192, 1) > 0);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(mla_deepseek().is_mla());
+        assert!(!gqa_llama().is_mla());
+        assert_eq!(gqa_llama().heads(), 128);
+        assert_eq!(mla_deepseek().heads(), 128);
+    }
+}

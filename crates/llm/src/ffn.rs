@@ -1,0 +1,178 @@
+//! Feed-forward-network configurations: dense FFN and mixture of experts.
+//!
+//! MoE layers only activate `top_k` of their experts per token, so the
+//! weight traffic of a decode step depends on how many *distinct* experts the
+//! batch touches — the effect that drives the paper's Figure 13 discussion of
+//! `LBR_FFN` improving with batch size.
+
+use serde::{Deserialize, Serialize};
+
+/// The FFN of one decoder layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FfnConfig {
+    /// Dense gated FFN (gate, up, down projections).
+    Dense {
+        /// Intermediate dimension.
+        intermediate: u32,
+    },
+    /// Mixture of experts with `experts` routed experts of intermediate size
+    /// `expert_intermediate`, `top_k` active per token, plus
+    /// `shared_experts` always-active experts.
+    Moe {
+        /// Number of routed experts.
+        experts: u32,
+        /// Experts selected per token.
+        top_k: u32,
+        /// Intermediate dimension of each expert.
+        expert_intermediate: u32,
+        /// Number of always-active shared experts.
+        shared_experts: u32,
+    },
+}
+
+impl FfnConfig {
+    /// Parameters of one expert (or of the dense FFN): gate + up + down.
+    fn gated_params(hidden: u64, intermediate: u64) -> u64 {
+        3 * hidden * intermediate
+    }
+
+    /// Total FFN weight parameters per layer.
+    pub fn weight_params(&self, hidden: u64) -> u64 {
+        match *self {
+            FfnConfig::Dense { intermediate } => Self::gated_params(hidden, intermediate as u64),
+            FfnConfig::Moe { experts, expert_intermediate, shared_experts, .. } => {
+                let per_expert = Self::gated_params(hidden, expert_intermediate as u64);
+                (experts as u64 + shared_experts as u64) * per_expert
+                    // Router weights.
+                    + hidden * experts as u64
+            }
+        }
+    }
+
+    /// Parameters that participate in computing one token (active experts
+    /// only for MoE).
+    pub fn active_params_per_token(&self, hidden: u64) -> u64 {
+        match *self {
+            FfnConfig::Dense { intermediate } => Self::gated_params(hidden, intermediate as u64),
+            FfnConfig::Moe { experts, top_k, expert_intermediate, shared_experts } => {
+                let per_expert = Self::gated_params(hidden, expert_intermediate as u64);
+                (top_k as u64 + shared_experts as u64) * per_expert + hidden * experts as u64
+            }
+        }
+    }
+
+    /// Expected number of *distinct* routed experts activated by a batch of
+    /// `batch` tokens (uniform routing assumption): `E · (1 − (1 − k/E)^B)`.
+    pub fn expected_active_experts(&self, batch: u64) -> f64 {
+        match *self {
+            FfnConfig::Dense { .. } => 1.0,
+            FfnConfig::Moe { experts, top_k, .. } => {
+                let e = experts as f64;
+                let k = top_k as f64;
+                e * (1.0 - (1.0 - k / e).powf(batch as f64))
+            }
+        }
+    }
+
+    /// Expected weight parameters *read from memory* by a decode step over a
+    /// batch of `batch` tokens: distinct activated experts (plus shared
+    /// experts and the router) for MoE; the whole FFN for dense.
+    pub fn weight_params_touched(&self, hidden: u64, batch: u64) -> u64 {
+        match *self {
+            FfnConfig::Dense { intermediate } => Self::gated_params(hidden, intermediate as u64),
+            FfnConfig::Moe { experts, expert_intermediate, shared_experts, .. } => {
+                let per_expert = Self::gated_params(hidden, expert_intermediate as u64);
+                let distinct = self.expected_active_experts(batch);
+                (distinct * per_expert as f64) as u64
+                    + shared_experts as u64 * per_expert
+                    + hidden * experts as u64
+            }
+        }
+    }
+
+    /// FLOPs for `tokens` tokens (2 FLOPs per active parameter per token).
+    pub fn flops(&self, hidden: u64, tokens: u64) -> u64 {
+        2 * self.active_params_per_token(hidden) * tokens
+    }
+
+    /// Whether this is a mixture-of-experts FFN.
+    pub fn is_moe(&self) -> bool {
+        matches!(self, FfnConfig::Moe { .. })
+    }
+
+    /// The intermediate dimension (per expert for MoE).
+    pub fn intermediate(&self) -> u32 {
+        match *self {
+            FfnConfig::Dense { intermediate } => intermediate,
+            FfnConfig::Moe { expert_intermediate, .. } => expert_intermediate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deepseek_moe() -> FfnConfig {
+        FfnConfig::Moe { experts: 256, top_k: 8, expert_intermediate: 2048, shared_experts: 1 }
+    }
+
+    fn grok_moe() -> FfnConfig {
+        FfnConfig::Moe { experts: 8, top_k: 2, expert_intermediate: 32768, shared_experts: 0 }
+    }
+
+    fn llama_dense() -> FfnConfig {
+        FfnConfig::Dense { intermediate: 53248 }
+    }
+
+    #[test]
+    fn dense_weight_params() {
+        // Llama-3-405B FFN: 3 × 16384 × 53248 ≈ 2.6 G params per layer.
+        let p = llama_dense().weight_params(16384);
+        assert_eq!(p, 3 * 16384 * 53248);
+        assert_eq!(llama_dense().active_params_per_token(16384), p);
+        assert_eq!(llama_dense().weight_params_touched(16384, 1000), p);
+    }
+
+    #[test]
+    fn moe_active_params_are_much_smaller_than_total() {
+        let total = deepseek_moe().weight_params(7168);
+        let active = deepseek_moe().active_params_per_token(7168);
+        assert!(active * 20 < total, "active {active} vs total {total}");
+    }
+
+    #[test]
+    fn expected_active_experts_grows_with_batch_and_saturates() {
+        let moe = deepseek_moe();
+        let small = moe.expected_active_experts(1);
+        let medium = moe.expected_active_experts(64);
+        let large = moe.expected_active_experts(1024);
+        assert!((small - 8.0).abs() < 0.2);
+        assert!(medium > small && large > medium);
+        assert!(large <= 256.0);
+        assert!(large > 250.0, "batch 1024 should touch nearly all experts: {large}");
+        // Grok-1 saturates its 8 experts at small batches (the paper notes
+        // all experts begin to be selected around batch 8).
+        assert!(grok_moe().expected_active_experts(8) > 7.0);
+    }
+
+    #[test]
+    fn weight_params_touched_interpolates_between_active_and_total() {
+        let moe = deepseek_moe();
+        let touched_small = moe.weight_params_touched(7168, 1);
+        let touched_large = moe.weight_params_touched(7168, 4096);
+        let total = moe.weight_params(7168);
+        assert!(touched_small < touched_large);
+        assert!(touched_large <= total);
+        assert!(touched_large as f64 > 0.95 * total as f64);
+    }
+
+    #[test]
+    fn flops_and_helpers() {
+        assert!(deepseek_moe().is_moe());
+        assert!(!llama_dense().is_moe());
+        assert_eq!(llama_dense().intermediate(), 53248);
+        assert_eq!(deepseek_moe().intermediate(), 2048);
+        assert_eq!(llama_dense().flops(16384, 2), 2 * llama_dense().flops(16384, 1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Data-size distribution of LLM operators (the paper's Figure 1).
+//!
+//! Figure 1 plots, for each model and stage, the distribution of the sizes of
+//! the weight, activation, and KV-cache objects accessed by individual
+//! operations. The point of the figure is that almost every object is
+//! hundreds of kilobytes to tens of megabytes — orders of magnitude larger
+//! than a 32 B cache line — which is what motivates row-granularity access.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelConfig;
+use crate::ops::{decode_step, prefill_step};
+use crate::parallelism::Parallelism;
+use crate::types::{DataKind, Stage};
+
+/// One point of the Figure 1 distribution: the size of one data object
+/// touched by one operator execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FootprintRow {
+    /// Model name.
+    pub model: String,
+    /// Prefill or decode.
+    pub stage: Stage,
+    /// Weight / activation / KV cache.
+    pub kind: DataKind,
+    /// Operator name.
+    pub operator: String,
+    /// Size of the object in bytes (per device).
+    pub bytes: u64,
+}
+
+/// Produce the Figure 1 rows for one model and stage at the given batch and
+/// sequence length.
+pub fn footprint_rows(model: &ModelConfig, stage: Stage, batch: u64, seq_len: u64) -> Vec<FootprintRow> {
+    let par = Parallelism::paper(model, stage);
+    let step = match stage {
+        Stage::Decode => decode_step(model, &par, batch, seq_len),
+        Stage::Prefill => prefill_step(model, &par, batch, seq_len),
+    };
+    let mut rows = Vec::new();
+    for op in &step.operators {
+        for (kind, bytes) in [
+            (DataKind::Weight, op.weight_bytes),
+            (DataKind::Activation, op.activation_bytes),
+            (DataKind::KvCache, op.kv_bytes),
+        ] {
+            if bytes > 0 {
+                rows.push(FootprintRow {
+                    model: model.name.clone(),
+                    stage,
+                    kind,
+                    operator: op.name.clone(),
+                    bytes,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Summary statistics of one (model, stage, kind) group of Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FootprintSummary {
+    /// Model name.
+    pub model: String,
+    /// Stage.
+    pub stage: Stage,
+    /// Data kind.
+    pub kind: DataKind,
+    /// Smallest object in bytes.
+    pub min_bytes: u64,
+    /// Largest object in bytes.
+    pub max_bytes: u64,
+    /// Median object size in bytes.
+    pub median_bytes: u64,
+}
+
+/// Group Figure 1 rows into per-(model, stage, kind) summaries.
+pub fn summarize(rows: &[FootprintRow]) -> Vec<FootprintSummary> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String, String), Vec<u64>> = BTreeMap::new();
+    for r in rows {
+        groups
+            .entry((r.model.clone(), r.stage.to_string(), r.kind.to_string()))
+            .or_default()
+            .push(r.bytes);
+    }
+    let mut out = Vec::new();
+    for r in rows {
+        let key = (r.model.clone(), r.stage.to_string(), r.kind.to_string());
+        if out.iter().any(|s: &FootprintSummary| {
+            s.model == r.model && s.stage == r.stage && s.kind == r.kind
+        }) {
+            continue;
+        }
+        let mut sizes = groups[&key].clone();
+        sizes.sort_unstable();
+        out.push(FootprintSummary {
+            model: r.model.clone(),
+            stage: r.stage,
+            kind: r.kind,
+            min_bytes: sizes[0],
+            max_bytes: *sizes.last().expect("non-empty"),
+            median_bytes: sizes[sizes.len() / 2],
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_objects_exceed_hundreds_of_kilobytes_in_decode() {
+        // The paper's core observation: weight and KV-cache objects are far
+        // larger than a cache line; most exceed several hundred KB.
+        for model in ModelConfig::paper_models() {
+            let rows = footprint_rows(&model, Stage::Decode, 256, 8192);
+            let big = rows.iter().filter(|r| r.bytes > 256 * 1024).count();
+            assert!(
+                big * 2 > rows.len(),
+                "{}: only {big}/{} objects exceed 256 KiB",
+                model.name,
+                rows.len()
+            );
+            // And every weight or KV object is far larger than a 32 B line.
+            assert!(rows
+                .iter()
+                .filter(|r| r.kind != DataKind::Activation)
+                .all(|r| r.bytes > 10 * 1024));
+        }
+    }
+
+    #[test]
+    fn grok_weight_matrices_exceed_12_mib_under_tp8() {
+        // Fig. 1 notes Grok-1's weight matrices (other than one small one)
+        // exceed 12 MB model-wide; per device under TP-8 the attention and
+        // expert matrices remain megabytes.
+        let rows = footprint_rows(&ModelConfig::grok_1(), Stage::Decode, 64, 8192);
+        let weight_rows: Vec<_> = rows.iter().filter(|r| r.kind == DataKind::Weight).collect();
+        assert!(weight_rows.iter().any(|r| r.bytes > 12 * 1024 * 1024));
+    }
+
+    #[test]
+    fn decode_kv_cache_is_larger_than_prefill_kv_per_step() {
+        // In decode the KV cache holds input + generated tokens and is
+        // re-read per token; the per-step KV traffic exceeds the prefill
+        // per-token share.
+        let model = ModelConfig::llama3_405b();
+        let decode = footprint_rows(&model, Stage::Decode, 64, 8192);
+        let kv_decode: u64 =
+            decode.iter().filter(|r| r.kind == DataKind::KvCache).map(|r| r.bytes).max().unwrap();
+        assert!(kv_decode > 1 << 27, "decode KV object {kv_decode} too small");
+    }
+
+    #[test]
+    fn prefill_activations_reach_tens_of_megabytes() {
+        let model = ModelConfig::deepseek_v3();
+        let rows = footprint_rows(&model, Stage::Prefill, 64, 8192);
+        let act_max = rows
+            .iter()
+            .filter(|r| r.kind == DataKind::Activation)
+            .map(|r| r.bytes)
+            .max()
+            .unwrap();
+        assert!(act_max > 10 * 1024 * 1024, "max prefill activation {act_max}");
+    }
+
+    #[test]
+    fn summaries_cover_every_present_kind() {
+        let rows = footprint_rows(&ModelConfig::grok_1(), Stage::Decode, 64, 8192);
+        let sums = summarize(&rows);
+        assert!(sums.len() >= 3);
+        for s in &sums {
+            assert!(s.min_bytes <= s.median_bytes && s.median_bytes <= s.max_bytes);
+        }
+    }
+}

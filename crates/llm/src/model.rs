@@ -1,0 +1,225 @@
+//! Model configurations for the three LLMs the paper evaluates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attention::AttentionConfig;
+use crate::ffn::FfnConfig;
+use crate::types::Dtype;
+
+/// The architecture description of one transformer-decoder LLM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of decoder blocks.
+    pub layers: u32,
+    /// Hidden (embedding) dimension.
+    pub hidden: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Attention mechanism of every layer.
+    pub attention: AttentionConfig,
+    /// FFN of the non-dense layers.
+    pub ffn: FfnConfig,
+    /// Leading layers that use a dense FFN even in an MoE model
+    /// (DeepSeek-V3 uses 3).
+    pub leading_dense_layers: u32,
+    /// Intermediate size of those leading dense layers.
+    pub leading_dense_intermediate: u32,
+    /// Element type of the weights and KV cache.
+    pub dtype: Dtype,
+}
+
+impl ModelConfig {
+    /// DeepSeek-V3 (671 B parameters): MLA attention and a 256-expert MoE
+    /// with 8 routed + 1 shared expert active per token.
+    pub fn deepseek_v3() -> Self {
+        ModelConfig {
+            name: "DeepSeek-V3".to_string(),
+            layers: 61,
+            hidden: 7168,
+            vocab: 129_280,
+            attention: AttentionConfig::Mla {
+                heads: 128,
+                nope_head_dim: 128,
+                rope_head_dim: 64,
+                v_head_dim: 128,
+                q_lora_rank: 1536,
+                kv_lora_rank: 512,
+            },
+            ffn: FfnConfig::Moe { experts: 256, top_k: 8, expert_intermediate: 2048, shared_experts: 1 },
+            leading_dense_layers: 3,
+            leading_dense_intermediate: 18_432,
+            dtype: Dtype::Bf16,
+        }
+    }
+
+    /// Grok-1 (314 B parameters): GQA and an 8-expert MoE with 2 experts
+    /// active per token.
+    pub fn grok_1() -> Self {
+        ModelConfig {
+            name: "Grok 1".to_string(),
+            layers: 64,
+            hidden: 6144,
+            vocab: 131_072,
+            attention: AttentionConfig::Gqa { heads: 48, kv_heads: 8, head_dim: 128 },
+            ffn: FfnConfig::Moe { experts: 8, top_k: 2, expert_intermediate: 32_768, shared_experts: 0 },
+            leading_dense_layers: 0,
+            leading_dense_intermediate: 0,
+            dtype: Dtype::Bf16,
+        }
+    }
+
+    /// Llama-3-405B: GQA and a dense FFN.
+    pub fn llama3_405b() -> Self {
+        ModelConfig {
+            name: "Llama 3".to_string(),
+            layers: 126,
+            hidden: 16_384,
+            vocab: 128_256,
+            attention: AttentionConfig::Gqa { heads: 128, kv_heads: 8, head_dim: 128 },
+            ffn: FfnConfig::Dense { intermediate: 53_248 },
+            leading_dense_layers: 0,
+            leading_dense_intermediate: 0,
+            dtype: Dtype::Bf16,
+        }
+    }
+
+    /// The three models of the paper's evaluation, in the order of Fig. 12.
+    pub fn paper_models() -> Vec<ModelConfig> {
+        vec![ModelConfig::deepseek_v3(), ModelConfig::grok_1(), ModelConfig::llama3_405b()]
+    }
+
+    /// The FFN configuration of layer `layer` (leading layers may be dense).
+    pub fn ffn_of_layer(&self, layer: u32) -> FfnConfig {
+        if layer < self.leading_dense_layers {
+            FfnConfig::Dense { intermediate: self.leading_dense_intermediate }
+        } else {
+            self.ffn
+        }
+    }
+
+    /// Total parameter count of the model (decoder blocks + embedding +
+    /// LM head).
+    pub fn total_params(&self) -> u64 {
+        let mut params = 0u64;
+        for layer in 0..self.layers {
+            params += self.attention.weight_params(self.hidden as u64);
+            params += self.ffn_of_layer(layer).weight_params(self.hidden as u64);
+            // Two RMSNorm weight vectors per block.
+            params += 2 * self.hidden as u64;
+        }
+        // Token embedding and LM head.
+        params += 2 * self.vocab as u64 * self.hidden as u64;
+        params
+    }
+
+    /// Total weight footprint in bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        self.total_params() * self.dtype.bytes()
+    }
+
+    /// KV-cache bytes per token across all layers.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        self.layers as u64 * self.attention.kv_bytes_per_token(self.dtype.bytes())
+    }
+
+    /// KV-cache bytes for a whole batch of sequences of `seq_len` tokens.
+    pub fn kv_bytes(&self, batch: u64, seq_len: u64) -> u64 {
+        batch * seq_len * self.kv_bytes_per_token()
+    }
+
+    /// The largest batch (power of two) whose weights + KV cache fit in
+    /// `capacity_bytes` of memory at sequence length `seq_len` — the paper's
+    /// "maximum batch size is constrained by memory capacity".
+    pub fn max_batch_for_capacity(&self, capacity_bytes: u64, seq_len: u64) -> u64 {
+        let weights = self.weight_bytes();
+        if weights >= capacity_bytes {
+            return 0;
+        }
+        let per_seq = self.kv_bytes(1, seq_len) + 4 * 1024 * 1024;
+        let fit = (capacity_bytes - weights) / per_seq.max(1);
+        // Round down to a power of two, as the paper's sweeps do.
+        if fit == 0 {
+            0
+        } else {
+            1u64 << (63 - fit.leading_zeros())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_are_in_the_published_ballpark() {
+        let ds = ModelConfig::deepseek_v3();
+        let grok = ModelConfig::grok_1();
+        let llama = ModelConfig::llama3_405b();
+        let ds_b = ds.total_params() as f64 / 1e9;
+        let grok_b = grok.total_params() as f64 / 1e9;
+        let llama_b = llama.total_params() as f64 / 1e9;
+        assert!((600.0..750.0).contains(&ds_b), "DeepSeek-V3 {ds_b:.0} B");
+        assert!((280.0..360.0).contains(&grok_b), "Grok-1 {grok_b:.0} B");
+        assert!((380.0..440.0).contains(&llama_b), "Llama-3 {llama_b:.0} B");
+    }
+
+    #[test]
+    fn kv_cache_per_token_ordering_matches_the_architectures() {
+        let ds = ModelConfig::deepseek_v3();
+        let grok = ModelConfig::grok_1();
+        let llama = ModelConfig::llama3_405b();
+        // MLA compresses the per-token KV state far below GQA.
+        assert!(ds.kv_bytes_per_token() < grok.kv_bytes_per_token());
+        assert!(grok.kv_bytes_per_token() < llama.kv_bytes_per_token());
+        // Llama-3-405B: 126 layers × 4 KiB = 516,096 B per token.
+        assert_eq!(llama.kv_bytes_per_token(), 126 * 4096);
+        // DeepSeek-V3: 61 layers × 1152 B.
+        assert_eq!(ds.kv_bytes_per_token(), 61 * 1152);
+    }
+
+    #[test]
+    fn leading_dense_layers_of_deepseek() {
+        let ds = ModelConfig::deepseek_v3();
+        assert!(!ds.ffn_of_layer(0).is_moe());
+        assert!(!ds.ffn_of_layer(2).is_moe());
+        assert!(ds.ffn_of_layer(3).is_moe());
+        let grok = ModelConfig::grok_1();
+        assert!(grok.ffn_of_layer(0).is_moe());
+    }
+
+    #[test]
+    fn weight_bytes_fit_in_the_paper_memory_system() {
+        // The paper's system has 8 accelerators × 256 GB = 2 TB total; each
+        // model's BF16 weights must fit comfortably.
+        let total_capacity: u64 = 8 * 256 * (1 << 30);
+        for m in ModelConfig::paper_models() {
+            assert!(m.weight_bytes() < total_capacity * 3 / 4, "{} too large", m.name);
+        }
+    }
+
+    #[test]
+    fn max_batch_is_limited_by_kv_cache_growth() {
+        let llama = ModelConfig::llama3_405b();
+        let capacity: u64 = 8 * 256 * (1 << 30);
+        let at_8k = llama.max_batch_for_capacity(capacity, 8192);
+        // Fig. 12 sweeps Llama-3 up to batch 256 at 8K context.
+        assert!((256..=512).contains(&at_8k), "batch {at_8k}");
+        let ds = ModelConfig::deepseek_v3();
+        let ds_batch = ds.max_batch_for_capacity(capacity, 8192);
+        // DeepSeek-V3's compressed KV cache allows ~1024.
+        assert!(ds_batch >= 1024, "batch {ds_batch}");
+        // Weights alone exceeding capacity yields zero.
+        assert_eq!(llama.max_batch_for_capacity(1 << 30, 8192), 0);
+    }
+
+    #[test]
+    fn paper_models_are_three_and_named() {
+        let models = ModelConfig::paper_models();
+        assert_eq!(models.len(), 3);
+        assert_eq!(models[0].name, "DeepSeek-V3");
+        assert_eq!(models[1].name, "Grok 1");
+        assert_eq!(models[2].name, "Llama 3");
+    }
+}

@@ -1,0 +1,410 @@
+//! Per-operator FLOP and memory-traffic accounting.
+//!
+//! A [`StepTraffic`] describes everything one accelerator does for a single
+//! inference step (one decode iteration, or one prefill pass): a list of
+//! operators, each annotated with the bytes of weight / activation / KV-cache
+//! data it moves and the FLOPs it performs *on that device* given the
+//! parallelization strategy. `rome-sim` turns this into time by combining it
+//! with an accelerator and a memory system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelConfig;
+use crate::parallelism::Parallelism;
+use crate::traffic::StepTraffic;
+use crate::types::{DataKind, Stage};
+
+/// Coarse classification of operators (used to split attention vs FFN for
+/// the paper's Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Token embedding lookup.
+    Embedding,
+    /// Attention projections and score/context computation.
+    Attention,
+    /// Feed-forward network (dense or MoE experts).
+    Ffn,
+    /// Normalization and other element-wise work.
+    Elementwise,
+    /// The final language-model head.
+    LmHead,
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperatorKind::Embedding => "embedding",
+            OperatorKind::Attention => "attention",
+            OperatorKind::Ffn => "ffn",
+            OperatorKind::Elementwise => "elementwise",
+            OperatorKind::LmHead => "lm_head",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operator instance as executed by one device, possibly repeated across
+/// `repeat` identical layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Operator name (e.g. `"attn_proj"`, `"moe_experts"`).
+    pub name: String,
+    /// Coarse kind.
+    pub kind: OperatorKind,
+    /// How many times this operator runs per step (number of layers it
+    /// appears in).
+    pub repeat: u32,
+    /// Weight bytes read per execution (per device).
+    pub weight_bytes: u64,
+    /// Activation bytes read + written per execution (per device).
+    pub activation_bytes: u64,
+    /// KV-cache bytes read + written per execution (per device).
+    pub kv_bytes: u64,
+    /// Floating-point operations per execution (per device).
+    pub flops: u64,
+    /// Size of one independently-allocated weight object within this
+    /// operator (one projection matrix, one expert matrix, …). Zero means
+    /// the weight traffic is a single object. Used by the channel
+    /// load-balance analysis.
+    pub weight_unit_bytes: u64,
+    /// Size of one independently-allocated KV-cache object (one sequence's
+    /// per-layer cache). Zero means a single object.
+    pub kv_unit_bytes: u64,
+}
+
+impl Operator {
+    /// Total memory traffic of one execution, in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.weight_bytes + self.activation_bytes + self.kv_bytes
+    }
+
+    /// Memory traffic of one execution attributed to `kind`.
+    pub fn bytes_of(&self, kind: DataKind) -> u64 {
+        match kind {
+            DataKind::Weight => self.weight_bytes,
+            DataKind::Activation => self.activation_bytes,
+            DataKind::KvCache => self.kv_bytes,
+        }
+    }
+
+    /// Arithmetic intensity (FLOPs per byte) of one execution.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes() == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.bytes() as f64
+        }
+    }
+
+    /// Break one execution's traffic into independently-allocated memory
+    /// objects: weight matrices, per-sequence KV-cache slices, and the
+    /// activation buffer. The sum of the returned sizes equals
+    /// [`Operator::bytes`].
+    pub fn tensor_units(&self) -> Vec<(DataKind, u64)> {
+        fn split(total: u64, unit: u64, kind: DataKind, out: &mut Vec<(DataKind, u64)>) {
+            if total == 0 {
+                return;
+            }
+            if unit == 0 || unit >= total {
+                out.push((kind, total));
+                return;
+            }
+            let full = total / unit;
+            for _ in 0..full {
+                out.push((kind, unit));
+            }
+            if total % unit != 0 {
+                out.push((kind, total % unit));
+            }
+        }
+        let mut out = Vec::new();
+        split(self.weight_bytes, self.weight_unit_bytes, DataKind::Weight, &mut out);
+        split(self.kv_bytes, self.kv_unit_bytes, DataKind::KvCache, &mut out);
+        split(self.activation_bytes, 0, DataKind::Activation, &mut out);
+        out
+    }
+}
+
+fn attention_ops(
+    model: &ModelConfig,
+    par: &Parallelism,
+    stage: Stage,
+    batch: u64,
+    seq_len: u64,
+) -> Vec<Operator> {
+    let dtype = model.dtype.bytes();
+    let hidden = model.hidden as u64;
+    let tp = par.attention_tp as u64;
+    // Tokens processed by this device's attention in one step.
+    let device_sequences = par.attention_batch_share(batch);
+    let tokens = match stage {
+        Stage::Decode => device_sequences,
+        Stage::Prefill => device_sequences * seq_len,
+    };
+    // Context each new token attends over.
+    let context = match stage {
+        Stage::Decode => seq_len,
+        Stage::Prefill => seq_len / 2,
+    };
+
+    let proj_weight_bytes = model.attention.weight_params(hidden) * dtype / tp;
+    let proj_matrices = if model.attention.is_mla() { 5 } else { 4 };
+    let proj = Operator {
+        name: "attn_proj".to_string(),
+        kind: OperatorKind::Attention,
+        repeat: model.layers,
+        weight_bytes: proj_weight_bytes,
+        activation_bytes: 2 * tokens * hidden * dtype,
+        kv_bytes: 0,
+        flops: model.attention.projection_flops(hidden, tokens) / tp,
+        weight_unit_bytes: proj_weight_bytes / proj_matrices,
+        kv_unit_bytes: 0,
+    };
+
+    let kv_per_token = model.attention.kv_bytes_per_token(dtype);
+    let kv_read = match stage {
+        // Every generated token re-reads the whole per-layer KV cache of its
+        // sequences (split across TP for GQA; whole for MLA under DP).
+        Stage::Decode => device_sequences * seq_len * kv_per_token / tp,
+        // Prefill builds the cache and re-reads it roughly once.
+        Stage::Prefill => tokens * kv_per_token / tp,
+    };
+    let kv_write = tokens * kv_per_token / tp;
+    let score = Operator {
+        name: "attn_score_context".to_string(),
+        kind: OperatorKind::Attention,
+        repeat: model.layers,
+        weight_bytes: 0,
+        activation_bytes: 2 * tokens * hidden * dtype,
+        kv_bytes: kv_read + kv_write,
+        flops: model.attention.attention_flops(context, tokens) / tp,
+        weight_unit_bytes: 0,
+        // One sequence's per-layer cache is the independently-placed unit.
+        kv_unit_bytes: seq_len * kv_per_token / tp,
+    };
+
+    vec![proj, score]
+}
+
+fn ffn_ops(
+    model: &ModelConfig,
+    par: &Parallelism,
+    stage: Stage,
+    batch: u64,
+    seq_len: u64,
+) -> Vec<Operator> {
+    let dtype = model.dtype.bytes();
+    let hidden = model.hidden as u64;
+    let tokens = match stage {
+        Stage::Decode => batch,
+        Stage::Prefill => batch * seq_len,
+    };
+    let mut ops = Vec::new();
+
+    // Leading dense layers (DeepSeek-V3 has 3).
+    if model.leading_dense_layers > 0 {
+        let dense = crate::ffn::FfnConfig::Dense { intermediate: model.leading_dense_intermediate };
+        let weight_bytes = dense.weight_params(hidden) * dtype / par.ffn_tp as u64;
+        ops.push(Operator {
+            name: "dense_ffn_leading".to_string(),
+            kind: OperatorKind::Ffn,
+            repeat: model.leading_dense_layers,
+            weight_bytes,
+            activation_bytes: 2 * tokens * hidden * dtype,
+            kv_bytes: 0,
+            flops: dense.flops(hidden, tokens) / par.ffn_tp as u64,
+            weight_unit_bytes: weight_bytes / 3,
+            kv_unit_bytes: 0,
+        });
+    }
+
+    let main_layers = model.layers - model.leading_dense_layers;
+    if model.ffn.is_moe() {
+        // Expert parallelism: every device owns experts/EP experts and
+        // processes the tokens routed to them; the distinct experts a batch
+        // touches are spread uniformly over the devices.
+        let ep = par.expert_parallel as u64;
+        let touched = model.ffn.weight_params_touched(hidden, tokens);
+        // One expert projection matrix is the independently-placed unit.
+        let expert_matrix = hidden * model.ffn.intermediate() as u64 * dtype;
+        ops.push(Operator {
+            name: "moe_experts".to_string(),
+            kind: OperatorKind::Ffn,
+            repeat: main_layers,
+            weight_bytes: touched * dtype / ep,
+            activation_bytes: 2 * tokens * hidden * dtype / ep,
+            kv_bytes: 0,
+            flops: model.ffn.flops(hidden, tokens) / ep,
+            weight_unit_bytes: expert_matrix,
+            kv_unit_bytes: 0,
+        });
+    } else {
+        let weight_bytes = model.ffn.weight_params(hidden) * dtype / par.ffn_tp as u64;
+        ops.push(Operator {
+            name: "dense_ffn".to_string(),
+            kind: OperatorKind::Ffn,
+            repeat: main_layers,
+            weight_bytes,
+            activation_bytes: 2 * tokens * hidden * dtype,
+            kv_bytes: 0,
+            flops: model.ffn.flops(hidden, tokens) / par.ffn_tp as u64,
+            weight_unit_bytes: weight_bytes / 3,
+            kv_unit_bytes: 0,
+        });
+    }
+    ops
+}
+
+fn shared_ops(model: &ModelConfig, par: &Parallelism, stage: Stage, batch: u64, seq_len: u64) -> Vec<Operator> {
+    let dtype = model.dtype.bytes();
+    let hidden = model.hidden as u64;
+    let tokens = match stage {
+        Stage::Decode => batch,
+        Stage::Prefill => batch * seq_len,
+    };
+    let norm = Operator {
+        name: "rmsnorm".to_string(),
+        kind: OperatorKind::Elementwise,
+        repeat: 2 * model.layers,
+        weight_bytes: hidden * dtype,
+        activation_bytes: 2 * tokens * hidden * dtype,
+        kv_bytes: 0,
+        flops: 6 * tokens * hidden,
+        weight_unit_bytes: 0,
+        kv_unit_bytes: 0,
+    };
+    let embedding = Operator {
+        name: "embedding".to_string(),
+        kind: OperatorKind::Embedding,
+        repeat: 1,
+        weight_bytes: tokens * hidden * dtype,
+        activation_bytes: tokens * hidden * dtype,
+        kv_bytes: 0,
+        flops: tokens * hidden,
+        weight_unit_bytes: hidden * dtype,
+        kv_unit_bytes: 0,
+    };
+    let lm_head_weight = model.vocab as u64 * hidden * dtype / par.ffn_tp as u64;
+    let lm_head = Operator {
+        name: "lm_head".to_string(),
+        kind: OperatorKind::LmHead,
+        repeat: 1,
+        weight_bytes: lm_head_weight,
+        activation_bytes: (tokens * hidden + batch * model.vocab as u64) * dtype,
+        kv_bytes: 0,
+        flops: 2 * model.vocab as u64 * hidden * batch / par.ffn_tp as u64,
+        weight_unit_bytes: 0,
+        kv_unit_bytes: 0,
+    };
+    vec![norm, embedding, lm_head]
+}
+
+/// Build the per-device traffic of one **decode** step.
+pub fn decode_step(model: &ModelConfig, par: &Parallelism, batch: u64, seq_len: u64) -> StepTraffic {
+    build(model, par, Stage::Decode, batch, seq_len)
+}
+
+/// Build the per-device traffic of one **prefill** pass.
+pub fn prefill_step(model: &ModelConfig, par: &Parallelism, batch: u64, seq_len: u64) -> StepTraffic {
+    build(model, par, Stage::Prefill, batch, seq_len)
+}
+
+fn build(model: &ModelConfig, par: &Parallelism, stage: Stage, batch: u64, seq_len: u64) -> StepTraffic {
+    par.validate();
+    let mut operators = attention_ops(model, par, stage, batch, seq_len);
+    operators.extend(ffn_ops(model, par, stage, batch, seq_len));
+    operators.extend(shared_ops(model, par, stage, batch, seq_len));
+    StepTraffic { model: model.name.clone(), stage, batch, seq_len, operators }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_step_is_memory_dominated_for_every_paper_model() {
+        for model in ModelConfig::paper_models() {
+            let par = Parallelism::paper_decode(&model);
+            let step = decode_step(&model, &par, 64, 8192);
+            // Arithmetic intensity well under the 280 Op/B machine balance.
+            let ai = step.flops() as f64 / step.total_bytes() as f64;
+            assert!(ai < 280.0, "{}: decode AI {ai:.1}", model.name);
+        }
+    }
+
+    #[test]
+    fn prefill_is_compute_dominated_for_every_paper_model() {
+        for model in ModelConfig::paper_models() {
+            let par = Parallelism::paper_prefill(&model);
+            let step = prefill_step(&model, &par, 64, 8192);
+            let ai = step.flops() as f64 / step.total_bytes() as f64;
+            assert!(ai > 280.0, "{}: prefill AI {ai:.1}", model.name);
+        }
+    }
+
+    #[test]
+    fn llama_decode_weight_traffic_matches_weights_per_device() {
+        let model = ModelConfig::llama3_405b();
+        let par = Parallelism::paper_decode(&model);
+        let step = decode_step(&model, &par, 8, 8192);
+        let weight = step.bytes_of(DataKind::Weight);
+        // A dense model reads essentially all of its per-device weights every
+        // decode step: ~1/8 of 810 GB ≈ 101 GB.
+        let per_device_weights = model.weight_bytes() / 8;
+        let ratio = weight as f64 / per_device_weights as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn deepseek_moe_weight_traffic_grows_with_batch() {
+        let model = ModelConfig::deepseek_v3();
+        let par = Parallelism::paper_decode(&model);
+        let small = decode_step(&model, &par, 8, 8192).bytes_of(DataKind::Weight);
+        let large = decode_step(&model, &par, 256, 8192).bytes_of(DataKind::Weight);
+        assert!(large > small, "MoE should touch more experts at larger batch");
+    }
+
+    #[test]
+    fn kv_traffic_scales_with_batch_and_sequence_length() {
+        let model = ModelConfig::grok_1();
+        let par = Parallelism::paper_decode(&model);
+        let base = decode_step(&model, &par, 32, 4096).bytes_of(DataKind::KvCache);
+        let more_batch = decode_step(&model, &par, 64, 4096).bytes_of(DataKind::KvCache);
+        let more_seq = decode_step(&model, &par, 32, 8192).bytes_of(DataKind::KvCache);
+        assert!(more_batch as f64 > 1.9 * base as f64);
+        assert!(more_seq as f64 > 1.9 * base as f64);
+    }
+
+    #[test]
+    fn attention_and_ffn_are_separately_attributable() {
+        let model = ModelConfig::grok_1();
+        let par = Parallelism::paper_decode(&model);
+        let step = decode_step(&model, &par, 64, 8192);
+        let attn = step.bytes_of_kind_filtered(OperatorKind::Attention);
+        let ffn = step.bytes_of_kind_filtered(OperatorKind::Ffn);
+        assert!(attn > 0 && ffn > 0);
+        assert!(attn + ffn <= step.total_bytes());
+    }
+
+    #[test]
+    fn operator_helpers() {
+        let op = Operator {
+            name: "x".to_string(),
+            kind: OperatorKind::Ffn,
+            repeat: 2,
+            weight_bytes: 100,
+            activation_bytes: 50,
+            kv_bytes: 25,
+            flops: 350,
+            weight_unit_bytes: 40,
+            kv_unit_bytes: 0,
+        };
+        assert_eq!(op.bytes(), 175);
+        assert_eq!(op.bytes_of(DataKind::Weight), 100);
+        assert_eq!(op.bytes_of(DataKind::KvCache), 25);
+        assert_eq!(op.arithmetic_intensity(), 2.0);
+        assert_eq!(OperatorKind::Ffn.to_string(), "ffn");
+        let empty = Operator { weight_bytes: 0, activation_bytes: 0, kv_bytes: 0, ..op };
+        assert!(empty.arithmetic_intensity().is_infinite());
+    }
+}

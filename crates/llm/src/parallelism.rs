@@ -1,0 +1,158 @@
+//! Parallelization strategies (§VI-A).
+//!
+//! The paper serves every model on eight accelerators. During prefill, tensor
+//! parallelism (TP) of degree 8 is applied everywhere. During decode the
+//! attention layers use TP 1 (data parallelism) for DeepSeek-V3 — the
+//! compressed MLA KV cache favours DP — and TP 8 for Grok-1 and Llama-3;
+//! MoE layers use expert parallelism (EP) with each accelerator owning a
+//! distinct subset of experts; dense FFN layers use TP 8.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelConfig;
+use crate::types::Stage;
+
+/// How one model is partitioned across the accelerators of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Number of accelerators serving the model.
+    pub devices: u32,
+    /// Tensor-parallel degree applied to attention layers.
+    pub attention_tp: u32,
+    /// Data-parallel degree applied to attention layers (batch is split).
+    pub attention_dp: u32,
+    /// Tensor-parallel degree applied to dense FFN layers.
+    pub ffn_tp: u32,
+    /// Expert-parallel degree applied to MoE layers.
+    pub expert_parallel: u32,
+}
+
+impl Parallelism {
+    /// The paper's decode-stage strategy for `model` on eight accelerators.
+    pub fn paper_decode(model: &ModelConfig) -> Self {
+        let mla = model.attention.is_mla();
+        Parallelism {
+            devices: 8,
+            attention_tp: if mla { 1 } else { 8 },
+            attention_dp: if mla { 8 } else { 1 },
+            ffn_tp: 8,
+            expert_parallel: 8,
+        }
+    }
+
+    /// The paper's prefill-stage strategy (TP 8 everywhere).
+    pub fn paper_prefill(_model: &ModelConfig) -> Self {
+        Parallelism { devices: 8, attention_tp: 8, attention_dp: 1, ffn_tp: 8, expert_parallel: 8 }
+    }
+
+    /// The paper's strategy for `model` in `stage`.
+    pub fn paper(model: &ModelConfig, stage: Stage) -> Self {
+        match stage {
+            Stage::Prefill => Parallelism::paper_prefill(model),
+            Stage::Decode => Parallelism::paper_decode(model),
+        }
+    }
+
+    /// A single-device configuration (useful for unit tests and small
+    /// studies).
+    pub fn single_device() -> Self {
+        Parallelism { devices: 1, attention_tp: 1, attention_dp: 1, ffn_tp: 1, expert_parallel: 1 }
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attention TP × DP product does not equal the device
+    /// count, or any degree is zero.
+    pub fn validate(&self) {
+        assert!(self.devices > 0 && self.attention_tp > 0 && self.attention_dp > 0);
+        assert!(self.ffn_tp > 0 && self.expert_parallel > 0);
+        assert_eq!(
+            self.attention_tp * self.attention_dp,
+            self.devices,
+            "attention TP × DP must cover all devices"
+        );
+    }
+
+    /// The share of a batch of `batch` sequences handled by one device's
+    /// attention layers (data parallelism splits the batch).
+    pub fn attention_batch_share(&self, batch: u64) -> u64 {
+        (batch + self.attention_dp as u64 - 1) / self.attention_dp as u64
+    }
+
+    /// The fraction of attention weights resident on (and read by) one
+    /// device.
+    pub fn attention_weight_fraction(&self) -> f64 {
+        1.0 / self.attention_tp as f64
+    }
+
+    /// The fraction of a dense FFN's weights resident on one device.
+    pub fn ffn_weight_fraction(&self) -> f64 {
+        1.0 / self.ffn_tp as f64
+    }
+
+    /// The fraction of MoE experts resident on one device.
+    pub fn expert_fraction(&self) -> f64 {
+        1.0 / self.expert_parallel as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepseek_uses_data_parallel_attention_in_decode() {
+        let p = Parallelism::paper_decode(&ModelConfig::deepseek_v3());
+        p.validate();
+        assert_eq!(p.attention_tp, 1);
+        assert_eq!(p.attention_dp, 8);
+        assert_eq!(p.expert_parallel, 8);
+    }
+
+    #[test]
+    fn gqa_models_use_tensor_parallel_attention_in_decode() {
+        for m in [ModelConfig::grok_1(), ModelConfig::llama3_405b()] {
+            let p = Parallelism::paper_decode(&m);
+            p.validate();
+            assert_eq!(p.attention_tp, 8, "{}", m.name);
+            assert_eq!(p.attention_dp, 1);
+        }
+    }
+
+    #[test]
+    fn prefill_uses_tp8_everywhere() {
+        for m in ModelConfig::paper_models() {
+            let p = Parallelism::paper(&m, Stage::Prefill);
+            p.validate();
+            assert_eq!(p.attention_tp, 8);
+            assert_eq!(p.ffn_tp, 8);
+        }
+    }
+
+    #[test]
+    fn batch_and_weight_shares() {
+        let p = Parallelism::paper_decode(&ModelConfig::deepseek_v3());
+        assert_eq!(p.attention_batch_share(64), 8);
+        assert_eq!(p.attention_batch_share(7), 1);
+        assert_eq!(p.attention_weight_fraction(), 1.0);
+        let p = Parallelism::paper_decode(&ModelConfig::llama3_405b());
+        assert_eq!(p.attention_batch_share(64), 64);
+        assert_eq!(p.attention_weight_fraction(), 0.125);
+        assert_eq!(p.ffn_weight_fraction(), 0.125);
+        assert_eq!(p.expert_fraction(), 0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "attention TP × DP")]
+    fn inconsistent_parallelism_panics() {
+        Parallelism { devices: 8, attention_tp: 2, attention_dp: 2, ffn_tp: 8, expert_parallel: 8 }
+            .validate();
+    }
+
+    #[test]
+    fn single_device_is_consistent() {
+        Parallelism::single_device().validate();
+    }
+}

@@ -1,0 +1,154 @@
+//! Aggregation of per-operator traffic into per-step and per-device totals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{Operator, OperatorKind};
+use crate::types::{DataKind, Stage};
+
+/// The complete per-device workload of one inference step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTraffic {
+    /// Model name.
+    pub model: String,
+    /// Prefill or decode.
+    pub stage: Stage,
+    /// Batch size (sequences).
+    pub batch: u64,
+    /// Sequence length (context tokens per sequence).
+    pub seq_len: u64,
+    /// The operators executed by one device, with their repeat counts.
+    pub operators: Vec<Operator>,
+}
+
+impl StepTraffic {
+    /// Total memory traffic of the step on one device, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.operators.iter().map(|o| o.bytes() * o.repeat as u64).sum()
+    }
+
+    /// Total FLOPs of the step on one device.
+    pub fn flops(&self) -> u64 {
+        self.operators.iter().map(|o| o.flops * o.repeat as u64).sum()
+    }
+
+    /// Memory traffic attributed to one data kind.
+    pub fn bytes_of(&self, kind: DataKind) -> u64 {
+        self.operators.iter().map(|o| o.bytes_of(kind) * o.repeat as u64).sum()
+    }
+
+    /// Memory traffic attributed to operators of one kind (attention, FFN…).
+    pub fn bytes_of_kind_filtered(&self, kind: OperatorKind) -> u64 {
+        self.operators
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.bytes() * o.repeat as u64)
+            .sum()
+    }
+
+    /// Arithmetic intensity of the whole step (FLOPs per byte).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.total_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops() as f64 / bytes as f64
+        }
+    }
+
+    /// The distinct memory objects (tensors) the step touches per executed
+    /// layer instance, with their sizes — the granularity at which data is
+    /// laid out in memory and therefore the granularity that matters for the
+    /// channel-load-balance analysis (Fig. 13). Each entry is
+    /// `(operator kind, bytes of one tensor instance)`.
+    pub fn tensor_instances(&self) -> Vec<(OperatorKind, u64)> {
+        let mut out = Vec::new();
+        for op in &self.operators {
+            for _ in 0..op.repeat {
+                if op.weight_bytes > 0 {
+                    out.push((op.kind, op.weight_bytes));
+                }
+                if op.kv_bytes > 0 {
+                    out.push((op.kind, op.kv_bytes));
+                }
+                if op.activation_bytes > 0 {
+                    out.push((op.kind, op.activation_bytes));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Aggregated byte counters per data kind (used in reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceTraffic {
+    /// Weight bytes read.
+    pub weight_bytes: u64,
+    /// Activation bytes read + written.
+    pub activation_bytes: u64,
+    /// KV-cache bytes read + written.
+    pub kv_bytes: u64,
+    /// Total FLOPs.
+    pub flops: u64,
+}
+
+impl DeviceTraffic {
+    /// Summarize a step.
+    pub fn from_step(step: &StepTraffic) -> Self {
+        DeviceTraffic {
+            weight_bytes: step.bytes_of(DataKind::Weight),
+            activation_bytes: step.bytes_of(DataKind::Activation),
+            kv_bytes: step.bytes_of(DataKind::KvCache),
+            flops: step.flops(),
+        }
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.activation_bytes + self.kv_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use crate::ops::decode_step;
+    use crate::parallelism::Parallelism;
+
+    #[test]
+    fn totals_are_consistent_across_views() {
+        let model = ModelConfig::grok_1();
+        let par = Parallelism::paper_decode(&model);
+        let step = decode_step(&model, &par, 64, 8192);
+        let by_kind: u64 = DataKind::ALL.iter().map(|k| step.bytes_of(*k)).sum();
+        assert_eq!(by_kind, step.total_bytes());
+        let summary = DeviceTraffic::from_step(&step);
+        assert_eq!(summary.total_bytes(), step.total_bytes());
+        assert_eq!(summary.flops, step.flops());
+        assert!(step.arithmetic_intensity() > 0.0);
+    }
+
+    #[test]
+    fn tensor_instances_cover_all_layers() {
+        let model = ModelConfig::llama3_405b();
+        let par = Parallelism::paper_decode(&model);
+        let step = decode_step(&model, &par, 8, 8192);
+        let tensors = step.tensor_instances();
+        // At least one weight tensor per layer for attention and FFN.
+        assert!(tensors.len() as u32 >= 2 * model.layers);
+        let total: u64 = tensors.iter().map(|(_, b)| *b).sum();
+        assert_eq!(total, step.total_bytes());
+    }
+
+    #[test]
+    fn stage_metadata_is_preserved() {
+        let model = ModelConfig::deepseek_v3();
+        let par = Parallelism::paper_decode(&model);
+        let step = decode_step(&model, &par, 16, 4096);
+        assert_eq!(step.stage, Stage::Decode);
+        assert_eq!(step.batch, 16);
+        assert_eq!(step.seq_len, 4096);
+        assert_eq!(step.model, "DeepSeek-V3");
+    }
+}

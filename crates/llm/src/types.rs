@@ -1,0 +1,107 @@
+//! Basic workload vocabulary: inference stages, data kinds, element types.
+
+use serde::{Deserialize, Serialize};
+
+/// The two stages of transformer inference (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// All input tokens are processed at once and the first output token is
+    /// produced; compute-bound.
+    Prefill,
+    /// One token is generated per sequence per step; memory-bandwidth-bound.
+    Decode,
+}
+
+impl Stage {
+    /// Both stages.
+    pub const ALL: [Stage; 2] = [Stage::Prefill, Stage::Decode];
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Prefill => f.write_str("prefill"),
+            Stage::Decode => f.write_str("decode"),
+        }
+    }
+}
+
+/// The three primary data types moved by LLM inference (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataKind {
+    /// Pre-trained model parameters.
+    Weight,
+    /// Intermediate results flowing between operators.
+    Activation,
+    /// Cached key/value (or latent) state of the sequence so far.
+    KvCache,
+}
+
+impl DataKind {
+    /// All data kinds.
+    pub const ALL: [DataKind; 3] = [DataKind::Weight, DataKind::Activation, DataKind::KvCache];
+}
+
+impl std::fmt::Display for DataKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataKind::Weight => f.write_str("weight"),
+            DataKind::Activation => f.write_str("activation"),
+            DataKind::KvCache => f.write_str("KV cache"),
+        }
+    }
+}
+
+/// Numeric element type of the model's tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dtype {
+    /// bfloat16 — the paper stores all weights in BF16.
+    Bf16,
+    /// 8-bit floating point (for what-if studies).
+    Fp8,
+    /// 32-bit floating point.
+    Fp32,
+}
+
+impl Dtype {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Dtype::Bf16 => 2,
+            Dtype::Fp8 => 1,
+            Dtype::Fp32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dtype::Bf16 => f.write_str("bf16"),
+            Dtype::Fp8 => f.write_str("fp8"),
+            Dtype::Fp32 => f.write_str("fp32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(Dtype::Bf16.bytes(), 2);
+        assert_eq!(Dtype::Fp8.bytes(), 1);
+        assert_eq!(Dtype::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Stage::Prefill.to_string(), "prefill");
+        assert_eq!(Stage::Decode.to_string(), "decode");
+        assert_eq!(DataKind::KvCache.to_string(), "KV cache");
+        assert_eq!(Dtype::Bf16.to_string(), "bf16");
+        assert_eq!(Stage::ALL.len(), 2);
+        assert_eq!(DataKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,407 @@
+//! DRAM address mapping.
+//!
+//! The address-mapping unit translates a host physical address into DRAM
+//! coordinates (channel, pseudo channel, stack ID, bank group, bank, row,
+//! column). The choice of mapping determines how sequential traffic spreads
+//! across channels and banks, and therefore how much bank-level and
+//! channel-level parallelism a workload can exploit. The paper sweeps address
+//! mappings for both the baseline and RoMe and picks the
+//! bandwidth-maximizing one (§VI-A); [`MappingScheme::sweep_candidates`]
+//! provides the equivalent candidate set.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::address::{BankAddress, DramAddress, PhysicalAddress};
+use rome_hbm::organization::Organization;
+
+/// One field of the DRAM coordinate tuple, in mapping order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingField {
+    /// Channel bits.
+    Channel,
+    /// Pseudo-channel bits.
+    PseudoChannel,
+    /// Stack-ID (rank) bits.
+    StackId,
+    /// Bank-group bits.
+    BankGroup,
+    /// Bank bits.
+    Bank,
+    /// Row bits.
+    Row,
+    /// Column bits (above the intra-burst offset).
+    Column,
+}
+
+impl MappingField {
+    /// All fields (each must appear exactly once in a scheme).
+    pub const ALL: [MappingField; 7] = [
+        MappingField::Channel,
+        MappingField::PseudoChannel,
+        MappingField::StackId,
+        MappingField::BankGroup,
+        MappingField::Bank,
+        MappingField::Row,
+        MappingField::Column,
+    ];
+}
+
+/// Behaviour shared by all address mappings.
+pub trait AddressMapping {
+    /// Translate a physical address into DRAM coordinates.
+    fn map(&self, address: PhysicalAddress) -> DramAddress;
+
+    /// Translate DRAM coordinates back into the physical address of the
+    /// start of that burst (inverse of [`AddressMapping::map`] up to the
+    /// intra-burst offset).
+    fn unmap(&self, address: DramAddress) -> PhysicalAddress;
+
+    /// Number of channels this mapping distributes addresses over.
+    fn channels(&self) -> u16;
+}
+
+/// A field-order address mapping over power-of-two dimension sizes.
+///
+/// The physical address is consumed from the least-significant end: the
+/// intra-burst offset first (`log2(access granularity)` bits), then each
+/// field in `order[0]`, `order[1]`, … — so the *first* field in the order
+/// changes most rapidly as addresses increase, i.e. it is interleaved at the
+/// finest granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingScheme {
+    order: Vec<MappingField>,
+    org: Organization,
+    channels: u16,
+    /// Granularity in bytes at which the mapping rotates to the next unit
+    /// of `order[0]` — equal to the controller access granularity.
+    interleave_bytes: u64,
+}
+
+impl MappingScheme {
+    /// Create a mapping with an explicit field order.
+    ///
+    /// `channels` is the total number of channels in the memory system
+    /// (across all cubes); `interleave_bytes` is the access granularity at
+    /// which consecutive addresses move to the next value of the first field
+    /// (32 B for the HBM4 baseline, 4 KB for RoMe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` does not contain every [`MappingField`] exactly once.
+    pub fn new(
+        order: Vec<MappingField>,
+        org: Organization,
+        channels: u16,
+        interleave_bytes: u64,
+    ) -> Self {
+        assert_eq!(order.len(), MappingField::ALL.len(), "mapping order must use every field once");
+        for f in MappingField::ALL {
+            assert!(order.contains(&f), "mapping order missing field {f:?}");
+        }
+        assert!(interleave_bytes.is_power_of_two(), "interleave granularity must be a power of two");
+        MappingScheme { order, org, channels, interleave_bytes }
+    }
+
+    /// The bandwidth-optimized baseline mapping for cache-line (32 B)
+    /// accesses: consecutive cache lines rotate across channels, then pseudo
+    /// channels, then bank groups, then banks, then columns, then stack IDs,
+    /// then rows. This maximizes channel- and bank-level parallelism for
+    /// streaming traffic, which is how the paper configures the baseline.
+    pub fn hbm4_streaming(org: Organization, channels: u16) -> Self {
+        MappingScheme::new(
+            vec![
+                MappingField::Channel,
+                MappingField::PseudoChannel,
+                MappingField::BankGroup,
+                MappingField::Bank,
+                MappingField::Column,
+                MappingField::StackId,
+                MappingField::Row,
+            ],
+            org,
+            channels,
+            org.access_granularity as u64,
+        )
+    }
+
+    /// A row-locality-first mapping: consecutive cache lines walk the columns
+    /// of one row before moving to the next channel. Maximizes row-buffer
+    /// hits per bank at the cost of lower channel parallelism for short
+    /// transfers.
+    pub fn row_locality_first(org: Organization, channels: u16) -> Self {
+        MappingScheme::new(
+            vec![
+                MappingField::Column,
+                MappingField::Channel,
+                MappingField::PseudoChannel,
+                MappingField::BankGroup,
+                MappingField::Bank,
+                MappingField::StackId,
+                MappingField::Row,
+            ],
+            org,
+            channels,
+            org.access_granularity as u64,
+        )
+    }
+
+    /// The RoMe mapping: consecutive 4 KB rows rotate across channels, then
+    /// virtual banks (bank index), then stack IDs, then rows. Pseudo channel
+    /// and bank group are fixed to zero width at the interface (they are
+    /// managed below the interface by the command generator), which is
+    /// expressed here by placing them innermost where their dimension size
+    /// of 1 consumes zero address bits.
+    pub fn rome_row_interleaved(org: Organization, channels: u16, row_bytes: u64) -> Self {
+        MappingScheme::new(
+            vec![
+                MappingField::Channel,
+                MappingField::Bank,
+                MappingField::StackId,
+                MappingField::BankGroup,
+                MappingField::PseudoChannel,
+                MappingField::Column,
+                MappingField::Row,
+            ],
+            org,
+            channels,
+            row_bytes,
+        )
+    }
+
+    /// Candidate mappings for the address-mapping sweep (§VI-A).
+    pub fn sweep_candidates(org: Organization, channels: u16) -> Vec<MappingScheme> {
+        vec![
+            MappingScheme::hbm4_streaming(org, channels),
+            MappingScheme::row_locality_first(org, channels),
+            MappingScheme::new(
+                vec![
+                    MappingField::PseudoChannel,
+                    MappingField::Channel,
+                    MappingField::Bank,
+                    MappingField::BankGroup,
+                    MappingField::Column,
+                    MappingField::StackId,
+                    MappingField::Row,
+                ],
+                org,
+                channels,
+                org.access_granularity as u64,
+            ),
+            MappingScheme::new(
+                vec![
+                    MappingField::Channel,
+                    MappingField::BankGroup,
+                    MappingField::PseudoChannel,
+                    MappingField::Column,
+                    MappingField::Bank,
+                    MappingField::StackId,
+                    MappingField::Row,
+                ],
+                org,
+                channels,
+                org.access_granularity as u64,
+            ),
+        ]
+    }
+
+    /// The configured interleave granularity in bytes.
+    pub fn interleave_bytes(&self) -> u64 {
+        self.interleave_bytes
+    }
+
+    /// The field order (finest-interleaved first).
+    pub fn order(&self) -> &[MappingField] {
+        &self.order
+    }
+
+    fn field_size(&self, field: MappingField) -> u64 {
+        match field {
+            MappingField::Channel => self.channels as u64,
+            MappingField::PseudoChannel => self.org.pseudo_channels as u64,
+            MappingField::StackId => self.org.stack_ids as u64,
+            MappingField::BankGroup => self.org.bank_groups as u64,
+            MappingField::Bank => self.org.banks_per_group as u64,
+            MappingField::Row => self.org.rows_per_bank as u64,
+            MappingField::Column => {
+                (self.org.row_bytes as u64 / self.interleave_bytes.min(self.org.row_bytes as u64))
+                    .max(1)
+            }
+        }
+    }
+}
+
+impl AddressMapping for MappingScheme {
+    fn map(&self, address: PhysicalAddress) -> DramAddress {
+        let mut remaining = address.raw() / self.interleave_bytes;
+        let mut values = [0u64; 7];
+        for (i, field) in self.order.iter().enumerate() {
+            let size = self.field_size(*field);
+            values[i] = remaining % size;
+            remaining /= size;
+        }
+        let mut channel = 0u64;
+        let mut pc = 0u64;
+        let mut sid = 0u64;
+        let mut bg = 0u64;
+        let mut bank = 0u64;
+        let mut row = 0u64;
+        let mut column = 0u64;
+        for (i, field) in self.order.iter().enumerate() {
+            match field {
+                MappingField::Channel => channel = values[i],
+                MappingField::PseudoChannel => pc = values[i],
+                MappingField::StackId => sid = values[i],
+                MappingField::BankGroup => bg = values[i],
+                MappingField::Bank => bank = values[i],
+                MappingField::Row => row = values[i] + remaining * self.field_size(MappingField::Row).min(1),
+                MappingField::Column => column = values[i],
+            }
+        }
+        // Any bits above the configured capacity spill into the row index so
+        // that distinct addresses stay distinct for as long as possible.
+        row += remaining * 0; // remaining beyond capacity wraps (documented behaviour)
+        let columns_per_interleave =
+            (self.interleave_bytes / self.org.access_granularity as u64).max(1);
+        let column_units = column * columns_per_interleave
+            + (address.raw() % self.interleave_bytes) / self.org.access_granularity as u64;
+        DramAddress {
+            channel: channel as u16,
+            bank: BankAddress::new(pc as u8, sid as u8, bg as u8, bank as u8),
+            row: row as u32,
+            column: column_units as u16,
+        }
+    }
+
+    fn unmap(&self, address: DramAddress) -> PhysicalAddress {
+        let columns_per_interleave =
+            (self.interleave_bytes / self.org.access_granularity as u64).max(1);
+        let column_interleave = address.column as u64 / columns_per_interleave;
+        let intra = (address.column as u64 % columns_per_interleave) * self.org.access_granularity as u64;
+        let mut result = 0u64;
+        let mut multiplier = 1u64;
+        for field in &self.order {
+            let size = self.field_size(*field);
+            let value = match field {
+                MappingField::Channel => address.channel as u64,
+                MappingField::PseudoChannel => address.bank.pseudo_channel as u64,
+                MappingField::StackId => address.bank.stack_id as u64,
+                MappingField::BankGroup => address.bank.bank_group as u64,
+                MappingField::Bank => address.bank.bank as u64,
+                MappingField::Row => address.row as u64,
+                MappingField::Column => column_interleave,
+            };
+            result += value % size * multiplier;
+            multiplier *= size;
+        }
+        PhysicalAddress::new(result * self.interleave_bytes + intra)
+    }
+
+    fn channels(&self) -> u16 {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org() -> Organization {
+        Organization::hbm4()
+    }
+
+    #[test]
+    fn consecutive_cache_lines_rotate_across_channels_first() {
+        let m = MappingScheme::hbm4_streaming(org(), 8);
+        let a0 = m.map(PhysicalAddress::new(0));
+        let a1 = m.map(PhysicalAddress::new(32));
+        let a8 = m.map(PhysicalAddress::new(8 * 32));
+        assert_eq!(a0.channel, 0);
+        assert_eq!(a1.channel, 1);
+        assert_eq!(a0.bank, a1.bank);
+        // After wrapping the 8 channels, the pseudo channel advances.
+        assert_eq!(a8.channel, 0);
+        assert_eq!(a8.bank.pseudo_channel, 1);
+    }
+
+    #[test]
+    fn row_locality_mapping_keeps_a_row_together() {
+        let m = MappingScheme::row_locality_first(org(), 8);
+        let a0 = m.map(PhysicalAddress::new(0));
+        let a1 = m.map(PhysicalAddress::new(32));
+        assert_eq!(a0.channel, a1.channel);
+        assert_eq!(a0.row, a1.row);
+        assert_eq!(a1.column, a0.column + 1);
+    }
+
+    #[test]
+    fn map_unmap_round_trip_streaming() {
+        let m = MappingScheme::hbm4_streaming(org(), 16);
+        for addr in (0..1_000_000u64).step_by(32 * 97) {
+            let d = m.map(PhysicalAddress::new(addr));
+            let back = m.unmap(d);
+            assert_eq!(back.raw(), addr, "round trip failed for {addr:#x} -> {d}");
+        }
+    }
+
+    #[test]
+    fn map_unmap_round_trip_rome_granularity() {
+        let m = MappingScheme::rome_row_interleaved(org(), 36, 4096);
+        for addr in (0..200_000_000u64).step_by(4096 * 631) {
+            let d = m.map(PhysicalAddress::new(addr));
+            let back = m.unmap(d);
+            assert_eq!(back.raw(), addr);
+        }
+    }
+
+    #[test]
+    fn rome_mapping_rotates_4k_chunks_across_channels() {
+        let m = MappingScheme::rome_row_interleaved(org(), 36, 4096);
+        let a = m.map(PhysicalAddress::new(0));
+        let b = m.map(PhysicalAddress::new(4096));
+        let c = m.map(PhysicalAddress::new(36 * 4096));
+        assert_eq!(a.channel, 0);
+        assert_eq!(b.channel, 1);
+        assert_eq!(c.channel, 0);
+        // After the channels wrap, the bank advances.
+        assert_ne!(c.bank.bank, a.bank.bank);
+        // Intra-chunk addresses stay in the same channel and row.
+        let inner = m.map(PhysicalAddress::new(512));
+        assert_eq!(inner.channel, a.channel);
+        assert_eq!(inner.row, a.row);
+        assert_eq!(inner.column, 16);
+    }
+
+    #[test]
+    fn sweep_candidates_are_distinct_and_valid() {
+        let candidates = MappingScheme::sweep_candidates(org(), 32);
+        assert!(candidates.len() >= 4);
+        for c in &candidates {
+            assert_eq!(c.channels(), 32);
+            // Every candidate must round-trip.
+            let probe = PhysicalAddress::new(123 * 32);
+            assert_eq!(c.unmap(c.map(probe)).raw(), probe.raw());
+        }
+        assert_ne!(candidates[0], candidates[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing field")]
+    fn missing_field_panics() {
+        let mut order = vec![MappingField::Channel; 7];
+        order[1] = MappingField::Row;
+        order[2] = MappingField::Column;
+        order[3] = MappingField::Bank;
+        order[4] = MappingField::BankGroup;
+        order[5] = MappingField::StackId;
+        order[6] = MappingField::Channel; // PseudoChannel missing
+        MappingScheme::new(order, org(), 8, 32);
+    }
+
+    #[test]
+    fn interleave_accessors() {
+        let m = MappingScheme::hbm4_streaming(org(), 8);
+        assert_eq!(m.interleave_bytes(), 32);
+        assert_eq!(m.order().len(), 7);
+        assert_eq!(m.channels(), 8);
+    }
+}

@@ -1,0 +1,87 @@
+//! Row-buffer (page) policies.
+//!
+//! After serving a column access, a conventional controller must decide when
+//! to precharge the open row: keep it open hoping for further hits
+//! (open-page), close it immediately (closed-page), or adapt based on pending
+//! requests (adaptive). The paper's baseline uses an open-page policy; RoMe
+//! removes the decision entirely because every `RD_row`/`WR_row` precharges
+//! as part of its fixed command sequence (§V-A).
+
+use serde::{Deserialize, Serialize};
+
+/// The page policy used by a conventional memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Keep rows open after column accesses; precharge only on a conflict or
+    /// before refresh.
+    Open,
+    /// Precharge immediately after every column access (auto-precharge).
+    Closed,
+    /// Keep the row open only while the request queue holds another request
+    /// to the same row.
+    Adaptive,
+}
+
+impl PagePolicy {
+    /// Decide whether the column access being issued should carry
+    /// auto-precharge, given whether the queue holds another request to the
+    /// same open row.
+    pub fn auto_precharge(self, pending_row_hit: bool) -> bool {
+        match self {
+            PagePolicy::Open => false,
+            PagePolicy::Closed => true,
+            PagePolicy::Adaptive => !pending_row_hit,
+        }
+    }
+
+    /// Human-readable name (used in experiment tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            PagePolicy::Open => "open",
+            PagePolicy::Closed => "closed",
+            PagePolicy::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl Default for PagePolicy {
+    fn default() -> Self {
+        PagePolicy::Open
+    }
+}
+
+impl std::fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_never_auto_precharges() {
+        assert!(!PagePolicy::Open.auto_precharge(true));
+        assert!(!PagePolicy::Open.auto_precharge(false));
+    }
+
+    #[test]
+    fn closed_always_auto_precharges() {
+        assert!(PagePolicy::Closed.auto_precharge(true));
+        assert!(PagePolicy::Closed.auto_precharge(false));
+    }
+
+    #[test]
+    fn adaptive_follows_pending_hits() {
+        assert!(!PagePolicy::Adaptive.auto_precharge(true));
+        assert!(PagePolicy::Adaptive.auto_precharge(false));
+    }
+
+    #[test]
+    fn default_and_display() {
+        assert_eq!(PagePolicy::default(), PagePolicy::Open);
+        assert_eq!(PagePolicy::Open.to_string(), "open");
+        assert_eq!(PagePolicy::Adaptive.name(), "adaptive");
+    }
+}

@@ -1,0 +1,234 @@
+//! Request queues.
+//!
+//! Conventional memory controllers hold in-flight requests in
+//! content-addressable (CAM) structures so that a ready request targeting any
+//! bank can be located in one cycle (§II-D). This module models that queue:
+//! bounded capacity, oldest-first iteration, and lookup by DRAM coordinates.
+//! The queue size is one of the five components the paper's Table IV claims
+//! RoMe shrinks, so occupancy statistics are tracked here.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::address::DramAddress;
+use rome_hbm::units::Cycle;
+
+use crate::request::{MemoryRequest, RequestKind};
+
+/// An entry in the request queue: the request plus its decoded DRAM address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueEntry {
+    /// The pending request (fragment).
+    pub request: MemoryRequest,
+    /// Its decoded DRAM coordinates.
+    pub dram: DramAddress,
+}
+
+/// A bounded, age-ordered request queue with CAM-style lookups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestQueue {
+    entries: VecDeque<QueueEntry>,
+    capacity: usize,
+    /// Sum of occupancy samples (one per `sample_occupancy` call).
+    occupancy_sum: u64,
+    /// Number of occupancy samples taken.
+    occupancy_samples: u64,
+    /// Maximum occupancy ever observed.
+    peak_occupancy: usize,
+}
+
+impl RequestQueue {
+    /// Create a queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "request queue capacity must be non-zero");
+        RequestQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Attempt to enqueue an entry; returns `false` (and leaves the entry
+    /// with the caller) if the queue is full.
+    pub fn push(&mut self, entry: QueueEntry) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push_back(entry);
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        true
+    }
+
+    /// Iterate over the entries from oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// The oldest entry, if any.
+    pub fn oldest(&self) -> Option<&QueueEntry> {
+        self.entries.front()
+    }
+
+    /// Find the oldest entry matching `pred` and return its position.
+    pub fn find_oldest<F: Fn(&QueueEntry) -> bool>(&self, pred: F) -> Option<usize> {
+        self.entries.iter().position(|e| pred(e))
+    }
+
+    /// Remove and return the entry at `index` (as returned by
+    /// [`RequestQueue::find_oldest`]).
+    pub fn remove(&mut self, index: usize) -> Option<QueueEntry> {
+        self.entries.remove(index)
+    }
+
+    /// Whether any queued entry targets the same bank and row as `addr`
+    /// (used by the adaptive page policy to decide whether to keep a row
+    /// open).
+    pub fn has_pending_row_hit(&self, addr: DramAddress) -> bool {
+        self.entries.iter().any(|e| {
+            e.dram.channel == addr.channel && e.dram.bank == addr.bank && e.dram.row == addr.row
+        })
+    }
+
+    /// Whether any queued entry targets the given bank.
+    pub fn has_pending_for_bank(&self, addr: DramAddress) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.dram.channel == addr.channel && e.dram.bank == addr.bank)
+    }
+
+    /// Record an occupancy sample (typically once per scheduling cycle).
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_sum += self.entries.len() as u64;
+        self.occupancy_samples += 1;
+    }
+
+    /// Mean sampled occupancy.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Age (in ns) of the oldest entry relative to `now`, or 0 if empty.
+    pub fn oldest_age(&self, now: Cycle) -> Cycle {
+        self.entries.front().map(|e| now.saturating_sub(e.request.arrival)).unwrap_or(0)
+    }
+
+    /// Count entries of the given kind.
+    pub fn count_kind(&self, kind: RequestKind) -> usize {
+        self.entries.iter().filter(|e| e.request.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_hbm::address::BankAddress;
+
+    fn entry(id: u64, addr: u64, row: u32, bank: u8, arrival: Cycle) -> QueueEntry {
+        QueueEntry {
+            request: MemoryRequest::read(id, addr, 32, arrival),
+            dram: DramAddress::new(0, BankAddress::new(0, 0, 0, bank), row, 0),
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut q = RequestQueue::new(2);
+        assert!(q.push(entry(1, 0, 0, 0, 0)));
+        assert!(q.push(entry(2, 32, 0, 0, 0)));
+        assert!(q.is_full());
+        assert!(!q.push(entry(3, 64, 0, 0, 0)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        RequestQueue::new(0);
+    }
+
+    #[test]
+    fn oldest_first_ordering_and_removal() {
+        let mut q = RequestQueue::new(8);
+        q.push(entry(1, 0, 0, 0, 10));
+        q.push(entry(2, 32, 1, 1, 20));
+        q.push(entry(3, 64, 0, 0, 30));
+        assert_eq!(q.oldest().unwrap().request.id.0, 1);
+        let idx = q.find_oldest(|e| e.dram.bank.bank == 1).unwrap();
+        let removed = q.remove(idx).unwrap();
+        assert_eq!(removed.request.id.0, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.oldest_age(100), 90);
+    }
+
+    #[test]
+    fn row_hit_and_bank_lookups() {
+        let mut q = RequestQueue::new(8);
+        q.push(entry(1, 0, 7, 2, 0));
+        let same_row = DramAddress::new(0, BankAddress::new(0, 0, 0, 2), 7, 5);
+        let other_row = DramAddress::new(0, BankAddress::new(0, 0, 0, 2), 8, 5);
+        let other_bank = DramAddress::new(0, BankAddress::new(0, 0, 0, 3), 7, 5);
+        assert!(q.has_pending_row_hit(same_row));
+        assert!(!q.has_pending_row_hit(other_row));
+        assert!(q.has_pending_for_bank(other_row));
+        assert!(!q.has_pending_for_bank(other_bank));
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut q = RequestQueue::new(4);
+        q.sample_occupancy();
+        q.push(entry(1, 0, 0, 0, 0));
+        q.push(entry(2, 32, 0, 0, 0));
+        q.sample_occupancy();
+        assert_eq!(q.mean_occupancy(), 1.0);
+        assert_eq!(q.peak_occupancy(), 2);
+        assert_eq!(q.count_kind(RequestKind::Read), 2);
+        assert_eq!(q.count_kind(RequestKind::Write), 0);
+    }
+
+    #[test]
+    fn empty_queue_defaults() {
+        let q = RequestQueue::new(1);
+        assert!(q.is_empty());
+        assert_eq!(q.mean_occupancy(), 0.0);
+        assert_eq!(q.oldest_age(55), 0);
+        assert!(q.oldest().is_none());
+    }
+}

@@ -1,0 +1,192 @@
+//! Memory requests as seen by a memory controller.
+//!
+//! Host-side agents (DMA engines, caches) present read/write requests of a
+//! given size and physical address. The conventional controller operates on
+//! cache-line-sized (32 B) fragments; RoMe operates on row-sized (4 KB)
+//! fragments. Both are represented by [`MemoryRequest`] — the `bytes` field
+//! carries the fragment size.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::address::PhysicalAddress;
+use rome_hbm::units::Cycle;
+
+/// Unique identifier of a request within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Whether a request reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Read request: data must be returned to the host.
+    Read,
+    /// Write request: data is absorbed by the memory system.
+    Write,
+}
+
+impl RequestKind {
+    /// `true` for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, RequestKind::Read)
+    }
+}
+
+impl std::fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestKind::Read => f.write_str("RD"),
+            RequestKind::Write => f.write_str("WR"),
+        }
+    }
+}
+
+/// A memory request presented to a memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryRequest {
+    /// Unique request identifier.
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Starting physical address of the request.
+    pub address: PhysicalAddress,
+    /// Size of the request in bytes.
+    pub bytes: u64,
+    /// Cycle at which the request arrived at the controller.
+    pub arrival: Cycle,
+}
+
+impl MemoryRequest {
+    /// Create a read request.
+    pub fn read(id: u64, address: u64, bytes: u64, arrival: Cycle) -> Self {
+        MemoryRequest {
+            id: RequestId(id),
+            kind: RequestKind::Read,
+            address: PhysicalAddress::new(address),
+            bytes,
+            arrival,
+        }
+    }
+
+    /// Create a write request.
+    pub fn write(id: u64, address: u64, bytes: u64, arrival: Cycle) -> Self {
+        MemoryRequest {
+            id: RequestId(id),
+            kind: RequestKind::Write,
+            address: PhysicalAddress::new(address),
+            bytes,
+            arrival,
+        }
+    }
+
+    /// Split this request into `granularity`-byte fragments (the last
+    /// fragment may be shorter if the size is not a multiple).
+    ///
+    /// Fragment IDs reuse the parent ID; the memory system tracks fragment
+    /// completion separately.
+    pub fn fragments(&self, granularity: u64) -> Vec<MemoryRequest> {
+        assert!(granularity > 0, "fragment granularity must be non-zero");
+        let mut out = Vec::with_capacity(((self.bytes + granularity - 1) / granularity) as usize);
+        let mut offset = 0;
+        while offset < self.bytes {
+            let len = granularity.min(self.bytes - offset);
+            out.push(MemoryRequest {
+                id: self.id,
+                kind: self.kind,
+                address: self.address.offset(offset),
+                bytes: len,
+                arrival: self.arrival,
+            });
+            offset += len;
+        }
+        out
+    }
+}
+
+/// A completed request as reported by a controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// The identifier of the completed request (fragment).
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Cycle the request arrived at the controller.
+    pub arrival: Cycle,
+    /// Cycle the request's data transfer completed.
+    pub completed: Cycle,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency of the request in nanoseconds.
+    pub fn latency(&self) -> Cycle {
+        self.completed.saturating_sub(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_fields() {
+        let r = MemoryRequest::read(1, 0x1000, 64, 5);
+        assert_eq!(r.kind, RequestKind::Read);
+        assert!(r.kind.is_read());
+        assert_eq!(r.address.raw(), 0x1000);
+        assert_eq!(r.bytes, 64);
+        assert_eq!(r.arrival, 5);
+        let w = MemoryRequest::write(2, 0x2000, 32, 9);
+        assert_eq!(w.kind, RequestKind::Write);
+        assert!(!w.kind.is_read());
+        assert_eq!(w.id, RequestId(2));
+    }
+
+    #[test]
+    fn fragmentation_covers_the_full_request() {
+        let r = MemoryRequest::read(7, 0x100, 100, 0);
+        let frags = r.fragments(32);
+        assert_eq!(frags.len(), 4);
+        assert_eq!(frags[0].bytes, 32);
+        assert_eq!(frags[3].bytes, 4);
+        let total: u64 = frags.iter().map(|f| f.bytes).sum();
+        assert_eq!(total, 100);
+        assert_eq!(frags[1].address.raw(), 0x120);
+        assert!(frags.iter().all(|f| f.id == r.id && f.kind == r.kind));
+    }
+
+    #[test]
+    fn fragmentation_exact_multiple() {
+        let r = MemoryRequest::write(3, 0, 4096, 0);
+        let frags = r.fragments(4096);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].bytes, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn zero_granularity_panics() {
+        MemoryRequest::read(0, 0, 32, 0).fragments(0);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = CompletedRequest {
+            id: RequestId(1),
+            kind: RequestKind::Read,
+            bytes: 32,
+            arrival: 10,
+            completed: 75,
+        };
+        assert_eq!(c.latency(), 65);
+        assert_eq!(RequestId(1).to_string(), "req#1");
+        assert_eq!(RequestKind::Read.to_string(), "RD");
+        assert_eq!(RequestKind::Write.to_string(), "WR");
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic workload generators.
+//!
+//! These produce request streams used by the microbenchmark-style
+//! experiments: streaming reads/writes (the LLM-like pattern), strided
+//! accesses, and uniformly random accesses (the pattern row-granularity
+//! access is *not* designed for, used by the overfetch ablation).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::request::MemoryRequest;
+
+/// Generate `total_bytes / granularity` sequential read requests starting at
+/// `base`, each of `granularity` bytes, all arriving at cycle 0.
+pub fn streaming_reads(base: u64, total_bytes: u64, granularity: u64) -> Vec<MemoryRequest> {
+    assert!(granularity > 0);
+    let count = total_bytes / granularity;
+    (0..count)
+        .map(|i| MemoryRequest::read(i, base + i * granularity, granularity, 0))
+        .collect()
+}
+
+/// Generate sequential write requests (see [`streaming_reads`]).
+pub fn streaming_writes(base: u64, total_bytes: u64, granularity: u64) -> Vec<MemoryRequest> {
+    assert!(granularity > 0);
+    let count = total_bytes / granularity;
+    (0..count)
+        .map(|i| MemoryRequest::write(i, base + i * granularity, granularity, 0))
+        .collect()
+}
+
+/// Generate a read-dominated mix: one write every `write_period` requests.
+pub fn read_write_mix(
+    base: u64,
+    total_bytes: u64,
+    granularity: u64,
+    write_period: u64,
+) -> Vec<MemoryRequest> {
+    assert!(granularity > 0 && write_period > 0);
+    let count = total_bytes / granularity;
+    (0..count)
+        .map(|i| {
+            let addr = base + i * granularity;
+            if i % write_period == write_period - 1 {
+                MemoryRequest::write(i, addr, granularity, 0)
+            } else {
+                MemoryRequest::read(i, addr, granularity, 0)
+            }
+        })
+        .collect()
+}
+
+/// Generate strided reads: `count` requests of `granularity` bytes, spaced
+/// `stride` bytes apart.
+pub fn strided_reads(base: u64, count: u64, granularity: u64, stride: u64) -> Vec<MemoryRequest> {
+    (0..count)
+        .map(|i| MemoryRequest::read(i, base + i * stride, granularity, 0))
+        .collect()
+}
+
+/// Generate uniformly random reads within `[base, base + span)`, aligned to
+/// `granularity`. Deterministic for a given `seed`.
+pub fn random_reads(
+    base: u64,
+    span: u64,
+    count: u64,
+    granularity: u64,
+    seed: u64,
+) -> Vec<MemoryRequest> {
+    assert!(granularity > 0 && span >= granularity);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let slots = span / granularity;
+    (0..count)
+        .map(|i| {
+            let slot = rng.gen_range(0..slots);
+            MemoryRequest::read(i, base + slot * granularity, granularity, 0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+
+    #[test]
+    fn streaming_reads_cover_the_range_contiguously() {
+        let reqs = streaming_reads(0x1000, 1024, 32);
+        assert_eq!(reqs.len(), 32);
+        assert_eq!(reqs[0].address.raw(), 0x1000);
+        assert_eq!(reqs[31].address.raw(), 0x1000 + 31 * 32);
+        assert!(reqs.iter().all(|r| r.kind == RequestKind::Read && r.bytes == 32));
+    }
+
+    #[test]
+    fn streaming_writes_are_writes() {
+        let reqs = streaming_writes(0, 128, 32);
+        assert_eq!(reqs.len(), 4);
+        assert!(reqs.iter().all(|r| r.kind == RequestKind::Write));
+    }
+
+    #[test]
+    fn mix_has_expected_write_fraction() {
+        let reqs = read_write_mix(0, 32 * 100, 32, 4);
+        let writes = reqs.iter().filter(|r| r.kind == RequestKind::Write).count();
+        assert_eq!(writes, 25);
+    }
+
+    #[test]
+    fn strided_reads_respect_stride() {
+        let reqs = strided_reads(0, 10, 32, 4096);
+        assert_eq!(reqs[1].address.raw(), 4096);
+        assert_eq!(reqs[9].address.raw(), 9 * 4096);
+    }
+
+    #[test]
+    fn random_reads_are_deterministic_and_aligned() {
+        let a = random_reads(0, 1 << 20, 100, 32, 7);
+        let b = random_reads(0, 1 << 20, 100, 32, 7);
+        let c = random_reads(0, 1 << 20, 100, 32, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|r| r.address.raw() % 32 == 0 && r.address.raw() < (1 << 20)));
+    }
+}

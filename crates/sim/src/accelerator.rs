@@ -1,0 +1,139 @@
+//! The AI accelerator and server model of §VI-A.
+//!
+//! The paper's target accelerator sustains 280 Op/B for BF16, attaches eight
+//! HBM4 cubes (256 GB, 16 TB/s per accelerator), and is deployed as an
+//! eight-accelerator server to hold the full models.
+
+use serde::{Deserialize, Serialize};
+
+/// One AI accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    /// Peak BF16 throughput in TFLOP/s.
+    pub bf16_tflops: f64,
+    /// Number of HBM cubes attached.
+    pub hbm_cubes: u32,
+    /// Memory capacity in bytes.
+    pub memory_capacity_bytes: u64,
+    /// Peak memory bandwidth in GB/s (with the baseline HBM4 cubes).
+    pub peak_memory_bw_gbps: f64,
+    /// Sustained fraction of peak compute achievable on large GEMM/GEMV
+    /// kernels.
+    pub compute_efficiency: f64,
+}
+
+impl AcceleratorSpec {
+    /// The paper's accelerator: 280 Op/B at 16 TB/s ⇒ 4480 TFLOPS BF16,
+    /// eight 32 GB HBM4 cubes.
+    pub fn paper_default() -> Self {
+        AcceleratorSpec {
+            bf16_tflops: 4480.0,
+            hbm_cubes: 8,
+            memory_capacity_bytes: 256 * (1u64 << 30),
+            peak_memory_bw_gbps: 16_384.0,
+            compute_efficiency: 0.85,
+        }
+    }
+
+    /// Arithmetic intensity (Op/B) at which the accelerator transitions from
+    /// memory-bound to compute-bound.
+    pub fn machine_balance(&self) -> f64 {
+        self.bf16_tflops * 1e12 / (self.peak_memory_bw_gbps * 1e9)
+    }
+
+    /// Time in nanoseconds to execute `flops` floating-point operations at
+    /// the sustained compute rate.
+    pub fn compute_time_ns(&self, flops: u64) -> f64 {
+        flops as f64 / (self.bf16_tflops * 1e12 * self.compute_efficiency) * 1e9
+    }
+}
+
+impl Default for AcceleratorSpec {
+    fn default() -> Self {
+        AcceleratorSpec::paper_default()
+    }
+}
+
+/// A multi-accelerator server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// The accelerator type.
+    pub accelerator: AcceleratorSpec,
+    /// Number of accelerators.
+    pub accelerators: u32,
+    /// Per-direction inter-accelerator interconnect bandwidth in GB/s.
+    pub interconnect_gbps: f64,
+}
+
+impl ServerSpec {
+    /// The paper's eight-accelerator server.
+    pub fn paper_default() -> Self {
+        ServerSpec {
+            accelerator: AcceleratorSpec::paper_default(),
+            accelerators: 8,
+            interconnect_gbps: 900.0,
+        }
+    }
+
+    /// Total memory capacity of the server in bytes.
+    pub fn total_capacity_bytes(&self) -> u64 {
+        self.accelerator.memory_capacity_bytes * self.accelerators as u64
+    }
+
+    /// Time in nanoseconds for an all-reduce of `bytes` across the tensor-
+    /// parallel group of size `tp` (ring all-reduce: `2·(tp−1)/tp` traversals
+    /// of the payload over the interconnect).
+    pub fn allreduce_time_ns(&self, bytes: u64, tp: u32) -> f64 {
+        if tp <= 1 {
+            return 0.0;
+        }
+        let traversals = 2.0 * (tp as f64 - 1.0) / tp as f64;
+        bytes as f64 * traversals / self.interconnect_gbps
+    }
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_balance_is_280_op_per_byte() {
+        let a = AcceleratorSpec::paper_default();
+        let b = a.machine_balance();
+        assert!((b - 273.4).abs() < 10.0, "balance {b}");
+        assert_eq!(a.hbm_cubes, 8);
+        assert_eq!(a.memory_capacity_bytes, 256 * (1 << 30));
+    }
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let a = AcceleratorSpec::paper_default();
+        let t1 = a.compute_time_ns(1_000_000_000);
+        let t2 = a.compute_time_ns(2_000_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn server_capacity_and_allreduce() {
+        let s = ServerSpec::paper_default();
+        assert_eq!(s.total_capacity_bytes(), 2048 * (1u64 << 30));
+        assert_eq!(s.allreduce_time_ns(1 << 20, 1), 0.0);
+        let t8 = s.allreduce_time_ns(1 << 20, 8);
+        assert!(t8 > 0.0);
+        // Larger TP groups move (slightly) more data per byte of payload.
+        assert!(s.allreduce_time_ns(1 << 20, 2) < t8);
+    }
+
+    #[test]
+    fn defaults_are_paper_defaults() {
+        assert_eq!(AcceleratorSpec::default(), AcceleratorSpec::paper_default());
+        assert_eq!(ServerSpec::default(), ServerSpec::paper_default());
+    }
+}

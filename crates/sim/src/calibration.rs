@@ -1,0 +1,219 @@
+//! Calibration of effective memory-system behaviour by sampled
+//! cycle-accurate simulation.
+//!
+//! Replaying a full multi-gigabyte decode step through the cycle-accurate
+//! models would take hours without changing the outcome: what the end-to-end
+//! model needs from the detailed simulation is (a) the *effective bandwidth
+//! utilization* each memory system achieves on LLM-like traffic and (b) the
+//! number of row activations each performs per kilobyte moved (which drives
+//! the ACT energy difference of Figure 14). Both are measured here by running
+//! a sampled window — a few megabytes of interleaved streams standing in for
+//! the concurrent tensors of a decode step — through the real controllers.
+//!
+//! Mirroring the paper's methodology (§VI-A), the conventional controller is
+//! calibrated over a sweep of candidate address mappings and the
+//! best-performing one is used.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use rome_core::controller::{RomeController, RomeControllerConfig};
+use rome_core::simulate as rome_simulate;
+use rome_mc::controller::{ChannelController, ControllerConfig};
+use rome_mc::mapping::MappingScheme;
+use rome_mc::request::MemoryRequest;
+use rome_mc::simulate as mc_simulate;
+
+/// The measured behaviour of one memory system on LLM-like streaming traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationResult {
+    /// Fraction of the channel's peak bandwidth achieved (0..1].
+    pub bandwidth_utilization: f64,
+    /// Row activations per KiB of useful data moved.
+    pub activates_per_kib: f64,
+    /// Mean read latency observed, in ns.
+    pub mean_read_latency_ns: f64,
+}
+
+/// Runs the sampled calibrations and caches their results.
+#[derive(Debug, Clone, Default)]
+pub struct Calibrator {
+    hbm4: Option<CalibrationResult>,
+    rome: Option<CalibrationResult>,
+}
+
+/// Number of interleaved request streams used to emulate the concurrent
+/// tensors (weights, KV cache of many sequences, activations) that a decode
+/// step keeps in flight.
+const CALIBRATION_STREAMS: u64 = 8;
+/// Bytes per stream in the sampled window.
+const CALIBRATION_BYTES_PER_STREAM: u64 = 128 * 1024;
+/// Seed for the stream base addresses (4 KiB-aligned, as a real allocator
+/// would place tensors).
+const CALIBRATION_SEED: u64 = 0x0520_2026;
+
+/// Build the interleaved multi-stream request trace used for calibration:
+/// `streams` sequential streams at independent (seeded-random, 4 KiB-aligned)
+/// base addresses whose granules are interleaved round-robin — the arrival
+/// order a DMA engine serving several tensors produces.
+pub fn interleaved_streams(
+    streams: u64,
+    bytes_per_stream: u64,
+    granularity: u64,
+    seed: u64,
+) -> Vec<MemoryRequest> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let bases: Vec<u64> =
+        (0..streams).map(|_| rng.gen_range(0..(1u64 << 22)) * 4096).collect();
+    let chunks_per_stream = bytes_per_stream / granularity;
+    let mut out = Vec::with_capacity((streams * chunks_per_stream) as usize);
+    let mut id = 0u64;
+    for chunk in 0..chunks_per_stream {
+        for base in &bases {
+            out.push(MemoryRequest::read(id, base + chunk * granularity, granularity, 0));
+            id += 1;
+        }
+    }
+    out
+}
+
+impl Calibrator {
+    /// Create an empty calibrator (results are computed lazily).
+    pub fn new() -> Self {
+        Calibrator::default()
+    }
+
+    /// Calibrate the conventional HBM4 channel controller, sweeping the
+    /// candidate address mappings and keeping the best (the paper's
+    /// methodology).
+    pub fn hbm4(&mut self) -> CalibrationResult {
+        if let Some(r) = self.hbm4 {
+            return r;
+        }
+        let reqs =
+            interleaved_streams(CALIBRATION_STREAMS, CALIBRATION_BYTES_PER_STREAM, 32, CALIBRATION_SEED);
+        let base_cfg = ControllerConfig::hbm4_baseline();
+        let mut best: Option<CalibrationResult> = None;
+        for mapping in MappingScheme::sweep_candidates(base_cfg.organization, 1) {
+            let mut cfg = base_cfg.clone();
+            cfg.mapping = mapping;
+            let mut ctrl = ChannelController::new(cfg);
+            let report = mc_simulate::run_to_completion(&mut ctrl, reqs.clone());
+            let peak = ctrl.config().organization.channel_bandwidth_gbps();
+            let candidate = CalibrationResult {
+                bandwidth_utilization: (report.achieved_bandwidth_gbps / peak).min(1.0),
+                activates_per_kib: report.activates_per_kib,
+                mean_read_latency_ns: report.mean_read_latency,
+            };
+            if best
+                .map(|b| candidate.bandwidth_utilization > b.bandwidth_utilization)
+                .unwrap_or(true)
+            {
+                best = Some(candidate);
+            }
+        }
+        let result = best.expect("at least one mapping candidate");
+        self.hbm4 = Some(result);
+        result
+    }
+
+    /// Calibrate the RoMe channel controller.
+    pub fn rome(&mut self) -> CalibrationResult {
+        if let Some(r) = self.rome {
+            return r;
+        }
+        let mut ctrl = RomeController::new(RomeControllerConfig::paper_default());
+        let row = ctrl.config().row_bytes();
+        let reqs =
+            interleaved_streams(CALIBRATION_STREAMS, CALIBRATION_BYTES_PER_STREAM, row, CALIBRATION_SEED);
+        let report = rome_simulate::run_to_completion(&mut ctrl, reqs);
+        let peak = ctrl.config().organization.channel_bandwidth_gbps();
+        let result = CalibrationResult {
+            bandwidth_utilization: (report.achieved_bandwidth_gbps / peak).min(1.0),
+            activates_per_kib: report.activates_per_kib,
+            mean_read_latency_ns: report.mean_read_latency,
+        };
+        self.rome = Some(result);
+        result
+    }
+
+    /// Published-order fallback values, for callers that need a result
+    /// without paying for the cycle simulation (documentation examples,
+    /// smoke tests). The measured values are used by the benches.
+    pub fn nominal_hbm4() -> CalibrationResult {
+        CalibrationResult {
+            bandwidth_utilization: 0.88,
+            activates_per_kib: 1.55,
+            mean_read_latency_ns: 250.0,
+        }
+    }
+
+    /// Nominal RoMe calibration (see [`Calibrator::nominal_hbm4`]).
+    pub fn nominal_rome() -> CalibrationResult {
+        CalibrationResult {
+            bandwidth_utilization: 0.96,
+            activates_per_kib: 1.0,
+            mean_read_latency_ns: 160.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_streams_round_robin_across_streams() {
+        let reqs = interleaved_streams(4, 1024, 32, 1);
+        assert_eq!(reqs.len(), 4 * 32);
+        // The same four base addresses repeat every four requests, advancing
+        // by one granule per round.
+        let first: Vec<u64> = reqs.iter().take(4).map(|r| r.address.raw()).collect();
+        let second: Vec<u64> = reqs.iter().skip(4).take(4).map(|r| r.address.raw()).collect();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(b - a, 32);
+        }
+        // All bases are 4 KiB aligned and distinct.
+        assert!(first.iter().all(|a| a % 4096 == 0));
+        let dedup: std::collections::HashSet<u64> = first.iter().copied().collect();
+        assert_eq!(dedup.len(), 4);
+        // Deterministic for a given seed, different across seeds.
+        assert_eq!(reqs, interleaved_streams(4, 1024, 32, 1));
+        assert_ne!(reqs, interleaved_streams(4, 1024, 32, 2));
+    }
+
+    #[test]
+    fn hbm4_calibration_is_reasonable_and_cached() {
+        let mut cal = Calibrator::new();
+        let a = cal.hbm4();
+        let b = cal.hbm4();
+        assert_eq!(a, b);
+        assert!(a.bandwidth_utilization > 0.5 && a.bandwidth_utilization <= 1.0,
+            "utilization {}", a.bandwidth_utilization);
+        assert!(a.activates_per_kib >= 0.9, "acts/KiB {}", a.activates_per_kib);
+        assert!(a.mean_read_latency_ns > 0.0);
+    }
+
+    #[test]
+    fn rome_calibration_beats_hbm4_on_activates_and_utilization() {
+        let mut cal = Calibrator::new();
+        let hbm4 = cal.hbm4();
+        let rome = cal.rome();
+        assert!(rome.bandwidth_utilization >= hbm4.bandwidth_utilization - 0.05,
+            "rome {} vs hbm4 {}", rome.bandwidth_utilization, hbm4.bandwidth_utilization);
+        assert!(rome.activates_per_kib <= hbm4.activates_per_kib + 0.01,
+            "rome {} vs hbm4 {}", rome.activates_per_kib, hbm4.activates_per_kib);
+        assert!(rome.bandwidth_utilization > 0.85);
+        assert!((rome.activates_per_kib - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn nominal_values_are_sane() {
+        let h = Calibrator::nominal_hbm4();
+        let r = Calibrator::nominal_rome();
+        assert!(r.bandwidth_utilization > h.bandwidth_utilization);
+        assert!(r.activates_per_kib < h.activates_per_kib);
+    }
+}

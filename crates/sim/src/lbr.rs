@@ -1,0 +1,202 @@
+//! Channel load-balance rate (LBR, Figure 13).
+//!
+//! Under RoMe's 4 KB access granularity each independently-allocated memory
+//! object (a projection matrix, one expert's weights, one sequence's
+//! per-layer KV cache) is distributed across the memory channels in 4 KB
+//! chunks. An operator whose objects are small relative to
+//! `channels × 4 KB` loads some channels more than others, and the
+//! most-loaded channel bounds the bandwidth that operator can draw. The LBR
+//! of an operator is the ratio of the mean to the maximum per-channel load;
+//! the LBR of a step is the traffic-weighted average over its operators
+//! (attention and FFN reported separately, as in the paper).
+
+use serde::{Deserialize, Serialize};
+
+use rome_llm::ops::{Operator, OperatorKind};
+use rome_llm::traffic::StepTraffic;
+
+/// The per-kind LBR of one inference step on one memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LbrReport {
+    /// Traffic-weighted LBR over attention operators.
+    pub attention: f64,
+    /// Traffic-weighted LBR over FFN operators.
+    pub ffn: f64,
+    /// Traffic-weighted LBR over the whole step.
+    pub overall: f64,
+}
+
+/// Distribute one object of `bytes` bytes over `loads.len()` channels in
+/// `granularity`-byte chunks, starting at channel `start`.
+fn distribute(loads: &mut [f64], bytes: u64, granularity: u64, start: usize) {
+    let channels = loads.len();
+    if bytes == 0 || channels == 0 {
+        return;
+    }
+    let channels_u64 = channels as u64;
+    let full_chunks = bytes / granularity;
+    let tail = bytes % granularity;
+    for (c, load) in loads.iter_mut().enumerate() {
+        let offset = ((c + channels - start) % channels) as u64;
+        if full_chunks > offset {
+            let count = (full_chunks - offset - 1) / channels_u64 + 1;
+            *load += (count * granularity) as f64;
+        }
+    }
+    if tail > 0 {
+        let c = (start + (full_chunks % channels_u64) as usize) % channels;
+        loads[c] += tail as f64;
+    }
+}
+
+fn lbr_of(loads: &[f64]) -> f64 {
+    let max = loads.iter().cloned().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        return 1.0;
+    }
+    let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+    mean / max
+}
+
+/// The LBR of a single operator execution on a `channels`-channel system with
+/// `granularity`-byte interleaving.
+pub fn operator_lbr(op: &Operator, channels: u32, granularity: u64) -> f64 {
+    let mut loads = vec![0.0; channels as usize];
+    let mut start = 0usize;
+    for (_, bytes) in op.tensor_units() {
+        distribute(&mut loads, bytes, granularity, start);
+        start = (start + 1) % channels as usize;
+    }
+    lbr_of(&loads)
+}
+
+/// Compute the traffic-weighted channel load-balance rates of `step`.
+pub fn channel_load_balance(step: &StepTraffic, channels: u32, granularity: u64) -> LbrReport {
+    let mut sums = [(0.0f64, 0.0f64); 3]; // (weighted lbr, weight) for attn / ffn / all
+    for op in &step.operators {
+        let weight = (op.bytes() * op.repeat as u64) as f64;
+        if weight == 0.0 {
+            continue;
+        }
+        let lbr = operator_lbr(op, channels, granularity);
+        match op.kind {
+            OperatorKind::Attention => {
+                sums[0].0 += lbr * weight;
+                sums[0].1 += weight;
+            }
+            OperatorKind::Ffn => {
+                sums[1].0 += lbr * weight;
+                sums[1].1 += weight;
+            }
+            _ => {}
+        }
+        sums[2].0 += lbr * weight;
+        sums[2].1 += weight;
+    }
+    let avg = |(num, den): (f64, f64)| if den == 0.0 { 1.0 } else { num / den };
+    LbrReport { attention: avg(sums[0]), ffn: avg(sums[1]), overall: avg(sums[2]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_llm::model::ModelConfig;
+    use rome_llm::ops::decode_step;
+    use rome_llm::parallelism::Parallelism;
+
+    fn step(model: &ModelConfig, batch: u64) -> StepTraffic {
+        let par = Parallelism::paper_decode(model);
+        decode_step(model, &par, batch, 8192)
+    }
+
+    #[test]
+    fn cache_line_granularity_is_essentially_balanced() {
+        for model in ModelConfig::paper_models() {
+            let s = step(&model, 64);
+            let report = channel_load_balance(&s, 256, 32);
+            assert!(report.overall > 0.97, "{}: overall {}", model.name, report.overall);
+            assert!(report.attention > 0.95, "{}: attn {}", model.name, report.attention);
+            assert!(report.ffn > 0.95, "{}: ffn {}", model.name, report.ffn);
+        }
+    }
+
+    #[test]
+    fn row_granularity_lbr_is_at_most_one_and_improves_with_batch() {
+        for model in ModelConfig::paper_models() {
+            let small = channel_load_balance(&step(&model, 8), 288, 4096);
+            let large = channel_load_balance(&step(&model, 256), 288, 4096);
+            assert!(small.attention <= 1.0 + 1e-9 && small.ffn <= 1.0 + 1e-9);
+            assert!(
+                large.attention >= small.attention - 0.02,
+                "{}: attention LBR degraded {} -> {}",
+                model.name,
+                small.attention,
+                large.attention
+            );
+            assert!(small.overall > 0.5, "{}: overall {}", model.name, small.overall);
+        }
+    }
+
+    #[test]
+    fn llama_attention_lbr_stays_high_due_to_large_hidden_dim() {
+        // The paper: Llama-3 keeps high LBR_Attn even under TP because its
+        // hidden dimension (16,384) keeps the per-device weight slices large.
+        let llama = channel_load_balance(&step(&ModelConfig::llama3_405b(), 8), 288, 4096);
+        let grok = channel_load_balance(&step(&ModelConfig::grok_1(), 8), 288, 4096);
+        assert!(llama.attention > 0.85, "Llama attention LBR {}", llama.attention);
+        assert!(llama.attention >= grok.attention - 0.02,
+            "Llama ({}) should not trail Grok ({})", llama.attention, grok.attention);
+    }
+
+    #[test]
+    fn deepseek_attention_lbr_is_high_under_data_parallelism() {
+        let ds = channel_load_balance(&step(&ModelConfig::deepseek_v3(), 8), 288, 4096);
+        assert!(ds.attention > 0.9, "DeepSeek attention LBR {}", ds.attention);
+    }
+
+    #[test]
+    fn distribute_handles_exact_and_partial_chunks() {
+        let mut loads = vec![0.0; 4];
+        distribute(&mut loads, 4 * 4096, 4096, 0);
+        assert_eq!(loads, vec![4096.0; 4]);
+        let mut loads = vec![0.0; 4];
+        distribute(&mut loads, 4096 + 100, 4096, 1);
+        assert_eq!(loads[1], 4096.0);
+        assert_eq!(loads[2], 100.0);
+        assert_eq!(loads[0], 0.0);
+        let mut loads = vec![0.0; 4];
+        distribute(&mut loads, 0, 4096, 0);
+        assert_eq!(loads, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn lbr_of_uniform_loads_is_one_and_empty_is_one() {
+        assert_eq!(lbr_of(&[5.0, 5.0, 5.0]), 1.0);
+        assert_eq!(lbr_of(&[]), 1.0);
+        assert_eq!(lbr_of(&[0.0, 0.0]), 1.0);
+        assert!((lbr_of(&[1.0, 3.0]) - (2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_lbr_penalizes_objects_smaller_than_the_channel_stripe() {
+        use rome_llm::ops::Operator;
+        // 64 objects of 8 KiB over 288 channels at 4 KiB granularity: only
+        // 128 of 288 channels receive anything.
+        let op = Operator {
+            name: "small".to_string(),
+            kind: OperatorKind::Ffn,
+            repeat: 1,
+            weight_bytes: 64 * 8192,
+            activation_bytes: 0,
+            kv_bytes: 0,
+            flops: 0,
+            weight_unit_bytes: 8192,
+            kv_unit_bytes: 0,
+        };
+        let coarse = operator_lbr(&op, 288, 4096);
+        let fine = operator_lbr(&op, 288, 32);
+        assert!(coarse < 0.7, "coarse {coarse}");
+        assert!(fine > 0.85, "fine {fine}");
+        assert!(fine > coarse, "finer interleaving must balance better ({fine} vs {coarse})");
+    }
+}

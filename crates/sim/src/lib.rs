@@ -1,0 +1,65 @@
+//! # rome-sim — system-level co-simulation of AI accelerators and memory
+//!
+//! This crate reproduces the paper's evaluation methodology (§VI-A): an AI
+//! accelerator with a fixed arithmetic intensity (280 Op/B) attached to eight
+//! HBM4 cubes, serving LLM decode/prefill steps whose memory traffic comes
+//! from `rome-llm`, over either the conventional HBM4 memory system
+//! (`rome-mc`) or the RoMe memory system (`rome-core`).
+//!
+//! * [`accelerator`] — the accelerator and 8-device server model;
+//! * [`memory_model`] — the two memory-system configurations (plus an
+//!   iso-bandwidth RoMe ablation);
+//! * [`calibration`] — sampled cycle-accurate runs that measure each memory
+//!   system's effective bandwidth utilization and activation overhead on
+//!   LLM-like traffic;
+//! * [`lbr`] — the channel load-balance rate of Figure 13;
+//! * [`tpot`] — time-per-output-token (Figure 12) and prefill timing;
+//! * [`energy_rollup`] — the DRAM energy comparison of Figure 14;
+//! * [`sweep`] — batch-size sweeps producing whole figures at once;
+//! * [`overfetch`] — the fine-grained-access ablation of §VII.
+//!
+//! # Example
+//!
+//! ```
+//! use rome_sim::prelude::*;
+//! use rome_llm::prelude::*;
+//!
+//! let accel = AcceleratorSpec::paper_default();
+//! let model = ModelConfig::grok_1();
+//! let hbm4 = MemoryModel::hbm4_baseline(&accel);
+//! let rome = MemoryModel::rome(&accel);
+//! let tpot_hbm4 = decode_tpot(&model, 64, 8192, &accel, &hbm4);
+//! let tpot_rome = decode_tpot(&model, 64, 8192, &accel, &rome);
+//! assert!(tpot_rome.tpot_ms < tpot_hbm4.tpot_ms);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accelerator;
+pub mod calibration;
+pub mod energy_rollup;
+pub mod lbr;
+pub mod memory_model;
+pub mod overfetch;
+pub mod sweep;
+pub mod tpot;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::accelerator::{AcceleratorSpec, ServerSpec};
+    pub use crate::calibration::{CalibrationResult, Calibrator};
+    pub use crate::energy_rollup::{decode_energy, EnergyComparison};
+    pub use crate::lbr::{channel_load_balance, LbrReport};
+    pub use crate::memory_model::{MemoryModel, MemorySystemKind};
+    pub use crate::overfetch::{overfetch_sweep, OverfetchRow};
+    pub use crate::sweep::{figure12_sweep, figure13_sweep, Figure12Row, Figure13Row};
+    pub use crate::tpot::{decode_tpot, prefill_time, TpotReport};
+}
+
+pub use accelerator::{AcceleratorSpec, ServerSpec};
+pub use calibration::{CalibrationResult, Calibrator};
+pub use energy_rollup::{decode_energy, EnergyComparison};
+pub use lbr::{channel_load_balance, LbrReport};
+pub use memory_model::{MemoryModel, MemorySystemKind};
+pub use tpot::{decode_tpot, prefill_time, TpotReport};

@@ -1,0 +1,162 @@
+//! The memory-system configurations compared in the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use rome_core::channel_plan::ChannelPlan;
+use rome_hbm::organization::Organization;
+
+use crate::accelerator::AcceleratorSpec;
+use crate::calibration::{CalibrationResult, Calibrator};
+
+/// Which memory system an accelerator is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemorySystemKind {
+    /// Conventional HBM4 (32 channels per cube, 32 B access granularity).
+    Hbm4,
+    /// RoMe with the expanded 36-channel cubes (4 KB access granularity).
+    Rome,
+    /// RoMe limited to 32 channels per cube — the iso-bandwidth ablation that
+    /// isolates the scheduler simplification from the bandwidth gain.
+    RomeIsoBandwidth,
+}
+
+impl std::fmt::Display for MemorySystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemorySystemKind::Hbm4 => f.write_str("HBM4"),
+            MemorySystemKind::Rome => f.write_str("RoMe"),
+            MemorySystemKind::RomeIsoBandwidth => f.write_str("RoMe (32 ch)"),
+        }
+    }
+}
+
+/// An accelerator-level view of one memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Which system this is.
+    pub kind: MemorySystemKind,
+    /// Total channels across the accelerator's cubes.
+    pub channels: u32,
+    /// Peak bandwidth in GB/s.
+    pub peak_bw_gbps: f64,
+    /// Access granularity in bytes (32 B or the 4 KB effective row).
+    pub access_granularity: u64,
+    /// Calibrated utilization / activation behaviour.
+    pub calibration: CalibrationResult,
+}
+
+impl MemoryModel {
+    /// The conventional HBM4 memory system of `accel`, with nominal
+    /// calibration values.
+    pub fn hbm4_baseline(accel: &AcceleratorSpec) -> Self {
+        let org = Organization::hbm4();
+        let channels = accel.hbm_cubes * org.channels_per_cube as u32;
+        MemoryModel {
+            kind: MemorySystemKind::Hbm4,
+            channels,
+            peak_bw_gbps: org.channel_bandwidth_gbps() * channels as f64,
+            access_granularity: org.access_granularity as u64,
+            calibration: Calibrator::nominal_hbm4(),
+        }
+    }
+
+    /// The RoMe memory system of `accel` (36 channels per cube), with nominal
+    /// calibration values.
+    pub fn rome(accel: &AcceleratorSpec) -> Self {
+        let org = Organization::hbm4();
+        let plan = ChannelPlan::paper_default();
+        let channels = accel.hbm_cubes * plan.rome_channels;
+        MemoryModel {
+            kind: MemorySystemKind::Rome,
+            channels,
+            peak_bw_gbps: org.channel_bandwidth_gbps() * channels as f64,
+            access_granularity: 4096,
+            calibration: Calibrator::nominal_rome(),
+        }
+    }
+
+    /// RoMe restricted to the baseline's 32 channels per cube (ablation).
+    pub fn rome_iso_bandwidth(accel: &AcceleratorSpec) -> Self {
+        let org = Organization::hbm4();
+        let channels = accel.hbm_cubes * org.channels_per_cube as u32;
+        MemoryModel {
+            kind: MemorySystemKind::RomeIsoBandwidth,
+            channels,
+            peak_bw_gbps: org.channel_bandwidth_gbps() * channels as f64,
+            access_granularity: 4096,
+            calibration: Calibrator::nominal_rome(),
+        }
+    }
+
+    /// Replace the nominal calibration with a measured one.
+    pub fn with_calibration(mut self, calibration: CalibrationResult) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Build both systems with measured (cycle-simulated) calibration.
+    pub fn calibrated_pair(accel: &AcceleratorSpec, calibrator: &mut Calibrator) -> (MemoryModel, MemoryModel) {
+        let hbm4 = MemoryModel::hbm4_baseline(accel).with_calibration(calibrator.hbm4());
+        let rome = MemoryModel::rome(accel).with_calibration(calibrator.rome());
+        (hbm4, rome)
+    }
+
+    /// Effective bandwidth in GB/s for traffic with channel load-balance rate
+    /// `lbr` (1.0 = perfectly balanced).
+    pub fn effective_bandwidth_gbps(&self, lbr: f64) -> f64 {
+        self.peak_bw_gbps * self.calibration.bandwidth_utilization * lbr.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbm4_and_rome_bandwidths_match_the_paper() {
+        let accel = AcceleratorSpec::paper_default();
+        let hbm4 = MemoryModel::hbm4_baseline(&accel);
+        let rome = MemoryModel::rome(&accel);
+        assert_eq!(hbm4.channels, 256);
+        assert_eq!(rome.channels, 288);
+        assert_eq!(hbm4.peak_bw_gbps, 16_384.0);
+        assert_eq!(rome.peak_bw_gbps, 18_432.0);
+        assert!((rome.peak_bw_gbps / hbm4.peak_bw_gbps - 1.125).abs() < 1e-9);
+        assert_eq!(hbm4.access_granularity, 32);
+        assert_eq!(rome.access_granularity, 4096);
+    }
+
+    #[test]
+    fn iso_bandwidth_ablation_matches_baseline_bandwidth() {
+        let accel = AcceleratorSpec::paper_default();
+        let iso = MemoryModel::rome_iso_bandwidth(&accel);
+        let hbm4 = MemoryModel::hbm4_baseline(&accel);
+        assert_eq!(iso.peak_bw_gbps, hbm4.peak_bw_gbps);
+        assert_eq!(iso.access_granularity, 4096);
+        assert_eq!(iso.kind.to_string(), "RoMe (32 ch)");
+    }
+
+    #[test]
+    fn effective_bandwidth_scales_with_lbr_and_clamps() {
+        let accel = AcceleratorSpec::paper_default();
+        let rome = MemoryModel::rome(&accel);
+        let full = rome.effective_bandwidth_gbps(1.0);
+        let half = rome.effective_bandwidth_gbps(0.5);
+        assert!((half * 2.0 - full).abs() < 1e-6);
+        assert_eq!(rome.effective_bandwidth_gbps(2.0), full);
+        assert!(full < rome.peak_bw_gbps);
+    }
+
+    #[test]
+    fn with_calibration_overrides_nominal() {
+        let accel = AcceleratorSpec::paper_default();
+        let custom = CalibrationResult {
+            bandwidth_utilization: 0.5,
+            activates_per_kib: 2.0,
+            mean_read_latency_ns: 100.0,
+        };
+        let m = MemoryModel::hbm4_baseline(&accel).with_calibration(custom);
+        assert_eq!(m.calibration, custom);
+        assert_eq!(m.effective_bandwidth_gbps(1.0), 16_384.0 * 0.5);
+    }
+}

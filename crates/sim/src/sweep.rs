@@ -1,0 +1,162 @@
+//! Batch-size sweeps producing the paper's Figure 12 and Figure 13 series.
+
+use serde::{Deserialize, Serialize};
+
+use rome_llm::model::ModelConfig;
+use rome_llm::ops::decode_step;
+use rome_llm::parallelism::Parallelism;
+
+use crate::accelerator::{AcceleratorSpec, ServerSpec};
+use crate::lbr::channel_load_balance;
+use crate::memory_model::MemoryModel;
+use crate::tpot::decode_tpot;
+
+/// One point of Figure 12: TPOT of both systems at one (model, batch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure12Row {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: u64,
+    /// HBM4 TPOT in ms.
+    pub tpot_hbm4_ms: f64,
+    /// RoMe TPOT in ms.
+    pub tpot_rome_ms: f64,
+    /// Normalized RoMe execution time (RoMe / HBM4, the y-axis of Fig. 12).
+    pub normalized_rome: f64,
+}
+
+/// One point of Figure 13: RoMe's channel load-balance rates at one
+/// (model, batch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure13Row {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: u64,
+    /// LBR over attention layers.
+    pub lbr_attention: f64,
+    /// LBR over FFN layers.
+    pub lbr_ffn: f64,
+}
+
+/// The batch sizes swept for `model` (powers of two from 8 up to the largest
+/// batch that fits in the eight-accelerator server at 8K context — 1024 for
+/// DeepSeek-V3, 512 for Grok-1, 256 for Llama-3, as in Fig. 12).
+pub fn paper_batch_sweep(model: &ModelConfig, seq_len: u64) -> Vec<u64> {
+    let capacity = ServerSpec::paper_default().total_capacity_bytes();
+    let max = model.max_batch_for_capacity(capacity, seq_len).max(8);
+    let mut out = Vec::new();
+    let mut b = 8u64;
+    while b <= max {
+        out.push(b);
+        b *= 2;
+    }
+    out
+}
+
+/// Produce the Figure 12 series for all three models.
+pub fn figure12_sweep(
+    accel: &AcceleratorSpec,
+    hbm4: &MemoryModel,
+    rome: &MemoryModel,
+    seq_len: u64,
+) -> Vec<Figure12Row> {
+    let mut rows = Vec::new();
+    for model in ModelConfig::paper_models() {
+        for batch in paper_batch_sweep(&model, seq_len) {
+            let h = decode_tpot(&model, batch, seq_len, accel, hbm4);
+            let r = decode_tpot(&model, batch, seq_len, accel, rome);
+            rows.push(Figure12Row {
+                model: model.name.clone(),
+                batch,
+                tpot_hbm4_ms: h.tpot_ms,
+                tpot_rome_ms: r.tpot_ms,
+                normalized_rome: r.tpot_ms / h.tpot_ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Mean TPOT reduction of RoMe over the whole sweep of one model (the paper
+/// reports 10.4 % / 10.2 % / 9.0 %).
+pub fn mean_reduction(rows: &[Figure12Row], model: &str) -> f64 {
+    let selected: Vec<&Figure12Row> = rows.iter().filter(|r| r.model == model).collect();
+    if selected.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = selected.iter().map(|r| 1.0 - r.normalized_rome).sum();
+    sum / selected.len() as f64
+}
+
+/// Produce the Figure 13 series (RoMe LBR) for all three models.
+pub fn figure13_sweep(rome: &MemoryModel, seq_len: u64) -> Vec<Figure13Row> {
+    let mut rows = Vec::new();
+    for model in ModelConfig::paper_models() {
+        let par = Parallelism::paper_decode(&model);
+        for batch in paper_batch_sweep(&model, seq_len) {
+            let step = decode_step(&model, &par, batch, seq_len);
+            let lbr = channel_load_balance(&step, rome.channels, rome.access_granularity);
+            rows.push(Figure13Row {
+                model: model.name.clone(),
+                batch,
+                lbr_attention: lbr.attention,
+                lbr_ffn: lbr.ffn,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_batch_sweeps_match_figure12_ranges() {
+        assert_eq!(*paper_batch_sweep(&ModelConfig::deepseek_v3(), 8192).last().unwrap(), 1024);
+        assert_eq!(*paper_batch_sweep(&ModelConfig::grok_1(), 8192).last().unwrap(), 512);
+        assert_eq!(*paper_batch_sweep(&ModelConfig::llama3_405b(), 8192).last().unwrap(), 256);
+        assert_eq!(paper_batch_sweep(&ModelConfig::llama3_405b(), 8192)[0], 8);
+    }
+
+    #[test]
+    fn figure12_shows_rome_winning_everywhere() {
+        let accel = AcceleratorSpec::paper_default();
+        let hbm4 = MemoryModel::hbm4_baseline(&accel);
+        let rome = MemoryModel::rome(&accel);
+        let rows = figure12_sweep(&accel, &hbm4, &rome, 8192);
+        assert!(rows.len() >= 18);
+        assert!(rows.iter().all(|r| r.normalized_rome < 1.0));
+        for model in ["DeepSeek-V3", "Grok 1", "Llama 3"] {
+            let red = mean_reduction(&rows, model);
+            assert!(
+                red > 0.04 && red < 0.25,
+                "{model}: mean reduction {:.1}% out of band",
+                red * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn figure13_lbr_trends_upward_with_batch() {
+        let accel = AcceleratorSpec::paper_default();
+        let rome = MemoryModel::rome(&accel);
+        let rows = figure13_sweep(&rome, 8192);
+        for model in ["DeepSeek-V3", "Grok 1", "Llama 3"] {
+            let series: Vec<&Figure13Row> = rows.iter().filter(|r| r.model == model).collect();
+            assert!(series.len() >= 6);
+            let first = series.first().unwrap();
+            let last = series.last().unwrap();
+            assert!(last.lbr_attention >= first.lbr_attention - 0.02, "{model} attention");
+            assert!(last.lbr_ffn >= first.lbr_ffn - 0.02, "{model} ffn");
+            assert!(series.iter().all(|r| r.lbr_attention <= 1.0 + 1e-9 && r.lbr_ffn <= 1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn mean_reduction_of_unknown_model_is_zero() {
+        assert_eq!(mean_reduction(&[], "nope"), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! DRAM energy breakdown of a decode step on HBM4 vs RoMe (the scenario
+//! behind Figure 14).
+//!
+//! Run with `cargo run --release --example energy_breakdown`.
+
+use rome::energy::dram_energy::EnergyParams;
+use rome::llm::ModelConfig;
+use rome::sim::{decode_energy, AcceleratorSpec, MemoryModel};
+
+fn main() {
+    let accel = AcceleratorSpec::paper_default();
+    let hbm4 = MemoryModel::hbm4_baseline(&accel);
+    let rome = MemoryModel::rome(&accel);
+    let params = EnergyParams::hbm4();
+
+    for model in ModelConfig::paper_models() {
+        let cmp = decode_energy(&model, 256, 8192, &hbm4, &rome, &params);
+        println!("{} (batch 256, seq 8K):", model.name);
+        println!(
+            "  HBM4 : ACT {:8.1} mJ  CAS {:8.1} mJ  I/O {:8.1} mJ  interposer {:8.1} mJ  C/A {:6.1} mJ",
+            cmp.hbm4.act_pj / 1e9,
+            cmp.hbm4.cas_pj / 1e9,
+            cmp.hbm4.io_pj / 1e9,
+            cmp.hbm4.interposer_pj / 1e9,
+            cmp.hbm4.ca_pj / 1e9,
+        );
+        println!(
+            "  RoMe : ACT {:8.1} mJ  CAS {:8.1} mJ  I/O {:8.1} mJ  interposer {:8.1} mJ  C/A {:6.1} mJ  cmd-gen {:5.2} mJ",
+            cmp.rome.act_pj / 1e9,
+            cmp.rome.cas_pj / 1e9,
+            cmp.rome.io_pj / 1e9,
+            cmp.rome.interposer_pj / 1e9,
+            cmp.rome.ca_pj / 1e9,
+            cmp.rome.command_generator_pj / 1e9,
+        );
+        println!(
+            "  ACT energy ratio {:.3}, total energy ratio {:.3} (paper: ACT 0.555/0.860/0.844, total ≈ 0.98-0.99)\n",
+            cmp.act_energy_ratio(),
+            cmp.total_energy_ratio()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Decode-stage TPOT of the three paper models on HBM4 vs RoMe
+//! (the scenario behind Figure 12).
+//!
+//! Run with `cargo run --release --example llm_decode_tpot [--calibrated]`.
+//! With `--calibrated` the effective-bandwidth and activation figures are
+//! measured by the cycle-accurate controllers instead of using nominal
+//! values.
+
+use rome::llm::ModelConfig;
+use rome::sim::{decode_tpot, AcceleratorSpec, Calibrator, MemoryModel};
+
+fn main() {
+    let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let accel = AcceleratorSpec::paper_default();
+    let (hbm4, rome) = if calibrated {
+        let mut cal = Calibrator::new();
+        MemoryModel::calibrated_pair(&accel, &mut cal)
+    } else {
+        (MemoryModel::hbm4_baseline(&accel), MemoryModel::rome(&accel))
+    };
+
+    println!("decode TPOT at sequence length 8K ({} calibration)\n", if calibrated { "measured" } else { "nominal" });
+    println!("{:<14} {:>6} {:>12} {:>12} {:>12}", "model", "batch", "HBM4 (ms)", "RoMe (ms)", "reduction");
+    for model in ModelConfig::paper_models() {
+        for batch in [16u64, 64, 256] {
+            let h = decode_tpot(&model, batch, 8192, &accel, &hbm4);
+            let r = decode_tpot(&model, batch, 8192, &accel, &rome);
+            println!(
+                "{:<14} {:>6} {:>12.2} {:>12.2} {:>11.1}%",
+                model.name,
+                batch,
+                h.tpot_ms,
+                r.tpot_ms,
+                (1.0 - r.tpot_ms / h.tpot_ms) * 100.0
+            );
+        }
+    }
+    println!("\nMemory-bound share of HBM4 TPOT (Grok-1, batch 256):");
+    let t = decode_tpot(&ModelConfig::grok_1(), 256, 8192, &accel, &hbm4);
+    println!(
+        "  memory {:.2} ms, compute {:.2} ms, communication {:.2} ms",
+        t.memory_bound_ms, t.compute_bound_ms, t.communication_ms
+    );
+}

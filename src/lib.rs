@@ -1,0 +1,28 @@
+//! # rome — RoMe: Row Granularity Access Memory System for Large Language Models
+//!
+//! This is the facade crate of the RoMe reproduction. It re-exports the
+//! public APIs of the component crates so applications can depend on a single
+//! crate:
+//!
+//! * [`hbm`] — cycle-accurate HBM DRAM device model (organization, timing,
+//!   bank FSMs, refresh, generation spec database).
+//! * [`mc`] — conventional HBM4 memory controller (FR-FCFS, address mapping,
+//!   page policies, refresh scheduling).
+//! * [`core`] — the RoMe interface itself: `RD_row`/`WR_row`, virtual banks,
+//!   the logic-die command generator, the simplified RoMe memory controller,
+//!   C/A pin accounting, and channel expansion.
+//! * [`llm`] — LLM workload models (DeepSeek-V3, Grok-1, Llama-3-405B) and
+//!   their prefill/decode memory traffic.
+//! * [`sim`] — system-level co-simulation: accelerator model, TPOT, channel
+//!   load balance, energy roll-up.
+//! * [`energy`] — DRAM energy and area models.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and per-experiment index.
+
+pub use rome_core as core;
+pub use rome_energy as energy;
+pub use rome_hbm as hbm;
+pub use rome_llm as llm;
+pub use rome_mc as mc;
+pub use rome_sim as sim;

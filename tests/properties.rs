@@ -1,0 +1,129 @@
+//! Property-based tests on the core invariants of the memory-system models.
+
+use proptest::prelude::*;
+
+use rome::core::generator::CommandGenerator;
+use rome::core::row_command::{RowCommand, VbaAddress};
+use rome::core::timing::RomeTimingParams;
+use rome::core::vba::VbaConfig;
+use rome::hbm::channel::HbmChannel;
+use rome::hbm::command::CommandKind;
+use rome::hbm::constraints::ConstraintEngine;
+use rome::hbm::{BankAddress, Organization, PhysicalAddress, TimingParams};
+use rome::mc::mapping::{AddressMapping, MappingScheme};
+use rome::mc::request::MemoryRequest;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every address mapping candidate is a bijection on chunk-aligned
+    /// addresses within the system capacity.
+    #[test]
+    fn address_mappings_round_trip(addr in 0u64..(1 << 34), candidate in 0usize..4) {
+        let org = Organization::hbm4();
+        let mappings = MappingScheme::sweep_candidates(org, 32);
+        let m = &mappings[candidate % mappings.len()];
+        let aligned = addr / 32 * 32;
+        let dram = m.map(PhysicalAddress::new(aligned));
+        prop_assert_eq!(m.unmap(dram).raw(), aligned);
+        prop_assert!(dram.channel < 32);
+        prop_assert!((dram.row as u64) < org.rows_per_bank as u64);
+    }
+
+    /// The RoMe mapping round-trips at row granularity too.
+    #[test]
+    fn rome_mapping_round_trips(chunk in 0u64..(1 << 22)) {
+        let org = Organization::hbm4();
+        let m = MappingScheme::rome_row_interleaved(org, 36, 4096);
+        let addr = chunk * 4096;
+        let dram = m.map(PhysicalAddress::new(addr));
+        prop_assert_eq!(m.unmap(dram).raw(), addr);
+    }
+
+    /// Request fragmentation preserves total size, ordering, and alignment.
+    #[test]
+    fn fragmentation_conserves_bytes(bytes in 1u64..1_000_000, granularity in prop::sample::select(vec![32u64, 64, 256, 4096])) {
+        let req = MemoryRequest::read(1, 0x4000_0000, bytes, 0);
+        let frags = req.fragments(granularity);
+        let total: u64 = frags.iter().map(|f| f.bytes).sum();
+        prop_assert_eq!(total, bytes);
+        prop_assert!(frags.iter().all(|f| f.bytes <= granularity));
+        for (i, f) in frags.iter().enumerate() {
+            prop_assert_eq!(f.address.raw(), req.address.raw() + i as u64 * granularity);
+        }
+    }
+
+    /// The timing-constraint engine never allows a command earlier after
+    /// recording more history (earliest-issue times are monotone).
+    #[test]
+    fn constraint_times_are_monotone(
+        cmds in prop::collection::vec((0u8..2, 0u8..4, 0u8..4, 0u8..4), 1..20)
+    ) {
+        let org = Organization::hbm4();
+        let timing = TimingParams::hbm4();
+        let mut engine = ConstraintEngine::new(org, timing);
+        let probe = BankAddress::new(0, 0, 0, 0);
+        let mut now = 0;
+        let mut last_act_earliest = 0;
+        for (pc, sid, bg, ba) in cmds {
+            let bank = BankAddress::new(pc, sid, bg, ba);
+            let earliest = engine.earliest(CommandKind::Act, bank, now);
+            engine.record(CommandKind::Act, bank, earliest, 1);
+            now = earliest;
+            let probe_earliest = engine.earliest(CommandKind::Act, probe, 0);
+            prop_assert!(probe_earliest >= last_act_earliest,
+                "earliest ACT time for the probe bank went backwards");
+            last_act_earliest = probe_earliest;
+        }
+    }
+
+    /// Every command sequence the RoMe command generator emits is legal under
+    /// the full HBM4 timing model, for any VBA and row.
+    #[test]
+    fn command_generator_expansions_are_always_legal(sid in 0u8..4, vba in 0u8..8, row in 0u32..8192, write in any::<bool>()) {
+        let org = Organization::hbm4();
+        let timing = TimingParams::hbm4();
+        let generator = CommandGenerator::new(org, timing, VbaConfig::rome_default());
+        let mut channel = HbmChannel::new(org, timing);
+        let target = VbaAddress::new(0, sid, vba);
+        let command = if write { RowCommand::wr_row(target, row) } else { RowCommand::rd_row(target, row) };
+        for s in generator.expand(command) {
+            prop_assert!(channel.can_issue(&s.command, s.offset),
+                "{:?} at {} violates timing", s.command, s.offset);
+            channel.issue(s.command, s.offset).unwrap();
+        }
+        let bytes = channel.counters().bytes_read + channel.counters().bytes_written;
+        prop_assert_eq!(bytes, 4096);
+    }
+
+    /// Two consecutive row commands separated by the Table III spacing are
+    /// legal for any pair of distinct VBAs in the same rank.
+    #[test]
+    fn table_iii_spacing_is_sufficient(vba_a in 0u8..8, vba_b in 0u8..8, row in 0u32..4096) {
+        prop_assume!(vba_a != vba_b);
+        let org = Organization::hbm4();
+        let timing = TimingParams::hbm4();
+        let generator = CommandGenerator::new(org, timing, VbaConfig::rome_default());
+        let rome_timing = RomeTimingParams::paper_table_v();
+        let mut channel = HbmChannel::new(org, timing);
+        for s in generator.expand(RowCommand::rd_row(VbaAddress::new(0, 0, vba_a), row)) {
+            channel.issue(s.command, s.offset).unwrap();
+        }
+        let offset = u64::from(rome_timing.t_r2r_s);
+        for s in generator.expand(RowCommand::rd_row(VbaAddress::new(0, 0, vba_b), row)) {
+            prop_assert!(channel.can_issue(&s.command, offset + s.offset));
+            channel.issue(s.command, offset + s.offset).unwrap();
+        }
+    }
+
+    /// The VBA accounting is consistent for every design-space point: row
+    /// bytes × VBAs per channel covers the channel's banks × row size.
+    #[test]
+    fn vba_design_space_conserves_capacity(index in 0usize..6) {
+        let org = Organization::hbm4();
+        let cfg = VbaConfig::design_space()[index];
+        let per_channel_row_bytes = cfg.effective_row_bytes(&org) as u128 * cfg.vbas_per_channel(&org) as u128;
+        let physical = org.row_bytes as u128 * org.banks_per_channel() as u128;
+        prop_assert_eq!(per_channel_row_bytes, physical);
+    }
+}
