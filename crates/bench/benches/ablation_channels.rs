@@ -6,7 +6,19 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::ablation_channels_table());
-    c.bench_function("ablation_channels", |b| b.iter(|| black_box(rome_sim::decode_tpot(&rome_llm::ModelConfig::llama3_405b(), 64, 8192, &rome_sim::AcceleratorSpec::paper_default(), &rome_sim::MemoryModel::rome_iso_bandwidth(&rome_sim::AcceleratorSpec::paper_default())))));
+    c.bench_function("ablation_channels", |b| {
+        b.iter(|| {
+            black_box(rome_sim::decode_tpot(
+                &rome_llm::ModelConfig::llama3_405b(),
+                64,
+                8192,
+                &rome_sim::AcceleratorSpec::paper_default(),
+                &rome_sim::MemoryModel::rome_iso_bandwidth(
+                    &rome_sim::AcceleratorSpec::paper_default(),
+                ),
+            ))
+        })
+    });
 }
 
 criterion_group! {

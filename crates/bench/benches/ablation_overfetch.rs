@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::ablation_overfetch_table());
-    c.bench_function("ablation_overfetch", |b| b.iter(|| black_box(rome_sim::overfetch::measure_rome_useful_bandwidth(512))));
+    c.bench_function("ablation_overfetch", |b| {
+        b.iter(|| black_box(rome_sim::overfetch::measure_rome_useful_bandwidth(512)))
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,14 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::area_table());
-    c.bench_function("area_overhead", |b| b.iter(|| black_box(rome_energy::AreaReport::new(&rome_energy::AreaModel::paper_default(), 0.091))));
+    c.bench_function("area_overhead", |b| {
+        b.iter(|| {
+            black_box(rome_energy::AreaReport::new(
+                &rome_energy::AreaModel::paper_default(),
+                0.091,
+            ))
+        })
+    });
 }
 
 criterion_group! {

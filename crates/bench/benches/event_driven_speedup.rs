@@ -1,0 +1,148 @@
+//! Wall-clock smoke benchmark: event-driven vs cycle-stepped drivers on the
+//! queue-depth experiment (§V-A), for both memory systems.
+//!
+//! Besides the Criterion timings, the bench writes the measured speedups to
+//! `BENCH_event_driven.json` in the repository root so the numbers are
+//! tracked across PRs. Expected shape of the result: the RoMe sweep speeds
+//! up by an order of magnitude (a RoMe row command occupies the interface
+//! for ~64 ns, so the stepped loop is almost entirely no-op ticks), while
+//! the conventional 32 B-granularity sweep improves modestly at streaming
+//! saturation (it issues ~2 genuine commands per nanosecond, leaving no idle
+//! time to skip; its wins come from the shallow-queue, low-utilization
+//! points).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEPTHS: [usize; 8] = [1, 2, 4, 8, 16, 32, 45, 64];
+const MC_BYTES: u64 = 512 * 1024;
+const ROME_BYTES: u64 = 2 * 1024 * 1024;
+
+fn mc_sweep(stepped: bool) -> f64 {
+    let mut bw = 0.0;
+    for &depth in &DEPTHS {
+        let mut ctrl = rome_mc::ChannelController::new(
+            rome_mc::ControllerConfig::hbm4_with_queue_depth(depth),
+        );
+        let reqs = rome_mc::workload::streaming_reads(0, MC_BYTES, 32);
+        let report = if stepped {
+            rome_mc::simulate::run_with_limit_stepped(&mut ctrl, reqs, 50_000_000)
+        } else {
+            rome_mc::simulate::run_with_limit(&mut ctrl, reqs, 50_000_000)
+        };
+        bw += report.achieved_bandwidth_gbps;
+    }
+    bw
+}
+
+fn rome_sweep(stepped: bool) -> f64 {
+    let mut bw = 0.0;
+    for &depth in &DEPTHS {
+        let mut ctrl = rome_core::RomeController::new(
+            rome_core::RomeControllerConfig::with_queue_depth(depth),
+        );
+        let reqs = rome_mc::workload::streaming_reads(0, ROME_BYTES, 4096);
+        let report = if stepped {
+            rome_core::simulate::run_with_limit_stepped(&mut ctrl, reqs, 50_000_000)
+        } else {
+            rome_core::simulate::run_with_limit(&mut ctrl, reqs, 50_000_000)
+        };
+        bw += report.achieved_bandwidth_gbps;
+    }
+    bw
+}
+
+/// Time `f` over `repeats` runs, returning seconds per run (min of runs).
+fn time_it(repeats: u32, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn write_json(path: &std::path::Path, entries: &[(&str, f64)]) {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.4}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {}: {e}", path.display());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Checked comparison: both drivers must report the same aggregate
+    // bandwidth (the equivalence suite pins full bit-identity).
+    let repeats = 3;
+    let mc_event = time_it(repeats, || mc_sweep(false));
+    let mc_stepped = time_it(repeats, || mc_sweep(true));
+    let rome_event = time_it(repeats, || rome_sweep(false));
+    let rome_stepped = time_it(repeats, || rome_sweep(true));
+    assert_eq!(
+        mc_sweep(false),
+        mc_sweep(true),
+        "drivers diverged on the HBM4 sweep"
+    );
+    assert_eq!(
+        rome_sweep(false),
+        rome_sweep(true),
+        "drivers diverged on the RoMe sweep"
+    );
+
+    let total_event = mc_event + rome_event;
+    let total_stepped = mc_stepped + rome_stepped;
+    println!("\nqueue-depth sweep, event-driven vs cycle-stepped (wall-clock):");
+    println!(
+        "  HBM4:  {:8.2} ms -> {:8.2} ms  ({:5.2}x)",
+        mc_stepped * 1e3,
+        mc_event * 1e3,
+        mc_stepped / mc_event
+    );
+    println!(
+        "  RoMe:  {:8.2} ms -> {:8.2} ms  ({:5.2}x)",
+        rome_stepped * 1e3,
+        rome_event * 1e3,
+        rome_stepped / rome_event
+    );
+    println!(
+        "  total: {:8.2} ms -> {:8.2} ms  ({:5.2}x)",
+        total_stepped * 1e3,
+        total_event * 1e3,
+        total_stepped / total_event
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    write_json(
+        &root.join("BENCH_event_driven.json"),
+        &[
+            ("hbm4_sweep_stepped_ms", mc_stepped * 1e3),
+            ("hbm4_sweep_event_ms", mc_event * 1e3),
+            ("hbm4_speedup", mc_stepped / mc_event),
+            ("rome_sweep_stepped_ms", rome_stepped * 1e3),
+            ("rome_sweep_event_ms", rome_event * 1e3),
+            ("rome_speedup", rome_stepped / rome_event),
+            ("total_stepped_ms", total_stepped * 1e3),
+            ("total_event_ms", total_event * 1e3),
+            ("total_speedup", total_stepped / total_event),
+        ],
+    );
+
+    c.bench_function("queue_depth_event_driven", |b| {
+        b.iter(|| black_box(mc_sweep(false) + rome_sweep(false)))
+    });
+    c.bench_function("queue_depth_cycle_stepped", |b| {
+        b.iter(|| black_box(mc_sweep(true) + rome_sweep(true)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

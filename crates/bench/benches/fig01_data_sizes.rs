@@ -6,7 +6,16 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::figure01_table());
-    c.bench_function("fig01_data_sizes", |b| b.iter(|| black_box(rome_llm::footprint::footprint_rows(&rome_llm::ModelConfig::deepseek_v3(), rome_llm::Stage::Decode, 256, 8192))));
+    c.bench_function("fig01_data_sizes", |b| {
+        b.iter(|| {
+            black_box(rome_llm::footprint::footprint_rows(
+                &rome_llm::ModelConfig::deepseek_v3(),
+                rome_llm::Stage::Decode,
+                256,
+                8192,
+            ))
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::figure02_table());
-    c.bench_function("fig02_hbm_trends", |b| b.iter(|| black_box(rome_hbm::specs::generation_trends())));
+    c.bench_function("fig02_hbm_trends", |b| {
+        b.iter(|| black_box(rome_hbm::specs::generation_trends()))
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::figure10_table());
-    c.bench_function("fig10_ca_pins", |b| b.iter(|| black_box(rome_core::CaPinModel::rome_default().figure10_sweep(5..=10))));
+    c.bench_function("fig10_ca_pins", |b| {
+        b.iter(|| black_box(rome_core::CaPinModel::rome_default().figure10_sweep(5..=10)))
+    });
 }
 
 criterion_group! {

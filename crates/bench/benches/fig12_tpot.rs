@@ -6,7 +6,17 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::figure12_table(true));
-    c.bench_function("fig12_tpot", |b| b.iter(|| black_box(rome_sim::decode_tpot(&rome_llm::ModelConfig::grok_1(), 64, 8192, &rome_sim::AcceleratorSpec::paper_default(), &rome_sim::MemoryModel::rome(&rome_sim::AcceleratorSpec::paper_default())))));
+    c.bench_function("fig12_tpot", |b| {
+        b.iter(|| {
+            black_box(rome_sim::decode_tpot(
+                &rome_llm::ModelConfig::grok_1(),
+                64,
+                8192,
+                &rome_sim::AcceleratorSpec::paper_default(),
+                &rome_sim::MemoryModel::rome(&rome_sim::AcceleratorSpec::paper_default()),
+            ))
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,16 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::figure13_table());
-    c.bench_function("fig13_lbr", |b| b.iter(|| black_box({ let m = rome_llm::ModelConfig::deepseek_v3(); let p = rome_llm::Parallelism::paper_decode(&m); let s = rome_llm::decode_step(&m, &p, 64, 8192); rome_sim::channel_load_balance(&s, 288, 4096) })));
+    c.bench_function("fig13_lbr", |b| {
+        b.iter(|| {
+            black_box({
+                let m = rome_llm::ModelConfig::deepseek_v3();
+                let p = rome_llm::Parallelism::paper_decode(&m);
+                let s = rome_llm::decode_step(&m, &p, 64, 8192);
+                rome_sim::channel_load_balance(&s, 288, 4096)
+            })
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,21 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::figure14_table(true));
-    c.bench_function("fig14_energy", |b| b.iter(|| black_box({ let a = rome_sim::AcceleratorSpec::paper_default(); rome_sim::decode_energy(&rome_llm::ModelConfig::grok_1(), 256, 8192, &rome_sim::MemoryModel::hbm4_baseline(&a), &rome_sim::MemoryModel::rome(&a), &rome_energy::EnergyParams::hbm4()) })));
+    c.bench_function("fig14_energy", |b| {
+        b.iter(|| {
+            black_box({
+                let a = rome_sim::AcceleratorSpec::paper_default();
+                rome_sim::decode_energy(
+                    &rome_llm::ModelConfig::grok_1(),
+                    256,
+                    8192,
+                    &rome_sim::MemoryModel::hbm4_baseline(&a),
+                    &rome_sim::MemoryModel::rome(&a),
+                    &rome_energy::EnergyParams::hbm4(),
+                )
+            })
+        })
+    });
 }
 
 criterion_group! {

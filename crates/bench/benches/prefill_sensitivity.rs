@@ -6,7 +6,17 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::prefill_table());
-    c.bench_function("prefill_sensitivity", |b| b.iter(|| black_box(rome_sim::prefill_time(&rome_llm::ModelConfig::grok_1(), 16, 8192, &rome_sim::AcceleratorSpec::paper_default(), &rome_sim::MemoryModel::rome(&rome_sim::AcceleratorSpec::paper_default())))));
+    c.bench_function("prefill_sensitivity", |b| {
+        b.iter(|| {
+            black_box(rome_sim::prefill_time(
+                &rome_llm::ModelConfig::grok_1(),
+                16,
+                8192,
+                &rome_sim::AcceleratorSpec::paper_default(),
+                &rome_sim::MemoryModel::rome(&rome_sim::AcceleratorSpec::paper_default()),
+            ))
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,19 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::queue_depth_table());
-    c.bench_function("queue_depth", |b| b.iter(|| black_box({ let mut c = rome_mc::ChannelController::new(rome_mc::ControllerConfig::hbm4_with_queue_depth(16)); rome_mc::simulate::run_to_completion(&mut c, rome_mc::workload::streaming_reads(0, 64*1024, 32)) })));
+    c.bench_function("queue_depth", |b| {
+        b.iter(|| {
+            black_box({
+                let mut c = rome_mc::ChannelController::new(
+                    rome_mc::ControllerConfig::hbm4_with_queue_depth(16),
+                );
+                rome_mc::simulate::run_to_completion(
+                    &mut c,
+                    rome_mc::workload::streaming_reads(0, 64 * 1024, 32),
+                )
+            })
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,13 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::refresh_table());
-    c.bench_function("refresh_overhead", |b| b.iter(|| black_box(rome_core::refresh::RefreshStallComparison::from_timing(&rome_hbm::TimingParams::hbm4()))));
+    c.bench_function("refresh_overhead", |b| {
+        b.iter(|| {
+            black_box(rome_core::refresh::RefreshStallComparison::from_timing(
+                &rome_hbm::TimingParams::hbm4(),
+            ))
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,11 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::table04());
-    c.bench_function("tab04_mc_complexity", |b| b.iter(|| black_box(rome_core::ComplexityComparison::paper_default().scheduling_area_ratio())));
+    c.bench_function("tab04_mc_complexity", |b| {
+        b.iter(|| {
+            black_box(rome_core::ComplexityComparison::paper_default().scheduling_area_ratio())
+        })
+    });
 }
 
 criterion_group! {

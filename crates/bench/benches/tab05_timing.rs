@@ -6,7 +6,15 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::table05());
-    c.bench_function("tab05_timing", |b| b.iter(|| black_box(rome_core::RomeTimingParams::derive(&rome_hbm::TimingParams::hbm4(), &rome_hbm::Organization::hbm4(), &rome_core::VbaConfig::rome_default()))));
+    c.bench_function("tab05_timing", |b| {
+        b.iter(|| {
+            black_box(rome_core::RomeTimingParams::derive(
+                &rome_hbm::TimingParams::hbm4(),
+                &rome_hbm::Organization::hbm4(),
+                &rome_core::VbaConfig::rome_default(),
+            ))
+        })
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,19 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", rome_bench::vba_design_space_table());
-    c.bench_function("vba_design_space", |b| b.iter(|| black_box({ let mut c = rome_core::RomeController::new(rome_core::RomeControllerConfig::paper_default()); rome_core::simulate::run_to_completion(&mut c, rome_mc::workload::streaming_reads(0, 256*1024, 4096)) })));
+    c.bench_function("vba_design_space", |b| {
+        b.iter(|| {
+            black_box({
+                let mut c = rome_core::RomeController::new(
+                    rome_core::RomeControllerConfig::paper_default(),
+                );
+                rome_core::simulate::run_to_completion(
+                    &mut c,
+                    rome_mc::workload::streaming_reads(0, 256 * 1024, 4096),
+                )
+            })
+        })
+    });
 }
 
 criterion_group! {

@@ -73,7 +73,11 @@ pub fn figure10_table() -> String {
             r.access_latency_ns,
             r.access_then_refresh_latency_ns,
             r.budget_ns,
-            if r.access_then_refresh_latency_ns <= r.budget_ns { "yes" } else { "no" }
+            if r.access_then_refresh_latency_ns <= r.budget_ns {
+                "yes"
+            } else {
+                "no"
+            }
         ));
     }
     out.push_str(&format!(
@@ -172,8 +176,16 @@ pub fn table05() -> String {
     let mut out = String::from("Table V — timing parameters (ns)\n");
     out.push_str(&format!(
         "HBM4: tRC={} tRP={} tRAS={} tCL={} tRCD={} tWR={} tFAW={} tCCDL={} tCCDS={} tRRD={}\n",
-        hbm4.t_rc, hbm4.t_rp, hbm4.t_ras, hbm4.t_cl, hbm4.t_rcd_rd, hbm4.t_wr, hbm4.t_faw,
-        hbm4.t_ccd_l, hbm4.t_ccd_s, hbm4.t_rrd_s
+        hbm4.t_rc,
+        hbm4.t_rp,
+        hbm4.t_ras,
+        hbm4.t_cl,
+        hbm4.t_rcd_rd,
+        hbm4.t_wr,
+        hbm4.t_faw,
+        hbm4.t_ccd_l,
+        hbm4.t_ccd_s,
+        hbm4.t_rrd_s
     ));
     out.push_str("RoMe                paper   derived-from-Fig.9\n");
     for (name, p, d) in [
@@ -225,7 +237,11 @@ pub fn vba_design_space_table() -> String {
             bw,
             (1.0 - bw / best) * 100.0,
             cfg.area_overhead_fraction() * 100.0,
-            if cfg.requires_dram_modification() { "yes" } else { "no" }
+            if cfg.requires_dram_modification() {
+                "yes"
+            } else {
+                "no"
+            }
         ));
     }
     out.push_str("paper: performance deviation across all six points ≤ 3.6 %\n");
@@ -246,8 +262,7 @@ pub fn queue_depth_table() -> String {
             rome_mc::workload::streaming_reads(0, 512 * 1024, 32),
         )
         .achieved_bandwidth_gbps;
-        let mut rome =
-            RomeController::new(RomeControllerConfig::with_queue_depth(depth));
+        let mut rome = RomeController::new(RomeControllerConfig::with_queue_depth(depth));
         let rome_bw = rome_core::simulate::run_to_completion(
             &mut rome,
             rome_mc::workload::streaming_reads(0, 2 * 1024 * 1024, 4096),
@@ -324,7 +339,10 @@ pub fn ablation_channels_table() -> String {
         let a = decode_tpot(&model, 64, 8192, &accel, &hbm4).tpot_ms;
         let b = decode_tpot(&model, 64, 8192, &accel, &iso).tpot_ms;
         let c = decode_tpot(&model, 64, 8192, &accel, &rome).tpot_ms;
-        out.push_str(&format!("{:<12} {:>9.2} {:>15.2} {:>15.2}\n", model.name, a, b, c));
+        out.push_str(&format!(
+            "{:<12} {:>9.2} {:>15.2} {:>15.2}\n",
+            model.name, a, b, c
+        ));
     }
     out
 }
@@ -337,7 +355,10 @@ pub fn ablation_overfetch_table() -> String {
     for r in overfetch_sweep() {
         out.push_str(&format!(
             "{:>6} {:>18.3} {:>18.3} {:>24.1}\n",
-            r.request_bytes, r.rome_useful_fraction, r.hbm4_useful_fraction, r.rome_measured_useful_gbps
+            r.request_bytes,
+            r.rome_useful_fraction,
+            r.hbm4_useful_fraction,
+            r.rome_measured_useful_gbps
         ));
     }
     out
@@ -372,7 +393,10 @@ mod tests {
             ("area", area_table()),
             ("refresh", refresh_table()),
         ] {
-            assert!(table.lines().count() > 3, "{name} table too short:\n{table}");
+            assert!(
+                table.lines().count() > 3,
+                "{name} table too short:\n{table}"
+            );
         }
     }
 

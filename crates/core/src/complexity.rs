@@ -153,7 +153,8 @@ impl ComplexityComparison {
     /// Ratio of RoMe scheduling-logic size to the conventional controller's
     /// (the paper reports ≈ 9.1 %).
     pub fn scheduling_area_ratio(&self) -> f64 {
-        self.rome.scheduling_logic_units() as f64 / self.conventional.scheduling_logic_units() as f64
+        self.rome.scheduling_logic_units() as f64
+            / self.conventional.scheduling_logic_units() as f64
     }
 
     /// Render the comparison as aligned table rows (label, conventional,

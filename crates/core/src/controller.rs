@@ -23,7 +23,7 @@ use rome_hbm::units::Cycle;
 
 use rome_mc::request::{CompletedRequest, MemoryRequest, RequestKind};
 
-use crate::generator::CommandGenerator;
+use crate::generator::{CommandGenerator, ExpansionCounts};
 use crate::refresh::VbaRefreshScheduler;
 use crate::row_command::{RowCommand, RowCommandKind, VbaAddress};
 use crate::stats::RomeStats;
@@ -125,13 +125,30 @@ pub struct RomeController {
     /// Offset from row-command issue to the completion of its data transfer.
     data_complete_offset: Cycle,
     vbas_per_rank: u32,
+    /// Earliest future cycle at which a command the scheduler wanted to
+    /// issue this tick becomes ready, recorded as a byproduct of the tick's
+    /// failed issue attempts. Only complete after a tick that issued
+    /// nothing; consumed by [`RomeController::next_event_at`].
+    event_hint: Cycle,
+    /// Per-kind command-expansion counts, precomputed once: the expansion of
+    /// a row command depends only on its kind, so re-deriving the full
+    /// Fig. 9 schedule on every issue would dominate the issue path.
+    expansion: [ExpansionCounts; 3],
+}
+
+/// Index of a row-command kind in the precomputed expansion table.
+fn expansion_index(kind: RowCommandKind) -> usize {
+    match kind {
+        RowCommandKind::RdRow => 0,
+        RowCommandKind::WrRow => 1,
+        RowCommandKind::RefVba => 2,
+    }
 }
 
 impl RomeController {
     /// Create a controller from its configuration.
     pub fn new(config: RomeControllerConfig) -> Self {
-        let generator =
-            CommandGenerator::new(config.organization, config.timing, config.vba);
+        let generator = CommandGenerator::new(config.organization, config.timing, config.vba);
         let vbas_per_rank = config.vba.vbas_per_rank(&config.organization);
         let ranks = config.organization.stack_ids as usize;
         let refresh = (0..ranks)
@@ -146,6 +163,11 @@ impl RomeController {
                 + beats * config.timing.t_ccd_s
                 + config.timing.t_cl,
         );
+        let expansion = [
+            generator.expansion_counts(RowCommandKind::RdRow),
+            generator.expansion_counts(RowCommandKind::WrRow),
+            generator.expansion_counts(RowCommandKind::RefVba),
+        ];
         RomeController {
             vba_busy_until: vec![0; ranks * vbas_per_rank as usize],
             queue: VecDeque::with_capacity(config.queue_capacity),
@@ -156,6 +178,8 @@ impl RomeController {
             generator,
             data_complete_offset,
             vbas_per_rank,
+            event_hint: Cycle::MAX,
+            expansion,
             config,
         }
     }
@@ -217,7 +241,11 @@ impl RomeController {
             request.bytes
         );
         let (target, row) = self.decode(request.address.raw());
-        self.enqueue_decoded(RomeQueueEntry { request, target, row })
+        self.enqueue_decoded(RomeQueueEntry {
+            request,
+            target,
+            row,
+        })
     }
 
     /// Enqueue a request whose RoMe coordinates were already decoded (used by
@@ -245,24 +273,86 @@ impl RomeController {
     }
 
     /// Advance the controller by one nanosecond.
+    ///
+    /// Allocates a fresh completion vector per call; hot loops should prefer
+    /// [`RomeController::tick_into`] with a reused buffer.
     pub fn tick(&mut self, now: Cycle) -> Vec<CompletedRequest> {
+        let mut completed = Vec::new();
+        self.tick_into(now, &mut completed);
+        completed
+    }
+
+    /// Advance the controller by one nanosecond, appending any completions to
+    /// `completed`. Returns `true` if a row command (data or refresh) was
+    /// issued.
+    pub fn tick_into(&mut self, now: Cycle, completed: &mut Vec<CompletedRequest>) -> bool {
         self.stats.total_cycles += 1;
-        let completed = self.collect_completions(now);
+        self.event_hint = Cycle::MAX;
+        self.collect_completions_into(now, completed);
         let had_work = !self.queue.is_empty();
 
         let issued_refresh = self.try_issue_refresh(now);
-        let issued = if issued_refresh { true } else { self.try_issue_data(now) };
+        let issued = if issued_refresh {
+            true
+        } else {
+            self.try_issue_data(now)
+        };
 
         if had_work && !issued {
             self.stats.stall_cycles += 1;
         } else if !had_work && self.in_flight.is_empty() {
             self.stats.idle_cycles += 1;
         }
-        completed
+        issued
     }
 
-    fn collect_completions(&mut self, now: Cycle) -> Vec<CompletedRequest> {
-        let mut done = Vec::new();
+    /// The next cycle strictly after `now` at which this controller's state
+    /// can change on its own: an in-flight transfer completing, a pooled
+    /// refresh becoming due (or its target VBA freeing up), or a queued
+    /// request's VBA and interface spacing both becoming ready. `None` when
+    /// the controller is fully idle and no refresh is pending.
+    ///
+    /// Must be called immediately after a [`RomeController::tick_into`] at
+    /// the same `now` that issued nothing: the scheduling-derived part of
+    /// the answer is accumulated into the event hint during that tick's
+    /// failed issue attempts. Like
+    /// [`rome_mc::ChannelController::next_event_at`], the result is a lower
+    /// bound on the next state change, so an event-driven driver that ticks
+    /// at every reported cycle reproduces the cycle-stepped schedule exactly.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let horizon = now + 1;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(horizon);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+
+        if self.event_hint != Cycle::MAX {
+            consider(self.event_hint);
+        }
+
+        for inflight in &self.in_flight {
+            consider(inflight.complete_at);
+        }
+
+        for sched in &self.refresh {
+            if !sched.due(now) {
+                consider(sched.next_due());
+            }
+        }
+
+        next
+    }
+
+    /// Record a future cycle at which a command the scheduler wanted this
+    /// tick becomes ready.
+    fn hint_event(&mut self, at: Cycle) {
+        if at < self.event_hint {
+            self.event_hint = at;
+        }
+    }
+
+    fn collect_completions_into(&mut self, now: Cycle, done: &mut Vec<CompletedRequest>) {
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].complete_at <= now {
@@ -293,7 +383,6 @@ impl RomeController {
                 i += 1;
             }
         }
-        done
     }
 
     fn try_issue_refresh(&mut self, now: Cycle) -> bool {
@@ -306,6 +395,8 @@ impl RomeController {
             let target = VbaAddress::new(0, sid, probe);
             let idx = self.vba_index(target);
             if self.vba_busy_until[idx] > now {
+                // Pending refresh: it issues once the VBA frees up.
+                self.hint_event(self.vba_busy_until[idx]);
                 continue;
             }
             // Refresh rides the same interface but is short to transmit; the
@@ -316,7 +407,9 @@ impl RomeController {
             let occupancy = self.generator.occupancy_ns(RowCommandKind::RefVba);
             self.vba_busy_until[idx] = now + occupancy;
             self.stats.refreshes_issued += 1;
-            self.stats.derived.absorb(&self.generator.expansion_counts(RowCommandKind::RefVba));
+            self.stats
+                .derived
+                .absorb(&self.expansion[expansion_index(RowCommandKind::RefVba)]);
             return true;
         }
         false
@@ -325,29 +418,47 @@ impl RomeController {
     fn try_issue_data(&mut self, now: Cycle) -> bool {
         // Oldest-first over requests whose VBA is free and whose interface
         // spacing has elapsed — the entirety of the RoMe scheduling policy.
+        // Blocked requests feed the event hint with the cycle both their VBA
+        // and the interface become ready.
         let mut chosen: Option<usize> = None;
+        let mut hint = Cycle::MAX;
         for (i, e) in self.queue.iter().enumerate() {
             let is_write = !e.request.kind.is_read();
             let idx = self.vba_index(e.target);
-            if self.vba_busy_until[idx] > now {
-                continue;
-            }
-            if self.earliest_interface_issue(is_write, e.target.stack_id) > now {
+            let ready = self.vba_busy_until[idx]
+                .max(self.earliest_interface_issue(is_write, e.target.stack_id));
+            if ready > now {
+                hint = hint.min(ready);
                 continue;
             }
             chosen = Some(i);
             break;
         }
+        if hint != Cycle::MAX {
+            self.hint_event(hint);
+        }
         let Some(i) = chosen else { return false };
         let entry = self.queue.remove(i).expect("index valid");
         let is_write = !entry.request.kind.is_read();
-        let kind = if is_write { RowCommandKind::WrRow } else { RowCommandKind::RdRow };
-        let _command = RowCommand { kind, target: entry.target, row: entry.row };
+        let kind = if is_write {
+            RowCommandKind::WrRow
+        } else {
+            RowCommandKind::RdRow
+        };
+        let _command = RowCommand {
+            kind,
+            target: entry.target,
+            row: entry.row,
+        };
 
         let idx = self.vba_index(entry.target);
         let same_vba_gap = self.config.rome_timing.same_vba_spacing(is_write);
         self.vba_busy_until[idx] = now + Cycle::from(same_vba_gap);
-        self.last_issue = Some(LastIssue { at: now, was_write: is_write, stack_id: entry.target.stack_id });
+        self.last_issue = Some(LastIssue {
+            at: now,
+            was_write: is_write,
+            stack_id: entry.target.stack_id,
+        });
 
         let complete_at = now
             + if is_write {
@@ -365,7 +476,9 @@ impl RomeController {
             RowCommandKind::RefVba => {}
         }
         self.stats.bytes_transferred += self.config.row_bytes();
-        self.stats.derived.absorb(&self.generator.expansion_counts(kind));
+        self.stats
+            .derived
+            .absorb(&self.expansion[expansion_index(kind)]);
         true
     }
 }
@@ -421,7 +534,7 @@ mod tests {
         assert_eq!(done.len(), 1);
         let lat = done[0].latency();
         // tRCD + 64 beats + CAS latency plus a cycle of scheduling.
-        assert!(lat >= 95 && lat <= 105, "latency {lat}");
+        assert!((95..=105).contains(&lat), "latency {lat}");
         assert_eq!(ctrl.stats().rd_rows_issued, 1);
         assert_eq!(ctrl.stats().bytes_read, 4096);
         assert_eq!(ctrl.stats().bytes_transferred, 4096);
@@ -518,8 +631,10 @@ mod tests {
         let (done, _) = run_until_idle(&mut ctrl, 10_000);
         assert_eq!(done.len(), 2);
         let issue_gap = done[1].completed as i64 - done[0].completed as i64;
-        assert!(issue_gap >= RomeTimingParams::paper_table_v().t_rd_row as i64,
-            "same-VBA requests completed only {issue_gap} ns apart");
+        assert!(
+            issue_gap >= RomeTimingParams::paper_table_v().t_rd_row as i64,
+            "same-VBA requests completed only {issue_gap} ns apart"
+        );
     }
 
     #[test]
@@ -530,7 +645,7 @@ mod tests {
         let (done, _) = run_until_idle(&mut ctrl, 10_000);
         assert_eq!(done.len(), 2);
         let gap = done[1].completed - done[0].completed;
-        assert!(gap >= 64 && gap <= 70, "completion gap {gap}");
+        assert!((64..=70).contains(&gap), "completion gap {gap}");
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl CommandGenerator {
         let banks_per_group = self.org.banks_per_group;
         let pcs: Vec<u8> = match self.vba.pc_merge {
             PcMerge::LegacyBothPcs => (0..self.org.pseudo_channels).collect(),
-            PcMerge::WidenSinglePc => vec![(vba / (self.org.bank_groups * banks_per_group / 2)) % self.org.pseudo_channels],
+            PcMerge::WidenSinglePc => vec![
+                (vba / (self.org.bank_groups * banks_per_group / 2)) % self.org.pseudo_channels,
+            ],
         };
         let mut out = Vec::new();
         match self.vba.bank_merge {
@@ -176,11 +178,22 @@ impl CommandGenerator {
             for b in &slots[which] {
                 let target = CommandTarget::from_bank_address(*b);
                 let cmd = if is_write {
-                    DramCommand::Wr { target, column, auto_precharge: false }
+                    DramCommand::Wr {
+                        target,
+                        column,
+                        auto_precharge: false,
+                    }
                 } else {
-                    DramCommand::Rd { target, column, auto_precharge: false }
+                    DramCommand::Rd {
+                        target,
+                        column,
+                        auto_precharge: false,
+                    }
                 };
-                out.push(ScheduledCommand { offset: at, command: cmd });
+                out.push(ScheduledCommand {
+                    offset: at,
+                    command: cmd,
+                });
             }
         }
 
@@ -195,7 +208,9 @@ impl CommandGenerator {
             for b in slot {
                 out.push(ScheduledCommand {
                     offset: last_col_at[s] + after,
-                    command: DramCommand::Pre { target: CommandTarget::from_bank_address(*b) },
+                    command: DramCommand::Pre {
+                        target: CommandTarget::from_bank_address(*b),
+                    },
                 });
             }
         }
@@ -210,7 +225,11 @@ impl CommandGenerator {
     /// paper's `tRD_row`/`tWR_row` (Table V); see `RomeTimingParams` for the
     /// published values.
     pub fn min_same_vba_gap(&self, kind: RowCommandKind) -> Cycle {
-        let probe = RowCommand { kind, target: VbaAddress::new(0, 0, 0), row: 0 };
+        let probe = RowCommand {
+            kind,
+            target: VbaAddress::new(0, 0, 0),
+            row: 0,
+        };
         let schedule = self.expand(probe);
         let last_pre = schedule
             .iter()
@@ -239,7 +258,9 @@ impl CommandGenerator {
             let idx = (seen_pairs.len() - 1) as u64;
             out.push(ScheduledCommand {
                 offset: idx * Cycle::from(self.timing.t_rrefd),
-                command: DramCommand::RefPerBank { target: CommandTarget::from_bank_address(b) },
+                command: DramCommand::RefPerBank {
+                    target: CommandTarget::from_bank_address(b),
+                },
             });
         }
         out
@@ -259,7 +280,9 @@ impl CommandGenerator {
                 DramCommand::Rd { .. } => counts.reads += 1,
                 DramCommand::Wr { .. } => counts.writes += 1,
                 DramCommand::Pre { .. } | DramCommand::PreAll { .. } => counts.precharges += 1,
-                DramCommand::RefPerBank { .. } | DramCommand::RefAllBank { .. } => counts.refreshes += 1,
+                DramCommand::RefPerBank { .. } | DramCommand::RefAllBank { .. } => {
+                    counts.refreshes += 1
+                }
                 DramCommand::Mrs { .. } => {}
             }
         }
@@ -275,7 +298,11 @@ impl CommandGenerator {
                 Cycle::from(self.timing.t_rfc_pb) + Cycle::from(self.timing.t_rrefd)
             }
             _ => {
-                let probe = RowCommand { kind, target: VbaAddress::new(0, 0, 0), row: 0 };
+                let probe = RowCommand {
+                    kind,
+                    target: VbaAddress::new(0, 0, 0),
+                    row: 0,
+                };
                 let schedule = self.expand(probe);
                 let last = schedule.last().map(|s| s.offset).unwrap_or(0);
                 last + Cycle::from(self.timing.t_rp)
@@ -290,7 +317,11 @@ mod tests {
     use rome_hbm::channel::HbmChannel;
 
     fn generator() -> CommandGenerator {
-        CommandGenerator::new(Organization::hbm4(), TimingParams::hbm4(), VbaConfig::rome_default())
+        CommandGenerator::new(
+            Organization::hbm4(),
+            TimingParams::hbm4(),
+            VbaConfig::rome_default(),
+        )
     }
 
     #[test]
@@ -350,7 +381,10 @@ mod tests {
         assert_eq!(schedule.len(), 2);
         assert_eq!(schedule[0].offset, 0);
         assert_eq!(schedule[1].offset, 8);
-        assert!(matches!(schedule[0].command, DramCommand::RefPerBank { .. }));
+        assert!(matches!(
+            schedule[0].command,
+            DramCommand::RefPerBank { .. }
+        ));
         // Occupancy is tRFCpb + tRREFD, not 2 × tRFCpb (§V-B).
         assert_eq!(g.occupancy_ns(RowCommandKind::RefVba), 288);
     }
@@ -382,7 +416,12 @@ mod tests {
         let g = generator();
         let mut channel = HbmChannel::new(Organization::hbm4(), TimingParams::hbm4());
         for s in g.expand(RowCommand::wr_row(VbaAddress::new(0, 1, 5), 9)) {
-            assert!(channel.can_issue(&s.command, s.offset), "{:?} at {}", s.command, s.offset);
+            assert!(
+                channel.can_issue(&s.command, s.offset),
+                "{:?} at {}",
+                s.command,
+                s.offset
+            );
             channel.issue(s.command, s.offset).unwrap();
         }
         assert_eq!(channel.counters().writes, 128);
@@ -427,7 +466,10 @@ mod tests {
         let gap = g.min_same_vba_gap(RowCommandKind::RdRow);
         // The self-consistent gap must be close to the paper's tRD_row value.
         let paper = RomeTimingParams::paper_table_v().t_rd_row as i64;
-        assert!((gap as i64 - paper).abs() <= 8, "gap {gap} vs paper {paper}");
+        assert!(
+            (gap as i64 - paper).abs() <= 8,
+            "gap {gap} vs paper {paper}"
+        );
         let offset = gap;
         for s in g.expand(RowCommand::rd_row(VbaAddress::new(0, 0, 0), 1)) {
             let at = offset + s.offset;

@@ -32,7 +32,12 @@ impl CommandEncoding {
     /// 4-bit opcode; 4 stack IDs → 2 bits; 8 VBAs per rank → 3 bits;
     /// 8192 rows → 13 bits.
     pub fn rome_default() -> Self {
-        CommandEncoding { opcode_bits: 4, stack_id_bits: 2, vba_bits: 3, row_bits: 13 }
+        CommandEncoding {
+            opcode_bits: 4,
+            stack_id_bits: 2,
+            vba_bits: 3,
+            row_bits: 13,
+        }
     }
 
     /// Total bits in one command word.
@@ -68,7 +73,7 @@ impl CaPinModel {
     fn serialize_ns(&self, bits: u32, pins: u32) -> f64 {
         assert!(pins > 0, "at least one C/A pin is required");
         let per_ns = pins * self.ca_transfers_per_ns;
-        ((bits + per_ns - 1) / per_ns) as f64
+        bits.div_ceil(per_ns) as f64
     }
 
     /// Nanoseconds needed to serialize one `RD_row`/`WR_row` command word
@@ -175,7 +180,8 @@ mod tests {
         let m = CaPinModel::rome_default();
         assert_eq!(m.pins_saved_per_channel(), 13);
         // 13 of 18 pins removed is the paper's 72 % reduction.
-        let reduction = m.pins_saved_per_channel() as f64 / CaPinModel::conventional_ca_pins() as f64;
+        let reduction =
+            m.pins_saved_per_channel() as f64 / CaPinModel::conventional_ca_pins() as f64;
         assert!((reduction - 0.72).abs() < 0.01);
     }
 
@@ -185,12 +191,18 @@ mod tests {
         let rows = m.figure10_sweep(5..=10);
         assert_eq!(rows.len(), 6);
         for pair in rows.windows(2) {
-            assert!(pair[1].access_then_refresh_latency_ns <= pair[0].access_then_refresh_latency_ns);
+            assert!(
+                pair[1].access_then_refresh_latency_ns <= pair[0].access_then_refresh_latency_ns
+            );
         }
         // Every point from 5 to 10 pins stays under the budget (Fig. 10).
-        assert!(rows.iter().all(|r| r.access_then_refresh_latency_ns <= r.budget_ns));
+        assert!(rows
+            .iter()
+            .all(|r| r.access_then_refresh_latency_ns <= r.budget_ns));
         // Access-only latency is below the combined latency everywhere.
-        assert!(rows.iter().all(|r| r.access_latency_ns < r.access_then_refresh_latency_ns));
+        assert!(rows
+            .iter()
+            .all(|r| r.access_latency_ns < r.access_then_refresh_latency_ns));
     }
 
     #[test]

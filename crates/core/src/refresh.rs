@@ -29,7 +29,13 @@ impl VbaRefreshScheduler {
     /// one pooled refresh every `2 × tREFIpb` rotating over the VBAs.
     pub fn new(timing: &TimingParams, vbas_per_rank: u32) -> Self {
         let interval = Cycle::from(timing.t_refi_pb) * 2;
-        VbaRefreshScheduler { interval, next_due: interval, vbas_per_rank, next_vba: 0, issued: 0 }
+        VbaRefreshScheduler {
+            interval,
+            next_due: interval,
+            vbas_per_rank,
+            next_vba: 0,
+            issued: 0,
+        }
     }
 
     /// The pooled refresh interval (`2 × tREFIpb`).
@@ -40,6 +46,13 @@ impl VbaRefreshScheduler {
     /// Whether a pooled refresh is due at `now`.
     pub fn due(&self, now: Cycle) -> bool {
         now >= self.next_due
+    }
+
+    /// The cycle at which the next pooled refresh becomes due (the
+    /// scheduler's next self-induced state change, used by the event-driven
+    /// drivers to skip idle time).
+    pub fn next_due(&self) -> Cycle {
+        self.next_due
     }
 
     /// Number of pooled refreshes issued so far.

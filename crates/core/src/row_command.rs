@@ -10,7 +10,9 @@
 use serde::{Deserialize, Serialize};
 
 /// The address of one virtual bank within the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VbaAddress {
     /// Channel index within the memory system.
     pub channel: u16,
@@ -23,7 +25,11 @@ pub struct VbaAddress {
 impl VbaAddress {
     /// Create a VBA address.
     pub const fn new(channel: u16, stack_id: u8, vba: u8) -> Self {
-        VbaAddress { channel, stack_id, vba }
+        VbaAddress {
+            channel,
+            stack_id,
+            vba,
+        }
     }
 }
 
@@ -81,17 +87,29 @@ pub struct RowCommand {
 impl RowCommand {
     /// A `RD_row` command.
     pub const fn rd_row(target: VbaAddress, row: u32) -> Self {
-        RowCommand { kind: RowCommandKind::RdRow, target, row }
+        RowCommand {
+            kind: RowCommandKind::RdRow,
+            target,
+            row,
+        }
     }
 
     /// A `WR_row` command.
     pub const fn wr_row(target: VbaAddress, row: u32) -> Self {
-        RowCommand { kind: RowCommandKind::WrRow, target, row }
+        RowCommand {
+            kind: RowCommandKind::WrRow,
+            target,
+            row,
+        }
     }
 
     /// A VBA refresh command.
     pub const fn ref_vba(target: VbaAddress) -> Self {
-        RowCommand { kind: RowCommandKind::RefVba, target, row: 0 }
+        RowCommand {
+            kind: RowCommandKind::RefVba,
+            target,
+            row: 0,
+        }
     }
 }
 

@@ -7,6 +7,12 @@ use rome_hbm::units::Cycle;
 use crate::generator::ExpansionCounts;
 
 /// Statistics for one RoMe channel controller.
+///
+/// As with `rome_mc::ControllerStats`: event counts are exact under any
+/// driver, while the per-tick fields (`total_cycles`, `stall_cycles`,
+/// `idle_cycles`) count executed scheduling ticks — one per nanosecond only
+/// under a cycle-stepped driver; an event-driven driver skips provably idle
+/// nanoseconds. Use `run_with_limit_stepped` for per-nanosecond accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RomeStats {
     /// `RD_row` commands issued.
@@ -165,8 +171,20 @@ mod tests {
     #[test]
     fn derived_counts_absorb_expansions() {
         let mut d = DerivedCommandCounts::default();
-        d.absorb(&ExpansionCounts { activates: 4, reads: 128, writes: 0, precharges: 4, refreshes: 0 });
-        d.absorb(&ExpansionCounts { activates: 0, reads: 0, writes: 0, precharges: 0, refreshes: 2 });
+        d.absorb(&ExpansionCounts {
+            activates: 4,
+            reads: 128,
+            writes: 0,
+            precharges: 4,
+            refreshes: 0,
+        });
+        d.absorb(&ExpansionCounts {
+            activates: 0,
+            reads: 0,
+            writes: 0,
+            precharges: 0,
+            refreshes: 2,
+        });
         assert_eq!(d.activates, 4);
         assert_eq!(d.reads, 128);
         assert_eq!(d.refreshes, 2);

@@ -8,13 +8,14 @@
 //! the load-imbalance effect quantified by the paper's Figure 13, which the
 //! `bytes_per_channel` accessor exposes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::Cycle;
 
-use rome_mc::request::{MemoryRequest, RequestId, RequestKind};
+use rome_mc::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
 use rome_mc::system::HostCompletion;
 
 use crate::channel_plan::ChannelPlan;
@@ -43,7 +44,10 @@ impl RomeSystemConfig {
     /// A RoMe system with an explicit channel count (used for sampled
     /// system-level simulation and the iso-bandwidth ablation).
     pub fn with_channels(channels: u16) -> Self {
-        RomeSystemConfig { channels, controller: RomeControllerConfig::paper_default() }
+        RomeSystemConfig {
+            channels,
+            controller: RomeControllerConfig::paper_default(),
+        }
     }
 
     /// Effective row size (request granularity) in bytes.
@@ -74,18 +78,23 @@ pub struct RomeMemorySystem {
     backlog: Vec<(u16, RomeQueueEntry)>,
     host_requests: HashMap<RequestId, HostTracker>,
     next_auto_id: u64,
+    /// Reused per-tick completion buffer (avoids an allocation per channel
+    /// per cycle).
+    scratch: Vec<CompletedRequest>,
 }
 
 impl RomeMemorySystem {
     /// Build the system described by `config`.
     pub fn new(config: RomeSystemConfig) -> Self {
-        let controllers =
-            (0..config.channels).map(|_| RomeController::new(config.controller.clone())).collect();
+        let controllers = (0..config.channels)
+            .map(|_| RomeController::new(config.controller.clone()))
+            .collect();
         RomeMemorySystem {
             controllers,
             backlog: Vec::new(),
             host_requests: HashMap::new(),
             next_auto_id: 1 << 48,
+            scratch: Vec::new(),
             config,
         }
     }
@@ -111,7 +120,10 @@ impl RomeMemorySystem {
 
     /// Useful bytes served per channel (for the channel load-balance rate).
     pub fn bytes_per_channel(&self) -> Vec<u64> {
-        self.controllers.iter().map(|c| c.stats().bytes_total()).collect()
+        self.controllers
+            .iter()
+            .map(|c| c.stats().bytes_total())
+            .collect()
     }
 
     /// Whether all work has drained.
@@ -156,13 +168,32 @@ impl RomeMemorySystem {
         );
         for frag in fragments {
             let (channel, target, row) = self.decode(frag.address.raw());
-            self.backlog.push((channel, RomeQueueEntry { request: frag, target, row }));
+            self.backlog.push((
+                channel,
+                RomeQueueEntry {
+                    request: frag,
+                    target,
+                    row,
+                },
+            ));
         }
         request.id
     }
 
     /// Advance the whole system by one nanosecond.
+    ///
+    /// Allocates a fresh completion vector per call; hot loops should prefer
+    /// [`RomeMemorySystem::tick_into`] with a reused buffer.
     pub fn tick(&mut self, now: Cycle) -> Vec<HostCompletion> {
+        let mut completions = Vec::new();
+        self.tick_into(now, &mut completions);
+        completions
+    }
+
+    /// Advance the whole system by one nanosecond, appending completed host
+    /// requests to `completions`. Returns `true` if any channel issued a row
+    /// command.
+    pub fn tick_into(&mut self, now: Cycle, completions: &mut Vec<HostCompletion>) -> bool {
         let mut i = 0;
         while i < self.backlog.len() {
             let (channel, entry) = self.backlog[i];
@@ -177,10 +208,18 @@ impl RomeMemorySystem {
             }
         }
 
-        let mut completions = Vec::new();
-        for ctrl in &mut self.controllers {
-            for done in ctrl.tick(now) {
-                if let Some(tracker) = self.host_requests.get_mut(&done.id) {
+        let before = completions.len();
+        let mut issued = false;
+        let RomeMemorySystem {
+            controllers,
+            scratch,
+            host_requests,
+            ..
+        } = self;
+        for ctrl in controllers.iter_mut() {
+            issued |= ctrl.tick_into(now, scratch);
+            for done in scratch.drain(..) {
+                if let Some(tracker) = host_requests.get_mut(&done.id) {
                     tracker.fragments_outstanding -= 1;
                     tracker.last_completion = tracker.last_completion.max(done.completed);
                     if tracker.fragments_outstanding == 0 {
@@ -195,22 +234,118 @@ impl RomeMemorySystem {
                 }
             }
         }
+        for c in &completions[before..] {
+            self.host_requests.remove(&c.id);
+        }
+        issued
+    }
+
+    /// The next cycle strictly after `now` at which any channel's state can
+    /// change (see [`RomeController::next_event_at`]), or at which a
+    /// backlogged fragment could enter a queue. `None` when the whole system
+    /// is quiescent.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(now + 1);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+        let n = self.controllers.len();
+        if self
+            .backlog
+            .iter()
+            .any(|(channel, _)| self.controllers[*channel as usize % n].slots_free() > 0)
+        {
+            consider(now + 1);
+        }
+        for ctrl in &self.controllers {
+            if let Some(t) = ctrl.next_event_at(now) {
+                consider(t);
+            }
+        }
+        next
+    }
+
+    /// Run until idle or `max_ns`, returning the completions (sorted by
+    /// completion time, then id) and the stop time.
+    ///
+    /// As in `rome_mc::system`, channels share no state once fragments are
+    /// steered, so each channel runs its own event-driven loop to completion
+    /// — in parallel across channels — and the fragment completions are
+    /// merged into host completions afterwards.
+    pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
+        let channels = self.controllers.len();
+        let mut backlogs: Vec<VecDeque<RomeQueueEntry>> = vec![VecDeque::new(); channels];
+        for (channel, entry) in self.backlog.drain(..) {
+            backlogs[channel as usize % channels].push_back(entry);
+        }
+
+        let tasks: Vec<(&mut RomeController, VecDeque<RomeQueueEntry>)> =
+            self.controllers.iter_mut().zip(backlogs).collect();
+        let per_channel: Vec<(Vec<CompletedRequest>, Cycle)> = tasks
+            .into_par_iter()
+            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns))
+            .collect();
+
+        let mut stop = 0;
+        let mut fragments = Vec::new();
+        for (done, t) in per_channel {
+            stop = stop.max(t);
+            fragments.extend(done);
+        }
+        fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
+
+        let mut completions = Vec::new();
+        for done in fragments {
+            if let Some(tracker) = self.host_requests.get_mut(&done.id) {
+                tracker.fragments_outstanding -= 1;
+                tracker.last_completion = tracker.last_completion.max(done.completed);
+                if tracker.fragments_outstanding == 0 {
+                    completions.push(HostCompletion {
+                        id: done.id,
+                        kind: tracker.kind,
+                        bytes: tracker.bytes,
+                        arrival: tracker.arrival,
+                        completed: tracker.last_completion,
+                    });
+                }
+            }
+        }
         for c in &completions {
             self.host_requests.remove(&c.id);
         }
-        completions
+        (completions, stop)
     }
+}
 
-    /// Run until idle or `max_ns`, returning completions and the stop time.
-    pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
-        let mut done = Vec::new();
-        let mut now = 0;
-        while !self.is_idle() && now < max_ns {
-            done.extend(self.tick(now));
-            now += 1;
+/// Event-driven loop for one RoMe channel: feed it its share of the backlog,
+/// jump to the next event after every no-op tick, and return the fragment
+/// completions plus the cycle the channel went idle (or `max_ns`).
+fn run_channel_until_idle(
+    ctrl: &mut RomeController,
+    mut backlog: VecDeque<RomeQueueEntry>,
+    max_ns: Cycle,
+) -> (Vec<CompletedRequest>, Cycle) {
+    let mut done = Vec::new();
+    let mut now = 0;
+    let mut stop = 0;
+    while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
+        while !backlog.is_empty() && ctrl.slots_free() > 0 {
+            let entry = backlog.pop_front().expect("checked non-empty");
+            let ok = ctrl.enqueue_decoded(entry);
+            debug_assert!(ok);
         }
-        (done, now)
+        let issued = ctrl.tick_into(now, &mut done);
+        stop = now + 1;
+        let arrival_next = !backlog.is_empty() && ctrl.slots_free() > 0;
+        now = if issued || arrival_next {
+            now + 1
+        } else {
+            ctrl.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
+        };
     }
+    let finished = backlog.is_empty() && ctrl.is_idle();
+    (done, if finished { stop } else { max_ns })
 }
 
 #[cfg(test)]
@@ -247,7 +382,10 @@ mod tests {
         let per_chan = sys.bytes_per_channel();
         let max = *per_chan.iter().max().unwrap();
         let min = *per_chan.iter().min().unwrap();
-        assert_eq!(max, min, "perfectly divisible transfer must balance: {per_chan:?}");
+        assert_eq!(
+            max, min,
+            "perfectly divisible transfer must balance: {per_chan:?}"
+        );
         // Aggregate bandwidth well above one channel's peak.
         let bw = (256.0 * 1024.0) / finish as f64;
         assert!(bw > 150.0, "bandwidth {bw:.1} GB/s");

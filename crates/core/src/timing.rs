@@ -122,7 +122,12 @@ impl RomeTimingParams {
     }
 
     /// Spacing to apply between two row commands issued to *different* VBAs.
-    pub fn different_vba_spacing(&self, prev_was_write: bool, next_is_write: bool, same_sid: bool) -> u32 {
+    pub fn different_vba_spacing(
+        &self,
+        prev_was_write: bool,
+        next_is_write: bool,
+        same_sid: bool,
+    ) -> u32 {
         match (prev_was_write, next_is_write, same_sid) {
             (false, false, true) => self.t_r2r_s,
             (false, false, false) => self.t_r2r_r,
@@ -233,9 +238,15 @@ mod tests {
             pc_merge: PcMerge::WidenSinglePc,
         };
         let derived = RomeTimingParams::derive(&conv, &org, &cfg);
-        assert_eq!(derived.t_r2r_s, 32, "2 KB over a 64 B/tCCDS widened beat is 32 slots");
+        assert_eq!(
+            derived.t_r2r_s, 32,
+            "2 KB over a 64 B/tCCDS widened beat is 32 slots"
+        );
         // Fig. 7(b) + Fig. 8(b): 2 KB effective row over both PCs = 32 slots.
-        let cfg = VbaConfig { bank_merge: BankMerge::WidenSingleBank, pc_merge: PcMerge::LegacyBothPcs };
+        let cfg = VbaConfig {
+            bank_merge: BankMerge::WidenSingleBank,
+            pc_merge: PcMerge::LegacyBothPcs,
+        };
         let derived = RomeTimingParams::derive(&conv, &org, &cfg);
         assert_eq!(derived.t_r2r_s, 32);
     }

@@ -136,7 +136,10 @@ impl VbaConfig {
         let mut out = Vec::with_capacity(6);
         for bank_merge in BankMerge::ALL {
             for pc_merge in PcMerge::ALL {
-                out.push(VbaConfig { bank_merge, pc_merge });
+                out.push(VbaConfig {
+                    bank_merge,
+                    pc_merge,
+                });
             }
         }
         out
@@ -254,7 +257,10 @@ mod tests {
 
     #[test]
     fn widen_bank_with_widen_pc_is_the_worst_area_point() {
-        let worst = VbaConfig { bank_merge: BankMerge::WidenSingleBank, pc_merge: PcMerge::WidenSinglePc };
+        let worst = VbaConfig {
+            bank_merge: BankMerge::WidenSingleBank,
+            pc_merge: PcMerge::WidenSinglePc,
+        };
         assert_eq!(worst.datapath_multiplier(), 4);
         assert_eq!(worst.area_overhead_fraction(), 0.77);
         assert!(worst.requires_dram_modification());
@@ -263,7 +269,10 @@ mod tests {
     #[test]
     fn widen_single_bank_keeps_bank_count() {
         let org = org();
-        let cfg = VbaConfig { bank_merge: BankMerge::WidenSingleBank, pc_merge: PcMerge::LegacyBothPcs };
+        let cfg = VbaConfig {
+            bank_merge: BankMerge::WidenSingleBank,
+            pc_merge: PcMerge::LegacyBothPcs,
+        };
         // One bank per BG-side unit, both PCs ganged: 128 banks / 2 = 64 VBAs,
         // effective row 2 KB.
         assert_eq!(cfg.vbas_per_channel(&org), 64);
@@ -290,7 +299,7 @@ mod tests {
         let org = org();
         for cfg in VbaConfig::design_space() {
             let row = cfg.effective_row_bytes(&org);
-            assert!(row >= 1024 && row <= 4096, "{cfg}: row {row}");
+            assert!((1024..=4096).contains(&row), "{cfg}: row {row}");
             assert!(cfg.vbas_per_channel(&org) >= 32);
             assert!(cfg.datapath_multiplier() >= 1 && cfg.datapath_multiplier() <= 4);
             // The default is the only point with zero area overhead and no

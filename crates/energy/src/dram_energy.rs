@@ -204,7 +204,12 @@ mod tests {
     fn breakdown_totals_are_sums_of_components() {
         let c = streaming_counts(1 << 20, 1.0);
         let b = EnergyBreakdown::from_counts(&c, &EnergyParams::hbm4());
-        let sum = b.act_pj + b.cas_pj + b.io_pj + b.interposer_pj + b.ca_pj + b.refresh_pj
+        let sum = b.act_pj
+            + b.cas_pj
+            + b.io_pj
+            + b.interposer_pj
+            + b.ca_pj
+            + b.refresh_pj
             + b.command_generator_pj;
         assert!((b.total_pj() - sum).abs() < 1e-6);
         assert!(b.total_joules() > 0.0);

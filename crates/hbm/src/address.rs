@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 
 /// A host physical address (byte address into the flat memory space backed by
 /// the HBM cubes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysicalAddress(pub u64);
 
 impl PhysicalAddress {
@@ -63,7 +65,9 @@ impl std::fmt::LowerHex for PhysicalAddress {
 /// The pseudo channel, stack ID, bank group, and bank index together select a
 /// unique bank; the channel index itself is carried separately because a
 /// [`crate::channel::HbmChannel`] models exactly one channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BankAddress {
     /// Pseudo channel within the channel (0 or 1 for HBM2+).
     pub pseudo_channel: u8,
@@ -78,7 +82,12 @@ pub struct BankAddress {
 impl BankAddress {
     /// Create a bank address from its four coordinates.
     pub const fn new(pseudo_channel: u8, stack_id: u8, bank_group: u8, bank: u8) -> Self {
-        BankAddress { pseudo_channel, stack_id, bank_group, bank }
+        BankAddress {
+            pseudo_channel,
+            stack_id,
+            bank_group,
+            bank,
+        }
     }
 }
 
@@ -97,7 +106,9 @@ impl std::fmt::Display for BankAddress {
 /// Columns are counted in units of the bank access granularity (`AG_bank`,
 /// 32 B per pseudo channel for HBM4), matching the column addresses carried by
 /// `RD`/`WR` commands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DramAddress {
     /// Channel index within the memory system (across all cubes).
     pub channel: u16,
@@ -112,7 +123,12 @@ pub struct DramAddress {
 impl DramAddress {
     /// Create a DRAM address from all of its coordinates.
     pub const fn new(channel: u16, bank: BankAddress, row: u32, column: u16) -> Self {
-        DramAddress { channel, bank, row, column }
+        DramAddress {
+            channel,
+            bank,
+            row,
+            column,
+        }
     }
 
     /// The address of the same row with the column reset to zero.
@@ -124,7 +140,11 @@ impl DramAddress {
 
 impl std::fmt::Display for DramAddress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CH{}/{}/R{}/C{}", self.channel, self.bank, self.row, self.column)
+        write!(
+            f,
+            "CH{}/{}/R{}/C{}",
+            self.channel, self.bank, self.row, self.column
+        )
     }
 }
 

@@ -131,6 +131,28 @@ impl Bank {
         self.refresh_done_at = now + duration;
     }
 
+    /// The next cycle strictly after `now` at which the bank's observable
+    /// FSM state changes without any further command: the end of an
+    /// in-flight refresh, activation, data burst, or precharge. `None` when
+    /// the bank is in a stable state (Idle or Active) and only a new command
+    /// can change it.
+    pub fn next_event_at(&self, now: Cycle, timing: &TimingParams) -> Option<Cycle> {
+        let act_ready_at = if self.open_row.is_some() {
+            self.last_act_at + Cycle::from(timing.t_rcd_rd.min(timing.t_rcd_wr))
+        } else {
+            0
+        };
+        [
+            self.refresh_done_at,
+            act_ready_at,
+            self.column_busy_until,
+            self.precharge_done_at,
+        ]
+        .into_iter()
+        .filter(|&t| t > now)
+        .min()
+    }
+
     /// The observable FSM state at cycle `now`.
     pub fn state_at(&self, now: Cycle, timing: &TimingParams) -> BankState {
         if now < self.refresh_done_at {
@@ -224,6 +246,30 @@ mod tests {
         assert_eq!(b.state_at(380, &t), BankState::Idle);
         assert_eq!(b.open_row(), None);
         assert_eq!(b.refresh_done_at(), 380);
+    }
+
+    #[test]
+    fn next_event_at_tracks_transitional_states() {
+        let t = timing();
+        let mut b = Bank::new();
+        // Stable Idle: no self-transitions pending.
+        assert_eq!(b.next_event_at(0, &t), None);
+        // Activating -> Active at tRCD.
+        b.activate(3, 100);
+        assert_eq!(
+            b.next_event_at(100, &t),
+            Some(100 + t.t_rcd_rd.min(t.t_rcd_wr) as u64)
+        );
+        // Reading -> Active when the burst ends.
+        b.column_access(false, 130);
+        assert_eq!(b.next_event_at(120, &t), Some(130));
+        // Precharging -> Idle at tRP.
+        b.precharge(200, &t);
+        assert_eq!(b.next_event_at(200, &t), Some(200 + t.t_rp as u64));
+        assert_eq!(b.next_event_at(200 + t.t_rp as u64, &t), None);
+        // Refreshing -> Idle when the refresh completes.
+        b.refresh(300, 280);
+        assert_eq!(b.next_event_at(300, &t), Some(580));
     }
 
     #[test]

@@ -155,7 +155,8 @@ impl HbmChannel {
             }
             DramCommand::RefAllBank { target } => {
                 // Every bank of the rank must be precharged.
-                let any_open = self.rank_banks(target.bank.pseudo_channel, target.bank.stack_id)
+                let any_open = self
+                    .rank_banks(target.bank.pseudo_channel, target.bank.stack_id)
                     .any(|b| b.is_active());
                 if any_open {
                     return Err(HbmError::IllegalState {
@@ -179,7 +180,20 @@ impl HbmChannel {
     /// The earliest cycle (≥ `now`) at which `cmd` satisfies every timing
     /// constraint. State legality is not considered here.
     pub fn earliest_issue(&self, cmd: &DramCommand, now: Cycle) -> Cycle {
-        self.constraints.earliest(cmd.kind(), cmd.target().bank, now)
+        self.constraints
+            .earliest(cmd.kind(), cmd.target().bank, now)
+    }
+
+    /// Lower bound on the earliest issue of `kind` anywhere on pseudo
+    /// channel `pc` (see [`ConstraintEngine::pseudo_channel_bound`]).
+    pub fn pseudo_channel_bound(&self, kind: CommandKind, pc: u8) -> Cycle {
+        self.constraints.pseudo_channel_bound(kind, pc)
+    }
+
+    /// Lower bound on the earliest ACT to any bank of the rank holding
+    /// `addr` (see [`ConstraintEngine::rank_act_bound`]).
+    pub fn rank_act_bound(&self, addr: crate::address::BankAddress) -> Cycle {
+        self.constraints.rank_act_bound(addr)
     }
 
     /// Whether `cmd` can be issued at `now` (both timing-legal and
@@ -199,7 +213,11 @@ impl HbmChannel {
         self.state_check(&cmd, now)?;
         let earliest = self.earliest_issue(&cmd, now);
         if earliest > now {
-            return Err(HbmError::TimingViolation { command: cmd, at: now, earliest });
+            return Err(HbmError::TimingViolation {
+                command: cmd,
+                at: now,
+                earliest,
+            });
         }
 
         let burst = self.org.burst_ns() as u32;
@@ -223,7 +241,12 @@ impl HbmChannel {
                 let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
                 let base = self
                     .constraints
-                    .bank_index(crate::address::BankAddress::new(target.bank.pseudo_channel, target.bank.stack_id, 0, 0));
+                    .bank_index(crate::address::BankAddress::new(
+                        target.bank.pseudo_channel,
+                        target.bank.stack_id,
+                        0,
+                        0,
+                    ));
                 for b in &mut self.banks[base..base + per_sid] {
                     if b.is_active() {
                         b.precharge(now, &timing);
@@ -240,7 +263,8 @@ impl HbmChannel {
                 if auto_precharge {
                     let pre_at = now + Cycle::from(timing.t_rtp);
                     self.banks[bank_index].precharge(pre_at, &timing);
-                    self.constraints.record(CommandKind::Pre, addr, pre_at, burst);
+                    self.constraints
+                        .record(CommandKind::Pre, addr, pre_at, burst);
                     self.counters.precharges += 1;
                 }
                 self.counters.reads += 1;
@@ -259,7 +283,8 @@ impl HbmChannel {
                 if auto_precharge {
                     let pre_at = now + Cycle::from(timing.write_to_precharge(burst));
                     self.banks[bank_index].precharge(pre_at, &timing);
-                    self.constraints.record(CommandKind::Pre, addr, pre_at, burst);
+                    self.constraints
+                        .record(CommandKind::Pre, addr, pre_at, burst);
                     self.counters.precharges += 1;
                 }
                 self.counters.writes += 1;
@@ -276,7 +301,12 @@ impl HbmChannel {
                 let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
                 let base = self
                     .constraints
-                    .bank_index(crate::address::BankAddress::new(target.bank.pseudo_channel, target.bank.stack_id, 0, 0));
+                    .bank_index(crate::address::BankAddress::new(
+                        target.bank.pseudo_channel,
+                        target.bank.stack_id,
+                        0,
+                        0,
+                    ));
                 for b in &mut self.banks[base..base + per_sid] {
                     b.refresh(now, Cycle::from(timing.t_rfc_ab));
                 }
@@ -290,7 +320,10 @@ impl HbmChannel {
         }
 
         self.constraints.record(cmd.kind(), addr, now, burst);
-        Ok(IssueResult { issued_at: now, data_complete_at })
+        Ok(IssueResult {
+            issued_at: now,
+            data_complete_at,
+        })
     }
 
     fn occupy_bus(&mut self, pc: u8, start: Cycle, end: Cycle) {
@@ -330,7 +363,11 @@ mod tests {
         let mut ch = channel();
         let target = t(0, 0, 0, 0);
         ch.issue(DramCommand::Act { target, row: 5 }, 0).unwrap();
-        let rd = DramCommand::Rd { target, column: 0, auto_precharge: false };
+        let rd = DramCommand::Rd {
+            target,
+            column: 0,
+            auto_precharge: false,
+        };
         assert!(!ch.can_issue(&rd, 10));
         let res = ch.issue(rd, 16).unwrap();
         assert_eq!(res.data_complete_at, Some(16 + 16 + 1));
@@ -343,7 +380,11 @@ mod tests {
     #[test]
     fn read_without_open_row_is_rejected() {
         let mut ch = channel();
-        let rd = DramCommand::Rd { target: t(0, 0, 0, 0), column: 0, auto_precharge: false };
+        let rd = DramCommand::Rd {
+            target: t(0, 0, 0, 0),
+            column: 0,
+            auto_precharge: false,
+        };
         let err = ch.issue(rd, 0).unwrap_err();
         assert!(matches!(err, HbmError::IllegalState { .. }));
     }
@@ -353,7 +394,9 @@ mod tests {
         let mut ch = channel();
         let target = t(0, 0, 0, 0);
         ch.issue(DramCommand::Act { target, row: 1 }, 0).unwrap();
-        let err = ch.issue(DramCommand::Act { target, row: 2 }, 100).unwrap_err();
+        let err = ch
+            .issue(DramCommand::Act { target, row: 2 }, 100)
+            .unwrap_err();
         assert!(matches!(err, HbmError::IllegalState { .. }));
     }
 
@@ -362,7 +405,11 @@ mod tests {
         let mut ch = channel();
         let target = t(0, 0, 0, 0);
         ch.issue(DramCommand::Act { target, row: 1 }, 0).unwrap();
-        let rd = DramCommand::Rd { target, column: 0, auto_precharge: false };
+        let rd = DramCommand::Rd {
+            target,
+            column: 0,
+            auto_precharge: false,
+        };
         match ch.issue(rd, 3) {
             Err(HbmError::TimingViolation { earliest, .. }) => assert_eq!(earliest, 16),
             other => panic!("expected timing violation, got {other:?}"),
@@ -374,7 +421,15 @@ mod tests {
         let mut ch = channel();
         let target = t(0, 0, 0, 0);
         ch.issue(DramCommand::Act { target, row: 1 }, 0).unwrap();
-        ch.issue(DramCommand::Rd { target, column: 0, auto_precharge: true }, 16).unwrap();
+        ch.issue(
+            DramCommand::Rd {
+                target,
+                column: 0,
+                auto_precharge: true,
+            },
+            16,
+        )
+        .unwrap();
         assert_eq!(ch.open_banks(), 0);
         // Reactivation must respect both tRC from the original ACT (45) and
         // tRTP + tRP after the read (16 + 5 + 16 = 37); tRC dominates here.
@@ -403,15 +458,42 @@ mod tests {
     fn out_of_range_row_and_column_are_rejected() {
         let mut ch = channel();
         let target = t(0, 0, 0, 0);
-        let err = ch.issue(DramCommand::Act { target, row: 1 << 20 }, 0).unwrap_err();
-        assert!(matches!(err, HbmError::AddressOutOfRange { what: "row", .. }));
+        let err = ch
+            .issue(
+                DramCommand::Act {
+                    target,
+                    row: 1 << 20,
+                },
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HbmError::AddressOutOfRange { what: "row", .. }
+        ));
         ch.issue(DramCommand::Act { target, row: 0 }, 0).unwrap();
         let err = ch
-            .issue(DramCommand::Rd { target, column: 999, auto_precharge: false }, 16)
+            .issue(
+                DramCommand::Rd {
+                    target,
+                    column: 999,
+                    auto_precharge: false,
+                },
+                16,
+            )
             .unwrap_err();
-        assert!(matches!(err, HbmError::AddressOutOfRange { what: "column", .. }));
-        let bad_bank = DramCommand::Act { target: t(0, 0, 0, 200), row: 0 };
-        assert!(matches!(ch.issue(bad_bank, 50), Err(HbmError::AddressOutOfRange { .. })));
+        assert!(matches!(
+            err,
+            HbmError::AddressOutOfRange { what: "column", .. }
+        ));
+        let bad_bank = DramCommand::Act {
+            target: t(0, 0, 0, 200),
+            row: 0,
+        };
+        assert!(matches!(
+            ch.issue(bad_bank, 50),
+            Err(HbmError::AddressOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -420,16 +502,25 @@ mod tests {
         let target = t(0, 0, 0, 0);
         ch.issue(DramCommand::Act { target, row: 1 }, 0).unwrap();
         let refab = DramCommand::RefAllBank { target };
-        assert!(matches!(ch.issue(refab, 60), Err(HbmError::IllegalState { .. })));
+        assert!(matches!(
+            ch.issue(refab, 60),
+            Err(HbmError::IllegalState { .. })
+        ));
         ch.issue(DramCommand::Pre { target }, 60).unwrap();
         ch.issue(refab, 80).unwrap();
         assert_eq!(ch.counters().refreshes_all_bank, 1);
         // During the refresh, ACT to any bank of the rank is blocked.
-        let act = DramCommand::Act { target: t(0, 0, 3, 3), row: 0 };
+        let act = DramCommand::Act {
+            target: t(0, 0, 3, 3),
+            row: 0,
+        };
         assert!(!ch.can_issue(&act, 200));
         assert!(ch.can_issue(&act, 80 + 410));
         // The other stack ID is unaffected.
-        let act_other = DramCommand::Act { target: t(0, 1, 0, 0), row: 0 };
+        let act_other = DramCommand::Act {
+            target: t(0, 1, 0, 0),
+            row: 0,
+        };
         assert!(ch.can_issue(&act_other, 200));
     }
 
@@ -440,7 +531,10 @@ mod tests {
         ch.issue(DramCommand::RefPerBank { target }, 0).unwrap();
         assert_eq!(ch.counters().refreshes_per_bank, 1);
         assert!(!ch.can_issue(&DramCommand::Act { target, row: 0 }, 100));
-        let sibling = DramCommand::Act { target: t(0, 0, 1, 0), row: 0 };
+        let sibling = DramCommand::Act {
+            target: t(0, 0, 1, 0),
+            row: 0,
+        };
         assert!(ch.can_issue(&sibling, 100));
     }
 
@@ -455,11 +549,15 @@ mod tests {
         ch.issue(DramCommand::Act { target: a, row: 0 }, 0).unwrap();
         ch.issue(DramCommand::Act { target: b, row: 0 }, 2).unwrap();
         let mut now = 18; // both banks are tRCD-ready
-        let before = ch.counters().clone();
+        let before = *ch.counters();
         for i in 0..64u16 {
             let target = if i % 2 == 0 { a } else { b };
             let col = (i / 2) % 32;
-            let cmd = DramCommand::Rd { target, column: col, auto_precharge: false };
+            let cmd = DramCommand::Rd {
+                target,
+                column: col,
+                auto_precharge: false,
+            };
             let at = ch.earliest_issue(&cmd, now);
             ch.issue(cmd, at).unwrap();
             now = at;
@@ -475,8 +573,20 @@ mod tests {
     #[test]
     fn mrs_and_preall_are_accepted_and_counted() {
         let mut ch = channel();
-        ch.issue(DramCommand::Mrs { target: t(0, 0, 0, 0) }, 0).unwrap();
-        ch.issue(DramCommand::PreAll { target: t(0, 0, 0, 0) }, 5).unwrap();
+        ch.issue(
+            DramCommand::Mrs {
+                target: t(0, 0, 0, 0),
+            },
+            0,
+        )
+        .unwrap();
+        ch.issue(
+            DramCommand::PreAll {
+                target: t(0, 0, 0, 0),
+            },
+            5,
+        )
+        .unwrap();
         assert_eq!(ch.counters().mode_register_sets, 1);
         assert_eq!(ch.counters().precharge_alls, 1);
         assert_eq!(ch.counters().row_ca_commands, 2);

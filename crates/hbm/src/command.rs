@@ -24,7 +24,9 @@ pub struct CommandTarget {
 impl CommandTarget {
     /// Target a specific bank.
     pub const fn bank(pseudo_channel: u8, stack_id: u8, bank_group: u8, bank: u8) -> Self {
-        CommandTarget { bank: BankAddress::new(pseudo_channel, stack_id, bank_group, bank) }
+        CommandTarget {
+            bank: BankAddress::new(pseudo_channel, stack_id, bank_group, bank),
+        }
     }
 
     /// Target constructed from an existing [`BankAddress`].
@@ -138,7 +140,10 @@ impl DramCommand {
     /// Whether the command targets the whole pseudo channel (per SID) rather
     /// than a single bank.
     pub fn is_all_bank(&self) -> bool {
-        matches!(self, DramCommand::PreAll { .. } | DramCommand::RefAllBank { .. })
+        matches!(
+            self,
+            DramCommand::PreAll { .. } | DramCommand::RefAllBank { .. }
+        )
     }
 }
 
@@ -228,9 +233,20 @@ mod tests {
 
     #[test]
     fn command_classification() {
-        let rd = DramCommand::Rd { target: t(), column: 0, auto_precharge: false };
-        let wr = DramCommand::Wr { target: t(), column: 5, auto_precharge: true };
-        let act = DramCommand::Act { target: t(), row: 9 };
+        let rd = DramCommand::Rd {
+            target: t(),
+            column: 0,
+            auto_precharge: false,
+        };
+        let wr = DramCommand::Wr {
+            target: t(),
+            column: 5,
+            auto_precharge: true,
+        };
+        let act = DramCommand::Act {
+            target: t(),
+            row: 9,
+        };
         let refab = DramCommand::RefAllBank { target: t() };
 
         assert!(rd.is_column());

@@ -193,7 +193,8 @@ impl ConstraintEngine {
             CommandKind::PreAll => {
                 // Applies tRP to every bank of the rank.
                 let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
-                let base = self.bank_index(BankAddress::new(addr.pseudo_channel, addr.stack_id, 0, 0));
+                let base =
+                    self.bank_index(BankAddress::new(addr.pseudo_channel, addr.stack_id, 0, 0));
                 for i in 0..per_sid {
                     let bank = &mut self.banks[base + i];
                     bank.push(CommandKind::Act, now + Cycle::from(t.t_rp));
@@ -217,25 +218,48 @@ impl ConstraintEngine {
                 let pc = &mut self.pseudo_channels[pc_i];
                 pc.push(CommandKind::Rd, now + Cycle::from(t.t_ccd_s));
                 pc.push(CommandKind::Wr, now + Cycle::from(t.t_rtw));
-                self.last_column[pc_i] = LastColumn { valid: true, at: now, stack_id: addr.stack_id };
+                self.last_column[pc_i] = LastColumn {
+                    valid: true,
+                    at: now,
+                    stack_id: addr.stack_id,
+                };
             }
             CommandKind::Wr => {
                 let bank = &mut self.banks[bank_i];
-                bank.push(CommandKind::Pre, now + Cycle::from(t.write_to_precharge(burst_ns)));
-                bank.push(CommandKind::PreAll, now + Cycle::from(t.write_to_precharge(burst_ns)));
+                bank.push(
+                    CommandKind::Pre,
+                    now + Cycle::from(t.write_to_precharge(burst_ns)),
+                );
+                bank.push(
+                    CommandKind::PreAll,
+                    now + Cycle::from(t.write_to_precharge(burst_ns)),
+                );
 
                 let bg = &mut self.bank_groups[bg_i];
                 bg.push(CommandKind::Wr, now + Cycle::from(t.t_ccd_l));
-                bg.push(CommandKind::Rd, now + Cycle::from(t.write_to_read(true, burst_ns)));
+                bg.push(
+                    CommandKind::Rd,
+                    now + Cycle::from(t.write_to_read(true, burst_ns)),
+                );
 
                 let rank = &mut self.ranks[rank_i];
                 rank.push(CommandKind::Wr, now + Cycle::from(t.t_ccd_s));
-                rank.push(CommandKind::Rd, now + Cycle::from(t.write_to_read(false, burst_ns)));
+                rank.push(
+                    CommandKind::Rd,
+                    now + Cycle::from(t.write_to_read(false, burst_ns)),
+                );
 
                 let pc = &mut self.pseudo_channels[pc_i];
                 pc.push(CommandKind::Wr, now + Cycle::from(t.t_ccd_s));
-                pc.push(CommandKind::Rd, now + Cycle::from(t.write_to_read(false, burst_ns)));
-                self.last_column[pc_i] = LastColumn { valid: true, at: now, stack_id: addr.stack_id };
+                pc.push(
+                    CommandKind::Rd,
+                    now + Cycle::from(t.write_to_read(false, burst_ns)),
+                );
+                self.last_column[pc_i] = LastColumn {
+                    valid: true,
+                    at: now,
+                    stack_id: addr.stack_id,
+                };
                 let _ = burst;
             }
             CommandKind::RefPb => {
@@ -247,7 +271,8 @@ impl ConstraintEngine {
             }
             CommandKind::RefAb => {
                 let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
-                let base = self.bank_index(BankAddress::new(addr.pseudo_channel, addr.stack_id, 0, 0));
+                let base =
+                    self.bank_index(BankAddress::new(addr.pseudo_channel, addr.stack_id, 0, 0));
                 for i in 0..per_sid {
                     let bank = &mut self.banks[base + i];
                     bank.push(CommandKind::Act, now + Cycle::from(t.t_rfc_ab));
@@ -263,6 +288,25 @@ impl ConstraintEngine {
                 self.ranks[rank_i].push(CommandKind::Mrs, now + Cycle::from(t.t_ccd_l));
             }
         }
+    }
+
+    /// Lower bound on the earliest issue of `kind` anywhere on pseudo
+    /// channel `pc`, from the pseudo-channel scope alone. Much cheaper than
+    /// [`ConstraintEngine::earliest`]; schedulers use it to skip whole
+    /// pseudo channels whose shared bus cannot accept the command yet.
+    pub fn pseudo_channel_bound(&self, kind: CommandKind, pc: u8) -> Cycle {
+        self.pseudo_channels[pc as usize].earliest(kind)
+    }
+
+    /// Lower bound on the earliest ACT to any bank of the rank holding
+    /// `addr`: the rank-scope tRRD window combined with the four-activate
+    /// window. Lets schedulers disqualify a whole rank's worth of pending
+    /// activations with one comparison.
+    pub fn rank_act_bound(&self, addr: BankAddress) -> Cycle {
+        let rank = self.rank_index(addr);
+        self.ranks[rank]
+            .earliest(CommandKind::Act)
+            .max(self.faw[rank].earliest_act(self.timing.t_faw))
     }
 
     /// The organization this engine was built for.
@@ -382,8 +426,8 @@ mod tests {
         let mut e = engine();
         e.record(CommandKind::Act, bank(0, 0, 0, 0), 0, 1);
         e.record(CommandKind::Wr, bank(0, 0, 0, 0), 16, 1);
-        // PRE after WR: max(tRAS from ACT, WR + tCWL + burst + tWR).
-        let expected = (16 + 14 + 1 + 16).max(29);
+        // PRE after WR: WR + tCWL + burst + tWR (dominates tRAS from ACT).
+        let expected = 16 + 14 + 1 + 16;
         assert_eq!(e.earliest(CommandKind::Pre, bank(0, 0, 0, 0), 0), expected);
     }
 

@@ -143,7 +143,12 @@ mod tests {
 
     #[test]
     fn merge_accumulates_every_field() {
-        let mut a = ChannelCounters { activates: 1, reads: 2, bytes_read: 64, ..Default::default() };
+        let mut a = ChannelCounters {
+            activates: 1,
+            reads: 2,
+            bytes_read: 64,
+            ..Default::default()
+        };
         let b = ChannelCounters {
             activates: 3,
             reads: 4,
@@ -166,8 +171,16 @@ mod tests {
 
     #[test]
     fn delta_since_subtracts_baseline() {
-        let base = ChannelCounters { reads: 5, bytes_read: 160, ..Default::default() };
-        let now = ChannelCounters { reads: 9, bytes_read: 288, ..Default::default() };
+        let base = ChannelCounters {
+            reads: 5,
+            bytes_read: 160,
+            ..Default::default()
+        };
+        let now = ChannelCounters {
+            reads: 9,
+            bytes_read: 288,
+            ..Default::default()
+        };
         let d = now.delta_since(&base);
         assert_eq!(d.reads, 4);
         assert_eq!(d.bytes_read, 128);

@@ -82,10 +82,16 @@ mod tests {
         assert!(s.contains("5 ns"));
         assert!(s.contains("9 ns"));
 
-        let e = HbmError::AddressOutOfRange { what: "row", value: 10_000, limit: 8192 };
+        let e = HbmError::AddressOutOfRange {
+            what: "row",
+            value: 10_000,
+            limit: 8192,
+        };
         assert!(e.to_string().contains("row"));
 
-        let e = HbmError::InvalidConfig { reason: "zero banks".into() };
+        let e = HbmError::InvalidConfig {
+            reason: "zero banks".into(),
+        };
         assert!(e.to_string().contains("zero banks"));
 
         let e = HbmError::IllegalState {

@@ -89,10 +89,12 @@ impl Organization {
         ];
         for (name, v) in nonzero {
             if v == 0 {
-                return Err(HbmError::InvalidConfig { reason: format!("{name} must be non-zero") });
+                return Err(HbmError::InvalidConfig {
+                    reason: format!("{name} must be non-zero"),
+                });
             }
         }
-        if self.row_bytes % self.access_granularity != 0 {
+        if !self.row_bytes.is_multiple_of(self.access_granularity) {
             return Err(HbmError::InvalidConfig {
                 reason: format!(
                     "row_bytes ({}) must be a multiple of access_granularity ({})",

@@ -75,6 +75,31 @@ impl RefreshScheduler {
         now >= self.next_due
     }
 
+    /// The cycle at which the next refresh becomes due.
+    pub fn next_due(&self) -> Cycle {
+        self.next_due
+    }
+
+    /// The cycle at which the pending refresh becomes urgent (the
+    /// postponement budget is exhausted).
+    pub fn urgent_at(&self) -> Cycle {
+        self.next_due + Cycle::from(self.max_postponed) * self.interval
+    }
+
+    /// The next cycle strictly after `now` at which this scheduler's state
+    /// changes on its own: the refresh becoming due, then becoming urgent.
+    /// `None` once the pending refresh is already urgent (only an
+    /// `acknowledge` changes the state from there).
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if now < self.next_due {
+            Some(self.next_due)
+        } else if now < self.urgent_at() {
+            Some(self.urgent_at())
+        } else {
+            None
+        }
+    }
+
     /// Whether refreshes have been postponed to the limit, i.e. the refresh
     /// must be issued before any further requests are served.
     pub fn urgent(&self, now: Cycle) -> bool {
@@ -188,10 +213,27 @@ mod tests {
         let pb = refresh_overhead(RefreshMode::PerBank, &t, 16);
         let ab = refresh_overhead(RefreshMode::AllBank, &t, 16);
         assert!(pb.per_bank_unavailability < 0.10);
-        assert!(pb.per_bank_unavailability < ab.per_bank_unavailability,
+        assert!(
+            pb.per_bank_unavailability < ab.per_bank_unavailability,
             "per-bank refresh should stall each bank less than all-bank ({} vs {})",
-            pb.per_bank_unavailability, ab.per_bank_unavailability);
+            pb.per_bank_unavailability,
+            ab.per_bank_unavailability
+        );
         assert!(pb.commands_per_32ms > ab.commands_per_32ms);
+    }
+
+    #[test]
+    fn next_event_reports_due_then_urgent_then_none() {
+        let t = TimingParams::hbm4();
+        let mut s = RefreshScheduler::new(RefreshMode::PerBank, &t, 16);
+        let due = s.next_due();
+        assert_eq!(due, t.t_refi_pb as u64);
+        assert_eq!(s.next_event_at(0), Some(due));
+        assert_eq!(s.next_event_at(due), Some(s.urgent_at()));
+        assert_eq!(s.next_event_at(s.urgent_at()), None);
+        // Acknowledging pushes the due time forward by one interval.
+        s.acknowledge(due);
+        assert_eq!(s.next_due(), 2 * due);
     }
 
     #[test]

@@ -123,12 +123,18 @@ impl TimingParams {
         }
         if self.t_ccd_s > self.t_ccd_l {
             return Err(HbmError::InvalidConfig {
-                reason: format!("t_ccd_s ({}) must be <= t_ccd_l ({})", self.t_ccd_s, self.t_ccd_l),
+                reason: format!(
+                    "t_ccd_s ({}) must be <= t_ccd_l ({})",
+                    self.t_ccd_s, self.t_ccd_l
+                ),
             });
         }
         if self.t_rrd_s > self.t_rrd_l {
             return Err(HbmError::InvalidConfig {
-                reason: format!("t_rrd_s ({}) must be <= t_rrd_l ({})", self.t_rrd_s, self.t_rrd_l),
+                reason: format!(
+                    "t_rrd_s ({}) must be <= t_rrd_l ({})",
+                    self.t_rrd_s, self.t_rrd_l
+                ),
             });
         }
         if self.t_rtp == 0 || self.t_wr == 0 || self.t_ccd_s == 0 {
@@ -162,7 +168,11 @@ impl TimingParams {
     /// Write-to-read spacing measured from the write command for the given
     /// bank-group relationship.
     pub fn write_to_read(&self, same_bank_group: bool, burst_ns: u32) -> u32 {
-        let wtr = if same_bank_group { self.t_wtr_l } else { self.t_wtr_s };
+        let wtr = if same_bank_group {
+            self.t_wtr_l
+        } else {
+            self.t_wtr_s
+        };
         self.t_cwl + burst_ns + wtr
     }
 }

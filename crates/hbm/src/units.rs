@@ -55,7 +55,9 @@ pub fn gbps_to_bytes_per_ns(gbps: f64) -> f64 {
 /// assert_eq!(sz.bytes(), 12 * 1024 * 1024);
 /// assert_eq!(sz.to_string(), "12.00 MiB");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataSize(u64);
 
 impl DataSize {
@@ -168,7 +170,9 @@ mod tests {
         let mut b = DataSize::from_bytes(10);
         b += DataSize::from_bytes(20);
         assert_eq!(b.bytes(), 30);
-        let total: DataSize = [DataSize::from_kib(1), DataSize::from_kib(2)].into_iter().sum();
+        let total: DataSize = [DataSize::from_kib(1), DataSize::from_kib(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, DataSize::from_kib(3));
         assert_eq!(
             DataSize::from_bytes(u64::MAX).saturating_add(DataSize::from_bytes(1)),

@@ -52,12 +52,14 @@ impl AttentionConfig {
     /// parallel partitioning), for elements of `dtype_bytes` bytes.
     pub fn kv_bytes_per_token(&self, dtype_bytes: u64) -> u64 {
         match *self {
-            AttentionConfig::Gqa { kv_heads, head_dim, .. } => {
-                2 * kv_heads as u64 * head_dim as u64 * dtype_bytes
-            }
-            AttentionConfig::Mla { kv_lora_rank, rope_head_dim, .. } => {
-                (kv_lora_rank as u64 + rope_head_dim as u64) * dtype_bytes
-            }
+            AttentionConfig::Gqa {
+                kv_heads, head_dim, ..
+            } => 2 * kv_heads as u64 * head_dim as u64 * dtype_bytes,
+            AttentionConfig::Mla {
+                kv_lora_rank,
+                rope_head_dim,
+                ..
+            } => (kv_lora_rank as u64 + rope_head_dim as u64) * dtype_bytes,
         }
     }
 
@@ -65,7 +67,12 @@ impl AttentionConfig {
     /// hidden size.
     pub fn weight_params(&self, hidden: u64) -> u64 {
         match *self {
-            AttentionConfig::Gqa { heads, kv_heads, head_dim, .. } => {
+            AttentionConfig::Gqa {
+                heads,
+                kv_heads,
+                head_dim,
+                ..
+            } => {
                 let q = hidden * heads as u64 * head_dim as u64;
                 let k = hidden * kv_heads as u64 * head_dim as u64;
                 let v = k;
@@ -81,7 +88,8 @@ impl AttentionConfig {
                 kv_lora_rank,
             } => {
                 let q_down = hidden * q_lora_rank as u64;
-                let q_up = q_lora_rank as u64 * heads as u64 * (nope_head_dim + rope_head_dim) as u64;
+                let q_up =
+                    q_lora_rank as u64 * heads as u64 * (nope_head_dim + rope_head_dim) as u64;
                 let kv_down = hidden * (kv_lora_rank + rope_head_dim) as u64;
                 let kv_up =
                     kv_lora_rank as u64 * heads as u64 * (nope_head_dim + v_head_dim) as u64;
@@ -101,11 +109,19 @@ impl AttentionConfig {
     /// tokens attending over a context of `context_len` tokens.
     pub fn attention_flops(&self, context_len: u64, tokens: u64) -> u64 {
         match *self {
-            AttentionConfig::Gqa { heads, head_dim, .. } => {
+            AttentionConfig::Gqa {
+                heads, head_dim, ..
+            } => {
                 // QK^T and PV: 2 × 2 × heads × head_dim per (token, context).
                 4 * heads as u64 * head_dim as u64 * context_len * tokens
             }
-            AttentionConfig::Mla { heads, nope_head_dim, rope_head_dim, v_head_dim, .. } => {
+            AttentionConfig::Mla {
+                heads,
+                nope_head_dim,
+                rope_head_dim,
+                v_head_dim,
+                ..
+            } => {
                 let score_dim = (nope_head_dim + rope_head_dim) as u64;
                 2 * heads as u64 * (score_dim + v_head_dim as u64) * context_len * tokens
             }
@@ -123,7 +139,11 @@ mod tests {
     use super::*;
 
     fn gqa_llama() -> AttentionConfig {
-        AttentionConfig::Gqa { heads: 128, kv_heads: 8, head_dim: 128 }
+        AttentionConfig::Gqa {
+            heads: 128,
+            kv_heads: 8,
+            head_dim: 128,
+        }
     }
 
     fn mla_deepseek() -> AttentionConfig {

@@ -40,7 +40,12 @@ impl FfnConfig {
     pub fn weight_params(&self, hidden: u64) -> u64 {
         match *self {
             FfnConfig::Dense { intermediate } => Self::gated_params(hidden, intermediate as u64),
-            FfnConfig::Moe { experts, expert_intermediate, shared_experts, .. } => {
+            FfnConfig::Moe {
+                experts,
+                expert_intermediate,
+                shared_experts,
+                ..
+            } => {
                 let per_expert = Self::gated_params(hidden, expert_intermediate as u64);
                 (experts as u64 + shared_experts as u64) * per_expert
                     // Router weights.
@@ -54,7 +59,12 @@ impl FfnConfig {
     pub fn active_params_per_token(&self, hidden: u64) -> u64 {
         match *self {
             FfnConfig::Dense { intermediate } => Self::gated_params(hidden, intermediate as u64),
-            FfnConfig::Moe { experts, top_k, expert_intermediate, shared_experts } => {
+            FfnConfig::Moe {
+                experts,
+                top_k,
+                expert_intermediate,
+                shared_experts,
+            } => {
                 let per_expert = Self::gated_params(hidden, expert_intermediate as u64);
                 (top_k as u64 + shared_experts as u64) * per_expert + hidden * experts as u64
             }
@@ -80,7 +90,12 @@ impl FfnConfig {
     pub fn weight_params_touched(&self, hidden: u64, batch: u64) -> u64 {
         match *self {
             FfnConfig::Dense { intermediate } => Self::gated_params(hidden, intermediate as u64),
-            FfnConfig::Moe { experts, expert_intermediate, shared_experts, .. } => {
+            FfnConfig::Moe {
+                experts,
+                expert_intermediate,
+                shared_experts,
+                ..
+            } => {
                 let per_expert = Self::gated_params(hidden, expert_intermediate as u64);
                 let distinct = self.expected_active_experts(batch);
                 (distinct * per_expert as f64) as u64
@@ -104,7 +119,10 @@ impl FfnConfig {
     pub fn intermediate(&self) -> u32 {
         match *self {
             FfnConfig::Dense { intermediate } => intermediate,
-            FfnConfig::Moe { expert_intermediate, .. } => expert_intermediate,
+            FfnConfig::Moe {
+                expert_intermediate,
+                ..
+            } => expert_intermediate,
         }
     }
 }
@@ -114,15 +132,27 @@ mod tests {
     use super::*;
 
     fn deepseek_moe() -> FfnConfig {
-        FfnConfig::Moe { experts: 256, top_k: 8, expert_intermediate: 2048, shared_experts: 1 }
+        FfnConfig::Moe {
+            experts: 256,
+            top_k: 8,
+            expert_intermediate: 2048,
+            shared_experts: 1,
+        }
     }
 
     fn grok_moe() -> FfnConfig {
-        FfnConfig::Moe { experts: 8, top_k: 2, expert_intermediate: 32768, shared_experts: 0 }
+        FfnConfig::Moe {
+            experts: 8,
+            top_k: 2,
+            expert_intermediate: 32768,
+            shared_experts: 0,
+        }
     }
 
     fn llama_dense() -> FfnConfig {
-        FfnConfig::Dense { intermediate: 53248 }
+        FfnConfig::Dense {
+            intermediate: 53248,
+        }
     }
 
     #[test]
@@ -150,7 +180,10 @@ mod tests {
         assert!((small - 8.0).abs() < 0.2);
         assert!(medium > small && large > medium);
         assert!(large <= 256.0);
-        assert!(large > 250.0, "batch 1024 should touch nearly all experts: {large}");
+        assert!(
+            large > 250.0,
+            "batch 1024 should touch nearly all experts: {large}"
+        );
         // Grok-1 saturates its 8 experts at small batches (the paper notes
         // all experts begin to be selected around batch 8).
         assert!(grok_moe().expected_active_experts(8) > 7.0);
@@ -173,6 +206,9 @@ mod tests {
         assert!(!llama_dense().is_moe());
         assert_eq!(llama_dense().intermediate(), 53248);
         assert_eq!(deepseek_moe().intermediate(), 2048);
-        assert_eq!(llama_dense().flops(16384, 2), 2 * llama_dense().flops(16384, 1));
+        assert_eq!(
+            llama_dense().flops(16384, 2),
+            2 * llama_dense().flops(16384, 1)
+        );
     }
 }

@@ -31,7 +31,12 @@ pub struct FootprintRow {
 
 /// Produce the Figure 1 rows for one model and stage at the given batch and
 /// sequence length.
-pub fn footprint_rows(model: &ModelConfig, stage: Stage, batch: u64, seq_len: u64) -> Vec<FootprintRow> {
+pub fn footprint_rows(
+    model: &ModelConfig,
+    stage: Stage,
+    batch: u64,
+    seq_len: u64,
+) -> Vec<FootprintRow> {
     let par = Parallelism::paper(model, stage);
     let step = match stage {
         Stage::Decode => decode_step(model, &par, batch, seq_len),
@@ -149,9 +154,16 @@ mod tests {
         // per-token share.
         let model = ModelConfig::llama3_405b();
         let decode = footprint_rows(&model, Stage::Decode, 64, 8192);
-        let kv_decode: u64 =
-            decode.iter().filter(|r| r.kind == DataKind::KvCache).map(|r| r.bytes).max().unwrap();
-        assert!(kv_decode > 1 << 27, "decode KV object {kv_decode} too small");
+        let kv_decode: u64 = decode
+            .iter()
+            .filter(|r| r.kind == DataKind::KvCache)
+            .map(|r| r.bytes)
+            .max()
+            .unwrap();
+        assert!(
+            kv_decode > 1 << 27,
+            "decode KV object {kv_decode} too small"
+        );
     }
 
     #[test]
@@ -164,7 +176,10 @@ mod tests {
             .map(|r| r.bytes)
             .max()
             .unwrap();
-        assert!(act_max > 10 * 1024 * 1024, "max prefill activation {act_max}");
+        assert!(
+            act_max > 10 * 1024 * 1024,
+            "max prefill activation {act_max}"
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl ModelConfig {
                 q_lora_rank: 1536,
                 kv_lora_rank: 512,
             },
-            ffn: FfnConfig::Moe { experts: 256, top_k: 8, expert_intermediate: 2048, shared_experts: 1 },
+            ffn: FfnConfig::Moe {
+                experts: 256,
+                top_k: 8,
+                expert_intermediate: 2048,
+                shared_experts: 1,
+            },
             leading_dense_layers: 3,
             leading_dense_intermediate: 18_432,
             dtype: Dtype::Bf16,
@@ -62,8 +67,17 @@ impl ModelConfig {
             layers: 64,
             hidden: 6144,
             vocab: 131_072,
-            attention: AttentionConfig::Gqa { heads: 48, kv_heads: 8, head_dim: 128 },
-            ffn: FfnConfig::Moe { experts: 8, top_k: 2, expert_intermediate: 32_768, shared_experts: 0 },
+            attention: AttentionConfig::Gqa {
+                heads: 48,
+                kv_heads: 8,
+                head_dim: 128,
+            },
+            ffn: FfnConfig::Moe {
+                experts: 8,
+                top_k: 2,
+                expert_intermediate: 32_768,
+                shared_experts: 0,
+            },
             leading_dense_layers: 0,
             leading_dense_intermediate: 0,
             dtype: Dtype::Bf16,
@@ -77,8 +91,14 @@ impl ModelConfig {
             layers: 126,
             hidden: 16_384,
             vocab: 128_256,
-            attention: AttentionConfig::Gqa { heads: 128, kv_heads: 8, head_dim: 128 },
-            ffn: FfnConfig::Dense { intermediate: 53_248 },
+            attention: AttentionConfig::Gqa {
+                heads: 128,
+                kv_heads: 8,
+                head_dim: 128,
+            },
+            ffn: FfnConfig::Dense {
+                intermediate: 53_248,
+            },
             leading_dense_layers: 0,
             leading_dense_intermediate: 0,
             dtype: Dtype::Bf16,
@@ -87,13 +107,19 @@ impl ModelConfig {
 
     /// The three models of the paper's evaluation, in the order of Fig. 12.
     pub fn paper_models() -> Vec<ModelConfig> {
-        vec![ModelConfig::deepseek_v3(), ModelConfig::grok_1(), ModelConfig::llama3_405b()]
+        vec![
+            ModelConfig::deepseek_v3(),
+            ModelConfig::grok_1(),
+            ModelConfig::llama3_405b(),
+        ]
     }
 
     /// The FFN configuration of layer `layer` (leading layers may be dense).
     pub fn ffn_of_layer(&self, layer: u32) -> FfnConfig {
         if layer < self.leading_dense_layers {
-            FfnConfig::Dense { intermediate: self.leading_dense_intermediate }
+            FfnConfig::Dense {
+                intermediate: self.leading_dense_intermediate,
+            }
         } else {
             self.ffn
         }
@@ -195,7 +221,11 @@ mod tests {
         // model's BF16 weights must fit comfortably.
         let total_capacity: u64 = 8 * 256 * (1 << 30);
         for m in ModelConfig::paper_models() {
-            assert!(m.weight_bytes() < total_capacity * 3 / 4, "{} too large", m.name);
+            assert!(
+                m.weight_bytes() < total_capacity * 3 / 4,
+                "{} too large",
+                m.name
+            );
         }
     }
 

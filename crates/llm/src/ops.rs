@@ -113,13 +113,23 @@ impl Operator {
             for _ in 0..full {
                 out.push((kind, unit));
             }
-            if total % unit != 0 {
+            if !total.is_multiple_of(unit) {
                 out.push((kind, total % unit));
             }
         }
         let mut out = Vec::new();
-        split(self.weight_bytes, self.weight_unit_bytes, DataKind::Weight, &mut out);
-        split(self.kv_bytes, self.kv_unit_bytes, DataKind::KvCache, &mut out);
+        split(
+            self.weight_bytes,
+            self.weight_unit_bytes,
+            DataKind::Weight,
+            &mut out,
+        );
+        split(
+            self.kv_bytes,
+            self.kv_unit_bytes,
+            DataKind::KvCache,
+            &mut out,
+        );
         split(self.activation_bytes, 0, DataKind::Activation, &mut out);
         out
     }
@@ -203,7 +213,9 @@ fn ffn_ops(
 
     // Leading dense layers (DeepSeek-V3 has 3).
     if model.leading_dense_layers > 0 {
-        let dense = crate::ffn::FfnConfig::Dense { intermediate: model.leading_dense_intermediate };
+        let dense = crate::ffn::FfnConfig::Dense {
+            intermediate: model.leading_dense_intermediate,
+        };
         let weight_bytes = dense.weight_params(hidden) * dtype / par.ffn_tp as u64;
         ops.push(Operator {
             name: "dense_ffn_leading".to_string(),
@@ -255,7 +267,13 @@ fn ffn_ops(
     ops
 }
 
-fn shared_ops(model: &ModelConfig, par: &Parallelism, stage: Stage, batch: u64, seq_len: u64) -> Vec<Operator> {
+fn shared_ops(
+    model: &ModelConfig,
+    par: &Parallelism,
+    stage: Stage,
+    batch: u64,
+    seq_len: u64,
+) -> Vec<Operator> {
     let dtype = model.dtype.bytes();
     let hidden = model.hidden as u64;
     let tokens = match stage {
@@ -300,21 +318,43 @@ fn shared_ops(model: &ModelConfig, par: &Parallelism, stage: Stage, batch: u64, 
 }
 
 /// Build the per-device traffic of one **decode** step.
-pub fn decode_step(model: &ModelConfig, par: &Parallelism, batch: u64, seq_len: u64) -> StepTraffic {
+pub fn decode_step(
+    model: &ModelConfig,
+    par: &Parallelism,
+    batch: u64,
+    seq_len: u64,
+) -> StepTraffic {
     build(model, par, Stage::Decode, batch, seq_len)
 }
 
 /// Build the per-device traffic of one **prefill** pass.
-pub fn prefill_step(model: &ModelConfig, par: &Parallelism, batch: u64, seq_len: u64) -> StepTraffic {
+pub fn prefill_step(
+    model: &ModelConfig,
+    par: &Parallelism,
+    batch: u64,
+    seq_len: u64,
+) -> StepTraffic {
     build(model, par, Stage::Prefill, batch, seq_len)
 }
 
-fn build(model: &ModelConfig, par: &Parallelism, stage: Stage, batch: u64, seq_len: u64) -> StepTraffic {
+fn build(
+    model: &ModelConfig,
+    par: &Parallelism,
+    stage: Stage,
+    batch: u64,
+    seq_len: u64,
+) -> StepTraffic {
     par.validate();
     let mut operators = attention_ops(model, par, stage, batch, seq_len);
     operators.extend(ffn_ops(model, par, stage, batch, seq_len));
     operators.extend(shared_ops(model, par, stage, batch, seq_len));
-    StepTraffic { model: model.name.clone(), stage, batch, seq_len, operators }
+    StepTraffic {
+        model: model.name.clone(),
+        stage,
+        batch,
+        seq_len,
+        operators,
+    }
 }
 
 #[cfg(test)]
@@ -361,7 +401,10 @@ mod tests {
         let par = Parallelism::paper_decode(&model);
         let small = decode_step(&model, &par, 8, 8192).bytes_of(DataKind::Weight);
         let large = decode_step(&model, &par, 256, 8192).bytes_of(DataKind::Weight);
-        assert!(large > small, "MoE should touch more experts at larger batch");
+        assert!(
+            large > small,
+            "MoE should touch more experts at larger batch"
+        );
     }
 
     #[test]
@@ -404,7 +447,12 @@ mod tests {
         assert_eq!(op.bytes_of(DataKind::KvCache), 25);
         assert_eq!(op.arithmetic_intensity(), 2.0);
         assert_eq!(OperatorKind::Ffn.to_string(), "ffn");
-        let empty = Operator { weight_bytes: 0, activation_bytes: 0, kv_bytes: 0, ..op };
+        let empty = Operator {
+            weight_bytes: 0,
+            activation_bytes: 0,
+            kv_bytes: 0,
+            ..op
+        };
         assert!(empty.arithmetic_intensity().is_infinite());
     }
 }

@@ -42,7 +42,13 @@ impl Parallelism {
 
     /// The paper's prefill-stage strategy (TP 8 everywhere).
     pub fn paper_prefill(_model: &ModelConfig) -> Self {
-        Parallelism { devices: 8, attention_tp: 8, attention_dp: 1, ffn_tp: 8, expert_parallel: 8 }
+        Parallelism {
+            devices: 8,
+            attention_tp: 8,
+            attention_dp: 1,
+            ffn_tp: 8,
+            expert_parallel: 8,
+        }
     }
 
     /// The paper's strategy for `model` in `stage`.
@@ -56,7 +62,13 @@ impl Parallelism {
     /// A single-device configuration (useful for unit tests and small
     /// studies).
     pub fn single_device() -> Self {
-        Parallelism { devices: 1, attention_tp: 1, attention_dp: 1, ffn_tp: 1, expert_parallel: 1 }
+        Parallelism {
+            devices: 1,
+            attention_tp: 1,
+            attention_dp: 1,
+            ffn_tp: 1,
+            expert_parallel: 1,
+        }
     }
 
     /// Validate internal consistency.
@@ -78,7 +90,7 @@ impl Parallelism {
     /// The share of a batch of `batch` sequences handled by one device's
     /// attention layers (data parallelism splits the batch).
     pub fn attention_batch_share(&self, batch: u64) -> u64 {
-        (batch + self.attention_dp as u64 - 1) / self.attention_dp as u64
+        batch.div_ceil(self.attention_dp as u64)
     }
 
     /// The fraction of attention weights resident on (and read by) one
@@ -147,8 +159,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "attention TP × DP")]
     fn inconsistent_parallelism_panics() {
-        Parallelism { devices: 8, attention_tp: 2, attention_dp: 2, ffn_tp: 8, expert_parallel: 8 }
-            .validate();
+        Parallelism {
+            devices: 8,
+            attention_tp: 2,
+            attention_dp: 2,
+            ffn_tp: 8,
+            expert_parallel: 8,
+        }
+        .validate();
     }
 
     #[test]

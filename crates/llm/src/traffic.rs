@@ -23,17 +23,26 @@ pub struct StepTraffic {
 impl StepTraffic {
     /// Total memory traffic of the step on one device, in bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.operators.iter().map(|o| o.bytes() * o.repeat as u64).sum()
+        self.operators
+            .iter()
+            .map(|o| o.bytes() * o.repeat as u64)
+            .sum()
     }
 
     /// Total FLOPs of the step on one device.
     pub fn flops(&self) -> u64 {
-        self.operators.iter().map(|o| o.flops * o.repeat as u64).sum()
+        self.operators
+            .iter()
+            .map(|o| o.flops * o.repeat as u64)
+            .sum()
     }
 
     /// Memory traffic attributed to one data kind.
     pub fn bytes_of(&self, kind: DataKind) -> u64 {
-        self.operators.iter().map(|o| o.bytes_of(kind) * o.repeat as u64).sum()
+        self.operators
+            .iter()
+            .map(|o| o.bytes_of(kind) * o.repeat as u64)
+            .sum()
     }
 
     /// Memory traffic attributed to operators of one kind (attention, FFN…).

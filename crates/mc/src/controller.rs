@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use rome_hbm::address::BankAddress;
 use rome_hbm::channel::HbmChannel;
-use rome_hbm::command::{CommandTarget, DramCommand};
+use rome_hbm::command::{CommandKind, CommandTarget, DramCommand};
 use rome_hbm::organization::Organization;
 use rome_hbm::refresh::{RefreshMode, RefreshScheduler};
 use rome_hbm::timing::TimingParams;
@@ -24,18 +24,13 @@ use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
 use crate::stats::ControllerStats;
 
 /// Request-scheduling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum SchedulingPolicy {
     /// First-ready, first-come-first-served: row hits first, then oldest.
+    #[default]
     FrFcfs,
     /// Strict first-come-first-served (no row-hit prioritization).
     Fcfs,
-}
-
-impl Default for SchedulingPolicy {
-    fn default() -> Self {
-        SchedulingPolicy::FrFcfs
-    }
 }
 
 /// Configuration of a conventional channel controller.
@@ -95,7 +90,7 @@ impl ControllerConfig {
         cfg.read_queue_capacity = depth;
         cfg.write_queue_capacity = depth;
         cfg.write_drain_high = (depth * 3 / 4).max(1);
-        cfg.write_drain_low = (depth / 4).max(0);
+        cfg.write_drain_low = depth / 4;
         cfg
     }
 }
@@ -125,6 +120,12 @@ pub struct ChannelController {
     /// the scheduler must not re-activate it until the refresh issues.
     refresh_reserved_bank: Option<BankAddress>,
     stats: ControllerStats,
+    /// Earliest future cycle at which a command the scheduler wanted to
+    /// issue this tick becomes timing-legal. Recorded as a byproduct of the
+    /// tick's failed scheduling attempts (the scan already computes every
+    /// candidate's earliest-issue time), so [`ChannelController::next_event_at`]
+    /// needs no second scan. Only complete after a tick that issued nothing.
+    event_hint: Cycle,
 }
 
 impl ChannelController {
@@ -146,6 +147,7 @@ impl ChannelController {
             write_drain: false,
             refresh_reserved_bank: None,
             stats: ControllerStats::new(),
+            event_hint: Cycle::MAX,
             channel,
             config,
         }
@@ -217,15 +219,28 @@ impl ChannelController {
     /// Advance the controller by one nanosecond, returning any requests whose
     /// data transfer completed at or before `now`.
     ///
-    /// The controller may issue at most one row command (ACT/PRE/REF) and one
-    /// column command (RD/WR) per call, matching the separate row/column C/A
-    /// buses of HBM.
+    /// Allocates a fresh completion vector per call; hot loops should prefer
+    /// [`ChannelController::tick_into`] with a reused buffer.
     pub fn tick(&mut self, now: Cycle) -> Vec<CompletedRequest> {
+        let mut completed = Vec::new();
+        self.tick_into(now, &mut completed);
+        completed
+    }
+
+    /// Advance the controller by one nanosecond, appending any requests whose
+    /// data transfer completed at or before `now` to `completed`. Returns
+    /// `true` if any DRAM command (row, column, or refresh) was issued.
+    ///
+    /// The controller may issue at most one row command (ACT/PRE/REF) and one
+    /// column command (RD/WR) per pseudo channel per call, matching the
+    /// separate row/column C/A buses of HBM.
+    pub fn tick_into(&mut self, now: Cycle, completed: &mut Vec<CompletedRequest>) -> bool {
         self.stats.total_cycles += 1;
         self.read_queue.sample_occupancy();
         self.write_queue.sample_occupancy();
+        self.event_hint = Cycle::MAX;
 
-        let completed = self.collect_completions(now);
+        self.collect_completions_into(now, completed);
 
         let had_work = !self.read_queue.is_empty() || !self.write_queue.is_empty();
 
@@ -267,14 +282,74 @@ impl ChannelController {
         }
 
         self.stats.mean_queue_occupancy = self.read_queue.mean_occupancy();
-        self.stats.peak_queue_occupancy =
-            self.stats.peak_queue_occupancy.max(self.read_queue.peak_occupancy());
+        self.stats.peak_queue_occupancy = self
+            .stats
+            .peak_queue_occupancy
+            .max(self.read_queue.peak_occupancy());
         self.stats.dram = *self.channel.counters();
-        completed
+        issued_col || issued_row || issued_refresh
     }
 
-    fn collect_completions(&mut self, now: Cycle) -> Vec<CompletedRequest> {
-        let mut done = Vec::new();
+    /// The next cycle strictly after `now` at which this controller's state
+    /// can change on its own: a data transfer completing, a refresh becoming
+    /// due (or, if pending, becoming urgent or issuable), a queued request's
+    /// next command becoming timing-legal, or the oldest request crossing
+    /// the starvation threshold. `None` when the controller is fully idle
+    /// and no refresh is pending.
+    ///
+    /// Must be called immediately after a [`ChannelController::tick_into`]
+    /// at the same `now` that issued nothing: the scheduling-derived part of
+    /// the answer (`event_hint`) is accumulated during that tick's failed
+    /// issue attempts, which makes this query cheap. The returned cycle is a
+    /// *lower bound* on the next state change — an event-driven driver that
+    /// ticks at every reported cycle executes the exact command schedule of
+    /// a cycle-by-cycle driver, because nothing the scheduler consults
+    /// changes between the reported cycles. Spurious events (a reported
+    /// cycle where the scheduler still issues nothing) are harmless.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let horizon = now + 1;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(horizon);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+
+        if self.event_hint != Cycle::MAX {
+            consider(self.event_hint);
+        }
+
+        for inflight in &self.in_flight {
+            consider(inflight.data_complete_at);
+        }
+
+        // Refreshes not yet due wake the scheduler when they become due;
+        // pending ones already recorded their issuability into the hint.
+        for sched in &self.refresh {
+            if !sched.due(now) {
+                consider(sched.next_due());
+            }
+        }
+
+        for queue in [&self.read_queue, &self.write_queue] {
+            if let Some(oldest) = queue.oldest() {
+                // Crossing the starvation threshold changes the scheduling
+                // policy even when no timing constraint expires.
+                consider(oldest.request.arrival + self.config.starvation_threshold + 1);
+            }
+        }
+
+        next
+    }
+
+    /// Record a future cycle at which a command the scheduler wanted this
+    /// tick becomes issuable.
+    fn hint_event(&mut self, at: Cycle) {
+        if at < self.event_hint {
+            self.event_hint = at;
+        }
+    }
+
+    fn collect_completions_into(&mut self, now: Cycle, done: &mut Vec<CompletedRequest>) {
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].data_complete_at <= now {
@@ -305,7 +380,6 @@ impl ChannelController {
                 i += 1;
             }
         }
-        done
     }
 
     fn update_write_drain(&mut self) {
@@ -315,7 +389,8 @@ impl ChannelController {
             self.write_drain = true;
         }
         if self.write_drain
-            && (self.write_queue.len() <= self.config.write_drain_low || self.write_queue.is_empty())
+            && (self.write_queue.len() <= self.config.write_drain_low
+                || self.write_queue.is_empty())
             && !self.read_queue.is_empty()
         {
             self.write_drain = false;
@@ -354,6 +429,9 @@ impl ChannelController {
                             if self.read_queue.has_pending_for_bank(probe_addr)
                                 || self.write_queue.has_pending_for_bank(probe_addr)
                             {
+                                // Postponed until the bank drains or the
+                                // refresh becomes urgent.
+                                self.hint_event(self.refresh[rank].urgent_at());
                                 continue;
                             }
                         }
@@ -371,6 +449,9 @@ impl ChannelController {
                                     self.refresh_reserved_bank = Some(bank);
                                     return true;
                                 }
+                                self.hint_event(self.channel.earliest_issue(&pre, now + 1));
+                            } else {
+                                self.hint_event(self.refresh[rank].urgent_at());
                             }
                             continue;
                         }
@@ -384,6 +465,7 @@ impl ChannelController {
                             }
                             return true;
                         }
+                        self.hint_event(self.channel.earliest_issue(&refpb, now + 1));
                         if urgent && self.refresh_reserved_bank.is_none() {
                             // Reserve the idle bank so the scheduler cannot
                             // open a row in it before the refresh becomes
@@ -394,10 +476,11 @@ impl ChannelController {
                     RefreshMode::AllBank => {
                         let target = CommandTarget::bank(pc, sid, 0, 0);
                         // All banks of the rank must be precharged.
-                        let any_open = (0..(org.bank_groups * org.banks_per_group) as usize).any(|i| {
-                            let base = self.bank_index(BankAddress::new(pc, sid, 0, 0));
-                            self.open_rows[base + i].is_some()
-                        });
+                        let any_open =
+                            (0..(org.bank_groups * org.banks_per_group) as usize).any(|i| {
+                                let base = self.bank_index(BankAddress::new(pc, sid, 0, 0));
+                                self.open_rows[base + i].is_some()
+                            });
                         if any_open {
                             if urgent {
                                 let pre_all = DramCommand::PreAll { target };
@@ -409,6 +492,9 @@ impl ChannelController {
                                     }
                                     return true;
                                 }
+                                self.hint_event(self.channel.earliest_issue(&pre_all, now + 1));
+                            } else {
+                                self.hint_event(self.refresh[rank].urgent_at());
                             }
                             continue;
                         }
@@ -419,6 +505,7 @@ impl ChannelController {
                             self.stats.refreshes_issued += 1;
                             return true;
                         }
+                        self.hint_event(self.channel.earliest_issue(&refab, now + 1));
                     }
                 }
             }
@@ -440,14 +527,35 @@ impl ChannelController {
         let is_write_phase = self.write_drain;
         let starved = self.active_queue().oldest_age(now) > self.config.starvation_threshold;
 
+        // Per-pseudo-channel gate: the PC scope bounds the earliest issue of
+        // every column command on that PC, so a blocked PC disqualifies all
+        // of its entries with one comparison instead of a full
+        // earliest-issue evaluation each.
+        let kind = if is_write_phase {
+            CommandKind::Wr
+        } else {
+            CommandKind::Rd
+        };
+        const MAX_GATED_PCS: usize = 8;
+        let pcs = self.config.organization.pseudo_channels as usize;
+        let mut pc_bound = [0 as Cycle; MAX_GATED_PCS];
+        if pcs <= MAX_GATED_PCS {
+            for (pc, bound) in pc_bound.iter_mut().enumerate().take(pcs) {
+                *bound = self.channel.pseudo_channel_bound(kind, pc as u8);
+            }
+        }
+
         // Gather the candidate index: oldest entry whose row is open and
-        // whose column command is issuable now.
-        let candidate = {
+        // whose column command is issuable now. Entries blocked only by
+        // timing feed the event hint with (a lower bound on) their
+        // earliest-issue cycle.
+        let (candidate, hint) = {
             let queue = self.active_queue();
             let open_rows = &self.open_rows;
             let channel = &self.channel;
             let config = &self.config;
             let mut found: Option<usize> = None;
+            let mut hint = Cycle::MAX;
             for (i, e) in queue.iter().enumerate() {
                 if starved && i != 0 && config.scheduling == SchedulingPolicy::FrFcfs {
                     break;
@@ -459,29 +567,43 @@ impl ChannelController {
                     }
                     continue;
                 }
-                let pending_hit_elsewhere = queue
-                    .iter()
-                    .enumerate()
-                    .any(|(j, o)| j != i && o.dram.bank == e.dram.bank && o.dram.row == e.dram.row);
-                let auto_precharge =
-                    config.page_policy.auto_precharge(pending_hit_elsewhere);
-                let cmd = column_command(e, auto_precharge);
-                if channel.can_issue(&cmd, now) {
+                let pc = e.dram.bank.pseudo_channel as usize;
+                if pc < pcs.min(MAX_GATED_PCS) && pc_bound[pc] > now {
+                    hint = hint.min(pc_bound[pc]);
+                    if config.scheduling == SchedulingPolicy::Fcfs {
+                        break;
+                    }
+                    continue;
+                }
+                // Earliest-issue does not depend on the auto-precharge flag,
+                // so the O(queue) pending-hit lookup that decides it is
+                // deferred until an entry is actually chosen.
+                let probe = column_command(e, false);
+                let at = channel.earliest_issue(&probe, now);
+                if at <= now {
                     found = Some(i);
                     break;
                 }
+                hint = hint.min(at);
                 if config.scheduling == SchedulingPolicy::Fcfs {
                     break;
                 }
             }
-            found
+            (found, hint)
         };
+        if hint != Cycle::MAX {
+            self.hint_event(hint);
+        }
 
         let Some(index) = candidate else { return false };
         let entry = if is_write_phase {
-            self.write_queue.remove(index).expect("candidate index valid")
+            self.write_queue
+                .remove(index)
+                .expect("candidate index valid")
         } else {
-            self.read_queue.remove(index).expect("candidate index valid")
+            self.read_queue
+                .remove(index)
+                .expect("candidate index valid")
         };
         let idx = self.bank_index(entry.dram.bank);
         let pending_hit = if is_write_phase {
@@ -491,7 +613,10 @@ impl ChannelController {
         };
         let auto_precharge = self.config.page_policy.auto_precharge(pending_hit);
         let cmd = column_command(&entry, auto_precharge);
-        let result = self.channel.issue(cmd, now).expect("checked by can_issue");
+        let result = self
+            .channel
+            .issue(cmd, now)
+            .expect("probed via earliest_issue");
         if auto_precharge {
             self.open_rows[idx] = None;
         }
@@ -511,30 +636,46 @@ impl ChannelController {
             Pre { bank: BankAddress },
         }
 
-        let action = {
+        let (action, hint) = {
             let queue = self.active_queue();
             let open_rows = &self.open_rows;
             let channel = &self.channel;
             let mut act: Option<(usize, u32, BankAddress)> = None;
             let mut pre: Option<BankAddress> = None;
+            let mut hint = Cycle::MAX;
             for (i, e) in queue.iter().enumerate() {
                 let idx = self.bank_index(e.dram.bank);
                 if self.refresh_reserved_bank == Some(e.dram.bank) {
                     continue;
                 }
                 match open_rows[idx] {
-                    None => {
-                        let cmd = DramCommand::Act {
-                            target: CommandTarget::from_bank_address(e.dram.bank),
-                            row: e.dram.row,
-                        };
-                        if act.is_none() && channel.can_issue(&cmd, now) {
-                            act = Some((i, e.dram.row, e.dram.bank));
+                    None if act.is_none() => {
+                        // Rank-scope gate: tRRD/tFAW bound every ACT on
+                        // the rank, so a blocked rank disqualifies all
+                        // of its pending activations with one
+                        // comparison.
+                        let rank_bound = channel.rank_act_bound(e.dram.bank);
+                        if rank_bound > now {
+                            hint = hint.min(rank_bound);
+                        } else {
+                            let cmd = DramCommand::Act {
+                                target: CommandTarget::from_bank_address(e.dram.bank),
+                                row: e.dram.row,
+                            };
+                            let at = channel.earliest_issue(&cmd, now);
+                            if at <= now && channel.can_issue(&cmd, now) {
+                                act = Some((i, e.dram.row, e.dram.bank));
+                            } else {
+                                hint = hint.min(at.max(now + 1));
+                            }
                         }
                     }
-                    Some(open) if open != e.dram.row => {
+                    Some(open)
+                        if open != e.dram.row
                         // Row conflict: precharge, but only if no queued
                         // request still wants the open row (fairness).
+                        && pre.is_none() =>
+                    {
                         let open_addr = rome_hbm::address::DramAddress {
                             channel: e.dram.channel,
                             bank: e.dram.bank,
@@ -545,8 +686,13 @@ impl ChannelController {
                         let cmd = DramCommand::Pre {
                             target: CommandTarget::from_bank_address(e.dram.bank),
                         };
-                        if pre.is_none() && !still_wanted && channel.can_issue(&cmd, now) {
-                            pre = Some(e.dram.bank);
+                        if !still_wanted {
+                            let at = channel.earliest_issue(&cmd, now);
+                            if at <= now {
+                                pre = Some(e.dram.bank);
+                            } else {
+                                hint = hint.min(at);
+                            }
                         }
                     }
                     _ => {}
@@ -555,12 +701,16 @@ impl ChannelController {
                     break;
                 }
             }
-            if let Some((index, row, _bank)) = act {
+            let action = if let Some((index, row, _bank)) = act {
                 Some(RowAction::Act { index, row })
             } else {
                 pre.map(|bank| RowAction::Pre { bank })
-            }
+            };
+            (action, hint)
         };
+        if hint != Cycle::MAX {
+            self.hint_event(hint);
+        }
 
         match action {
             Some(RowAction::Act { index, row }) => {
@@ -568,8 +718,10 @@ impl ChannelController {
                     let queue = self.active_queue();
                     queue.iter().nth(index).expect("index valid").dram.bank
                 };
-                let cmd =
-                    DramCommand::Act { target: CommandTarget::from_bank_address(bank), row };
+                let cmd = DramCommand::Act {
+                    target: CommandTarget::from_bank_address(bank),
+                    row,
+                };
                 self.channel.issue(cmd, now).expect("checked");
                 let idx = self.bank_index(bank);
                 self.open_rows[idx] = Some(row);
@@ -577,7 +729,9 @@ impl ChannelController {
                 true
             }
             Some(RowAction::Pre { bank }) => {
-                let cmd = DramCommand::Pre { target: CommandTarget::from_bank_address(bank) };
+                let cmd = DramCommand::Pre {
+                    target: CommandTarget::from_bank_address(bank),
+                };
                 self.channel.issue(cmd, now).expect("checked");
                 let idx = self.bank_index(bank);
                 self.open_rows[idx] = None;
@@ -592,8 +746,16 @@ impl ChannelController {
 fn column_command(entry: &QueueEntry, auto_precharge: bool) -> DramCommand {
     let target = CommandTarget::from_bank_address(entry.dram.bank);
     match entry.request.kind {
-        RequestKind::Read => DramCommand::Rd { target, column: entry.dram.column, auto_precharge },
-        RequestKind::Write => DramCommand::Wr { target, column: entry.dram.column, auto_precharge },
+        RequestKind::Read => DramCommand::Rd {
+            target,
+            column: entry.dram.column,
+            auto_precharge,
+        },
+        RequestKind::Write => DramCommand::Wr {
+            target,
+            column: entry.dram.column,
+            auto_precharge,
+        },
     }
 }
 
@@ -605,7 +767,10 @@ mod tests {
         ChannelController::new(ControllerConfig::hbm4_baseline())
     }
 
-    fn run_until_idle(ctrl: &mut ChannelController, max_ns: Cycle) -> (Vec<CompletedRequest>, Cycle) {
+    fn run_until_idle(
+        ctrl: &mut ChannelController,
+        max_ns: Cycle,
+    ) -> (Vec<CompletedRequest>, Cycle) {
         let mut done = Vec::new();
         let mut now = 0;
         while !ctrl.is_idle() && now < max_ns {
@@ -624,7 +789,10 @@ mod tests {
         // Latency = ACT->RD (tRCD=16) + CAS latency (16) + burst (1), plus a
         // couple of scheduling cycles.
         let lat = done[0].latency();
-        assert!(lat >= 33 && lat <= 40, "latency {lat} outside expected window");
+        assert!(
+            (33..=40).contains(&lat),
+            "latency {lat} outside expected window"
+        );
         assert_eq!(ctrl.stats().reads_completed, 1);
         assert_eq!(ctrl.stats().bytes_read, 32);
         assert_eq!(ctrl.stats().row_misses, 1);
@@ -679,7 +847,10 @@ mod tests {
         let bw = bytes as f64 / now as f64;
         // Channel peak is 64 GB/s; a deep-queue FR-FCFS stream should reach
         // well over half of it once warmed up.
-        assert!(bw > 32.0, "achieved bandwidth {bw:.1} GB/s too low (t={now})");
+        assert!(
+            bw > 32.0,
+            "achieved bandwidth {bw:.1} GB/s too low (t={now})"
+        );
     }
 
     #[test]

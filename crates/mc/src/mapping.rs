@@ -94,12 +94,24 @@ impl MappingScheme {
         channels: u16,
         interleave_bytes: u64,
     ) -> Self {
-        assert_eq!(order.len(), MappingField::ALL.len(), "mapping order must use every field once");
+        assert_eq!(
+            order.len(),
+            MappingField::ALL.len(),
+            "mapping order must use every field once"
+        );
         for f in MappingField::ALL {
             assert!(order.contains(&f), "mapping order missing field {f:?}");
         }
-        assert!(interleave_bytes.is_power_of_two(), "interleave granularity must be a power of two");
-        MappingScheme { order, org, channels, interleave_bytes }
+        assert!(
+            interleave_bytes.is_power_of_two(),
+            "interleave granularity must be a power of two"
+        );
+        MappingScheme {
+            order,
+            org,
+            channels,
+            interleave_bytes,
+        }
     }
 
     /// The bandwidth-optimized baseline mapping for cache-line (32 B)
@@ -222,10 +234,9 @@ impl MappingScheme {
             MappingField::BankGroup => self.org.bank_groups as u64,
             MappingField::Bank => self.org.banks_per_group as u64,
             MappingField::Row => self.org.rows_per_bank as u64,
-            MappingField::Column => {
-                (self.org.row_bytes as u64 / self.interleave_bytes.min(self.org.row_bytes as u64))
-                    .max(1)
-            }
+            MappingField::Column => (self.org.row_bytes as u64
+                / self.interleave_bytes.min(self.org.row_bytes as u64))
+            .max(1),
         }
     }
 }
@@ -253,13 +264,14 @@ impl AddressMapping for MappingScheme {
                 MappingField::StackId => sid = values[i],
                 MappingField::BankGroup => bg = values[i],
                 MappingField::Bank => bank = values[i],
-                MappingField::Row => row = values[i] + remaining * self.field_size(MappingField::Row).min(1),
+                MappingField::Row => {
+                    row = values[i] + remaining * self.field_size(MappingField::Row).min(1)
+                }
                 MappingField::Column => column = values[i],
             }
         }
-        // Any bits above the configured capacity spill into the row index so
-        // that distinct addresses stay distinct for as long as possible.
-        row += remaining * 0; // remaining beyond capacity wraps (documented behaviour)
+        // Bits above the configured capacity wrap (documented behaviour).
+        let _ = remaining;
         let columns_per_interleave =
             (self.interleave_bytes / self.org.access_granularity as u64).max(1);
         let column_units = column * columns_per_interleave
@@ -276,7 +288,8 @@ impl AddressMapping for MappingScheme {
         let columns_per_interleave =
             (self.interleave_bytes / self.org.access_granularity as u64).max(1);
         let column_interleave = address.column as u64 / columns_per_interleave;
-        let intra = (address.column as u64 % columns_per_interleave) * self.org.access_granularity as u64;
+        let intra =
+            (address.column as u64 % columns_per_interleave) * self.org.access_granularity as u64;
         let mut result = 0u64;
         let mut multiplier = 1u64;
         for field in &self.order {

@@ -10,10 +10,11 @@
 use serde::{Deserialize, Serialize};
 
 /// The page policy used by a conventional memory controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum PagePolicy {
     /// Keep rows open after column accesses; precharge only on a conflict or
     /// before refresh.
+    #[default]
     Open,
     /// Precharge immediately after every column access (auto-precharge).
     Closed,
@@ -41,12 +42,6 @@ impl PagePolicy {
             PagePolicy::Closed => "closed",
             PagePolicy::Adaptive => "adaptive",
         }
-    }
-}
-
-impl Default for PagePolicy {
-    fn default() -> Self {
-        PagePolicy::Open
     }
 }
 

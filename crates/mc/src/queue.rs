@@ -98,7 +98,7 @@ impl RequestQueue {
 
     /// Find the oldest entry matching `pred` and return its position.
     pub fn find_oldest<F: Fn(&QueueEntry) -> bool>(&self, pred: F) -> Option<usize> {
-        self.entries.iter().position(|e| pred(e))
+        self.entries.iter().position(pred)
     }
 
     /// Remove and return the entry at `index` (as returned by
@@ -145,12 +145,18 @@ impl RequestQueue {
 
     /// Age (in ns) of the oldest entry relative to `now`, or 0 if empty.
     pub fn oldest_age(&self, now: Cycle) -> Cycle {
-        self.entries.front().map(|e| now.saturating_sub(e.request.arrival)).unwrap_or(0)
+        self.entries
+            .front()
+            .map(|e| now.saturating_sub(e.request.arrival))
+            .unwrap_or(0)
     }
 
     /// Count entries of the given kind.
     pub fn count_kind(&self, kind: RequestKind) -> usize {
-        self.entries.iter().filter(|e| e.request.kind == kind).count()
+        self.entries
+            .iter()
+            .filter(|e| e.request.kind == kind)
+            .count()
     }
 }
 

@@ -12,7 +12,9 @@ use rome_hbm::address::PhysicalAddress;
 use rome_hbm::units::Cycle;
 
 /// Unique identifier of a request within one simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct RequestId(pub u64);
 
 impl std::fmt::Display for RequestId {
@@ -91,7 +93,7 @@ impl MemoryRequest {
     /// completion separately.
     pub fn fragments(&self, granularity: u64) -> Vec<MemoryRequest> {
         assert!(granularity > 0, "fragment granularity must be non-zero");
-        let mut out = Vec::with_capacity(((self.bytes + granularity - 1) / granularity) as usize);
+        let mut out = Vec::with_capacity(self.bytes.div_ceil(granularity) as usize);
         let mut offset = 0;
         while offset < self.bytes {
             let len = granularity.min(self.bytes - offset);

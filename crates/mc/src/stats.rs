@@ -7,6 +7,17 @@ use rome_hbm::counters::ChannelCounters;
 use rome_hbm::units::Cycle;
 
 /// Statistics accumulated by one channel controller.
+///
+/// Event counts (completions, bytes, latencies, row hits/misses, DRAM
+/// command counters) are exact regardless of how the controller is driven.
+/// The *per-tick* fields — `total_cycles`, `stall_cycles`, `idle_cycles`,
+/// and the queue-occupancy samples — count executed scheduling ticks: under
+/// a cycle-stepped driver that is one per nanosecond, while an event-driven
+/// driver skips provably idle nanoseconds, so those fields then count
+/// scheduling *opportunities* rather than wall nanoseconds (occupancy
+/// samples are correspondingly taken at event cycles only). Use
+/// `run_with_limit_stepped` when per-nanosecond stall/idle accounting is
+/// the quantity of interest.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ControllerStats {
     /// Completed read fragments.

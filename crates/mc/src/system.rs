@@ -11,8 +11,9 @@
 //! accordingly (`rome-sim` handles the scaling); the per-channel behaviour is
 //! identical either way.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use rome_hbm::organization::Organization;
@@ -22,7 +23,7 @@ use rome_hbm::units::Cycle;
 use crate::controller::{ChannelController, ControllerConfig};
 use crate::mapping::{AddressMapping, MappingScheme};
 use crate::queue::QueueEntry;
-use crate::request::{MemoryRequest, RequestId, RequestKind};
+use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
 use crate::stats::ControllerStats;
 
 /// Configuration of a multi-channel memory system.
@@ -97,6 +98,9 @@ pub struct MemorySystem {
     backlog: Vec<QueueEntry>,
     host_requests: HashMap<RequestId, HostTracker>,
     next_auto_id: u64,
+    /// Reused per-tick completion buffer (avoids an allocation per channel
+    /// per cycle).
+    scratch: Vec<CompletedRequest>,
 }
 
 impl MemorySystem {
@@ -106,12 +110,15 @@ impl MemorySystem {
         // Each controller serves exactly one channel; its private mapping is
         // never used because the system decodes addresses first.
         per_channel.mapping = MappingScheme::hbm4_streaming(per_channel.organization, 1);
-        let controllers = (0..config.channels).map(|_| ChannelController::new(per_channel.clone())).collect();
+        let controllers = (0..config.channels)
+            .map(|_| ChannelController::new(per_channel.clone()))
+            .collect();
         MemorySystem {
             controllers,
             backlog: Vec::new(),
             host_requests: HashMap::new(),
             next_auto_id: 1 << 48,
+            scratch: Vec::new(),
             config,
         }
     }
@@ -138,7 +145,10 @@ impl MemorySystem {
     /// Per-channel bytes transferred so far (reads + writes), used for the
     /// channel-load-balance analysis.
     pub fn bytes_per_channel(&self) -> Vec<u64> {
-        self.controllers.iter().map(|c| c.stats().bytes_total()).collect()
+        self.controllers
+            .iter()
+            .map(|c| c.stats().bytes_total())
+            .collect()
     }
 
     /// Whether every queue, backlog entry, and in-flight transfer has
@@ -167,13 +177,28 @@ impl MemorySystem {
         );
         for frag in fragments {
             let dram = self.config.mapping.map(frag.address);
-            self.backlog.push(QueueEntry { request: frag, dram });
+            self.backlog.push(QueueEntry {
+                request: frag,
+                dram,
+            });
         }
         request.id
     }
 
     /// Advance the whole system by one nanosecond.
+    ///
+    /// Allocates a fresh completion vector per call; hot loops should prefer
+    /// [`MemorySystem::tick_into`] with a reused buffer.
     pub fn tick(&mut self, now: Cycle) -> Vec<HostCompletion> {
+        let mut completions = Vec::new();
+        self.tick_into(now, &mut completions);
+        completions
+    }
+
+    /// Advance the whole system by one nanosecond, appending completed host
+    /// requests to `completions`. Returns `true` if any channel issued a
+    /// DRAM command.
+    pub fn tick_into(&mut self, now: Cycle, completions: &mut Vec<HostCompletion>) -> bool {
         // Drain the backlog into per-channel queues while slots are free.
         let mut i = 0;
         while i < self.backlog.len() {
@@ -193,10 +218,18 @@ impl MemorySystem {
             }
         }
 
-        let mut completions = Vec::new();
-        for ctrl in &mut self.controllers {
-            for done in ctrl.tick(now) {
-                if let Some(tracker) = self.host_requests.get_mut(&done.id) {
+        let before = completions.len();
+        let mut issued = false;
+        let MemorySystem {
+            controllers,
+            scratch,
+            host_requests,
+            ..
+        } = self;
+        for ctrl in controllers.iter_mut() {
+            issued |= ctrl.tick_into(now, scratch);
+            for done in scratch.drain(..) {
+                if let Some(tracker) = host_requests.get_mut(&done.id) {
                     tracker.fragments_outstanding -= 1;
                     tracker.last_completion = tracker.last_completion.max(done.completed);
                     if tracker.fragments_outstanding == 0 {
@@ -211,23 +244,162 @@ impl MemorySystem {
                 }
             }
         }
-        for c in &completions {
+        for c in &completions[before..] {
             self.host_requests.remove(&c.id);
         }
-        completions
+        issued
+    }
+
+    /// The next cycle strictly after `now` at which any channel's state can
+    /// change (see [`ChannelController::next_event_at`]), or at which a
+    /// backlogged fragment could enter a queue. `None` when the whole system
+    /// is quiescent.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(now + 1);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+        for entry in &self.backlog {
+            let ctrl = &self.controllers[entry.dram.channel as usize % self.controllers.len()];
+            let free = match entry.request.kind {
+                RequestKind::Read => ctrl.read_slots_free(),
+                RequestKind::Write => ctrl.write_slots_free(),
+            };
+            if free > 0 {
+                consider(now + 1);
+                break;
+            }
+        }
+        for ctrl in &self.controllers {
+            if let Some(t) = ctrl.next_event_at(now) {
+                consider(t);
+            }
+        }
+        next
     }
 
     /// Run until all submitted requests complete or `max_ns` elapses; returns
-    /// the completions and the cycle the run stopped at.
+    /// the completions (sorted by completion time, then id) and the cycle the
+    /// run stopped at.
+    ///
+    /// Channels share no state once fragments are steered, so each channel
+    /// runs its own event-driven loop to completion — in parallel across
+    /// channels — and the fragment completions are merged into host
+    /// completions afterwards. Within a channel, fragments enter the queues
+    /// in per-kind FIFO order, whereas the per-cycle [`MemorySystem::tick`]
+    /// path drains a shared backlog whose order `swap_remove` scrambles;
+    /// the two paths therefore execute slightly different (both valid)
+    /// schedules. Totals — completion counts, bytes, per-channel byte
+    /// distribution — are identical; per-request completion *times* may
+    /// differ. The equivalence suite pins the invariants.
     pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
-        let mut done = Vec::new();
-        let mut now = 0;
-        while !self.is_idle() && now < max_ns {
-            done.extend(self.tick(now));
-            now += 1;
+        let channels = self.controllers.len();
+        let mut backlogs: Vec<ChannelBacklog> = vec![ChannelBacklog::default(); channels];
+        for entry in self.backlog.drain(..) {
+            let backlog = &mut backlogs[entry.dram.channel as usize % channels];
+            match entry.request.kind {
+                RequestKind::Read => backlog.reads.push_back(entry),
+                RequestKind::Write => backlog.writes.push_back(entry),
+            }
         }
-        (done, now)
+
+        let tasks: Vec<(&mut ChannelController, ChannelBacklog)> =
+            self.controllers.iter_mut().zip(backlogs).collect();
+        let per_channel: Vec<(Vec<CompletedRequest>, Cycle)> = tasks
+            .into_par_iter()
+            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns))
+            .collect();
+
+        let mut stop = 0;
+        let mut fragments = Vec::new();
+        for (done, t) in per_channel {
+            stop = stop.max(t);
+            fragments.extend(done);
+        }
+        fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
+
+        let mut completions = Vec::new();
+        for done in fragments {
+            if let Some(tracker) = self.host_requests.get_mut(&done.id) {
+                tracker.fragments_outstanding -= 1;
+                tracker.last_completion = tracker.last_completion.max(done.completed);
+                if tracker.fragments_outstanding == 0 {
+                    completions.push(HostCompletion {
+                        id: done.id,
+                        kind: tracker.kind,
+                        bytes: tracker.bytes,
+                        arrival: tracker.arrival,
+                        completed: tracker.last_completion,
+                    });
+                }
+            }
+        }
+        for c in &completions {
+            self.host_requests.remove(&c.id);
+        }
+        (completions, stop)
     }
+}
+
+/// One channel's share of the pending fragments, split by kind so the drain
+/// is kind-aware like the per-cycle `tick` path: a write whose queue has
+/// space enqueues even while an older read waits for a read slot (and vice
+/// versa); order within each kind is preserved.
+#[derive(Debug, Clone, Default)]
+struct ChannelBacklog {
+    reads: VecDeque<QueueEntry>,
+    writes: VecDeque<QueueEntry>,
+}
+
+impl ChannelBacklog {
+    fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Move every acceptable fragment into the controller's queues.
+    fn drain_into(&mut self, ctrl: &mut ChannelController) {
+        while !self.reads.is_empty() && ctrl.read_slots_free() > 0 {
+            let ok = ctrl.enqueue_mapped(self.reads.pop_front().expect("checked non-empty"));
+            debug_assert!(ok);
+        }
+        while !self.writes.is_empty() && ctrl.write_slots_free() > 0 {
+            let ok = ctrl.enqueue_mapped(self.writes.pop_front().expect("checked non-empty"));
+            debug_assert!(ok);
+        }
+    }
+
+    /// Whether any held fragment could enqueue right now.
+    fn can_enqueue(&self, ctrl: &ChannelController) -> bool {
+        (!self.reads.is_empty() && ctrl.read_slots_free() > 0)
+            || (!self.writes.is_empty() && ctrl.write_slots_free() > 0)
+    }
+}
+
+/// Event-driven loop for one channel: feed it its share of the backlog,
+/// advance to the next event after every no-op tick, and return the fragment
+/// completions plus the cycle the channel went idle (or `max_ns`).
+fn run_channel_until_idle(
+    ctrl: &mut ChannelController,
+    mut backlog: ChannelBacklog,
+    max_ns: Cycle,
+) -> (Vec<CompletedRequest>, Cycle) {
+    let mut done = Vec::new();
+    let mut now = 0;
+    let mut stop = 0;
+    while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
+        backlog.drain_into(ctrl);
+        let issued = ctrl.tick_into(now, &mut done);
+        stop = now + 1;
+        let arrival_next = backlog.can_enqueue(ctrl);
+        now = if issued || arrival_next {
+            now + 1
+        } else {
+            ctrl.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
+        };
+    }
+    let finished = backlog.is_empty() && ctrl.is_idle();
+    (done, if finished { stop } else { max_ns })
 }
 
 #[cfg(test)]

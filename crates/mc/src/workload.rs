@@ -90,7 +90,9 @@ mod tests {
         assert_eq!(reqs.len(), 32);
         assert_eq!(reqs[0].address.raw(), 0x1000);
         assert_eq!(reqs[31].address.raw(), 0x1000 + 31 * 32);
-        assert!(reqs.iter().all(|r| r.kind == RequestKind::Read && r.bytes == 32));
+        assert!(reqs
+            .iter()
+            .all(|r| r.kind == RequestKind::Read && r.bytes == 32));
     }
 
     #[test]
@@ -121,6 +123,8 @@ mod tests {
         let c = random_reads(0, 1 << 20, 100, 32, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert!(a.iter().all(|r| r.address.raw() % 32 == 0 && r.address.raw() < (1 << 20)));
+        assert!(a
+            .iter()
+            .all(|r| r.address.raw() % 32 == 0 && r.address.raw() < (1 << 20)));
     }
 }

@@ -65,14 +65,20 @@ pub fn interleaved_streams(
     seed: u64,
 ) -> Vec<MemoryRequest> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let bases: Vec<u64> =
-        (0..streams).map(|_| rng.gen_range(0..(1u64 << 22)) * 4096).collect();
+    let bases: Vec<u64> = (0..streams)
+        .map(|_| rng.gen_range(0..(1u64 << 22)) * 4096)
+        .collect();
     let chunks_per_stream = bytes_per_stream / granularity;
     let mut out = Vec::with_capacity((streams * chunks_per_stream) as usize);
     let mut id = 0u64;
     for chunk in 0..chunks_per_stream {
         for base in &bases {
-            out.push(MemoryRequest::read(id, base + chunk * granularity, granularity, 0));
+            out.push(MemoryRequest::read(
+                id,
+                base + chunk * granularity,
+                granularity,
+                0,
+            ));
             id += 1;
         }
     }
@@ -92,8 +98,12 @@ impl Calibrator {
         if let Some(r) = self.hbm4 {
             return r;
         }
-        let reqs =
-            interleaved_streams(CALIBRATION_STREAMS, CALIBRATION_BYTES_PER_STREAM, 32, CALIBRATION_SEED);
+        let reqs = interleaved_streams(
+            CALIBRATION_STREAMS,
+            CALIBRATION_BYTES_PER_STREAM,
+            32,
+            CALIBRATION_SEED,
+        );
         let base_cfg = ControllerConfig::hbm4_baseline();
         let mut best: Option<CalibrationResult> = None;
         for mapping in MappingScheme::sweep_candidates(base_cfg.organization, 1) {
@@ -126,8 +136,12 @@ impl Calibrator {
         }
         let mut ctrl = RomeController::new(RomeControllerConfig::paper_default());
         let row = ctrl.config().row_bytes();
-        let reqs =
-            interleaved_streams(CALIBRATION_STREAMS, CALIBRATION_BYTES_PER_STREAM, row, CALIBRATION_SEED);
+        let reqs = interleaved_streams(
+            CALIBRATION_STREAMS,
+            CALIBRATION_BYTES_PER_STREAM,
+            row,
+            CALIBRATION_SEED,
+        );
         let report = rome_simulate::run_to_completion(&mut ctrl, reqs);
         let peak = ctrl.config().organization.channel_bandwidth_gbps();
         let result = CalibrationResult {
@@ -171,7 +185,12 @@ mod tests {
         // The same four base addresses repeat every four requests, advancing
         // by one granule per round.
         let first: Vec<u64> = reqs.iter().take(4).map(|r| r.address.raw()).collect();
-        let second: Vec<u64> = reqs.iter().skip(4).take(4).map(|r| r.address.raw()).collect();
+        let second: Vec<u64> = reqs
+            .iter()
+            .skip(4)
+            .take(4)
+            .map(|r| r.address.raw())
+            .collect();
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(b - a, 32);
         }
@@ -190,9 +209,16 @@ mod tests {
         let a = cal.hbm4();
         let b = cal.hbm4();
         assert_eq!(a, b);
-        assert!(a.bandwidth_utilization > 0.5 && a.bandwidth_utilization <= 1.0,
-            "utilization {}", a.bandwidth_utilization);
-        assert!(a.activates_per_kib >= 0.9, "acts/KiB {}", a.activates_per_kib);
+        assert!(
+            a.bandwidth_utilization > 0.5 && a.bandwidth_utilization <= 1.0,
+            "utilization {}",
+            a.bandwidth_utilization
+        );
+        assert!(
+            a.activates_per_kib >= 0.9,
+            "acts/KiB {}",
+            a.activates_per_kib
+        );
         assert!(a.mean_read_latency_ns > 0.0);
     }
 
@@ -201,10 +227,18 @@ mod tests {
         let mut cal = Calibrator::new();
         let hbm4 = cal.hbm4();
         let rome = cal.rome();
-        assert!(rome.bandwidth_utilization >= hbm4.bandwidth_utilization - 0.05,
-            "rome {} vs hbm4 {}", rome.bandwidth_utilization, hbm4.bandwidth_utilization);
-        assert!(rome.activates_per_kib <= hbm4.activates_per_kib + 0.01,
-            "rome {} vs hbm4 {}", rome.activates_per_kib, hbm4.activates_per_kib);
+        assert!(
+            rome.bandwidth_utilization >= hbm4.bandwidth_utilization - 0.05,
+            "rome {} vs hbm4 {}",
+            rome.bandwidth_utilization,
+            hbm4.bandwidth_utilization
+        );
+        assert!(
+            rome.activates_per_kib <= hbm4.activates_per_kib + 0.01,
+            "rome {} vs hbm4 {}",
+            rome.activates_per_kib,
+            hbm4.activates_per_kib
+        );
         assert!(rome.bandwidth_utilization > 0.85);
         assert!((rome.activates_per_kib - 1.0).abs() < 0.05);
     }

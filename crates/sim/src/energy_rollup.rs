@@ -84,12 +84,15 @@ fn rome_counts(step: &StepTraffic, row_bytes: u64) -> CommandCounts {
     // Every independently-allocated object is rounded up to whole rows.
     let mut row_commands = 0u64;
     for op in &step.operators {
-        let per_exec: u64 =
-            op.tensor_units().iter().map(|(_, b)| (b + row_bytes - 1) / row_bytes).sum();
+        let per_exec: u64 = op
+            .tensor_units()
+            .iter()
+            .map(|(_, b)| b.div_ceil(row_bytes))
+            .sum();
         row_commands += per_exec * op.repeat as u64;
     }
     let acts_per_row = 4;
-    let columns_per_row = (row_bytes / 32) as u64;
+    let columns_per_row = row_bytes / 32;
     CommandCounts {
         activates: row_commands * acts_per_row,
         reads: row_commands * columns_per_row,
@@ -132,7 +135,10 @@ mod tests {
 
     fn systems() -> (MemoryModel, MemoryModel) {
         let accel = AcceleratorSpec::paper_default();
-        (MemoryModel::hbm4_baseline(&accel), MemoryModel::rome(&accel))
+        (
+            MemoryModel::hbm4_baseline(&accel),
+            MemoryModel::rome(&accel),
+        )
     }
 
     #[test]
@@ -182,6 +188,9 @@ mod tests {
         assert!(cmp.hbm4_counts.interface_commands > 50 * cmp.rome_counts.interface_commands);
         // Overfetch exists but is small relative to total traffic.
         let overfetch = cmp.rome_counts.data_bytes as f64 / cmp.hbm4_counts.data_bytes as f64;
-        assert!(overfetch >= 1.0 && overfetch < 1.1, "overfetch factor {overfetch}");
+        assert!(
+            (1.0..1.1).contains(&overfetch),
+            "overfetch factor {overfetch}"
+        );
     }
 }

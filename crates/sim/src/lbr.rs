@@ -94,7 +94,11 @@ pub fn channel_load_balance(step: &StepTraffic, channels: u32, granularity: u64)
         sums[2].1 += weight;
     }
     let avg = |(num, den): (f64, f64)| if den == 0.0 { 1.0 } else { num / den };
-    LbrReport { attention: avg(sums[0]), ffn: avg(sums[1]), overall: avg(sums[2]) }
+    LbrReport {
+        attention: avg(sums[0]),
+        ffn: avg(sums[1]),
+        overall: avg(sums[2]),
+    }
 }
 
 #[cfg(test)]
@@ -114,8 +118,18 @@ mod tests {
         for model in ModelConfig::paper_models() {
             let s = step(&model, 64);
             let report = channel_load_balance(&s, 256, 32);
-            assert!(report.overall > 0.97, "{}: overall {}", model.name, report.overall);
-            assert!(report.attention > 0.95, "{}: attn {}", model.name, report.attention);
+            assert!(
+                report.overall > 0.97,
+                "{}: overall {}",
+                model.name,
+                report.overall
+            );
+            assert!(
+                report.attention > 0.95,
+                "{}: attn {}",
+                model.name,
+                report.attention
+            );
             assert!(report.ffn > 0.95, "{}: ffn {}", model.name, report.ffn);
         }
     }
@@ -133,7 +147,12 @@ mod tests {
                 small.attention,
                 large.attention
             );
-            assert!(small.overall > 0.5, "{}: overall {}", model.name, small.overall);
+            assert!(
+                small.overall > 0.5,
+                "{}: overall {}",
+                model.name,
+                small.overall
+            );
         }
     }
 
@@ -143,15 +162,27 @@ mod tests {
         // hidden dimension (16,384) keeps the per-device weight slices large.
         let llama = channel_load_balance(&step(&ModelConfig::llama3_405b(), 8), 288, 4096);
         let grok = channel_load_balance(&step(&ModelConfig::grok_1(), 8), 288, 4096);
-        assert!(llama.attention > 0.85, "Llama attention LBR {}", llama.attention);
-        assert!(llama.attention >= grok.attention - 0.02,
-            "Llama ({}) should not trail Grok ({})", llama.attention, grok.attention);
+        assert!(
+            llama.attention > 0.85,
+            "Llama attention LBR {}",
+            llama.attention
+        );
+        assert!(
+            llama.attention >= grok.attention - 0.02,
+            "Llama ({}) should not trail Grok ({})",
+            llama.attention,
+            grok.attention
+        );
     }
 
     #[test]
     fn deepseek_attention_lbr_is_high_under_data_parallelism() {
         let ds = channel_load_balance(&step(&ModelConfig::deepseek_v3(), 8), 288, 4096);
-        assert!(ds.attention > 0.9, "DeepSeek attention LBR {}", ds.attention);
+        assert!(
+            ds.attention > 0.9,
+            "DeepSeek attention LBR {}",
+            ds.attention
+        );
     }
 
     #[test]
@@ -197,6 +228,9 @@ mod tests {
         let fine = operator_lbr(&op, 288, 32);
         assert!(coarse < 0.7, "coarse {coarse}");
         assert!(fine > 0.85, "fine {fine}");
-        assert!(fine > coarse, "finer interleaving must balance better ({fine} vs {coarse})");
+        assert!(
+            fine > coarse,
+            "finer interleaving must balance better ({fine} vs {coarse})"
+        );
     }
 }

@@ -95,7 +95,10 @@ impl MemoryModel {
     }
 
     /// Build both systems with measured (cycle-simulated) calibration.
-    pub fn calibrated_pair(accel: &AcceleratorSpec, calibrator: &mut Calibrator) -> (MemoryModel, MemoryModel) {
+    pub fn calibrated_pair(
+        accel: &AcceleratorSpec,
+        calibrator: &mut Calibrator,
+    ) -> (MemoryModel, MemoryModel) {
         let hbm4 = MemoryModel::hbm4_baseline(accel).with_calibration(calibrator.hbm4());
         let rome = MemoryModel::rome(accel).with_calibration(calibrator.rome());
         (hbm4, rome)

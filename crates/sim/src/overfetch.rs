@@ -75,7 +75,9 @@ mod tests {
         assert_eq!(rows.last().unwrap().rome_useful_fraction, 1.0);
         assert!((rows[0].rome_useful_fraction - 32.0 / 4096.0).abs() < 1e-12);
         // The conventional system never overfetches for aligned ≥32 B requests.
-        assert!(rows.iter().all(|r| (r.hbm4_useful_fraction - 1.0).abs() < 1e-12));
+        assert!(rows
+            .iter()
+            .all(|r| (r.hbm4_useful_fraction - 1.0).abs() < 1e-12));
     }
 
     #[test]
@@ -85,6 +87,9 @@ mod tests {
         let tiny = measure_rome_useful_bandwidth(64);
         assert!(full > 50.0, "full-row useful bandwidth {full}");
         assert!(half < full && half > full * 0.4);
-        assert!(tiny < full * 0.05, "64 B requests should waste almost the entire row: {tiny}");
+        assert!(
+            tiny < full * 0.05,
+            "64 B requests should waste almost the entire row: {tiny}"
+        );
     }
 }

@@ -1,5 +1,10 @@
 //! Batch-size sweeps producing the paper's Figure 12 and Figure 13 series.
+//!
+//! Every (model, batch) point of a sweep is independent of every other, so
+//! the sweeps fan the points out across all cores with rayon and collect the
+//! rows back in deterministic sweep order.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use rome_llm::model::ModelConfig;
@@ -62,21 +67,31 @@ pub fn figure12_sweep(
     rome: &MemoryModel,
     seq_len: u64,
 ) -> Vec<Figure12Row> {
-    let mut rows = Vec::new();
-    for model in ModelConfig::paper_models() {
-        for batch in paper_batch_sweep(&model, seq_len) {
+    sweep_points(seq_len)
+        .into_par_iter()
+        .map(|(model, batch)| {
             let h = decode_tpot(&model, batch, seq_len, accel, hbm4);
             let r = decode_tpot(&model, batch, seq_len, accel, rome);
-            rows.push(Figure12Row {
+            Figure12Row {
                 model: model.name.clone(),
                 batch,
                 tpot_hbm4_ms: h.tpot_ms,
                 tpot_rome_ms: r.tpot_ms,
                 normalized_rome: r.tpot_ms / h.tpot_ms,
-            });
+            }
+        })
+        .collect()
+}
+
+/// All (model, batch) points of the paper sweeps, in sweep order.
+fn sweep_points(seq_len: u64) -> Vec<(ModelConfig, u64)> {
+    let mut points = Vec::new();
+    for model in ModelConfig::paper_models() {
+        for batch in paper_batch_sweep(&model, seq_len) {
+            points.push((model.clone(), batch));
         }
     }
-    rows
+    points
 }
 
 /// Mean TPOT reduction of RoMe over the whole sweep of one model (the paper
@@ -92,21 +107,20 @@ pub fn mean_reduction(rows: &[Figure12Row], model: &str) -> f64 {
 
 /// Produce the Figure 13 series (RoMe LBR) for all three models.
 pub fn figure13_sweep(rome: &MemoryModel, seq_len: u64) -> Vec<Figure13Row> {
-    let mut rows = Vec::new();
-    for model in ModelConfig::paper_models() {
-        let par = Parallelism::paper_decode(&model);
-        for batch in paper_batch_sweep(&model, seq_len) {
+    sweep_points(seq_len)
+        .into_par_iter()
+        .map(|(model, batch)| {
+            let par = Parallelism::paper_decode(&model);
             let step = decode_step(&model, &par, batch, seq_len);
             let lbr = channel_load_balance(&step, rome.channels, rome.access_granularity);
-            rows.push(Figure13Row {
+            Figure13Row {
                 model: model.name.clone(),
                 batch,
                 lbr_attention: lbr.attention,
                 lbr_ffn: lbr.ffn,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -115,9 +129,24 @@ mod tests {
 
     #[test]
     fn paper_batch_sweeps_match_figure12_ranges() {
-        assert_eq!(*paper_batch_sweep(&ModelConfig::deepseek_v3(), 8192).last().unwrap(), 1024);
-        assert_eq!(*paper_batch_sweep(&ModelConfig::grok_1(), 8192).last().unwrap(), 512);
-        assert_eq!(*paper_batch_sweep(&ModelConfig::llama3_405b(), 8192).last().unwrap(), 256);
+        assert_eq!(
+            *paper_batch_sweep(&ModelConfig::deepseek_v3(), 8192)
+                .last()
+                .unwrap(),
+            1024
+        );
+        assert_eq!(
+            *paper_batch_sweep(&ModelConfig::grok_1(), 8192)
+                .last()
+                .unwrap(),
+            512
+        );
+        assert_eq!(
+            *paper_batch_sweep(&ModelConfig::llama3_405b(), 8192)
+                .last()
+                .unwrap(),
+            256
+        );
         assert_eq!(paper_batch_sweep(&ModelConfig::llama3_405b(), 8192)[0], 8);
     }
 
@@ -149,9 +178,14 @@ mod tests {
             assert!(series.len() >= 6);
             let first = series.first().unwrap();
             let last = series.last().unwrap();
-            assert!(last.lbr_attention >= first.lbr_attention - 0.02, "{model} attention");
+            assert!(
+                last.lbr_attention >= first.lbr_attention - 0.02,
+                "{model} attention"
+            );
             assert!(last.lbr_ffn >= first.lbr_ffn - 0.02, "{model} ffn");
-            assert!(series.iter().all(|r| r.lbr_attention <= 1.0 + 1e-9 && r.lbr_ffn <= 1.0 + 1e-9));
+            assert!(series
+                .iter()
+                .all(|r| r.lbr_attention <= 1.0 + 1e-9 && r.lbr_ffn <= 1.0 + 1e-9));
         }
     }
 

@@ -81,7 +81,11 @@ fn step_time(
     if par.attention_tp > 1 {
         comm_ns += model.layers as f64 * server.allreduce_time_ns(payload, par.attention_tp);
     }
-    let ffn_group = if model.ffn.is_moe() { par.expert_parallel } else { par.ffn_tp };
+    let ffn_group = if model.ffn.is_moe() {
+        par.expert_parallel
+    } else {
+        par.ffn_tp
+    };
     if ffn_group > 1 {
         comm_ns += model.layers as f64 * server.allreduce_time_ns(payload, ffn_group);
     }
@@ -167,7 +171,12 @@ mod tests {
                 t.memory_bound_ms,
                 t.compute_bound_ms
             );
-            assert!(t.tpot_ms > 0.5 && t.tpot_ms < 100.0, "{}: {} ms", model.name, t.tpot_ms);
+            assert!(
+                t.tpot_ms > 0.5 && t.tpot_ms < 100.0,
+                "{}: {} ms",
+                model.name,
+                t.tpot_ms
+            );
         }
     }
 
@@ -197,8 +206,17 @@ mod tests {
             let p_hbm4 = prefill_time(&model, 16, 8192, &accel, &hbm4);
             let p_rome = prefill_time(&model, 16, 8192, &accel, &rome);
             let diff = (p_hbm4.tpot_ms - p_rome.tpot_ms).abs() / p_hbm4.tpot_ms;
-            assert!(diff < 0.02, "{}: prefill difference {:.3}%", model.name, diff * 100.0);
-            assert!(p_hbm4.compute_bound_ms > p_hbm4.memory_bound_ms, "{}", model.name);
+            assert!(
+                diff < 0.02,
+                "{}: prefill difference {:.3}%",
+                model.name,
+                diff * 100.0
+            );
+            assert!(
+                p_hbm4.compute_bound_ms > p_hbm4.memory_bound_ms,
+                "{}",
+                model.name
+            );
         }
     }
 
@@ -222,7 +240,13 @@ mod tests {
         let t_hbm4 = decode_tpot(&model, 64, 8192, &accel, &hbm4).tpot_ms;
         let t_iso = decode_tpot(&model, 64, 8192, &accel, &iso).tpot_ms;
         let t_rome = decode_tpot(&model, 64, 8192, &accel, &rome).tpot_ms;
-        assert!(t_rome < t_iso, "extra channels must help: {t_rome} vs {t_iso}");
-        assert!(t_iso <= t_hbm4 * 1.02, "iso-bandwidth RoMe should not be slower: {t_iso} vs {t_hbm4}");
+        assert!(
+            t_rome < t_iso,
+            "extra channels must help: {t_rome} vs {t_iso}"
+        );
+        assert!(
+            t_iso <= t_hbm4 * 1.02,
+            "iso-bandwidth RoMe should not be slower: {t_iso} vs {t_hbm4}"
+        );
     }
 }

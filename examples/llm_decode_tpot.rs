@@ -16,11 +16,20 @@ fn main() {
         let mut cal = Calibrator::new();
         MemoryModel::calibrated_pair(&accel, &mut cal)
     } else {
-        (MemoryModel::hbm4_baseline(&accel), MemoryModel::rome(&accel))
+        (
+            MemoryModel::hbm4_baseline(&accel),
+            MemoryModel::rome(&accel),
+        )
     };
 
-    println!("decode TPOT at sequence length 8K ({} calibration)\n", if calibrated { "measured" } else { "nominal" });
-    println!("{:<14} {:>6} {:>12} {:>12} {:>12}", "model", "batch", "HBM4 (ms)", "RoMe (ms)", "reduction");
+    println!(
+        "decode TPOT at sequence length 8K ({} calibration)\n",
+        if calibrated { "measured" } else { "nominal" }
+    );
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12}",
+        "model", "batch", "HBM4 (ms)", "RoMe (ms)", "reduction"
+    );
     for model in ModelConfig::paper_models() {
         for batch in [16u64, 64, 256] {
             let h = decode_tpot(&model, batch, 8192, &accel, &hbm4);

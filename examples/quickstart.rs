@@ -24,7 +24,10 @@ fn main() {
         workload::streaming_reads(0, bytes, 4096),
     );
 
-    println!("streaming {} MiB of reads through one channel (peak 64 GB/s):\n", bytes >> 20);
+    println!(
+        "streaming {} MiB of reads through one channel (peak 64 GB/s):\n",
+        bytes >> 20
+    );
     println!(
         "  HBM4 : {:6.1} GB/s, {:5.0} requests, {:.2} ACT/KiB, mean latency {:5.1} ns",
         hbm4_report.achieved_bandwidth_gbps,

@@ -36,7 +36,11 @@ fn main() {
             cfg.vbas_per_channel(&org),
             bw,
             cfg.area_overhead_fraction() * 100.0,
-            if cfg.requires_dram_modification() { "yes" } else { "no" }
+            if cfg.requires_dram_modification() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!(

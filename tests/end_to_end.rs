@@ -23,7 +23,11 @@ fn headline_result_rome_beats_hbm4_in_decode_but_not_prefill() {
         let p_hbm4 = prefill_time(&model, 16, 8192, &accel, &hbm4);
         let p_rome = prefill_time(&model, 16, 8192, &accel, &rome);
         let prefill_diff = (p_hbm4.tpot_ms - p_rome.tpot_ms).abs() / p_hbm4.tpot_ms;
-        assert!(prefill_diff < 0.02, "{}: prefill difference {prefill_diff}", model.name);
+        assert!(
+            prefill_diff < 0.02,
+            "{}: prefill difference {prefill_diff}",
+            model.name
+        );
     }
 }
 
@@ -42,7 +46,11 @@ fn rome_speedup_is_bounded_by_the_bandwidth_gain_plus_utilization_delta() {
             let h = decode_tpot(&model, batch, 8192, &accel, &hbm4).tpot_ms;
             let r = decode_tpot(&model, batch, 8192, &accel, &rome).tpot_ms;
             let speedup = h / r;
-            assert!(speedup > 1.0 && speedup < 1.30, "{} batch {batch}: speedup {speedup}", model.name);
+            assert!(
+                speedup > 1.0 && speedup < 1.30,
+                "{} batch {batch}: speedup {speedup}",
+                model.name
+            );
         }
     }
 }
@@ -66,9 +74,13 @@ fn whole_cube_memory_systems_complete_the_same_transfer() {
     assert_eq!(rome_sys.stats().bytes_read, bytes);
 
     // Both finish in a comparable time (same peak bandwidth per channel)…
-    assert!(t_rome as f64 <= t_conv as f64 * 1.2, "RoMe {t_rome} vs conventional {t_conv}");
+    assert!(
+        t_rome as f64 <= t_conv as f64 * 1.2,
+        "RoMe {t_rome} vs conventional {t_conv}"
+    );
     // …but RoMe issues one interface command per 4 KiB instead of per 32 B.
-    let conv_cmds = conventional.stats().dram.col_ca_commands + conventional.stats().dram.row_ca_commands;
+    let conv_cmds =
+        conventional.stats().dram.col_ca_commands + conventional.stats().dram.row_ca_commands;
     let rome_cmds = rome_sys.stats().row_commands_issued();
     assert!(conv_cmds > 50 * rome_cmds, "{conv_cmds} vs {rome_cmds}");
 }
@@ -100,7 +112,11 @@ fn rome_channel_controller_saturates_with_the_table_iv_queue_depth() {
         &mut ctrl,
         rome::mc::workload::streaming_reads(0, 4 * 1024 * 1024, 4096),
     );
-    assert!(report.achieved_bandwidth_gbps > 0.9 * 64.0, "{}", report.achieved_bandwidth_gbps);
+    assert!(
+        report.achieved_bandwidth_gbps > 0.9 * 64.0,
+        "{}",
+        report.achieved_bandwidth_gbps
+    );
 }
 
 #[test]

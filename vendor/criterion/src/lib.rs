@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the builder/bench surface the bench suite uses
+//! (`Criterion::default().sample_size(..).measurement_time(..)
+//! .warm_up_time(..)`, `bench_function`, `criterion_group!`,
+//! `criterion_main!`) as a plain wall-clock harness: warm up for the
+//! configured time, then take `sample_size` samples and print min / mean /
+//! max per-iteration times. No statistics beyond that — enough for the
+//! `cargo bench` targets to build, run, and report comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration plus result sink.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the measured samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: also calibrates the per-sample iteration count so that a
+        // sample lasts roughly measurement_time / sample_size.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            bencher.iterations = 1;
+            f(&mut bencher);
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+        let target_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((target_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iterations = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max)
+        );
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; runs the timed body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `body`, running it the harness-chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(body());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Prevent the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function (criterion-compatible syntax).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn time_formatting_covers_magnitudes() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

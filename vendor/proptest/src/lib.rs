@@ -1,0 +1,277 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the workspace's property tests
+//! use: the `proptest!` macro, integer-range / tuple / `any::<bool>()`
+//! strategies, `prop::sample::select`, `prop::collection::vec`, and the
+//! `prop_assert*` macros. Instead of shrinking counterexamples, each test
+//! simply runs `cases` deterministic random samples (seeded from the test
+//! name), which preserves the coverage intent of the suite in an offline
+//! build.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: deterministic RNG plus the case budget.
+pub struct TestRunner {
+    rng: ChaCha8Rng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// Create a runner whose RNG is seeded from the property name, so every
+    /// property sees a stable but distinct sample sequence.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        TestRunner {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cases: config.cases,
+        }
+    }
+
+    /// The configured case count.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// A value generator (no shrinking in the stand-in).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategy for "any value of T" (`any::<T>()`).
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical unconstrained strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut ChaCha8Rng) -> bool {
+        rng.gen_bool_uniform()
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace (sample / collection helpers).
+pub mod prop {
+    /// Strategies choosing among explicit values.
+    pub mod sample {
+        use super::super::*;
+
+        /// Uniform choice from a fixed set of options.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+
+        /// Choose uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select(options)
+        }
+    }
+
+    /// Strategies for collections.
+    pub mod collection {
+        use super::super::*;
+
+        /// A vector of values from an element strategy, with length in a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            length: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.length.start..self.length.end);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `length`-element vectors of values drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+            assert!(
+                length.start < length.end,
+                "vec length range must be non-empty"
+            );
+            VecStrategy { element, length }
+        }
+    }
+}
+
+/// Assert inside a property (stand-in: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (stand-in: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// `body` for `cases` deterministic random samples of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(config, stringify!($name));
+                for _case in 0..runner.cases() {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), runner.rng());)*
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),*) $body)*
+        }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRunner,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(x in 0u64..100, pair in (0u8..4, 0u32..7)) {
+            prop_assert!(x < 100);
+            prop_assert!(pair.0 < 4 && pair.1 < 7);
+        }
+
+        #[test]
+        fn select_and_vec_strategies_work(
+            choice in prop::sample::select(vec![32u64, 64, 256]),
+            items in prop::collection::vec(0u8..3, 1..10)
+        ) {
+            prop_assert!([32u64, 64, 256].contains(&choice));
+            prop_assert!(!items.is_empty() && items.len() < 10);
+            prop_assert!(items.iter().all(|&i| i < 3));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u8..4, b in 0u8..4) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+
+        #[test]
+        fn any_bool_samples_both_values(flag in any::<bool>()) {
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements a genuine ChaCha8 keystream generator behind the same
+//! `ChaCha8Rng` name. The exact output differs from the upstream crate's
+//! (the seed expansion is simpler), which is acceptable here: every consumer
+//! in the workspace only relies on determinism-per-seed, alignment, and
+//! uniformity, never on a pinned byte stream.
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic ChaCha8-based random-number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: [u32; 16],
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means the block is exhausted.
+    word: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(self.state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        self.block = working;
+        self.word = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into the 256-bit key with SplitMix64, the
+        // same expansion rand's SeedableRng::seed_from_u64 uses.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let k = next();
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.word + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.block[self.word] as u64;
+        let hi = self.block[self.word + 1] as u64;
+        self.word += 2;
+        lo | hi << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0u64..8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(
+                (700..1300).contains(&b),
+                "bucket count {b} far from uniform"
+            );
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the sibling
+//! `serde_derive` stand-in so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged in an offline
+//! build. See `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the real serde cannot be vendored. Nothing in the workspace serializes at
+//! runtime — the derives exist so the data types stay serialization-ready —
+//! so the stand-in derives expand to nothing. Swapping the `[workspace.
+//! dependencies]` entries back to the registry versions restores real serde
+//! without touching any other code.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
