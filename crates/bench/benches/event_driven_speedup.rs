@@ -36,6 +36,20 @@ fn mc_sweep(stepped: bool) -> f64 {
     bw
 }
 
+/// Dense-phase ready-cache case: the 64-entry conventional queue kept
+/// saturated by the §V-A streaming read phase — the workload whose FR-FCFS
+/// candidate scans (tens of timing-blocked entries per tick, on both the
+/// column and the ACT side) the ready cache targets. Event-driven driver in
+/// both arms; only the cache flag differs.
+fn mc_dense64(ready_cache: bool) -> f64 {
+    let mut cfg = rome_mc::ControllerConfig::hbm4_with_queue_depth(64);
+    cfg.ready_cache = ready_cache;
+    let mut ctrl = rome_mc::ChannelController::new(cfg);
+    let reqs = rome_mc::workload::streaming_reads(0, MC_BYTES, 32);
+    let report = rome_mc::simulate::run_with_limit(&mut ctrl, reqs, 50_000_000);
+    report.achieved_bandwidth_gbps
+}
+
 fn rome_sweep(stepped: bool) -> f64 {
     let mut bw = 0.0;
     for &depth in &DEPTHS {
@@ -94,6 +108,16 @@ fn bench(c: &mut Criterion) {
         "drivers diverged on the RoMe sweep"
     );
 
+    // FR-FCFS ready cache on the dense 64-entry phase (equivalence suite
+    // pins bit-identity; here only wall-clock differs).
+    let dense_cached = time_it(repeats, || mc_dense64(true));
+    let dense_plain = time_it(repeats, || mc_dense64(false));
+    assert_eq!(
+        mc_dense64(true),
+        mc_dense64(false),
+        "ready cache changed the dense-phase schedule"
+    );
+
     let total_event = mc_event + rome_event;
     let total_stepped = mc_stepped + rome_stepped;
     println!("\nqueue-depth sweep, event-driven vs cycle-stepped (wall-clock):");
@@ -115,6 +139,12 @@ fn bench(c: &mut Criterion) {
         total_event * 1e3,
         total_stepped / total_event
     );
+    println!(
+        "  ready cache, dense 64-entry HBM4 phase: {:8.2} ms -> {:8.2} ms  ({:5.2}x)",
+        dense_plain * 1e3,
+        dense_cached * 1e3,
+        dense_plain / dense_cached
+    );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_json(
@@ -129,8 +159,18 @@ fn bench(c: &mut Criterion) {
             ("total_stepped_ms", total_stepped * 1e3),
             ("total_event_ms", total_event * 1e3),
             ("total_speedup", total_stepped / total_event),
+            ("ready_cache_dense64_plain_ms", dense_plain * 1e3),
+            ("ready_cache_dense64_cached_ms", dense_cached * 1e3),
+            ("ready_cache_dense64_speedup", dense_plain / dense_cached),
         ],
     );
+
+    c.bench_function("dense64_ready_cache", |b| {
+        b.iter(|| black_box(mc_dense64(true)))
+    });
+    c.bench_function("dense64_no_ready_cache", |b| {
+        b.iter(|| black_box(mc_dense64(false)))
+    });
 
     c.bench_function("queue_depth_event_driven", |b| {
         b.iter(|| black_box(mc_sweep(false) + rome_sweep(false)))

@@ -483,6 +483,52 @@ impl RomeController {
     }
 }
 
+impl rome_engine::MemoryController for RomeController {
+    type Entry = RomeQueueEntry;
+
+    fn enqueue(&mut self, request: MemoryRequest) -> bool {
+        RomeController::enqueue(self, request)
+    }
+
+    fn enqueue_entry(&mut self, entry: RomeQueueEntry) -> bool {
+        self.enqueue_decoded(entry)
+    }
+
+    fn entry_kind(entry: &RomeQueueEntry) -> RequestKind {
+        entry.request.kind
+    }
+
+    fn tick_into(&mut self, now: Cycle, completed: &mut Vec<CompletedRequest>) -> bool {
+        RomeController::tick_into(self, now, completed)
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        RomeController::next_event_at(self, now)
+    }
+
+    fn is_idle(&self) -> bool {
+        RomeController::is_idle(self)
+    }
+
+    fn slots_free(&self) -> usize {
+        RomeController::slots_free(self)
+    }
+
+    fn stats_snapshot(&self) -> rome_engine::StatsSnapshot {
+        let s = self.stats();
+        rome_engine::StatsSnapshot {
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            bytes_transferred: s.bytes_transferred,
+            mean_read_latency: s.mean_read_latency(),
+            // RoMe has no row buffer at the MC–DRAM interface; every access
+            // is a whole-row command.
+            row_hit_rate: 0.0,
+            activates: s.derived.activates,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,145 +1,34 @@
 //! Simulation drivers for a single RoMe channel controller.
 //!
-//! Mirrors `rome_mc::simulate` for the RoMe side: feed a request stream into
-//! a [`RomeController`] as fast as its (tiny) queue accepts, advance time,
-//! and summarize the outcome. Used by the queue-depth and VBA design-space
-//! experiments and by the calibration kernels of `rome-sim`.
+//! Since the engine extraction these are the *generic* event-driven drivers
+//! of [`rome_engine::simulate`], re-exported here for backwards
+//! compatibility: [`RomeController`](crate::controller::RomeController)
+//! implements [`rome_engine::MemoryController`], so
+//! `rome_core::simulate::run_with_limit(&mut ctrl, …)` is the same generic
+//! loop that drives the conventional controller in `rome_mc::simulate` —
+//! both memory systems now report through one unified [`SimulationReport`]
+//! (`row_hit_rate` is 0 for RoMe, which has no row buffer at the interface;
+//! `bytes_transferred − bytes_read − bytes_written` is the overfetch).
 //!
-//! # Event-driven time skipping
-//!
-//! Like the conventional driver, [`run_with_limit`] is event-driven: after a
-//! tick that issued nothing (and with no new arrival possible) it jumps to
-//! [`RomeController::next_event_at`] instead of stepping one nanosecond at a
-//! time. RoMe benefits even more than the conventional system: a row command
-//! occupies the interface for ~64 ns, so the cycle-stepped loop spends the
-//! overwhelming majority of its iterations doing nothing. The original loop
-//! is kept as [`run_with_limit_stepped`] as the equivalence baseline;
-//! `tests/event_driven_equivalence.rs` pins bit-identical reports.
+//! RoMe benefits from event-driven time skipping even more than the
+//! conventional system: a row command occupies the interface for ~64 ns, so
+//! a cycle-stepped loop spends the overwhelming majority of its iterations
+//! doing nothing. The stepped loop is kept as [`run_with_limit_stepped`] as
+//! the equivalence baseline; `tests/event_driven_equivalence.rs` pins
+//! bit-identical reports.
 
-use serde::{Deserialize, Serialize};
+pub use rome_engine::simulate::{
+    run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
+};
 
-use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
-use rome_mc::request::{MemoryRequest, RequestKind};
-
-use crate::controller::RomeController;
-
-/// Summary of one RoMe single-channel run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RomeSimulationReport {
-    /// Total requests completed.
-    pub requests_completed: u64,
-    /// Useful bytes read.
-    pub bytes_read: u64,
-    /// Useful bytes written.
-    pub bytes_written: u64,
-    /// Bytes moved over the interface (≥ useful bytes; difference is
-    /// overfetch).
-    pub bytes_transferred: u64,
-    /// Cycle of the last completion.
-    pub finish_time: Cycle,
-    /// Achieved useful bandwidth in decimal GB/s (1 byte/ns = 1 GB/s), via
-    /// [`rome_hbm::units::bytes_per_ns_to_gbps`] — the same definition
-    /// `rome_mc::simulate::SimulationReport` uses.
-    pub achieved_bandwidth_gbps: f64,
-    /// Mean read latency in ns.
-    pub mean_read_latency: f64,
-    /// Activations per KiB of useful data.
-    pub activates_per_kib: f64,
-}
-
-/// Drive `controller` with `requests` until everything completes (or an
-/// internal safety limit is hit).
-pub fn run_to_completion(
-    controller: &mut RomeController,
-    requests: Vec<MemoryRequest>,
-) -> RomeSimulationReport {
-    run_with_limit(controller, requests, 50_000_000)
-}
-
-/// Like [`run_to_completion`] but with an explicit time limit. Event-driven:
-/// skips directly between cycles where state can change.
-pub fn run_with_limit(
-    controller: &mut RomeController,
-    requests: Vec<MemoryRequest>,
-    max_ns: Cycle,
-) -> RomeSimulationReport {
-    drive(controller, requests, max_ns, false)
-}
-
-/// The original cycle-by-cycle driver: identical behaviour to
-/// [`run_with_limit`], advancing one nanosecond per iteration. Kept as the
-/// equivalence baseline and for wall-clock comparison benches.
-pub fn run_with_limit_stepped(
-    controller: &mut RomeController,
-    requests: Vec<MemoryRequest>,
-    max_ns: Cycle,
-) -> RomeSimulationReport {
-    drive(controller, requests, max_ns, true)
-}
-
-fn drive(
-    controller: &mut RomeController,
-    requests: Vec<MemoryRequest>,
-    max_ns: Cycle,
-    stepped: bool,
-) -> RomeSimulationReport {
-    let total = requests.len() as u64;
-    let mut pending = requests.into_iter().peekable();
-    let mut now: Cycle = 0;
-    let mut completed = 0u64;
-    let mut bytes_read = 0u64;
-    let mut bytes_written = 0u64;
-    let mut finish_time = 0;
-    let mut completions = Vec::new();
-
-    while (completed < total || !controller.is_idle()) && now < max_ns {
-        while pending.peek().is_some() && controller.slots_free() > 0 {
-            let mut req = pending.next().expect("peeked");
-            req.arrival = now;
-            let ok = controller.enqueue(req);
-            debug_assert!(ok);
-        }
-        let issued = controller.tick_into(now, &mut completions);
-        for done in completions.drain(..) {
-            completed += 1;
-            finish_time = finish_time.max(done.completed);
-            match done.kind {
-                RequestKind::Read => bytes_read += done.bytes,
-                RequestKind::Write => bytes_written += done.bytes,
-            }
-        }
-        let arrival_next = pending.peek().is_some() && controller.slots_free() > 0;
-        now = if stepped || issued || arrival_next {
-            now + 1
-        } else {
-            controller
-                .next_event_at(now)
-                .map_or(now + 1, |t| t.max(now + 1))
-        };
-    }
-
-    let stats = controller.stats();
-    let elapsed = finish_time.max(1);
-    RomeSimulationReport {
-        requests_completed: completed,
-        bytes_read,
-        bytes_written,
-        bytes_transferred: stats.bytes_transferred,
-        finish_time,
-        achieved_bandwidth_gbps: bytes_per_ns_to_gbps(bytes_read + bytes_written, elapsed),
-        mean_read_latency: stats.mean_read_latency(),
-        activates_per_kib: if bytes_read + bytes_written == 0 {
-            0.0
-        } else {
-            stats.derived.activates as f64 / ((bytes_read + bytes_written) as f64 / 1024.0)
-        },
-    }
-}
+/// Compatibility alias: the RoMe-specific report type was unified into the
+/// engine-wide [`SimulationReport`].
+pub type RomeSimulationReport = SimulationReport;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::RomeControllerConfig;
+    use crate::controller::{RomeController, RomeControllerConfig};
     use rome_mc::workload;
 
     #[test]
@@ -195,6 +84,15 @@ mod tests {
         let expected =
             (report.bytes_read + report.bytes_written) as f64 / report.finish_time.max(1) as f64;
         assert_eq!(report.achieved_bandwidth_gbps, expected);
+    }
+
+    #[test]
+    fn rome_reports_no_row_hit_rate_and_full_row_transfers() {
+        let mut ctrl = RomeController::new(RomeControllerConfig::paper_default());
+        let report = run_to_completion(&mut ctrl, workload::streaming_reads(0, 16 * 4096, 4096));
+        assert_eq!(report.row_hit_rate, 0.0);
+        // Row-granularity requests overfetch nothing on this stream.
+        assert_eq!(report.bytes_transferred, 16 * 4096);
     }
 
     #[test]

@@ -7,21 +7,26 @@
 //! 32 B, the distribution of a tensor's chunks across channels is coarser —
 //! the load-imbalance effect quantified by the paper's Figure 13, which the
 //! `bytes_per_channel` accessor exposes.
+//!
+//! As on the conventional side, all event-driven plumbing — backlog
+//! back-pressure, the global-clock tick path, `next_event_at`, and the
+//! parallel per-channel [`RomeMemorySystem::run_until_idle`] — lives in the
+//! generic [`rome_engine::MultiChannelSystem`]; this type contributes only
+//! the RoMe address decode and the aggregated [`RomeStats`].
 
-use std::collections::{HashMap, VecDeque};
-
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use rome_engine::MultiChannelSystem;
 use rome_hbm::units::Cycle;
 
-use rome_mc::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
-use rome_mc::system::HostCompletion;
+use rome_mc::request::{MemoryRequest, RequestId};
 
 use crate::channel_plan::ChannelPlan;
 use crate::controller::{RomeController, RomeControllerConfig, RomeQueueEntry};
 use crate::row_command::VbaAddress;
 use crate::stats::RomeStats;
+
+pub use rome_engine::HostCompletion;
 
 /// Configuration of a multi-channel RoMe memory system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,26 +66,11 @@ impl RomeSystemConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct HostTracker {
-    kind: RequestKind,
-    bytes: u64,
-    arrival: Cycle,
-    fragments_outstanding: u64,
-    last_completion: Cycle,
-}
-
-/// A multi-channel RoMe memory system.
+/// A multi-channel RoMe memory system on top of the generic engine system.
 #[derive(Debug, Clone)]
 pub struct RomeMemorySystem {
     config: RomeSystemConfig,
-    controllers: Vec<RomeController>,
-    backlog: Vec<(u16, RomeQueueEntry)>,
-    host_requests: HashMap<RequestId, HostTracker>,
-    next_auto_id: u64,
-    /// Reused per-tick completion buffer (avoids an allocation per channel
-    /// per cycle).
-    scratch: Vec<CompletedRequest>,
+    inner: MultiChannelSystem<RomeController>,
 }
 
 impl RomeMemorySystem {
@@ -90,11 +80,7 @@ impl RomeMemorySystem {
             .map(|_| RomeController::new(config.controller.clone()))
             .collect();
         RomeMemorySystem {
-            controllers,
-            backlog: Vec::new(),
-            host_requests: HashMap::new(),
-            next_auto_id: 1 << 48,
-            scratch: Vec::new(),
+            inner: MultiChannelSystem::new(controllers),
             config,
         }
     }
@@ -106,13 +92,13 @@ impl RomeMemorySystem {
 
     /// Number of channels.
     pub fn channels(&self) -> usize {
-        self.controllers.len()
+        self.inner.channels()
     }
 
     /// Aggregate statistics across channels.
     pub fn stats(&self) -> RomeStats {
         let mut out = RomeStats::new();
-        for c in &self.controllers {
+        for c in self.inner.controllers() {
             out.merge(c.stats());
         }
         out
@@ -120,15 +106,12 @@ impl RomeMemorySystem {
 
     /// Useful bytes served per channel (for the channel load-balance rate).
     pub fn bytes_per_channel(&self) -> Vec<u64> {
-        self.controllers
-            .iter()
-            .map(|c| c.stats().bytes_total())
-            .collect()
+        self.inner.bytes_per_channel()
     }
 
     /// Whether all work has drained.
     pub fn is_idle(&self) -> bool {
-        self.backlog.is_empty() && self.controllers.iter().all(|c| c.is_idle())
+        self.inner.is_idle()
     }
 
     /// Decode a physical address into (channel, VBA, row): consecutive
@@ -136,48 +119,23 @@ impl RomeMemorySystem {
     /// IDs, then rows — the RoMe address mapping selected by the paper's
     /// mapping sweep.
     pub fn decode(&self, address: u64) -> (u16, VbaAddress, u32) {
-        let row_bytes = self.config.row_bytes();
-        let org = &self.config.controller.organization;
-        let vbas_per_rank = self.config.controller.vba.vbas_per_rank(org).max(1) as u64;
-        let chunk = address / row_bytes;
-        let channel = (chunk % self.config.channels as u64) as u16;
-        let rest = chunk / self.config.channels as u64;
-        let vba = (rest % vbas_per_rank) as u8;
-        let rest = rest / vbas_per_rank;
-        let sid = (rest % org.stack_ids as u64) as u8;
-        let row = ((rest / org.stack_ids as u64) % org.rows_per_bank as u64) as u32;
-        (channel, VbaAddress::new(channel, sid, vba), row)
+        decode_for(&self.config, address)
     }
 
     /// Submit a host request; it is fragmented into row-sized chunks.
-    pub fn submit(&mut self, mut request: MemoryRequest) -> RequestId {
-        if request.id.0 == 0 {
-            request.id = RequestId(self.next_auto_id);
-            self.next_auto_id += 1;
-        }
-        let fragments = request.fragments(self.config.row_bytes());
-        self.host_requests.insert(
-            request.id,
-            HostTracker {
-                kind: request.kind,
-                bytes: request.bytes,
-                arrival: request.arrival,
-                fragments_outstanding: fragments.len() as u64,
-                last_completion: 0,
-            },
-        );
-        for frag in fragments {
-            let (channel, target, row) = self.decode(frag.address.raw());
-            self.backlog.push((
+    pub fn submit(&mut self, request: MemoryRequest) -> RequestId {
+        let RomeMemorySystem { config, inner } = self;
+        inner.submit_with(request, config.row_bytes(), |frag| {
+            let (channel, target, row) = decode_for(config, frag.address.raw());
+            (
                 channel,
                 RomeQueueEntry {
                     request: frag,
                     target,
                     row,
                 },
-            ));
-        }
-        request.id
+            )
+        })
     }
 
     /// Advance the whole system by one nanosecond.
@@ -185,167 +143,46 @@ impl RomeMemorySystem {
     /// Allocates a fresh completion vector per call; hot loops should prefer
     /// [`RomeMemorySystem::tick_into`] with a reused buffer.
     pub fn tick(&mut self, now: Cycle) -> Vec<HostCompletion> {
-        let mut completions = Vec::new();
-        self.tick_into(now, &mut completions);
-        completions
+        self.inner.tick(now)
     }
 
     /// Advance the whole system by one nanosecond, appending completed host
     /// requests to `completions`. Returns `true` if any channel issued a row
     /// command.
     pub fn tick_into(&mut self, now: Cycle, completions: &mut Vec<HostCompletion>) -> bool {
-        let mut i = 0;
-        while i < self.backlog.len() {
-            let (channel, entry) = self.backlog[i];
-            let n = self.controllers.len();
-            let ctrl = &mut self.controllers[channel as usize % n];
-            if ctrl.slots_free() > 0 {
-                let ok = ctrl.enqueue_decoded(entry);
-                debug_assert!(ok);
-                self.backlog.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
-
-        let before = completions.len();
-        let mut issued = false;
-        let RomeMemorySystem {
-            controllers,
-            scratch,
-            host_requests,
-            ..
-        } = self;
-        for ctrl in controllers.iter_mut() {
-            issued |= ctrl.tick_into(now, scratch);
-            for done in scratch.drain(..) {
-                if let Some(tracker) = host_requests.get_mut(&done.id) {
-                    tracker.fragments_outstanding -= 1;
-                    tracker.last_completion = tracker.last_completion.max(done.completed);
-                    if tracker.fragments_outstanding == 0 {
-                        completions.push(HostCompletion {
-                            id: done.id,
-                            kind: tracker.kind,
-                            bytes: tracker.bytes,
-                            arrival: tracker.arrival,
-                            completed: tracker.last_completion,
-                        });
-                    }
-                }
-            }
-        }
-        for c in &completions[before..] {
-            self.host_requests.remove(&c.id);
-        }
-        issued
+        self.inner.tick_into(now, completions)
     }
 
     /// The next cycle strictly after `now` at which any channel's state can
-    /// change (see [`RomeController::next_event_at`]), or at which a
-    /// backlogged fragment could enter a queue. `None` when the whole system
-    /// is quiescent.
+    /// change, or at which a backlogged fragment could enter a queue. `None`
+    /// when the whole system is quiescent.
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
-        let mut next: Option<Cycle> = None;
-        let mut consider = |t: Cycle| {
-            let t = t.max(now + 1);
-            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
-        };
-        let n = self.controllers.len();
-        if self
-            .backlog
-            .iter()
-            .any(|(channel, _)| self.controllers[*channel as usize % n].slots_free() > 0)
-        {
-            consider(now + 1);
-        }
-        for ctrl in &self.controllers {
-            if let Some(t) = ctrl.next_event_at(now) {
-                consider(t);
-            }
-        }
-        next
+        self.inner.next_event_at(now)
     }
 
     /// Run until idle or `max_ns`, returning the completions (sorted by
-    /// completion time, then id) and the stop time.
-    ///
-    /// As in `rome_mc::system`, channels share no state once fragments are
-    /// steered, so each channel runs its own event-driven loop to completion
-    /// — in parallel across channels — and the fragment completions are
-    /// merged into host completions afterwards.
+    /// completion time, then id) and the stop time. Channels run their
+    /// event-driven loops in parallel; see
+    /// [`rome_engine::MultiChannelSystem::run_until_idle`].
     pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
-        let channels = self.controllers.len();
-        let mut backlogs: Vec<VecDeque<RomeQueueEntry>> = vec![VecDeque::new(); channels];
-        for (channel, entry) in self.backlog.drain(..) {
-            backlogs[channel as usize % channels].push_back(entry);
-        }
-
-        let tasks: Vec<(&mut RomeController, VecDeque<RomeQueueEntry>)> =
-            self.controllers.iter_mut().zip(backlogs).collect();
-        let per_channel: Vec<(Vec<CompletedRequest>, Cycle)> = tasks
-            .into_par_iter()
-            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns))
-            .collect();
-
-        let mut stop = 0;
-        let mut fragments = Vec::new();
-        for (done, t) in per_channel {
-            stop = stop.max(t);
-            fragments.extend(done);
-        }
-        fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
-
-        let mut completions = Vec::new();
-        for done in fragments {
-            if let Some(tracker) = self.host_requests.get_mut(&done.id) {
-                tracker.fragments_outstanding -= 1;
-                tracker.last_completion = tracker.last_completion.max(done.completed);
-                if tracker.fragments_outstanding == 0 {
-                    completions.push(HostCompletion {
-                        id: done.id,
-                        kind: tracker.kind,
-                        bytes: tracker.bytes,
-                        arrival: tracker.arrival,
-                        completed: tracker.last_completion,
-                    });
-                }
-            }
-        }
-        for c in &completions {
-            self.host_requests.remove(&c.id);
-        }
-        (completions, stop)
+        self.inner.run_until_idle(max_ns)
     }
 }
 
-/// Event-driven loop for one RoMe channel: feed it its share of the backlog,
-/// jump to the next event after every no-op tick, and return the fragment
-/// completions plus the cycle the channel went idle (or `max_ns`).
-fn run_channel_until_idle(
-    ctrl: &mut RomeController,
-    mut backlog: VecDeque<RomeQueueEntry>,
-    max_ns: Cycle,
-) -> (Vec<CompletedRequest>, Cycle) {
-    let mut done = Vec::new();
-    let mut now = 0;
-    let mut stop = 0;
-    while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
-        while !backlog.is_empty() && ctrl.slots_free() > 0 {
-            let entry = backlog.pop_front().expect("checked non-empty");
-            let ok = ctrl.enqueue_decoded(entry);
-            debug_assert!(ok);
-        }
-        let issued = ctrl.tick_into(now, &mut done);
-        stop = now + 1;
-        let arrival_next = !backlog.is_empty() && ctrl.slots_free() > 0;
-        now = if issued || arrival_next {
-            now + 1
-        } else {
-            ctrl.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
-        };
-    }
-    let finished = backlog.is_empty() && ctrl.is_idle();
-    (done, if finished { stop } else { max_ns })
+/// The address decode of [`RomeMemorySystem::decode`], as a free function so
+/// `submit` can steer fragments while the inner system is mutably borrowed.
+fn decode_for(config: &RomeSystemConfig, address: u64) -> (u16, VbaAddress, u32) {
+    let row_bytes = config.row_bytes();
+    let org = &config.controller.organization;
+    let vbas_per_rank = config.controller.vba.vbas_per_rank(org).max(1) as u64;
+    let chunk = address / row_bytes;
+    let channel = (chunk % config.channels as u64) as u16;
+    let rest = chunk / config.channels as u64;
+    let vba = (rest % vbas_per_rank) as u8;
+    let rest = rest / vbas_per_rank;
+    let sid = (rest % org.stack_ids as u64) as u8;
+    let row = ((rest / org.stack_ids as u64) % org.rows_per_bank as u64) as u32;
+    (channel, VbaAddress::new(channel, sid, vba), row)
 }
 
 #[cfg(test)]

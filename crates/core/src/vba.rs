@@ -191,7 +191,7 @@ impl VbaConfig {
 
     /// Estimated DRAM-core area overhead of this configuration relative to
     /// the conventional bank design, as a fraction (0.0 = none). The scaling
-    /// follows the fine-grained-DRAM area model of O'Connor et al. [51] that
+    /// follows the fine-grained-DRAM area model of O'Connor et al. \[51\] that
     /// the paper cites: each doubling of the bank datapath costs ≈ 38.5 % of
     /// bank area, so the 4× point lands at the paper's "up to 77 %".
     pub fn area_overhead_fraction(&self) -> f64 {

@@ -1,0 +1,98 @@
+//! The [`MemoryController`] trait: the contract every per-channel memory
+//! controller satisfies so the generic drivers ([`crate::simulate`]) and the
+//! generic multi-channel system ([`crate::system`]) can run it.
+//!
+//! The trait captures exactly the surface the event-driven engine needs:
+//!
+//! * admission — [`MemoryController::enqueue`] for raw physical addresses,
+//!   [`MemoryController::enqueue_entry`] for pre-decoded entries, gated by
+//!   [`MemoryController::slots_free_for`];
+//! * time — [`MemoryController::tick_into`] advances one nanosecond and
+//!   [`MemoryController::next_event_at`] lower-bounds the next cycle at
+//!   which any internal state can change, which is what lets a driver skip
+//!   provably idle nanoseconds without perturbing the command schedule;
+//! * observation — [`MemoryController::is_idle`] and
+//!   [`MemoryController::stats_snapshot`].
+
+use rome_hbm::units::Cycle;
+
+use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
+
+/// The controller-agnostic statistics the generic drivers fold into a
+/// [`crate::simulate::SimulationReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Useful bytes returned by completed reads.
+    pub bytes_read: u64,
+    /// Useful bytes absorbed by completed writes.
+    pub bytes_written: u64,
+    /// Bytes actually moved over the DRAM interface (≥ useful bytes; the
+    /// difference is overfetch — zero for a cache-line-granularity
+    /// controller).
+    pub bytes_transferred: u64,
+    /// Mean read latency in ns (0 when no reads completed).
+    pub mean_read_latency: f64,
+    /// Row-buffer hit rate over all column accesses (0 for controllers
+    /// without a row buffer at the interface, such as RoMe).
+    pub row_hit_rate: f64,
+    /// Row activations performed (directly, or implied via command-generator
+    /// expansion).
+    pub activates: u64,
+}
+
+/// A per-channel memory controller drivable by the event-driven engine.
+///
+/// # Event-driven contract
+///
+/// [`MemoryController::next_event_at`] must be called immediately after a
+/// [`MemoryController::tick_into`] at the same `now` that issued nothing,
+/// and must return a *lower bound* on the next cycle at which the
+/// controller's state can change on its own. A driver that ticks at every
+/// reported cycle then executes the exact command schedule of a
+/// cycle-by-cycle driver — nothing the scheduler consults changes between
+/// reported cycles, and spurious events (a reported cycle where the
+/// scheduler still issues nothing) are harmless.
+pub trait MemoryController {
+    /// A queued request whose channel-local coordinates were already decoded
+    /// (the multi-channel system decodes once, at steering time).
+    type Entry: Copy + Send + Sync + std::fmt::Debug;
+
+    /// Enqueue a request given as a raw physical address, using the
+    /// controller's own address decoding. Returns `false` if the relevant
+    /// queue is full.
+    fn enqueue(&mut self, request: MemoryRequest) -> bool;
+
+    /// Enqueue a pre-decoded entry. Returns `false` if the queue is full.
+    fn enqueue_entry(&mut self, entry: Self::Entry) -> bool;
+
+    /// The request kind of a pre-decoded entry (used by backlog draining to
+    /// respect per-kind admission).
+    fn entry_kind(entry: &Self::Entry) -> RequestKind;
+
+    /// Advance the controller by one nanosecond, appending any requests whose
+    /// data transfer completed at or before `now` to `completed`. Returns
+    /// `true` if any command was issued.
+    fn tick_into(&mut self, now: Cycle, completed: &mut Vec<CompletedRequest>) -> bool;
+
+    /// The next cycle strictly after `now` at which this controller's state
+    /// can change on its own, or `None` when fully quiescent. See the trait
+    /// docs for the exactness contract.
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Whether the controller has no pending or in-flight work.
+    fn is_idle(&self) -> bool;
+
+    /// Total free request-queue slots (all kinds combined).
+    fn slots_free(&self) -> usize;
+
+    /// Free slots able to admit a request of `kind`. Defaults to
+    /// [`MemoryController::slots_free`] for controllers with one shared
+    /// queue; controllers with split read/write queues override it.
+    fn slots_free_for(&self, kind: RequestKind) -> usize {
+        let _ = kind;
+        self.slots_free()
+    }
+
+    /// A snapshot of the statistics the generic drivers report.
+    fn stats_snapshot(&self) -> StatsSnapshot;
+}

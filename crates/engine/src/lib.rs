@@ -1,0 +1,56 @@
+//! # rome-engine — the generic event-driven simulation engine
+//!
+//! This crate owns the event-driven simulation machinery shared by both
+//! memory stacks of the RoMe reproduction — the conventional HBM4 controller
+//! (`rome-mc`) and the RoMe row-granularity controller (`rome-core`):
+//!
+//! * **requests** — [`request::MemoryRequest`] and friends, the lifecycle
+//!   vocabulary every controller speaks ([`request`]);
+//! * the **[`MemoryController`] trait** — the contract (enqueue, tick,
+//!   `next_event_at`, idleness, admission, stats snapshot) that lets one
+//!   driver run any controller ([`controller`]);
+//! * the generic **single-channel drivers** — event-driven
+//!   [`simulate::run_with_limit`] and the cycle-stepped equivalence baseline
+//!   [`simulate::run_with_limit_stepped`], producing one unified
+//!   [`simulate::SimulationReport`] ([`simulate`]);
+//! * the generic **[`MultiChannelSystem`]** — fragmentation, steering,
+//!   backlog back-pressure, host-completion reassembly, a global-clock tick
+//!   path, and a parallel per-channel [`MultiChannelSystem::run_until_idle`]
+//!   ([`system`]).
+//!
+//! The engine is the plug-in point for scale-out work: a new memory system
+//! only implements [`MemoryController`] and immediately inherits the
+//! event-driven drivers, the parallel multi-channel runner, and every sweep
+//! built on top of them.
+//!
+//! # Event-driven exactness
+//!
+//! `next_event_at` must *lower-bound* the next cycle at which state can
+//! change. Drivers that tick at every reported cycle therefore execute the
+//! exact command schedule of a cycle-by-cycle loop — spurious wake-ups are
+//! harmless, missed events are impossible — which is what lets the
+//! regression suite pin bit-identical simulation reports between the two
+//! driving styles.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod request;
+pub mod simulate;
+pub mod system;
+
+/// Convenient glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::controller::{MemoryController, StatsSnapshot};
+    pub use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
+    pub use crate::simulate::{
+        run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
+    };
+    pub use crate::system::{HostCompletion, MultiChannelSystem};
+}
+
+pub use controller::{MemoryController, StatsSnapshot};
+pub use request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
+pub use simulate::SimulationReport;
+pub use system::{HostCompletion, MultiChannelSystem};

@@ -1,0 +1,164 @@
+//! Generic simulation drivers for a single channel controller.
+//!
+//! These helpers feed a request stream into any [`MemoryController`] as fast
+//! as its queues accept it and summarize the outcome in one unified
+//! [`SimulationReport`]. They are used directly by the queue-depth and VBA
+//! design-space experiments and as calibration kernels by `rome-sim`, for
+//! both the conventional HBM4 controller and the RoMe controller.
+//!
+//! # Event-driven time skipping
+//!
+//! The default driver ([`run_to_completion`] / [`run_with_limit`]) is
+//! *event-driven*: after a tick in which the controller issued nothing and no
+//! new request can arrive, it asks [`MemoryController::next_event_at`] for
+//! the next cycle at which any state can change (a data burst completing, a
+//! timing constraint expiring, a refresh coming due) and jumps straight
+//! there, instead of burning one no-op `tick` per nanosecond. Because
+//! `next_event_at` lower-bounds the next state change, the event-driven
+//! driver executes the exact command schedule of the cycle-stepped loop and
+//! produces bit-identical [`SimulationReport`]s — the regression suite in
+//! `tests/event_driven_equivalence.rs` pins this.
+//!
+//! The original cycle-by-cycle loop is kept as [`run_with_limit_stepped`];
+//! it is the equivalence baseline and the reference point for the wall-clock
+//! speedup tracked by the `event_driven_speedup` bench.
+
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
+
+use crate::controller::MemoryController;
+use crate::request::{MemoryRequest, RequestKind};
+
+/// Summary of one single-channel run, identical in shape for every
+/// controller (fields a controller does not model report their neutral
+/// value: `bytes_transferred == bytes_read + bytes_written` for a controller
+/// without overfetch, `row_hit_rate == 0` for one without a row buffer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Total requests completed.
+    pub requests_completed: u64,
+    /// Useful bytes read.
+    pub bytes_read: u64,
+    /// Useful bytes written.
+    pub bytes_written: u64,
+    /// Bytes moved over the DRAM interface (≥ useful bytes; the difference
+    /// is overfetch).
+    pub bytes_transferred: u64,
+    /// Cycle at which the last request completed.
+    pub finish_time: Cycle,
+    /// Achieved useful bandwidth over the whole run in decimal GB/s
+    /// (1 byte/ns = 1 GB/s), via [`rome_hbm::units::bytes_per_ns_to_gbps`] —
+    /// the same definition for every memory system.
+    pub achieved_bandwidth_gbps: f64,
+    /// Mean read latency in ns.
+    pub mean_read_latency: f64,
+    /// Row-buffer hit rate (0 for controllers without a row buffer).
+    pub row_hit_rate: f64,
+    /// Activations issued per KiB of useful data transferred.
+    pub activates_per_kib: f64,
+}
+
+/// Drive `controller` with `requests`, enqueueing as fast as the queues
+/// accept, until every request has completed or an internal safety limit of
+/// 50 ms elapses.
+///
+/// Requests are offered in order; a request whose queue is full simply waits
+/// (back-pressure), which is how a DMA engine behaves.
+pub fn run_to_completion<C: MemoryController>(
+    controller: &mut C,
+    requests: Vec<MemoryRequest>,
+) -> SimulationReport {
+    run_with_limit(controller, requests, 50_000_000)
+}
+
+/// Like [`run_to_completion`] but with an explicit time limit in ns.
+/// Event-driven: skips directly between cycles where state can change.
+pub fn run_with_limit<C: MemoryController>(
+    controller: &mut C,
+    requests: Vec<MemoryRequest>,
+    max_ns: Cycle,
+) -> SimulationReport {
+    drive(controller, requests, max_ns, false)
+}
+
+/// The original cycle-by-cycle driver: identical behaviour to
+/// [`run_with_limit`], advancing time one nanosecond per iteration. Kept as
+/// the equivalence baseline and for wall-clock comparison benches.
+pub fn run_with_limit_stepped<C: MemoryController>(
+    controller: &mut C,
+    requests: Vec<MemoryRequest>,
+    max_ns: Cycle,
+) -> SimulationReport {
+    drive(controller, requests, max_ns, true)
+}
+
+fn drive<C: MemoryController>(
+    controller: &mut C,
+    requests: Vec<MemoryRequest>,
+    max_ns: Cycle,
+    stepped: bool,
+) -> SimulationReport {
+    let total = requests.len() as u64;
+    let mut pending = requests.into_iter().peekable();
+    let mut now: Cycle = 0;
+    let mut completed = 0u64;
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut finish_time = 0;
+    let mut completions = Vec::new();
+
+    while (completed < total || !controller.is_idle()) && now < max_ns {
+        // Offer as many pending requests as the queues accept this cycle.
+        while let Some(next) = pending.peek() {
+            if controller.slots_free_for(next.kind) == 0 {
+                break;
+            }
+            let mut req = *next;
+            req.arrival = now;
+            let ok = controller.enqueue(req);
+            debug_assert!(ok, "enqueue must succeed when a slot is free");
+            pending.next();
+        }
+        let issued = controller.tick_into(now, &mut completions);
+        for done in completions.drain(..) {
+            completed += 1;
+            finish_time = finish_time.max(done.completed);
+            match done.kind {
+                RequestKind::Read => bytes_read += done.bytes,
+                RequestKind::Write => bytes_written += done.bytes,
+            }
+        }
+        // A request can arrive at now + 1 only if the head of the pending
+        // stream already has a free slot (back-pressure is in order).
+        let arrival_next = pending
+            .peek()
+            .is_some_and(|next| controller.slots_free_for(next.kind) > 0);
+        now = if stepped || issued || arrival_next {
+            now + 1
+        } else {
+            controller
+                .next_event_at(now)
+                .map_or(now + 1, |t| t.max(now + 1))
+        };
+    }
+
+    let elapsed = finish_time.max(1);
+    let stats = controller.stats_snapshot();
+    let useful = bytes_read + bytes_written;
+    SimulationReport {
+        requests_completed: completed,
+        bytes_read,
+        bytes_written,
+        bytes_transferred: stats.bytes_transferred,
+        finish_time,
+        achieved_bandwidth_gbps: bytes_per_ns_to_gbps(useful, elapsed),
+        mean_read_latency: stats.mean_read_latency,
+        row_hit_rate: stats.row_hit_rate,
+        activates_per_kib: if useful == 0 {
+            0.0
+        } else {
+            stats.activates as f64 / (useful as f64 / 1024.0)
+        },
+    }
+}

@@ -1,0 +1,404 @@
+//! The generic multi-channel memory system.
+//!
+//! [`MultiChannelSystem`] models the memory side of one accelerator for *any*
+//! controller implementing [`MemoryController`]: host requests of arbitrary
+//! size are fragmented at the system's access granularity, steered to their
+//! channel by a caller-provided decode function, executed by the per-channel
+//! controllers, and reassembled into [`HostCompletion`]s when the last
+//! fragment finishes. Both the conventional HBM4 system (`rome-mc`) and the
+//! RoMe system (`rome-core`) are thin wrappers around this type — the wrapper
+//! owns the address decode and the domain-specific statistics, this type owns
+//! all of the event-driven plumbing.
+//!
+//! # Drivers
+//!
+//! Two driving styles are provided:
+//!
+//! * the per-cycle path — [`MultiChannelSystem::tick_into`] +
+//!   [`MultiChannelSystem::next_event_at`] — advances every channel under one
+//!   global clock and may skip provably idle cycles;
+//! * [`MultiChannelSystem::run_until_idle`] exploits that channels share no
+//!   state once fragments are steered: every channel runs its own
+//!   event-driven loop to completion, in parallel across cores (rayon), and
+//!   fragment completions are merged into host completions afterwards.
+//!
+//! Backlogged fragments waiting for a queue slot drain in arrival order,
+//! skipping only entries whose request kind cannot currently be admitted (a
+//! write whose queue has space enqueues even while an older read waits for a
+//! read slot, and vice versa); order within each kind is always preserved.
+
+use std::collections::{HashMap, VecDeque};
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use rome_hbm::units::Cycle;
+
+use crate::controller::MemoryController;
+use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
+
+/// A completed host-level request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostCompletion {
+    /// The host request id.
+    pub id: RequestId,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Total bytes of the host request.
+    pub bytes: u64,
+    /// Arrival cycle of the host request.
+    pub arrival: Cycle,
+    /// Cycle at which the last fragment completed.
+    pub completed: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct HostTracker {
+    kind: RequestKind,
+    bytes: u64,
+    arrival: Cycle,
+    fragments_outstanding: u64,
+    last_completion: Cycle,
+}
+
+/// A multi-channel memory system generic over its per-channel controller.
+#[derive(Debug, Clone)]
+pub struct MultiChannelSystem<C: MemoryController> {
+    controllers: Vec<C>,
+    /// Fragments waiting for a free slot in their channel's queue, in
+    /// arrival order: `(channel, decoded entry)`.
+    backlog: VecDeque<(u16, C::Entry)>,
+    host_requests: HashMap<RequestId, HostTracker>,
+    next_auto_id: u64,
+    /// Reused per-tick completion buffer (avoids an allocation per channel
+    /// per cycle).
+    scratch: Vec<CompletedRequest>,
+}
+
+impl<C: MemoryController> MultiChannelSystem<C> {
+    /// Build a system from its per-channel controllers.
+    pub fn new(controllers: Vec<C>) -> Self {
+        MultiChannelSystem {
+            controllers,
+            backlog: VecDeque::new(),
+            host_requests: HashMap::new(),
+            next_auto_id: 1 << 48,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// The per-channel controllers (for aggregating domain-specific stats).
+    pub fn controllers(&self) -> &[C] {
+        &self.controllers
+    }
+
+    /// Per-channel useful bytes transferred so far (reads + writes), used
+    /// for the channel-load-balance analysis.
+    pub fn bytes_per_channel(&self) -> Vec<u64> {
+        self.controllers
+            .iter()
+            .map(|c| {
+                let s = c.stats_snapshot();
+                s.bytes_read + s.bytes_written
+            })
+            .collect()
+    }
+
+    /// Whether every queue, backlog entry, and in-flight transfer has
+    /// drained.
+    pub fn is_idle(&self) -> bool {
+        self.backlog.is_empty() && self.controllers.iter().all(|c| c.is_idle())
+    }
+
+    /// Submit a host request: fragment it at `granularity` bytes and steer
+    /// every fragment with `decode`, which maps a fragment to its channel
+    /// and the channel-local decoded entry. Returns the id under which the
+    /// completion will be reported (auto-assigned when the request's id is
+    /// zero).
+    pub fn submit_with(
+        &mut self,
+        mut request: MemoryRequest,
+        granularity: u64,
+        mut decode: impl FnMut(MemoryRequest) -> (u16, C::Entry),
+    ) -> RequestId {
+        if request.id.0 == 0 {
+            request.id = RequestId(self.next_auto_id);
+            self.next_auto_id += 1;
+        }
+        let fragments = request.fragments(granularity);
+        self.host_requests.insert(
+            request.id,
+            HostTracker {
+                kind: request.kind,
+                bytes: request.bytes,
+                arrival: request.arrival,
+                fragments_outstanding: fragments.len() as u64,
+                last_completion: 0,
+            },
+        );
+        for frag in fragments {
+            self.backlog.push_back(decode(frag));
+        }
+        request.id
+    }
+
+    /// Advance the whole system by one nanosecond.
+    ///
+    /// Allocates a fresh completion vector per call; hot loops should prefer
+    /// [`MultiChannelSystem::tick_into`] with a reused buffer.
+    pub fn tick(&mut self, now: Cycle) -> Vec<HostCompletion> {
+        let mut completions = Vec::new();
+        self.tick_into(now, &mut completions);
+        completions
+    }
+
+    /// Advance the whole system by one nanosecond, appending completed host
+    /// requests to `completions`. Returns `true` if any channel issued a
+    /// command.
+    pub fn tick_into(&mut self, now: Cycle, completions: &mut Vec<HostCompletion>) -> bool {
+        // Drain the backlog into per-channel queues in arrival order,
+        // skipping entries whose kind cannot currently be admitted. One
+        // order-preserving retain pass keeps the whole drain O(backlog).
+        let channels = self.controllers.len();
+        let controllers = &mut self.controllers;
+        self.backlog.retain(|(channel, entry)| {
+            let ctrl = &mut controllers[*channel as usize % channels];
+            if ctrl.slots_free_for(C::entry_kind(entry)) > 0 {
+                let ok = ctrl.enqueue_entry(*entry);
+                debug_assert!(ok, "enqueue must succeed when a slot is free");
+                false
+            } else {
+                true
+            }
+        });
+
+        let before = completions.len();
+        let mut issued = false;
+        let MultiChannelSystem {
+            controllers,
+            scratch,
+            host_requests,
+            ..
+        } = self;
+        for ctrl in controllers.iter_mut() {
+            issued |= ctrl.tick_into(now, scratch);
+            for done in scratch.drain(..) {
+                absorb_fragment(host_requests, done, completions);
+            }
+        }
+        for c in &completions[before..] {
+            self.host_requests.remove(&c.id);
+        }
+        issued
+    }
+
+    /// The next cycle strictly after `now` at which any channel's state can
+    /// change (see [`MemoryController::next_event_at`]), or at which a
+    /// backlogged fragment could enter a queue. `None` when the whole system
+    /// is quiescent.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            let t = t.max(now + 1);
+            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
+        };
+        let channels = self.controllers.len();
+        for (channel, entry) in &self.backlog {
+            let ctrl = &self.controllers[*channel as usize % channels];
+            if ctrl.slots_free_for(C::entry_kind(entry)) > 0 {
+                consider(now + 1);
+                break;
+            }
+        }
+        for ctrl in &self.controllers {
+            if let Some(t) = ctrl.next_event_at(now) {
+                consider(t);
+            }
+        }
+        next
+    }
+
+    /// Run until all submitted requests complete or `max_ns` elapses;
+    /// returns the completions (sorted by completion time, then id) and the
+    /// cycle the run stopped at.
+    ///
+    /// Channels share no state once fragments are steered, so each channel
+    /// runs its own event-driven loop to completion — in parallel across
+    /// channels — and the fragment completions are merged into host
+    /// completions afterwards. Totals (completion counts, bytes, per-channel
+    /// byte distribution) match the per-cycle [`MultiChannelSystem::tick`]
+    /// path exactly; per-request completion *times* may differ slightly
+    /// because each channel admits its own backlog as fast as its queues
+    /// allow instead of once per global cycle. The equivalence suite pins
+    /// the invariants.
+    pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle)
+    where
+        C: Send,
+    {
+        let channels = self.controllers.len();
+        let mut backlogs: Vec<ChannelBacklog<C>> =
+            (0..channels).map(|_| ChannelBacklog::new()).collect();
+        for (channel, entry) in self.backlog.drain(..) {
+            backlogs[channel as usize % channels].push(entry);
+        }
+
+        let tasks: Vec<(&mut C, &mut ChannelBacklog<C>)> = self
+            .controllers
+            .iter_mut()
+            .zip(backlogs.iter_mut())
+            .collect();
+        let per_channel: Vec<(Vec<CompletedRequest>, Cycle)> = tasks
+            .into_par_iter()
+            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns))
+            .collect();
+
+        // Fragments still waiting when max_ns cut the run short go back to
+        // the system backlog: they stay visible to is_idle() and to a later
+        // run_until_idle / tick_into, exactly like the per-cycle path.
+        for (channel, backlog) in backlogs.into_iter().enumerate() {
+            for entry in backlog.entries {
+                self.backlog.push_back((channel as u16, entry));
+            }
+        }
+
+        let mut stop = 0;
+        let mut fragments = Vec::new();
+        for (done, t) in per_channel {
+            stop = stop.max(t);
+            fragments.extend(done);
+        }
+        fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
+
+        let mut completions = Vec::new();
+        for done in fragments {
+            absorb_fragment(&mut self.host_requests, done, &mut completions);
+        }
+        for c in &completions {
+            self.host_requests.remove(&c.id);
+        }
+        (completions, stop)
+    }
+}
+
+/// Fold one completed fragment into its host tracker, emitting a
+/// [`HostCompletion`] when the last fragment of the host request finishes.
+fn absorb_fragment(
+    host_requests: &mut HashMap<RequestId, HostTracker>,
+    done: CompletedRequest,
+    completions: &mut Vec<HostCompletion>,
+) {
+    if let Some(tracker) = host_requests.get_mut(&done.id) {
+        tracker.fragments_outstanding -= 1;
+        tracker.last_completion = tracker.last_completion.max(done.completed);
+        if tracker.fragments_outstanding == 0 {
+            completions.push(HostCompletion {
+                id: done.id,
+                kind: tracker.kind,
+                bytes: tracker.bytes,
+                arrival: tracker.arrival,
+                completed: tracker.last_completion,
+            });
+        }
+    }
+}
+
+/// One channel's share of the pending fragments, in arrival order, with
+/// per-kind counts so the drain can stop as soon as nothing can be admitted.
+#[derive(Debug)]
+struct ChannelBacklog<C: MemoryController> {
+    entries: VecDeque<C::Entry>,
+    pending_reads: usize,
+    pending_writes: usize,
+}
+
+impl<C: MemoryController> ChannelBacklog<C> {
+    fn new() -> Self {
+        ChannelBacklog {
+            entries: VecDeque::new(),
+            pending_reads: 0,
+            pending_writes: 0,
+        }
+    }
+
+    fn push(&mut self, entry: C::Entry) {
+        match C::entry_kind(&entry) {
+            RequestKind::Read => self.pending_reads += 1,
+            RequestKind::Write => self.pending_writes += 1,
+        }
+        self.entries.push_back(entry);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Move every currently admissible fragment into the controller's
+    /// queues, preserving arrival order within each kind.
+    fn drain_into(&mut self, ctrl: &mut C) {
+        let mut read_ok = ctrl.slots_free_for(RequestKind::Read) > 0;
+        let mut write_ok = ctrl.slots_free_for(RequestKind::Write) > 0;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let admissible_reads = read_ok && self.pending_reads > 0;
+            let admissible_writes = write_ok && self.pending_writes > 0;
+            if !admissible_reads && !admissible_writes {
+                break;
+            }
+            let kind = C::entry_kind(&self.entries[i]);
+            let ok = match kind {
+                RequestKind::Read => read_ok,
+                RequestKind::Write => write_ok,
+            };
+            if ok {
+                let entry = self.entries.remove(i).expect("index in bounds");
+                match kind {
+                    RequestKind::Read => self.pending_reads -= 1,
+                    RequestKind::Write => self.pending_writes -= 1,
+                }
+                let accepted = ctrl.enqueue_entry(entry);
+                debug_assert!(accepted, "enqueue must succeed when a slot is free");
+                read_ok = ctrl.slots_free_for(RequestKind::Read) > 0;
+                write_ok = ctrl.slots_free_for(RequestKind::Write) > 0;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether any held fragment could enqueue right now.
+    fn can_enqueue(&self, ctrl: &C) -> bool {
+        (self.pending_reads > 0 && ctrl.slots_free_for(RequestKind::Read) > 0)
+            || (self.pending_writes > 0 && ctrl.slots_free_for(RequestKind::Write) > 0)
+    }
+}
+
+/// Event-driven loop for one channel: feed it its share of the backlog,
+/// jump to the next event after every no-op tick, and return the fragment
+/// completions plus the cycle the channel went idle (or `max_ns`).
+fn run_channel_until_idle<C: MemoryController>(
+    ctrl: &mut C,
+    backlog: &mut ChannelBacklog<C>,
+    max_ns: Cycle,
+) -> (Vec<CompletedRequest>, Cycle) {
+    let mut done = Vec::new();
+    let mut now = 0;
+    let mut stop = 0;
+    while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
+        backlog.drain_into(ctrl);
+        let issued = ctrl.tick_into(now, &mut done);
+        stop = now + 1;
+        let arrival_next = backlog.can_enqueue(ctrl);
+        now = if issued || arrival_next {
+            now + 1
+        } else {
+            ctrl.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
+        };
+    }
+    let finished = backlog.is_empty() && ctrl.is_idle();
+    (done, if finished { stop } else { max_ns })
+}

@@ -61,6 +61,16 @@ pub struct ControllerConfig {
     /// Write-queue occupancy at which the controller returns to serving
     /// reads.
     pub write_drain_low: usize,
+    /// Whether the FR-FCFS candidate scan uses the per-entry ready cache:
+    /// earliest-issue bounds computed for blocked entries are remembered and
+    /// each entry is skipped with one comparison until its cached cycle
+    /// arrives, instead of re-evaluating the constraint engine every tick.
+    /// DRAM timing constraints are monotone (issuing commands only moves
+    /// earliest-issue times later), so the cache cannot change a single
+    /// scheduling decision — the equivalence suite pins bit-identical
+    /// reports with the cache on and off. Disable only to measure its
+    /// effect.
+    pub ready_cache: bool,
 }
 
 impl ControllerConfig {
@@ -80,6 +90,7 @@ impl ControllerConfig {
             starvation_threshold: 2_000,
             write_drain_high: 48,
             write_drain_low: 16,
+            ready_cache: true,
         }
     }
 
@@ -183,6 +194,15 @@ impl ChannelController {
         self.write_queue.capacity() - self.write_queue.len()
     }
 
+    /// Total free queue slots across both queues. Admission is still
+    /// per-kind ([`ChannelController::read_slots_free`] /
+    /// [`ChannelController::write_slots_free`]); this combined count mirrors
+    /// `RomeController::slots_free` so both controllers satisfy
+    /// [`rome_engine::MemoryController`] uniformly.
+    pub fn slots_free(&self) -> usize {
+        self.read_slots_free() + self.write_slots_free()
+    }
+
     /// Enqueue a request given as a raw physical address, using the
     /// controller's own address mapping. Returns `false` if the relevant
     /// queue is full.
@@ -202,13 +222,7 @@ impl ChannelController {
     }
 
     fn bank_index(&self, bank: BankAddress) -> usize {
-        let org = &self.config.organization;
-        let per_pc = org.banks_per_pseudo_channel() as usize;
-        let per_sid = (org.bank_groups * org.banks_per_group) as usize;
-        bank.pseudo_channel as usize * per_pc
-            + bank.stack_id as usize * per_sid
-            + bank.bank_group as usize * org.banks_per_group as usize
-            + bank.bank as usize
+        flat_bank_index(&self.config.organization, bank)
     }
 
     fn rank_index(&self, bank: BankAddress) -> usize {
@@ -549,18 +563,52 @@ impl ChannelController {
         // whose column command is issuable now. Entries blocked only by
         // timing feed the event hint with (a lower bound on) their
         // earliest-issue cycle.
+        //
+        // Ready cache: a bound computed for a blocked entry is stored in the
+        // queue and the entry is skipped with one comparison on subsequent
+        // scans until the bound's cycle arrives. Timing constraints are
+        // monotone — issuing commands only pushes earliest-issue times later
+        // — so a stored bound stays a valid lower bound for the entry's
+        // lifetime and the scan selects exactly the same candidate as a full
+        // re-evaluation; at worst a stale bound wakes the event-driven
+        // driver a few cycles early (a harmless spurious event).
         let (candidate, hint) = {
-            let queue = self.active_queue();
-            let open_rows = &self.open_rows;
-            let channel = &self.channel;
-            let config = &self.config;
+            let ChannelController {
+                config,
+                channel,
+                open_rows,
+                read_queue,
+                write_queue,
+                ..
+            } = self;
+            let queue = if is_write_phase {
+                &mut *write_queue
+            } else {
+                &mut *read_queue
+            };
+            let use_cache = config.ready_cache;
             let mut found: Option<usize> = None;
             let mut hint = Cycle::MAX;
-            for (i, e) in queue.iter().enumerate() {
+            for i in 0..queue.len() {
                 if starved && i != 0 && config.scheduling == SchedulingPolicy::FrFcfs {
                     break;
                 }
-                let idx = self.bank_index(e.dram.bank);
+                // Ready-cache skip before even touching the entry: a cached
+                // bound is timing-only, so it disqualifies the entry whether
+                // or not its row is (still) open, and the stale-but-valid
+                // hint merely wakes the event driver early.
+                if use_cache {
+                    let cached = queue.ready_hint(i);
+                    if cached > now {
+                        hint = hint.min(cached);
+                        if config.scheduling == SchedulingPolicy::Fcfs {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                let e = *queue.get(i).expect("index in bounds");
+                let idx = flat_bank_index(&config.organization, e.dram.bank);
                 if open_rows[idx] != Some(e.dram.row) {
                     if config.scheduling == SchedulingPolicy::Fcfs {
                         break;
@@ -570,6 +618,9 @@ impl ChannelController {
                 let pc = e.dram.bank.pseudo_channel as usize;
                 if pc < pcs.min(MAX_GATED_PCS) && pc_bound[pc] > now {
                     hint = hint.min(pc_bound[pc]);
+                    if use_cache {
+                        queue.set_ready_hint(i, pc_bound[pc]);
+                    }
                     if config.scheduling == SchedulingPolicy::Fcfs {
                         break;
                     }
@@ -578,13 +629,16 @@ impl ChannelController {
                 // Earliest-issue does not depend on the auto-precharge flag,
                 // so the O(queue) pending-hit lookup that decides it is
                 // deferred until an entry is actually chosen.
-                let probe = column_command(e, false);
+                let probe = column_command(&e, false);
                 let at = channel.earliest_issue(&probe, now);
                 if at <= now {
                     found = Some(i);
                     break;
                 }
                 hint = hint.min(at);
+                if use_cache {
+                    queue.set_ready_hint(i, at);
+                }
                 if config.scheduling == SchedulingPolicy::Fcfs {
                     break;
                 }
@@ -637,19 +691,44 @@ impl ChannelController {
         }
 
         let (action, hint) = {
-            let queue = self.active_queue();
-            let open_rows = &self.open_rows;
-            let channel = &self.channel;
+            let ChannelController {
+                config,
+                channel,
+                open_rows,
+                read_queue,
+                write_queue,
+                refresh_reserved_bank,
+                write_drain,
+                ..
+            } = self;
+            let queue = if *write_drain {
+                &mut *write_queue
+            } else {
+                &mut *read_queue
+            };
+            let use_cache = config.ready_cache;
             let mut act: Option<(usize, u32, BankAddress)> = None;
             let mut pre: Option<BankAddress> = None;
             let mut hint = Cycle::MAX;
-            for (i, e) in queue.iter().enumerate() {
-                let idx = self.bank_index(e.dram.bank);
-                if self.refresh_reserved_bank == Some(e.dram.bank) {
+            for i in 0..queue.len() {
+                let e = *queue.get(i).expect("index in bounds");
+                let idx = flat_bank_index(&config.organization, e.dram.bank);
+                if *refresh_reserved_bank == Some(e.dram.bank) {
                     continue;
                 }
                 match open_rows[idx] {
                     None if act.is_none() => {
+                        // Ready cache: a previously computed ACT bound for
+                        // this entry is a permanent lower bound (ACT timing
+                        // constraints are monotone too), so skip with one
+                        // comparison until its cycle arrives.
+                        if use_cache {
+                            let cached = queue.act_ready_hint(i);
+                            if cached > now {
+                                hint = hint.min(cached);
+                                continue;
+                            }
+                        }
                         // Rank-scope gate: tRRD/tFAW bound every ACT on
                         // the rank, so a blocked rank disqualifies all
                         // of its pending activations with one
@@ -657,6 +736,9 @@ impl ChannelController {
                         let rank_bound = channel.rank_act_bound(e.dram.bank);
                         if rank_bound > now {
                             hint = hint.min(rank_bound);
+                            if use_cache {
+                                queue.set_act_ready_hint(i, rank_bound);
+                            }
                         } else {
                             let cmd = DramCommand::Act {
                                 target: CommandTarget::from_bank_address(e.dram.bank),
@@ -666,7 +748,11 @@ impl ChannelController {
                             if at <= now && channel.can_issue(&cmd, now) {
                                 act = Some((i, e.dram.row, e.dram.bank));
                             } else {
-                                hint = hint.min(at.max(now + 1));
+                                let at = at.max(now + 1);
+                                hint = hint.min(at);
+                                if use_cache {
+                                    queue.set_act_ready_hint(i, at);
+                                }
                             }
                         }
                     }
@@ -716,7 +802,7 @@ impl ChannelController {
             Some(RowAction::Act { index, row }) => {
                 let bank = {
                     let queue = self.active_queue();
-                    queue.iter().nth(index).expect("index valid").dram.bank
+                    queue.get(index).expect("index valid").dram.bank
                 };
                 let cmd = DramCommand::Act {
                     target: CommandTarget::from_bank_address(bank),
@@ -739,6 +825,70 @@ impl ChannelController {
                 true
             }
             None => false,
+        }
+    }
+}
+
+/// Flat index of `bank` within one channel of `org` (PC-major, then stack
+/// ID, then bank group).
+fn flat_bank_index(org: &Organization, bank: BankAddress) -> usize {
+    let per_pc = org.banks_per_pseudo_channel() as usize;
+    let per_sid = (org.bank_groups * org.banks_per_group) as usize;
+    bank.pseudo_channel as usize * per_pc
+        + bank.stack_id as usize * per_sid
+        + bank.bank_group as usize * org.banks_per_group as usize
+        + bank.bank as usize
+}
+
+impl rome_engine::MemoryController for ChannelController {
+    type Entry = QueueEntry;
+
+    fn enqueue(&mut self, request: MemoryRequest) -> bool {
+        ChannelController::enqueue(self, request)
+    }
+
+    fn enqueue_entry(&mut self, entry: QueueEntry) -> bool {
+        self.enqueue_mapped(entry)
+    }
+
+    fn entry_kind(entry: &QueueEntry) -> RequestKind {
+        entry.request.kind
+    }
+
+    fn tick_into(&mut self, now: Cycle, completed: &mut Vec<CompletedRequest>) -> bool {
+        ChannelController::tick_into(self, now, completed)
+    }
+
+    fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        ChannelController::next_event_at(self, now)
+    }
+
+    fn is_idle(&self) -> bool {
+        ChannelController::is_idle(self)
+    }
+
+    fn slots_free(&self) -> usize {
+        ChannelController::slots_free(self)
+    }
+
+    fn slots_free_for(&self, kind: RequestKind) -> usize {
+        match kind {
+            RequestKind::Read => self.read_slots_free(),
+            RequestKind::Write => self.write_slots_free(),
+        }
+    }
+
+    fn stats_snapshot(&self) -> rome_engine::StatsSnapshot {
+        let s = self.stats();
+        rome_engine::StatsSnapshot {
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            // A cache-line-granularity controller moves exactly the useful
+            // payload: no overfetch.
+            bytes_transferred: s.bytes_total(),
+            mean_read_latency: s.mean_read_latency(),
+            row_hit_rate: s.row_hit_rate(),
+            activates: s.dram.activates,
         }
     }
 }

@@ -4,7 +4,9 @@
 //! conventional cache-line-granularity HBM4 memory controller (§II-D of the
 //! paper). It provides:
 //!
-//! * memory requests and their lifecycle ([`request`]);
+//! * memory requests and their lifecycle ([`request`], re-exported from
+//!   `rome-engine`, whose `MemoryController` trait and generic event-driven
+//!   drivers this controller plugs into);
 //! * configurable DRAM **address mapping** functions ([`mapping`]);
 //! * CAM-style read/write **request queues** ([`queue`]);
 //! * **page policies** — open, closed, adaptive ([`page_policy`]);
@@ -43,11 +45,12 @@ pub mod controller;
 pub mod mapping;
 pub mod page_policy;
 pub mod queue;
-pub mod request;
 pub mod simulate;
 pub mod stats;
 pub mod system;
 pub mod workload;
+
+pub use rome_engine::request;
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {

@@ -25,10 +25,28 @@ pub struct QueueEntry {
     pub dram: DramAddress,
 }
 
+/// One queue slot: the entry plus its ready-cache bounds. Keeping the
+/// bounds inside the slot (rather than in parallel containers) makes it
+/// impossible for an entry and its cached bounds to fall out of alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct QueueSlot {
+    entry: QueueEntry,
+    /// Cached lower bound on the earliest cycle the entry's column command
+    /// can issue (0 = unknown). Because DRAM timing constraints only ever
+    /// move *later* as commands are recorded, a bound computed once stays a
+    /// valid lower bound for the entry's lifetime, so the FR-FCFS scan can
+    /// skip the entry with one comparison until its cached cycle arrives
+    /// instead of re-evaluating the full constraint engine every tick.
+    ready_at: Cycle,
+    /// Cached lower bound on the earliest cycle an ACT for the entry's bank
+    /// can issue (0 = unknown). Same monotonicity argument as `ready_at`.
+    act_ready_at: Cycle,
+}
+
 /// A bounded, age-ordered request queue with CAM-style lookups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestQueue {
-    entries: VecDeque<QueueEntry>,
+    entries: VecDeque<QueueSlot>,
     capacity: usize,
     /// Sum of occupancy samples (one per `sample_occupancy` call).
     occupancy_sum: u64,
@@ -81,37 +99,76 @@ impl RequestQueue {
         if self.is_full() {
             return false;
         }
-        self.entries.push_back(entry);
+        self.entries.push_back(QueueSlot {
+            entry,
+            ready_at: 0,
+            act_ready_at: 0,
+        });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         true
     }
 
+    /// The entry at `index` (oldest first), if any.
+    pub fn get(&self, index: usize) -> Option<&QueueEntry> {
+        self.entries.get(index).map(|s| &s.entry)
+    }
+
+    /// The cached ready bound of the entry at `index` (0 = unknown).
+    pub fn ready_hint(&self, index: usize) -> Cycle {
+        self.entries.get(index).map_or(0, |s| s.ready_at)
+    }
+
+    /// Cache a lower bound on the earliest issue cycle of the entry at
+    /// `index`. The bound must remain valid for the lifetime of the entry
+    /// (DRAM timing constraints are monotone, so any bound read from the
+    /// constraint engine qualifies).
+    pub fn set_ready_hint(&mut self, index: usize, at: Cycle) {
+        if let Some(slot) = self.entries.get_mut(index) {
+            slot.ready_at = at;
+        }
+    }
+
+    /// The cached ACT-ready bound of the entry at `index` (0 = unknown).
+    pub fn act_ready_hint(&self, index: usize) -> Cycle {
+        self.entries.get(index).map_or(0, |s| s.act_ready_at)
+    }
+
+    /// Cache a lower bound on the earliest ACT issue cycle for the entry at
+    /// `index` (see [`RequestQueue::set_ready_hint`] for the validity
+    /// argument).
+    pub fn set_act_ready_hint(&mut self, index: usize, at: Cycle) {
+        if let Some(slot) = self.entries.get_mut(index) {
+            slot.act_ready_at = at;
+        }
+    }
+
     /// Iterate over the entries from oldest to youngest.
     pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
-        self.entries.iter()
+        self.entries.iter().map(|s| &s.entry)
     }
 
     /// The oldest entry, if any.
     pub fn oldest(&self) -> Option<&QueueEntry> {
-        self.entries.front()
+        self.entries.front().map(|s| &s.entry)
     }
 
     /// Find the oldest entry matching `pred` and return its position.
     pub fn find_oldest<F: Fn(&QueueEntry) -> bool>(&self, pred: F) -> Option<usize> {
-        self.entries.iter().position(pred)
+        self.entries.iter().position(|s| pred(&s.entry))
     }
 
     /// Remove and return the entry at `index` (as returned by
     /// [`RequestQueue::find_oldest`]).
     pub fn remove(&mut self, index: usize) -> Option<QueueEntry> {
-        self.entries.remove(index)
+        self.entries.remove(index).map(|s| s.entry)
     }
 
     /// Whether any queued entry targets the same bank and row as `addr`
     /// (used by the adaptive page policy to decide whether to keep a row
     /// open).
     pub fn has_pending_row_hit(&self, addr: DramAddress) -> bool {
-        self.entries.iter().any(|e| {
+        self.entries.iter().any(|s| {
+            let e = &s.entry;
             e.dram.channel == addr.channel && e.dram.bank == addr.bank && e.dram.row == addr.row
         })
     }
@@ -120,7 +177,7 @@ impl RequestQueue {
     pub fn has_pending_for_bank(&self, addr: DramAddress) -> bool {
         self.entries
             .iter()
-            .any(|e| e.dram.channel == addr.channel && e.dram.bank == addr.bank)
+            .any(|s| s.entry.dram.channel == addr.channel && s.entry.dram.bank == addr.bank)
     }
 
     /// Record an occupancy sample (typically once per scheduling cycle).
@@ -147,7 +204,7 @@ impl RequestQueue {
     pub fn oldest_age(&self, now: Cycle) -> Cycle {
         self.entries
             .front()
-            .map(|e| now.saturating_sub(e.request.arrival))
+            .map(|s| now.saturating_sub(s.entry.request.arrival))
             .unwrap_or(0)
     }
 
@@ -155,7 +212,7 @@ impl RequestQueue {
     pub fn count_kind(&self, kind: RequestKind) -> usize {
         self.entries
             .iter()
-            .filter(|e| e.request.kind == kind)
+            .filter(|s| s.entry.request.kind == kind)
             .count()
     }
 }

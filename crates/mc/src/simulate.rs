@@ -1,168 +1,26 @@
 //! Simulation drivers for a single channel controller.
 //!
-//! These helpers feed a request stream into a [`ChannelController`] as fast
-//! as its queues accept it and summarize the outcome. They are used directly
-//! by the queue-depth and VBA design-space experiments and as calibration
-//! kernels by `rome-sim`.
-//!
-//! # Event-driven time skipping
-//!
-//! The default driver ([`run_to_completion`] / [`run_with_limit`]) is
-//! *event-driven*: after a tick in which the controller issued nothing and no
-//! new request can arrive, it asks [`ChannelController::next_event_at`] for
-//! the next cycle at which any state can change (a data burst completing, a
-//! timing constraint expiring, a refresh coming due) and jumps straight
-//! there, instead of burning one no-op `tick` per nanosecond. Because
-//! `next_event_at` lower-bounds the next state change, the event-driven
-//! driver executes the exact command schedule of the cycle-stepped loop and
-//! produces bit-identical [`SimulationReport`]s — the regression suite in
-//! `tests/event_driven_equivalence.rs` pins this.
-//!
-//! The original cycle-by-cycle loop is kept as [`run_with_limit_stepped`];
-//! it is the equivalence baseline and the reference point for the wall-clock
-//! speedup tracked by the `event_driven_speedup` bench.
+//! Since the engine extraction these are the *generic* event-driven drivers
+//! of [`rome_engine::simulate`], re-exported here for backwards
+//! compatibility: [`ChannelController`](crate::controller::ChannelController)
+//! implements [`rome_engine::MemoryController`], so
+//! `rome_mc::simulate::run_with_limit(&mut ctrl, …)` is simply the generic
+//! loop instantiated for the conventional controller. See the engine module
+//! for the event-driven contract and the equivalence guarantees; the
+//! regression suite in `tests/event_driven_equivalence.rs` pins bit-identical
+//! [`SimulationReport`]s between the event-driven and cycle-stepped drivers
+//! (with the FR-FCFS ready cache both on and off).
 
-use serde::{Deserialize, Serialize};
-
-use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
-
-use crate::controller::ChannelController;
-use crate::request::{MemoryRequest, RequestKind};
-
-/// Summary of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SimulationReport {
-    /// Total requests completed.
-    pub requests_completed: u64,
-    /// Bytes read.
-    pub bytes_read: u64,
-    /// Bytes written.
-    pub bytes_written: u64,
-    /// Cycle at which the last request completed.
-    pub finish_time: Cycle,
-    /// Achieved bandwidth over the whole run in decimal GB/s (1 byte/ns =
-    /// 1 GB/s), via [`rome_hbm::units::bytes_per_ns_to_gbps`].
-    pub achieved_bandwidth_gbps: f64,
-    /// Mean read latency in ns.
-    pub mean_read_latency: f64,
-    /// Row-buffer hit rate.
-    pub row_hit_rate: f64,
-    /// Activations issued per kilobyte transferred.
-    pub activates_per_kib: f64,
-}
-
-/// Drive `controller` with `requests`, enqueueing as fast as the queues
-/// accept, until every request has completed or an internal safety limit of
-/// 50 ms elapses.
-///
-/// Requests are offered in order; a request whose queue is full simply waits
-/// (back-pressure), which is how a DMA engine behaves.
-pub fn run_to_completion(
-    controller: &mut ChannelController,
-    requests: Vec<MemoryRequest>,
-) -> SimulationReport {
-    run_with_limit(controller, requests, 50_000_000)
-}
-
-/// Like [`run_to_completion`] but with an explicit time limit in ns.
-/// Event-driven: skips directly between cycles where state can change.
-pub fn run_with_limit(
-    controller: &mut ChannelController,
-    requests: Vec<MemoryRequest>,
-    max_ns: Cycle,
-) -> SimulationReport {
-    drive(controller, requests, max_ns, false)
-}
-
-/// The original cycle-by-cycle driver: identical behaviour to
-/// [`run_with_limit`], advancing time one nanosecond per iteration. Kept as
-/// the equivalence baseline and for wall-clock comparison benches.
-pub fn run_with_limit_stepped(
-    controller: &mut ChannelController,
-    requests: Vec<MemoryRequest>,
-    max_ns: Cycle,
-) -> SimulationReport {
-    drive(controller, requests, max_ns, true)
-}
-
-fn drive(
-    controller: &mut ChannelController,
-    requests: Vec<MemoryRequest>,
-    max_ns: Cycle,
-    stepped: bool,
-) -> SimulationReport {
-    let total = requests.len() as u64;
-    let mut pending = requests.into_iter().peekable();
-    let mut now: Cycle = 0;
-    let mut completed = 0u64;
-    let mut bytes_read = 0u64;
-    let mut bytes_written = 0u64;
-    let mut finish_time = 0;
-    let mut completions = Vec::new();
-
-    while (completed < total || !controller.is_idle()) && now < max_ns {
-        // Offer as many pending requests as the queues accept this cycle.
-        while let Some(next) = pending.peek() {
-            let accepted = match next.kind {
-                RequestKind::Read => controller.read_slots_free() > 0,
-                RequestKind::Write => controller.write_slots_free() > 0,
-            };
-            if !accepted {
-                break;
-            }
-            let mut req = *next;
-            req.arrival = now;
-            let ok = controller.enqueue(req);
-            debug_assert!(ok, "enqueue must succeed when a slot is free");
-            pending.next();
-        }
-        let issued = controller.tick_into(now, &mut completions);
-        for done in completions.drain(..) {
-            completed += 1;
-            finish_time = finish_time.max(done.completed);
-            match done.kind {
-                RequestKind::Read => bytes_read += done.bytes,
-                RequestKind::Write => bytes_written += done.bytes,
-            }
-        }
-        // A request can arrive at now + 1 only if the head of the pending
-        // stream already has a free slot (back-pressure is in order).
-        let arrival_next = pending.peek().is_some_and(|next| match next.kind {
-            RequestKind::Read => controller.read_slots_free() > 0,
-            RequestKind::Write => controller.write_slots_free() > 0,
-        });
-        now = if stepped || issued || arrival_next {
-            now + 1
-        } else {
-            controller
-                .next_event_at(now)
-                .map_or(now + 1, |t| t.max(now + 1))
-        };
-    }
-
-    let elapsed = finish_time.max(1);
-    let stats = controller.stats();
-    SimulationReport {
-        requests_completed: completed,
-        bytes_read,
-        bytes_written,
-        finish_time,
-        achieved_bandwidth_gbps: bytes_per_ns_to_gbps(bytes_read + bytes_written, elapsed),
-        mean_read_latency: stats.mean_read_latency(),
-        row_hit_rate: stats.row_hit_rate(),
-        activates_per_kib: if bytes_read + bytes_written == 0 {
-            0.0
-        } else {
-            stats.dram.activates as f64 / ((bytes_read + bytes_written) as f64 / 1024.0)
-        },
-    }
-}
+pub use rome_engine::simulate::{
+    run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::ControllerConfig;
+    use crate::controller::{ChannelController, ControllerConfig};
     use crate::workload;
+    use rome_hbm::units::bytes_per_ns_to_gbps;
 
     #[test]
     fn streaming_read_run_reports_consistent_totals() {
@@ -172,6 +30,8 @@ mod tests {
         assert_eq!(report.requests_completed, 512);
         assert_eq!(report.bytes_read, 16 * 1024);
         assert_eq!(report.bytes_written, 0);
+        // No overfetch at cache-line granularity.
+        assert_eq!(report.bytes_transferred, 16 * 1024);
         assert!(report.achieved_bandwidth_gbps > 20.0);
         assert!(report.mean_read_latency > 0.0);
         assert!(report.finish_time > 0);
@@ -215,7 +75,8 @@ mod tests {
         // Pin the unit definition: achieved GB/s is total useful bytes
         // divided by elapsed ns (1 byte/ns == 1 decimal GB/s), exactly
         // rome_hbm::units::bytes_per_ns_to_gbps. rome-core uses the same
-        // helper, so the two systems report identically-defined numbers.
+        // generic driver, so the two systems report identically-defined
+        // numbers.
         let mut ctrl = ChannelController::new(ControllerConfig::hbm4_baseline());
         let report = run_to_completion(&mut ctrl, workload::streaming_reads(0, 8 * 1024, 32));
         let expected =
@@ -232,5 +93,19 @@ mod tests {
         let fast = run_with_limit(&mut a, reqs.clone(), 1_000_000);
         let slow = run_with_limit_stepped(&mut b, reqs, 1_000_000);
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn ready_cache_does_not_change_reports() {
+        let reqs = workload::read_write_mix(0, 16 * 1024, 32, 4);
+        let mut with_cache = ChannelController::new(ControllerConfig::hbm4_baseline());
+        let mut without = {
+            let mut cfg = ControllerConfig::hbm4_baseline();
+            cfg.ready_cache = false;
+            ChannelController::new(cfg)
+        };
+        let cached = run_with_limit(&mut with_cache, reqs.clone(), 1_000_000);
+        let plain = run_with_limit(&mut without, reqs, 1_000_000);
+        assert_eq!(cached, plain);
     }
 }

@@ -6,16 +6,20 @@
 //! into controller-granularity transactions, steered to their channel, and
 //! reassembled on completion.
 //!
+//! All of the event-driven plumbing — backlog back-pressure, the global-clock
+//! tick path, `next_event_at`, and the parallel per-channel
+//! [`MemorySystem::run_until_idle`] — lives in the generic
+//! [`rome_engine::MultiChannelSystem`]; this type contributes only the HBM4
+//! address decode and the aggregated [`ControllerStats`].
+//!
 //! For the large LLM experiments the system is also used in *sampled* mode:
 //! only a subset of channels is instantiated and traffic is scaled
 //! accordingly (`rome-sim` handles the scaling); the per-channel behaviour is
 //! identical either way.
 
-use std::collections::{HashMap, VecDeque};
-
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use rome_engine::MultiChannelSystem;
 use rome_hbm::organization::Organization;
 use rome_hbm::timing::TimingParams;
 use rome_hbm::units::Cycle;
@@ -23,8 +27,10 @@ use rome_hbm::units::Cycle;
 use crate::controller::{ChannelController, ControllerConfig};
 use crate::mapping::{AddressMapping, MappingScheme};
 use crate::queue::QueueEntry;
-use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
+use crate::request::{MemoryRequest, RequestId};
 use crate::stats::ControllerStats;
+
+pub use rome_engine::HostCompletion;
 
 /// Configuration of a multi-channel memory system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,43 +70,12 @@ impl MemorySystemConfig {
     }
 }
 
-/// A completed host-level request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct HostCompletion {
-    /// The host request id.
-    pub id: RequestId,
-    /// Read or write.
-    pub kind: RequestKind,
-    /// Total bytes of the host request.
-    pub bytes: u64,
-    /// Arrival cycle of the host request.
-    pub arrival: Cycle,
-    /// Cycle at which the last fragment completed.
-    pub completed: Cycle,
-}
-
-#[derive(Debug, Clone)]
-struct HostTracker {
-    kind: RequestKind,
-    bytes: u64,
-    arrival: Cycle,
-    fragments_outstanding: u64,
-    last_completion: Cycle,
-}
-
 /// A multi-channel memory system: address mapping + one controller per
-/// channel.
+/// channel, on top of the generic engine system.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     config: MemorySystemConfig,
-    controllers: Vec<ChannelController>,
-    /// Fragments waiting for a free slot in their channel's queue.
-    backlog: Vec<QueueEntry>,
-    host_requests: HashMap<RequestId, HostTracker>,
-    next_auto_id: u64,
-    /// Reused per-tick completion buffer (avoids an allocation per channel
-    /// per cycle).
-    scratch: Vec<CompletedRequest>,
+    inner: MultiChannelSystem<ChannelController>,
 }
 
 impl MemorySystem {
@@ -114,11 +89,7 @@ impl MemorySystem {
             .map(|_| ChannelController::new(per_channel.clone()))
             .collect();
         MemorySystem {
-            controllers,
-            backlog: Vec::new(),
-            host_requests: HashMap::new(),
-            next_auto_id: 1 << 48,
-            scratch: Vec::new(),
+            inner: MultiChannelSystem::new(controllers),
             config,
         }
     }
@@ -130,13 +101,13 @@ impl MemorySystem {
 
     /// Number of channels.
     pub fn channels(&self) -> usize {
-        self.controllers.len()
+        self.inner.channels()
     }
 
     /// Aggregate statistics across all channels.
     pub fn stats(&self) -> ControllerStats {
         let mut out = ControllerStats::new();
-        for c in &self.controllers {
+        for c in self.inner.controllers() {
             out.merge(c.stats());
         }
         out
@@ -145,44 +116,29 @@ impl MemorySystem {
     /// Per-channel bytes transferred so far (reads + writes), used for the
     /// channel-load-balance analysis.
     pub fn bytes_per_channel(&self) -> Vec<u64> {
-        self.controllers
-            .iter()
-            .map(|c| c.stats().bytes_total())
-            .collect()
+        self.inner.bytes_per_channel()
     }
 
     /// Whether every queue, backlog entry, and in-flight transfer has
     /// drained.
     pub fn is_idle(&self) -> bool {
-        self.backlog.is_empty() && self.controllers.iter().all(|c| c.is_idle())
+        self.inner.is_idle()
     }
 
     /// Submit a host request, fragmenting it into controller transactions.
     /// Returns the id under which completions will be reported.
-    pub fn submit(&mut self, mut request: MemoryRequest) -> RequestId {
-        if request.id.0 == 0 {
-            request.id = RequestId(self.next_auto_id);
-            self.next_auto_id += 1;
-        }
-        let fragments = request.fragments(self.config.access_granularity);
-        self.host_requests.insert(
-            request.id,
-            HostTracker {
-                kind: request.kind,
-                bytes: request.bytes,
-                arrival: request.arrival,
-                fragments_outstanding: fragments.len() as u64,
-                last_completion: 0,
-            },
-        );
-        for frag in fragments {
-            let dram = self.config.mapping.map(frag.address);
-            self.backlog.push(QueueEntry {
-                request: frag,
-                dram,
-            });
-        }
-        request.id
+    pub fn submit(&mut self, request: MemoryRequest) -> RequestId {
+        let MemorySystem { config, inner } = self;
+        inner.submit_with(request, config.access_granularity, |frag| {
+            let dram = config.mapping.map(frag.address);
+            (
+                dram.channel,
+                QueueEntry {
+                    request: frag,
+                    dram,
+                },
+            )
+        })
     }
 
     /// Advance the whole system by one nanosecond.
@@ -190,216 +146,30 @@ impl MemorySystem {
     /// Allocates a fresh completion vector per call; hot loops should prefer
     /// [`MemorySystem::tick_into`] with a reused buffer.
     pub fn tick(&mut self, now: Cycle) -> Vec<HostCompletion> {
-        let mut completions = Vec::new();
-        self.tick_into(now, &mut completions);
-        completions
+        self.inner.tick(now)
     }
 
     /// Advance the whole system by one nanosecond, appending completed host
     /// requests to `completions`. Returns `true` if any channel issued a
     /// DRAM command.
     pub fn tick_into(&mut self, now: Cycle, completions: &mut Vec<HostCompletion>) -> bool {
-        // Drain the backlog into per-channel queues while slots are free.
-        let mut i = 0;
-        while i < self.backlog.len() {
-            let channel = self.backlog[i].dram.channel as usize % self.controllers.len();
-            let entry = self.backlog[i];
-            let ctrl = &mut self.controllers[channel];
-            let free = match entry.request.kind {
-                RequestKind::Read => ctrl.read_slots_free(),
-                RequestKind::Write => ctrl.write_slots_free(),
-            };
-            if free > 0 {
-                let ok = ctrl.enqueue_mapped(entry);
-                debug_assert!(ok);
-                self.backlog.swap_remove(i);
-            } else {
-                i += 1;
-            }
-        }
-
-        let before = completions.len();
-        let mut issued = false;
-        let MemorySystem {
-            controllers,
-            scratch,
-            host_requests,
-            ..
-        } = self;
-        for ctrl in controllers.iter_mut() {
-            issued |= ctrl.tick_into(now, scratch);
-            for done in scratch.drain(..) {
-                if let Some(tracker) = host_requests.get_mut(&done.id) {
-                    tracker.fragments_outstanding -= 1;
-                    tracker.last_completion = tracker.last_completion.max(done.completed);
-                    if tracker.fragments_outstanding == 0 {
-                        completions.push(HostCompletion {
-                            id: done.id,
-                            kind: tracker.kind,
-                            bytes: tracker.bytes,
-                            arrival: tracker.arrival,
-                            completed: tracker.last_completion,
-                        });
-                    }
-                }
-            }
-        }
-        for c in &completions[before..] {
-            self.host_requests.remove(&c.id);
-        }
-        issued
+        self.inner.tick_into(now, completions)
     }
 
     /// The next cycle strictly after `now` at which any channel's state can
-    /// change (see [`ChannelController::next_event_at`]), or at which a
-    /// backlogged fragment could enter a queue. `None` when the whole system
-    /// is quiescent.
+    /// change, or at which a backlogged fragment could enter a queue. `None`
+    /// when the whole system is quiescent.
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
-        let mut next: Option<Cycle> = None;
-        let mut consider = |t: Cycle| {
-            let t = t.max(now + 1);
-            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
-        };
-        for entry in &self.backlog {
-            let ctrl = &self.controllers[entry.dram.channel as usize % self.controllers.len()];
-            let free = match entry.request.kind {
-                RequestKind::Read => ctrl.read_slots_free(),
-                RequestKind::Write => ctrl.write_slots_free(),
-            };
-            if free > 0 {
-                consider(now + 1);
-                break;
-            }
-        }
-        for ctrl in &self.controllers {
-            if let Some(t) = ctrl.next_event_at(now) {
-                consider(t);
-            }
-        }
-        next
+        self.inner.next_event_at(now)
     }
 
     /// Run until all submitted requests complete or `max_ns` elapses; returns
     /// the completions (sorted by completion time, then id) and the cycle the
-    /// run stopped at.
-    ///
-    /// Channels share no state once fragments are steered, so each channel
-    /// runs its own event-driven loop to completion — in parallel across
-    /// channels — and the fragment completions are merged into host
-    /// completions afterwards. Within a channel, fragments enter the queues
-    /// in per-kind FIFO order, whereas the per-cycle [`MemorySystem::tick`]
-    /// path drains a shared backlog whose order `swap_remove` scrambles;
-    /// the two paths therefore execute slightly different (both valid)
-    /// schedules. Totals — completion counts, bytes, per-channel byte
-    /// distribution — are identical; per-request completion *times* may
-    /// differ. The equivalence suite pins the invariants.
+    /// run stopped at. Channels run their event-driven loops in parallel; see
+    /// [`rome_engine::MultiChannelSystem::run_until_idle`].
     pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
-        let channels = self.controllers.len();
-        let mut backlogs: Vec<ChannelBacklog> = vec![ChannelBacklog::default(); channels];
-        for entry in self.backlog.drain(..) {
-            let backlog = &mut backlogs[entry.dram.channel as usize % channels];
-            match entry.request.kind {
-                RequestKind::Read => backlog.reads.push_back(entry),
-                RequestKind::Write => backlog.writes.push_back(entry),
-            }
-        }
-
-        let tasks: Vec<(&mut ChannelController, ChannelBacklog)> =
-            self.controllers.iter_mut().zip(backlogs).collect();
-        let per_channel: Vec<(Vec<CompletedRequest>, Cycle)> = tasks
-            .into_par_iter()
-            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns))
-            .collect();
-
-        let mut stop = 0;
-        let mut fragments = Vec::new();
-        for (done, t) in per_channel {
-            stop = stop.max(t);
-            fragments.extend(done);
-        }
-        fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
-
-        let mut completions = Vec::new();
-        for done in fragments {
-            if let Some(tracker) = self.host_requests.get_mut(&done.id) {
-                tracker.fragments_outstanding -= 1;
-                tracker.last_completion = tracker.last_completion.max(done.completed);
-                if tracker.fragments_outstanding == 0 {
-                    completions.push(HostCompletion {
-                        id: done.id,
-                        kind: tracker.kind,
-                        bytes: tracker.bytes,
-                        arrival: tracker.arrival,
-                        completed: tracker.last_completion,
-                    });
-                }
-            }
-        }
-        for c in &completions {
-            self.host_requests.remove(&c.id);
-        }
-        (completions, stop)
+        self.inner.run_until_idle(max_ns)
     }
-}
-
-/// One channel's share of the pending fragments, split by kind so the drain
-/// is kind-aware like the per-cycle `tick` path: a write whose queue has
-/// space enqueues even while an older read waits for a read slot (and vice
-/// versa); order within each kind is preserved.
-#[derive(Debug, Clone, Default)]
-struct ChannelBacklog {
-    reads: VecDeque<QueueEntry>,
-    writes: VecDeque<QueueEntry>,
-}
-
-impl ChannelBacklog {
-    fn is_empty(&self) -> bool {
-        self.reads.is_empty() && self.writes.is_empty()
-    }
-
-    /// Move every acceptable fragment into the controller's queues.
-    fn drain_into(&mut self, ctrl: &mut ChannelController) {
-        while !self.reads.is_empty() && ctrl.read_slots_free() > 0 {
-            let ok = ctrl.enqueue_mapped(self.reads.pop_front().expect("checked non-empty"));
-            debug_assert!(ok);
-        }
-        while !self.writes.is_empty() && ctrl.write_slots_free() > 0 {
-            let ok = ctrl.enqueue_mapped(self.writes.pop_front().expect("checked non-empty"));
-            debug_assert!(ok);
-        }
-    }
-
-    /// Whether any held fragment could enqueue right now.
-    fn can_enqueue(&self, ctrl: &ChannelController) -> bool {
-        (!self.reads.is_empty() && ctrl.read_slots_free() > 0)
-            || (!self.writes.is_empty() && ctrl.write_slots_free() > 0)
-    }
-}
-
-/// Event-driven loop for one channel: feed it its share of the backlog,
-/// advance to the next event after every no-op tick, and return the fragment
-/// completions plus the cycle the channel went idle (or `max_ns`).
-fn run_channel_until_idle(
-    ctrl: &mut ChannelController,
-    mut backlog: ChannelBacklog,
-    max_ns: Cycle,
-) -> (Vec<CompletedRequest>, Cycle) {
-    let mut done = Vec::new();
-    let mut now = 0;
-    let mut stop = 0;
-    while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
-        backlog.drain_into(ctrl);
-        let issued = ctrl.tick_into(now, &mut done);
-        stop = now + 1;
-        let arrival_next = backlog.can_enqueue(ctrl);
-        now = if issued || arrival_next {
-            now + 1
-        } else {
-            ctrl.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
-        };
-    }
-    let finished = backlog.is_empty() && ctrl.is_idle();
-    (done, if finished { stop } else { max_ns })
 }
 
 #[cfg(test)]
@@ -451,6 +221,23 @@ mod tests {
         let cfg8 = MemorySystemConfig::hbm4(8);
         assert_eq!(cfg2.peak_bandwidth_gbps() * 4.0, cfg8.peak_bandwidth_gbps());
         assert_eq!(cfg8.peak_bandwidth_gbps(), 512.0);
+    }
+
+    #[test]
+    fn truncated_run_keeps_unserved_fragments_pending() {
+        // A time limit that expires mid-transfer must not lose work: the
+        // undrained backlog returns to the system, is_idle() stays false,
+        // and a follow-up run completes the host request.
+        let mut sys = small_system(2);
+        sys.submit(MemoryRequest::read(1, 0, 256 * 1024, 0));
+        let (done, _) = sys.run_until_idle(200);
+        assert!(done.is_empty());
+        assert!(!sys.is_idle(), "truncated run must leave work pending");
+        let (done, _) = sys.run_until_idle(5_000_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].bytes, 256 * 1024);
+        assert!(sys.is_idle());
+        assert_eq!(sys.stats().bytes_read, 256 * 1024);
     }
 
     #[test]

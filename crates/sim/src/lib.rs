@@ -15,7 +15,9 @@
 //! * [`lbr`] — the channel load-balance rate of Figure 13;
 //! * [`tpot`] — time-per-output-token (Figure 12) and prefill timing;
 //! * [`energy_rollup`] — the DRAM energy comparison of Figure 14;
-//! * [`sweep`] — batch-size sweeps producing whole figures at once;
+//! * [`sweep`] — batch-size sweeps producing whole figures at once, plus the
+//!   batched [`ScenarioSet`] runner that executes many sweep scenarios
+//!   behind one warm (calibrate-once) process;
 //! * [`overfetch`] — the fine-grained-access ablation of §VII.
 //!
 //! # Example
@@ -53,7 +55,10 @@ pub mod prelude {
     pub use crate::lbr::{channel_load_balance, LbrReport};
     pub use crate::memory_model::{MemoryModel, MemorySystemKind};
     pub use crate::overfetch::{overfetch_sweep, OverfetchRow};
-    pub use crate::sweep::{figure12_sweep, figure13_sweep, Figure12Row, Figure13Row};
+    pub use crate::sweep::{
+        figure12_sweep, figure13_sweep, Figure12Row, Figure13Row, Scenario, ScenarioReport,
+        ScenarioSet, SweepKind,
+    };
     pub use crate::tpot::{decode_tpot, prefill_time, TpotReport};
 }
 
@@ -62,4 +67,5 @@ pub use calibration::{CalibrationResult, Calibrator};
 pub use energy_rollup::{decode_energy, EnergyComparison};
 pub use lbr::{channel_load_balance, LbrReport};
 pub use memory_model::{MemoryModel, MemorySystemKind};
+pub use sweep::{Scenario, ScenarioReport, ScenarioSet, SweepKind};
 pub use tpot::{decode_tpot, prefill_time, TpotReport};

@@ -1,8 +1,15 @@
-//! Batch-size sweeps producing the paper's Figure 12 and Figure 13 series.
+//! Batch-size sweeps producing the paper's Figure 12 and Figure 13 series,
+//! and the batched [`ScenarioSet`] runner.
 //!
 //! Every (model, batch) point of a sweep is independent of every other, so
 //! the sweeps fan the points out across all cores with rayon and collect the
 //! rows back in deterministic sweep order.
+//!
+//! [`ScenarioSet`] batches *multiple* sweep scenarios behind one warm
+//! process: the expensive shared state — the cycle-accurate calibration of
+//! both memory systems — is computed once and reused by every scenario,
+//! instead of one process (and one calibration) per experiment. This is the
+//! serving-style API the ROADMAP's scale-out items build on.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -12,6 +19,7 @@ use rome_llm::ops::decode_step;
 use rome_llm::parallelism::Parallelism;
 
 use crate::accelerator::{AcceleratorSpec, ServerSpec};
+use crate::calibration::Calibrator;
 use crate::lbr::channel_load_balance;
 use crate::memory_model::MemoryModel;
 use crate::tpot::decode_tpot;
@@ -123,6 +131,138 @@ pub fn figure13_sweep(rome: &MemoryModel, seq_len: u64) -> Vec<Figure13Row> {
         .collect()
 }
 
+/// Which figure series a [`Scenario`] produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepKind {
+    /// The Figure 12 TPOT comparison (both memory systems).
+    Figure12,
+    /// The Figure 13 channel load-balance rates (RoMe).
+    Figure13,
+}
+
+/// One batched sweep scenario: a named figure series at one context length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (carried into the report).
+    pub name: String,
+    /// Which series to produce.
+    pub kind: SweepKind,
+    /// Sequence length (context) of the sweep.
+    pub seq_len: u64,
+}
+
+/// The result of one [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Which series was produced.
+    pub kind: SweepKind,
+    /// Sequence length of the sweep.
+    pub seq_len: u64,
+    /// Figure 12 rows (for [`SweepKind::Figure12`] scenarios).
+    pub figure12: Option<Vec<Figure12Row>>,
+    /// Figure 13 rows (for [`SweepKind::Figure13`] scenarios).
+    pub figure13: Option<Vec<Figure13Row>>,
+}
+
+/// A batch of sweep scenarios sharing one warm process.
+///
+/// The cycle-accurate calibration of both memory systems dominates the cost
+/// of a sweep run; a `ScenarioSet` pays it once (in
+/// [`ScenarioSet::run_calibrated`]) and reuses the calibrated
+/// [`MemoryModel`]s for every scenario. Each scenario's (model, batch)
+/// points fan out across all cores with rayon, so scenarios execute one
+/// after the other without leaving cores idle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSet {
+    /// The accelerator the sweeps model.
+    pub accel: AcceleratorSpec,
+    /// The scenarios to run, in order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioSet {
+    /// An empty set for `accel`.
+    pub fn new(accel: AcceleratorSpec) -> Self {
+        ScenarioSet {
+            accel,
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// The paper's evaluation batch: Figure 12 and Figure 13 at the 8K
+    /// context used throughout §VI.
+    pub fn paper_default() -> Self {
+        ScenarioSet::new(AcceleratorSpec::paper_default())
+            .with(Scenario {
+                name: "fig12-decode-8k".into(),
+                kind: SweepKind::Figure12,
+                seq_len: 8192,
+            })
+            .with(Scenario {
+                name: "fig13-lbr-8k".into(),
+                kind: SweepKind::Figure13,
+                seq_len: 8192,
+            })
+    }
+
+    /// Append a scenario (builder style).
+    pub fn with(mut self, scenario: Scenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Number of scenarios queued.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Run every scenario against the given memory models, in order.
+    pub fn run_with_models(&self, hbm4: &MemoryModel, rome: &MemoryModel) -> Vec<ScenarioReport> {
+        self.scenarios
+            .iter()
+            .map(|s| {
+                let (figure12, figure13) = match s.kind {
+                    SweepKind::Figure12 => (
+                        Some(figure12_sweep(&self.accel, hbm4, rome, s.seq_len)),
+                        None,
+                    ),
+                    SweepKind::Figure13 => (None, Some(figure13_sweep(rome, s.seq_len))),
+                };
+                ScenarioReport {
+                    name: s.name.clone(),
+                    kind: s.kind,
+                    seq_len: s.seq_len,
+                    figure12,
+                    figure13,
+                }
+            })
+            .collect()
+    }
+
+    /// Run every scenario with nominal (published-order) calibration values
+    /// — no cycle simulation.
+    pub fn run_nominal(&self) -> Vec<ScenarioReport> {
+        let hbm4 = MemoryModel::hbm4_baseline(&self.accel);
+        let rome = MemoryModel::rome(&self.accel);
+        self.run_with_models(&hbm4, &rome)
+    }
+
+    /// Calibrate both memory systems once by sampled cycle-accurate
+    /// simulation (the expensive part), then run every scenario against the
+    /// warm calibrated models.
+    pub fn run_calibrated(&self, calibrator: &mut Calibrator) -> Vec<ScenarioReport> {
+        let (hbm4, rome) = MemoryModel::calibrated_pair(&self.accel, calibrator);
+        self.run_with_models(&hbm4, &rome)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +332,51 @@ mod tests {
     #[test]
     fn mean_reduction_of_unknown_model_is_zero() {
         assert_eq!(mean_reduction(&[], "nope"), 0.0);
+    }
+
+    #[test]
+    fn scenario_set_batches_multiple_sweeps_in_one_run() {
+        let set = ScenarioSet::paper_default().with(Scenario {
+            name: "fig13-lbr-4k".into(),
+            kind: SweepKind::Figure13,
+            seq_len: 4096,
+        });
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        let reports = set.run_nominal();
+        assert_eq!(reports.len(), 3);
+
+        let fig12 = reports[0].figure12.as_ref().expect("figure12 scenario");
+        assert!(reports[0].figure13.is_none());
+        assert!(fig12.len() >= 18);
+        assert!(fig12.iter().all(|r| r.normalized_rome < 1.0));
+
+        let fig13 = reports[1].figure13.as_ref().expect("figure13 scenario");
+        assert!(reports[1].figure12.is_none());
+        assert!(fig13
+            .iter()
+            .all(|r| r.lbr_attention <= 1.0 + 1e-9 && r.lbr_ffn <= 1.0 + 1e-9));
+
+        // The extra 4K scenario produces its own series at its own context.
+        assert_eq!(reports[2].seq_len, 4096);
+        assert!(reports[2].figure13.is_some());
+    }
+
+    #[test]
+    fn scenario_set_reports_match_direct_sweeps() {
+        // Batching must not change any row: a ScenarioSet run is exactly the
+        // direct sweep calls sharing one pair of memory models.
+        let set = ScenarioSet::paper_default();
+        let hbm4 = MemoryModel::hbm4_baseline(&set.accel);
+        let rome = MemoryModel::rome(&set.accel);
+        let reports = set.run_with_models(&hbm4, &rome);
+        assert_eq!(
+            reports[0].figure12.as_ref().unwrap(),
+            &figure12_sweep(&set.accel, &hbm4, &rome, 8192)
+        );
+        assert_eq!(
+            reports[1].figure13.as_ref().unwrap(),
+            &figure13_sweep(&rome, 8192)
+        );
     }
 }

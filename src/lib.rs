@@ -6,6 +6,9 @@
 //!
 //! * [`hbm`] — cycle-accurate HBM DRAM device model (organization, timing,
 //!   bank FSMs, refresh, generation spec database).
+//! * [`engine`] — the generic event-driven simulation engine: the
+//!   `MemoryController` trait, the generic multi-channel system, and the
+//!   unified single-channel run loops both memory stacks share.
 //! * [`mc`] — conventional HBM4 memory controller (FR-FCFS, address mapping,
 //!   page policies, refresh scheduling).
 //! * [`core`] — the RoMe interface itself: `RD_row`/`WR_row`, virtual banks,
@@ -22,6 +25,7 @@
 
 pub use rome_core as core;
 pub use rome_energy as energy;
+pub use rome_engine as engine;
 pub use rome_hbm as hbm;
 pub use rome_llm as llm;
 pub use rome_mc as mc;

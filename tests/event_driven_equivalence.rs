@@ -1,14 +1,24 @@
 //! Equivalence of the event-driven and cycle-stepped simulation drivers.
 //!
-//! The event-driven drivers (`run_with_limit`) must execute the exact command
+//! The event-driven driver (`run_with_limit`) must execute the exact command
 //! schedule of the original cycle-by-cycle loop (`run_with_limit_stepped`) —
 //! this suite pins *bit-identical* `SimulationReport`s across workload
 //! shapes, queue depths, and time limits, on both the conventional HBM4
-//! controller and the RoMe controller.
+//! controller and the RoMe controller. Since the engine extraction both
+//! stacks run through the *same* generic loop
+//! (`rome::engine::simulate::run_with_limit`), instantiated per controller
+//! via the `MemoryController` trait.
+//!
+//! The conventional comparisons additionally pin the FR-FCFS *ready cache*:
+//! the stepped baseline runs with the cache disabled (the pre-cache
+//! scheduler) while the event-driven run keeps it enabled, so any cached
+//! bound that changed a single scheduling decision would surface as a
+//! report mismatch here.
 
 use rome::core::controller::{RomeController, RomeControllerConfig};
 use rome::core::simulate as rome_simulate;
 use rome::core::system::{RomeMemorySystem, RomeSystemConfig};
+use rome::engine::simulate as engine_simulate;
 use rome::mc::controller::{ChannelController, ControllerConfig};
 use rome::mc::request::MemoryRequest;
 use rome::mc::simulate as mc_simulate;
@@ -44,11 +54,26 @@ fn assert_mc_equivalent(
     max_ns: u64,
     label: &str,
 ) {
-    let mut event = ChannelController::new(cfg.clone());
-    let mut stepped = ChannelController::new(cfg);
+    // Event-driven with the ready cache (the default configuration)…
+    let mut cached_cfg = cfg.clone();
+    cached_cfg.ready_cache = true;
+    let mut event = ChannelController::new(cached_cfg);
+    // …against the cycle-stepped loop with the cache disabled: the
+    // pre-ready-cache scheduler, re-evaluating every candidate every tick.
+    let mut plain_cfg = cfg;
+    plain_cfg.ready_cache = false;
+    let mut stepped = ChannelController::new(plain_cfg.clone());
+    let mut event_plain = ChannelController::new(plain_cfg);
+
     let fast = mc_simulate::run_with_limit(&mut event, requests.clone(), max_ns);
-    let slow = mc_simulate::run_with_limit_stepped(&mut stepped, requests, max_ns);
+    let slow = mc_simulate::run_with_limit_stepped(&mut stepped, requests.clone(), max_ns);
     assert_eq!(fast, slow, "hbm4 reports diverged on {label}");
+    // The cache must also be inert under the event-driven driver alone.
+    let fast_plain = mc_simulate::run_with_limit(&mut event_plain, requests, max_ns);
+    assert_eq!(
+        fast, fast_plain,
+        "ready cache changed the hbm4 schedule on {label}"
+    );
 }
 
 fn assert_rome_equivalent(
@@ -137,6 +162,42 @@ fn rome_reports_are_bit_identical_under_time_limits() {
                 &format!("{label}@max{max_ns}"),
             );
         }
+    }
+}
+
+#[test]
+fn generic_engine_driver_runs_both_stacks() {
+    // Both stacks run through the one generic loop: calling
+    // rome::engine::simulate directly on either controller type must give
+    // the exact report the per-crate re-exports give.
+    for (label, reqs) in workloads(16 * 1024, 32) {
+        let mut a = ChannelController::new(ControllerConfig::hbm4_baseline());
+        let mut b = ChannelController::new(ControllerConfig::hbm4_baseline());
+        let via_engine = engine_simulate::run_with_limit(&mut a, reqs.clone(), 50_000_000);
+        let via_mc = mc_simulate::run_with_limit(&mut b, reqs, 50_000_000);
+        assert_eq!(via_engine, via_mc, "hbm4 engine path diverged on {label}");
+    }
+    for (label, reqs) in workloads(128 * 1024, 4096) {
+        let mut a = RomeController::new(RomeControllerConfig::paper_default());
+        let mut b = RomeController::new(RomeControllerConfig::paper_default());
+        let via_engine = engine_simulate::run_with_limit(&mut a, reqs.clone(), 50_000_000);
+        let via_core = rome_simulate::run_with_limit(&mut b, reqs, 50_000_000);
+        assert_eq!(via_engine, via_core, "rome engine path diverged on {label}");
+    }
+}
+
+#[test]
+fn ready_cache_is_inert_on_the_dense_64_entry_queue() {
+    // The ready cache's target workload: a 64-entry queue kept saturated, so
+    // the scan sees tens of timing-blocked candidates every tick. Stepped
+    // (cache off) and event-driven (cache on) must still agree bit for bit.
+    for (label, reqs) in workloads(64 * 1024, 32) {
+        assert_mc_equivalent(
+            ControllerConfig::hbm4_with_queue_depth(64),
+            reqs,
+            50_000_000,
+            &format!("{label}@dense64"),
+        );
     }
 }
 
