@@ -13,10 +13,12 @@
 //! against the cycle-accurate channel model in `generator.rs` tests, so the
 //! interface-level timing used here is known to be achievable.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use rome_engine::EventHorizon;
 use rome_hbm::organization::Organization;
 use rome_hbm::timing::TimingParams;
 use rome_hbm::units::Cycle;
@@ -97,10 +99,28 @@ pub struct RomeQueueEntry {
     pub row: u32,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Ordered by `(complete_at, seq)` so the in-flight set can live in a
+/// min-heap (wrapped in [`Reverse`]): completions pop in completion order
+/// and the next completion time is a peek.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct InFlight {
     entry: RomeQueueEntry,
     complete_at: Cycle,
+    /// Monotone issue sequence number (tie-breaker for equal completion
+    /// times).
+    seq: u64,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.complete_at, self.seq).cmp(&(other.complete_at, other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -116,10 +136,21 @@ pub struct RomeController {
     config: RomeControllerConfig,
     generator: CommandGenerator,
     queue: VecDeque<RomeQueueEntry>,
-    in_flight: Vec<InFlight>,
+    /// In-flight row transfers, ordered by completion time (min-heap):
+    /// completions are popped, never scanned, and the next completion time
+    /// is an O(1) peek for [`RomeController::next_event_at`].
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    /// Issue sequence counter feeding [`InFlight::seq`].
+    inflight_seq: u64,
     /// Busy-until per (stack ID, VBA).
     vba_busy_until: Vec<Cycle>,
     refresh: Vec<VbaRefreshScheduler>,
+    /// Cached minimum of the pooled refresh schedulers' `next_due` cycles,
+    /// updated only on acknowledge. See
+    /// `rome_mc::ChannelController::refresh_due_min` for the invalidation
+    /// argument; the fallback scan runs only while a due refresh waits for
+    /// its VBA.
+    refresh_due_min: Cycle,
     last_issue: Option<LastIssue>,
     stats: RomeStats,
     /// Offset from row-command issue to the completion of its data transfer.
@@ -151,9 +182,14 @@ impl RomeController {
         let generator = CommandGenerator::new(config.organization, config.timing, config.vba);
         let vbas_per_rank = config.vba.vbas_per_rank(&config.organization);
         let ranks = config.organization.stack_ids as usize;
-        let refresh = (0..ranks)
+        let refresh: Vec<VbaRefreshScheduler> = (0..ranks)
             .map(|_| VbaRefreshScheduler::new(&config.timing, vbas_per_rank))
             .collect();
+        let refresh_due_min = refresh
+            .iter()
+            .map(VbaRefreshScheduler::next_due)
+            .min()
+            .unwrap_or(Cycle::MAX);
         // Data of a RD_row completes roughly tRCD + stagger + data beats +
         // CAS latency after the command is accepted.
         let beats = RomeTimingParams::columns_per_row_command(&config.organization, &config.vba);
@@ -171,8 +207,10 @@ impl RomeController {
         RomeController {
             vba_busy_until: vec![0; ranks * vbas_per_rank as usize],
             queue: VecDeque::with_capacity(config.queue_capacity),
-            in_flight: Vec::new(),
+            in_flight: BinaryHeap::new(),
+            inflight_seq: 0,
             refresh,
+            refresh_due_min,
             last_issue: None,
             stats: RomeStats::new(),
             generator,
@@ -319,29 +357,43 @@ impl RomeController {
     /// [`rome_mc::ChannelController::next_event_at`], the result is a lower
     /// bound on the next state change, so an event-driven driver that ticks
     /// at every reported cycle reproduces the cycle-stepped schedule exactly.
+    ///
+    /// O(1) on the hot path: accumulated hint, in-flight heap peek, and the
+    /// cached refresh due minimum (O(ranks) fallback only while a due
+    /// refresh is waiting for its VBA).
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
-        let horizon = now + 1;
-        let mut next: Option<Cycle> = None;
-        let mut consider = |t: Cycle| {
-            let t = t.max(horizon);
-            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
-        };
+        let mut horizon = EventHorizon::new(now);
 
         if self.event_hint != Cycle::MAX {
-            consider(self.event_hint);
+            horizon.consider(self.event_hint);
         }
 
-        for inflight in &self.in_flight {
-            consider(inflight.complete_at);
+        if let Some(Reverse(inflight)) = self.in_flight.peek() {
+            horizon.consider(inflight.complete_at);
         }
 
-        for sched in &self.refresh {
-            if !sched.due(now) {
-                consider(sched.next_due());
+        if self.refresh_due_min > now {
+            horizon.consider(self.refresh_due_min);
+        } else {
+            for sched in &self.refresh {
+                if !sched.due(now) {
+                    horizon.consider(sched.next_due());
+                }
             }
         }
 
-        next
+        horizon.earliest()
+    }
+
+    /// Refresh the cached minimum refresh due time after an acknowledge
+    /// moved one scheduler's `next_due` forward.
+    fn note_refresh_acknowledged(&mut self) {
+        self.refresh_due_min = self
+            .refresh
+            .iter()
+            .map(VbaRefreshScheduler::next_due)
+            .min()
+            .unwrap_or(Cycle::MAX);
     }
 
     /// Record a future cycle at which a command the scheduler wanted this
@@ -353,35 +405,36 @@ impl RomeController {
     }
 
     fn collect_completions_into(&mut self, now: Cycle, done: &mut Vec<CompletedRequest>) {
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].complete_at <= now {
-                let f = self.in_flight.swap_remove(i);
-                let req = f.entry.request;
-                let completion = CompletedRequest {
-                    id: req.id,
-                    kind: req.kind,
-                    bytes: req.bytes,
-                    arrival: req.arrival,
-                    completed: f.complete_at,
-                };
-                match req.kind {
-                    RequestKind::Read => {
-                        self.stats.reads_completed += 1;
-                        self.stats.bytes_read += req.bytes;
-                        self.stats.total_read_latency += completion.latency();
-                        self.stats.max_read_latency =
-                            self.stats.max_read_latency.max(completion.latency());
-                    }
-                    RequestKind::Write => {
-                        self.stats.writes_completed += 1;
-                        self.stats.bytes_written += req.bytes;
-                    }
+        // The heap is ordered by completion time, so only due transfers are
+        // ever touched — no scan over the rest of the in-flight set.
+        while self
+            .in_flight
+            .peek()
+            .is_some_and(|Reverse(f)| f.complete_at <= now)
+        {
+            let Reverse(f) = self.in_flight.pop().expect("peeked entry present");
+            let req = f.entry.request;
+            let completion = CompletedRequest {
+                id: req.id,
+                kind: req.kind,
+                bytes: req.bytes,
+                arrival: req.arrival,
+                completed: f.complete_at,
+            };
+            match req.kind {
+                RequestKind::Read => {
+                    self.stats.reads_completed += 1;
+                    self.stats.bytes_read += req.bytes;
+                    self.stats.total_read_latency += completion.latency();
+                    self.stats.max_read_latency =
+                        self.stats.max_read_latency.max(completion.latency());
                 }
-                done.push(completion);
-            } else {
-                i += 1;
+                RequestKind::Write => {
+                    self.stats.writes_completed += 1;
+                    self.stats.bytes_written += req.bytes;
+                }
             }
+            done.push(completion);
         }
     }
 
@@ -403,6 +456,7 @@ impl RomeController {
             // Table III spacings only constrain data commands, so it is
             // issued as soon as the VBA is free.
             let vba = self.refresh[sid as usize].acknowledge();
+            self.note_refresh_acknowledged();
             debug_assert_eq!(vba, probe as u32);
             let occupancy = self.generator.occupancy_ns(RowCommandKind::RefVba);
             self.vba_busy_until[idx] = now + occupancy;
@@ -468,7 +522,13 @@ impl RomeController {
             } else {
                 self.data_complete_offset
             };
-        self.in_flight.push(InFlight { entry, complete_at });
+        let seq = self.inflight_seq;
+        self.inflight_seq += 1;
+        self.in_flight.push(Reverse(InFlight {
+            entry,
+            complete_at,
+            seq,
+        }));
 
         match kind {
             RowCommandKind::RdRow => self.stats.rd_rows_issued += 1,

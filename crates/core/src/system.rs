@@ -155,9 +155,17 @@ impl RomeMemorySystem {
 
     /// The next cycle strictly after `now` at which any channel's state can
     /// change, or at which a backlogged fragment could enter a queue. `None`
-    /// when the whole system is quiescent.
-    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+    /// when the whole system is quiescent. Takes `&mut self` because the
+    /// underlying event calendar prunes stale heap entries lazily.
+    pub fn next_event_at(&mut self, now: Cycle) -> Option<Cycle> {
         self.inner.next_event_at(now)
+    }
+
+    /// Enable or disable the incremental event calendar (enabled by
+    /// default); results are bit-identical either way, only cost differs.
+    /// See [`rome_engine::MultiChannelSystem::set_calendar`].
+    pub fn set_calendar(&mut self, enabled: bool) {
+        self.inner.set_calendar(enabled);
     }
 
     /// Run until idle or `max_ns`, returning the completions (sorted by

@@ -1,0 +1,99 @@
+//! Event-horizon accumulation shared by every `next_event_at`
+//! implementation.
+//!
+//! All of the event-driven `next_event_at` queries — on the per-channel
+//! controllers and on the generic multi-channel system — reduce to the same
+//! fold: collect candidate future cycles from several sources, clamp each to
+//! be *strictly after* `now`, and keep the minimum. [`EventHorizon`] is that
+//! fold, extracted so the clamp semantics live in exactly one place (they
+//! used to be re-implemented as a local closure at every call site, and a
+//! divergence in any copy would silently break the event-driven exactness
+//! contract).
+
+use rome_hbm::units::Cycle;
+
+/// Accumulates the earliest future event cycle from a stream of candidates.
+///
+/// Construct it at the query's `now`, feed every candidate wakeup cycle to
+/// [`EventHorizon::consider`], and read the result with
+/// [`EventHorizon::earliest`]. Candidates at or before `now` are clamped to
+/// `now + 1`: a state change the caller knows about but that has not been
+/// consumed yet must wake the driver on the very next cycle, never in the
+/// past — this is what keeps `next_event_at` a *lower bound* and therefore
+/// keeps event-driven runs bit-identical to cycle-stepped ones.
+#[derive(Debug, Clone, Copy)]
+pub struct EventHorizon {
+    /// The earliest cycle any event may be reported at (`now + 1`).
+    horizon: Cycle,
+    /// The earliest candidate seen so far.
+    next: Option<Cycle>,
+}
+
+impl EventHorizon {
+    /// Start a query at `now`: every considered candidate is clamped to be
+    /// strictly after it.
+    pub fn new(now: Cycle) -> Self {
+        EventHorizon {
+            horizon: now + 1,
+            next: None,
+        }
+    }
+
+    /// Fold one candidate wakeup cycle into the horizon.
+    pub fn consider(&mut self, t: Cycle) {
+        let t = t.max(self.horizon);
+        self.next = Some(self.next.map_or(t, |n| n.min(t)));
+    }
+
+    /// Fold an optional candidate (convenience for sources that may be
+    /// quiescent).
+    pub fn consider_opt(&mut self, t: Option<Cycle>) {
+        if let Some(t) = t {
+            self.consider(t);
+        }
+    }
+
+    /// The earliest candidate considered (clamped to `now + 1`), or `None`
+    /// when no source reported a pending event.
+    pub fn earliest(self) -> Option<Cycle> {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_horizon_reports_none() {
+        assert_eq!(EventHorizon::new(100).earliest(), None);
+    }
+
+    #[test]
+    fn keeps_the_minimum_candidate() {
+        let mut h = EventHorizon::new(10);
+        h.consider(50);
+        h.consider(20);
+        h.consider(80);
+        assert_eq!(h.earliest(), Some(20));
+    }
+
+    #[test]
+    fn clamps_past_candidates_to_now_plus_one() {
+        let mut h = EventHorizon::new(10);
+        h.consider(3);
+        assert_eq!(h.earliest(), Some(11));
+        // A clamped candidate still competes with genuine future ones.
+        h.consider(15);
+        assert_eq!(h.earliest(), Some(11));
+    }
+
+    #[test]
+    fn optional_candidates_fold_only_when_present() {
+        let mut h = EventHorizon::new(0);
+        h.consider_opt(None);
+        assert_eq!(h.earliest(), None);
+        h.consider_opt(Some(7));
+        assert_eq!(h.earliest(), Some(7));
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod controller;
+pub mod events;
 pub mod request;
 pub mod simulate;
 pub mod system;
@@ -43,6 +44,7 @@ pub mod system;
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::controller::{MemoryController, StatsSnapshot};
+    pub use crate::events::EventHorizon;
     pub use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
     pub use crate::simulate::{
         run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
@@ -51,6 +53,7 @@ pub mod prelude {
 }
 
 pub use controller::{MemoryController, StatsSnapshot};
+pub use events::EventHorizon;
 pub use request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
 pub use simulate::SimulationReport;
 pub use system::{HostCompletion, MultiChannelSystem};

@@ -59,8 +59,9 @@ impl BankState {
 pub struct Bank {
     /// The currently open row, if any.
     open_row: Option<u32>,
-    /// When the most recent `ACT` was issued (valid while a row is open).
-    last_act_at: Cycle,
+    /// When the most recent `ACT` finishes opening its row (`tRCD` after it
+    /// was issued; valid while a row is open).
+    act_ready_at: Cycle,
     /// When the most recent column command's data transfer finishes.
     column_busy_until: Cycle,
     /// Whether the most recent column command was a write.
@@ -71,6 +72,14 @@ pub struct Bank {
     refresh_done_at: Cycle,
     /// Number of activations this bank has seen (for energy accounting).
     activations: u64,
+    /// The bank's event calendar: the pending transition timestamps, sorted
+    /// ascending, rebuilt at each mutation point (`activate`,
+    /// `column_access`, `precharge`, `refresh`). Queries walk past expired
+    /// entries and return the first future one, so
+    /// [`Bank::next_event_at`] does no timing arithmetic and no
+    /// filter-and-minimize pass — mutations are far rarer than queries in an
+    /// event-driven run.
+    transitions: [Cycle; 4],
 }
 
 impl Bank {
@@ -104,17 +113,19 @@ impl Bank {
         self.refresh_done_at
     }
 
-    /// Record an `ACT` of `row` at cycle `now`.
-    pub fn activate(&mut self, row: u32, now: Cycle) {
+    /// Record an `ACT` of `row` at cycle `now` under `timing`.
+    pub fn activate(&mut self, row: u32, now: Cycle, timing: &TimingParams) {
         self.open_row = Some(row);
-        self.last_act_at = now;
+        self.act_ready_at = now + Cycle::from(timing.t_rcd_rd.min(timing.t_rcd_wr));
         self.activations += 1;
+        self.rebuild_transitions();
     }
 
     /// Record a `PRE` issued at cycle `now` under `timing`.
     pub fn precharge(&mut self, now: Cycle, timing: &TimingParams) {
         self.open_row = None;
         self.precharge_done_at = now + Cycle::from(timing.t_rp);
+        self.rebuild_transitions();
     }
 
     /// Record a column command issued at cycle `now`; `data_end` is when its
@@ -122,6 +133,7 @@ impl Bank {
     pub fn column_access(&mut self, is_write: bool, data_end: Cycle) {
         self.column_busy_until = self.column_busy_until.max(data_end);
         self.last_column_was_write = is_write;
+        self.rebuild_transitions();
     }
 
     /// Record a refresh issued at `now` lasting `duration` nanoseconds.
@@ -129,6 +141,24 @@ impl Bank {
     pub fn refresh(&mut self, now: Cycle, duration: Cycle) {
         self.open_row = None;
         self.refresh_done_at = now + duration;
+        self.rebuild_transitions();
+    }
+
+    /// Rebuild the sorted transition calendar from the timestamp fields.
+    /// Called at every mutation point so queries never recompute it.
+    fn rebuild_transitions(&mut self) {
+        let mut t = [
+            self.refresh_done_at,
+            if self.open_row.is_some() {
+                self.act_ready_at
+            } else {
+                0
+            },
+            self.column_busy_until,
+            self.precharge_done_at,
+        ];
+        t.sort_unstable();
+        self.transitions = t;
     }
 
     /// The next cycle strictly after `now` at which the bank's observable
@@ -136,31 +166,21 @@ impl Bank {
     /// in-flight refresh, activation, data burst, or precharge. `None` when
     /// the bank is in a stable state (Idle or Active) and only a new command
     /// can change it.
-    pub fn next_event_at(&self, now: Cycle, timing: &TimingParams) -> Option<Cycle> {
-        let act_ready_at = if self.open_row.is_some() {
-            self.last_act_at + Cycle::from(timing.t_rcd_rd.min(timing.t_rcd_wr))
-        } else {
-            0
-        };
-        [
-            self.refresh_done_at,
-            act_ready_at,
-            self.column_busy_until,
-            self.precharge_done_at,
-        ]
-        .into_iter()
-        .filter(|&t| t > now)
-        .min()
+    ///
+    /// O(1): walks the cached sorted calendar maintained by the mutation
+    /// points and returns the first entry past `now`.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        self.transitions.iter().find(|&&t| t > now).copied()
     }
 
     /// The observable FSM state at cycle `now`.
-    pub fn state_at(&self, now: Cycle, timing: &TimingParams) -> BankState {
+    pub fn state_at(&self, now: Cycle) -> BankState {
         if now < self.refresh_done_at {
             return BankState::Refreshing;
         }
         match self.open_row {
             Some(_) => {
-                if now < self.last_act_at + Cycle::from(timing.t_rcd_rd.min(timing.t_rcd_wr)) {
+                if now < self.act_ready_at {
                     BankState::Activating
                 } else if now < self.column_busy_until {
                     if self.last_column_was_write {
@@ -194,7 +214,7 @@ mod tests {
     #[test]
     fn new_bank_is_idle_with_no_open_row() {
         let b = Bank::new();
-        assert_eq!(b.state_at(0, &timing()), BankState::Idle);
+        assert_eq!(b.state_at(0), BankState::Idle);
         assert_eq!(b.open_row(), None);
         assert!(!b.is_active());
         assert_eq!(b.activations(), 0);
@@ -204,10 +224,10 @@ mod tests {
     fn activation_walks_through_activating_then_active() {
         let t = timing();
         let mut b = Bank::new();
-        b.activate(42, 100);
+        b.activate(42, 100, &t);
         assert_eq!(b.open_row(), Some(42));
-        assert_eq!(b.state_at(100, &t), BankState::Activating);
-        assert_eq!(b.state_at(100 + t.t_rcd_rd as u64, &t), BankState::Active);
+        assert_eq!(b.state_at(100), BankState::Activating);
+        assert_eq!(b.state_at(100 + t.t_rcd_rd as u64), BankState::Active);
         assert_eq!(b.activations(), 1);
     }
 
@@ -215,35 +235,35 @@ mod tests {
     fn column_access_shows_reading_or_writing() {
         let t = timing();
         let mut b = Bank::new();
-        b.activate(1, 0);
+        b.activate(1, 0, &t);
         let active_at = t.t_rcd_rd as u64;
         b.column_access(false, active_at + 20);
-        assert_eq!(b.state_at(active_at + 5, &t), BankState::Reading);
+        assert_eq!(b.state_at(active_at + 5), BankState::Reading);
         b.column_access(true, active_at + 40);
-        assert_eq!(b.state_at(active_at + 25, &t), BankState::Writing);
-        assert_eq!(b.state_at(active_at + 41, &t), BankState::Active);
+        assert_eq!(b.state_at(active_at + 25), BankState::Writing);
+        assert_eq!(b.state_at(active_at + 41), BankState::Active);
     }
 
     #[test]
     fn precharge_closes_row_and_walks_through_precharging() {
         let t = timing();
         let mut b = Bank::new();
-        b.activate(7, 0);
+        b.activate(7, 0, &t);
         b.precharge(50, &t);
         assert_eq!(b.open_row(), None);
-        assert_eq!(b.state_at(50, &t), BankState::Precharging);
-        assert_eq!(b.state_at(50 + t.t_rp as u64, &t), BankState::Idle);
+        assert_eq!(b.state_at(50), BankState::Precharging);
+        assert_eq!(b.state_at(50 + t.t_rp as u64), BankState::Idle);
     }
 
     #[test]
     fn refresh_blocks_bank_and_closes_row() {
         let t = timing();
         let mut b = Bank::new();
-        b.activate(7, 0);
+        b.activate(7, 0, &t);
         b.refresh(100, 280);
         assert!(b.is_refreshing(200));
-        assert_eq!(b.state_at(200, &t), BankState::Refreshing);
-        assert_eq!(b.state_at(380, &t), BankState::Idle);
+        assert_eq!(b.state_at(200), BankState::Refreshing);
+        assert_eq!(b.state_at(380), BankState::Idle);
         assert_eq!(b.open_row(), None);
         assert_eq!(b.refresh_done_at(), 380);
     }
@@ -253,23 +273,56 @@ mod tests {
         let t = timing();
         let mut b = Bank::new();
         // Stable Idle: no self-transitions pending.
-        assert_eq!(b.next_event_at(0, &t), None);
+        assert_eq!(b.next_event_at(0), None);
         // Activating -> Active at tRCD.
-        b.activate(3, 100);
+        b.activate(3, 100, &t);
         assert_eq!(
-            b.next_event_at(100, &t),
+            b.next_event_at(100),
             Some(100 + t.t_rcd_rd.min(t.t_rcd_wr) as u64)
         );
         // Reading -> Active when the burst ends.
         b.column_access(false, 130);
-        assert_eq!(b.next_event_at(120, &t), Some(130));
+        assert_eq!(b.next_event_at(120), Some(130));
         // Precharging -> Idle at tRP.
         b.precharge(200, &t);
-        assert_eq!(b.next_event_at(200, &t), Some(200 + t.t_rp as u64));
-        assert_eq!(b.next_event_at(200 + t.t_rp as u64, &t), None);
+        assert_eq!(b.next_event_at(200), Some(200 + t.t_rp as u64));
+        assert_eq!(b.next_event_at(200 + t.t_rp as u64), None);
         // Refreshing -> Idle when the refresh completes.
         b.refresh(300, 280);
-        assert_eq!(b.next_event_at(300, &t), Some(580));
+        assert_eq!(b.next_event_at(300), Some(580));
+    }
+
+    #[test]
+    fn cached_calendar_matches_a_from_scratch_recompute() {
+        // Oracle: the calendar must always equal the filter-and-minimize
+        // pass it replaced, across a scripted mutation sequence.
+        let t = timing();
+        let mut b = Bank::new();
+        let oracle = |b: &Bank, now: Cycle| {
+            [
+                b.refresh_done_at(),
+                if b.is_active() { b.act_ready_at } else { 0 },
+                b.column_busy_until,
+                b.precharge_done_at,
+            ]
+            .into_iter()
+            .filter(|&x| x > now)
+            .min()
+        };
+        let check = |b: &Bank| {
+            for now in [0u64, 50, 100, 116, 130, 200, 216, 500, 1000] {
+                assert_eq!(b.next_event_at(now), oracle(b, now), "at {now}");
+            }
+        };
+        check(&b);
+        b.activate(1, 100, &t);
+        check(&b);
+        b.column_access(false, 140);
+        check(&b);
+        b.precharge(150, &t);
+        check(&b);
+        b.refresh(200, 280);
+        check(&b);
     }
 
     #[test]

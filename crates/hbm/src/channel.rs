@@ -80,7 +80,7 @@ impl HbmChannel {
 
     /// The state of the bank addressed by `cmd` at cycle `now`.
     pub fn bank_state(&self, cmd: &DramCommand, now: Cycle) -> BankState {
-        self.bank(cmd).state_at(now, &self.timing)
+        self.bank(cmd).state_at(now)
     }
 
     /// Iterate over all banks (flat index order).
@@ -228,7 +228,7 @@ impl HbmChannel {
 
         match cmd {
             DramCommand::Act { row, .. } => {
-                self.banks[bank_index].activate(row, now);
+                self.banks[bank_index].activate(row, now, &timing);
                 self.counters.activates += 1;
                 self.counters.row_ca_commands += 1;
             }

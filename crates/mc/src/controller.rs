@@ -7,8 +7,12 @@
 //! [`rome_hbm::HbmChannel`] model, so illegal schedules cannot silently
 //! inflate bandwidth.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use serde::{Deserialize, Serialize};
 
+use rome_engine::EventHorizon;
 use rome_hbm::address::BankAddress;
 use rome_hbm::channel::HbmChannel;
 use rome_hbm::command::{CommandKind, CommandTarget, DramCommand};
@@ -107,10 +111,30 @@ impl ControllerConfig {
 }
 
 /// Bookkeeping for a request whose data transfer is in flight.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Ordered by `(data_complete_at, seq)` so the in-flight set can live in a
+/// min-heap (wrapped in [`Reverse`]): completions pop in completion order,
+/// the next completion time is a peek, and ties break on issue order, which
+/// keeps the emission sequence deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct InFlight {
     entry: QueueEntry,
     data_complete_at: Cycle,
+    /// Monotone issue sequence number (tie-breaker for equal completion
+    /// times).
+    seq: u64,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.data_complete_at, self.seq).cmp(&(other.data_complete_at, other.seq))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 /// A conventional single-channel memory controller bound to a cycle-accurate
@@ -121,8 +145,20 @@ pub struct ChannelController {
     channel: HbmChannel,
     read_queue: RequestQueue,
     write_queue: RequestQueue,
-    in_flight: Vec<InFlight>,
+    /// In-flight data transfers, ordered by completion time (min-heap):
+    /// completions are popped, never scanned, and the next completion time
+    /// is an O(1) peek for [`ChannelController::next_event_at`].
+    in_flight: BinaryHeap<Reverse<InFlight>>,
+    /// Issue sequence counter feeding [`InFlight::seq`].
+    inflight_seq: u64,
     refresh: Vec<RefreshScheduler>,
+    /// Cached minimum of the refresh schedulers' `next_due` cycles, updated
+    /// only when a refresh is acknowledged (the sole mutation that moves a
+    /// due time). While it lies in the future it answers the refresh part of
+    /// [`ChannelController::next_event_at`] with one comparison; once it is
+    /// in the past (a refresh is due but postponed) the query falls back to
+    /// the per-rank scan, which is the pre-calendar behaviour.
+    refresh_due_min: Cycle,
     /// The controller's own per-bank state logic: open row per bank, indexed
     /// by the flat bank index.
     open_rows: Vec<Option<u32>>,
@@ -146,14 +182,21 @@ impl ChannelController {
         let channel = HbmChannel::new(org, config.timing);
         let ranks = (org.pseudo_channels as usize) * (org.stack_ids as usize);
         let banks_per_rank = (org.bank_groups * org.banks_per_group) as u32;
-        let refresh = (0..ranks)
+        let refresh: Vec<RefreshScheduler> = (0..ranks)
             .map(|_| RefreshScheduler::new(config.refresh_mode, &config.timing, banks_per_rank))
             .collect();
+        let refresh_due_min = refresh
+            .iter()
+            .map(RefreshScheduler::next_due)
+            .min()
+            .unwrap_or(Cycle::MAX);
         ChannelController {
             read_queue: RequestQueue::new(config.read_queue_capacity),
             write_queue: RequestQueue::new(config.write_queue_capacity),
-            in_flight: Vec::new(),
+            in_flight: BinaryHeap::new(),
+            inflight_seq: 0,
             refresh,
+            refresh_due_min,
             open_rows: vec![None; org.banks_per_channel() as usize],
             write_drain: false,
             refresh_reserved_bank: None,
@@ -320,27 +363,35 @@ impl ChannelController {
     /// a cycle-by-cycle driver, because nothing the scheduler consults
     /// changes between the reported cycles. Spurious events (a reported
     /// cycle where the scheduler still issues nothing) are harmless.
+    ///
+    /// The query is O(1) on the hot path: the scheduler's part is the
+    /// accumulated `event_hint`, the in-flight part is a heap peek, the
+    /// refresh part is the cached minimum refresh due time (with an
+    /// O(ranks) fallback only while a due refresh is postponed), and the
+    /// starvation part looks at each queue's head.
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
-        let horizon = now + 1;
-        let mut next: Option<Cycle> = None;
-        let mut consider = |t: Cycle| {
-            let t = t.max(horizon);
-            next = Some(next.map_or(t, |n: Cycle| n.min(t)));
-        };
+        let mut horizon = EventHorizon::new(now);
 
         if self.event_hint != Cycle::MAX {
-            consider(self.event_hint);
+            horizon.consider(self.event_hint);
         }
 
-        for inflight in &self.in_flight {
-            consider(inflight.data_complete_at);
+        // Only the earliest in-flight completion can be the next event.
+        if let Some(Reverse(inflight)) = self.in_flight.peek() {
+            horizon.consider(inflight.data_complete_at);
         }
 
         // Refreshes not yet due wake the scheduler when they become due;
         // pending ones already recorded their issuability into the hint.
-        for sched in &self.refresh {
-            if !sched.due(now) {
-                consider(sched.next_due());
+        if self.refresh_due_min > now {
+            // No scheduler is due, so the cached minimum IS the earliest
+            // refresh wakeup.
+            horizon.consider(self.refresh_due_min);
+        } else {
+            for sched in &self.refresh {
+                if !sched.due(now) {
+                    horizon.consider(sched.next_due());
+                }
             }
         }
 
@@ -348,11 +399,22 @@ impl ChannelController {
             if let Some(oldest) = queue.oldest() {
                 // Crossing the starvation threshold changes the scheduling
                 // policy even when no timing constraint expires.
-                consider(oldest.request.arrival + self.config.starvation_threshold + 1);
+                horizon.consider(oldest.request.arrival + self.config.starvation_threshold + 1);
             }
         }
 
-        next
+        horizon.earliest()
+    }
+
+    /// Refresh the cached minimum refresh due time after an acknowledge
+    /// moved one scheduler's `next_due` forward.
+    fn note_refresh_acknowledged(&mut self) {
+        self.refresh_due_min = self
+            .refresh
+            .iter()
+            .map(RefreshScheduler::next_due)
+            .min()
+            .unwrap_or(Cycle::MAX);
     }
 
     /// Record a future cycle at which a command the scheduler wanted this
@@ -364,35 +426,36 @@ impl ChannelController {
     }
 
     fn collect_completions_into(&mut self, now: Cycle, done: &mut Vec<CompletedRequest>) {
-        let mut i = 0;
-        while i < self.in_flight.len() {
-            if self.in_flight[i].data_complete_at <= now {
-                let inflight = self.in_flight.swap_remove(i);
-                let req = inflight.entry.request;
-                let completed = CompletedRequest {
-                    id: req.id,
-                    kind: req.kind,
-                    bytes: req.bytes,
-                    arrival: req.arrival,
-                    completed: inflight.data_complete_at,
-                };
-                match req.kind {
-                    RequestKind::Read => {
-                        self.stats.reads_completed += 1;
-                        self.stats.bytes_read += req.bytes;
-                        self.stats.total_read_latency += completed.latency();
-                        self.stats.max_read_latency =
-                            self.stats.max_read_latency.max(completed.latency());
-                    }
-                    RequestKind::Write => {
-                        self.stats.writes_completed += 1;
-                        self.stats.bytes_written += req.bytes;
-                    }
+        // The heap is ordered by completion time, so only due transfers are
+        // ever touched — no scan over the rest of the in-flight set.
+        while self
+            .in_flight
+            .peek()
+            .is_some_and(|Reverse(f)| f.data_complete_at <= now)
+        {
+            let Reverse(inflight) = self.in_flight.pop().expect("peeked entry present");
+            let req = inflight.entry.request;
+            let completed = CompletedRequest {
+                id: req.id,
+                kind: req.kind,
+                bytes: req.bytes,
+                arrival: req.arrival,
+                completed: inflight.data_complete_at,
+            };
+            match req.kind {
+                RequestKind::Read => {
+                    self.stats.reads_completed += 1;
+                    self.stats.bytes_read += req.bytes;
+                    self.stats.total_read_latency += completed.latency();
+                    self.stats.max_read_latency =
+                        self.stats.max_read_latency.max(completed.latency());
                 }
-                done.push(completed);
-            } else {
-                i += 1;
+                RequestKind::Write => {
+                    self.stats.writes_completed += 1;
+                    self.stats.bytes_written += req.bytes;
+                }
             }
+            done.push(completed);
         }
     }
 
@@ -473,6 +536,7 @@ impl ChannelController {
                         if self.channel.can_issue(&refpb, now) {
                             self.channel.issue(refpb, now).expect("checked");
                             self.refresh[rank].acknowledge(now);
+                            self.note_refresh_acknowledged();
                             self.stats.refreshes_issued += 1;
                             if self.refresh_reserved_bank == Some(bank) {
                                 self.refresh_reserved_bank = None;
@@ -516,6 +580,7 @@ impl ChannelController {
                         if self.channel.can_issue(&refab, now) {
                             self.channel.issue(refab, now).expect("checked");
                             self.refresh[rank].acknowledge(now);
+                            self.note_refresh_acknowledged();
                             self.stats.refreshes_issued += 1;
                             return true;
                         }
@@ -675,10 +740,13 @@ impl ChannelController {
             self.open_rows[idx] = None;
         }
         self.stats.row_hits += 1;
-        self.in_flight.push(InFlight {
+        let seq = self.inflight_seq;
+        self.inflight_seq += 1;
+        self.in_flight.push(Reverse(InFlight {
             entry,
             data_complete_at: result.data_complete_at.unwrap_or(now),
-        });
+            seq,
+        }));
         true
     }
 

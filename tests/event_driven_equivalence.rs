@@ -14,6 +14,14 @@
 //! scheduler) while the event-driven run keeps it enabled, so any cached
 //! bound that changed a single scheduling decision would surface as a
 //! report mismatch here.
+//!
+//! The multi-channel comparisons likewise pin the *event calendar*: the
+//! cycle-stepped baseline system runs with the calendar disabled (the
+//! pre-calendar loop that re-polls every controller and scans the whole
+//! backlog) while the event-driven system keeps it enabled (cached
+//! per-channel wakeups, lazy min-heap, skipped non-due channels), so a
+//! wakeup cached one cycle too late — a missed event — would surface as a
+//! completion mismatch here.
 
 use rome::core::controller::{RomeController, RomeControllerConfig};
 use rome::core::simulate as rome_simulate;
@@ -232,8 +240,11 @@ fn small_rome_system() -> RomeMemorySystem {
 fn mc_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
     // Driving the system through tick_into + next_event_at is the same
     // global scheduler, merely skipping provably idle cycles — completions
-    // must match the per-cycle tick() loop exactly.
+    // must match the per-cycle tick() loop exactly. The stepped baseline
+    // disables the event calendar (the pre-calendar loop); the event-driven
+    // run keeps it on, so stale cached wakeups would surface here.
     let mut stepped = small_mc_system();
+    stepped.set_calendar(false);
     let mut event = small_mc_system();
     for r in host_requests() {
         stepped.submit(r);
@@ -265,6 +276,7 @@ fn mc_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
 #[test]
 fn rome_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
     let mut stepped = small_rome_system();
+    stepped.set_calendar(false);
     let mut event = small_rome_system();
     for r in host_requests() {
         stepped.submit(r);
@@ -294,11 +306,55 @@ fn rome_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
 }
 
 #[test]
+fn long_single_channel_backlog_stays_equivalent() {
+    // Every fragment lands on the same channel (stride = channels ×
+    // granularity) behind a 2-entry queue, so hundreds of fragments wait in
+    // a single channel's backlog — the admission-probe case that used to
+    // degenerate to O(backlog) per event step. The calendar run must still
+    // match the pre-calendar stepped loop completion for completion.
+    let mut stepped = small_mc_system();
+    stepped.set_calendar(false);
+    let mut event = small_mc_system();
+    for i in 0..256u64 {
+        let r = MemoryRequest::read(i + 1, i * 4 * 32, 32, 0);
+        stepped.submit(r);
+        event.submit(r);
+    }
+
+    let mut done_stepped = Vec::new();
+    let mut now = 0u64;
+    while !stepped.is_idle() && now < 5_000_000 {
+        done_stepped.extend(stepped.tick(now));
+        now += 1;
+    }
+
+    let mut done_event: Vec<HostCompletion> = Vec::new();
+    let mut now = 0u64;
+    while !event.is_idle() && now < 5_000_000 {
+        let issued = event.tick_into(now, &mut done_event);
+        now = if issued {
+            now + 1
+        } else {
+            event.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
+        };
+    }
+
+    assert_eq!(done_event, done_stepped);
+    assert_eq!(event.bytes_per_channel(), stepped.bytes_per_channel());
+    // The workload really was single-channel: exactly one channel moved data.
+    assert_eq!(
+        event.bytes_per_channel().iter().filter(|&&b| b > 0).count(),
+        1
+    );
+}
+
+#[test]
 fn mc_system_run_until_idle_preserves_totals_vs_per_cycle_ticks() {
     // run_until_idle runs channels independently (per-kind FIFO backlogs),
     // so its schedule legitimately differs from the tick() path in arrival
     // order; every total must nevertheless agree.
     let mut ticked = small_mc_system();
+    ticked.set_calendar(false);
     let mut parallel = small_mc_system();
     for r in host_requests() {
         ticked.submit(r);
@@ -328,6 +384,7 @@ fn mc_system_run_until_idle_preserves_totals_vs_per_cycle_ticks() {
 #[test]
 fn rome_system_run_until_idle_preserves_totals_vs_per_cycle_ticks() {
     let mut ticked = small_rome_system();
+    ticked.set_calendar(false);
     let mut parallel = small_rome_system();
     for r in host_requests() {
         ticked.submit(r);
