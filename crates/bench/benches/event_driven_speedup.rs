@@ -80,6 +80,39 @@ fn mc_calendar32(calendar: bool) -> f64 {
     CAL_BYTES as f64 / done[0].completed as f64
 }
 
+/// Closed-loop MoE-skew serving scenario on the streaming workload
+/// subsystem: a Zipf-skewed expert-routing source (DeepSeek-V3-shaped, 32
+/// experts sampled) drives a 4-channel system through a `ClosedLoopHost` at
+/// the given window. Returns the achieved closed-loop bandwidth in GB/s —
+/// also the cross-run checksum (the whole path is seed-deterministic).
+fn workload_moe_closed_loop(window: usize, rome: bool) -> f64 {
+    let cfg = rome_workload::MoeRoutingConfig {
+        experts: 32,
+        top_k: 4,
+        expert_bytes: 16 * 1024,
+        layers: 2,
+        tokens_per_step: 16,
+        steps: 2,
+        step_period_ns: 0,
+        granularity: 4096,
+        base: 0,
+        zipf_exponent: 1.2,
+        seed: 42,
+    };
+    let mut host =
+        rome_workload::ClosedLoopHost::new(rome_workload::MoeRoutingSource::new(cfg), window);
+    if rome {
+        let mut sys = rome_core::system::RomeMemorySystem::new(
+            rome_core::system::RomeSystemConfig::with_channels(4),
+        );
+        sys.run_with_source(&mut host, 50_000_000);
+    } else {
+        let mut sys = rome_mc::MemorySystem::new(rome_mc::MemorySystemConfig::hbm4(4));
+        sys.run_with_source(&mut host, 50_000_000);
+    }
+    host.achieved_gbps()
+}
+
 fn rome_sweep(stepped: bool) -> f64 {
     let mut bw = 0.0;
     for &depth in &DEPTHS {
@@ -158,6 +191,25 @@ fn bench(c: &mut Criterion) {
         "event calendar changed the 32-channel schedule"
     );
 
+    // Closed-loop MoE-skew serving scenario (streaming workload subsystem):
+    // wall-clock of one narrow-window and one wide-window run per system,
+    // plus the achieved closed-loop bandwidths (seed-deterministic).
+    let wl_hbm4_ms = time_it(repeats, || workload_moe_closed_loop(16, false));
+    let wl_rome_ms = time_it(repeats, || workload_moe_closed_loop(16, true));
+    let wl_hbm4_w1 = workload_moe_closed_loop(1, false);
+    let wl_hbm4_w16 = workload_moe_closed_loop(16, false);
+    let wl_rome_w1 = workload_moe_closed_loop(1, true);
+    let wl_rome_w16 = workload_moe_closed_loop(16, true);
+    assert_eq!(
+        wl_hbm4_w16,
+        workload_moe_closed_loop(16, false),
+        "closed-loop MoE scenario must be deterministic"
+    );
+    assert!(
+        wl_rome_w16 > wl_rome_w1,
+        "RoMe closed-loop bandwidth must grow with the window"
+    );
+
     let total_event = mc_event + rome_event;
     let total_stepped = mc_stepped + rome_stepped;
     println!("\nqueue-depth sweep, event-driven vs cycle-stepped (wall-clock):");
@@ -191,6 +243,10 @@ fn bench(c: &mut Criterion) {
         cal32_on * 1e3,
         cal32_off / cal32_on
     );
+    println!(
+        "  closed-loop MoE skew (w=1 -> w=16): HBM4 {:6.2} -> {:6.2} GB/s, RoMe {:6.2} -> {:6.2} GB/s",
+        wl_hbm4_w1, wl_hbm4_w16, wl_rome_w1, wl_rome_w16
+    );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_json(
@@ -211,8 +267,18 @@ fn bench(c: &mut Criterion) {
             ("calendar_dense32_plain_ms", cal32_off * 1e3),
             ("calendar_dense32_cached_ms", cal32_on * 1e3),
             ("calendar_dense32_speedup", cal32_off / cal32_on),
+            ("workload_moe_hbm4_ms", wl_hbm4_ms * 1e3),
+            ("workload_moe_rome_ms", wl_rome_ms * 1e3),
+            ("workload_moe_hbm4_w1_gbps", wl_hbm4_w1),
+            ("workload_moe_hbm4_w16_gbps", wl_hbm4_w16),
+            ("workload_moe_rome_w1_gbps", wl_rome_w1),
+            ("workload_moe_rome_w16_gbps", wl_rome_w16),
         ],
     );
+
+    c.bench_function("workload_moe_closed_loop", |b| {
+        b.iter(|| black_box(workload_moe_closed_loop(16, false)))
+    });
 
     c.bench_function("dense32_event_calendar", |b| {
         b.iter(|| black_box(mc_calendar32(true)))

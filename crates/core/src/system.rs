@@ -175,6 +175,31 @@ impl RomeMemorySystem {
     pub fn run_until_idle(&mut self, max_ns: Cycle) -> (Vec<HostCompletion>, Cycle) {
         self.inner.run_until_idle(max_ns)
     }
+
+    /// Drive the system from a lazy [`rome_engine::TrafficSource`] until the
+    /// source is exhausted and all its requests completed, or `max_ns`
+    /// elapses. Completions are fed back to the source (closed-loop hosts
+    /// key their next injection on them) and the source's arrivals merge
+    /// into the event horizon; see
+    /// [`rome_engine::MultiChannelSystem::run_with_source`].
+    pub fn run_with_source<S: rome_engine::TrafficSource>(
+        &mut self,
+        source: &mut S,
+        max_ns: Cycle,
+    ) -> (Vec<HostCompletion>, Cycle) {
+        let RomeMemorySystem { config, inner } = self;
+        inner.run_with_source(source, config.row_bytes(), max_ns, |frag| {
+            let (channel, target, row) = decode_for(config, frag.address.raw());
+            (
+                channel,
+                RomeQueueEntry {
+                    request: frag,
+                    target,
+                    row,
+                },
+            )
+        })
+    }
 }
 
 /// The address decode of [`RomeMemorySystem::decode`], as a free function so

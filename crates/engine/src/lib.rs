@@ -16,7 +16,14 @@
 //! * the generic **[`MultiChannelSystem`]** — fragmentation, steering,
 //!   backlog back-pressure, host-completion reassembly, a global-clock tick
 //!   path, and a parallel per-channel [`MultiChannelSystem::run_until_idle`]
-//!   ([`system`]).
+//!   ([`system`]);
+//! * the **[`TrafficSource`] trait** and [`ReplaySource`] — lazily generated
+//!   request streams whose arrivals merge into the event horizon, driven by
+//!   [`simulate::run_with_source`] (single controller) and
+//!   [`MultiChannelSystem::run_with_source`] (whole system), with
+//!   completions fed back for closed-loop load generation ([`source`]). The
+//!   scenario generators themselves (MoE routing skew, prefill/decode
+//!   interleave, multi-tenant mixes) live in the `rome-workload` crate.
 //!
 //! The engine is the plug-in point for scale-out work: a new memory system
 //! only implements [`MemoryController`] and immediately inherits the
@@ -39,6 +46,7 @@ pub mod controller;
 pub mod events;
 pub mod request;
 pub mod simulate;
+pub mod source;
 pub mod system;
 
 /// Convenient glob-import of the most commonly used types.
@@ -47,8 +55,10 @@ pub mod prelude {
     pub use crate::events::EventHorizon;
     pub use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
     pub use crate::simulate::{
-        run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
+        run_to_completion, run_with_limit, run_with_limit_stepped, run_with_source,
+        SimulationReport,
     };
+    pub use crate::source::{ReplaySource, TrafficSource};
     pub use crate::system::{HostCompletion, MultiChannelSystem};
 }
 
@@ -56,4 +66,5 @@ pub use controller::{MemoryController, StatsSnapshot};
 pub use events::EventHorizon;
 pub use request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
 pub use simulate::SimulationReport;
+pub use source::{ReplaySource, TrafficSource};
 pub use system::{HostCompletion, MultiChannelSystem};

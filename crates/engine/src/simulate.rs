@@ -23,12 +23,16 @@
 //! it is the equivalence baseline and the reference point for the wall-clock
 //! speedup tracked by the `event_driven_speedup` bench.
 
+use std::collections::VecDeque;
+
 use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
 
 use crate::controller::MemoryController;
 use crate::request::{MemoryRequest, RequestKind};
+use crate::source::TrafficSource;
+use crate::system::HostCompletion;
 
 /// Summary of one single-channel run, identical in shape for every
 /// controller (fields a controller does not model report their neutral
@@ -143,6 +147,122 @@ fn drive<C: MemoryController>(
         };
     }
 
+    assemble_report(
+        controller,
+        completed,
+        bytes_read,
+        bytes_written,
+        finish_time,
+    )
+}
+
+/// Drive `controller` from a lazy [`TrafficSource`] instead of a
+/// materialized request vector, until the source is exhausted and every
+/// pulled request has completed, or `max_ns` elapses.
+///
+/// The driver merges the source into the event horizon: after a tick in
+/// which nothing was issued and no pulled request can enqueue, it jumps to
+/// the earlier of [`MemoryController::next_event_at`] and
+/// [`TrafficSource::next_arrival_at`]. Completions are fed back to the
+/// source via [`TrafficSource::on_completion`] (as single-fragment
+/// [`HostCompletion`]s), which is what closed-loop sources key their next
+/// release on.
+///
+/// For `ReplaySource::from(vec)` over a vector whose arrivals are all at
+/// cycle 0 — the shape every synthetic generator produces — this executes
+/// the exact schedule of [`run_with_limit`] on the same vector and returns a
+/// bit-identical [`SimulationReport`]; the regression suite pins this for
+/// both memory systems.
+pub fn run_with_source<C: MemoryController, S: TrafficSource>(
+    controller: &mut C,
+    source: &mut S,
+    max_ns: Cycle,
+) -> SimulationReport {
+    let mut pending: VecDeque<MemoryRequest> = VecDeque::new();
+    let mut pulled: Vec<MemoryRequest> = Vec::new();
+    let mut now: Cycle = 0;
+    let mut completed = 0u64;
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut finish_time = 0;
+    let mut completions = Vec::new();
+
+    loop {
+        source.pull_into(now, &mut pulled);
+        pending.extend(pulled.drain(..));
+        if (pending.is_empty() && source.is_exhausted() && controller.is_idle()) || now >= max_ns {
+            break;
+        }
+        // Offer as many pulled requests as the queues accept this cycle, in
+        // order (back-pressure, exactly as the materialized-vec driver).
+        while let Some(next) = pending.front() {
+            if controller.slots_free_for(next.kind) == 0 {
+                break;
+            }
+            let mut req = *next;
+            req.arrival = now;
+            let ok = controller.enqueue(req);
+            debug_assert!(ok, "enqueue must succeed when a slot is free");
+            pending.pop_front();
+        }
+        let issued = controller.tick_into(now, &mut completions);
+        for done in completions.drain(..) {
+            completed += 1;
+            finish_time = finish_time.max(done.completed);
+            match done.kind {
+                RequestKind::Read => bytes_read += done.bytes,
+                RequestKind::Write => bytes_written += done.bytes,
+            }
+            source.on_completion(&HostCompletion {
+                id: done.id,
+                kind: done.kind,
+                bytes: done.bytes,
+                arrival: done.arrival,
+                completed: done.completed,
+            });
+        }
+        let arrival_next = pending
+            .front()
+            .is_some_and(|next| controller.slots_free_for(next.kind) > 0);
+        now = if issued || arrival_next {
+            now + 1
+        } else {
+            let mut horizon = controller.next_event_at(now);
+            if let Some(at) = source.next_arrival_at() {
+                let at = at.max(now + 1);
+                horizon = Some(horizon.map_or(at, |h| h.min(at)));
+            }
+            match horizon {
+                Some(t) => t.max(now + 1),
+                // No controller event and no scheduled arrival: if the
+                // controller is idle and nothing waits to enqueue, nothing
+                // can ever change (completions only come from in-flight
+                // work), so a source gated on one is stuck — stop instead
+                // of crawling one cycle per iteration to max_ns.
+                None if controller.is_idle() && pending.is_empty() => break,
+                None => now + 1,
+            }
+        };
+    }
+
+    assemble_report(
+        controller,
+        completed,
+        bytes_read,
+        bytes_written,
+        finish_time,
+    )
+}
+
+/// Fold the driver-side counters and the controller's statistics snapshot
+/// into the unified report (shared by every driving style).
+fn assemble_report<C: MemoryController>(
+    controller: &C,
+    completed: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    finish_time: Cycle,
+) -> SimulationReport {
     let elapsed = finish_time.max(1);
     let stats = controller.stats_snapshot();
     let useful = bytes_read + bytes_written;

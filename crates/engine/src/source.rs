@@ -1,0 +1,165 @@
+//! Streaming traffic sources: requests generated as simulated time advances.
+//!
+//! Every experiment used to materialize its whole request stream up front as
+//! a `Vec<MemoryRequest>` with all arrivals at cycle 0, which can only model
+//! open-loop bursts. A [`TrafficSource`] instead *releases* requests lazily:
+//! the driver asks [`TrafficSource::next_arrival_at`] when the next request
+//! can become available, pulls everything due with
+//! [`TrafficSource::pull_into`], and feeds completions back through
+//! [`TrafficSource::on_completion`] — which is what lets a source react to
+//! the memory system (closed-loop load generation) instead of merely playing
+//! a schedule at it.
+//!
+//! The contract mirrors the [`crate::MemoryController::next_event_at`]
+//! event-driven contract on the controller side:
+//!
+//! * `next_arrival_at` must **lower-bound** the next cycle at which a
+//!   not-yet-pulled request can become available *without further
+//!   completions*. Returning a too-early cycle merely costs a spurious
+//!   wake-up; returning a too-late cycle would make the driver skip an
+//!   arrival and perturb the schedule.
+//! * A source whose next release is gated on a completion (a closed-loop
+//!   host with a full window) returns `None`: the completion itself is a
+//!   controller event, so the driver is guaranteed to wake for it and call
+//!   `on_completion`, after which `next_arrival_at` may report the unblocked
+//!   arrival.
+//! * `pull_into(now, …)` appends every request whose arrival is at or before
+//!   `now`, in arrival order; requests are handed over exactly once.
+//! * [`TrafficSource::is_exhausted`] is `true` only when no request can ever
+//!   become available again (not even via future completions).
+//!
+//! [`ReplaySource`] adapts any materialized `Vec<MemoryRequest>` to this
+//! trait, which makes every existing experiment a special case of the
+//! streaming path — the regression suite pins that
+//! `run_with_source(ReplaySource::from(vec))` is bit-identical to the
+//! materialized-vec drivers.
+
+use std::collections::VecDeque;
+
+use rome_hbm::units::Cycle;
+
+use crate::request::MemoryRequest;
+use crate::system::HostCompletion;
+
+/// A lazy stream of memory requests, generated as simulated time advances
+/// and (optionally) in reaction to completions. See the module docs for the
+/// exactness contract.
+pub trait TrafficSource {
+    /// The earliest cycle at which a not-yet-pulled request can become
+    /// available without further completions, or `None` when no arrival is
+    /// currently scheduled (the stream is exhausted, or the next release
+    /// waits on a completion). Must lower-bound the true next arrival.
+    fn next_arrival_at(&self) -> Option<Cycle>;
+
+    /// Append every request whose arrival is at or before `now` to `out`, in
+    /// arrival order. Each request is handed over exactly once.
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>);
+
+    /// Observe the completion of a previously pulled request. Open-loop
+    /// sources ignore this; closed-loop sources use it to release the next
+    /// batch. The default does nothing.
+    fn on_completion(&mut self, completion: &HostCompletion) {
+        let _ = completion;
+    }
+
+    /// `true` when no request will ever become available again — neither by
+    /// time advancing nor by further completions.
+    fn is_exhausted(&self) -> bool;
+}
+
+/// Streams a materialized request vector through the [`TrafficSource`]
+/// interface: each request becomes available at its recorded `arrival` cycle
+/// (clamped so availability is non-decreasing in submission order, matching
+/// the in-order back-pressure of the materialized-vec drivers).
+///
+/// `ReplaySource::from(vec)` makes every existing experiment a special case
+/// of the streaming path; for the all-arrivals-at-0 vectors the synthetic
+/// generators produce, `run_with_source` is bit-identical to
+/// `run_to_completion` on the same vector.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    /// Remaining requests with their effective (order-clamped) arrivals.
+    queue: VecDeque<(Cycle, MemoryRequest)>,
+}
+
+impl ReplaySource {
+    /// Build a replay over `requests`, preserving their order. A request
+    /// becomes available at its `arrival` cycle, or at its predecessor's
+    /// availability if that is later (order is never violated).
+    pub fn new(requests: Vec<MemoryRequest>) -> Self {
+        let mut watermark: Cycle = 0;
+        let queue = requests
+            .into_iter()
+            .map(|r| {
+                watermark = watermark.max(r.arrival);
+                (watermark, r)
+            })
+            .collect();
+        ReplaySource { queue }
+    }
+
+    /// Requests not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl From<Vec<MemoryRequest>> for ReplaySource {
+    fn from(requests: Vec<MemoryRequest>) -> Self {
+        ReplaySource::new(requests)
+    }
+}
+
+impl TrafficSource for ReplaySource {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        self.queue.front().map(|(at, _)| *at)
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        while let Some((at, _)) = self.queue.front() {
+            if *at > now {
+                break;
+            }
+            let (_, req) = self.queue.pop_front().expect("front exists");
+            out.push(req);
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_releases_in_order_at_recorded_arrivals() {
+        let reqs = vec![
+            MemoryRequest::read(1, 0, 32, 0),
+            MemoryRequest::read(2, 32, 32, 10),
+            MemoryRequest::read(3, 64, 32, 5), // out-of-order arrival: clamped to 10
+        ];
+        let mut src = ReplaySource::from(reqs);
+        assert_eq!(src.next_arrival_at(), Some(0));
+        let mut out = Vec::new();
+        src.pull_into(0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(src.next_arrival_at(), Some(10));
+        src.pull_into(9, &mut out);
+        assert_eq!(out.len(), 1, "nothing due before cycle 10");
+        src.pull_into(10, &mut out);
+        assert_eq!(out.len(), 3, "clamped request released with predecessor");
+        assert!(src.is_exhausted());
+        assert_eq!(src.next_arrival_at(), None);
+    }
+
+    #[test]
+    fn empty_replay_is_exhausted_immediately() {
+        let src = ReplaySource::new(Vec::new());
+        assert!(src.is_exhausted());
+        assert_eq!(src.next_arrival_at(), None);
+        assert_eq!(src.remaining(), 0);
+    }
+}

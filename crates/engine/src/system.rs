@@ -69,6 +69,7 @@ use rome_hbm::units::Cycle;
 use crate::controller::MemoryController;
 use crate::events::EventHorizon;
 use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
+use crate::source::TrafficSource;
 
 /// A completed host-level request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -547,6 +548,69 @@ impl<C: MemoryController> MultiChannelSystem<C> {
             }
         }
         horizon.earliest()
+    }
+
+    /// Drive the system from a lazy [`TrafficSource`] under the global event
+    /// loop until the source is exhausted and every submitted request has
+    /// completed, or `max_ns` elapses. Returns the host completions in
+    /// completion order and the cycle the run stopped at.
+    ///
+    /// Pulled requests are fragmented at `granularity` and steered with
+    /// `decode` exactly like [`MultiChannelSystem::submit_with`]; host
+    /// completions are fed back to the source
+    /// ([`TrafficSource::on_completion`]), which is what closed-loop sources
+    /// key their next release on. The event horizon merges the system's
+    /// [`MultiChannelSystem::next_event_at`] with the source's
+    /// [`TrafficSource::next_arrival_at`], so idle gaps between arrivals are
+    /// skipped, not ticked through.
+    ///
+    /// For a `ReplaySource` over a vector whose arrivals are all at cycle 0,
+    /// this executes the exact schedule of submitting the whole vector up
+    /// front and running the event loop — the regression suite pins
+    /// bit-identical completions for both memory systems.
+    pub fn run_with_source<S: TrafficSource>(
+        &mut self,
+        source: &mut S,
+        granularity: u64,
+        max_ns: Cycle,
+        mut decode: impl FnMut(MemoryRequest) -> (u16, C::Entry),
+    ) -> (Vec<HostCompletion>, Cycle) {
+        let mut completions = Vec::new();
+        let mut pulled: Vec<MemoryRequest> = Vec::new();
+        let mut now: Cycle = 0;
+        loop {
+            source.pull_into(now, &mut pulled);
+            for req in pulled.drain(..) {
+                self.submit_with(req, granularity, &mut decode);
+            }
+            if (source.is_exhausted() && self.is_idle()) || now >= max_ns {
+                break;
+            }
+            let before = completions.len();
+            let issued = self.tick_into(now, &mut completions);
+            for c in &completions[before..] {
+                source.on_completion(c);
+            }
+            now = if issued {
+                now + 1
+            } else {
+                let mut horizon = self.next_event_at(now);
+                if let Some(at) = source.next_arrival_at() {
+                    let at = at.max(now + 1);
+                    horizon = Some(horizon.map_or(at, |h| h.min(at)));
+                }
+                match horizon {
+                    Some(t) => t.max(now + 1),
+                    // No system event and no scheduled arrival: if the system
+                    // is idle nothing can ever change (completions only come
+                    // from in-flight work), so a source waiting on one is
+                    // stuck — stop instead of crawling to max_ns.
+                    None if self.is_idle() => break,
+                    None => now + 1,
+                }
+            };
+        }
+        (completions, now)
     }
 
     /// Run until all submitted requests complete or `max_ns` elapses;

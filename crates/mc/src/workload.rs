@@ -4,80 +4,20 @@
 //! experiments: streaming reads/writes (the LLM-like pattern), strided
 //! accesses, and uniformly random accesses (the pattern row-granularity
 //! access is *not* designed for, used by the overfetch ablation).
+//!
+//! The implementations live in `rome_workload::synthetic` (the streaming
+//! workload subsystem, which also builds its lazy [`TrafficSource`]
+//! generators on them); this module re-exports them so every existing
+//! call site keeps its exact signature and request stream. Streams whose
+//! `total_bytes` is not a multiple of `granularity` end in a partial tail
+//! request (they used to be silently truncated); exact multiples are
+//! bit-identical to the original generators.
+//!
+//! [`TrafficSource`]: rome_engine::source::TrafficSource
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-use crate::request::MemoryRequest;
-
-/// Generate `total_bytes / granularity` sequential read requests starting at
-/// `base`, each of `granularity` bytes, all arriving at cycle 0.
-pub fn streaming_reads(base: u64, total_bytes: u64, granularity: u64) -> Vec<MemoryRequest> {
-    assert!(granularity > 0);
-    let count = total_bytes / granularity;
-    (0..count)
-        .map(|i| MemoryRequest::read(i, base + i * granularity, granularity, 0))
-        .collect()
-}
-
-/// Generate sequential write requests (see [`streaming_reads`]).
-pub fn streaming_writes(base: u64, total_bytes: u64, granularity: u64) -> Vec<MemoryRequest> {
-    assert!(granularity > 0);
-    let count = total_bytes / granularity;
-    (0..count)
-        .map(|i| MemoryRequest::write(i, base + i * granularity, granularity, 0))
-        .collect()
-}
-
-/// Generate a read-dominated mix: one write every `write_period` requests.
-pub fn read_write_mix(
-    base: u64,
-    total_bytes: u64,
-    granularity: u64,
-    write_period: u64,
-) -> Vec<MemoryRequest> {
-    assert!(granularity > 0 && write_period > 0);
-    let count = total_bytes / granularity;
-    (0..count)
-        .map(|i| {
-            let addr = base + i * granularity;
-            if i % write_period == write_period - 1 {
-                MemoryRequest::write(i, addr, granularity, 0)
-            } else {
-                MemoryRequest::read(i, addr, granularity, 0)
-            }
-        })
-        .collect()
-}
-
-/// Generate strided reads: `count` requests of `granularity` bytes, spaced
-/// `stride` bytes apart.
-pub fn strided_reads(base: u64, count: u64, granularity: u64, stride: u64) -> Vec<MemoryRequest> {
-    (0..count)
-        .map(|i| MemoryRequest::read(i, base + i * stride, granularity, 0))
-        .collect()
-}
-
-/// Generate uniformly random reads within `[base, base + span)`, aligned to
-/// `granularity`. Deterministic for a given `seed`.
-pub fn random_reads(
-    base: u64,
-    span: u64,
-    count: u64,
-    granularity: u64,
-    seed: u64,
-) -> Vec<MemoryRequest> {
-    assert!(granularity > 0 && span >= granularity);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let slots = span / granularity;
-    (0..count)
-        .map(|i| {
-            let slot = rng.gen_range(0..slots);
-            MemoryRequest::read(i, base + slot * granularity, granularity, 0)
-        })
-        .collect()
-}
+pub use rome_workload::synthetic::{
+    random_reads, read_write_mix, streaming_reads, streaming_writes, strided_reads,
+};
 
 #[cfg(test)]
 mod tests {
@@ -126,5 +66,19 @@ mod tests {
         assert!(a
             .iter()
             .all(|r| r.address.raw() % 32 == 0 && r.address.raw() < (1 << 20)));
+    }
+
+    #[test]
+    fn partial_tail_is_emitted_not_truncated() {
+        // Regression: 100 B at 32 B granularity used to silently drop the
+        // final 4 bytes; the stream must now cover the whole range.
+        let reqs = streaming_reads(0, 100, 32);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[3].bytes, 4);
+        assert_eq!(reqs.iter().map(|r| r.bytes).sum::<u64>(), 100);
+        let writes = streaming_writes(0, 100, 32);
+        assert_eq!(writes.iter().map(|r| r.bytes).sum::<u64>(), 100);
+        let mix = read_write_mix(0, 100, 32, 4);
+        assert_eq!(mix.iter().map(|r| r.bytes).sum::<u64>(), 100);
     }
 }

@@ -18,6 +18,9 @@
 //! * [`sweep`] — batch-size sweeps producing whole figures at once, plus the
 //!   batched [`ScenarioSet`] runner that executes many sweep scenarios
 //!   behind one warm (calibrate-once) process;
+//! * [`serving`] — closed-loop window sweeps driving sampled memory systems
+//!   from the streaming `rome-workload` sources (MoE routing skew,
+//!   prefill/decode interleave, multi-tenant mixes);
 //! * [`overfetch`] — the fine-grained-access ablation of §VII.
 //!
 //! # Example
@@ -44,6 +47,7 @@ pub mod energy_rollup;
 pub mod lbr;
 pub mod memory_model;
 pub mod overfetch;
+pub mod serving;
 pub mod sweep;
 pub mod tpot;
 
@@ -55,6 +59,7 @@ pub mod prelude {
     pub use crate::lbr::{channel_load_balance, LbrReport};
     pub use crate::memory_model::{MemoryModel, MemorySystemKind};
     pub use crate::overfetch::{overfetch_sweep, OverfetchRow};
+    pub use crate::serving::{closed_loop_point, closed_loop_sweep, ClosedLoopPoint};
     pub use crate::sweep::{
         figure12_sweep, figure13_sweep, Figure12Row, Figure13Row, Scenario, ScenarioReport,
         ScenarioSet, SweepKind,
@@ -67,5 +72,6 @@ pub use calibration::{CalibrationResult, Calibrator};
 pub use energy_rollup::{decode_energy, EnergyComparison};
 pub use lbr::{channel_load_balance, LbrReport};
 pub use memory_model::{MemoryModel, MemorySystemKind};
+pub use serving::{closed_loop_point, closed_loop_sweep, ClosedLoopPoint};
 pub use sweep::{Scenario, ScenarioReport, ScenarioSet, SweepKind};
 pub use tpot::{decode_tpot, prefill_time, TpotReport};

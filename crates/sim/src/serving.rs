@@ -1,0 +1,158 @@
+//! Closed-loop serving sweeps over the streaming workload sources.
+//!
+//! The cycle-accurate counterpart of the analytic sweeps: a
+//! [`rome_workload::TrafficSource`] drives a sampled memory system through a
+//! [`ClosedLoopHost`] at a range of window sizes, tracing the true
+//! latency/bandwidth curve — throughput saturates with the window while
+//! latency keeps climbing, the knee the analytic model cannot show. Points
+//! of a sweep are independent, so they fan out across cores with rayon like
+//! every other sweep in this crate.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
+use rome_hbm::units::Cycle;
+use rome_mc::system::{MemorySystem, MemorySystemConfig};
+use rome_workload::{ClosedLoopHost, TrafficSource};
+
+use crate::memory_model::MemorySystemKind;
+
+/// One point of a closed-loop window sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopPoint {
+    /// Outstanding-request window of this point.
+    pub window: usize,
+    /// Requests injected.
+    pub injected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Useful bytes completed.
+    pub bytes: u64,
+    /// Achieved useful bandwidth in decimal GB/s (bytes over the last
+    /// completion cycle).
+    pub achieved_gbps: f64,
+    /// Mean injection-to-completion latency in ns.
+    pub mean_latency_ns: f64,
+    /// Worst injection-to-completion latency in ns.
+    pub max_latency_ns: u64,
+    /// Cycle the run stopped at.
+    pub stop_ns: Cycle,
+}
+
+/// Drive `source` through a [`ClosedLoopHost`] with the given `window` on a
+/// fresh sampled memory system of `kind` with `channels` channels, until the
+/// source drains or `max_ns` elapses.
+pub fn closed_loop_point<S: TrafficSource>(
+    kind: MemorySystemKind,
+    channels: u16,
+    source: S,
+    window: usize,
+    max_ns: Cycle,
+) -> ClosedLoopPoint {
+    let mut host = ClosedLoopHost::new(source, window);
+    let stop = match kind {
+        MemorySystemKind::Hbm4 => {
+            let mut sys = MemorySystem::new(MemorySystemConfig::hbm4(channels));
+            let (_, stop) = sys.run_with_source(&mut host, max_ns);
+            stop
+        }
+        MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => {
+            let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(channels));
+            let (_, stop) = sys.run_with_source(&mut host, max_ns);
+            stop
+        }
+    };
+    ClosedLoopPoint {
+        window,
+        injected: host.injected(),
+        completed: host.completed(),
+        bytes: host.completed_bytes(),
+        achieved_gbps: host.achieved_gbps(),
+        mean_latency_ns: host.mean_latency_ns(),
+        max_latency_ns: host.max_latency_ns(),
+        stop_ns: stop,
+    }
+}
+
+/// Sweep closed-loop windows over fresh copies of a source: `make_source(w)`
+/// builds the (identically seeded) source for each window, so every point
+/// sees the same traffic and only the window differs. Points run in
+/// parallel.
+pub fn closed_loop_sweep<S, F>(
+    kind: MemorySystemKind,
+    channels: u16,
+    windows: &[usize],
+    max_ns: Cycle,
+    make_source: F,
+) -> Vec<ClosedLoopPoint>
+where
+    S: TrafficSource + Send,
+    F: Fn(usize) -> S + Sync,
+{
+    windows
+        .to_vec()
+        .into_par_iter()
+        .map(|w| closed_loop_point(kind, channels, make_source(w), w, max_ns))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_workload::{MoeRoutingConfig, MoeRoutingSource};
+
+    fn tiny_moe() -> MoeRoutingConfig {
+        MoeRoutingConfig {
+            experts: 8,
+            top_k: 2,
+            expert_bytes: 4096,
+            layers: 2,
+            tokens_per_step: 8,
+            steps: 2,
+            step_period_ns: 0,
+            granularity: 4096,
+            base: 0,
+            zipf_exponent: 1.0,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn windows_trade_latency_for_bandwidth_on_both_systems() {
+        for kind in [MemorySystemKind::Hbm4, MemorySystemKind::Rome] {
+            let points = closed_loop_sweep(kind, 4, &[1, 8], 10_000_000, |_| {
+                MoeRoutingSource::new(tiny_moe())
+            });
+            assert_eq!(points.len(), 2);
+            for p in &points {
+                assert_eq!(p.injected, p.completed, "{kind}: run must drain");
+                assert!(p.completed > 0 && p.bytes > 0);
+                assert!(p.achieved_gbps > 0.0 && p.mean_latency_ns > 0.0);
+                assert!(p.max_latency_ns as f64 >= p.mean_latency_ns);
+            }
+            // A wider window keeps more channels busy: bandwidth must not
+            // drop, and the single-request window must be strictly slower.
+            assert!(
+                points[1].achieved_gbps > points[0].achieved_gbps,
+                "{kind}: w=8 {} <= w=1 {}",
+                points[1].achieved_gbps,
+                points[0].achieved_gbps
+            );
+        }
+    }
+
+    #[test]
+    fn same_source_same_window_is_deterministic() {
+        let run = || {
+            closed_loop_point(
+                MemorySystemKind::Hbm4,
+                2,
+                MoeRoutingSource::new(tiny_moe()),
+                4,
+                10_000_000,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,257 @@
+//! The closed-loop host model.
+//!
+//! Open-loop replay answers "what does the memory system do under this fixed
+//! schedule"; a serving host is *closed-loop*: it keeps at most `window`
+//! requests outstanding and injects the next one only when a completion
+//! frees a slot. Sweeping the window traces the true latency/bandwidth curve
+//! of a memory system (throughput saturates while latency keeps climbing),
+//! which a saturated burst cannot show.
+//!
+//! [`ClosedLoopHost`] adapts *any* inner [`TrafficSource`]: the inner
+//! source's arrival schedule says when work becomes available to the host;
+//! the window says when the host actually hands it to the memory system.
+//! Work that is available but blocked by the window waits in the host queue
+//! (and its wait is part of the measured host latency).
+
+use std::collections::{HashMap, VecDeque};
+
+use rome_engine::request::{MemoryRequest, RequestId};
+use rome_engine::source::TrafficSource;
+use rome_engine::system::HostCompletion;
+use rome_hbm::units::Cycle;
+
+/// A windowed closed-loop host wrapping an inner traffic source. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopHost<S> {
+    inner: S,
+    window: usize,
+    /// Work pulled from the inner source, waiting for a window slot.
+    staged: VecDeque<MemoryRequest>,
+    /// Injection cycle of every in-flight request (host-level latency is
+    /// measured from injection, not from inner-source availability).
+    in_flight: HashMap<RequestId, Cycle>,
+    /// Scratch buffer for pulling from the inner source.
+    scratch: Vec<MemoryRequest>,
+    peak_outstanding: usize,
+    injected: u64,
+    completed: u64,
+    completed_bytes: u64,
+    latency_sum_ns: u64,
+    latency_max_ns: u64,
+    last_completion_ns: Cycle,
+}
+
+impl<S: TrafficSource> ClosedLoopHost<S> {
+    /// Wrap `inner` with an outstanding-request cap of `window` (≥ 1).
+    pub fn new(inner: S, window: usize) -> Self {
+        assert!(
+            window > 0,
+            "closed-loop window must admit at least one request"
+        );
+        ClosedLoopHost {
+            inner,
+            window,
+            staged: VecDeque::new(),
+            in_flight: HashMap::new(),
+            scratch: Vec::new(),
+            peak_outstanding: 0,
+            injected: 0,
+            completed: 0,
+            completed_bytes: 0,
+            latency_sum_ns: 0,
+            latency_max_ns: 0,
+            last_completion_ns: 0,
+        }
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Requests currently outstanding in the memory system.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The largest outstanding count ever observed (must never exceed the
+    /// window; the regression suite pins this).
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak_outstanding
+    }
+
+    /// Requests injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Useful bytes of completed requests.
+    pub fn completed_bytes(&self) -> u64 {
+        self.completed_bytes
+    }
+
+    /// Mean injection-to-completion latency in ns (0 before any completion).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.completed as f64
+        }
+    }
+
+    /// Worst injection-to-completion latency in ns.
+    pub fn max_latency_ns(&self) -> u64 {
+        self.latency_max_ns
+    }
+
+    /// Cycle of the latest completion (the elapsed time of a drained run).
+    pub fn last_completion_ns(&self) -> Cycle {
+        self.last_completion_ns
+    }
+
+    /// Achieved useful bandwidth over the run so far, in decimal GB/s
+    /// (completed bytes over the last completion cycle).
+    pub fn achieved_gbps(&self) -> f64 {
+        if self.last_completion_ns == 0 {
+            0.0
+        } else {
+            self.completed_bytes as f64 / self.last_completion_ns as f64
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Move inner-source releases due at `now` into the host queue.
+    fn stage(&mut self, now: Cycle) {
+        self.inner.pull_into(now, &mut self.scratch);
+        self.staged.extend(self.scratch.drain(..));
+    }
+}
+
+impl<S: TrafficSource> TrafficSource for ClosedLoopHost<S> {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        if self.in_flight.len() >= self.window {
+            // Window full: the next injection is gated on a completion, which
+            // the driver is guaranteed to observe as a controller event.
+            return None;
+        }
+        match self.staged.front() {
+            // Staged work was released at or before the current pull; its
+            // arrival cycle already passed, the driver clamps to now + 1.
+            Some(req) => Some(req.arrival),
+            None => self.inner.next_arrival_at(),
+        }
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        self.stage(now);
+        while self.in_flight.len() < self.window {
+            let Some(req) = self.staged.pop_front() else {
+                break;
+            };
+            // Id 0 is auto-reassigned by multi-channel submit, so its
+            // completion could never be routed back to this window slot.
+            assert!(
+                req.id.0 != 0,
+                "closed-loop sources must mint non-zero request ids"
+            );
+            self.in_flight.insert(req.id, now);
+            self.injected += 1;
+            self.peak_outstanding = self.peak_outstanding.max(self.in_flight.len());
+            out.push(req);
+        }
+    }
+
+    fn on_completion(&mut self, completion: &HostCompletion) {
+        if let Some(injected_at) = self.in_flight.remove(&completion.id) {
+            let latency = completion.completed.saturating_sub(injected_at);
+            self.completed += 1;
+            self.completed_bytes += completion.bytes;
+            self.latency_sum_ns += latency;
+            self.latency_max_ns = self.latency_max_ns.max(latency);
+            self.last_completion_ns = self.last_completion_ns.max(completion.completed);
+        }
+        self.inner.on_completion(completion);
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted() && self.staged.is_empty() && self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_engine::request::RequestKind;
+    use rome_engine::source::ReplaySource;
+
+    fn completion_for(req: &MemoryRequest, at: Cycle) -> HostCompletion {
+        HostCompletion {
+            id: req.id,
+            kind: req.kind,
+            bytes: req.bytes,
+            arrival: req.arrival,
+            completed: at,
+        }
+    }
+
+    #[test]
+    fn window_caps_outstanding_and_releases_on_completion() {
+        let reqs: Vec<MemoryRequest> = (0..6)
+            .map(|i| MemoryRequest::read(i + 1, i * 32, 32, 0))
+            .collect();
+        let mut host = ClosedLoopHost::new(ReplaySource::from(reqs), 2);
+        let mut out = Vec::new();
+        host.pull_into(0, &mut out);
+        assert_eq!(out.len(), 2, "window admits exactly two");
+        assert_eq!(host.outstanding(), 2);
+        assert_eq!(host.next_arrival_at(), None, "full window gates arrivals");
+        // Pulling again with a full window injects nothing.
+        host.pull_into(5, &mut out);
+        assert_eq!(out.len(), 2);
+
+        host.on_completion(&completion_for(&out[0], 40));
+        assert_eq!(host.outstanding(), 1);
+        assert!(host.next_arrival_at().is_some());
+        host.pull_into(41, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(host.peak_outstanding(), 2);
+        assert_eq!(host.completed(), 1);
+        assert_eq!(host.mean_latency_ns(), 40.0);
+        assert!(!host.is_exhausted());
+    }
+
+    #[test]
+    fn drains_to_exhaustion_and_tracks_stats() {
+        let reqs: Vec<MemoryRequest> = (0..3)
+            .map(|i| MemoryRequest::write(i + 1, i * 64, 64, 0))
+            .collect();
+        let mut host = ClosedLoopHost::new(ReplaySource::from(reqs), 1);
+        let mut out = Vec::new();
+        let mut now = 0;
+        while !host.is_exhausted() {
+            host.pull_into(now, &mut out);
+            if let Some(req) = out.pop() {
+                assert_eq!(req.kind, RequestKind::Write);
+                now += 10;
+                host.on_completion(&completion_for(&req, now));
+            }
+        }
+        assert_eq!(host.injected(), 3);
+        assert_eq!(host.completed(), 3);
+        assert_eq!(host.completed_bytes(), 3 * 64);
+        assert_eq!(host.peak_outstanding(), 1);
+        assert_eq!(host.max_latency_ns(), 10);
+        assert_eq!(host.last_completion_ns(), 30);
+        assert!(host.achieved_gbps() > 0.0);
+    }
+}

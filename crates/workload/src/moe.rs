@@ -1,0 +1,331 @@
+//! MoE expert-routing traffic with configurable hot-expert skew.
+//!
+//! A decode step of an MoE model reads the weights of every *distinct*
+//! expert the batch's tokens were routed to (`rome_llm::ffn` models the
+//! uniform-routing expectation). Real serving traffic is skewed: a few hot
+//! experts absorb most of the routing mass, so the per-step address stream
+//! concentrates on a few weight regions — exactly the channel-imbalance
+//! stress the paper's LLM workload characterization calls out.
+//!
+//! [`MoeRoutingSource`] lowers that behaviour to an address stream: per
+//! decode step and per layer it samples `top_k` routed experts per token
+//! from a Zipf distribution over a seeded hot-expert ranking, then emits
+//! sequential reads over each distinct touched expert's weight region.
+//! Steps arrive `step_period_ns` apart; everything is deterministic for a
+//! given seed regardless of when the driver pulls.
+
+use std::collections::BTreeSet;
+
+use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+
+use rome_engine::request::MemoryRequest;
+use rome_engine::source::TrafficSource;
+use rome_hbm::units::Cycle;
+use rome_llm::ffn::FfnConfig;
+use rome_llm::ops::OperatorKind;
+use rome_llm::traffic::StepTraffic;
+
+use crate::synthetic::{chunk_bytes, seeded_rng};
+
+/// Configuration of a [`MoeRoutingSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoeRoutingConfig {
+    /// Number of routed experts per layer.
+    pub experts: u32,
+    /// Experts selected per token.
+    pub top_k: u32,
+    /// Bytes of one expert's weights in one layer (the region a touched
+    /// expert streams).
+    pub expert_bytes: u64,
+    /// MoE layers per step.
+    pub layers: u32,
+    /// Tokens routed per decode step (the batch).
+    pub tokens_per_step: u64,
+    /// Decode steps to generate.
+    pub steps: u64,
+    /// Arrival gap between consecutive steps (0 = one initial burst).
+    pub step_period_ns: Cycle,
+    /// Request size in bytes (expert regions are streamed at this
+    /// granularity; a non-multiple region ends in a partial request).
+    pub granularity: u64,
+    /// Base physical address of the expert-weight region.
+    pub base: u64,
+    /// Zipf exponent of the routing skew: 0 = uniform routing, larger =
+    /// hotter hot experts (1.0 is a typical serving skew).
+    pub zipf_exponent: f64,
+    /// RNG seed (hot-expert ranking and per-token routing draws).
+    pub seed: u64,
+}
+
+impl MoeRoutingConfig {
+    /// Derive a config from a computed [`StepTraffic`] and the model's
+    /// [`FfnConfig`]: expert count and `top_k` come from the FFN, the
+    /// per-expert region size and layer count from the step's `moe_experts`
+    /// operator (`weight_unit_bytes` is one expert projection matrix), and
+    /// the tokens per step from the step's batch. `scale` divides the
+    /// per-expert bytes so sampled simulations stay tractable (1 = full
+    /// size). Returns `None` for a dense FFN or a step without an MoE
+    /// operator.
+    pub fn from_step(
+        step: &StepTraffic,
+        ffn: &FfnConfig,
+        granularity: u64,
+        scale: u64,
+    ) -> Option<MoeRoutingConfig> {
+        let FfnConfig::Moe { experts, top_k, .. } = *ffn else {
+            return None;
+        };
+        let moe_op = step
+            .operators
+            .iter()
+            .find(|o| o.kind == OperatorKind::Ffn && o.name == "moe_experts")?;
+        let expert_bytes = (moe_op.weight_unit_bytes / scale.max(1)).max(granularity);
+        Some(MoeRoutingConfig {
+            experts,
+            top_k,
+            expert_bytes,
+            layers: moe_op.repeat,
+            tokens_per_step: step.batch,
+            steps: 4,
+            step_period_ns: 0,
+            granularity,
+            base: 0,
+            zipf_exponent: 1.0,
+            seed: 0x4d6f45,
+        })
+    }
+
+    /// Requests one fully-streamed expert region expands to.
+    fn requests_per_expert(&self) -> u64 {
+        self.expert_bytes.div_ceil(self.granularity)
+    }
+
+    /// Region stride: expert regions are laid out back to back, rounded up
+    /// to the request granularity so every region starts aligned.
+    fn expert_stride(&self) -> u64 {
+        self.expert_bytes.div_ceil(self.granularity) * self.granularity
+    }
+}
+
+/// The streaming MoE routing-skew source. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MoeRoutingSource {
+    cfg: MoeRoutingConfig,
+    rng: ChaCha8Rng,
+    /// `rank_to_expert[r]` = the expert id holding hotness rank `r` (a
+    /// seeded permutation, so the hot set differs per seed).
+    rank_to_expert: Vec<u32>,
+    /// Cumulative routing probability over ranks (Zipf).
+    cdf: Vec<f64>,
+    /// Requests emitted per expert id (skew observability).
+    per_expert: Vec<u64>,
+    next_step: u64,
+    next_id: u64,
+}
+
+impl MoeRoutingSource {
+    /// Build the source. Panics if the config has no experts, no layers, or
+    /// a zero granularity.
+    pub fn new(cfg: MoeRoutingConfig) -> Self {
+        assert!(cfg.experts > 0 && cfg.top_k > 0, "MoE needs routed experts");
+        assert!(cfg.layers > 0 && cfg.tokens_per_step > 0, "steps need work");
+        assert!(cfg.granularity > 0, "granularity must be non-zero");
+        let mut rng = seeded_rng(cfg.seed);
+        // Seeded Fisher-Yates: which experts are hot is itself random.
+        let mut rank_to_expert: Vec<u32> = (0..cfg.experts).collect();
+        for i in (1..rank_to_expert.len()).rev() {
+            let j = rng.gen_range(0..(i as u64 + 1)) as usize;
+            rank_to_expert.swap(i, j);
+        }
+        // Zipf CDF over ranks: weight(r) ∝ (r + 1)^(-s); s = 0 is uniform.
+        let mut cdf = Vec::with_capacity(cfg.experts as usize);
+        let mut acc = 0.0;
+        for r in 0..cfg.experts {
+            acc += ((r + 1) as f64).powf(-cfg.zipf_exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        let per_expert = vec![0u64; cfg.experts as usize];
+        MoeRoutingSource {
+            cfg,
+            rng,
+            rank_to_expert,
+            cdf,
+            per_expert,
+            next_step: 0,
+            // Ids start at 1: id 0 is auto-reassigned by multi-channel
+            // submit, which would break completion routing.
+            next_id: 1,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MoeRoutingConfig {
+        &self.cfg
+    }
+
+    /// Requests emitted so far per expert id — the observable skew (hot
+    /// experts accumulate many more re-reads across steps).
+    pub fn requests_per_expert(&self) -> &[u64] {
+        &self.per_expert
+    }
+
+    /// Total requests emitted so far.
+    pub fn requests_emitted(&self) -> u64 {
+        self.next_id - 1
+    }
+
+    fn step_arrival(&self, step: u64) -> Cycle {
+        step * self.cfg.step_period_ns
+    }
+
+    /// Sample one routed expert rank from the Zipf CDF.
+    fn sample_rank(rng: &mut ChaCha8Rng, cdf: &[f64]) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+    }
+
+    /// Generate one decode step: route every token, then stream each
+    /// distinct touched expert's weight region, layer by layer.
+    fn generate_step(&mut self, arrival: Cycle, out: &mut Vec<MemoryRequest>) {
+        let cfg = self.cfg.clone();
+        for layer in 0..cfg.layers as u64 {
+            let mut touched: BTreeSet<u32> = BTreeSet::new();
+            for _token in 0..cfg.tokens_per_step {
+                for _k in 0..cfg.top_k {
+                    let rank = Self::sample_rank(&mut self.rng, &self.cdf);
+                    touched.insert(self.rank_to_expert[rank]);
+                }
+            }
+            for expert in touched {
+                let region =
+                    cfg.base + (layer * cfg.experts as u64 + expert as u64) * cfg.expert_stride();
+                for i in 0..cfg.requests_per_expert() {
+                    let bytes = chunk_bytes(i, cfg.expert_bytes, cfg.granularity);
+                    out.push(MemoryRequest::read(
+                        self.next_id,
+                        region + i * cfg.granularity,
+                        bytes,
+                        arrival,
+                    ));
+                    self.next_id += 1;
+                    self.per_expert[expert as usize] += 1;
+                }
+            }
+        }
+    }
+}
+
+impl TrafficSource for MoeRoutingSource {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        (self.next_step < self.cfg.steps).then(|| self.step_arrival(self.next_step))
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        while self.next_step < self.cfg.steps && self.step_arrival(self.next_step) <= now {
+            let arrival = self.step_arrival(self.next_step);
+            self.next_step += 1;
+            self.generate_step(arrival, out);
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next_step >= self.cfg.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_llm::model::ModelConfig;
+    use rome_llm::ops::decode_step;
+    use rome_llm::parallelism::Parallelism;
+
+    fn tiny_cfg(zipf: f64, seed: u64) -> MoeRoutingConfig {
+        MoeRoutingConfig {
+            experts: 8,
+            top_k: 2,
+            expert_bytes: 100,
+            layers: 2,
+            tokens_per_step: 16,
+            steps: 3,
+            step_period_ns: 500,
+            granularity: 32,
+            base: 0,
+            zipf_exponent: zipf,
+            seed,
+        }
+    }
+
+    fn drain(src: &mut MoeRoutingSource) -> Vec<MemoryRequest> {
+        let mut out = Vec::new();
+        src.pull_into(Cycle::MAX, &mut out);
+        out
+    }
+
+    #[test]
+    fn steps_arrive_on_schedule_and_cover_expert_regions() {
+        let mut src = MoeRoutingSource::new(tiny_cfg(1.0, 7));
+        assert_eq!(src.next_arrival_at(), Some(0));
+        let mut out = Vec::new();
+        src.pull_into(0, &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.arrival == 0));
+        assert_eq!(src.next_arrival_at(), Some(500));
+        // Partial tail: 100-byte regions at 32-byte granularity end in 4 B.
+        assert!(out.iter().any(|r| r.bytes == 4));
+        src.pull_into(1_000, &mut out);
+        assert!(src.is_exhausted());
+        assert_eq!(src.next_arrival_at(), None);
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic_on_hot_experts() {
+        let mut uniform = MoeRoutingSource::new(tiny_cfg(0.0, 7));
+        let mut skewed = MoeRoutingSource::new(tiny_cfg(2.0, 7));
+        drain(&mut uniform);
+        drain(&mut skewed);
+        let spread = |s: &MoeRoutingSource| {
+            let max = *s.requests_per_expert().iter().max().unwrap() as f64;
+            let total: u64 = s.requests_per_expert().iter().sum();
+            max / total as f64
+        };
+        assert!(
+            spread(&skewed) > spread(&uniform),
+            "skewed {} vs uniform {}",
+            spread(&skewed),
+            spread(&uniform)
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let a = drain(&mut MoeRoutingSource::new(tiny_cfg(1.0, 1)));
+        let b = drain(&mut MoeRoutingSource::new(tiny_cfg(1.0, 1)));
+        let c = drain(&mut MoeRoutingSource::new(tiny_cfg(1.0, 2)));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_step_lowers_deepseek_moe() {
+        let model = ModelConfig::deepseek_v3();
+        let par = Parallelism::paper_decode(&model);
+        let step = decode_step(&model, &par, 32, 4096);
+        let cfg = MoeRoutingConfig::from_step(&step, &model.ffn, 4096, 1 << 10)
+            .expect("DeepSeek-V3 is MoE");
+        assert_eq!(cfg.experts, 256);
+        assert_eq!(cfg.top_k, 8);
+        assert_eq!(cfg.tokens_per_step, 32);
+        assert!(cfg.expert_bytes >= 4096);
+        assert!(cfg.layers > 0);
+        // A dense model lowers to None.
+        let dense = ModelConfig::llama3_405b();
+        let dstep = decode_step(&dense, &Parallelism::paper_decode(&dense), 8, 4096);
+        assert!(MoeRoutingConfig::from_step(&dstep, &dense.ffn, 4096, 1).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! Prefill/decode interleaved serving traffic.
+//!
+//! A serving engine alternates between two very different memory phases:
+//! *prefill* streams long sequential weight reads (compute-bound, dense
+//! bursts), *decode* scatters small KV-cache accesses plus occasional cache
+//! appends (memory-bound, sparse). [`PrefillDecodeInterleaveSource`]
+//! generates that alternation with a configurable steps-per-prefill ratio,
+//! tagging every request with its phase so per-phase bandwidth and latency
+//! can be attributed from the completions.
+//!
+//! The phase of a request is encoded in its id
+//! ([`PrefillDecodeInterleaveSource::stage_of`]), so attribution needs no
+//! side tables.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use rome_engine::request::{MemoryRequest, RequestId};
+use rome_engine::source::TrafficSource;
+use rome_hbm::units::Cycle;
+use rome_llm::model::ModelConfig;
+use rome_llm::ops::{decode_step, prefill_step};
+use rome_llm::parallelism::Parallelism;
+use rome_llm::types::Stage;
+
+use crate::synthetic::{chunk_bytes, for_each_wrapping_chunk, seeded_rng};
+
+/// Mint the next request id, carrying the phase tag in bit 0.
+fn mint_id(next_seq: &mut u64, decode: bool) -> u64 {
+    let id = (*next_seq << 1) | decode as u64;
+    *next_seq += 1;
+    id
+}
+
+/// Configuration of a [`PrefillDecodeInterleaveSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefillDecodeConfig {
+    /// Sequential bytes streamed per prefill phase.
+    pub prefill_bytes: u64,
+    /// Request size of prefill traffic (long sequential runs).
+    pub prefill_granularity: u64,
+    /// Bytes touched per decode step.
+    pub decode_bytes: u64,
+    /// Request size of decode traffic (sparse accesses).
+    pub decode_granularity: u64,
+    /// Decode steps interleaved after every prefill phase.
+    pub decode_steps_per_prefill: u32,
+    /// Number of prefill→decode rounds.
+    pub rounds: u32,
+    /// Arrival gap between consecutive phases (0 = one initial burst).
+    pub phase_period_ns: Cycle,
+    /// Base/span of the weight region prefill streams through (wrapping).
+    pub weight_base: u64,
+    /// Span of the weight region.
+    pub weight_span: u64,
+    /// Base/span of the KV-cache region decode scatters over.
+    pub kv_base: u64,
+    /// Span of the KV region.
+    pub kv_span: u64,
+    /// Every `kv_write_period`-th decode request is a cache append (write);
+    /// 0 = reads only.
+    pub kv_write_period: u64,
+    /// RNG seed for the decode scatter.
+    pub seed: u64,
+}
+
+impl PrefillDecodeConfig {
+    /// Derive phase sizes from a model's computed prefill and decode steps
+    /// (per-device traffic at the paper's parallelism), scaled down by
+    /// `scale` for tractable sampled simulation.
+    pub fn from_model(
+        model: &ModelConfig,
+        batch: u64,
+        seq_len: u64,
+        scale: u64,
+    ) -> PrefillDecodeConfig {
+        let scale = scale.max(1);
+        let pre = prefill_step(model, &Parallelism::paper_prefill(model), batch, seq_len);
+        let dec = decode_step(model, &Parallelism::paper_decode(model), batch, seq_len);
+        let prefill_bytes = (pre.total_bytes() / scale).max(4096);
+        let decode_bytes = (dec.total_bytes() / scale).max(32);
+        PrefillDecodeConfig {
+            prefill_bytes,
+            prefill_granularity: 4096,
+            decode_bytes,
+            decode_granularity: 32,
+            decode_steps_per_prefill: 4,
+            rounds: 2,
+            phase_period_ns: 0,
+            weight_base: 0,
+            weight_span: (prefill_bytes * 2).max(4096),
+            kv_base: 1 << 32,
+            kv_span: (decode_bytes * 8).max(4096),
+            kv_write_period: 4,
+            seed: 0x5e12f,
+        }
+    }
+}
+
+/// The interleaved prefill/decode source. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PrefillDecodeInterleaveSource {
+    cfg: PrefillDecodeConfig,
+    rng: ChaCha8Rng,
+    next_phase: u64,
+    /// Prefill cursor into the weight region (wraps).
+    weight_cursor: u64,
+    /// Request sequence number (the id carries the phase tag in bit 0).
+    next_seq: u64,
+    prefill_requests: u64,
+    decode_requests: u64,
+}
+
+impl PrefillDecodeInterleaveSource {
+    /// Build the source.
+    pub fn new(cfg: PrefillDecodeConfig) -> Self {
+        assert!(cfg.prefill_granularity > 0 && cfg.decode_granularity > 0);
+        assert!(cfg.prefill_bytes > 0 && cfg.decode_bytes > 0);
+        assert!(cfg.weight_span >= cfg.prefill_granularity);
+        assert!(cfg.kv_span >= cfg.decode_granularity);
+        assert!(cfg.rounds > 0);
+        let rng = seeded_rng(cfg.seed);
+        PrefillDecodeInterleaveSource {
+            cfg,
+            rng,
+            next_phase: 0,
+            weight_cursor: 0,
+            // Sequence numbers start at 1 so no id is ever 0 (id 0 is
+            // auto-reassigned by multi-channel submit).
+            next_seq: 1,
+            prefill_requests: 0,
+            decode_requests: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PrefillDecodeConfig {
+        &self.cfg
+    }
+
+    /// The phase a request id generated by this source belongs to.
+    pub fn stage_of(id: RequestId) -> Stage {
+        if id.0 & 1 == 0 {
+            Stage::Prefill
+        } else {
+            Stage::Decode
+        }
+    }
+
+    /// Prefill requests emitted so far.
+    pub fn prefill_requests(&self) -> u64 {
+        self.prefill_requests
+    }
+
+    /// Decode requests emitted so far.
+    pub fn decode_requests(&self) -> u64 {
+        self.decode_requests
+    }
+
+    /// Phases per round: one prefill plus the configured decode steps.
+    fn phases_per_round(&self) -> u64 {
+        1 + self.cfg.decode_steps_per_prefill as u64
+    }
+
+    /// Total phases over the whole run.
+    fn total_phases(&self) -> u64 {
+        self.cfg.rounds as u64 * self.phases_per_round()
+    }
+
+    fn phase_arrival(&self, phase: u64) -> Cycle {
+        phase * self.cfg.phase_period_ns
+    }
+
+    fn generate_prefill(&mut self, arrival: Cycle, out: &mut Vec<MemoryRequest>) {
+        let cfg = self.cfg.clone();
+        let next_seq = &mut self.next_seq;
+        let prefill_requests = &mut self.prefill_requests;
+        self.weight_cursor = for_each_wrapping_chunk(
+            cfg.weight_span,
+            self.weight_cursor,
+            cfg.prefill_bytes,
+            cfg.prefill_granularity,
+            |offset, bytes| {
+                let id = mint_id(next_seq, false);
+                out.push(MemoryRequest::read(
+                    id,
+                    cfg.weight_base + offset,
+                    bytes,
+                    arrival,
+                ));
+                *prefill_requests += 1;
+            },
+        );
+    }
+
+    fn generate_decode(&mut self, arrival: Cycle, out: &mut Vec<MemoryRequest>) {
+        let cfg = self.cfg.clone();
+        let slots = cfg.kv_span / cfg.decode_granularity;
+        let count = cfg.decode_bytes.div_ceil(cfg.decode_granularity);
+        for i in 0..count {
+            let bytes = chunk_bytes(i, cfg.decode_bytes, cfg.decode_granularity);
+            let slot = self.rng.gen_range(0..slots);
+            let addr = cfg.kv_base + slot * cfg.decode_granularity;
+            let id = mint_id(&mut self.next_seq, true);
+            let req = if cfg.kv_write_period > 0 && (i + 1).is_multiple_of(cfg.kv_write_period) {
+                MemoryRequest::write(id, addr, bytes, arrival)
+            } else {
+                MemoryRequest::read(id, addr, bytes, arrival)
+            };
+            out.push(req);
+            self.decode_requests += 1;
+        }
+    }
+}
+
+impl TrafficSource for PrefillDecodeInterleaveSource {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        (self.next_phase < self.total_phases()).then(|| self.phase_arrival(self.next_phase))
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        while self.next_phase < self.total_phases() && self.phase_arrival(self.next_phase) <= now {
+            let phase = self.next_phase;
+            let arrival = self.phase_arrival(phase);
+            self.next_phase += 1;
+            if phase.is_multiple_of(self.phases_per_round()) {
+                self.generate_prefill(arrival, out);
+            } else {
+                self.generate_decode(arrival, out);
+            }
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next_phase >= self.total_phases()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_engine::request::RequestKind;
+
+    fn tiny_cfg(seed: u64) -> PrefillDecodeConfig {
+        PrefillDecodeConfig {
+            prefill_bytes: 4 * 4096,
+            prefill_granularity: 4096,
+            decode_bytes: 8 * 32,
+            decode_granularity: 32,
+            decode_steps_per_prefill: 2,
+            rounds: 2,
+            phase_period_ns: 1_000,
+            weight_base: 0,
+            weight_span: 16 * 4096,
+            kv_base: 1 << 20,
+            kv_span: 1 << 16,
+            kv_write_period: 4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn phases_alternate_and_are_tagged() {
+        let mut src = PrefillDecodeInterleaveSource::new(tiny_cfg(3));
+        let mut out = Vec::new();
+        src.pull_into(0, &mut out);
+        // Phase 0 is a prefill burst: 4 sequential 4 KiB reads.
+        assert_eq!(out.len(), 4);
+        assert!(out
+            .iter()
+            .all(|r| PrefillDecodeInterleaveSource::stage_of(r.id) == Stage::Prefill));
+        assert_eq!(out[1].address.raw(), 4096);
+        out.clear();
+        src.pull_into(2_000, &mut out);
+        // Phases 1 and 2 are decode steps: sparse KV traffic with appends.
+        assert_eq!(out.len(), 16);
+        assert!(out
+            .iter()
+            .all(|r| PrefillDecodeInterleaveSource::stage_of(r.id) == Stage::Decode));
+        assert!(out.iter().all(|r| r.address.raw() >= 1 << 20));
+        assert_eq!(
+            out.iter().filter(|r| r.kind == RequestKind::Write).count(),
+            4
+        );
+        src.pull_into(Cycle::MAX, &mut out);
+        assert!(src.is_exhausted());
+        assert_eq!(src.prefill_requests(), 8);
+        assert_eq!(src.decode_requests(), 32);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let drain = |seed| {
+            let mut src = PrefillDecodeInterleaveSource::new(tiny_cfg(seed));
+            let mut out = Vec::new();
+            src.pull_into(Cycle::MAX, &mut out);
+            out
+        };
+        assert_eq!(drain(5), drain(5));
+        assert_ne!(drain(5), drain(6));
+    }
+
+    #[test]
+    fn from_model_scales_phase_sizes() {
+        let model = ModelConfig::grok_1();
+        let cfg = PrefillDecodeConfig::from_model(&model, 16, 4096, 1 << 14);
+        assert!(cfg.prefill_bytes >= 4096);
+        assert!(cfg.decode_bytes >= 32);
+        // Prefill moves much more data than one decode step at this batch.
+        assert!(cfg.prefill_bytes > cfg.decode_bytes);
+        let src = PrefillDecodeInterleaveSource::new(cfg);
+        assert!(!src.is_exhausted());
+    }
+}

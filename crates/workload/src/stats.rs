@@ -1,0 +1,139 @@
+//! Per-class completion statistics (per tenant, per phase, per window…).
+//!
+//! The streaming sources tag requests through their ids (tenant index,
+//! prefill/decode phase); [`ClassStats`] folds [`HostCompletion`]s into the
+//! bandwidth/latency summary of one such class, and [`ClassedStats`] keeps a
+//! labelled set of them — the shape the closed-loop sweeps and the
+//! `workload_scenarios` example report.
+
+use serde::{Deserialize, Serialize};
+
+use rome_engine::system::HostCompletion;
+use rome_hbm::units::Cycle;
+
+/// Bandwidth/latency summary of one request class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Completions observed.
+    pub completed: u64,
+    /// Useful bytes completed.
+    pub bytes: u64,
+    /// Sum of arrival-to-completion latencies in ns.
+    pub latency_sum_ns: u64,
+    /// Worst latency in ns.
+    pub latency_max_ns: u64,
+    /// Cycle of the latest completion.
+    pub last_completion_ns: Cycle,
+}
+
+impl ClassStats {
+    /// Fold one completion in (latency is completion minus recorded
+    /// arrival).
+    pub fn record(&mut self, c: &HostCompletion) {
+        let latency = c.completed.saturating_sub(c.arrival);
+        self.completed += 1;
+        self.bytes += c.bytes;
+        self.latency_sum_ns += latency;
+        self.latency_max_ns = self.latency_max_ns.max(latency);
+        self.last_completion_ns = self.last_completion_ns.max(c.completed);
+    }
+
+    /// Mean latency in ns (0 before any completion).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.completed as f64
+        }
+    }
+
+    /// Achieved useful bandwidth in decimal GB/s over `elapsed_ns`.
+    pub fn bandwidth_gbps(&self, elapsed_ns: Cycle) -> f64 {
+        self.bytes as f64 / elapsed_ns.max(1) as f64
+    }
+}
+
+/// A labelled set of [`ClassStats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassedStats {
+    classes: Vec<(String, ClassStats)>,
+}
+
+impl ClassedStats {
+    /// An empty set with the given class labels, in report order.
+    pub fn with_classes(labels: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        ClassedStats {
+            classes: labels
+                .into_iter()
+                .map(|l| (l.into(), ClassStats::default()))
+                .collect(),
+        }
+    }
+
+    /// Fold a completion into class `index`.
+    pub fn record(&mut self, index: usize, c: &HostCompletion) {
+        self.classes[index].1.record(c);
+    }
+
+    /// Iterate `(label, stats)` in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ClassStats)> {
+        self.classes.iter().map(|(l, s)| (l.as_str(), s))
+    }
+
+    /// The stats of class `index`.
+    pub fn class(&self, index: usize) -> &ClassStats {
+        &self.classes[index].1
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the set has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_engine::request::{RequestId, RequestKind};
+
+    fn completion(id: u64, bytes: u64, arrival: Cycle, completed: Cycle) -> HostCompletion {
+        HostCompletion {
+            id: RequestId(id),
+            kind: RequestKind::Read,
+            bytes,
+            arrival,
+            completed,
+        }
+    }
+
+    #[test]
+    fn class_stats_fold_latency_and_bytes() {
+        let mut s = ClassStats::default();
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        s.record(&completion(1, 64, 10, 50));
+        s.record(&completion(2, 32, 20, 100));
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.bytes, 96);
+        assert_eq!(s.mean_latency_ns(), 60.0);
+        assert_eq!(s.latency_max_ns, 80);
+        assert_eq!(s.last_completion_ns, 100);
+        assert!(s.bandwidth_gbps(100) > 0.9);
+    }
+
+    #[test]
+    fn classed_stats_keep_report_order() {
+        let mut cs = ClassedStats::with_classes(["prefill", "decode"]);
+        assert_eq!(cs.len(), 2);
+        assert!(!cs.is_empty());
+        cs.record(1, &completion(1, 32, 0, 40));
+        let labels: Vec<&str> = cs.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["prefill", "decode"]);
+        assert_eq!(cs.class(0).completed, 0);
+        assert_eq!(cs.class(1).completed, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Synthetic request-stream builders.
+//!
+//! These are the materialized generators behind the microbenchmark-style
+//! experiments — streaming reads/writes (the LLM-like pattern), strided
+//! accesses, uniformly random accesses — plus [`BurstSource`], their
+//! streaming counterpart (periodic bursts released as simulated time
+//! advances). `rome_mc::workload` re-exports the materialized builders, so
+//! every existing experiment keeps its exact request streams.
+//!
+//! When `total_bytes` is not a multiple of `granularity`, the builders emit
+//! a final *partial* request covering the tail (they used to silently
+//! truncate it); the sum of the generated request sizes always equals
+//! `total_bytes`.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use rome_engine::request::MemoryRequest;
+use rome_engine::source::TrafficSource;
+use rome_hbm::units::Cycle;
+
+/// The one place the workload RNG is seeded: a deterministic ChaCha8 stream
+/// for a 64-bit seed, shared by every seeded generator in this crate (and by
+/// `rome_mc::workload::random_reads` through its wrapper).
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Size of request `i` of a stream covering `total_bytes` at `granularity`:
+/// full requests followed by one partial tail when the total is not a
+/// multiple. The one definition of partial-tail chunking every generator in
+/// this crate shares.
+pub(crate) fn chunk_bytes(i: u64, total_bytes: u64, granularity: u64) -> u64 {
+    granularity.min(total_bytes - i * granularity)
+}
+
+/// Walk a wrapping cursor through `[0, span)` in `granularity`-sized chunks
+/// (clipped at the wrap point) until `total` bytes are covered, invoking
+/// `emit(offset, bytes)` per chunk. Returns the advanced cursor. The shared
+/// emitter behind [`BurstSource`] bursts and the prefill phase of
+/// `PrefillDecodeInterleaveSource`.
+pub(crate) fn for_each_wrapping_chunk(
+    span: u64,
+    mut cursor: u64,
+    total: u64,
+    granularity: u64,
+    mut emit: impl FnMut(u64, u64),
+) -> u64 {
+    let mut emitted = 0u64;
+    while emitted < total {
+        let bytes = granularity.min(total - emitted).min(span - cursor);
+        emit(cursor, bytes);
+        emitted += bytes;
+        cursor += bytes;
+        if cursor >= span {
+            cursor = 0;
+        }
+    }
+    cursor
+}
+
+/// Generate sequential read requests starting at `base` covering
+/// `total_bytes`, each of `granularity` bytes except a final partial request
+/// when the total is not a multiple, all arriving at cycle 0.
+pub fn streaming_reads(base: u64, total_bytes: u64, granularity: u64) -> Vec<MemoryRequest> {
+    assert!(granularity > 0);
+    let count = total_bytes.div_ceil(granularity);
+    (0..count)
+        .map(|i| {
+            MemoryRequest::read(
+                i,
+                base + i * granularity,
+                chunk_bytes(i, total_bytes, granularity),
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Generate sequential write requests (see [`streaming_reads`]).
+pub fn streaming_writes(base: u64, total_bytes: u64, granularity: u64) -> Vec<MemoryRequest> {
+    assert!(granularity > 0);
+    let count = total_bytes.div_ceil(granularity);
+    (0..count)
+        .map(|i| {
+            MemoryRequest::write(
+                i,
+                base + i * granularity,
+                chunk_bytes(i, total_bytes, granularity),
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Generate a read-dominated mix: one write every `write_period` requests.
+/// Covers `total_bytes` including a final partial request (see
+/// [`streaming_reads`]).
+pub fn read_write_mix(
+    base: u64,
+    total_bytes: u64,
+    granularity: u64,
+    write_period: u64,
+) -> Vec<MemoryRequest> {
+    assert!(granularity > 0 && write_period > 0);
+    let count = total_bytes.div_ceil(granularity);
+    (0..count)
+        .map(|i| {
+            let addr = base + i * granularity;
+            let bytes = chunk_bytes(i, total_bytes, granularity);
+            if i % write_period == write_period - 1 {
+                MemoryRequest::write(i, addr, bytes, 0)
+            } else {
+                MemoryRequest::read(i, addr, bytes, 0)
+            }
+        })
+        .collect()
+}
+
+/// Generate strided reads: `count` requests of `granularity` bytes, spaced
+/// `stride` bytes apart.
+pub fn strided_reads(base: u64, count: u64, granularity: u64, stride: u64) -> Vec<MemoryRequest> {
+    (0..count)
+        .map(|i| MemoryRequest::read(i, base + i * stride, granularity, 0))
+        .collect()
+}
+
+/// Generate uniformly random reads within `[base, base + span)`, aligned to
+/// `granularity`. Deterministic for a given `seed`.
+pub fn random_reads(
+    base: u64,
+    span: u64,
+    count: u64,
+    granularity: u64,
+    seed: u64,
+) -> Vec<MemoryRequest> {
+    assert!(granularity > 0 && span >= granularity);
+    let mut rng = seeded_rng(seed);
+    let slots = span / granularity;
+    (0..count)
+        .map(|i| {
+            let slot = rng.gen_range(0..slots);
+            MemoryRequest::read(i, base + slot * granularity, granularity, 0)
+        })
+        .collect()
+}
+
+/// A streaming source emitting periodic bursts of sequential traffic: every
+/// `period_ns` a burst of `bytes_per_burst` sequential bytes (granularity-
+/// sized requests, partial tail included) arrives, the cursor advancing
+/// through `[base, base + span)` and wrapping. One request in every
+/// `write_period` is a write (`0` = reads only).
+///
+/// This is the shape one serving tenant presents to the memory system — a
+/// decode step's worth of traffic released per scheduling interval — and the
+/// building block `MultiTenantMixSource` composes.
+#[derive(Debug, Clone)]
+pub struct BurstSource {
+    base: u64,
+    span: u64,
+    bytes_per_burst: u64,
+    granularity: u64,
+    period_ns: Cycle,
+    bursts: u64,
+    write_period: u64,
+    /// Next burst index not yet generated.
+    next_burst: u64,
+    /// Byte offset of the next request within the span (wraps).
+    cursor: u64,
+    /// Next request id (also the per-source request sequence number).
+    next_id: u64,
+}
+
+impl BurstSource {
+    /// Build a burst source. `span` is rounded up to at least one burst;
+    /// `granularity` must be non-zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        base: u64,
+        span: u64,
+        bytes_per_burst: u64,
+        granularity: u64,
+        period_ns: Cycle,
+        bursts: u64,
+        write_period: u64,
+    ) -> Self {
+        assert!(granularity > 0, "granularity must be non-zero");
+        assert!(bytes_per_burst > 0, "bursts must carry traffic");
+        BurstSource {
+            base,
+            span: span.max(bytes_per_burst),
+            bytes_per_burst,
+            granularity,
+            period_ns,
+            bursts,
+            write_period,
+            next_burst: 0,
+            cursor: 0,
+            // Ids start at 1: id 0 is auto-reassigned by multi-channel
+            // submit, which would break completion routing.
+            next_id: 1,
+        }
+    }
+
+    /// Arrival cycle of burst `i`.
+    fn burst_arrival(&self, i: u64) -> Cycle {
+        i * self.period_ns
+    }
+
+    /// Total requests a full run of this source generates.
+    pub fn total_requests(&self) -> u64 {
+        self.bursts * self.bytes_per_burst.div_ceil(self.granularity)
+    }
+
+    /// Append one burst's requests (sequential, wrapping cursor) to `out`.
+    fn generate_burst(&mut self, arrival: Cycle, out: &mut Vec<MemoryRequest>) {
+        let (base, write_period) = (self.base, self.write_period);
+        let next_id = &mut self.next_id;
+        self.cursor = for_each_wrapping_chunk(
+            self.span,
+            self.cursor,
+            self.bytes_per_burst,
+            self.granularity,
+            |offset, bytes| {
+                let id = *next_id;
+                *next_id += 1;
+                let addr = base + offset;
+                let req = if write_period > 0 && id.is_multiple_of(write_period) {
+                    MemoryRequest::write(id, addr, bytes, arrival)
+                } else {
+                    MemoryRequest::read(id, addr, bytes, arrival)
+                };
+                out.push(req);
+            },
+        );
+    }
+}
+
+impl TrafficSource for BurstSource {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        (self.next_burst < self.bursts).then(|| self.burst_arrival(self.next_burst))
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        while self.next_burst < self.bursts && self.burst_arrival(self.next_burst) <= now {
+            let arrival = self.burst_arrival(self.next_burst);
+            self.next_burst += 1;
+            self.generate_burst(arrival, out);
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next_burst >= self.bursts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_engine::request::RequestKind;
+
+    #[test]
+    fn streaming_covers_partial_tail() {
+        let reqs = streaming_reads(0, 100, 32);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[3].bytes, 4);
+        let total: u64 = reqs.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, 100);
+        let writes = streaming_writes(0, 100, 32);
+        assert_eq!(writes.len(), 4);
+        assert_eq!(writes[3].bytes, 4);
+        assert!(writes.iter().all(|r| r.kind == RequestKind::Write));
+        let mix = read_write_mix(0, 100, 32, 2);
+        let total: u64 = mix.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn exact_multiples_are_unchanged() {
+        let reqs = streaming_reads(0x1000, 1024, 32);
+        assert_eq!(reqs.len(), 32);
+        assert!(reqs.iter().all(|r| r.bytes == 32));
+        assert_eq!(reqs[31].address.raw(), 0x1000 + 31 * 32);
+    }
+
+    #[test]
+    fn random_reads_share_the_seeding_helper() {
+        let a = random_reads(0, 1 << 20, 50, 32, 9);
+        let b = random_reads(0, 1 << 20, 50, 32, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|r| r.address.raw() % 32 == 0));
+    }
+
+    #[test]
+    fn burst_source_releases_on_schedule() {
+        let mut src = BurstSource::new(0, 1 << 20, 100, 32, 50, 3, 0);
+        assert_eq!(src.total_requests(), 12);
+        let mut out = Vec::new();
+        src.pull_into(0, &mut out);
+        assert_eq!(out.len(), 4, "one burst due at cycle 0");
+        assert_eq!(out.iter().map(|r| r.bytes).sum::<u64>(), 100);
+        assert_eq!(src.next_arrival_at(), Some(50));
+        src.pull_into(49, &mut out);
+        assert_eq!(out.len(), 4);
+        src.pull_into(120, &mut out);
+        assert_eq!(out.len(), 12, "both remaining bursts due");
+        assert!(src.is_exhausted());
+        assert!(out.iter().all(|r| r.kind == RequestKind::Read));
+    }
+
+    #[test]
+    fn burst_source_wraps_and_mixes_writes() {
+        let mut src = BurstSource::new(0, 64, 64, 32, 10, 2, 2);
+        let mut out = Vec::new();
+        src.pull_into(100, &mut out);
+        assert_eq!(out.len(), 4);
+        // Cursor wrapped: second burst re-covers the same 64-byte span.
+        assert_eq!(out[2].address.raw(), 0);
+        // Every 2nd request is a write.
+        assert_eq!(
+            out.iter().filter(|r| r.kind == RequestKind::Write).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Multi-tenant traffic mixes.
+//!
+//! A serving deployment rarely runs one workload: several tenants (models,
+//! batch sizes, arrival rates) share the same memory system.
+//! [`MultiTenantMixSource`] composes any set of [`TrafficSource`]s into one
+//! stream, merged deterministically by arrival time (ties broken by tenant
+//! index, order within a tenant preserved). Every request id is re-tagged
+//! with its tenant so completions can be attributed per tenant and routed
+//! back to the originating source's [`TrafficSource::on_completion`] — a
+//! closed-loop tenant behind the mix keeps working.
+//!
+//! [`TenantSpec`] builds the common case from `rome-llm` models: each tenant
+//! presents one decode step's worth of (scaled) traffic per scheduling
+//! period over a tenant-private address region.
+
+use rome_engine::request::{MemoryRequest, RequestId};
+use rome_engine::source::TrafficSource;
+use rome_engine::system::HostCompletion;
+use rome_hbm::units::Cycle;
+use rome_llm::model::ModelConfig;
+use rome_llm::ops::decode_step;
+use rome_llm::parallelism::Parallelism;
+
+use crate::synthetic::BurstSource;
+
+/// Bits of a mixed request id reserved for the tenant-local id.
+const TENANT_SHIFT: u32 = 48;
+/// Address-space region reserved per tenant by [`TenantSpec`] builds.
+const TENANT_REGION_BYTES: u64 = 1 << 30;
+
+/// One tenant of a [`MultiTenantMixSource`]: a name and its traffic source.
+pub struct Tenant {
+    /// Tenant name (reports and per-tenant stats).
+    pub name: String,
+    source: Box<dyn TrafficSource + Send>,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant").field("name", &self.name).finish()
+    }
+}
+
+/// A declarative tenant: one `rome-llm` model served at one batch size and
+/// arrival rate. Lowered to a [`BurstSource`] whose bursts carry one scaled
+/// decode step of traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name.
+    pub name: String,
+    /// The model this tenant serves.
+    pub model: ModelConfig,
+    /// Decode batch size.
+    pub batch: u64,
+    /// Context length.
+    pub seq_len: u64,
+    /// Arrival period between decode steps in ns (the tenant's rate).
+    pub period_ns: Cycle,
+    /// Decode steps to generate.
+    pub steps: u64,
+    /// Traffic scale divisor (1 = full per-device step traffic).
+    pub scale: u64,
+    /// Request granularity.
+    pub granularity: u64,
+}
+
+impl TenantSpec {
+    /// Lower to a burst source over a private region starting at `base`.
+    /// Returns the source and the region span it actually occupies (a large
+    /// tenant's working set may exceed the 1 GiB region granularity; the caller
+    /// places the next tenant past it, so regions never overlap).
+    fn build(&self, base: u64) -> (BurstSource, u64) {
+        let par = Parallelism::paper_decode(&self.model);
+        let step = decode_step(&self.model, &par, self.batch, self.seq_len);
+        let bytes_per_burst = (step.total_bytes() / self.scale.max(1)).max(self.granularity);
+        let span = bytes_per_burst * 4;
+        let source = BurstSource::new(
+            base,
+            span,
+            bytes_per_burst,
+            self.granularity,
+            self.period_ns,
+            self.steps,
+            0,
+        );
+        (source, span)
+    }
+}
+
+/// The deterministic multi-tenant merge. See the module docs.
+#[derive(Debug, Default)]
+pub struct MultiTenantMixSource {
+    tenants: Vec<Tenant>,
+    /// Scratch for per-tenant pulls.
+    scratch: Vec<MemoryRequest>,
+    /// Merge buffer: `(arrival, tenant, per-pull sequence)` keys.
+    merge: Vec<(Cycle, usize, usize, MemoryRequest)>,
+}
+
+impl MultiTenantMixSource {
+    /// An empty mix.
+    pub fn new() -> Self {
+        MultiTenantMixSource::default()
+    }
+
+    /// Build a mix from declarative specs. Tenant regions are disjoint:
+    /// each tenant's base is placed past the previous tenant's working set,
+    /// aligned up to the 1 GiB region granularity (so tenant `i` starts at
+    /// `i` GiB unless an earlier tenant's scaled traffic outgrew its GiB).
+    pub fn from_specs(specs: &[TenantSpec]) -> Self {
+        let mut mix = MultiTenantMixSource::new();
+        let mut base = 0u64;
+        for spec in specs {
+            let (source, span) = spec.build(base);
+            mix.add_tenant(spec.name.clone(), source);
+            base = (base + span).next_multiple_of(TENANT_REGION_BYTES);
+        }
+        mix
+    }
+
+    /// Append a tenant (builder style).
+    pub fn with_tenant(
+        mut self,
+        name: impl Into<String>,
+        source: impl TrafficSource + Send + 'static,
+    ) -> Self {
+        self.add_tenant(name, source);
+        self
+    }
+
+    /// Append a tenant.
+    pub fn add_tenant(
+        &mut self,
+        name: impl Into<String>,
+        source: impl TrafficSource + Send + 'static,
+    ) {
+        assert!(
+            self.tenants.len() < (1 << 15) - 1,
+            "tenant index must fit the id tag"
+        );
+        self.tenants.push(Tenant {
+            name: name.into(),
+            source: Box::new(source),
+        });
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The name of tenant `index`.
+    pub fn tenant_name(&self, index: usize) -> &str {
+        &self.tenants[index].name
+    }
+
+    /// The tenant a mixed request id belongs to, or `None` for ids this mix
+    /// did not issue.
+    pub fn tenant_of(&self, id: RequestId) -> Option<usize> {
+        let tag = (id.0 >> TENANT_SHIFT) as usize;
+        (tag >= 1 && tag <= self.tenants.len()).then(|| tag - 1)
+    }
+
+    /// Tag a tenant-local id with its tenant index.
+    fn encode(tenant: usize, inner: u64) -> RequestId {
+        assert!(
+            inner < (1u64 << TENANT_SHIFT),
+            "tenant-local ids must fit {TENANT_SHIFT} bits"
+        );
+        RequestId(((tenant as u64 + 1) << TENANT_SHIFT) | inner)
+    }
+
+    /// Strip the tenant tag, recovering the tenant-local id.
+    fn decode(id: RequestId) -> u64 {
+        id.0 & ((1u64 << TENANT_SHIFT) - 1)
+    }
+}
+
+impl TrafficSource for MultiTenantMixSource {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        self.tenants
+            .iter()
+            .filter_map(|t| t.source.next_arrival_at())
+            .min()
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        self.merge.clear();
+        for (idx, tenant) in self.tenants.iter_mut().enumerate() {
+            tenant.source.pull_into(now, &mut self.scratch);
+            for (seq, mut req) in self.scratch.drain(..).enumerate() {
+                req.id = Self::encode(idx, req.id.0);
+                self.merge.push((req.arrival, idx, seq, req));
+            }
+        }
+        // Deterministic merge: arrival time, then tenant index; the per-pull
+        // sequence key keeps each tenant's own order (sort_unstable is safe
+        // because the full key is unique).
+        self.merge
+            .sort_unstable_by_key(|(arrival, tenant, seq, _)| (*arrival, *tenant, *seq));
+        out.extend(self.merge.drain(..).map(|(_, _, _, req)| req));
+    }
+
+    fn on_completion(&mut self, completion: &HostCompletion) {
+        if let Some(tenant) = self.tenant_of(completion.id) {
+            let mut local = *completion;
+            local.id = RequestId(Self::decode(completion.id));
+            self.tenants[tenant].source.on_completion(&local);
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.tenants.iter().all(|t| t.source.is_exhausted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_engine::source::ReplaySource;
+
+    fn req(id: u64, addr: u64, arrival: Cycle) -> MemoryRequest {
+        MemoryRequest::read(id, addr, 32, arrival)
+    }
+
+    #[test]
+    fn merge_is_deterministic_by_arrival_then_tenant() {
+        let a = ReplaySource::from(vec![req(0, 0, 0), req(1, 32, 20)]);
+        let b = ReplaySource::from(vec![req(0, 64, 0), req(1, 96, 10)]);
+        let mut mix = MultiTenantMixSource::new()
+            .with_tenant("a", a)
+            .with_tenant("b", b);
+        assert_eq!(mix.tenants(), 2);
+        let mut out = Vec::new();
+        mix.pull_into(20, &mut out);
+        // Arrival order 0,0,10,20 with tenant a before b at equal arrivals.
+        let tenants: Vec<usize> = out.iter().map(|r| mix.tenant_of(r.id).unwrap()).collect();
+        assert_eq!(tenants, vec![0, 1, 1, 0]);
+        let arrivals: Vec<Cycle> = out.iter().map(|r| r.arrival).collect();
+        assert_eq!(arrivals, vec![0, 0, 10, 20]);
+        assert!(mix.is_exhausted());
+        assert_eq!(mix.tenant_name(0), "a");
+    }
+
+    #[test]
+    fn completions_route_back_to_their_tenant() {
+        // Tenant 1 is closed-loop-ish: a replay we observe through the mix.
+        let a = ReplaySource::from(vec![req(7, 0, 0)]);
+        let mut mix = MultiTenantMixSource::new().with_tenant("only", a);
+        let mut out = Vec::new();
+        mix.pull_into(0, &mut out);
+        assert_eq!(out.len(), 1);
+        let id = out[0].id;
+        assert_eq!(mix.tenant_of(id), Some(0));
+        assert_eq!(MultiTenantMixSource::decode(id), 7);
+        // Foreign ids are ignored.
+        assert_eq!(mix.tenant_of(RequestId(42)), None);
+        mix.on_completion(&HostCompletion {
+            id,
+            kind: out[0].kind,
+            bytes: 32,
+            arrival: 0,
+            completed: 99,
+        });
+        assert!(mix.is_exhausted());
+    }
+
+    #[test]
+    fn oversized_tenants_do_not_overlap_their_neighbors() {
+        // Regression: a tenant whose scaled working set exceeds the 1 GiB
+        // default region must push the next tenant's base past it instead of
+        // silently aliasing its neighbor's addresses.
+        let spec = |name: &str, scale| TenantSpec {
+            name: name.into(),
+            model: ModelConfig::grok_1(),
+            batch: 64,
+            seq_len: 4096,
+            period_ns: 0,
+            steps: 1,
+            scale,
+            granularity: 1 << 20, // 1 MiB requests keep the pull small
+        };
+        // Tenant 0's burst is ~1.4 GB — bigger than the 1 GiB default region.
+        let mut mix = MultiTenantMixSource::from_specs(&[spec("big", 64), spec("small", 1 << 16)]);
+        let mut out = Vec::new();
+        mix.pull_into(Cycle::MAX, &mut out);
+        let range = |t: usize| {
+            let addrs: Vec<u64> = out
+                .iter()
+                .filter(|r| mix.tenant_of(r.id) == Some(t))
+                .map(|r| r.address.raw())
+                .collect();
+            (*addrs.iter().min().unwrap(), *addrs.iter().max().unwrap())
+        };
+        let (min0, max0) = range(0);
+        let (min1, _) = range(1);
+        assert_eq!(min0, 0);
+        assert!(max0 >= TENANT_REGION_BYTES, "tenant 0 outgrew its GiB");
+        assert!(min1 > max0, "tenant 1 must start past tenant 0's region");
+        assert!(min1.is_multiple_of(TENANT_REGION_BYTES));
+    }
+
+    #[test]
+    fn specs_build_disjoint_regions() {
+        let spec = |name: &str, batch| TenantSpec {
+            name: name.into(),
+            model: ModelConfig::grok_1(),
+            batch,
+            seq_len: 4096,
+            period_ns: 1_000,
+            steps: 2,
+            scale: 1 << 16,
+            granularity: 4096,
+        };
+        let mut mix = MultiTenantMixSource::from_specs(&[spec("g16", 16), spec("g64", 64)]);
+        let mut out = Vec::new();
+        mix.pull_into(Cycle::MAX, &mut out);
+        assert!(!out.is_empty());
+        for r in &out {
+            let tenant = mix.tenant_of(r.id).unwrap();
+            let region = r.address.raw() / TENANT_REGION_BYTES;
+            assert_eq!(region, tenant as u64, "tenant regions must not overlap");
+        }
+        // The larger batch moves more bytes per step.
+        let bytes = |t: usize| -> u64 {
+            out.iter()
+                .filter(|r| mix.tenant_of(r.id) == Some(t))
+                .map(|r| r.bytes)
+                .sum()
+        };
+        assert!(bytes(1) > bytes(0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Serving-style workload scenarios on the streaming workload subsystem:
+//!
+//! 1. a **closed-loop MoE-skew window sweep** — DeepSeek-V3-derived expert
+//!    routing with Zipf hot-expert skew, driven through a `ClosedLoopHost`
+//!    at increasing windows on both memory systems (the latency/bandwidth
+//!    curve);
+//! 2. a **prefill/decode interleave** run with per-phase attribution;
+//! 3. a **multi-tenant mix** with per-tenant attribution.
+//!
+//! Run with: `cargo run --release --example workload_scenarios`
+
+use rome::llm::{decode_step, ModelConfig, Parallelism};
+use rome::mc::system::{MemorySystem, MemorySystemConfig};
+use rome::sim::serving::closed_loop_sweep;
+use rome::sim::MemorySystemKind;
+use rome::workload::{
+    ClassedStats, MoeRoutingConfig, MoeRoutingSource, MultiTenantMixSource, PrefillDecodeConfig,
+    PrefillDecodeInterleaveSource, TenantSpec, TrafficSource,
+};
+
+fn moe_source(seed: u64) -> MoeRoutingSource {
+    // Expert regions derived from a real DeepSeek-V3 decode step, scaled for
+    // a sampled 4-channel system, with a hot-expert Zipf skew.
+    let model = ModelConfig::deepseek_v3();
+    let par = Parallelism::paper_decode(&model);
+    let step = decode_step(&model, &par, 32, 4096);
+    let mut cfg =
+        MoeRoutingConfig::from_step(&step, &model.ffn, 4096, 1 << 12).expect("DeepSeek-V3 is MoE");
+    cfg.layers = 2; // sample the layer dimension
+    cfg.steps = 2;
+    cfg.tokens_per_step = 16;
+    cfg.zipf_exponent = 1.2;
+    cfg.seed = seed;
+    MoeRoutingSource::new(cfg)
+}
+
+fn main() {
+    // ---- 1. Closed-loop MoE-skew window sweep, both memory systems. ----
+    let windows = [1usize, 4, 16, 64];
+    println!("closed-loop MoE routing skew (DeepSeek-V3-derived, Zipf 1.2):");
+    for kind in [MemorySystemKind::Hbm4, MemorySystemKind::Rome] {
+        let points = closed_loop_sweep(kind, 4, &windows, 50_000_000, |_| moe_source(42));
+        println!("  {kind}:");
+        println!("    window   completed   GB/s      mean ns     max ns");
+        for p in &points {
+            println!(
+                "    {:>6}   {:>9}   {:7.2}   {:9.1}   {:>8}",
+                p.window, p.completed, p.achieved_gbps, p.mean_latency_ns, p.max_latency_ns
+            );
+        }
+    }
+
+    // ---- 2. Prefill/decode interleave with per-phase stats. ----
+    let model = ModelConfig::grok_1();
+    let mut cfg = PrefillDecodeConfig::from_model(&model, 16, 4096, 1 << 20);
+    cfg.phase_period_ns = 2_000;
+    let mut source = PrefillDecodeInterleaveSource::new(cfg);
+    let mut sys = MemorySystem::new(MemorySystemConfig::hbm4(4));
+    let (done, stop) = sys.run_with_source(&mut source, 50_000_000);
+    let mut phases = ClassedStats::with_classes(["prefill", "decode"]);
+    for c in &done {
+        let class = match PrefillDecodeInterleaveSource::stage_of(c.id) {
+            rome::llm::Stage::Prefill => 0,
+            rome::llm::Stage::Decode => 1,
+        };
+        phases.record(class, c);
+    }
+    println!("\nprefill/decode interleave (Grok-1-derived) on HBM4, {stop} ns:");
+    for (label, s) in phases.iter() {
+        println!(
+            "  {label:>8}: {:>5} requests, {:>9} B, {:7.2} GB/s, mean latency {:8.1} ns",
+            s.completed,
+            s.bytes,
+            s.bandwidth_gbps(stop),
+            s.mean_latency_ns()
+        );
+    }
+
+    // ---- 3. Multi-tenant mix with per-tenant stats. ----
+    let specs = vec![
+        TenantSpec {
+            name: "deepseek-b8".into(),
+            model: ModelConfig::deepseek_v3(),
+            batch: 8,
+            seq_len: 4096,
+            period_ns: 3_000,
+            steps: 4,
+            scale: 1 << 17,
+            granularity: 4096,
+        },
+        TenantSpec {
+            name: "grok-b64".into(),
+            model: ModelConfig::grok_1(),
+            batch: 64,
+            seq_len: 4096,
+            period_ns: 5_000,
+            steps: 3,
+            scale: 1 << 17,
+            granularity: 4096,
+        },
+        TenantSpec {
+            name: "llama-b16".into(),
+            model: ModelConfig::llama3_405b(),
+            batch: 16,
+            seq_len: 4096,
+            period_ns: 4_000,
+            steps: 3,
+            scale: 1 << 18,
+            granularity: 4096,
+        },
+    ];
+    let mut mix = MultiTenantMixSource::from_specs(&specs);
+    let mut sys = MemorySystem::new(MemorySystemConfig::hbm4(4));
+    let (done, stop) = sys.run_with_source(&mut mix, 50_000_000);
+    assert!(mix.is_exhausted(), "mix must drain");
+    let mut tenants = ClassedStats::with_classes(specs.iter().map(|s| s.name.clone()));
+    for c in &done {
+        tenants.record(mix.tenant_of(c.id).expect("mix id"), c);
+    }
+    println!("\nmulti-tenant mix on HBM4, {stop} ns:");
+    for (label, s) in tenants.iter() {
+        println!(
+            "  {label:>12}: {:>5} requests, {:>9} B, {:7.2} GB/s, mean latency {:8.1} ns",
+            s.completed,
+            s.bytes,
+            s.bandwidth_gbps(stop),
+            s.mean_latency_ns()
+        );
+    }
+}

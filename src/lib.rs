@@ -16,6 +16,10 @@
 //!   C/A pin accounting, and channel expansion.
 //! * [`llm`] — LLM workload models (DeepSeek-V3, Grok-1, Llama-3-405B) and
 //!   their prefill/decode memory traffic.
+//! * [`workload`] — the streaming workload subsystem: lazy `TrafficSource`
+//!   request generators (MoE routing skew, prefill/decode interleave,
+//!   multi-tenant mixes), the closed-loop host model, and the synthetic
+//!   stream builders.
 //! * [`sim`] — system-level co-simulation: accelerator model, TPOT, channel
 //!   load balance, energy roll-up.
 //! * [`energy`] — DRAM energy and area models.
@@ -30,3 +34,4 @@ pub use rome_hbm as hbm;
 pub use rome_llm as llm;
 pub use rome_mc as mc;
 pub use rome_sim as sim;
+pub use rome_workload as workload;
