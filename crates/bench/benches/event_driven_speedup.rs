@@ -113,6 +113,97 @@ fn workload_moe_closed_loop(window: usize, rome: bool) -> f64 {
     host.achieved_gbps()
 }
 
+/// The scenario-server batch: the calibration-heavy serving shape (both
+/// calibration points, two calibrated TPOT points, one closed-loop MoE
+/// point). Warm = one long-lived `ScenarioEngine` whose calibration cache
+/// is already hot, the way a scenario server runs batch after batch. Cold =
+/// a fresh engine per scenario, the way one process per experiment used to
+/// run — every calibrated scenario pays the cycle-accurate calibration
+/// again. Results are identical either way (the scenario_server suite pins
+/// this); only wall-clock differs.
+fn server_batch_specs() -> Vec<rome_server::ScenarioSpec> {
+    use rome_server::{ScenarioSpec, WorkloadSpec};
+    use rome_sim::MemorySystemKind;
+    vec![
+        ScenarioSpec::Calibration {
+            name: "cal-hbm4".into(),
+            system: MemorySystemKind::Hbm4,
+        },
+        ScenarioSpec::Calibration {
+            name: "cal-rome".into(),
+            system: MemorySystemKind::Rome,
+        },
+        ScenarioSpec::Tpot {
+            name: "tpot-grok".into(),
+            model: "grok-1".into(),
+            batch: 64,
+            seq_len: 8192,
+            calibrated: true,
+        },
+        ScenarioSpec::Tpot {
+            name: "tpot-deepseek".into(),
+            model: "deepseek-v3".into(),
+            batch: 64,
+            seq_len: 8192,
+            calibrated: true,
+        },
+        ScenarioSpec::ClosedLoop {
+            name: "moe-w16".into(),
+            system: MemorySystemKind::Rome,
+            channels: 4,
+            windows: vec![16],
+            max_ns: 50_000_000,
+            workload: WorkloadSpec::Moe(rome_workload::MoeRoutingConfig {
+                experts: 32,
+                top_k: 4,
+                expert_bytes: 16 * 1024,
+                layers: 2,
+                tokens_per_step: 16,
+                steps: 2,
+                step_period_ns: 0,
+                granularity: 4096,
+                base: 0,
+                zipf_exponent: 1.2,
+                seed: 42,
+            }),
+        },
+    ]
+}
+
+/// Serve the batch on `engine`, returning a bandwidth checksum.
+fn serve_server_batch(engine: &rome_server::ScenarioEngine) -> f64 {
+    let results = engine.serve_batch(&server_batch_specs());
+    results
+        .iter()
+        .map(
+            |r| match &r.as_ref().expect("batch is well-formed").payload {
+                rome_server::ResultPayload::Calibration(c) => c.bandwidth_utilization,
+                rome_server::ResultPayload::Tpot { hbm4, rome } => hbm4.tpot_ms + rome.tpot_ms,
+                rome_server::ResultPayload::ClosedLoop(points) => points[0].achieved_gbps,
+                _ => 0.0,
+            },
+        )
+        .sum()
+}
+
+/// Cold per-scenario serving: a fresh engine (cold calibration cache) per
+/// spec, like one process per experiment.
+fn serve_server_batch_cold() -> f64 {
+    server_batch_specs()
+        .iter()
+        .map(|spec| {
+            let engine = rome_server::ScenarioEngine::new();
+            let result = engine.serve(spec).expect("batch is well-formed");
+            match &result.payload {
+                rome_server::ResultPayload::Calibration(c) => c.bandwidth_utilization,
+                rome_server::ResultPayload::Tpot { hbm4, rome } => hbm4.tpot_ms + rome.tpot_ms,
+                rome_server::ResultPayload::ClosedLoop(points) => points[0].achieved_gbps,
+                _ => 0.0,
+            }
+        })
+        .sum()
+}
+
 fn rome_sweep(stepped: bool) -> f64 {
     let mut bw = 0.0;
     for &depth in &DEPTHS {
@@ -210,6 +301,20 @@ fn bench(c: &mut Criterion) {
         "RoMe closed-loop bandwidth must grow with the window"
     );
 
+    // Scenario-server batch: warm engine (calibration cached across
+    // batches) vs a cold engine per scenario. The warm engine is warmed
+    // once outside the timed region — that first batch is exactly the cold
+    // cost, which the cold arm measures.
+    let warm_engine = rome_server::ScenarioEngine::new();
+    let warm_checksum = serve_server_batch(&warm_engine);
+    let server_warm = time_it(repeats, || serve_server_batch(&warm_engine));
+    let server_cold = time_it(1, serve_server_batch_cold);
+    assert_eq!(
+        warm_checksum,
+        serve_server_batch_cold(),
+        "warm and cold scenario serving diverged"
+    );
+
     let total_event = mc_event + rome_event;
     let total_stepped = mc_stepped + rome_stepped;
     println!("\nqueue-depth sweep, event-driven vs cycle-stepped (wall-clock):");
@@ -247,6 +352,13 @@ fn bench(c: &mut Criterion) {
         "  closed-loop MoE skew (w=1 -> w=16): HBM4 {:6.2} -> {:6.2} GB/s, RoMe {:6.2} -> {:6.2} GB/s",
         wl_hbm4_w1, wl_hbm4_w16, wl_rome_w1, wl_rome_w16
     );
+    println!(
+        "  scenario-server batch ({} scenarios): cold per-scenario {:8.2} ms -> warm engine {:8.2} ms  ({:5.2}x)",
+        server_batch_specs().len(),
+        server_cold * 1e3,
+        server_warm * 1e3,
+        server_cold / server_warm
+    );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_json(
@@ -273,8 +385,15 @@ fn bench(c: &mut Criterion) {
             ("workload_moe_hbm4_w16_gbps", wl_hbm4_w16),
             ("workload_moe_rome_w1_gbps", wl_rome_w1),
             ("workload_moe_rome_w16_gbps", wl_rome_w16),
+            ("server_batch_cold_ms", server_cold * 1e3),
+            ("server_batch_warm_ms", server_warm * 1e3),
+            ("server_batch_speedup", server_cold / server_warm),
         ],
     );
+
+    c.bench_function("server_batch_warm", |b| {
+        b.iter(|| black_box(serve_server_batch(&warm_engine)))
+    });
 
     c.bench_function("workload_moe_closed_loop", |b| {
         b.iter(|| black_box(workload_moe_closed_loop(16, false)))

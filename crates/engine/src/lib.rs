@@ -55,16 +55,16 @@ pub mod prelude {
     pub use crate::events::EventHorizon;
     pub use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
     pub use crate::simulate::{
-        run_to_completion, run_with_limit, run_with_limit_stepped, run_with_source,
-        SimulationReport,
+        merge_reports, report_from_host_completions, run_to_completion, run_with_limit,
+        run_with_limit_stepped, run_with_source, SimulationReport,
     };
     pub use crate::source::{ReplaySource, TrafficSource};
-    pub use crate::system::{HostCompletion, MultiChannelSystem};
+    pub use crate::system::{run_cubes, HostCompletion, MultiChannelSystem};
 }
 
 pub use controller::{MemoryController, StatsSnapshot};
 pub use events::EventHorizon;
 pub use request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
-pub use simulate::SimulationReport;
+pub use simulate::{merge_reports, report_from_host_completions, SimulationReport};
 pub use source::{ReplaySource, TrafficSource};
-pub use system::{HostCompletion, MultiChannelSystem};
+pub use system::{run_cubes, HostCompletion, MultiChannelSystem};

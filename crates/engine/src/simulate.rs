@@ -263,8 +263,27 @@ fn assemble_report<C: MemoryController>(
     bytes_written: u64,
     finish_time: Cycle,
 ) -> SimulationReport {
+    report_from_stats(
+        &controller.stats_snapshot(),
+        completed,
+        bytes_read,
+        bytes_written,
+        finish_time,
+    )
+}
+
+/// Fold driver-side counters and a (possibly channel-merged)
+/// [`crate::controller::StatsSnapshot`] into the unified report. This is the one place the
+/// derived report fields (bandwidth, activates/KiB) are defined, shared by
+/// the single-channel drivers and the system/multi-cube reporters.
+pub fn report_from_stats(
+    stats: &crate::controller::StatsSnapshot,
+    completed: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    finish_time: Cycle,
+) -> SimulationReport {
     let elapsed = finish_time.max(1);
-    let stats = controller.stats_snapshot();
     let useful = bytes_read + bytes_written;
     SimulationReport {
         requests_completed: completed,
@@ -280,5 +299,169 @@ fn assemble_report<C: MemoryController>(
         } else {
             stats.activates as f64 / (useful as f64 / 1024.0)
         },
+    }
+}
+
+/// Summarize a system-level run — host completions plus the system's merged
+/// statistics snapshot — as the same unified [`SimulationReport`] the
+/// single-channel drivers produce, so multi-channel and multi-cube results
+/// are directly comparable (and mergeable via [`merge_reports`]).
+pub fn report_from_host_completions(
+    stats: &crate::controller::StatsSnapshot,
+    completions: &[HostCompletion],
+) -> SimulationReport {
+    let mut bytes_read = 0u64;
+    let mut bytes_written = 0u64;
+    let mut finish_time = 0;
+    for c in completions {
+        match c.kind {
+            RequestKind::Read => bytes_read += c.bytes,
+            RequestKind::Write => bytes_written += c.bytes,
+        }
+        finish_time = finish_time.max(c.completed);
+    }
+    report_from_stats(
+        stats,
+        completions.len() as u64,
+        bytes_read,
+        bytes_written,
+        finish_time,
+    )
+}
+
+/// Merge per-shard [`SimulationReport`]s (one per cube of a multi-cube
+/// system, or any set of independent runs that executed concurrently) into
+/// one summary report:
+///
+/// * counts and byte totals are summed;
+/// * `finish_time` is the maximum (the shards ran in parallel);
+/// * `achieved_bandwidth_gbps` is recomputed from the merged totals over the
+///   merged finish time — *not* the sum of per-shard bandwidths, which would
+///   overstate a straggling shard;
+/// * `mean_read_latency` is weighted by per-shard read bytes and
+///   `row_hit_rate` by per-shard interface bytes (the per-request counts are
+///   not in the report, so bytes are the closest available weights);
+/// * `activates_per_kib` is recomputed from the implied per-shard activation
+///   counts over the merged useful bytes.
+pub fn merge_reports(reports: &[SimulationReport]) -> SimulationReport {
+    let mut merged = SimulationReport {
+        requests_completed: 0,
+        bytes_read: 0,
+        bytes_written: 0,
+        bytes_transferred: 0,
+        finish_time: 0,
+        achieved_bandwidth_gbps: 0.0,
+        mean_read_latency: 0.0,
+        row_hit_rate: 0.0,
+        activates_per_kib: 0.0,
+    };
+    let mut latency_weight = 0.0;
+    let mut latency_sum = 0.0;
+    let mut hit_weight = 0.0;
+    let mut hit_sum = 0.0;
+    let mut activates = 0.0;
+    for r in reports {
+        merged.requests_completed += r.requests_completed;
+        merged.bytes_read += r.bytes_read;
+        merged.bytes_written += r.bytes_written;
+        merged.bytes_transferred += r.bytes_transferred;
+        merged.finish_time = merged.finish_time.max(r.finish_time);
+        latency_sum += r.mean_read_latency * r.bytes_read as f64;
+        latency_weight += r.bytes_read as f64;
+        hit_sum += r.row_hit_rate * r.bytes_transferred as f64;
+        hit_weight += r.bytes_transferred as f64;
+        activates += r.activates_per_kib * (r.bytes_read + r.bytes_written) as f64 / 1024.0;
+    }
+    let useful = merged.bytes_read + merged.bytes_written;
+    merged.achieved_bandwidth_gbps = bytes_per_ns_to_gbps(useful, merged.finish_time.max(1));
+    if latency_weight > 0.0 {
+        merged.mean_read_latency = latency_sum / latency_weight;
+    }
+    if hit_weight > 0.0 {
+        merged.row_hit_rate = hit_sum / hit_weight;
+    }
+    if useful > 0 {
+        merged.activates_per_kib = activates / (useful as f64 / 1024.0);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::StatsSnapshot;
+    use crate::request::RequestId;
+
+    fn shard(reads: u64, latency: f64, finish: Cycle) -> SimulationReport {
+        SimulationReport {
+            requests_completed: reads / 32,
+            bytes_read: reads,
+            bytes_written: 0,
+            bytes_transferred: reads,
+            finish_time: finish,
+            achieved_bandwidth_gbps: reads as f64 / finish as f64,
+            mean_read_latency: latency,
+            row_hit_rate: 0.5,
+            activates_per_kib: 1.0,
+        }
+    }
+
+    #[test]
+    fn merge_reports_sums_totals_and_recomputes_rates() {
+        let merged = merge_reports(&[shard(1024, 100.0, 1000), shard(3072, 200.0, 2000)]);
+        assert_eq!(merged.requests_completed, 128);
+        assert_eq!(merged.bytes_read, 4096);
+        assert_eq!(merged.finish_time, 2000, "parallel shards: max, not sum");
+        // Bandwidth over the merged totals, not the sum of shard bandwidths.
+        assert_eq!(merged.achieved_bandwidth_gbps, 4096.0 / 2000.0);
+        // Read-byte-weighted mean latency: (100*1 + 200*3) / 4 = 175.
+        assert_eq!(merged.mean_read_latency, 175.0);
+        assert_eq!(merged.row_hit_rate, 0.5);
+        assert!((merged.activates_per_kib - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_empty_and_single_is_neutral() {
+        let empty = merge_reports(&[]);
+        assert_eq!(empty.requests_completed, 0);
+        assert_eq!(empty.achieved_bandwidth_gbps, 0.0);
+        let one = shard(2048, 150.0, 500);
+        assert_eq!(merge_reports(std::slice::from_ref(&one)), one);
+    }
+
+    #[test]
+    fn report_from_host_completions_folds_kinds_and_finish() {
+        let stats = StatsSnapshot {
+            bytes_read: 64,
+            bytes_written: 32,
+            bytes_transferred: 96,
+            mean_read_latency: 40.0,
+            row_hit_rate: 0.25,
+            activates: 3,
+        };
+        let completions = vec![
+            HostCompletion {
+                id: RequestId(1),
+                kind: RequestKind::Read,
+                bytes: 64,
+                arrival: 0,
+                completed: 80,
+            },
+            HostCompletion {
+                id: RequestId(2),
+                kind: RequestKind::Write,
+                bytes: 32,
+                arrival: 0,
+                completed: 40,
+            },
+        ];
+        let report = report_from_host_completions(&stats, &completions);
+        assert_eq!(report.requests_completed, 2);
+        assert_eq!(report.bytes_read, 64);
+        assert_eq!(report.bytes_written, 32);
+        assert_eq!(report.finish_time, 80);
+        assert_eq!(report.achieved_bandwidth_gbps, 96.0 / 80.0);
+        assert_eq!(report.row_hit_rate, 0.25);
+        assert!((report.activates_per_kib - 32.0).abs() < 1e-12);
     }
 }

@@ -67,6 +67,24 @@ pub trait TrafficSource {
     fn is_exhausted(&self) -> bool;
 }
 
+impl<S: TrafficSource + ?Sized> TrafficSource for Box<S> {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        (**self).next_arrival_at()
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        (**self).pull_into(now, out)
+    }
+
+    fn on_completion(&mut self, completion: &HostCompletion) {
+        (**self).on_completion(completion)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        (**self).is_exhausted()
+    }
+}
+
 /// Streams a materialized request vector through the [`TrafficSource`]
 /// interface: each request becomes available at its recorded `arrival` cycle
 /// (clamped so availability is non-decreasing in submission order, matching

@@ -284,6 +284,38 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         &self.controllers
     }
 
+    /// The engine-level statistics of the whole system: per-channel
+    /// [`crate::controller::StatsSnapshot`]s merged into one (counts and bytes summed,
+    /// `mean_read_latency` weighted by per-channel read bytes,
+    /// `row_hit_rate` by per-channel interface bytes). Feed the result to
+    /// [`crate::simulate::report_from_host_completions`] to summarize a
+    /// system run as a unified [`crate::simulate::SimulationReport`].
+    pub fn stats_merged(&self) -> crate::controller::StatsSnapshot {
+        let mut merged = crate::controller::StatsSnapshot::default();
+        let mut latency_sum = 0.0;
+        let mut latency_weight = 0.0;
+        let mut hit_sum = 0.0;
+        let mut hit_weight = 0.0;
+        for c in &self.controllers {
+            let s = c.stats_snapshot();
+            merged.bytes_read += s.bytes_read;
+            merged.bytes_written += s.bytes_written;
+            merged.bytes_transferred += s.bytes_transferred;
+            merged.activates += s.activates;
+            latency_sum += s.mean_read_latency * s.bytes_read as f64;
+            latency_weight += s.bytes_read as f64;
+            hit_sum += s.row_hit_rate * s.bytes_transferred as f64;
+            hit_weight += s.bytes_transferred as f64;
+        }
+        if latency_weight > 0.0 {
+            merged.mean_read_latency = latency_sum / latency_weight;
+        }
+        if hit_weight > 0.0 {
+            merged.row_hit_rate = hit_sum / hit_weight;
+        }
+        merged
+    }
+
     /// Per-channel useful bytes transferred so far (reads + writes), used
     /// for the channel-load-balance analysis.
     pub fn bytes_per_channel(&self) -> Vec<u64> {
@@ -670,6 +702,25 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         }
         (completions, stop)
     }
+}
+
+/// Shard a multi-cube memory system across threads: run `run` on every cube
+/// in parallel (rayon) and collect the results back in cube order — the same
+/// share-nothing decomposition [`MultiChannelSystem::run_until_idle`]
+/// applies one level down to channels. `Cube` is any system type (the
+/// domain wrappers around [`MultiChannelSystem`] included); traffic must
+/// already be steered per cube, exactly as fragments are steered per channel
+/// before the channels run.
+pub fn run_cubes<Cube, R>(cubes: &mut [Cube], run: impl Fn(usize, &mut Cube) -> R + Sync) -> Vec<R>
+where
+    Cube: Send,
+    R: Send,
+{
+    let tasks: Vec<(usize, &mut Cube)> = cubes.iter_mut().enumerate().collect();
+    tasks
+        .into_par_iter()
+        .map(|(i, cube)| run(i, cube))
+        .collect()
 }
 
 /// Fold one completed fragment into its host tracker, emitting a

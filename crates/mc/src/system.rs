@@ -119,6 +119,14 @@ impl MemorySystem {
         self.inner.bytes_per_channel()
     }
 
+    /// The engine-level statistics of the whole system (per-channel
+    /// snapshots merged); feed to
+    /// [`rome_engine::report_from_host_completions`] to summarize a system
+    /// run as a unified [`rome_engine::SimulationReport`].
+    pub fn stats_snapshot(&self) -> rome_engine::StatsSnapshot {
+        self.inner.stats_merged()
+    }
+
     /// Whether every queue, backlog entry, and in-flight transfer has
     /// drained.
     pub fn is_idle(&self) -> bool {

@@ -1,0 +1,64 @@
+//! The `rome-server` batch CLI: JSONL scenario specs in, JSONL results out.
+//!
+//! ```text
+//! rome-server [FILE]          # specs from FILE, or stdin when omitted
+//! cat batch.jsonl | rome-server > results.jsonl
+//! ```
+//!
+//! One spec object per input line (blank lines and `#` comments skipped),
+//! one result object per output line, in input order. The output is a
+//! deterministic function of the input: the same batch always produces
+//! byte-identical results, matching the in-process
+//! `ScenarioEngine::serve_batch` exactly.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use rome_server::{serve_jsonl, ScenarioEngine};
+
+const USAGE: &str = "usage: rome-server [FILE]
+
+Serve a JSONL batch of scenario specs (from FILE, or stdin when omitted),
+writing one JSONL result per spec to stdout, in input order. See the
+\"Scenario server\" section of README.md for the spec format.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let input = match args.as_slice() {
+        [] => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("rome-server: could not read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        [arg] if arg == "--help" || arg == "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        [path] => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("rome-server: could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = ScenarioEngine::new();
+    match serve_jsonl(&engine, &input) {
+        Ok(results) => {
+            print!("{results}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rome-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The JSONL batch front end.
+//!
+//! One [`ScenarioSpec`] object per input line (blank lines and `#` comments
+//! skipped), one result object per output line, *in input order* — the
+//! output is a deterministic function of the input bytes, so piping the same
+//! batch through the `rome-server` binary twice (or through
+//! [`ScenarioEngine::serve_batch`] in process) produces byte-identical
+//! JSONL; the regression suite pins this. A scenario that fails to run
+//! renders as an `{"name":…,"scenario":"error","error":…}` line without
+//! poisoning the rest of the batch; a line that fails to *parse* rejects the
+//! whole batch up front (nothing runs half-configured).
+
+use crate::engine::ScenarioEngine;
+use crate::json::{self, Json};
+use crate::spec::{ScenarioResult, ScenarioSpec, SpecError};
+
+/// A batch rejected at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// 1-based input line of the offending spec.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Parse a JSONL batch (blank lines and `#` comment lines skipped).
+pub fn parse_batch(input: &str) -> Result<Vec<ScenarioSpec>, BatchError> {
+    let mut specs = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value = json::parse(trimmed).map_err(|e| BatchError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        specs.push(ScenarioSpec::from_json(&value).map_err(|e| BatchError {
+            line: i + 1,
+            message: e.to_string(),
+        })?);
+    }
+    Ok(specs)
+}
+
+/// Render a batch's results (paired with their specs, in batch order) as
+/// canonical JSONL, one line per scenario.
+pub fn render_results(
+    specs: &[ScenarioSpec],
+    results: &[Result<ScenarioResult, SpecError>],
+) -> String {
+    let mut out = String::new();
+    for (spec, result) in specs.iter().zip(results) {
+        let line = match result {
+            Ok(r) => r.to_json(),
+            Err(e) => Json::obj([
+                ("name", Json::from(spec.name())),
+                ("scenario", Json::from("error")),
+                ("error", Json::from(e.0.as_str())),
+            ]),
+        };
+        out.push_str(&line.emit());
+        out.push('\n');
+    }
+    out
+}
+
+/// The whole CLI path in one call: parse the JSONL batch, serve it on
+/// `engine`, render the results. The `rome-server` binary is a thin wrapper
+/// over exactly this function, which is what keeps the CLI and the
+/// in-process [`ScenarioEngine::serve_batch`] byte-identical.
+pub fn serve_jsonl(engine: &ScenarioEngine, input: &str) -> Result<String, BatchError> {
+    let specs = parse_batch(input)?;
+    let results = engine.serve_batch(&specs);
+    Ok(render_results(&specs, &results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let input =
+            "# a comment\n\n{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\n";
+        let specs = parse_batch(input).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name(), "c");
+    }
+
+    #[test]
+    fn parse_failures_name_the_line() {
+        let input = "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\nnot json\n";
+        let e = parse_batch(input).unwrap_err();
+        assert_eq!(e.line, 2);
+        let input = "{\"scenario\":\"nope\",\"name\":\"c\"}";
+        let e = parse_batch(input).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown scenario tag"));
+    }
+
+    #[test]
+    fn degenerate_specs_render_as_error_lines_instead_of_panicking() {
+        // Regression: zero windows/depths used to trip downstream asserts
+        // and abort the whole process; they must come back as error lines.
+        let engine = ScenarioEngine::new();
+        let input = concat!(
+            "{\"scenario\":\"closed_loop\",\"name\":\"w0\",\"system\":\"rome\",\"channels\":2,",
+            "\"windows\":[0],\"max_ns\":1000,\"workload\":{\"type\":\"burst\",\"base\":0,",
+            "\"span\":4096,\"bytes_per_burst\":4096,\"granularity\":4096,\"period_ns\":0,",
+            "\"bursts\":1,\"write_period\":0}}\n",
+            "{\"scenario\":\"queue_depth\",\"name\":\"d0\",\"system\":\"hbm4\",\"depths\":[1,0],",
+            "\"total_bytes\":1024,\"granularity\":32}\n",
+            "{\"scenario\":\"calibration\",\"name\":\"ok\",\"system\":\"rome\"}\n",
+        );
+        let out = serve_jsonl(&engine, input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"scenario\":\"error\"") && lines[0].contains("window"));
+        assert!(lines[1].contains("\"scenario\":\"error\"") && lines[1].contains("depth"));
+        assert!(lines[2].starts_with("{\"name\":\"ok\",\"scenario\":\"calibration\""));
+    }
+
+    #[test]
+    fn out_of_range_and_zero_byte_fields_are_rejected_at_parse_time() {
+        // Regression: channel counts above u16 used to truncate silently;
+        // zero-byte trace records used to inject and never complete.
+        let too_wide = "{\"scenario\":\"closed_loop\",\"name\":\"x\",\"system\":\"rome\",\"channels\":65537,\"windows\":[1],\"max_ns\":1000,\"workload\":{\"type\":\"burst\",\"base\":0,\"span\":4096,\"bytes_per_burst\":4096,\"granularity\":4096,\"period_ns\":0,\"bursts\":1,\"write_period\":0}}";
+        let e = parse_batch(too_wide).unwrap_err();
+        assert!(e.message.contains("16 bits"), "{e}");
+        let zero_bytes = "{\"scenario\":\"closed_loop\",\"name\":\"x\",\"system\":\"rome\",\"channels\":2,\"windows\":[1],\"max_ns\":1000,\"workload\":{\"type\":\"trace\",\"records\":[{\"arrival\":0,\"kind\":\"read\",\"addr\":0,\"bytes\":0,\"tag\":0}]}}";
+        let e = parse_batch(zero_bytes).unwrap_err();
+        assert!(e.message.contains("bytes must be non-zero"), "{e}");
+    }
+
+    #[test]
+    fn run_errors_render_as_error_lines_in_order() {
+        let engine = ScenarioEngine::new();
+        let input = "{\"scenario\":\"tpot\",\"name\":\"bad\",\"model\":\"gpt-2\",\"batch\":8,\"seq_len\":4096}\n{\"scenario\":\"sweep\",\"name\":\"ok\",\"kind\":\"figure13\",\"seq_len\":4096}\n";
+        let out = serve_jsonl(&engine, input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"name\":\"bad\",\"scenario\":\"error\""));
+        assert!(lines[0].contains("unknown model"));
+        assert!(lines[1].starts_with("{\"name\":\"ok\",\"scenario\":\"sweep\""));
+        assert!(lines[1].contains("\"figure13\":["));
+    }
+}

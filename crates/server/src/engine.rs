@@ -1,0 +1,328 @@
+//! The long-lived scenario engine: warm calibration state plus a sharded
+//! executor.
+//!
+//! A [`ScenarioEngine`] is the process-wide serving state. It owns a
+//! [`CalibrationCache`] — the expensive cycle-accurate calibrations, keyed
+//! and computed at most once, shared by every scenario of every batch — and
+//! fans batches out across a worker pool ([`ScenarioEngine::serve_batch`]):
+//! scenarios run concurrently, results come back in batch order, and a
+//! multi-cube scenario additionally shards its cubes across threads via
+//! [`rome_engine::run_cubes`] (one `MultiChannelSystem` per cube, the same
+//! share-nothing split `run_until_idle` applies to channels).
+//!
+//! Every scenario variant routes through the *pre-existing* direct-call
+//! path — `ScenarioSet` sweeps, `rome_mc`/`rome_core` queue-depth runs,
+//! `closed_loop_sweep`, `decode_tpot`, the calibrator — so a served result
+//! is bit-for-bit the result of calling that path yourself; the regression
+//! suite pins this.
+
+use rayon::prelude::*;
+
+use rome_core::controller::{RomeController, RomeControllerConfig};
+use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
+use rome_engine::{merge_reports, report_from_host_completions, run_cubes, MemoryRequest};
+use rome_mc::controller::{ChannelController, ControllerConfig};
+use rome_mc::system::{MemorySystem, MemorySystemConfig};
+use rome_sim::serving::closed_loop_sweep;
+use rome_sim::sweep::Scenario;
+use rome_sim::tpot::decode_tpot;
+use rome_sim::{AcceleratorSpec, CalibrationCache, MemoryModel, MemorySystemKind, ScenarioSet};
+
+use crate::spec::{
+    model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
+    SpecError,
+};
+
+/// The warm scenario-serving engine. See the module docs.
+#[derive(Debug, Default)]
+pub struct ScenarioEngine {
+    calibration: CalibrationCache,
+    accel: AcceleratorSpec,
+}
+
+impl ScenarioEngine {
+    /// A cold engine modelling the paper's accelerator. Calibration warms on
+    /// first use and stays warm for the life of the engine.
+    pub fn new() -> Self {
+        ScenarioEngine {
+            calibration: CalibrationCache::new(),
+            accel: AcceleratorSpec::paper_default(),
+        }
+    }
+
+    /// The warm calibration cache (shared, thread-safe).
+    pub fn calibration(&self) -> &CalibrationCache {
+        &self.calibration
+    }
+
+    /// The accelerator the analytic scenarios model.
+    pub fn accel(&self) -> &AcceleratorSpec {
+        &self.accel
+    }
+
+    /// Serve one batch: scenarios fan out across the worker pool, results
+    /// return in batch order (deterministic however the pool schedules).
+    /// Each element is the scenario's result or the error that kept it from
+    /// running (one bad spec does not poison the batch).
+    pub fn serve_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<ScenarioResult, SpecError>> {
+        specs
+            .iter()
+            .collect::<Vec<&ScenarioSpec>>()
+            .into_par_iter()
+            .map(|spec| self.serve(spec))
+            .collect()
+    }
+
+    /// Serve one scenario through its pre-existing direct-call path.
+    pub fn serve(&self, spec: &ScenarioSpec) -> Result<ScenarioResult, SpecError> {
+        let payload = match spec {
+            ScenarioSpec::Sweep {
+                name,
+                kind,
+                seq_len,
+                calibrated,
+            } => {
+                let set = ScenarioSet::new(self.accel).with(Scenario {
+                    name: name.clone(),
+                    kind: *kind,
+                    seq_len: *seq_len,
+                });
+                let mut reports = if *calibrated {
+                    set.run_cached(&self.calibration)
+                } else {
+                    set.run_nominal()
+                };
+                ResultPayload::Sweep(reports.pop().expect("one scenario queued"))
+            }
+            ScenarioSpec::QueueDepth {
+                system,
+                depths,
+                total_bytes,
+                granularity,
+                ..
+            } => {
+                if depths.is_empty() || depths.contains(&0) {
+                    return Err(SpecError("queue-depth sweep needs non-zero depths".into()));
+                }
+                if *granularity == 0 || *total_bytes == 0 {
+                    return Err(SpecError("queue-depth sweep needs traffic".into()));
+                }
+                ResultPayload::QueueDepth(queue_depth_sweep(
+                    *system,
+                    depths,
+                    *total_bytes,
+                    *granularity,
+                ))
+            }
+            ScenarioSpec::ClosedLoop {
+                system,
+                channels,
+                windows,
+                max_ns,
+                workload,
+                ..
+            } => {
+                if *channels == 0 || windows.is_empty() || windows.contains(&0) {
+                    return Err(SpecError(
+                        "closed-loop sweep needs channels and non-zero windows".into(),
+                    ));
+                }
+                // Validate the lowering once up front, then build one fresh,
+                // identically-seeded source per window (the
+                // closed_loop_sweep contract).
+                workload.build_source()?;
+                ResultPayload::ClosedLoop(closed_loop_sweep(
+                    *system,
+                    *channels,
+                    windows,
+                    *max_ns,
+                    |_| workload.build_source().expect("validated above"),
+                ))
+            }
+            ScenarioSpec::Calibration { system, .. } => {
+                ResultPayload::Calibration(self.calibration.get_or_calibrate(*system))
+            }
+            ScenarioSpec::Tpot {
+                model,
+                batch,
+                seq_len,
+                calibrated,
+                ..
+            } => {
+                let model = model_by_name(model)?;
+                let (hbm4, rome) = if *calibrated {
+                    MemoryModel::calibrated_pair_cached(&self.accel, &self.calibration)
+                } else {
+                    (
+                        MemoryModel::hbm4_baseline(&self.accel),
+                        MemoryModel::rome(&self.accel),
+                    )
+                };
+                ResultPayload::Tpot {
+                    hbm4: decode_tpot(&model, *batch, *seq_len, &self.accel, &hbm4),
+                    rome: decode_tpot(&model, *batch, *seq_len, &self.accel, &rome),
+                }
+            }
+            ScenarioSpec::MultiCube {
+                system,
+                cubes,
+                channels_per_cube,
+                bytes_per_cube,
+                max_ns,
+                ..
+            } => {
+                if *cubes == 0 || *channels_per_cube == 0 || *bytes_per_cube == 0 {
+                    return Err(SpecError(
+                        "multi-cube run needs cubes, channels, and traffic".into(),
+                    ));
+                }
+                ResultPayload::MultiCube(run_multi_cube(
+                    *system,
+                    *cubes,
+                    *channels_per_cube,
+                    *bytes_per_cube,
+                    *max_ns,
+                ))
+            }
+        };
+        Ok(ScenarioResult {
+            name: spec.name().to_string(),
+            payload,
+        })
+    }
+}
+
+/// The §V-A queue-depth sweep: one streaming-read run per depth on a fresh
+/// single-channel controller (the exact shape of the pre-existing
+/// `queue_depth_table` experiment).
+fn queue_depth_sweep(
+    system: MemorySystemKind,
+    depths: &[usize],
+    total_bytes: u64,
+    granularity: u64,
+) -> Vec<QueueDepthRow> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let reqs = rome_mc::workload::streaming_reads(0, total_bytes, granularity);
+            let report = match system {
+                MemorySystemKind::Hbm4 => {
+                    let mut ctrl =
+                        ChannelController::new(ControllerConfig::hbm4_with_queue_depth(depth));
+                    rome_mc::simulate::run_to_completion(&mut ctrl, reqs)
+                }
+                MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => {
+                    let mut ctrl =
+                        RomeController::new(RomeControllerConfig::with_queue_depth(depth));
+                    rome_core::simulate::run_to_completion(&mut ctrl, reqs)
+                }
+            };
+            QueueDepthRow { depth, report }
+        })
+        .collect()
+}
+
+/// The sharded multi-cube run: one multi-channel system per cube, each fed
+/// one `bytes_per_cube` sequential read (DMA-style, fragmented at the
+/// system's access granularity across its channels), cubes run in parallel
+/// threads, per-cube reports merged.
+fn run_multi_cube(
+    system: MemorySystemKind,
+    cubes: u16,
+    channels_per_cube: u16,
+    bytes_per_cube: u64,
+    max_ns: u64,
+) -> MultiCubeReport {
+    let per_cube = match system {
+        MemorySystemKind::Hbm4 => {
+            let mut systems: Vec<MemorySystem> = (0..cubes)
+                .map(|_| MemorySystem::new(MemorySystemConfig::hbm4(channels_per_cube)))
+                .collect();
+            for sys in &mut systems {
+                sys.submit(MemoryRequest::read(1, 0, bytes_per_cube, 0));
+            }
+            run_cubes(&mut systems, |_, sys| {
+                let (done, _) = sys.run_until_idle(max_ns);
+                report_from_host_completions(&sys.stats_snapshot(), &done)
+            })
+        }
+        MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => {
+            let mut systems: Vec<RomeMemorySystem> = (0..cubes)
+                .map(|_| RomeMemorySystem::new(RomeSystemConfig::with_channels(channels_per_cube)))
+                .collect();
+            for sys in &mut systems {
+                sys.submit(MemoryRequest::read(1, 0, bytes_per_cube, 0));
+            }
+            run_cubes(&mut systems, |_, sys| {
+                let (done, _) = sys.run_until_idle(max_ns);
+                report_from_host_completions(&sys.stats_snapshot(), &done)
+            })
+        }
+    };
+    MultiCubeReport {
+        merged: merge_reports(&per_cube),
+        per_cube,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rome_sim::sweep::SweepKind;
+
+    #[test]
+    fn multi_cube_shards_and_merges() {
+        let engine = ScenarioEngine::new();
+        let spec = ScenarioSpec::MultiCube {
+            name: "cubes".into(),
+            system: MemorySystemKind::Rome,
+            cubes: 2,
+            channels_per_cube: 4,
+            bytes_per_cube: 256 * 1024,
+            max_ns: 5_000_000,
+        };
+        let result = engine.serve(&spec).unwrap();
+        let ResultPayload::MultiCube(report) = &result.payload else {
+            panic!("wrong payload");
+        };
+        assert_eq!(report.per_cube.len(), 2);
+        // Identical cubes fed identical traffic produce identical reports.
+        assert_eq!(report.per_cube[0], report.per_cube[1]);
+        assert_eq!(report.merged.requests_completed, 2);
+        assert_eq!(report.merged.bytes_read, 2 * 256 * 1024);
+        // Parallel shards: merged elapsed time is a cube's, not the sum.
+        assert_eq!(report.merged.finish_time, report.per_cube[0].finish_time);
+        // Merged bandwidth is the cube aggregate at matched finish times.
+        assert!(
+            (report.merged.achieved_bandwidth_gbps
+                - 2.0 * report.per_cube[0].achieved_bandwidth_gbps)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn bad_specs_do_not_poison_a_batch() {
+        let engine = ScenarioEngine::new();
+        let specs = vec![
+            ScenarioSpec::Tpot {
+                name: "bad-model".into(),
+                model: "gpt-2".into(),
+                batch: 8,
+                seq_len: 4096,
+                calibrated: false,
+            },
+            ScenarioSpec::Sweep {
+                name: "fig13".into(),
+                kind: SweepKind::Figure13,
+                seq_len: 4096,
+                calibrated: false,
+            },
+        ];
+        let results = engine.serve_batch(&specs);
+        assert!(results[0].is_err());
+        let ok = results[1].as_ref().unwrap();
+        assert_eq!(ok.name, "fig13");
+        assert!(matches!(&ok.payload, ResultPayload::Sweep(r) if r.figure13.is_some()));
+    }
+}

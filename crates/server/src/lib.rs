@@ -1,0 +1,63 @@
+//! # rome-server — the scenario-serving subsystem
+//!
+//! Every sweep, equivalence check, and workload scenario in this repository
+//! used to be a bespoke `main`: build the systems, run, print. This crate
+//! turns them into *requests against one long-lived engine*:
+//!
+//! * **[`ScenarioSpec`]** ([`spec`]) — a declarative, JSON-round-trippable
+//!   description of one experiment: analytic figure sweeps
+//!   (`rome_sim::ScenarioSet` scenarios), §V-A queue-depth streaming sweeps
+//!   on either memory system, closed-loop workload window sweeps over any
+//!   `rome-workload` source (MoE routing skew, prefill/decode interleave,
+//!   multi-tenant mixes, bursts, recorded traces), calibration points, and
+//!   sharded multi-cube streaming runs. [`ScenarioResult`] carries the
+//!   unified `SimulationReport`s plus the domain statistics of each path.
+//! * **[`ScenarioEngine`]** ([`engine`]) — the warm serving state: a
+//!   concurrent [`rome_sim::CalibrationCache`] computed at most once and
+//!   reused across batches (the `ScenarioSet` calibrate-once idea made
+//!   persistent), and a sharded executor — scenarios of a batch fan out
+//!   across a worker pool, multi-cube scenarios shard one
+//!   `MultiChannelSystem` per cube across threads
+//!   ([`rome_engine::run_cubes`]) and merge the reports
+//!   ([`rome_engine::merge_reports`]).
+//! * **Front ends** — the in-process [`ScenarioEngine::serve_batch`], and
+//!   the JSONL batch CLI ([`cli`], the `rome-server` binary): specs in on
+//!   stdin or a file, results out on stdout, in input order,
+//!   deterministically. The CLI is a thin wrapper over
+//!   [`cli::serve_jsonl`], so both front ends produce byte-identical
+//!   output for the same batch.
+//!
+//! Served results are **bit-for-bit** the results of the pre-existing
+//! direct-call paths (`ScenarioSet::run_nominal`/`run_cached`,
+//! `closed_loop_sweep`, `decode_tpot`, `Calibrator`), pinned by
+//! `tests/scenario_server.rs`.
+//!
+//! The wire format is the canonical JSON of [`json`] (hand-rolled because
+//! the offline build stubs out `serde`; the format is canonical either
+//! way).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod engine;
+pub mod json;
+pub mod spec;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::cli::{parse_batch, render_results, serve_jsonl};
+    pub use crate::engine::ScenarioEngine;
+    pub use crate::spec::{
+        MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec, SpecError,
+        TenantDecl, WorkloadSpec,
+    };
+}
+
+pub use cli::{parse_batch, render_results, serve_jsonl, BatchError};
+pub use engine::ScenarioEngine;
+pub use json::Json;
+pub use spec::{
+    model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
+    SpecError, TenantDecl, WorkloadSpec,
+};

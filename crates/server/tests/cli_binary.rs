@@ -1,0 +1,80 @@
+//! Pins the real `rome-server` executable against the in-process path: the
+//! binary's stdout for a JSONL batch must be byte-identical to
+//! `serve_jsonl` on the same input (file argument and stdin mode both).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use rome_server::{serve_jsonl, ScenarioEngine};
+
+/// A quick batch (no calibration: the binary test should stay fast) with a
+/// deliberate error line in the middle.
+const BATCH: &str = concat!(
+    "# scenario-server binary smoke batch\n",
+    "{\"scenario\":\"sweep\",\"name\":\"fig13\",\"kind\":\"figure13\",\"seq_len\":4096}\n",
+    "\n",
+    "{\"scenario\":\"tpot\",\"name\":\"bad\",\"model\":\"gpt-2\",\"batch\":8,\"seq_len\":4096}\n",
+    "{\"scenario\":\"closed_loop\",\"name\":\"burst\",\"system\":\"rome\",\"channels\":2,",
+    "\"windows\":[1,4],\"max_ns\":10000000,\"workload\":{\"type\":\"burst\",\"base\":0,",
+    "\"span\":1048576,\"bytes_per_burst\":32768,\"granularity\":4096,\"period_ns\":0,",
+    "\"bursts\":2,\"write_period\":0}}\n",
+);
+
+fn expected() -> String {
+    serve_jsonl(&ScenarioEngine::new(), BATCH).expect("batch parses")
+}
+
+#[test]
+fn binary_output_is_byte_identical_to_the_in_process_path() {
+    let exe = env!("CARGO_BIN_EXE_rome-server");
+    let expected = expected();
+
+    // File-argument mode.
+    let path = std::env::temp_dir().join(format!("rome-server-batch-{}.jsonl", std::process::id()));
+    std::fs::write(&path, BATCH).unwrap();
+    let out = Command::new(exe).arg(&path).output().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), expected);
+
+    // Stdin mode.
+    let mut child = Command::new(exe)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(BATCH.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), expected);
+}
+
+#[test]
+fn binary_rejects_malformed_batches_with_the_line_number() {
+    let exe = env!("CARGO_BIN_EXE_rome-server");
+    let mut child = Command::new(exe)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"scenario\":\"sweep\",\"name\":\"ok\",\"kind\":\"figure13\",\"seq_len\":4096}\nnot json\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "malformed batch must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}

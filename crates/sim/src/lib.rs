@@ -54,12 +54,12 @@ pub mod tpot;
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::accelerator::{AcceleratorSpec, ServerSpec};
-    pub use crate::calibration::{CalibrationResult, Calibrator};
+    pub use crate::calibration::{CalibrationCache, CalibrationResult, Calibrator};
     pub use crate::energy_rollup::{decode_energy, EnergyComparison};
     pub use crate::lbr::{channel_load_balance, LbrReport};
     pub use crate::memory_model::{MemoryModel, MemorySystemKind};
     pub use crate::overfetch::{overfetch_sweep, OverfetchRow};
-    pub use crate::serving::{closed_loop_point, closed_loop_sweep, ClosedLoopPoint};
+    pub use crate::serving::{closed_loop_point, closed_loop_sweep, knee_point, ClosedLoopPoint};
     pub use crate::sweep::{
         figure12_sweep, figure13_sweep, Figure12Row, Figure13Row, Scenario, ScenarioReport,
         ScenarioSet, SweepKind,
@@ -68,10 +68,10 @@ pub mod prelude {
 }
 
 pub use accelerator::{AcceleratorSpec, ServerSpec};
-pub use calibration::{CalibrationResult, Calibrator};
+pub use calibration::{CalibrationCache, CalibrationResult, Calibrator};
 pub use energy_rollup::{decode_energy, EnergyComparison};
 pub use lbr::{channel_load_balance, LbrReport};
 pub use memory_model::{MemoryModel, MemorySystemKind};
-pub use serving::{closed_loop_point, closed_loop_sweep, ClosedLoopPoint};
+pub use serving::{closed_loop_point, closed_loop_sweep, knee_point, ClosedLoopPoint};
 pub use sweep::{Scenario, ScenarioReport, ScenarioSet, SweepKind};
 pub use tpot::{decode_tpot, prefill_time, TpotReport};

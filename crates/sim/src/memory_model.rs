@@ -6,7 +6,8 @@ use rome_core::channel_plan::ChannelPlan;
 use rome_hbm::organization::Organization;
 
 use crate::accelerator::AcceleratorSpec;
-use crate::calibration::{CalibrationResult, Calibrator};
+use crate::calibration::{CalibrationCache, CalibrationResult, Calibrator};
+use crate::serving::{knee_point, ClosedLoopPoint};
 
 /// Which memory system an accelerator is attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -102,6 +103,47 @@ impl MemoryModel {
         let hbm4 = MemoryModel::hbm4_baseline(accel).with_calibration(calibrator.hbm4());
         let rome = MemoryModel::rome(accel).with_calibration(calibrator.rome());
         (hbm4, rome)
+    }
+
+    /// Build both systems against a shared (possibly already warm)
+    /// [`CalibrationCache`] — the serving-style counterpart of
+    /// [`MemoryModel::calibrated_pair`], usable concurrently from a worker
+    /// pool and across batches.
+    pub fn calibrated_pair_cached(
+        accel: &AcceleratorSpec,
+        cache: &CalibrationCache,
+    ) -> (MemoryModel, MemoryModel) {
+        let hbm4 = MemoryModel::hbm4_baseline(accel)
+            .with_calibration(cache.get_or_calibrate(MemorySystemKind::Hbm4));
+        let rome = MemoryModel::rome(accel)
+            .with_calibration(cache.get_or_calibrate(MemorySystemKind::Rome));
+        (hbm4, rome)
+    }
+
+    /// Replace the open-loop calibrated bandwidth point with the knee of a
+    /// measured closed-loop window sweep (see
+    /// [`crate::serving::knee_point`]): the achieved utilization becomes the
+    /// knee's bandwidth over the sampled system's peak
+    /// (`sampled_peak_gbps`), and the calibrated read latency becomes the
+    /// knee's measured mean. The open-loop calibration assumes a saturated
+    /// burst; a closed-loop host with a finite window achieves less, and
+    /// this hook feeds that difference back into the TPOT model. Returns
+    /// `self` unchanged when the sweep is empty or the peak is non-positive.
+    pub fn with_closed_loop_knee(
+        mut self,
+        points: &[ClosedLoopPoint],
+        sampled_peak_gbps: f64,
+    ) -> Self {
+        let Some(knee) = knee_point(points) else {
+            return self;
+        };
+        if sampled_peak_gbps <= 0.0 {
+            return self;
+        }
+        self.calibration.bandwidth_utilization =
+            (knee.achieved_gbps / sampled_peak_gbps).clamp(0.0, 1.0);
+        self.calibration.mean_read_latency_ns = knee.mean_latency_ns;
+        self
     }
 
     /// Effective bandwidth in GB/s for traffic with channel load-balance rate

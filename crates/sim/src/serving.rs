@@ -97,6 +97,27 @@ where
         .collect()
 }
 
+/// Fraction of a sweep's peak bandwidth a point must achieve to count as
+/// saturated: the knee is the *first* (smallest-window) such point.
+pub const KNEE_FRACTION: f64 = 0.95;
+
+/// The knee of a closed-loop window sweep: the smallest-window point whose
+/// bandwidth reaches [`KNEE_FRACTION`] of the sweep's best — past it the
+/// window only buys latency, the saturation knee of the latency/bandwidth
+/// curve. `None` for an empty sweep. Feed the knee to
+/// [`crate::memory_model::MemoryModel::with_closed_loop_knee`] to replace
+/// the open-loop calibration assumption with the achieved closed-loop
+/// bandwidth point.
+pub fn knee_point(points: &[ClosedLoopPoint]) -> Option<&ClosedLoopPoint> {
+    let best = points
+        .iter()
+        .map(|p| p.achieved_gbps)
+        .fold(f64::NEG_INFINITY, f64::max);
+    points
+        .iter()
+        .find(|p| p.achieved_gbps >= best * KNEE_FRACTION)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +161,102 @@ mod tests {
                 points[0].achieved_gbps
             );
         }
+    }
+
+    #[test]
+    fn knee_is_the_smallest_window_reaching_saturation() {
+        let point = |window, achieved_gbps, mean_latency_ns| ClosedLoopPoint {
+            window,
+            injected: 10,
+            completed: 10,
+            bytes: 1000,
+            achieved_gbps,
+            mean_latency_ns,
+            max_latency_ns: 500,
+            stop_ns: 1000,
+        };
+        // Bandwidth saturates at w=8; w=16 only adds latency.
+        let points = vec![
+            point(1, 10.0, 100.0),
+            point(4, 60.0, 150.0),
+            point(8, 97.0, 300.0),
+            point(16, 100.0, 900.0),
+        ];
+        let knee = knee_point(&points).expect("non-empty sweep");
+        assert_eq!(knee.window, 8, "97 >= 0.95 * 100: w=8 is the knee");
+        assert!(knee_point(&[]).is_none());
+        // A flat sweep knees at its first point.
+        let flat = vec![point(1, 50.0, 100.0), point(4, 50.0, 400.0)];
+        assert_eq!(knee_point(&flat).unwrap().window, 1);
+    }
+
+    #[test]
+    fn closed_loop_knee_feeds_back_into_the_tpot_model() {
+        use crate::accelerator::AcceleratorSpec;
+        use crate::memory_model::MemoryModel;
+        use crate::tpot::decode_tpot;
+        use rome_llm::model::ModelConfig;
+        use rome_mc::system::MemorySystemConfig;
+
+        // Measure a real closed-loop sweep on a sampled 4-channel HBM4
+        // system, then pin the derived calibration point.
+        let channels = 4u16;
+        let points = closed_loop_sweep(
+            MemorySystemKind::Hbm4,
+            channels,
+            &[1, 4, 16],
+            10_000_000,
+            |_| MoeRoutingSource::new(tiny_moe()),
+        );
+        let knee = knee_point(&points).expect("sweep is non-empty").clone();
+        let sampled_peak = MemorySystemConfig::hbm4(channels).peak_bandwidth_gbps();
+
+        let accel = AcceleratorSpec::paper_default();
+        let open_loop = MemoryModel::hbm4_baseline(&accel);
+        let fed_back = open_loop.with_closed_loop_knee(&points, sampled_peak);
+        // Pin the derivation: utilization is exactly the knee's achieved
+        // bandwidth over the sampled system's peak, latency the knee's mean.
+        assert_eq!(
+            fed_back.calibration.bandwidth_utilization,
+            (knee.achieved_gbps / sampled_peak).clamp(0.0, 1.0)
+        );
+        assert_eq!(
+            fed_back.calibration.mean_read_latency_ns,
+            knee.mean_latency_ns
+        );
+        assert!(
+            fed_back.calibration.bandwidth_utilization > 0.0
+                && fed_back.calibration.bandwidth_utilization <= 1.0
+        );
+        // A knee below the open-loop assumption must slow the TPOT model
+        // down (deterministic synthetic sweep: half the sampled peak).
+        let half_knee = vec![ClosedLoopPoint {
+            window: 8,
+            injected: 100,
+            completed: 100,
+            bytes: 1 << 20,
+            achieved_gbps: sampled_peak * 0.5,
+            mean_latency_ns: 400.0,
+            max_latency_ns: 900,
+            stop_ns: 10_000,
+        }];
+        let slowed = open_loop.with_closed_loop_knee(&half_knee, sampled_peak);
+        assert_eq!(slowed.calibration.bandwidth_utilization, 0.5);
+        let model = ModelConfig::grok_1();
+        let t_open = decode_tpot(&model, 64, 8192, &accel, &open_loop);
+        let t_fed = decode_tpot(&model, 64, 8192, &accel, &slowed);
+        assert!(
+            t_fed.tpot_ms > t_open.tpot_ms,
+            "a sub-saturation knee must not speed decode up: {} vs {}",
+            t_fed.tpot_ms,
+            t_open.tpot_ms
+        );
+        // An empty sweep or a bogus peak leaves the model unchanged.
+        assert_eq!(
+            open_loop.with_closed_loop_knee(&[], sampled_peak),
+            open_loop
+        );
+        assert_eq!(open_loop.with_closed_loop_knee(&points, 0.0), open_loop);
     }
 
     #[test]

@@ -12,6 +12,22 @@
 //! the window says when the host actually hands it to the memory system.
 //! Work that is available but blocked by the window waits in the host queue
 //! (and its wait is part of the measured host latency).
+//!
+//! # SLO-aware scheduling
+//!
+//! A serving host that shares one memory system between tenants does not
+//! inject FIFO: each tenant has its own outstanding-request budget (so one
+//! tenant's burst cannot monopolize the window) and a priority (so a
+//! latency-sensitive tenant's work goes first when slots free up). An
+//! [`SloPolicy`] — per-tenant [`TenantSlo`] window caps plus a classifier
+//! mapping request ids to tenants — turns the host into that scheduler
+//! ([`ClosedLoopHost::with_slo`]): staged work queues per tenant, and every
+//! freed slot goes to the *highest-priority tenant with window headroom*
+//! (lowest [`TenantSlo::priority`] value, ties by tenant index, order within
+//! a tenant preserved). Unclassified requests bypass the per-tenant caps and
+//! inject last, under the global window only. Without a policy the host
+//! behaves exactly as before (one global FIFO) — the regression suite pins
+//! that path bit-identical.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -20,17 +36,78 @@ use rome_engine::source::TrafficSource;
 use rome_engine::system::HostCompletion;
 use rome_hbm::units::Cycle;
 
+/// The service-level objective of one tenant behind an SLO-aware
+/// [`ClosedLoopHost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSlo {
+    /// Outstanding-request cap of this tenant (≥ 1); the global host window
+    /// still bounds the sum over all tenants.
+    pub window: usize,
+    /// Scheduling priority: *lower values go first* when several tenants
+    /// compete for a freed slot.
+    pub priority: u8,
+}
+
+/// Per-tenant window caps and priority order for an SLO-aware
+/// [`ClosedLoopHost`]. See the module docs.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    tenants: Vec<TenantSlo>,
+    /// Maps a request id to its tenant index (e.g.
+    /// [`crate::tenants::tenant_tag`] for `MultiTenantMixSource` ids);
+    /// `None` or an out-of-range index means unclassified.
+    classify: fn(RequestId) -> Option<usize>,
+}
+
+impl SloPolicy {
+    /// Build a policy over `tenants` with the given id classifier. Panics if
+    /// any tenant window is zero.
+    pub fn new(tenants: Vec<TenantSlo>, classify: fn(RequestId) -> Option<usize>) -> Self {
+        assert!(
+            tenants.iter().all(|t| t.window > 0),
+            "every tenant window must admit at least one request"
+        );
+        SloPolicy { tenants, classify }
+    }
+
+    /// Number of tenants under the policy.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The SLO of tenant `index`.
+    pub fn tenant(&self, index: usize) -> TenantSlo {
+        self.tenants[index]
+    }
+
+    /// Classify an id into an in-range tenant index.
+    fn tenant_of(&self, id: RequestId) -> Option<usize> {
+        (self.classify)(id).filter(|&t| t < self.tenants.len())
+    }
+}
+
 /// A windowed closed-loop host wrapping an inner traffic source. See the
 /// module docs.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopHost<S> {
     inner: S,
     window: usize,
-    /// Work pulled from the inner source, waiting for a window slot.
+    /// Optional per-tenant SLO scheduling (see the module docs); `None` =
+    /// the plain global-FIFO host.
+    slo: Option<SloPolicy>,
+    /// Work pulled from the inner source, waiting for a window slot (the
+    /// whole queue without an SLO policy; the unclassified overflow with
+    /// one).
     staged: VecDeque<MemoryRequest>,
-    /// Injection cycle of every in-flight request (host-level latency is
-    /// measured from injection, not from inner-source availability).
-    in_flight: HashMap<RequestId, Cycle>,
+    /// Per-tenant staged queues (empty without an SLO policy).
+    staged_tenant: Vec<VecDeque<MemoryRequest>>,
+    /// Outstanding requests per tenant (empty without an SLO policy).
+    outstanding_tenant: Vec<usize>,
+    /// Peak outstanding per tenant (empty without an SLO policy).
+    peak_tenant: Vec<usize>,
+    /// Injection cycle and tenant of every in-flight request (host-level
+    /// latency is measured from injection, not inner-source availability).
+    in_flight: HashMap<RequestId, (Cycle, Option<usize>)>,
     /// Scratch buffer for pulling from the inner source.
     scratch: Vec<MemoryRequest>,
     peak_outstanding: usize,
@@ -52,7 +129,11 @@ impl<S: TrafficSource> ClosedLoopHost<S> {
         ClosedLoopHost {
             inner,
             window,
+            slo: None,
             staged: VecDeque::new(),
+            staged_tenant: Vec::new(),
+            outstanding_tenant: Vec::new(),
+            peak_tenant: Vec::new(),
             in_flight: HashMap::new(),
             scratch: Vec::new(),
             peak_outstanding: 0,
@@ -63,6 +144,35 @@ impl<S: TrafficSource> ClosedLoopHost<S> {
             latency_max_ns: 0,
             last_completion_ns: 0,
         }
+    }
+
+    /// Wrap `inner` with a global window *and* a per-tenant [`SloPolicy`]
+    /// (per-tenant window caps, priority injection order). See the module
+    /// docs.
+    pub fn with_slo(inner: S, window: usize, slo: SloPolicy) -> Self {
+        let tenants = slo.tenants();
+        let mut host = ClosedLoopHost::new(inner, window);
+        host.staged_tenant = (0..tenants).map(|_| VecDeque::new()).collect();
+        host.outstanding_tenant = vec![0; tenants];
+        host.peak_tenant = vec![0; tenants];
+        host.slo = Some(slo);
+        host
+    }
+
+    /// The SLO policy, if one is installed.
+    pub fn slo(&self) -> Option<&SloPolicy> {
+        self.slo.as_ref()
+    }
+
+    /// Requests currently outstanding for tenant `index` (SLO hosts only).
+    pub fn tenant_outstanding(&self, index: usize) -> usize {
+        self.outstanding_tenant[index]
+    }
+
+    /// The largest outstanding count tenant `index` ever reached — must
+    /// never exceed its [`TenantSlo::window`] (SLO hosts only).
+    pub fn peak_tenant_outstanding(&self, index: usize) -> usize {
+        self.peak_tenant[index]
     }
 
     /// The configured window.
@@ -130,10 +240,59 @@ impl<S: TrafficSource> ClosedLoopHost<S> {
         &self.inner
     }
 
-    /// Move inner-source releases due at `now` into the host queue.
+    /// Move inner-source releases due at `now` into the host queue(s).
     fn stage(&mut self, now: Cycle) {
         self.inner.pull_into(now, &mut self.scratch);
-        self.staged.extend(self.scratch.drain(..));
+        match &self.slo {
+            None => self.staged.extend(self.scratch.drain(..)),
+            Some(slo) => {
+                for req in self.scratch.drain(..) {
+                    match slo.tenant_of(req.id) {
+                        Some(t) => self.staged_tenant[t].push_back(req),
+                        None => self.staged.push_back(req),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The next staged request an SLO host would inject: the front of the
+    /// highest-priority tenant queue with window headroom (ties by tenant
+    /// index), falling back to the unclassified queue. `None` when every
+    /// staged request is gated on a completion.
+    fn slo_pick(&self) -> Option<(Option<usize>, &MemoryRequest)> {
+        let slo = self.slo.as_ref().expect("SLO host");
+        let mut best: Option<(u8, usize)> = None;
+        for (t, queue) in self.staged_tenant.iter().enumerate() {
+            if queue.is_empty() || self.outstanding_tenant[t] >= slo.tenants[t].window {
+                continue;
+            }
+            let priority = slo.tenants[t].priority;
+            if best.is_none_or(|(p, _)| priority < p) {
+                best = Some((priority, t));
+            }
+        }
+        match best {
+            Some((_, t)) => Some((Some(t), self.staged_tenant[t].front().expect("non-empty"))),
+            None => self.staged.front().map(|req| (None, req)),
+        }
+    }
+
+    /// Record an injection at `now` of a request owned by `tenant`.
+    fn inject(&mut self, tenant: Option<usize>, req: MemoryRequest, now: Cycle) {
+        // Id 0 is auto-reassigned by multi-channel submit, so its
+        // completion could never be routed back to this window slot.
+        assert!(
+            req.id.0 != 0,
+            "closed-loop sources must mint non-zero request ids"
+        );
+        self.in_flight.insert(req.id, (now, tenant));
+        self.injected += 1;
+        self.peak_outstanding = self.peak_outstanding.max(self.in_flight.len());
+        if let Some(t) = tenant {
+            self.outstanding_tenant[t] += 1;
+            self.peak_tenant[t] = self.peak_tenant[t].max(self.outstanding_tenant[t]);
+        }
     }
 }
 
@@ -143,6 +302,17 @@ impl<S: TrafficSource> TrafficSource for ClosedLoopHost<S> {
             // Window full: the next injection is gated on a completion, which
             // the driver is guaranteed to observe as a controller event.
             return None;
+        }
+        if self.slo.is_some() {
+            // Staged work an eligible tenant could inject was released at or
+            // before the current pull (the driver clamps to now + 1); work
+            // gated on a tenant window waits for a completion — also a
+            // driver-visible event — so only the inner source's future
+            // arrivals remain to merge.
+            return match self.slo_pick() {
+                Some((_, req)) => Some(req.arrival),
+                None => self.inner.next_arrival_at(),
+            };
         }
         match self.staged.front() {
             // Staged work was released at or before the current pull; its
@@ -155,36 +325,46 @@ impl<S: TrafficSource> TrafficSource for ClosedLoopHost<S> {
     fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
         self.stage(now);
         while self.in_flight.len() < self.window {
-            let Some(req) = self.staged.pop_front() else {
-                break;
-            };
-            // Id 0 is auto-reassigned by multi-channel submit, so its
-            // completion could never be routed back to this window slot.
-            assert!(
-                req.id.0 != 0,
-                "closed-loop sources must mint non-zero request ids"
-            );
-            self.in_flight.insert(req.id, now);
-            self.injected += 1;
-            self.peak_outstanding = self.peak_outstanding.max(self.in_flight.len());
-            out.push(req);
+            if self.slo.is_some() {
+                let Some((tenant, _)) = self.slo_pick() else {
+                    break;
+                };
+                let req = match tenant {
+                    Some(t) => self.staged_tenant[t].pop_front().expect("picked front"),
+                    None => self.staged.pop_front().expect("picked front"),
+                };
+                self.inject(tenant, req, now);
+                out.push(req);
+            } else {
+                let Some(req) = self.staged.pop_front() else {
+                    break;
+                };
+                self.inject(None, req, now);
+                out.push(req);
+            }
         }
     }
 
     fn on_completion(&mut self, completion: &HostCompletion) {
-        if let Some(injected_at) = self.in_flight.remove(&completion.id) {
+        if let Some((injected_at, tenant)) = self.in_flight.remove(&completion.id) {
             let latency = completion.completed.saturating_sub(injected_at);
             self.completed += 1;
             self.completed_bytes += completion.bytes;
             self.latency_sum_ns += latency;
             self.latency_max_ns = self.latency_max_ns.max(latency);
             self.last_completion_ns = self.last_completion_ns.max(completion.completed);
+            if let Some(t) = tenant {
+                self.outstanding_tenant[t] -= 1;
+            }
         }
         self.inner.on_completion(completion);
     }
 
     fn is_exhausted(&self) -> bool {
-        self.inner.is_exhausted() && self.staged.is_empty() && self.in_flight.is_empty()
+        self.inner.is_exhausted()
+            && self.staged.is_empty()
+            && self.staged_tenant.iter().all(VecDeque::is_empty)
+            && self.in_flight.is_empty()
     }
 }
 
@@ -228,6 +408,108 @@ mod tests {
         assert_eq!(host.completed(), 1);
         assert_eq!(host.mean_latency_ns(), 40.0);
         assert!(!host.is_exhausted());
+    }
+
+    #[test]
+    fn slo_injection_prefers_high_priority_tenants_within_their_windows() {
+        use crate::tenants::{tenant_tag, MultiTenantMixSource};
+
+        // Two tenants with four requests each, all available at cycle 0,
+        // observed through the mix's tag encoding.
+        let reqs = |base: u64| -> Vec<MemoryRequest> {
+            (0..4)
+                .map(|i| MemoryRequest::read(i + 1, base + i * 32, 32, 0))
+                .collect()
+        };
+        let mix = MultiTenantMixSource::new()
+            .with_tenant("batch", ReplaySource::from(reqs(0)))
+            .with_tenant("latency", ReplaySource::from(reqs(1 << 20)));
+        // Tenant 0 ("batch"): low priority, cap 1. Tenant 1 ("latency"):
+        // high priority (lower value), cap 2. Global window 3.
+        let policy = SloPolicy::new(
+            vec![
+                TenantSlo {
+                    window: 1,
+                    priority: 5,
+                },
+                TenantSlo {
+                    window: 2,
+                    priority: 0,
+                },
+            ],
+            tenant_tag,
+        );
+        let mut host = ClosedLoopHost::with_slo(mix, 3, policy);
+        assert_eq!(host.slo().unwrap().tenants(), 2);
+
+        let mut out = Vec::new();
+        host.pull_into(0, &mut out);
+        // The high-priority tenant fills its cap first, then the
+        // low-priority tenant gets the remaining global slot.
+        let tenants: Vec<_> = out.iter().map(|r| tenant_tag(r.id).unwrap()).collect();
+        assert_eq!(tenants, vec![1, 1, 0]);
+        assert_eq!(host.tenant_outstanding(1), 2);
+        assert_eq!(host.tenant_outstanding(0), 1);
+        // Global window full: arrivals are gated on a completion.
+        assert_eq!(host.next_arrival_at(), None);
+
+        // A high-priority completion frees a slot; the freed slot goes back
+        // to the high-priority tenant (it still has staged work + headroom).
+        host.on_completion(&completion_for(&out[0], 50));
+        assert_eq!(host.next_arrival_at(), Some(0));
+        host.pull_into(51, &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(tenant_tag(out[3].id), Some(1));
+
+        // A low-priority completion with the high-priority queue still
+        // backed up: tenant 0's own cap (1) has headroom again, but tenant 1
+        // is at its cap, so the slot goes to tenant 0.
+        host.on_completion(&completion_for(&out[2], 80));
+        host.pull_into(81, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(tenant_tag(out[4].id), Some(0));
+
+        // Drain everything; per-tenant peaks never exceeded the caps.
+        let mut i = 0;
+        while !host.is_exhausted() {
+            while i < out.len() {
+                host.on_completion(&completion_for(&out[i], 100 + i as u64));
+                i += 1;
+            }
+            host.pull_into(200, &mut out);
+        }
+        assert_eq!(host.completed(), 8);
+        assert_eq!(host.peak_tenant_outstanding(0), 1);
+        assert_eq!(host.peak_tenant_outstanding(1), 2);
+        assert!(host.peak_outstanding() <= 3);
+    }
+
+    #[test]
+    fn slo_unclassified_requests_fall_back_to_the_global_window() {
+        // Plain (untagged) ids classify to no tenant: they inject last,
+        // bounded only by the global window.
+        let reqs: Vec<MemoryRequest> = (0..3)
+            .map(|i| MemoryRequest::read(i + 1, i * 32, 32, 0))
+            .collect();
+        let policy = SloPolicy::new(
+            vec![TenantSlo {
+                window: 1,
+                priority: 0,
+            }],
+            crate::tenants::tenant_tag,
+        );
+        let mut host = ClosedLoopHost::with_slo(ReplaySource::from(reqs), 2, policy);
+        let mut out = Vec::new();
+        host.pull_into(0, &mut out);
+        assert_eq!(out.len(), 2, "global window admits two unclassified");
+        assert_eq!(host.tenant_outstanding(0), 0);
+        host.on_completion(&completion_for(&out[0], 10));
+        host.pull_into(11, &mut out);
+        assert_eq!(out.len(), 3);
+        host.on_completion(&completion_for(&out[1], 20));
+        host.on_completion(&completion_for(&out[2], 20));
+        assert!(host.is_exhausted());
+        assert_eq!(host.completed(), 3);
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! * **synthetic builders** ([`synthetic`]) — the materialized
 //!   streaming/strided/random generators (re-exported by
 //!   `rome_mc::workload`) plus the periodic [`BurstSource`];
+//! * **trace replay** ([`trace`]) — [`TraceSource`] replays recorded
+//!   serving traces from JSONL `(arrival, kind, addr, bytes, tag)` records,
+//!   tagging ids for per-class attribution;
+//! * **SLO-aware scheduling** — an [`SloPolicy`] (per-tenant window caps
+//!   and priorities) turns the closed-loop host into a serving scheduler:
+//!   freed window slots go to the highest-priority tenant with headroom;
 //! * **per-class statistics** ([`stats`]) — fold completions into per-tenant
 //!   / per-phase bandwidth and latency summaries.
 //!
@@ -45,23 +51,26 @@ pub mod phases;
 pub mod stats;
 pub mod synthetic;
 pub mod tenants;
+pub mod trace;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::closed_loop::ClosedLoopHost;
+    pub use crate::closed_loop::{ClosedLoopHost, SloPolicy, TenantSlo};
     pub use crate::moe::{MoeRoutingConfig, MoeRoutingSource};
     pub use crate::phases::{PrefillDecodeConfig, PrefillDecodeInterleaveSource};
     pub use crate::stats::{ClassStats, ClassedStats};
     pub use crate::synthetic::BurstSource;
     pub use crate::tenants::{MultiTenantMixSource, TenantSpec};
+    pub use crate::trace::{TraceRecord, TraceSource};
     pub use rome_engine::source::{ReplaySource, TrafficSource};
 }
 
-pub use closed_loop::ClosedLoopHost;
+pub use closed_loop::{ClosedLoopHost, SloPolicy, TenantSlo};
 pub use moe::{MoeRoutingConfig, MoeRoutingSource};
 pub use phases::{PrefillDecodeConfig, PrefillDecodeInterleaveSource};
 pub use stats::{ClassStats, ClassedStats};
 pub use synthetic::BurstSource;
 pub use tenants::{MultiTenantMixSource, Tenant, TenantSpec};
+pub use trace::{TraceRecord, TraceSource};
 
 pub use rome_engine::source::{ReplaySource, TrafficSource};

@@ -87,6 +87,17 @@ impl TenantSpec {
     }
 }
 
+/// The tenant index encoded in a mixed request id's tag bits, independent of
+/// any particular mix instance (`None` for untagged ids). This is the
+/// classifier an SLO-aware [`crate::ClosedLoopHost`] uses to attribute
+/// staged requests to their per-tenant windows; ids from a specific mix
+/// should prefer [`MultiTenantMixSource::tenant_of`], which also bounds the
+/// tag against the mix's tenant count.
+pub fn tenant_tag(id: RequestId) -> Option<usize> {
+    let tag = (id.0 >> TENANT_SHIFT) as usize;
+    (tag >= 1).then(|| tag - 1)
+}
+
 /// The deterministic multi-tenant merge. See the module docs.
 #[derive(Debug, Default)]
 pub struct MultiTenantMixSource {
@@ -157,8 +168,7 @@ impl MultiTenantMixSource {
     /// The tenant a mixed request id belongs to, or `None` for ids this mix
     /// did not issue.
     pub fn tenant_of(&self, id: RequestId) -> Option<usize> {
-        let tag = (id.0 >> TENANT_SHIFT) as usize;
-        (tag >= 1 && tag <= self.tenants.len()).then(|| tag - 1)
+        tenant_tag(id).filter(|&t| t < self.tenants.len())
     }
 
     /// Tag a tenant-local id with its tenant index.

@@ -1,0 +1,346 @@
+//! Trace-driven serving traffic: replay recorded request traces.
+//!
+//! Synthetic generators model serving traffic; a *trace* replays it. A trace
+//! is a sequence of [`TraceRecord`]s — `(arrival, kind, addr, bytes, tag)` —
+//! typically stored one JSON object per line (JSONL), the format every
+//! serving-trace tool in the wild can produce:
+//!
+//! ```text
+//! {"arrival":0,"kind":"read","addr":4096,"bytes":32,"tag":1}
+//! {"arrival":120,"kind":"write","addr":8192,"bytes":64,"tag":2}
+//! ```
+//!
+//! [`TraceSource`] streams the records through the [`TrafficSource`]
+//! contract: each record becomes available at its recorded arrival (clamped
+//! so availability is non-decreasing in record order, exactly like
+//! [`rome_engine::source::ReplaySource`]), and every minted request id
+//! carries the record's `tag` in bits 48+ (the same encoding
+//! [`crate::tenants::MultiTenantMixSource`] uses), so completions can be
+//! attributed per tag with [`TraceSource::tag_of`] without side tables.
+
+use std::collections::VecDeque;
+
+use rome_engine::request::{MemoryRequest, RequestId, RequestKind};
+use rome_engine::source::TrafficSource;
+use rome_hbm::units::Cycle;
+
+/// Bits of a trace request id reserved for the record sequence number; the
+/// record `tag` lives above them (matching the multi-tenant id encoding).
+const TAG_SHIFT: u32 = 48;
+
+/// One recorded request of a serving trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Arrival cycle (ns) of the request.
+    pub arrival: Cycle,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Physical byte address.
+    pub addr: u64,
+    /// Request size in bytes.
+    pub bytes: u64,
+    /// Free-form class tag (tenant, stream, priority class…), carried into
+    /// the minted request id for completion attribution.
+    pub tag: u16,
+}
+
+impl TraceRecord {
+    /// Render the record as one JSONL line (the format [`parse_jsonl`]
+    /// reads back; `parse_jsonl(records.map(to_jsonl_line).join("\n"))` is
+    /// the identity).
+    pub fn to_jsonl_line(&self) -> String {
+        format!(
+            "{{\"arrival\":{},\"kind\":\"{}\",\"addr\":{},\"bytes\":{},\"tag\":{}}}",
+            self.arrival,
+            match self.kind {
+                RequestKind::Read => "read",
+                RequestKind::Write => "write",
+            },
+            self.addr,
+            self.bytes,
+            self.tag
+        )
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Minimal scanner for the flat one-object-per-line trace schema. The
+/// records are flat objects of integer and short-string scalars, so a full
+/// JSON parser is not needed; unknown keys are ignored (traces from richer
+/// tools round-trip), missing `tag` defaults to 0.
+fn parse_record(line: &str, lineno: usize) -> Result<TraceRecord, TraceParseError> {
+    let err = |message: &str| TraceParseError {
+        line: lineno,
+        message: message.to_string(),
+    };
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| err("record must be a JSON object"))?;
+    let mut arrival = None;
+    let mut kind = None;
+    let mut addr = None;
+    let mut bytes = None;
+    let mut tag = 0u16;
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        // Key: a quoted string (no escapes in this schema).
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| err("expected a quoted key"))?;
+        let close = after_quote
+            .find('"')
+            .ok_or_else(|| err("unterminated key"))?;
+        let key = &after_quote[..close];
+        let after_colon = after_quote[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| err("expected ':' after key"))?
+            .trim_start();
+        // Value: a quoted string or a bare scalar running to ',' or the end.
+        let (value, next) = if let Some(s) = after_colon.strip_prefix('"') {
+            let close = s.find('"').ok_or_else(|| err("unterminated string"))?;
+            (&s[..close], &s[close + 1..])
+        } else {
+            let end = after_colon.find(',').unwrap_or(after_colon.len());
+            (after_colon[..end].trim(), &after_colon[end..])
+        };
+        match key {
+            "arrival" => {
+                arrival = Some(value.parse().map_err(|_| err("bad arrival"))?);
+            }
+            "kind" => {
+                kind = Some(match value {
+                    "read" => RequestKind::Read,
+                    "write" => RequestKind::Write,
+                    _ => return Err(err("kind must be \"read\" or \"write\"")),
+                });
+            }
+            "addr" => addr = Some(value.parse().map_err(|_| err("bad addr"))?),
+            "bytes" => bytes = Some(value.parse().map_err(|_| err("bad bytes"))?),
+            "tag" => tag = value.parse().map_err(|_| err("bad tag"))?,
+            _ => {} // unknown keys are ignored
+        }
+        rest = next.trim_start();
+        if let Some(after_comma) = rest.strip_prefix(',') {
+            rest = after_comma.trim_start();
+            if rest.is_empty() {
+                return Err(err("trailing comma"));
+            }
+        } else if !rest.is_empty() {
+            return Err(err("expected ',' between fields"));
+        }
+    }
+    let bytes = bytes.ok_or_else(|| err("missing bytes"))?;
+    if bytes == 0 {
+        return Err(err("bytes must be non-zero"));
+    }
+    Ok(TraceRecord {
+        arrival: arrival.ok_or_else(|| err("missing arrival"))?,
+        kind: kind.ok_or_else(|| err("missing kind"))?,
+        addr: addr.ok_or_else(|| err("missing addr"))?,
+        bytes,
+        tag,
+    })
+}
+
+/// Parse a JSONL trace (one record per line; blank lines are skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_record(line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Replays a recorded trace as a [`TrafficSource`]. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    /// Remaining records with their effective (order-clamped) arrivals and
+    /// minted ids.
+    queue: VecDeque<(Cycle, MemoryRequest)>,
+    total: usize,
+}
+
+impl TraceSource {
+    /// Build a replay over `records` in trace order. A record becomes
+    /// available at its recorded arrival, or at its predecessor's
+    /// availability if that is later (record order is never violated) —
+    /// the [`rome_engine::source::ReplaySource`] clamping rule.
+    pub fn from_records(records: &[TraceRecord]) -> Self {
+        let mut watermark: Cycle = 0;
+        let queue = records
+            .iter()
+            .enumerate()
+            .map(|(seq, r)| {
+                watermark = watermark.max(r.arrival);
+                // Sequence numbers start at 1 so no id is ever 0 (id 0 is
+                // auto-reassigned by multi-channel submit, which would break
+                // completion attribution).
+                let id = ((r.tag as u64) << TAG_SHIFT) | (seq as u64 + 1);
+                let req = match r.kind {
+                    RequestKind::Read => MemoryRequest::read(id, r.addr, r.bytes, r.arrival),
+                    RequestKind::Write => MemoryRequest::write(id, r.addr, r.bytes, r.arrival),
+                };
+                (watermark, req)
+            })
+            .collect();
+        TraceSource {
+            queue,
+            total: records.len(),
+        }
+    }
+
+    /// Parse a JSONL trace and build the replay in one step.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceParseError> {
+        Ok(TraceSource::from_records(&parse_jsonl(text)?))
+    }
+
+    /// The trace tag a request id minted by any `TraceSource` carries.
+    pub fn tag_of(id: RequestId) -> u16 {
+        (id.0 >> TAG_SHIFT) as u16
+    }
+
+    /// Records in the trace.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the trace was empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Records not yet released.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl TrafficSource for TraceSource {
+    fn next_arrival_at(&self) -> Option<Cycle> {
+        self.queue.front().map(|(at, _)| *at)
+    }
+
+    fn pull_into(&mut self, now: Cycle, out: &mut Vec<MemoryRequest>) {
+        while let Some((at, _)) = self.queue.front() {
+            if *at > now {
+                break;
+            }
+            let (_, req) = self.queue.pop_front().expect("front exists");
+            out.push(req);
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = "\
+{\"arrival\":0,\"kind\":\"read\",\"addr\":4096,\"bytes\":32,\"tag\":1}\n\
+\n\
+{\"arrival\":120,\"kind\":\"write\",\"addr\":8192,\"bytes\":64,\"tag\":2}\n\
+{\"arrival\":60,\"kind\":\"read\",\"addr\":0,\"bytes\":32}\n";
+
+    #[test]
+    fn parses_records_and_defaults_the_tag() {
+        let records = parse_jsonl(TRACE).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].tag, 1);
+        assert_eq!(records[1].kind, RequestKind::Write);
+        assert_eq!(records[2].tag, 0, "missing tag defaults to 0");
+        assert_eq!(records[2].arrival, 60);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let records = parse_jsonl(TRACE).unwrap();
+        let text: String = records.iter().map(|r| r.to_jsonl_line() + "\n").collect();
+        assert_eq!(parse_jsonl(&text).unwrap(), records);
+    }
+
+    #[test]
+    fn replay_clamps_out_of_order_arrivals_and_tags_ids() {
+        let mut src = TraceSource::from_jsonl(TRACE).unwrap();
+        assert_eq!(src.len(), 3);
+        assert!(!src.is_empty());
+        assert_eq!(src.next_arrival_at(), Some(0));
+        let mut out = Vec::new();
+        src.pull_into(0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(TraceSource::tag_of(out[0].id), 1);
+        // Record 3 arrived at 60 but sits behind record 2 (arrival 120):
+        // clamped, both release at 120.
+        assert_eq!(src.next_arrival_at(), Some(120));
+        src.pull_into(119, &mut out);
+        assert_eq!(out.len(), 1);
+        src.pull_into(120, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(src.is_exhausted());
+        assert_eq!(src.remaining(), 0);
+        assert_eq!(TraceSource::tag_of(out[1].id), 2);
+        assert_eq!(TraceSource::tag_of(out[2].id), 0);
+        assert!(out.iter().all(|r| r.id.0 != 0), "ids must be non-zero");
+        // The recorded arrival is preserved on the request itself.
+        assert_eq!(out[2].arrival, 60);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_line_number() {
+        for (text, line) in [
+            ("not json", 1),
+            (
+                "{\"arrival\":0,\"kind\":\"scan\",\"addr\":0,\"bytes\":32}",
+                1,
+            ),
+            (
+                "{\"arrival\":0,\"kind\":\"read\",\"addr\":0,\"bytes\":32}\n{\"arrival\":1}",
+                2,
+            ),
+            (
+                "{\"arrival\":0,\"kind\":\"read\",\"addr\":0,\"bytes\":0}",
+                1,
+            ),
+            (
+                "{\"arrival\":0,\"kind\":\"read\",\"addr\":0,\"bytes\":32,}",
+                1,
+            ),
+        ] {
+            let e = parse_jsonl(text).unwrap_err();
+            assert_eq!(e.line, line, "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let line = "{\"arrival\":5,\"kind\":\"read\",\"addr\":64,\"bytes\":32,\"latency_us\":17,\"model\":\"grok\"}";
+        let records = parse_jsonl(line).unwrap();
+        assert_eq!(records[0].arrival, 5);
+        assert_eq!(records[0].bytes, 32);
+    }
+}

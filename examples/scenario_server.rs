@@ -1,0 +1,204 @@
+//! The scenario server end-to-end: a mixed JSONL batch — an analytic figure
+//! sweep, a closed-loop MoE window sweep, a multi-tenant closed loop, a
+//! calibration point, a calibrated TPOT point, and a sharded multi-cube
+//! streaming run — served by one warm [`rome::server::ScenarioEngine`], with
+//! the warm-calibration reuse made visible by serving a second batch on the
+//! same engine.
+//!
+//! Run with: `cargo run --release --example scenario_server`
+
+use std::time::Instant;
+
+use rome::server::{serve_jsonl, ResultPayload, ScenarioEngine, ScenarioSpec, WorkloadSpec};
+use rome::sim::sweep::SweepKind;
+use rome::sim::MemorySystemKind;
+use rome::workload::MoeRoutingConfig;
+
+fn mixed_batch() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::Sweep {
+            name: "fig13-lbr-8k".into(),
+            kind: SweepKind::Figure13,
+            seq_len: 8192,
+            calibrated: false,
+        },
+        ScenarioSpec::ClosedLoop {
+            name: "moe-skew-windows".into(),
+            system: MemorySystemKind::Rome,
+            channels: 4,
+            windows: vec![1, 4, 16],
+            max_ns: 50_000_000,
+            workload: WorkloadSpec::Moe(MoeRoutingConfig {
+                experts: 32,
+                top_k: 4,
+                expert_bytes: 16 * 1024,
+                layers: 2,
+                tokens_per_step: 16,
+                steps: 2,
+                step_period_ns: 0,
+                granularity: 4096,
+                base: 0,
+                zipf_exponent: 1.2,
+                seed: 42,
+            }),
+        },
+        ScenarioSpec::ClosedLoop {
+            name: "two-tenant-mix".into(),
+            system: MemorySystemKind::Hbm4,
+            channels: 4,
+            windows: vec![8],
+            max_ns: 50_000_000,
+            workload: WorkloadSpec::MultiTenant(vec![
+                rome::server::TenantDecl {
+                    name: "deepseek-b8".into(),
+                    model: "deepseek-v3".into(),
+                    batch: 8,
+                    seq_len: 4096,
+                    period_ns: 3_000,
+                    steps: 3,
+                    scale: 1 << 17,
+                    granularity: 4096,
+                },
+                rome::server::TenantDecl {
+                    name: "grok-b64".into(),
+                    model: "grok-1".into(),
+                    batch: 64,
+                    seq_len: 4096,
+                    period_ns: 5_000,
+                    steps: 2,
+                    scale: 1 << 17,
+                    granularity: 4096,
+                },
+            ]),
+        },
+        ScenarioSpec::Calibration {
+            name: "calibrate-hbm4".into(),
+            system: MemorySystemKind::Hbm4,
+        },
+        ScenarioSpec::Tpot {
+            name: "tpot-grok-b64-calibrated".into(),
+            model: "grok-1".into(),
+            batch: 64,
+            seq_len: 8192,
+            calibrated: true,
+        },
+        ScenarioSpec::MultiCube {
+            name: "8-cube-stream".into(),
+            system: MemorySystemKind::Rome,
+            cubes: 8,
+            channels_per_cube: 4,
+            bytes_per_cube: 512 * 1024,
+            max_ns: 50_000_000,
+        },
+    ]
+}
+
+fn main() {
+    let specs = mixed_batch();
+    let input: String = specs.iter().map(|s| s.to_json().emit() + "\n").collect();
+    println!("batch in ({} specs):", specs.len());
+    for line in input.lines() {
+        let shown = if line.len() > 100 {
+            format!("{}…", &line[..100])
+        } else {
+            line.to_string()
+        };
+        println!("  {shown}");
+    }
+
+    let engine = ScenarioEngine::new();
+    let t0 = Instant::now();
+    let results = engine.serve_batch(&specs);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    println!("\nresults:");
+    for result in &results {
+        let result = result.as_ref().expect("batch is well-formed");
+        match &result.payload {
+            ResultPayload::Sweep(report) => {
+                let rows = report.figure13.as_ref().expect("figure13 scenario");
+                println!(
+                    "  {:<26} {} LBR rows, last: attention {:.3} / ffn {:.3}",
+                    result.name,
+                    rows.len(),
+                    rows.last().unwrap().lbr_attention,
+                    rows.last().unwrap().lbr_ffn
+                );
+            }
+            ResultPayload::ClosedLoop(points) => {
+                let first = points.first().unwrap();
+                let last = points.last().unwrap();
+                println!(
+                    "  {:<26} w{} {:.1} GB/s -> w{} {:.1} GB/s (mean latency {:.0} -> {:.0} ns)",
+                    result.name,
+                    first.window,
+                    first.achieved_gbps,
+                    last.window,
+                    last.achieved_gbps,
+                    first.mean_latency_ns,
+                    last.mean_latency_ns
+                );
+            }
+            ResultPayload::Calibration(c) => {
+                println!(
+                    "  {:<26} utilization {:.3}, {:.2} ACT/KiB, {:.0} ns mean read",
+                    result.name,
+                    c.bandwidth_utilization,
+                    c.activates_per_kib,
+                    c.mean_read_latency_ns
+                );
+            }
+            ResultPayload::Tpot { hbm4, rome } => {
+                println!(
+                    "  {:<26} HBM4 {:.2} ms vs RoMe {:.2} ms ({:.1} % faster)",
+                    result.name,
+                    hbm4.tpot_ms,
+                    rome.tpot_ms,
+                    (1.0 - rome.tpot_ms / hbm4.tpot_ms) * 100.0
+                );
+            }
+            ResultPayload::MultiCube(report) => {
+                println!(
+                    "  {:<26} {} cubes, merged {:.1} GB/s ({:.1} GB/s per cube)",
+                    result.name,
+                    report.per_cube.len(),
+                    report.merged.achieved_bandwidth_gbps,
+                    report.per_cube[0].achieved_bandwidth_gbps
+                );
+            }
+            ResultPayload::QueueDepth(_) => unreachable!("not in this batch"),
+        }
+    }
+
+    // The warm engine reuses the calibration across batches: serving the
+    // calibration-dependent tail of the batch again is much cheaper.
+    let warm_batch: Vec<ScenarioSpec> = specs
+        .iter()
+        .filter(|s| {
+            matches!(
+                s,
+                ScenarioSpec::Calibration { .. } | ScenarioSpec::Tpot { .. }
+            )
+        })
+        .cloned()
+        .collect();
+    let t0 = Instant::now();
+    let _ = engine.serve_batch(&warm_batch);
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\nwarm-cache reuse: first batch {cold_ms:.0} ms (includes calibration), \
+         re-serving the calibrated scenarios {warm_ms:.1} ms"
+    );
+
+    // And the CLI path produces byte-identical JSONL from the same input.
+    let via_cli = serve_jsonl(&engine, &input).expect("batch parses");
+    let via_api: String = results
+        .iter()
+        .map(|r| r.as_ref().unwrap().to_json().emit() + "\n")
+        .collect();
+    assert_eq!(via_cli, via_api, "CLI and API must stay byte-identical");
+    println!(
+        "CLI path verified byte-identical ({} bytes of JSONL).",
+        via_cli.len()
+    );
+}

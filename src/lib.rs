@@ -22,6 +22,10 @@
 //!   stream builders.
 //! * [`sim`] — system-level co-simulation: accelerator model, TPOT, channel
 //!   load balance, energy roll-up.
+//! * [`server`] — the scenario-serving subsystem: declarative
+//!   `ScenarioSpec` batches served by a warm-calibration `ScenarioEngine`
+//!   (in process or over the `rome-server` JSONL CLI), with sharded
+//!   multi-cube execution.
 //! * [`energy`] — DRAM energy and area models.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
@@ -33,5 +37,6 @@ pub use rome_engine as engine;
 pub use rome_hbm as hbm;
 pub use rome_llm as llm;
 pub use rome_mc as mc;
+pub use rome_server as server;
 pub use rome_sim as sim;
 pub use rome_workload as workload;

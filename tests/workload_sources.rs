@@ -26,8 +26,9 @@ use rome::mc::request::MemoryRequest;
 use rome::mc::system::{MemorySystem, MemorySystemConfig};
 use rome::mc::workload;
 use rome::workload::{
-    BurstSource, ClosedLoopHost, MoeRoutingConfig, MoeRoutingSource, MultiTenantMixSource,
-    PrefillDecodeConfig, PrefillDecodeInterleaveSource, TenantSpec,
+    trace, BurstSource, ClosedLoopHost, MoeRoutingConfig, MoeRoutingSource, MultiTenantMixSource,
+    PrefillDecodeConfig, PrefillDecodeInterleaveSource, SloPolicy, TenantSlo, TenantSpec,
+    TraceRecord, TraceSource,
 };
 
 /// The workload set exercised on both systems.
@@ -223,6 +224,50 @@ fn wider_closed_loop_windows_do_not_lose_bandwidth() {
     assert!(lat1 > 0.0 && lat16 > 0.0);
 }
 
+#[test]
+fn slo_host_respects_per_tenant_windows_end_to_end() {
+    // A two-tenant mix through an SLO-aware closed loop on a real memory
+    // system: per-tenant peaks never exceed the caps, the global window
+    // holds, and everything still drains.
+    let mix = MultiTenantMixSource::new()
+        .with_tenant(
+            "background",
+            BurstSource::new(0, 1 << 20, 32 * 1024, 4096, 0, 2, 0),
+        )
+        .with_tenant(
+            "interactive",
+            BurstSource::new(1 << 30, 1 << 20, 16 * 1024, 4096, 500, 3, 0),
+        );
+    let policy = SloPolicy::new(
+        vec![
+            TenantSlo {
+                window: 2,
+                priority: 7,
+            },
+            TenantSlo {
+                window: 4,
+                priority: 0,
+            },
+        ],
+        rome::workload::tenants::tenant_tag,
+    );
+    let mut host = ClosedLoopHost::with_slo(mix, 4, policy);
+    let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(4));
+    let (done, _) = sys.run_with_source(&mut host, 50_000_000);
+    assert!(host.is_exhausted(), "SLO host must drain");
+    assert_eq!(host.completed() as usize, done.len());
+    assert_eq!(host.completed(), 16 + 12);
+    assert!(host.peak_outstanding() <= 4);
+    assert!(host.peak_tenant_outstanding(0) <= 2);
+    assert!(host.peak_tenant_outstanding(1) <= 4);
+    assert!(
+        host.peak_tenant_outstanding(1) > host.peak_tenant_outstanding(0),
+        "the high-priority tenant should win more window slots: {} vs {}",
+        host.peak_tenant_outstanding(1),
+        host.peak_tenant_outstanding(0)
+    );
+}
+
 /// Drain a source by pulling along a schedule of time steps, then once more
 /// far in the future.
 fn drain_with_schedule<S: TrafficSource>(mut source: S, schedule: &[u64]) -> Vec<MemoryRequest> {
@@ -319,6 +364,57 @@ proptest! {
         let reqs = workload::random_reads(0, 1 << 20, 64, 32, seed);
         let a = drain_with_schedule(ReplaySource::from(reqs.clone()), &schedule_a);
         prop_assert_eq!(a, reqs, "replay must reproduce its vector");
+    }
+
+    /// A trace replays deterministically (same records, same stream however
+    /// the pull schedule slices time), releases in clamped arrival order,
+    /// and survives a JSONL round-trip bit-for-bit.
+    #[test]
+    fn trace_replay_is_deterministic_and_ordered(
+        records in prop::collection::vec(
+            ((0u64..5_000, any::<bool>()), (0u64..(1 << 30), 1u64..8_192, 0u16..8)),
+            1..40,
+        ),
+        schedule_a in prop::collection::vec(0u64..2_000, 1..8),
+        schedule_b in prop::collection::vec(0u64..2_000, 1..8),
+    ) {
+        let records: Vec<TraceRecord> = records
+            .into_iter()
+            .map(|((arrival, write), (addr, bytes, tag))| TraceRecord {
+                arrival,
+                kind: if write {
+                    rome::engine::request::RequestKind::Write
+                } else {
+                    rome::engine::request::RequestKind::Read
+                },
+                addr,
+                bytes,
+                tag,
+            })
+            .collect();
+        let a = drain_with_schedule(TraceSource::from_records(&records), &schedule_a);
+        let b = drain_with_schedule(TraceSource::from_records(&records), &schedule_b);
+        prop_assert_eq!(&a, &b, "trace stream depends on the pull schedule");
+        prop_assert_eq!(a.len(), records.len());
+
+        // Release order is the record order with arrivals clamped
+        // non-decreasing, ids non-zero, tags preserved.
+        let mut watermark = 0u64;
+        for (req, rec) in a.iter().zip(&records) {
+            watermark = watermark.max(rec.arrival);
+            prop_assert_eq!(req.arrival, rec.arrival);
+            prop_assert_eq!(req.address.raw(), rec.addr);
+            prop_assert_eq!(req.bytes, rec.bytes);
+            prop_assert!(req.id.0 != 0);
+            prop_assert_eq!(TraceSource::tag_of(req.id), rec.tag);
+        }
+
+        // JSONL round-trip: parse(render(records)) replays the same stream.
+        let text: String = records.iter().map(|r| r.to_jsonl_line() + "\n").collect();
+        let reparsed = trace::parse_jsonl(&text).unwrap();
+        prop_assert_eq!(&reparsed, &records);
+        let c = drain_with_schedule(TraceSource::from_jsonl(&text).unwrap(), &schedule_a);
+        prop_assert_eq!(a, c, "JSONL round-trip changed the stream");
     }
 
     /// Arrivals released by any source are non-decreasing and never in the
