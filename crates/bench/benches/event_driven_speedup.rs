@@ -80,6 +80,31 @@ fn mc_calendar32(calendar: bool) -> f64 {
     CAL_BYTES as f64 / done[0].completed as f64
 }
 
+/// Robustness-layer overhead probe: the dense 64-entry streaming run driven
+/// by the legacy unchecked loop vs the budget-metered loop with an *active*
+/// but never-tripping budget (wall-clock deadline an hour out, event ceiling
+/// far above the run), so the meter — including its periodic wall-clock
+/// probes — runs on every event. Reports must come back bit-identical and
+/// untagged; the expected wall-clock overhead is ≤ ~2%.
+fn mc_dense64_budget_checked(checked: bool) -> f64 {
+    let mut ctrl =
+        rome_mc::ChannelController::new(rome_mc::ControllerConfig::hbm4_with_queue_depth(64));
+    let reqs = rome_mc::workload::streaming_reads(0, MC_BYTES, 32);
+    let report = if checked {
+        let budget = rome_engine::RunBudget::default()
+            .with_wall_clock(std::time::Duration::from_secs(3600))
+            .with_max_events(u64::MAX);
+        rome_mc::simulate::run_with_budget(&mut ctrl, reqs, 50_000_000, &budget)
+    } else {
+        rome_mc::simulate::run_with_limit(&mut ctrl, reqs, 50_000_000)
+    };
+    assert!(
+        report.aborted.is_none(),
+        "the never-tripping budget must not tag the run"
+    );
+    report.achieved_bandwidth_gbps
+}
+
 /// Closed-loop MoE-skew serving scenario on the streaming workload
 /// subsystem: a Zipf-skewed expert-routing source (DeepSeek-V3-shaped, 32
 /// experts sampled) drives a 4-channel system through a `ClosedLoopHost` at
@@ -282,6 +307,16 @@ fn bench(c: &mut Criterion) {
         "event calendar changed the 32-channel schedule"
     );
 
+    // Robustness overhead: budget-metered vs unchecked dense streaming run
+    // (bit-identical results; only the meter's wall-clock differs).
+    let robust_unchecked = time_it(repeats, || mc_dense64_budget_checked(false));
+    let robust_checked = time_it(repeats, || mc_dense64_budget_checked(true));
+    assert_eq!(
+        mc_dense64_budget_checked(true),
+        mc_dense64_budget_checked(false),
+        "budget metering changed the dense-phase schedule"
+    );
+
     // Closed-loop MoE-skew serving scenario (streaming workload subsystem):
     // wall-clock of one narrow-window and one wide-window run per system,
     // plus the achieved closed-loop bandwidths (seed-deterministic).
@@ -349,6 +384,12 @@ fn bench(c: &mut Criterion) {
         cal32_off / cal32_on
     );
     println!(
+        "  budget metering, dense 64-entry HBM4 phase: {:8.2} ms -> {:8.2} ms  ({:+5.2}% overhead)",
+        robust_unchecked * 1e3,
+        robust_checked * 1e3,
+        (robust_checked / robust_unchecked - 1.0) * 100.0
+    );
+    println!(
         "  closed-loop MoE skew (w=1 -> w=16): HBM4 {:6.2} -> {:6.2} GB/s, RoMe {:6.2} -> {:6.2} GB/s",
         wl_hbm4_w1, wl_hbm4_w16, wl_rome_w1, wl_rome_w16
     );
@@ -379,6 +420,12 @@ fn bench(c: &mut Criterion) {
             ("calendar_dense32_plain_ms", cal32_off * 1e3),
             ("calendar_dense32_cached_ms", cal32_on * 1e3),
             ("calendar_dense32_speedup", cal32_off / cal32_on),
+            ("robustness_unchecked_ms", robust_unchecked * 1e3),
+            ("robustness_checked_ms", robust_checked * 1e3),
+            (
+                "robustness_overhead_pct",
+                (robust_checked / robust_unchecked - 1.0) * 100.0,
+            ),
             ("workload_moe_hbm4_ms", wl_hbm4_ms * 1e3),
             ("workload_moe_rome_ms", wl_rome_ms * 1e3),
             ("workload_moe_hbm4_w1_gbps", wl_hbm4_w1),

@@ -18,7 +18,8 @@
 //! bit-identical reports.
 
 pub use rome_engine::simulate::{
-    run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
+    run_to_completion, run_with_budget, run_with_limit, run_with_limit_stepped, run_with_source,
+    run_with_source_budgeted, SimulationReport,
 };
 
 /// Compatibility alias: the RoMe-specific report type was unified into the

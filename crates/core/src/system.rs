@@ -184,6 +184,18 @@ impl RomeMemorySystem {
         self.inner.run_until_idle(max_ns)
     }
 
+    /// Like [`RomeMemorySystem::run_until_idle`] but metered against a
+    /// [`rome_engine::RunBudget`] (each channel meters independently),
+    /// returning the abort reason if any channel's budget tripped; see
+    /// [`rome_engine::MultiChannelSystem::run_until_idle_budgeted`].
+    pub fn run_until_idle_budgeted(
+        &mut self,
+        max_ns: Cycle,
+        budget: &rome_engine::RunBudget,
+    ) -> (Vec<HostCompletion>, Cycle, Option<rome_engine::AbortReason>) {
+        self.inner.run_until_idle_budgeted(max_ns, budget)
+    }
+
     /// Drive the system from a lazy [`rome_engine::TrafficSource`] until the
     /// source is exhausted and all its requests completed, or `max_ns`
     /// elapses. Completions are fed back to the source (closed-loop hosts
@@ -195,18 +207,39 @@ impl RomeMemorySystem {
         source: &mut S,
         max_ns: Cycle,
     ) -> (Vec<HostCompletion>, Cycle) {
+        let (completions, stop, _) =
+            self.run_with_source_budgeted(source, max_ns, &rome_engine::RunBudget::unlimited());
+        (completions, stop)
+    }
+
+    /// Like [`RomeMemorySystem::run_with_source`] but metered against a
+    /// [`rome_engine::RunBudget`] and with stalled-source detection,
+    /// returning the abort reason alongside the completions; see
+    /// [`rome_engine::MultiChannelSystem::run_with_source_budgeted`].
+    pub fn run_with_source_budgeted<S: rome_engine::TrafficSource>(
+        &mut self,
+        source: &mut S,
+        max_ns: Cycle,
+        budget: &rome_engine::RunBudget,
+    ) -> (Vec<HostCompletion>, Cycle, Option<rome_engine::AbortReason>) {
         let RomeMemorySystem { config, inner } = self;
-        inner.run_with_source(source, config.row_bytes(), max_ns, |frag| {
-            let (channel, target, row) = decode_for(config, frag.address.raw());
-            (
-                channel,
-                RomeQueueEntry {
-                    request: frag,
-                    target,
-                    row,
-                },
-            )
-        })
+        inner.run_with_source_budgeted(
+            source,
+            config.row_bytes(),
+            max_ns,
+            |frag| {
+                let (channel, target, row) = decode_for(config, frag.address.raw());
+                (
+                    channel,
+                    RomeQueueEntry {
+                        request: frag,
+                        target,
+                        row,
+                    },
+                )
+            },
+            budget,
+        )
     }
 }
 

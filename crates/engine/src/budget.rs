@@ -1,0 +1,426 @@
+//! Cooperative run budgets: bounded simulation with tagged partial results.
+//!
+//! Every driver in [`crate::simulate`] and [`crate::system`] historically ran
+//! until its workload drained or a hard `max_ns` cutoff hit — and a runaway
+//! scenario (a huge sweep, a stuck source) simply ran forever or silently
+//! truncated. A [`RunBudget`] makes the bound explicit and *observable*: it
+//! limits simulated time, event-loop iterations, and wall-clock time, and a
+//! run that trips any limit returns its partial report tagged with an
+//! [`AbortReason`] instead of hanging or pretending it finished.
+//!
+//! The budget is checked *cooperatively*: the run loop calls
+//! [`BudgetMeter::on_step`] once per iteration, which is a couple of integer
+//! compares in the common case. Wall-clock time is the only expensive probe
+//! (`Instant::now` is a syscall on some platforms), so it is sampled every
+//! [`RunBudget::check_interval`] events rather than every event. An
+//! unlimited budget ([`RunBudget::unlimited`], also the `Default`) keeps
+//! every legacy driver bit-identical: no limit ever trips, no report is
+//! tagged, and the equivalence suites pin that the meter's presence does not
+//! perturb a single cycle.
+//!
+//! The same meter doubles as the deterministic fault-injection harness: an
+//! [`EngineFault`] rides on the budget and fires at an exact event ordinal
+//! (panic, artificial slowdown, or forced budget exhaustion), which is what
+//! lets `tests/fault_injection.rs` prove panic isolation and abort semantics
+//! without any nondeterministic scaffolding. The hooks are compiled in
+//! unconditionally — the fault-free bit-identity guarantee above is exactly
+//! the claim that this costs nothing.
+
+use std::time::{Duration, Instant};
+
+use rome_hbm::units::Cycle;
+
+/// Why a budgeted run stopped before its workload drained.
+///
+/// Carried on `SimulationReport::aborted` (and the closed-loop point type);
+/// serialized as the snake_case string from [`AbortReason::as_str`]. A report
+/// with `aborted: None` ran to its natural end (or to a legacy untagged
+/// `max_ns` cutoff, which predates budgets and keeps its old meaning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The simulated clock reached [`RunBudget::max_sim_ns`].
+    SimTimeBudget,
+    /// The run loop executed [`RunBudget::max_events`] iterations.
+    EventBudget,
+    /// The wall-clock deadline of [`RunBudget::wall_clock`] passed.
+    WallClockDeadline,
+    /// A [`crate::source::TrafficSource`] kept promising an arrival that
+    /// never became pullable; the driver gave up instead of spinning.
+    StalledSource,
+    /// An [`EngineFault`] with [`FaultAction::ExhaustBudget`] fired.
+    InjectedFault,
+}
+
+impl AbortReason {
+    /// Stable snake_case name, used verbatim in serialized reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbortReason::SimTimeBudget => "sim_time_budget",
+            AbortReason::EventBudget => "event_budget",
+            AbortReason::WallClockDeadline => "wall_clock_deadline",
+            AbortReason::StalledSource => "stalled_source",
+            AbortReason::InjectedFault => "injected_fault",
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic in the worker thread — the isolation case: the serving layer
+    /// must convert this into one structured error without losing the batch.
+    Panic,
+    /// Sleep this many wall-clock microseconds, once, then continue. The
+    /// simulated schedule is untouched, so results stay bit-identical — this
+    /// models a slow worker, not a slow memory system.
+    SlowdownUs(u64),
+    /// Abort the run as if its budget were exhausted
+    /// ([`AbortReason::InjectedFault`]).
+    ExhaustBudget,
+}
+
+/// A deterministic fault armed at an exact event ordinal of a run loop.
+///
+/// `at_event == 0` fires before the first event, which is also how analytic
+/// (loop-free) paths honor an entry fault via [`RunBudget::entry_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineFault {
+    /// Event ordinal (0-based loop iteration) at which the fault fires.
+    pub at_event: u64,
+    /// What happens when it fires.
+    pub action: FaultAction,
+}
+
+impl EngineFault {
+    /// A panic armed at event `at_event`.
+    pub fn panic_at(at_event: u64) -> Self {
+        EngineFault {
+            at_event,
+            action: FaultAction::Panic,
+        }
+    }
+
+    /// A one-shot wall-clock slowdown of `us` microseconds at `at_event`.
+    pub fn slowdown_at(at_event: u64, us: u64) -> Self {
+        EngineFault {
+            at_event,
+            action: FaultAction::SlowdownUs(us),
+        }
+    }
+
+    /// Forced budget exhaustion at `at_event`.
+    pub fn exhaust_at(at_event: u64) -> Self {
+        EngineFault {
+            at_event,
+            action: FaultAction::ExhaustBudget,
+        }
+    }
+}
+
+/// Default number of events between wall-clock deadline probes.
+pub const DEFAULT_CHECK_INTERVAL: u64 = 8192;
+
+/// Consecutive fully-idle driver wake-ups (nothing pulled, nothing issued,
+/// nothing completed, controller idle, no pending requests, source not
+/// exhausted) after which `run_with_source` declares the source stalled and
+/// aborts with [`AbortReason::StalledSource`]. The `TrafficSource` contract
+/// allows spuriously early `next_arrival_at` lower bounds, so a handful of
+/// idle wake-ups is legal; tens of thousands in a row with no progress means
+/// the source is promising an arrival it will never deliver.
+pub const STALLED_SOURCE_WAKEUPS: u64 = 65_536;
+
+/// Limits for one simulation run. All limits are optional; the default is
+/// unlimited, which is guaranteed not to perturb or tag any run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBudget {
+    /// Abort once the simulated clock reaches this cycle.
+    pub max_sim_ns: Option<Cycle>,
+    /// Abort after this many run-loop iterations. In the sharded multi-cube
+    /// path each channel worker meters independently, so this bounds events
+    /// *per channel*, not per system.
+    pub max_events: Option<u64>,
+    /// Abort once this much wall-clock time has elapsed since the run
+    /// started (probed every [`RunBudget::check_interval`] events).
+    pub wall_clock: Option<Duration>,
+    /// Events between wall-clock probes; `0` means
+    /// [`DEFAULT_CHECK_INTERVAL`].
+    pub check_interval: u64,
+    /// Optional deterministic fault armed on this run's meter.
+    pub fault: Option<EngineFault>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget::unlimited()
+    }
+}
+
+impl RunBudget {
+    /// No limits, no fault: bit-identical to the pre-budget drivers.
+    pub const fn unlimited() -> Self {
+        RunBudget {
+            max_sim_ns: None,
+            max_events: None,
+            wall_clock: None,
+            check_interval: DEFAULT_CHECK_INTERVAL,
+            fault: None,
+        }
+    }
+
+    /// Limit simulated time.
+    pub fn with_max_sim_ns(mut self, ns: Cycle) -> Self {
+        self.max_sim_ns = Some(ns);
+        self
+    }
+
+    /// Limit run-loop iterations (per channel in sharded runs).
+    pub fn with_max_events(mut self, events: u64) -> Self {
+        self.max_events = Some(events);
+        self
+    }
+
+    /// Limit wall-clock time.
+    pub fn with_wall_clock(mut self, deadline: Duration) -> Self {
+        self.wall_clock = Some(deadline);
+        self
+    }
+
+    /// Probe the wall clock every `events` events instead of the default.
+    pub fn with_check_interval(mut self, events: u64) -> Self {
+        self.check_interval = events;
+        self
+    }
+
+    /// Arm a deterministic fault on this budget's meter.
+    pub fn with_fault(mut self, fault: EngineFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// `true` when no limit and no fault is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_sim_ns.is_none()
+            && self.max_events.is_none()
+            && self.wall_clock.is_none()
+            && self.fault.is_none()
+    }
+
+    /// Start metering one run against this budget. Each run (each channel
+    /// worker, in sharded paths) gets its own meter; the wall-clock deadline
+    /// is anchored at this call.
+    pub fn meter(&self) -> BudgetMeter {
+        let interval = if self.check_interval == 0 {
+            DEFAULT_CHECK_INTERVAL
+        } else {
+            self.check_interval
+        };
+        BudgetMeter {
+            max_sim_ns: self.max_sim_ns.unwrap_or(Cycle::MAX),
+            max_events: self.max_events.unwrap_or(u64::MAX),
+            deadline: self.wall_clock.map(|d| Instant::now() + d),
+            interval,
+            next_check: interval,
+            events: 0,
+            fault: self.fault,
+        }
+    }
+
+    /// Fire an entry fault (`at_event == 0`) for analytic paths that have no
+    /// run loop to meter. [`FaultAction::ExhaustBudget`] is meaningless
+    /// without a loop to abort and is ignored here.
+    pub fn entry_fault(&self) {
+        if let Some(fault) = self.fault {
+            if fault.at_event == 0 {
+                match fault.action {
+                    FaultAction::Panic => {
+                        panic!("injected fault: panic at entry")
+                    }
+                    FaultAction::SlowdownUs(us) => std::thread::sleep(Duration::from_micros(us)),
+                    FaultAction::ExhaustBudget => {}
+                }
+            }
+        }
+    }
+}
+
+/// Per-run metering state for one [`RunBudget`]. Created by
+/// [`RunBudget::meter`]; the run loop calls [`BudgetMeter::on_step`] once
+/// per iteration and aborts on `Some(reason)`.
+#[derive(Debug, Clone)]
+pub struct BudgetMeter {
+    max_sim_ns: Cycle,
+    max_events: u64,
+    deadline: Option<Instant>,
+    interval: u64,
+    next_check: u64,
+    events: u64,
+    fault: Option<EngineFault>,
+}
+
+impl BudgetMeter {
+    /// Meter one run-loop iteration at simulated time `now`. Returns the
+    /// abort reason when a limit trips or an armed fault fires; the caller
+    /// stops *before* processing the iteration, so the partial report
+    /// reflects only fully processed events.
+    #[inline]
+    pub fn on_step(&mut self, now: Cycle) -> Option<AbortReason> {
+        let event = self.events;
+        self.events += 1;
+        if let Some(fault) = self.fault {
+            if event >= fault.at_event {
+                self.fault = None;
+                match fault.action {
+                    FaultAction::Panic => {
+                        panic!("injected fault: panic at event {event}")
+                    }
+                    FaultAction::SlowdownUs(us) => std::thread::sleep(Duration::from_micros(us)),
+                    FaultAction::ExhaustBudget => return Some(AbortReason::InjectedFault),
+                }
+            }
+        }
+        if now >= self.max_sim_ns {
+            return Some(AbortReason::SimTimeBudget);
+        }
+        if event >= self.max_events {
+            return Some(AbortReason::EventBudget);
+        }
+        if let Some(deadline) = self.deadline {
+            if event >= self.next_check {
+                self.next_check = event + self.interval;
+                if Instant::now() >= deadline {
+                    return Some(AbortReason::WallClockDeadline);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterations metered so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_never_trips() {
+        let mut meter = RunBudget::unlimited().meter();
+        for now in 0..100_000u64 {
+            assert_eq!(meter.on_step(now), None);
+        }
+        assert_eq!(meter.events(), 100_000);
+        assert!(RunBudget::unlimited().is_unlimited());
+        assert!(RunBudget::default().is_unlimited());
+    }
+
+    #[test]
+    fn event_budget_trips_at_the_exact_ordinal() {
+        let mut meter = RunBudget::unlimited().with_max_events(3).meter();
+        assert_eq!(meter.on_step(0), None);
+        assert_eq!(meter.on_step(1), None);
+        assert_eq!(meter.on_step(2), None);
+        assert_eq!(meter.on_step(3), Some(AbortReason::EventBudget));
+    }
+
+    #[test]
+    fn sim_time_budget_trips_when_now_reaches_the_limit() {
+        let mut meter = RunBudget::unlimited().with_max_sim_ns(10).meter();
+        assert_eq!(meter.on_step(9), None);
+        assert_eq!(meter.on_step(10), Some(AbortReason::SimTimeBudget));
+    }
+
+    #[test]
+    fn zero_wall_clock_deadline_trips_at_the_first_probe() {
+        let mut meter = RunBudget::unlimited()
+            .with_wall_clock(Duration::from_secs(0))
+            .with_check_interval(4)
+            .meter();
+        // Probes happen every 4 events starting at event 4.
+        assert_eq!(meter.on_step(0), None);
+        assert_eq!(meter.on_step(1), None);
+        assert_eq!(meter.on_step(2), None);
+        assert_eq!(meter.on_step(3), None);
+        assert_eq!(meter.on_step(4), Some(AbortReason::WallClockDeadline));
+    }
+
+    #[test]
+    fn generous_wall_clock_deadline_does_not_trip() {
+        let mut meter = RunBudget::unlimited()
+            .with_wall_clock(Duration::from_secs(3600))
+            .with_check_interval(1)
+            .meter();
+        for now in 0..64u64 {
+            assert_eq!(meter.on_step(now), None);
+        }
+    }
+
+    #[test]
+    fn exhaust_fault_aborts_and_disarms() {
+        let mut meter = RunBudget::unlimited()
+            .with_fault(EngineFault::exhaust_at(2))
+            .meter();
+        assert_eq!(meter.on_step(0), None);
+        assert_eq!(meter.on_step(1), None);
+        assert_eq!(meter.on_step(2), Some(AbortReason::InjectedFault));
+        // One-shot: a caller that chooses to continue is not re-aborted.
+        assert_eq!(meter.on_step(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic at event 1")]
+    fn panic_fault_panics_at_its_ordinal() {
+        let mut meter = RunBudget::unlimited()
+            .with_fault(EngineFault::panic_at(1))
+            .meter();
+        assert_eq!(meter.on_step(0), None);
+        let _ = meter.on_step(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic at entry")]
+    fn entry_fault_fires_only_at_event_zero() {
+        // A fault armed past entry is a no-op for analytic paths…
+        RunBudget::unlimited()
+            .with_fault(EngineFault::panic_at(5))
+            .entry_fault();
+        // …but an entry fault fires.
+        RunBudget::unlimited()
+            .with_fault(EngineFault::panic_at(0))
+            .entry_fault();
+    }
+
+    #[test]
+    fn slowdown_fault_continues_without_aborting() {
+        let mut meter = RunBudget::unlimited()
+            .with_fault(EngineFault::slowdown_at(1, 1))
+            .meter();
+        assert_eq!(meter.on_step(0), None);
+        assert_eq!(meter.on_step(1), None);
+        assert_eq!(meter.on_step(2), None);
+        RunBudget::unlimited()
+            .with_fault(EngineFault::slowdown_at(0, 1))
+            .entry_fault();
+    }
+
+    #[test]
+    fn abort_reasons_have_stable_snake_case_names() {
+        assert_eq!(AbortReason::SimTimeBudget.as_str(), "sim_time_budget");
+        assert_eq!(AbortReason::EventBudget.as_str(), "event_budget");
+        assert_eq!(
+            AbortReason::WallClockDeadline.as_str(),
+            "wall_clock_deadline"
+        );
+        assert_eq!(AbortReason::StalledSource.as_str(), "stalled_source");
+        assert_eq!(AbortReason::InjectedFault.as_str(), "injected_fault");
+        assert_eq!(AbortReason::StalledSource.to_string(), "stalled_source");
+    }
+}

@@ -24,6 +24,11 @@
 //!   completions fed back for closed-loop load generation ([`source`]). The
 //!   scenario generators themselves (MoE routing skew, prefill/decode
 //!   interleave, multi-tenant mixes) live in the `rome-workload` crate.
+//! * the **[`RunBudget`] layer** — cooperative deadlines (simulated time,
+//!   event count, wall clock) plus deterministic fault-injection hooks,
+//!   threaded through every run loop; a bounded run returns its partial
+//!   report tagged with an [`budget::AbortReason`] instead of hanging
+//!   ([`budget`]).
 //!
 //! The engine is the plug-in point for scale-out work: a new memory system
 //! only implements [`MemoryController`] and immediately inherits the
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod controller;
 pub mod events;
 pub mod request;
@@ -51,17 +57,20 @@ pub mod system;
 
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
+    pub use crate::budget::{AbortReason, BudgetMeter, EngineFault, FaultAction, RunBudget};
     pub use crate::controller::{MemoryController, StatsSnapshot};
     pub use crate::events::EventHorizon;
     pub use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
     pub use crate::simulate::{
-        merge_reports, report_from_host_completions, run_to_completion, run_with_limit,
-        run_with_limit_stepped, run_with_source, SimulationReport,
+        merge_reports, report_from_host_completions, run_to_completion, run_with_budget,
+        run_with_limit, run_with_limit_stepped, run_with_source, run_with_source_budgeted,
+        SimulationReport,
     };
     pub use crate::source::{ReplaySource, TrafficSource};
     pub use crate::system::{run_cubes, HostCompletion, MultiChannelSystem};
 }
 
+pub use budget::{AbortReason, BudgetMeter, EngineFault, FaultAction, RunBudget};
 pub use controller::{MemoryController, StatsSnapshot};
 pub use events::EventHorizon;
 pub use request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};

@@ -22,6 +22,17 @@
 //! The original cycle-by-cycle loop is kept as [`run_with_limit_stepped`];
 //! it is the equivalence baseline and the reference point for the wall-clock
 //! speedup tracked by the `event_driven_speedup` bench.
+//!
+//! # Bounded runs
+//!
+//! Every driver also comes in a budgeted flavor ([`run_with_budget`],
+//! [`run_with_source_budgeted`]) that meters the loop against a
+//! [`RunBudget`] — simulated-time, event-count, and wall-clock limits plus
+//! the deterministic fault-injection hooks. A tripped limit stops the loop
+//! and tags the partial report via [`SimulationReport::aborted`]; the
+//! unbudgeted entry points delegate with [`RunBudget::unlimited`], which is
+//! pinned to be bit-identical to the pre-budget drivers (no limit trips, no
+//! report is tagged, the legacy `max_ns` cutoff stays untagged).
 
 use std::collections::VecDeque;
 
@@ -29,6 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
 
+use crate::budget::{AbortReason, RunBudget, STALLED_SOURCE_WAKEUPS};
 use crate::controller::MemoryController;
 use crate::request::{MemoryRequest, RequestKind};
 use crate::source::TrafficSource;
@@ -61,6 +73,20 @@ pub struct SimulationReport {
     pub row_hit_rate: f64,
     /// Activations issued per KiB of useful data transferred.
     pub activates_per_kib: f64,
+    /// `Some(reason)` when the run stopped early because a [`RunBudget`]
+    /// limit tripped (or the source stalled); `None` for a run that drained
+    /// naturally or hit only the legacy untagged `max_ns` cutoff. An aborted
+    /// report is a valid *partial* summary of the work completed before the
+    /// abort.
+    pub aborted: Option<AbortReason>,
+}
+
+impl SimulationReport {
+    /// Tag this report with an abort reason (`None` clears the tag).
+    pub fn with_abort(mut self, aborted: Option<AbortReason>) -> Self {
+        self.aborted = aborted;
+        self
+    }
 }
 
 /// Drive `controller` with `requests`, enqueueing as fast as the queues
@@ -83,7 +109,20 @@ pub fn run_with_limit<C: MemoryController>(
     requests: Vec<MemoryRequest>,
     max_ns: Cycle,
 ) -> SimulationReport {
-    drive(controller, requests, max_ns, false)
+    drive(controller, requests, max_ns, false, &RunBudget::unlimited())
+}
+
+/// Like [`run_with_limit`] but metered against a [`RunBudget`]: the run
+/// stops as soon as a budget limit trips (or an armed fault fires) and the
+/// partial report is tagged via [`SimulationReport::aborted`]. With
+/// [`RunBudget::unlimited`] this is bit-identical to [`run_with_limit`].
+pub fn run_with_budget<C: MemoryController>(
+    controller: &mut C,
+    requests: Vec<MemoryRequest>,
+    max_ns: Cycle,
+    budget: &RunBudget,
+) -> SimulationReport {
+    drive(controller, requests, max_ns, false, budget)
 }
 
 /// The original cycle-by-cycle driver: identical behaviour to
@@ -94,7 +133,7 @@ pub fn run_with_limit_stepped<C: MemoryController>(
     requests: Vec<MemoryRequest>,
     max_ns: Cycle,
 ) -> SimulationReport {
-    drive(controller, requests, max_ns, true)
+    drive(controller, requests, max_ns, true, &RunBudget::unlimited())
 }
 
 fn drive<C: MemoryController>(
@@ -102,6 +141,7 @@ fn drive<C: MemoryController>(
     requests: Vec<MemoryRequest>,
     max_ns: Cycle,
     stepped: bool,
+    budget: &RunBudget,
 ) -> SimulationReport {
     let total = requests.len() as u64;
     let mut pending = requests.into_iter().peekable();
@@ -111,8 +151,14 @@ fn drive<C: MemoryController>(
     let mut bytes_written = 0u64;
     let mut finish_time = 0;
     let mut completions = Vec::new();
+    let mut meter = budget.meter();
+    let mut aborted = None;
 
     while (completed < total || !controller.is_idle()) && now < max_ns {
+        if let Some(reason) = meter.on_step(now) {
+            aborted = Some(reason);
+            break;
+        }
         // Offer as many pending requests as the queues accept this cycle.
         while let Some(next) = pending.peek() {
             if controller.slots_free_for(next.kind) == 0 {
@@ -154,6 +200,7 @@ fn drive<C: MemoryController>(
         bytes_written,
         finish_time,
     )
+    .with_abort(aborted)
 }
 
 /// Drive `controller` from a lazy [`TrafficSource`] instead of a
@@ -178,6 +225,24 @@ pub fn run_with_source<C: MemoryController, S: TrafficSource>(
     source: &mut S,
     max_ns: Cycle,
 ) -> SimulationReport {
+    run_with_source_budgeted(controller, source, max_ns, &RunBudget::unlimited())
+}
+
+/// Like [`run_with_source`] but metered against a [`RunBudget`], and with
+/// stall detection that is active even under an unlimited budget: a source
+/// that keeps promising an arrival which never becomes pullable (or that
+/// waits on a completion no in-flight work can deliver) aborts the run with
+/// [`AbortReason::StalledSource`] instead of spinning to `max_ns`. Spurious
+/// early wake-ups are legal under the [`TrafficSource`] contract, so the
+/// stall verdict needs [`STALLED_SOURCE_WAKEUPS`] consecutive fully idle
+/// wake-ups — no pull, no issue, no completion, empty queues — before it
+/// fires.
+pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
+    controller: &mut C,
+    source: &mut S,
+    max_ns: Cycle,
+    budget: &RunBudget,
+) -> SimulationReport {
     let mut pending: VecDeque<MemoryRequest> = VecDeque::new();
     let mut pulled: Vec<MemoryRequest> = Vec::new();
     let mut now: Cycle = 0;
@@ -186,10 +251,19 @@ pub fn run_with_source<C: MemoryController, S: TrafficSource>(
     let mut bytes_written = 0u64;
     let mut finish_time = 0;
     let mut completions = Vec::new();
+    let mut meter = budget.meter();
+    let mut aborted = None;
+    let mut idle_wakeups: u64 = 0;
 
     loop {
+        if let Some(reason) = meter.on_step(now) {
+            aborted = Some(reason);
+            break;
+        }
+        let backlog_before = pending.len();
         source.pull_into(now, &mut pulled);
         pending.extend(pulled.drain(..));
+        let pulled_any = pending.len() > backlog_before;
         if (pending.is_empty() && source.is_exhausted() && controller.is_idle()) || now >= max_ns {
             break;
         }
@@ -206,6 +280,7 @@ pub fn run_with_source<C: MemoryController, S: TrafficSource>(
             pending.pop_front();
         }
         let issued = controller.tick_into(now, &mut completions);
+        let completed_any = !completions.is_empty();
         for done in completions.drain(..) {
             completed += 1;
             finish_time = finish_time.max(done.completed);
@@ -220,6 +295,22 @@ pub fn run_with_source<C: MemoryController, S: TrafficSource>(
                 arrival: done.arrival,
                 completed: done.completed,
             });
+        }
+        // Stall detection: a wake-up in which no *data* moved. A live run
+        // resets the streak on any request progress; only a source that
+        // keeps scheduling wake-ups without ever delivering can accumulate
+        // STALLED_SOURCE_WAKEUPS of them. `issued` deliberately does not
+        // reset the streak: autonomous upkeep (refresh) issues commands
+        // forever on an otherwise empty controller and must not mask a
+        // stuck source.
+        if pulled_any || completed_any || !pending.is_empty() || !controller.is_idle() {
+            idle_wakeups = 0;
+        } else {
+            idle_wakeups += 1;
+            if idle_wakeups >= STALLED_SOURCE_WAKEUPS {
+                aborted = Some(AbortReason::StalledSource);
+                break;
+            }
         }
         let arrival_next = pending
             .front()
@@ -237,9 +328,15 @@ pub fn run_with_source<C: MemoryController, S: TrafficSource>(
                 // No controller event and no scheduled arrival: if the
                 // controller is idle and nothing waits to enqueue, nothing
                 // can ever change (completions only come from in-flight
-                // work), so a source gated on one is stuck — stop instead
-                // of crawling one cycle per iteration to max_ns.
-                None if controller.is_idle() && pending.is_empty() => break,
+                // work), so a source gated on one is stuck — abort with a
+                // tagged reason instead of crawling one cycle per
+                // iteration to max_ns.
+                None if controller.is_idle() && pending.is_empty() => {
+                    if !source.is_exhausted() {
+                        aborted = Some(AbortReason::StalledSource);
+                    }
+                    break;
+                }
                 None => now + 1,
             }
         };
@@ -252,6 +349,7 @@ pub fn run_with_source<C: MemoryController, S: TrafficSource>(
         bytes_written,
         finish_time,
     )
+    .with_abort(aborted)
 }
 
 /// Fold the driver-side counters and the controller's statistics snapshot
@@ -299,6 +397,7 @@ pub fn report_from_stats(
         } else {
             stats.activates as f64 / (useful as f64 / 1024.0)
         },
+        aborted: None,
     }
 }
 
@@ -342,7 +441,9 @@ pub fn report_from_host_completions(
 ///   `row_hit_rate` by per-shard interface bytes (the per-request counts are
 ///   not in the report, so bytes are the closest available weights);
 /// * `activates_per_kib` is recomputed from the implied per-shard activation
-///   counts over the merged useful bytes.
+///   counts over the merged useful bytes;
+/// * `aborted` is the first shard's abort reason, if any shard aborted (a
+///   merged report over partial shards is itself partial).
 pub fn merge_reports(reports: &[SimulationReport]) -> SimulationReport {
     let mut merged = SimulationReport {
         requests_completed: 0,
@@ -354,6 +455,7 @@ pub fn merge_reports(reports: &[SimulationReport]) -> SimulationReport {
         mean_read_latency: 0.0,
         row_hit_rate: 0.0,
         activates_per_kib: 0.0,
+        aborted: None,
     };
     let mut latency_weight = 0.0;
     let mut latency_sum = 0.0;
@@ -366,6 +468,7 @@ pub fn merge_reports(reports: &[SimulationReport]) -> SimulationReport {
         merged.bytes_written += r.bytes_written;
         merged.bytes_transferred += r.bytes_transferred;
         merged.finish_time = merged.finish_time.max(r.finish_time);
+        merged.aborted = merged.aborted.or(r.aborted);
         latency_sum += r.mean_read_latency * r.bytes_read as f64;
         latency_weight += r.bytes_read as f64;
         hit_sum += r.row_hit_rate * r.bytes_transferred as f64;
@@ -403,6 +506,7 @@ mod tests {
             mean_read_latency: latency,
             row_hit_rate: 0.5,
             activates_per_kib: 1.0,
+            aborted: None,
         }
     }
 
@@ -418,6 +522,18 @@ mod tests {
         assert_eq!(merged.mean_read_latency, 175.0);
         assert_eq!(merged.row_hit_rate, 0.5);
         assert!((merged.activates_per_kib - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_propagates_any_shard_abort_tag() {
+        let healthy = shard(1024, 100.0, 1000);
+        let partial = shard(512, 50.0, 500).with_abort(Some(AbortReason::EventBudget));
+        assert_eq!(
+            merge_reports(&[healthy.clone(), partial]).aborted,
+            Some(AbortReason::EventBudget),
+            "a merge over a partial shard is itself partial"
+        );
+        assert_eq!(merge_reports(&[healthy]).aborted, None);
     }
 
     #[test]

@@ -66,6 +66,7 @@ use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::Cycle;
 
+use crate::budget::{AbortReason, RunBudget, STALLED_SOURCE_WAKEUPS};
 use crate::controller::MemoryController;
 use crate::events::EventHorizon;
 use crate::request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};
@@ -605,13 +606,49 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         source: &mut S,
         granularity: u64,
         max_ns: Cycle,
-        mut decode: impl FnMut(MemoryRequest) -> (u16, C::Entry),
+        decode: impl FnMut(MemoryRequest) -> (u16, C::Entry),
     ) -> (Vec<HostCompletion>, Cycle) {
+        let (completions, stop, _) = self.run_with_source_budgeted(
+            source,
+            granularity,
+            max_ns,
+            decode,
+            &RunBudget::unlimited(),
+        );
+        (completions, stop)
+    }
+
+    /// Like [`MultiChannelSystem::run_with_source`] but metered against a
+    /// [`RunBudget`], returning the abort reason (if any) alongside the
+    /// completions. Stall detection is active even under an unlimited
+    /// budget: a source that keeps promising an arrival which never becomes
+    /// pullable, or that waits on a completion no in-flight work can
+    /// deliver, aborts with [`AbortReason::StalledSource`] after
+    /// [`STALLED_SOURCE_WAKEUPS`] consecutive fully idle wake-ups instead of
+    /// spinning to `max_ns`. With [`RunBudget::unlimited`] and a live source
+    /// the completions and stop cycle are bit-identical to
+    /// [`MultiChannelSystem::run_with_source`].
+    pub fn run_with_source_budgeted<S: TrafficSource>(
+        &mut self,
+        source: &mut S,
+        granularity: u64,
+        max_ns: Cycle,
+        mut decode: impl FnMut(MemoryRequest) -> (u16, C::Entry),
+        budget: &RunBudget,
+    ) -> (Vec<HostCompletion>, Cycle, Option<AbortReason>) {
         let mut completions = Vec::new();
         let mut pulled: Vec<MemoryRequest> = Vec::new();
         let mut now: Cycle = 0;
+        let mut meter = budget.meter();
+        let mut aborted = None;
+        let mut idle_wakeups: u64 = 0;
         loop {
+            if let Some(reason) = meter.on_step(now) {
+                aborted = Some(reason);
+                break;
+            }
             source.pull_into(now, &mut pulled);
+            let pulled_any = !pulled.is_empty();
             for req in pulled.drain(..) {
                 self.submit_with(req, granularity, &mut decode);
             }
@@ -620,8 +657,24 @@ impl<C: MemoryController> MultiChannelSystem<C> {
             }
             let before = completions.len();
             let issued = self.tick_into(now, &mut completions);
+            let completed_any = completions.len() > before;
             for c in &completions[before..] {
                 source.on_completion(c);
+            }
+            // Stall detection: see `simulate::run_with_source_budgeted` — a
+            // live run resets the streak on any *data* progress; only a
+            // source that keeps scheduling wake-ups without ever delivering
+            // accumulates STALLED_SOURCE_WAKEUPS fully idle ones. `issued`
+            // does not reset the streak (autonomous refresh upkeep must not
+            // mask a stuck source).
+            if pulled_any || completed_any || !self.is_idle() {
+                idle_wakeups = 0;
+            } else {
+                idle_wakeups += 1;
+                if idle_wakeups >= STALLED_SOURCE_WAKEUPS {
+                    aborted = Some(AbortReason::StalledSource);
+                    break;
+                }
             }
             now = if issued {
                 now + 1
@@ -636,13 +689,19 @@ impl<C: MemoryController> MultiChannelSystem<C> {
                     // No system event and no scheduled arrival: if the system
                     // is idle nothing can ever change (completions only come
                     // from in-flight work), so a source waiting on one is
-                    // stuck — stop instead of crawling to max_ns.
-                    None if self.is_idle() => break,
+                    // stuck — abort with a tagged reason instead of crawling
+                    // to max_ns.
+                    None if self.is_idle() => {
+                        if !source.is_exhausted() {
+                            aborted = Some(AbortReason::StalledSource);
+                        }
+                        break;
+                    }
                     None => now + 1,
                 }
             };
         }
-        (completions, now)
+        (completions, now, aborted)
     }
 
     /// Run until all submitted requests complete or `max_ns` elapses;
@@ -662,6 +721,28 @@ impl<C: MemoryController> MultiChannelSystem<C> {
     where
         C: Send,
     {
+        let (completions, stop, _) = self.run_until_idle_budgeted(max_ns, &RunBudget::unlimited());
+        (completions, stop)
+    }
+
+    /// Like [`MultiChannelSystem::run_until_idle`] but metered against a
+    /// [`RunBudget`], returning the abort reason (if any) alongside the
+    /// completions. Each channel worker meters independently against its own
+    /// [`crate::budget::BudgetMeter`] (the channels share no state), so
+    /// [`RunBudget::max_events`] bounds events *per channel*; the returned
+    /// reason is the first aborting channel's, in channel order. Channels
+    /// that aborted park their unfinished work in the backlog exactly like a
+    /// `max_ns` cutoff, so a later run can resume it. With
+    /// [`RunBudget::unlimited`] this is bit-identical to
+    /// [`MultiChannelSystem::run_until_idle`].
+    pub fn run_until_idle_budgeted(
+        &mut self,
+        max_ns: Cycle,
+        budget: &RunBudget,
+    ) -> (Vec<HostCompletion>, Cycle, Option<AbortReason>)
+    where
+        C: Send,
+    {
         let channels = self.controllers.len();
         let mut backlogs: Vec<ChannelBacklog<C>> =
             std::mem::replace(&mut self.backlog, BacklogStore::PerChannel(Vec::new()))
@@ -672,9 +753,9 @@ impl<C: MemoryController> MultiChannelSystem<C> {
             .iter_mut()
             .zip(backlogs.iter_mut())
             .collect();
-        let per_channel: Vec<(Vec<CompletedRequest>, Cycle)> = tasks
+        let per_channel: Vec<(Vec<CompletedRequest>, Cycle, Option<AbortReason>)> = tasks
             .into_par_iter()
-            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns))
+            .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns, budget))
             .collect();
 
         // Fragments still waiting when max_ns cut the run short go back to
@@ -686,9 +767,11 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         self.reset_calendar();
 
         let mut stop = 0;
+        let mut aborted = None;
         let mut fragments = Vec::new();
-        for (done, t) in per_channel {
+        for (done, t, channel_abort) in per_channel {
             stop = stop.max(t);
+            aborted = aborted.or(channel_abort);
             fragments.extend(done);
         }
         fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
@@ -700,7 +783,7 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         for c in &completions {
             self.host_requests.remove(&c.id);
         }
-        (completions, stop)
+        (completions, stop, aborted)
     }
 }
 
@@ -817,16 +900,25 @@ impl<C: MemoryController> ChannelBacklog<C> {
 
 /// Event-driven loop for one channel: feed it its share of the backlog,
 /// jump to the next event after every no-op tick, and return the fragment
-/// completions plus the cycle the channel went idle (or `max_ns`).
+/// completions plus the cycle the channel went idle (or `max_ns`), plus the
+/// abort reason if the channel's budget meter tripped. Each channel meters
+/// independently (channels share no state once fragments are steered).
 fn run_channel_until_idle<C: MemoryController>(
     ctrl: &mut C,
     backlog: &mut ChannelBacklog<C>,
     max_ns: Cycle,
-) -> (Vec<CompletedRequest>, Cycle) {
+    budget: &RunBudget,
+) -> (Vec<CompletedRequest>, Cycle, Option<AbortReason>) {
     let mut done = Vec::new();
     let mut now = 0;
     let mut stop = 0;
+    let mut meter = budget.meter();
+    let mut aborted = None;
     while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
+        if let Some(reason) = meter.on_step(now) {
+            aborted = Some(reason);
+            break;
+        }
         backlog.drain_into(ctrl);
         let issued = ctrl.tick_into(now, &mut done);
         stop = now + 1;
@@ -837,8 +929,17 @@ fn run_channel_until_idle<C: MemoryController>(
             ctrl.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
         };
     }
-    let finished = backlog.is_empty() && ctrl.is_idle();
-    (done, if finished { stop } else { max_ns })
+    let finished = backlog.is_empty() && ctrl.is_idle() && aborted.is_none();
+    let stop = if finished {
+        stop
+    } else if aborted.is_some() {
+        // An aborted channel stopped at the cycle its meter tripped, not at
+        // the time limit.
+        now
+    } else {
+        max_ns
+    };
+    (done, stop, aborted)
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@
 //! (with the FR-FCFS ready cache both on and off).
 
 pub use rome_engine::simulate::{
-    run_to_completion, run_with_limit, run_with_limit_stepped, SimulationReport,
+    run_to_completion, run_with_budget, run_with_limit, run_with_limit_stepped, run_with_source,
+    run_with_source_budgeted, SimulationReport,
 };
 
 #[cfg(test)]

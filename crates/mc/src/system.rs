@@ -187,6 +187,18 @@ impl MemorySystem {
         self.inner.run_until_idle(max_ns)
     }
 
+    /// Like [`MemorySystem::run_until_idle`] but metered against a
+    /// [`rome_engine::RunBudget`] (each channel meters independently),
+    /// returning the abort reason if any channel's budget tripped; see
+    /// [`rome_engine::MultiChannelSystem::run_until_idle_budgeted`].
+    pub fn run_until_idle_budgeted(
+        &mut self,
+        max_ns: Cycle,
+        budget: &rome_engine::RunBudget,
+    ) -> (Vec<HostCompletion>, Cycle, Option<rome_engine::AbortReason>) {
+        self.inner.run_until_idle_budgeted(max_ns, budget)
+    }
+
     /// Drive the system from a lazy [`rome_engine::TrafficSource`] until the
     /// source is exhausted and all its requests completed, or `max_ns`
     /// elapses. Completions are fed back to the source (closed-loop hosts
@@ -198,17 +210,38 @@ impl MemorySystem {
         source: &mut S,
         max_ns: Cycle,
     ) -> (Vec<HostCompletion>, Cycle) {
+        let (completions, stop, _) =
+            self.run_with_source_budgeted(source, max_ns, &rome_engine::RunBudget::unlimited());
+        (completions, stop)
+    }
+
+    /// Like [`MemorySystem::run_with_source`] but metered against a
+    /// [`rome_engine::RunBudget`] and with stalled-source detection,
+    /// returning the abort reason alongside the completions; see
+    /// [`rome_engine::MultiChannelSystem::run_with_source_budgeted`].
+    pub fn run_with_source_budgeted<S: rome_engine::TrafficSource>(
+        &mut self,
+        source: &mut S,
+        max_ns: Cycle,
+        budget: &rome_engine::RunBudget,
+    ) -> (Vec<HostCompletion>, Cycle, Option<rome_engine::AbortReason>) {
         let MemorySystem { config, inner } = self;
-        inner.run_with_source(source, config.access_granularity, max_ns, |frag| {
-            let dram = config.mapping.map(frag.address);
-            (
-                dram.channel,
-                QueueEntry {
-                    request: frag,
-                    dram,
-                },
-            )
-        })
+        inner.run_with_source_budgeted(
+            source,
+            config.access_granularity,
+            max_ns,
+            |frag| {
+                let dram = config.mapping.map(frag.address);
+                (
+                    dram.channel,
+                    QueueEntry {
+                        request: frag,
+                        dram,
+                    },
+                )
+            },
+            budget,
+        )
     }
 }
 

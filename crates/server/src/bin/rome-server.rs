@@ -9,12 +9,17 @@
 //! one result object per output line, in input order. The output is a
 //! deterministic function of the input: the same batch always produces
 //! byte-identical results, matching the in-process
-//! `ScenarioEngine::serve_batch` exactly.
+//! `ScenarioEngine::serve_batch` exactly. Scenarios shed by transient
+//! admission rejections are retried with bounded backoff (the default
+//! engine never sheds, so the default output is unchanged by the retry
+//! loop).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use rome_server::{serve_jsonl, ScenarioEngine};
+use rome_server::{serve_jsonl_with_retry, RetryPolicy, ScenarioEngine};
 
 const USAGE: &str = "usage: rome-server [FILE]
 
@@ -51,7 +56,7 @@ fn main() -> ExitCode {
     };
 
     let engine = ScenarioEngine::new();
-    match serve_jsonl(&engine, &input) {
+    match serve_jsonl_with_retry(&engine, &input, &RetryPolicy::default()) {
         Ok(results) => {
             print!("{results}");
             ExitCode::SUCCESS

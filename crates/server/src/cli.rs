@@ -6,13 +6,21 @@
 //! batch through the `rome-server` binary twice (or through
 //! [`ScenarioEngine::serve_batch`] in process) produces byte-identical
 //! JSONL; the regression suite pins this. A scenario that fails to run
-//! renders as an `{"name":…,"scenario":"error","error":…}` line without
-//! poisoning the rest of the batch; a line that fails to *parse* rejects the
+//! renders as an `{"name":…,"scenario":"error","error":…,"code":…}` line
+//! without poisoning the rest of the batch (with `retry_after_ms` appended
+//! for transient rejections); a line that fails to *parse* rejects the
 //! whole batch up front (nothing runs half-configured).
+//!
+//! [`serve_jsonl_with_retry`] adds the operational loop on top: scenarios
+//! shed by transient admission rejections are retried as a sub-batch with
+//! bounded backoff, honoring the engine's retry hints. Against an engine
+//! whose admission never sheds (the default), it is byte-identical to
+//! [`serve_jsonl`].
 
 use crate::engine::ScenarioEngine;
+use crate::error::ServerError;
 use crate::json::{self, Json};
-use crate::spec::{ScenarioResult, ScenarioSpec, SpecError};
+use crate::spec::{ScenarioResult, ScenarioSpec};
 
 /// A batch rejected at parse time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,20 +60,30 @@ pub fn parse_batch(input: &str) -> Result<Vec<ScenarioSpec>, BatchError> {
 }
 
 /// Render a batch's results (paired with their specs, in batch order) as
-/// canonical JSONL, one line per scenario.
+/// canonical JSONL, one line per scenario. Error lines keep the legacy
+/// `name`/`scenario`/`error` keys first (pre-structured consumers keep
+/// parsing), then append the machine-readable `code` and, for transient
+/// rejections, `retry_after_ms`.
 pub fn render_results(
     specs: &[ScenarioSpec],
-    results: &[Result<ScenarioResult, SpecError>],
+    results: &[Result<ScenarioResult, ServerError>],
 ) -> String {
     let mut out = String::new();
     for (spec, result) in specs.iter().zip(results) {
         let line = match result {
             Ok(r) => r.to_json(),
-            Err(e) => Json::obj([
-                ("name", Json::from(spec.name())),
-                ("scenario", Json::from("error")),
-                ("error", Json::from(e.0.as_str())),
-            ]),
+            Err(e) => {
+                let mut members = vec![
+                    ("name", Json::from(spec.name())),
+                    ("scenario", Json::from("error")),
+                    ("error", Json::from(e.detail.as_str())),
+                    ("code", Json::from(e.code.as_str())),
+                ];
+                if let Some(ms) = e.retry_after_ms {
+                    members.push(("retry_after_ms", Json::from(ms)));
+                }
+                Json::obj(members)
+            }
         };
         out.push_str(&line.emit());
         out.push('\n');
@@ -75,17 +93,90 @@ pub fn render_results(
 
 /// The whole CLI path in one call: parse the JSONL batch, serve it on
 /// `engine`, render the results. The `rome-server` binary is a thin wrapper
-/// over exactly this function, which is what keeps the CLI and the
-/// in-process [`ScenarioEngine::serve_batch`] byte-identical.
+/// over [`serve_jsonl_with_retry`] (which degenerates to exactly this
+/// function against a never-shedding engine), which is what keeps the CLI
+/// and the in-process [`ScenarioEngine::serve_batch`] byte-identical.
 pub fn serve_jsonl(engine: &ScenarioEngine, input: &str) -> Result<String, BatchError> {
     let specs = parse_batch(input)?;
     let results = engine.serve_batch(&specs);
     Ok(render_results(&specs, &results))
 }
 
+/// Bounded retry for the transient error class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry rounds after the initial attempt.
+    pub max_retries: u32,
+    /// Exponential backoff floor: round `k` waits at least
+    /// `base_backoff_ms << k` ms (the engine's retry hint can only raise
+    /// the wait).
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10,
+        }
+    }
+}
+
+/// [`serve_jsonl`] plus the operational retry loop: after the initial
+/// attempt, scenarios that failed with a *transient* error (an admission
+/// rejection carrying a retry hint) are re-served as a sub-batch — up to
+/// `policy.max_retries` rounds, each waiting the larger of the engine's
+/// hint and the policy's exponential backoff — and their fresh results are
+/// mapped back to the original batch positions. Permanent errors are never
+/// retried.
+pub fn serve_jsonl_with_retry(
+    engine: &ScenarioEngine,
+    input: &str,
+    policy: &RetryPolicy,
+) -> Result<String, BatchError> {
+    let specs = parse_batch(input)?;
+    let mut results = engine.serve_batch(&specs);
+    for round in 0..policy.max_retries {
+        let transient: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                Err(e) if e.is_transient() => Some(i),
+                _ => None,
+            })
+            .collect();
+        if transient.is_empty() {
+            break;
+        }
+        let hint = transient
+            .iter()
+            .filter_map(|&i| match &results[i] {
+                Err(e) => e.retry_after_ms,
+                Ok(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let floor = policy
+            .base_backoff_ms
+            .checked_shl(round)
+            .unwrap_or(u64::MAX);
+        let backoff = hint.max(floor);
+        if backoff > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+        }
+        let sub_batch: Vec<ScenarioSpec> = transient.iter().map(|&i| specs[i].clone()).collect();
+        let retried = engine.serve_batch(&sub_batch);
+        for (&original, result) in transient.iter().zip(retried) {
+            results[original] = result.map_err(|e| e.at_index(original));
+        }
+    }
+    Ok(render_results(&specs, &results))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineLimits;
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
@@ -150,7 +241,48 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"name\":\"bad\",\"scenario\":\"error\""));
         assert!(lines[0].contains("unknown model"));
+        assert!(lines[0].contains("\"code\":\"invalid_spec\""));
         assert!(lines[1].starts_with("{\"name\":\"ok\",\"scenario\":\"sweep\""));
         assert!(lines[1].contains("\"figure13\":["));
+    }
+
+    #[test]
+    fn transient_rejections_render_their_retry_hint() {
+        let mut limits = EngineLimits::default();
+        limits.admission.max_in_flight = 0;
+        limits.admission.retry_after_ms = 3;
+        let engine = ScenarioEngine::with_limits(limits);
+        let input = "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\n";
+        let out = serve_jsonl(&engine, input).unwrap();
+        assert!(out.starts_with("{\"name\":\"c\",\"scenario\":\"error\""));
+        assert!(out.contains("\"code\":\"rejected\""));
+        assert!(out.contains("\"retry_after_ms\":3"));
+    }
+
+    #[test]
+    fn retry_loop_gives_up_after_bounded_rounds() {
+        // A permanently saturated engine: every round sheds, the loop stops
+        // at max_retries, and the final render still carries the transient
+        // rejection rather than hanging.
+        let mut limits = EngineLimits::default();
+        limits.admission.max_in_flight = 0;
+        limits.admission.retry_after_ms = 1;
+        let engine = ScenarioEngine::with_limits(limits);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 0,
+        };
+        let input = "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\n";
+        let out = serve_jsonl_with_retry(&engine, input, &policy).unwrap();
+        assert!(out.contains("\"code\":\"rejected\""));
+    }
+
+    #[test]
+    fn retry_path_is_byte_identical_without_shedding() {
+        let engine = ScenarioEngine::new();
+        let input = "{\"scenario\":\"tpot\",\"name\":\"bad\",\"model\":\"gpt-2\",\"batch\":8,\"seq_len\":4096}\n{\"scenario\":\"sweep\",\"name\":\"ok\",\"kind\":\"figure13\",\"seq_len\":4096}\n";
+        let plain = serve_jsonl(&engine, input).unwrap();
+        let retried = serve_jsonl_with_retry(&engine, input, &RetryPolicy::default()).unwrap();
+        assert_eq!(plain, retried);
     }
 }

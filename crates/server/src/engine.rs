@@ -1,5 +1,5 @@
-//! The long-lived scenario engine: warm calibration state plus a sharded
-//! executor.
+//! The long-lived scenario engine: warm calibration state plus a sharded,
+//! fault-isolated executor.
 //!
 //! A [`ScenarioEngine`] is the process-wide serving state. It owns a
 //! [`CalibrationCache`] — the expensive cycle-accurate calibrations, keyed
@@ -12,41 +12,201 @@
 //!
 //! Every scenario variant routes through the *pre-existing* direct-call
 //! path — `ScenarioSet` sweeps, `rome_mc`/`rome_core` queue-depth runs,
-//! `closed_loop_sweep`, `decode_tpot`, the calibrator — so a served result
+//! closed-loop points, `decode_tpot`, the calibrator — so a served result
 //! is bit-for-bit the result of calling that path yourself; the regression
 //! suite pins this.
+//!
+//! # The hardened serving path
+//!
+//! Three robustness layers sit between a batch and the run loops:
+//!
+//! * **Admission control** ([`AdmissionConfig`]): a batch is rejected as a
+//!   whole — before anything runs — when it exceeds the spec-count or
+//!   estimated-cost limits (permanent rejection: the same batch would fail
+//!   again) or when admitting it would push the engine over its in-flight
+//!   scenario limit (transient rejection, carrying a retry hint the CLI's
+//!   bounded-backoff loop keys on).
+//! * **Budgets** ([`RunBudget`] via [`EngineLimits`]): every scenario's run
+//!   loops are metered, so a runaway spec returns a partial result tagged
+//!   `aborted` instead of occupying a worker forever.
+//! * **Panic isolation**: each scenario executes under `catch_unwind`, so a
+//!   panicking scenario becomes one structured [`ServerError`] in its batch
+//!   slot while its siblings' results are unaffected, and the engine (and
+//!   its warm calibration cache, whose mutex recovers from poisoning)
+//!   remains healthy for the next batch.
+//!
+//! A [`FaultPlan`] deterministically injects faults (panic at event K,
+//! artificial slowdown, forced budget exhaustion) into chosen scenarios of
+//! the next batches — the harness `tests/fault_injection.rs` uses to prove
+//! all of the above without nondeterministic scaffolding.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
 use rome_core::controller::{RomeController, RomeControllerConfig};
 use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
 use rome_engine::{merge_reports, report_from_host_completions, run_cubes, MemoryRequest};
+use rome_engine::{EngineFault, RunBudget};
 use rome_mc::controller::{ChannelController, ControllerConfig};
 use rome_mc::system::{MemorySystem, MemorySystemConfig};
-use rome_sim::serving::closed_loop_sweep;
+use rome_sim::serving::closed_loop_points;
 use rome_sim::sweep::Scenario;
 use rome_sim::tpot::decode_tpot;
 use rome_sim::{AcceleratorSpec, CalibrationCache, MemoryModel, MemorySystemKind, ScenarioSet};
 
+use crate::error::{panic_message, ServerError};
 use crate::spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
     SpecError,
 };
+
+/// Admission limits for [`ScenarioEngine::serve_batch`]. The defaults are
+/// permissive enough that every pre-existing workload admits unchanged; a
+/// deployment fronting untrusted batches tightens them via
+/// [`ScenarioEngine::with_limits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum scenarios admitted concurrently across all in-flight batches.
+    /// A batch that would exceed this is shed with a transient rejection
+    /// carrying [`AdmissionConfig::retry_after_ms`].
+    pub max_in_flight: usize,
+    /// Maximum specs in one batch (permanent rejection above it).
+    pub max_batch_specs: usize,
+    /// Maximum summed [`ScenarioSpec::estimated_cost`] of one batch
+    /// (permanent rejection above it).
+    pub max_batch_cost: u64,
+    /// Retry hint attached to transient (in-flight) rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: 4096,
+            max_batch_specs: 1024,
+            max_batch_cost: u64::MAX,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// Operational limits of a [`ScenarioEngine`]: the [`RunBudget`] every
+/// scenario's run loops are metered against, and the admission gate. The
+/// default (unlimited budget, permissive admission) keeps every output
+/// byte-identical to an engine without the robustness layer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineLimits {
+    /// Budget applied to every served scenario's run loops.
+    pub budget: RunBudget,
+    /// The admission gate for batches.
+    pub admission: AdmissionConfig,
+}
+
+/// A deterministic, spec-addressable fault-injection plan: which scenario
+/// indices of the next batches receive which [`EngineFault`]. Installed via
+/// [`ScenarioEngine::set_fault_plan`]; the engine composes the fault into
+/// the addressed scenario's [`RunBudget`], so it fires at an exact event
+/// ordinal of that scenario's run loops (entry faults fire even on analytic,
+/// loop-free paths). The seed exists so harnesses can derive arbitrary but
+/// reproducible target events ([`FaultPlan::derived_event`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<(usize, EngineFault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with a seed for derived target events.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Arm `fault` on the scenario at `scenario_index` of served batches.
+    pub fn with_fault(mut self, scenario_index: usize, fault: EngineFault) -> Self {
+        self.faults.push((scenario_index, fault));
+        self
+    }
+
+    /// The fault armed at `scenario_index`, if any (latest arming wins).
+    pub fn fault_for(&self, scenario_index: usize) -> Option<EngineFault> {
+        self.faults
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == scenario_index)
+            .map(|(_, f)| *f)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A reproducible pseudo-random event ordinal in `[0, span)` derived
+    /// from the seed and the scenario index (splitmix64), for harnesses
+    /// that want seeded-but-arbitrary fault placement.
+    pub fn derived_event(&self, scenario_index: usize, span: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((scenario_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if span == 0 {
+            0
+        } else {
+            z % span
+        }
+    }
+}
+
+/// RAII release of admitted in-flight slots; `Drop` runs even when a worker
+/// panic unwinds through `serve_batch`, so a faulty batch can never leak
+/// admission capacity.
+struct AdmissionGuard<'a> {
+    counter: &'a AtomicUsize,
+    admitted: usize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(self.admitted, Ordering::AcqRel);
+    }
+}
 
 /// The warm scenario-serving engine. See the module docs.
 #[derive(Debug, Default)]
 pub struct ScenarioEngine {
     calibration: CalibrationCache,
     accel: AcceleratorSpec,
+    limits: EngineLimits,
+    fault_plan: Option<FaultPlan>,
+    in_flight: AtomicUsize,
 }
 
 impl ScenarioEngine {
-    /// A cold engine modelling the paper's accelerator. Calibration warms on
-    /// first use and stays warm for the life of the engine.
+    /// A cold engine modelling the paper's accelerator, with default
+    /// (permissive) limits. Calibration warms on first use and stays warm
+    /// for the life of the engine.
     pub fn new() -> Self {
         ScenarioEngine {
             calibration: CalibrationCache::new(),
             accel: AcceleratorSpec::paper_default(),
+            limits: EngineLimits::default(),
+            fault_plan: None,
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// A cold engine with explicit operational limits.
+    pub fn with_limits(limits: EngineLimits) -> Self {
+        ScenarioEngine {
+            limits,
+            ..ScenarioEngine::new()
         }
     }
 
@@ -60,21 +220,141 @@ impl ScenarioEngine {
         &self.accel
     }
 
+    /// The engine's operational limits.
+    pub fn limits(&self) -> &EngineLimits {
+        &self.limits
+    }
+
+    /// Replace the engine's operational limits.
+    pub fn set_limits(&mut self, limits: EngineLimits) {
+        self.limits = limits;
+    }
+
+    /// Install (or, with `None`, clear) a deterministic fault-injection
+    /// plan applied to subsequently served batches.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Scenarios currently admitted and not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
     /// Serve one batch: scenarios fan out across the worker pool, results
     /// return in batch order (deterministic however the pool schedules).
-    /// Each element is the scenario's result or the error that kept it from
-    /// running (one bad spec does not poison the batch).
-    pub fn serve_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<ScenarioResult, SpecError>> {
+    /// Each element is the scenario's result or the structured error that
+    /// kept it from producing one — an invalid spec, an isolated worker
+    /// panic, or a batch-wide admission rejection. One bad spec never
+    /// poisons the batch, and one bad batch never poisons the engine.
+    pub fn serve_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<ScenarioResult, ServerError>> {
+        let admission = &self.limits.admission;
+        if specs.len() > admission.max_batch_specs {
+            let detail = format!(
+                "batch of {} specs exceeds the per-batch limit of {}",
+                specs.len(),
+                admission.max_batch_specs
+            );
+            return reject_all(specs.len(), &detail, None);
+        }
+        let cost: u64 = specs
+            .iter()
+            .map(ScenarioSpec::estimated_cost)
+            .fold(0, u64::saturating_add);
+        if cost > admission.max_batch_cost {
+            let detail = format!(
+                "batch cost estimate {cost} exceeds the per-batch limit of {}",
+                admission.max_batch_cost
+            );
+            return reject_all(specs.len(), &detail, None);
+        }
+        let _guard = match self.try_admit(specs.len()) {
+            Ok(guard) => guard,
+            Err(detail) => return reject_all(specs.len(), &detail, Some(admission.retry_after_ms)),
+        };
+
         specs
             .iter()
-            .collect::<Vec<&ScenarioSpec>>()
+            .enumerate()
+            .collect::<Vec<(usize, &ScenarioSpec)>>()
             .into_par_iter()
-            .map(|spec| self.serve(spec))
+            .map(|(index, spec)| {
+                let budget = self.budget_for(index);
+                // catch_unwind sits INSIDE the per-scenario worker closure:
+                // a panic anywhere below (including one propagated up from a
+                // nested per-channel or per-cube worker) unwinds to here and
+                // becomes this scenario's structured error, never the
+                // batch's.
+                match catch_unwind(AssertUnwindSafe(|| self.serve_with_budget(spec, &budget))) {
+                    Ok(Ok(result)) => Ok(result),
+                    Ok(Err(err)) => Err(ServerError::invalid_spec(index, err)),
+                    Err(payload) => Err(ServerError::panicked(
+                        index,
+                        panic_message(payload.as_ref()),
+                    )),
+                }
+            })
             .collect()
     }
 
-    /// Serve one scenario through its pre-existing direct-call path.
+    /// Atomically reserve `n` in-flight slots, or explain why not.
+    fn try_admit(&self, n: usize) -> Result<AdmissionGuard<'_>, String> {
+        let max = self.limits.admission.max_in_flight;
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current.saturating_add(n) > max {
+                return Err(format!(
+                    "engine saturated: {current} scenarios in flight, \
+                     admitting {n} more would exceed the limit of {max}"
+                ));
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + n,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(AdmissionGuard {
+                        counter: &self.in_flight,
+                        admitted: n,
+                    })
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The budget for the scenario at `index` of a batch: the engine-wide
+    /// budget, plus any fault the installed [`FaultPlan`] addresses to it.
+    fn budget_for(&self, index: usize) -> RunBudget {
+        let mut budget = self.limits.budget;
+        if let Some(fault) = self
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.fault_for(index))
+        {
+            budget = budget.with_fault(fault);
+        }
+        budget
+    }
+
+    /// Serve one scenario through its pre-existing direct-call path under
+    /// the engine's budget. Bypasses admission control and the fault plan
+    /// (both are batch-level concepts); panics propagate to the caller.
     pub fn serve(&self, spec: &ScenarioSpec) -> Result<ScenarioResult, SpecError> {
+        self.serve_with_budget(spec, &self.limits.budget)
+    }
+
+    /// Serve one scenario with an explicit [`RunBudget`]. Loop scenarios
+    /// thread the budget through their runners (each run loop meters
+    /// independently); analytic scenarios have no loop to meter and honor
+    /// only entry faults ([`RunBudget::entry_fault`]).
+    pub fn serve_with_budget(
+        &self,
+        spec: &ScenarioSpec,
+        budget: &RunBudget,
+    ) -> Result<ScenarioResult, SpecError> {
         let payload = match spec {
             ScenarioSpec::Sweep {
                 name,
@@ -82,6 +362,7 @@ impl ScenarioEngine {
                 seq_len,
                 calibrated,
             } => {
+                budget.entry_fault();
                 let set = ScenarioSet::new(self.accel).with(Scenario {
                     name: name.clone(),
                     kind: *kind,
@@ -92,7 +373,10 @@ impl ScenarioEngine {
                 } else {
                     set.run_nominal()
                 };
-                ResultPayload::Sweep(reports.pop().expect("one scenario queued"))
+                let report = reports
+                    .pop()
+                    .ok_or_else(|| SpecError("internal: sweep produced no report".into()))?;
+                ResultPayload::Sweep(report)
             }
             ScenarioSpec::QueueDepth {
                 system,
@@ -112,6 +396,7 @@ impl ScenarioEngine {
                     depths,
                     *total_bytes,
                     *granularity,
+                    budget,
                 ))
             }
             ScenarioSpec::ClosedLoop {
@@ -127,19 +412,19 @@ impl ScenarioEngine {
                         "closed-loop sweep needs channels and non-zero windows".into(),
                     ));
                 }
-                // Validate the lowering once up front, then build one fresh,
-                // identically-seeded source per window (the
-                // closed_loop_sweep contract).
-                workload.build_source()?;
-                ResultPayload::ClosedLoop(closed_loop_sweep(
-                    *system,
-                    *channels,
-                    windows,
-                    *max_ns,
-                    |_| workload.build_source().expect("validated above"),
+                // Build one fresh, identically-seeded source per window up
+                // front: a workload that fails to lower is a structured
+                // error before any simulation runs.
+                let mut sources = Vec::with_capacity(windows.len());
+                for &window in windows {
+                    sources.push((window, workload.build_source()?));
+                }
+                ResultPayload::ClosedLoop(closed_loop_points(
+                    *system, *channels, sources, *max_ns, budget,
                 ))
             }
             ScenarioSpec::Calibration { system, .. } => {
+                budget.entry_fault();
                 ResultPayload::Calibration(self.calibration.get_or_calibrate(*system))
             }
             ScenarioSpec::Tpot {
@@ -149,6 +434,7 @@ impl ScenarioEngine {
                 calibrated,
                 ..
             } => {
+                budget.entry_fault();
                 let model = model_by_name(model)?;
                 let (hbm4, rome) = if *calibrated {
                     MemoryModel::calibrated_pair_cached(&self.accel, &self.calibration)
@@ -182,6 +468,7 @@ impl ScenarioEngine {
                     *channels_per_cube,
                     *bytes_per_cube,
                     *max_ns,
+                    budget,
                 ))
             }
         };
@@ -192,14 +479,28 @@ impl ScenarioEngine {
     }
 }
 
+/// Every slot of a shed batch carries the same rejection, addressed to its
+/// own index.
+fn reject_all(
+    n: usize,
+    detail: &str,
+    retry_after_ms: Option<u64>,
+) -> Vec<Result<ScenarioResult, ServerError>> {
+    (0..n)
+        .map(|i| Err(ServerError::rejected(i, detail.to_string(), retry_after_ms)))
+        .collect()
+}
+
 /// The §V-A queue-depth sweep: one streaming-read run per depth on a fresh
 /// single-channel controller (the exact shape of the pre-existing
-/// `queue_depth_table` experiment).
+/// `queue_depth_table` experiment). Each depth's run is metered against its
+/// own meter of `budget`, so an armed fault fires once per row.
 fn queue_depth_sweep(
     system: MemorySystemKind,
     depths: &[usize],
     total_bytes: u64,
     granularity: u64,
+    budget: &RunBudget,
 ) -> Vec<QueueDepthRow> {
     depths
         .iter()
@@ -209,12 +510,12 @@ fn queue_depth_sweep(
                 MemorySystemKind::Hbm4 => {
                     let mut ctrl =
                         ChannelController::new(ControllerConfig::hbm4_with_queue_depth(depth));
-                    rome_mc::simulate::run_to_completion(&mut ctrl, reqs)
+                    rome_mc::simulate::run_with_budget(&mut ctrl, reqs, 50_000_000, budget)
                 }
                 MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => {
                     let mut ctrl =
                         RomeController::new(RomeControllerConfig::with_queue_depth(depth));
-                    rome_core::simulate::run_to_completion(&mut ctrl, reqs)
+                    rome_core::simulate::run_with_budget(&mut ctrl, reqs, 50_000_000, budget)
                 }
             };
             QueueDepthRow { depth, report }
@@ -225,13 +526,16 @@ fn queue_depth_sweep(
 /// The sharded multi-cube run: one multi-channel system per cube, each fed
 /// one `bytes_per_cube` sequential read (DMA-style, fragmented at the
 /// system's access granularity across its channels), cubes run in parallel
-/// threads, per-cube reports merged.
+/// threads, per-cube reports merged. Every channel of every cube meters
+/// independently against `budget`; an aborted channel tags its cube's
+/// report, and [`merge_reports`] propagates the tag to the merged report.
 fn run_multi_cube(
     system: MemorySystemKind,
     cubes: u16,
     channels_per_cube: u16,
     bytes_per_cube: u64,
     max_ns: u64,
+    budget: &RunBudget,
 ) -> MultiCubeReport {
     let per_cube = match system {
         MemorySystemKind::Hbm4 => {
@@ -242,8 +546,8 @@ fn run_multi_cube(
                 sys.submit(MemoryRequest::read(1, 0, bytes_per_cube, 0));
             }
             run_cubes(&mut systems, |_, sys| {
-                let (done, _) = sys.run_until_idle(max_ns);
-                report_from_host_completions(&sys.stats_snapshot(), &done)
+                let (done, _, aborted) = sys.run_until_idle_budgeted(max_ns, budget);
+                report_from_host_completions(&sys.stats_snapshot(), &done).with_abort(aborted)
             })
         }
         MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => {
@@ -254,8 +558,8 @@ fn run_multi_cube(
                 sys.submit(MemoryRequest::read(1, 0, bytes_per_cube, 0));
             }
             run_cubes(&mut systems, |_, sys| {
-                let (done, _) = sys.run_until_idle(max_ns);
-                report_from_host_completions(&sys.stats_snapshot(), &done)
+                let (done, _, aborted) = sys.run_until_idle_budgeted(max_ns, budget);
+                report_from_host_completions(&sys.stats_snapshot(), &done).with_abort(aborted)
             })
         }
     };
@@ -268,6 +572,7 @@ fn run_multi_cube(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ErrorCode;
     use rome_sim::sweep::SweepKind;
 
     #[test]
@@ -299,6 +604,7 @@ mod tests {
                 .abs()
                 < 1e-9
         );
+        assert_eq!(report.merged.aborted, None);
     }
 
     #[test]
@@ -320,9 +626,101 @@ mod tests {
             },
         ];
         let results = engine.serve_batch(&specs);
-        assert!(results[0].is_err());
+        let err = results[0].as_ref().unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidSpec);
+        assert_eq!(err.scenario_index, 0);
         let ok = results[1].as_ref().unwrap();
         assert_eq!(ok.name, "fig13");
         assert!(matches!(&ok.payload, ResultPayload::Sweep(r) if r.figure13.is_some()));
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_permanently() {
+        let mut limits = EngineLimits::default();
+        limits.admission.max_batch_specs = 1;
+        let engine = ScenarioEngine::with_limits(limits);
+        let spec = |name: &str| ScenarioSpec::Tpot {
+            name: name.into(),
+            model: "grok-1".into(),
+            batch: 8,
+            seq_len: 4096,
+            calibrated: false,
+        };
+        let results = engine.serve_batch(&[spec("a"), spec("b")]);
+        assert_eq!(results.len(), 2);
+        for (i, r) in results.iter().enumerate() {
+            let err = r.as_ref().unwrap_err();
+            assert_eq!(err.code, ErrorCode::Rejected);
+            assert_eq!(err.scenario_index, i);
+            assert!(
+                !err.is_transient(),
+                "size rejection never succeeds on retry"
+            );
+        }
+        // Rejection sheds before admission: nothing stays in flight and a
+        // conforming batch still serves.
+        assert_eq!(engine.in_flight(), 0);
+        assert!(engine.serve_batch(&[spec("ok")])[0].is_ok());
+    }
+
+    #[test]
+    fn saturation_rejections_carry_a_retry_hint() {
+        let mut limits = EngineLimits::default();
+        limits.admission.max_in_flight = 0;
+        limits.admission.retry_after_ms = 7;
+        let engine = ScenarioEngine::with_limits(limits);
+        let specs = vec![ScenarioSpec::Tpot {
+            name: "t".into(),
+            model: "grok-1".into(),
+            batch: 8,
+            seq_len: 4096,
+            calibrated: false,
+        }];
+        let results = engine.serve_batch(&specs);
+        let err = results[0].as_ref().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Rejected);
+        assert_eq!(err.retry_after_ms, Some(7));
+        assert!(err.is_transient());
+        assert_eq!(engine.in_flight(), 0);
+    }
+
+    #[test]
+    fn cost_estimates_scale_with_spec_shape() {
+        let small = ScenarioSpec::QueueDepth {
+            name: "s".into(),
+            system: MemorySystemKind::Rome,
+            depths: vec![1],
+            total_bytes: 4096,
+            granularity: 4096,
+        };
+        let big = ScenarioSpec::QueueDepth {
+            name: "b".into(),
+            system: MemorySystemKind::Rome,
+            depths: vec![1, 2, 4, 8],
+            total_bytes: 1 << 30,
+            granularity: 64,
+        };
+        assert!(big.estimated_cost() > small.estimated_cost());
+        let mut limits = EngineLimits::default();
+        limits.admission.max_batch_cost = small.estimated_cost();
+        let engine = ScenarioEngine::with_limits(limits);
+        let results = engine.serve_batch(std::slice::from_ref(&big));
+        assert_eq!(results[0].as_ref().unwrap_err().code, ErrorCode::Rejected);
+    }
+
+    #[test]
+    fn fault_plans_address_specific_scenarios() {
+        let plan = FaultPlan::new(42)
+            .with_fault(1, EngineFault::panic_at(3))
+            .with_fault(1, EngineFault::exhaust_at(9));
+        assert_eq!(plan.fault_for(0), None);
+        // Latest arming wins.
+        assert_eq!(plan.fault_for(1), Some(EngineFault::exhaust_at(9)));
+        assert_eq!(plan.seed(), 42);
+        // Derived events are reproducible and bounded.
+        let a = plan.derived_event(5, 1000);
+        assert_eq!(a, FaultPlan::new(42).derived_event(5, 1000));
+        assert!(a < 1000);
+        assert_eq!(plan.derived_event(5, 0), 0);
     }
 }

@@ -1,0 +1,195 @@
+//! Structured serving errors: every way a scenario can fail, as data.
+//!
+//! The serve path never surfaces a bare panic or a stringly error: each
+//! failed scenario of a batch becomes one [`ServerError`] carrying a stable
+//! machine-readable [`ErrorCode`], the index of the scenario inside its
+//! batch, a human-readable detail, and — for the transient class — a retry
+//! hint. The CLI front end renders these as per-line error JSON (appending
+//! `code` and `retry_after_ms` after the legacy `name`/`scenario`/`error`
+//! keys, so pre-existing consumers keep parsing), and
+//! [`crate::cli::serve_jsonl_with_retry`] keys its bounded retry loop on
+//! [`ServerError::is_transient`].
+
+use std::fmt;
+
+use crate::spec::SpecError;
+
+/// Stable machine-readable class of a serving failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The spec itself is invalid (unknown model, zero-sized traffic, …).
+    /// Resubmitting the same spec will fail the same way.
+    InvalidSpec,
+    /// The scenario's worker panicked; the panic was isolated to this
+    /// scenario and the engine remains healthy.
+    Panicked,
+    /// Admission control shed the batch before any scenario ran. Transient
+    /// when a retry hint is present (the engine was momentarily saturated);
+    /// permanent when absent (the batch itself exceeds a configured limit).
+    Rejected,
+    /// An internal invariant failed. A bug, not a caller error.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable snake_case name, used verbatim in rendered error lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::InvalidSpec => "invalid_spec",
+            ErrorCode::Panicked => "panicked",
+            ErrorCode::Rejected => "rejected",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One scenario's structured failure. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Index of the failed scenario inside its batch (0-based).
+    pub scenario_index: usize,
+    /// Human-readable description (the legacy `error` field of rendered
+    /// error lines, byte-identical to the pre-structured messages for the
+    /// invalid-spec class).
+    pub detail: String,
+    /// For transient rejections: how long the client should wait before
+    /// resubmitting. `None` for permanent failures.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ServerError {
+    /// An invalid spec, carrying the spec layer's message verbatim.
+    pub fn invalid_spec(scenario_index: usize, err: SpecError) -> Self {
+        ServerError {
+            code: ErrorCode::InvalidSpec,
+            scenario_index,
+            detail: err.0,
+            retry_after_ms: None,
+        }
+    }
+
+    /// An isolated worker panic.
+    pub fn panicked(scenario_index: usize, detail: String) -> Self {
+        ServerError {
+            code: ErrorCode::Panicked,
+            scenario_index,
+            detail,
+            retry_after_ms: None,
+        }
+    }
+
+    /// An admission rejection; pass a retry hint only for transient
+    /// saturation (a batch that exceeds a static limit gains nothing from
+    /// retrying).
+    pub fn rejected(scenario_index: usize, detail: String, retry_after_ms: Option<u64>) -> Self {
+        ServerError {
+            code: ErrorCode::Rejected,
+            scenario_index,
+            detail,
+            retry_after_ms,
+        }
+    }
+
+    /// A broken internal invariant.
+    pub fn internal(scenario_index: usize, detail: String) -> Self {
+        ServerError {
+            code: ErrorCode::Internal,
+            scenario_index,
+            detail,
+            retry_after_ms: None,
+        }
+    }
+
+    /// Whether resubmitting the same scenario can plausibly succeed without
+    /// any change to the spec: true exactly for admission rejections that
+    /// carry a retry hint.
+    pub fn is_transient(&self) -> bool {
+        self.code == ErrorCode::Rejected && self.retry_after_ms.is_some()
+    }
+
+    /// Re-address this error to a different batch index (used when a retried
+    /// sub-batch's results are mapped back to their original positions).
+    pub fn at_index(mut self, scenario_index: usize) -> Self {
+        self.scenario_index = scenario_index;
+        self
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] scenario {}: {}",
+            self.code, self.scenario_index, self.detail
+        )?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms} ms)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Best-effort text of a caught panic payload (`&str` and `String` payloads
+/// cover `panic!` with a message; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_stable_snake_case_names() {
+        assert_eq!(ErrorCode::InvalidSpec.as_str(), "invalid_spec");
+        assert_eq!(ErrorCode::Panicked.as_str(), "panicked");
+        assert_eq!(ErrorCode::Rejected.as_str(), "rejected");
+        assert_eq!(ErrorCode::Internal.as_str(), "internal");
+    }
+
+    #[test]
+    fn only_hinted_rejections_are_transient() {
+        assert!(ServerError::rejected(0, "saturated".into(), Some(25)).is_transient());
+        assert!(!ServerError::rejected(0, "batch too large".into(), None).is_transient());
+        assert!(!ServerError::panicked(0, "boom".into()).is_transient());
+        assert!(!ServerError::invalid_spec(0, SpecError("bad".into())).is_transient());
+    }
+
+    #[test]
+    fn display_carries_code_index_detail_and_hint() {
+        let e = ServerError::rejected(3, "engine saturated".into(), Some(25));
+        assert_eq!(
+            e.to_string(),
+            "[rejected] scenario 3: engine saturated (retry after 25 ms)"
+        );
+        let e = ServerError::panicked(1, "boom".into());
+        assert_eq!(e.to_string(), "[panicked] scenario 1: boom");
+        assert_eq!(e.at_index(7).scenario_index, 7);
+    }
+
+    #[test]
+    fn panic_messages_are_extracted_from_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(s.as_ref()), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(s.as_ref()), "opaque panic payload");
+    }
+}

@@ -372,7 +372,12 @@ impl<'a> Parser<'a> {
                     // at char boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = match s.chars().next() {
+                        Some(c) => c,
+                        // Unreachable (`get` above returned Some), but the
+                        // serve path never panics on malformed input.
+                        None => return Err(self.err("bad UTF-8")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -388,8 +393,10 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
-        token
+        // The matched bytes are all ASCII, but the serve path never panics
+        // on malformed input, so the impossible branch is an error too.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?
             .parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))

@@ -35,27 +35,46 @@
 //! The wire format is the canonical JSON of [`json`] (hand-rolled because
 //! the offline build stubs out `serde`; the format is canonical either
 //! way).
+//!
+//! # The hardened serving path
+//!
+//! The serve path is fault-isolated end to end (see `engine` and `error`):
+//! structured [`ServerError`]s instead of panics or bare strings, admission
+//! control with transient/permanent rejection classes, per-scenario
+//! [`rome_engine::RunBudget`]s so runaway specs abort with partial tagged
+//! reports, a deterministic [`FaultPlan`] injection harness, and a bounded
+//! retry loop ([`cli::serve_jsonl_with_retry`]) in the CLI front end. The
+//! crate-level lint below is the guard: no `unwrap`/`expect` can land on
+//! the non-test serve path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cli;
 pub mod engine;
+pub mod error;
 pub mod json;
 pub mod spec;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use crate::cli::{parse_batch, render_results, serve_jsonl};
-    pub use crate::engine::ScenarioEngine;
+    pub use crate::cli::{
+        parse_batch, render_results, serve_jsonl, serve_jsonl_with_retry, RetryPolicy,
+    };
+    pub use crate::engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine};
+    pub use crate::error::{ErrorCode, ServerError};
     pub use crate::spec::{
         MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec, SpecError,
         TenantDecl, WorkloadSpec,
     };
 }
 
-pub use cli::{parse_batch, render_results, serve_jsonl, BatchError};
-pub use engine::ScenarioEngine;
+pub use cli::{
+    parse_batch, render_results, serve_jsonl, serve_jsonl_with_retry, BatchError, RetryPolicy,
+};
+pub use engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine};
+pub use error::{ErrorCode, ServerError};
 pub use json::Json;
 pub use spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,

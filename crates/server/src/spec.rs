@@ -300,6 +300,44 @@ impl ScenarioSpec {
         }
     }
 
+    /// A shape-based cost proxy for admission control, in abstract units
+    /// roughly proportional to the number of simulated fragments the
+    /// scenario will push through a run loop. Analytic scenarios (sweeps,
+    /// TPOT) cost ~1; a calibration is a fixed sampled cycle-accurate run;
+    /// loop scenarios scale with their traffic and point counts. The proxy
+    /// is intentionally cheap and conservative — it is compared against
+    /// `AdmissionConfig::max_batch_cost` before anything runs, so it must
+    /// never itself be expensive or panic (all arithmetic saturates).
+    pub fn estimated_cost(&self) -> u64 {
+        match self {
+            ScenarioSpec::Sweep { .. } | ScenarioSpec::Tpot { .. } => 1,
+            ScenarioSpec::Calibration { .. } => 64,
+            ScenarioSpec::QueueDepth {
+                depths,
+                total_bytes,
+                granularity,
+                ..
+            } => {
+                let fragments = *total_bytes / (*granularity).max(1);
+                (depths.len() as u64).saturating_mul(fragments.max(1))
+            }
+            ScenarioSpec::ClosedLoop {
+                windows, max_ns, ..
+            } => {
+                let horizon = (*max_ns / 1000).max(1);
+                (windows.len() as u64).saturating_mul(horizon)
+            }
+            ScenarioSpec::MultiCube {
+                cubes,
+                bytes_per_cube,
+                ..
+            } => {
+                let fragments = (bytes_per_cube / 4096).max(1);
+                u64::from(*cubes).saturating_mul(fragments)
+            }
+        }
+    }
+
     /// The specs a [`rome_sim::ScenarioSet`] batch corresponds to: the
     /// serving form of every scenario in the set. `serve_batch` over these
     /// (with `calibrated` matching the set's run mode) reproduces
@@ -863,9 +901,11 @@ fn trace_record_from_json(value: &Json) -> Result<TraceRecord, SpecError> {
     })
 }
 
-/// Encode a unified [`SimulationReport`].
+/// Encode a unified [`SimulationReport`]. The `aborted` key is emitted only
+/// when the run was actually cut short, so every report of an unbounded run
+/// stays byte-identical to the pre-budget encoding.
 pub fn report_to_json(r: &SimulationReport) -> Json {
-    Json::obj([
+    let mut members = vec![
         ("requests_completed", Json::from(r.requests_completed)),
         ("bytes_read", Json::from(r.bytes_read)),
         ("bytes_written", Json::from(r.bytes_written)),
@@ -878,11 +918,15 @@ pub fn report_to_json(r: &SimulationReport) -> Json {
         ("mean_read_latency", Json::from(r.mean_read_latency)),
         ("row_hit_rate", Json::from(r.row_hit_rate)),
         ("activates_per_kib", Json::from(r.activates_per_kib)),
-    ])
+    ];
+    if let Some(reason) = r.aborted {
+        members.push(("aborted", Json::from(reason.as_str())));
+    }
+    Json::obj(members)
 }
 
 fn closed_loop_point_to_json(p: &ClosedLoopPoint) -> Json {
-    Json::obj([
+    let mut members = vec![
         ("window", Json::from(p.window)),
         ("injected", Json::from(p.injected)),
         ("completed", Json::from(p.completed)),
@@ -891,7 +935,11 @@ fn closed_loop_point_to_json(p: &ClosedLoopPoint) -> Json {
         ("mean_latency_ns", Json::from(p.mean_latency_ns)),
         ("max_latency_ns", Json::from(p.max_latency_ns)),
         ("stop_ns", Json::from(p.stop_ns)),
-    ])
+    ];
+    if let Some(reason) = p.aborted {
+        members.push(("aborted", Json::from(reason.as_str())));
+    }
+    Json::obj(members)
 }
 
 fn lbr_to_json(l: &LbrReport) -> Json {

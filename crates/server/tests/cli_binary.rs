@@ -5,7 +5,8 @@
 use std::io::Write as _;
 use std::process::{Command, Stdio};
 
-use rome_server::{serve_jsonl, ScenarioEngine};
+use proptest::prelude::*;
+use rome_server::{parse_batch, serve_jsonl, ScenarioEngine};
 
 /// A quick batch (no calibration: the binary test should stay fast) with a
 /// deliberate error line in the middle.
@@ -77,4 +78,103 @@ fn binary_rejects_malformed_batches_with_the_line_number() {
     assert!(!out.status.success(), "malformed batch must fail");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 2"), "stderr: {stderr}");
+}
+
+/// Line templates for adversarial batches: a couple of valid specs, plus
+/// every malformed shape the parser distinguishes (bad JSON, truncated
+/// nesting, unterminated strings, bad escapes, unknown tags, missing
+/// fields, junk numbers) and the skippable shapes (blank, comment).
+/// All ASCII, so any byte offset is a valid truncation point.
+fn batch_line_templates() -> Vec<&'static str> {
+    vec![
+        "{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}",
+        "{\"scenario\":\"queue_depth\",\"name\":\"q\",\"system\":\"hbm4\",\"depths\":[1],\"total_bytes\":4096,\"granularity\":4096}",
+        "not json",
+        "{",
+        "[1,2",
+        "\"unterminated",
+        "{\"scenario\":\"sweep\"}",
+        "{\"scenario\":\"nope\",\"name\":\"x\"}",
+        "{\"scenario\":\"queue_depth\",\"name\":\"q\"}",
+        "{\"k\":\"bad escape \\x\"}",
+        "{\"k\":\"bad unicode \\u12\"}",
+        "{\"n\":12e4e5}",
+        "{\"n\":-}",
+        "{\"a\":[}",
+        "{\"a\":1,}",
+        "}",
+        "# a comment line",
+        "",
+        "   ",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The tentpole property: arbitrary malformed/truncated JSONL batches
+    // never panic the parser, and every rejection is a structured
+    // `BatchError` naming a real 1-based input line with a non-empty
+    // message. (A panic anywhere aborts the test process, so this test
+    // passing IS the no-panic proof.)
+    #[test]
+    fn arbitrary_malformed_batches_yield_structured_line_errors(
+        picks in prop::collection::vec(0usize..19, 1..8),
+        cut in 0usize..512,
+        truncate in any::<bool>(),
+    ) {
+        let templates = batch_line_templates();
+        let mut input = picks
+            .iter()
+            .map(|&i| templates[i])
+            .collect::<Vec<_>>()
+            .join("\n");
+        input.push('\n');
+        if truncate {
+            input.truncate(cut.min(input.len()));
+        }
+        match parse_batch(&input) {
+            Ok(specs) => prop_assert!(specs.len() <= input.lines().count()),
+            Err(e) => {
+                prop_assert!(e.line >= 1, "line numbers are 1-based: {e}");
+                prop_assert!(
+                    e.line <= input.lines().count(),
+                    "error names input line {} of {}: {e}",
+                    e.line,
+                    input.lines().count()
+                );
+                prop_assert!(!e.message.is_empty());
+                // The Display form the binary prints to stderr names the line.
+                prop_assert!(e.to_string().starts_with(&format!("line {}: ", e.line)));
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_fails_gracefully_on_truncated_garbage() {
+    // A batch sliced mid-structure: the binary must exit nonzero with a
+    // structured line-numbered message on stderr, not a panic backtrace.
+    let exe = env!("CARGO_BIN_EXE_rome-server");
+    let mut child = Command::new(exe)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"# header\n{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}\n{\"scenario\":\"sweep\",\"na")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success(), "truncated batch must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "stderr: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "no panic on the CLI path: {stderr}"
+    );
+    assert!(out.stdout.is_empty(), "nothing runs half-configured");
 }

@@ -211,9 +211,13 @@ impl CalibrationCache {
 
     /// Whether `kind` is already calibrated (without triggering a run).
     pub fn is_warm(&self, kind: MemorySystemKind) -> bool {
+        // A panic while the map lock was held (a worker dying mid-insert)
+        // poisons the mutex but cannot leave the map itself inconsistent —
+        // the critical sections only clone/insert Arc slots — so recover the
+        // guard instead of propagating the poison to every later scenario.
         self.entries
             .lock()
-            .expect("calibration cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&Self::key(kind))
             .is_some_and(|slot| slot.get().is_some())
     }
@@ -224,7 +228,13 @@ impl CalibrationCache {
     pub fn get_or_calibrate(&self, kind: MemorySystemKind) -> CalibrationResult {
         let key = Self::key(kind);
         let slot = {
-            let mut entries = self.entries.lock().expect("calibration cache poisoned");
+            // See `is_warm` for why poisoning is recoverable here. A panic
+            // *inside* a calibration run leaves the OnceLock slot empty, so
+            // the next request simply retries the calibration.
+            let mut entries = self
+                .entries
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             Arc::clone(entries.entry(key).or_default())
         };
         *slot.get_or_init(|| match key {

@@ -12,6 +12,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
+use rome_engine::budget::{AbortReason, RunBudget};
 use rome_hbm::units::Cycle;
 use rome_mc::system::{MemorySystem, MemorySystemConfig};
 use rome_workload::{ClosedLoopHost, TrafficSource};
@@ -38,6 +39,10 @@ pub struct ClosedLoopPoint {
     pub max_latency_ns: u64,
     /// Cycle the run stopped at.
     pub stop_ns: Cycle,
+    /// `Some(reason)` when the run was cut short by a tripped
+    /// [`RunBudget`] limit or a stalled source; `None` for a run that
+    /// drained naturally (or hit only the legacy untagged `max_ns` cutoff).
+    pub aborted: Option<AbortReason>,
 }
 
 /// Drive `source` through a [`ClosedLoopHost`] with the given `window` on a
@@ -50,17 +55,39 @@ pub fn closed_loop_point<S: TrafficSource>(
     window: usize,
     max_ns: Cycle,
 ) -> ClosedLoopPoint {
+    closed_loop_point_budgeted(
+        kind,
+        channels,
+        source,
+        window,
+        max_ns,
+        &RunBudget::unlimited(),
+    )
+}
+
+/// Like [`closed_loop_point`] but metered against a [`RunBudget`]: a tripped
+/// limit (or a stalled source) stops the run and tags the point via
+/// [`ClosedLoopPoint::aborted`]. With [`RunBudget::unlimited`] this is
+/// bit-identical to [`closed_loop_point`].
+pub fn closed_loop_point_budgeted<S: TrafficSource>(
+    kind: MemorySystemKind,
+    channels: u16,
+    source: S,
+    window: usize,
+    max_ns: Cycle,
+    budget: &RunBudget,
+) -> ClosedLoopPoint {
     let mut host = ClosedLoopHost::new(source, window);
-    let stop = match kind {
+    let (stop, aborted) = match kind {
         MemorySystemKind::Hbm4 => {
             let mut sys = MemorySystem::new(MemorySystemConfig::hbm4(channels));
-            let (_, stop) = sys.run_with_source(&mut host, max_ns);
-            stop
+            let (_, stop, aborted) = sys.run_with_source_budgeted(&mut host, max_ns, budget);
+            (stop, aborted)
         }
         MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => {
             let mut sys = RomeMemorySystem::new(RomeSystemConfig::with_channels(channels));
-            let (_, stop) = sys.run_with_source(&mut host, max_ns);
-            stop
+            let (_, stop, aborted) = sys.run_with_source_budgeted(&mut host, max_ns, budget);
+            (stop, aborted)
         }
     };
     ClosedLoopPoint {
@@ -72,7 +99,28 @@ pub fn closed_loop_point<S: TrafficSource>(
         mean_latency_ns: host.mean_latency_ns(),
         max_latency_ns: host.max_latency_ns(),
         stop_ns: stop,
+        aborted,
     }
+}
+
+/// Run pre-built `(window, source)` pairs as closed-loop points under one
+/// shared [`RunBudget`], in parallel. This is the serving-path entry: the
+/// caller validates and builds every source *before* any simulation runs
+/// (so a bad workload spec is a structured error, not a mid-sweep panic),
+/// and each point's run is individually bounded by the budget.
+pub fn closed_loop_points<S: TrafficSource + Send>(
+    kind: MemorySystemKind,
+    channels: u16,
+    sources: Vec<(usize, S)>,
+    max_ns: Cycle,
+    budget: &RunBudget,
+) -> Vec<ClosedLoopPoint> {
+    sources
+        .into_par_iter()
+        .map(|(window, source)| {
+            closed_loop_point_budgeted(kind, channels, source, window, max_ns, budget)
+        })
+        .collect()
 }
 
 /// Sweep closed-loop windows over fresh copies of a source: `make_source(w)`
@@ -174,6 +222,7 @@ mod tests {
             mean_latency_ns,
             max_latency_ns: 500,
             stop_ns: 1000,
+            aborted: None,
         };
         // Bandwidth saturates at w=8; w=16 only adds latency.
         let points = vec![
@@ -239,6 +288,7 @@ mod tests {
             mean_latency_ns: 400.0,
             max_latency_ns: 900,
             stop_ns: 10_000,
+            aborted: None,
         }];
         let slowed = open_loop.with_closed_loop_knee(&half_knee, sampled_peak);
         assert_eq!(slowed.calibration.bandwidth_utilization, 0.5);
