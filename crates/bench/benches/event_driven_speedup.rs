@@ -24,9 +24,12 @@ const CAL_BYTES: u64 = 2 * 1024 * 1024;
 fn mc_sweep(stepped: bool) -> f64 {
     let mut bw = 0.0;
     for &depth in &DEPTHS {
-        let mut ctrl = rome_mc::ChannelController::new(
-            rome_mc::ControllerConfig::hbm4_with_queue_depth(depth),
-        );
+        // SoA off: this key predates the data-oriented scans and tracks the
+        // event-vs-stepped driver win alone, so it stays comparable across
+        // PRs. The SoA win has its own soa_dense* keys below.
+        let mut cfg = rome_mc::ControllerConfig::hbm4_with_queue_depth(depth);
+        cfg.soa = false;
+        let mut ctrl = rome_mc::ChannelController::new(cfg);
         let reqs = rome_mc::workload::streaming_reads(0, MC_BYTES, 32);
         let report = if stepped {
             rome_mc::simulate::run_with_limit_stepped(&mut ctrl, reqs, 50_000_000)
@@ -46,6 +49,8 @@ fn mc_sweep(stepped: bool) -> f64 {
 fn mc_dense64(ready_cache: bool) -> f64 {
     let mut cfg = rome_mc::ControllerConfig::hbm4_with_queue_depth(64);
     cfg.ready_cache = ready_cache;
+    // SoA off in both arms: this key isolates the ready cache, pre-SoA.
+    cfg.soa = false;
     let mut ctrl = rome_mc::ChannelController::new(cfg);
     let reqs = rome_mc::workload::streaming_reads(0, MC_BYTES, 32);
     let report = rome_mc::simulate::run_with_limit(&mut ctrl, reqs, 50_000_000);
@@ -64,6 +69,8 @@ fn mc_dense64(ready_cache: bool) -> f64 {
 fn mc_calendar32(calendar: bool) -> f64 {
     let mut sys = rome_mc::MemorySystem::new(rome_mc::MemorySystemConfig::hbm4(CAL_CHANNELS));
     sys.set_calendar(calendar);
+    // SoA off in both arms: this key isolates the event calendar, pre-SoA.
+    sys.set_soa(false);
     sys.submit(rome_mc::MemoryRequest::read(1, 0, CAL_BYTES, 0));
     let mut done = Vec::new();
     let mut now = 0u64;
@@ -77,6 +84,53 @@ fn mc_calendar32(calendar: bool) -> f64 {
     }
     assert_eq!(done.len(), 1, "transfer must complete");
     // Aggregate useful bandwidth in GB/s; also the cross-arm checksum.
+    CAL_BYTES as f64 / done[0].completed as f64
+}
+
+/// Data-oriented hot path, single dense controller: a 64-entry queue kept
+/// saturated by bank-conflicting random reads (16 Ki requests over a 16 MiB
+/// window), event-driven driver and ready cache on in both arms — only the
+/// scan representation differs. Random addressing is the scan-bound regime:
+/// nearly every entry misses the open row, so the FR-FCFS row scan walks
+/// the whole queue on most ticks and the representation dominates the
+/// wall-clock (a streaming workload would retire from the queue head and
+/// barely exercise the scan). Plain = the oracle per-entry scan over boxed
+/// `QueueEntry`s and `Option<u32>` open rows (the pre-SoA scheduler); SoA =
+/// packed ready/bank/row arrays, the row-open bitmask, and the
+/// position-indexed park/row-match/keep-open pre-pass. Bit-identical
+/// results (the equivalence suite pins this, and the checksum re-checks it
+/// here); only wall-clock differs.
+fn mc_soa_dense64(soa: bool) -> f64 {
+    let mut cfg = rome_mc::ControllerConfig::hbm4_with_queue_depth(64);
+    cfg.soa = soa;
+    let mut ctrl = rome_mc::ChannelController::new(cfg);
+    let reqs = rome_mc::workload::random_reads(0, 1 << 24, 16384, 32, 7);
+    let report = rome_mc::simulate::run_with_limit(&mut ctrl, reqs, 50_000_000);
+    report.achieved_bandwidth_gbps
+}
+
+/// Data-oriented hot path at system scale: a saturated 32-channel HBM4
+/// system with deep (64-entry) per-channel queues fed one dense streaming
+/// read, so every channel's FR-FCFS scan walks a full queue every tick.
+/// Same event-driven global loop in both arms; only `soa` differs.
+fn mc_soa_dense32(soa: bool) -> f64 {
+    let mut cfg = rome_mc::MemorySystemConfig::hbm4(CAL_CHANNELS);
+    cfg.controller.read_queue_capacity = 64;
+    cfg.controller.write_queue_capacity = 64;
+    let mut sys = rome_mc::MemorySystem::new(cfg);
+    sys.set_soa(soa);
+    sys.submit(rome_mc::MemoryRequest::read(1, 0, CAL_BYTES, 0));
+    let mut done = Vec::new();
+    let mut now = 0u64;
+    while !sys.is_idle() && now < 50_000_000 {
+        let issued = sys.tick_into(now, &mut done);
+        now = if issued {
+            now + 1
+        } else {
+            sys.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
+        };
+    }
+    assert_eq!(done.len(), 1, "transfer must complete");
     CAL_BYTES as f64 / done[0].completed as f64
 }
 
@@ -235,6 +289,8 @@ fn rome_sweep(stepped: bool) -> f64 {
         let mut ctrl = rome_core::RomeController::new(
             rome_core::RomeControllerConfig::with_queue_depth(depth),
         );
+        // SoA off: pre-SoA key, driver win only (see mc_sweep).
+        ctrl.set_soa(false);
         let reqs = rome_mc::workload::streaming_reads(0, ROME_BYTES, 4096);
         let report = if stepped {
             rome_core::simulate::run_with_limit_stepped(&mut ctrl, reqs, 50_000_000)
@@ -305,6 +361,23 @@ fn bench(c: &mut Criterion) {
         mc_calendar32(true),
         mc_calendar32(false),
         "event calendar changed the 32-channel schedule"
+    );
+
+    // Data-oriented (SoA) hot path: packed scans vs the oracle per-entry
+    // scan on the dense single-controller and saturated 32-channel shapes.
+    let soa64_on = time_it(repeats, || mc_soa_dense64(true));
+    let soa64_off = time_it(repeats, || mc_soa_dense64(false));
+    assert_eq!(
+        mc_soa_dense64(true),
+        mc_soa_dense64(false),
+        "SoA scan changed the dense-phase schedule"
+    );
+    let soa32_on = time_it(repeats, || mc_soa_dense32(true));
+    let soa32_off = time_it(repeats, || mc_soa_dense32(false));
+    assert_eq!(
+        mc_soa_dense32(true),
+        mc_soa_dense32(false),
+        "SoA scan changed the 32-channel schedule"
     );
 
     // Robustness overhead: budget-metered vs unchecked dense streaming run
@@ -384,6 +457,18 @@ fn bench(c: &mut Criterion) {
         cal32_off / cal32_on
     );
     println!(
+        "  SoA hot path, dense 64-entry HBM4 phase: {:8.2} ms -> {:8.2} ms  ({:5.2}x)",
+        soa64_off * 1e3,
+        soa64_on * 1e3,
+        soa64_off / soa64_on
+    );
+    println!(
+        "  SoA hot path, saturated 32-channel deep-queue streaming: {:8.2} ms -> {:8.2} ms  ({:5.2}x)",
+        soa32_off * 1e3,
+        soa32_on * 1e3,
+        soa32_off / soa32_on
+    );
+    println!(
         "  budget metering, dense 64-entry HBM4 phase: {:8.2} ms -> {:8.2} ms  ({:+5.2}% overhead)",
         robust_unchecked * 1e3,
         robust_checked * 1e3,
@@ -420,6 +505,12 @@ fn bench(c: &mut Criterion) {
             ("calendar_dense32_plain_ms", cal32_off * 1e3),
             ("calendar_dense32_cached_ms", cal32_on * 1e3),
             ("calendar_dense32_speedup", cal32_off / cal32_on),
+            ("soa_dense64_plain_ms", soa64_off * 1e3),
+            ("soa_dense64_soa_ms", soa64_on * 1e3),
+            ("soa_dense64_speedup", soa64_off / soa64_on),
+            ("soa_dense32_plain_ms", soa32_off * 1e3),
+            ("soa_dense32_soa_ms", soa32_on * 1e3),
+            ("soa_dense32_speedup", soa32_off / soa32_on),
             ("robustness_unchecked_ms", robust_unchecked * 1e3),
             ("robustness_checked_ms", robust_checked * 1e3),
             (
@@ -448,6 +539,13 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("dense32_event_calendar", |b| {
         b.iter(|| black_box(mc_calendar32(true)))
+    });
+
+    c.bench_function("dense64_soa", |b| {
+        b.iter(|| black_box(mc_soa_dense64(true)))
+    });
+    c.bench_function("dense64_plain_scan", |b| {
+        b.iter(|| black_box(mc_soa_dense64(false)))
     });
 
     c.bench_function("dense64_ready_cache", |b| {

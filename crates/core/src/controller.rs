@@ -136,6 +136,19 @@ pub struct RomeController {
     config: RomeControllerConfig,
     generator: CommandGenerator,
     queue: VecDeque<RomeQueueEntry>,
+    /// Parallel hot arrays mirroring `queue` position-for-position: each
+    /// entry's VBA index and write flag, packed so the data-issue scan reads
+    /// two small POD arrays instead of loading every `RomeQueueEntry`
+    /// payload. Maintained at the queue's two mutation points
+    /// ([`RomeController::enqueue_decoded`] and the remove in
+    /// `try_issue_data`).
+    hot_vba: Vec<u32>,
+    hot_write: Vec<bool>,
+    /// Whether `try_issue_data` scans the packed hot arrays (data-oriented)
+    /// or the entry queue directly (oracle). Both paths evaluate the same
+    /// predicate in the same order, so decisions are bit-identical; see
+    /// [`RomeController::set_soa`].
+    soa: bool,
     /// In-flight row transfers, ordered by completion time (min-heap):
     /// completions are popped, never scanned, and the next completion time
     /// is an O(1) peek for [`RomeController::next_event_at`].
@@ -207,6 +220,9 @@ impl RomeController {
         RomeController {
             vba_busy_until: vec![0; ranks * vbas_per_rank as usize],
             queue: VecDeque::with_capacity(config.queue_capacity),
+            hot_vba: Vec::with_capacity(config.queue_capacity),
+            hot_write: Vec::with_capacity(config.queue_capacity),
+            soa: true,
             in_flight: BinaryHeap::new(),
             inflight_seq: 0,
             refresh,
@@ -235,6 +251,15 @@ impl RomeController {
     /// The command generator used for expansion accounting.
     pub fn generator(&self) -> &CommandGenerator {
         &self.generator
+    }
+
+    /// Enable or disable the data-oriented issue scan (enabled by default).
+    /// The packed hot arrays are always maintained; this only selects which
+    /// representation the scan reads, and both make identical decisions —
+    /// the toggle exists so equivalence tests and benchmarks can compare the
+    /// two paths.
+    pub fn set_soa(&mut self, enabled: bool) {
+        self.soa = enabled;
     }
 
     /// Whether the controller has no pending or in-flight work.
@@ -292,6 +317,8 @@ impl RomeController {
         if self.queue.len() >= self.config.queue_capacity {
             return false;
         }
+        self.hot_vba.push(self.vba_index(entry.target) as u32);
+        self.hot_write.push(!entry.request.kind.is_read());
         self.queue.push_back(entry);
         true
     }
@@ -476,23 +503,45 @@ impl RomeController {
         // and the interface become ready.
         let mut chosen: Option<usize> = None;
         let mut hint = Cycle::MAX;
-        for (i, e) in self.queue.iter().enumerate() {
-            let is_write = !e.request.kind.is_read();
-            let idx = self.vba_index(e.target);
-            let ready = self.vba_busy_until[idx]
-                .max(self.earliest_interface_issue(is_write, e.target.stack_id));
-            if ready > now {
-                hint = hint.min(ready);
-                continue;
+        if self.soa {
+            // Data-oriented scan: the VBA index and write flag come from the
+            // packed hot arrays (the stack ID is recovered from the VBA
+            // index, which is stack-ID-major), so skipped entries cost two
+            // array reads instead of a payload load.
+            for i in 0..self.queue.len() {
+                let idx = self.hot_vba[i] as usize;
+                let is_write = self.hot_write[i];
+                let sid = (idx / self.vbas_per_rank as usize) as u8;
+                let ready =
+                    self.vba_busy_until[idx].max(self.earliest_interface_issue(is_write, sid));
+                if ready > now {
+                    hint = hint.min(ready);
+                    continue;
+                }
+                chosen = Some(i);
+                break;
             }
-            chosen = Some(i);
-            break;
+        } else {
+            for (i, e) in self.queue.iter().enumerate() {
+                let is_write = !e.request.kind.is_read();
+                let idx = self.vba_index(e.target);
+                let ready = self.vba_busy_until[idx]
+                    .max(self.earliest_interface_issue(is_write, e.target.stack_id));
+                if ready > now {
+                    hint = hint.min(ready);
+                    continue;
+                }
+                chosen = Some(i);
+                break;
+            }
         }
         if hint != Cycle::MAX {
             self.hint_event(hint);
         }
         let Some(i) = chosen else { return false };
         let entry = self.queue.remove(i).expect("index valid");
+        self.hot_vba.remove(i);
+        self.hot_write.remove(i);
         let is_write = !entry.request.kind.is_read();
         let kind = if is_write {
             RowCommandKind::WrRow

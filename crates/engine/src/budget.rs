@@ -9,14 +9,20 @@
 //! [`AbortReason`] instead of hanging or pretending it finished.
 //!
 //! The budget is checked *cooperatively*: the run loop calls
-//! [`BudgetMeter::on_step`] once per iteration, which is a couple of integer
-//! compares in the common case. Wall-clock time is the only expensive probe
-//! (`Instant::now` is a syscall on some platforms), so it is sampled every
-//! [`RunBudget::check_interval`] events rather than every event. An
-//! unlimited budget ([`RunBudget::unlimited`], also the `Default`) keeps
-//! every legacy driver bit-identical: no limit ever trips, no report is
-//! tagged, and the equivalence suites pin that the meter's presence does not
-//! perturb a single cycle.
+//! [`BudgetMeter::on_step`] once per iteration. The hot path is exactly two
+//! integer compares — the meter precomputes `next_slow`, the earliest event
+//! ordinal at which *anything* (armed fault, event ceiling, wall-clock
+//! probe) needs attention, and only an ordinal reaching it (or the simulated
+//! clock reaching `max_sim_ns`) takes the out-of-line slow path, which
+//! re-runs the original check sequence and recomputes `next_slow`. An
+//! unlimited budget ([`RunBudget::unlimited`], also the `Default`) therefore
+//! costs two always-false compares per event — no `Option` branching, no
+//! per-event wall-clock probe — and keeps every legacy driver bit-identical:
+//! no limit ever trips, no report is tagged, and the equivalence suites pin
+//! that the meter's presence does not perturb a single cycle. Wall-clock
+//! time is the only expensive probe (`Instant::now` is a syscall on some
+//! platforms), so it is sampled every [`RunBudget::check_interval`] events
+//! rather than every event.
 //!
 //! The same meter doubles as the deterministic fault-injection harness: an
 //! [`EngineFault`] rides on the budget and fires at an exact event ordinal
@@ -220,7 +226,7 @@ impl RunBudget {
         } else {
             self.check_interval
         };
-        BudgetMeter {
+        let mut meter = BudgetMeter {
             max_sim_ns: self.max_sim_ns.unwrap_or(Cycle::MAX),
             max_events: self.max_events.unwrap_or(u64::MAX),
             deadline: self.wall_clock.map(|d| Instant::now() + d),
@@ -228,7 +234,10 @@ impl RunBudget {
             next_check: interval,
             events: 0,
             fault: self.fault,
-        }
+            next_slow: u64::MAX,
+        };
+        meter.recompute_next_slow();
+        meter
     }
 
     /// Fire an entry fault (`at_event == 0`) for analytic paths that have no
@@ -261,6 +270,11 @@ pub struct BudgetMeter {
     next_check: u64,
     events: u64,
     fault: Option<EngineFault>,
+    /// Earliest event ordinal at which the slow path must run: the minimum
+    /// of the armed fault ordinal, the event ceiling, and (when a wall-clock
+    /// deadline is set) the next deadline probe. `u64::MAX` when nothing is
+    /// pending, which is the unlimited case.
+    next_slow: u64,
 }
 
 impl BudgetMeter {
@@ -268,10 +282,45 @@ impl BudgetMeter {
     /// abort reason when a limit trips or an armed fault fires; the caller
     /// stops *before* processing the iteration, so the partial report
     /// reflects only fully processed events.
+    ///
+    /// Hot path: two integer compares. Everything that can trip or fire is
+    /// folded into `next_slow` (recomputed whenever the slow path runs), so
+    /// the unlimited meter never branches on `Option`s or probes the wall
+    /// clock per event.
     #[inline]
     pub fn on_step(&mut self, now: Cycle) -> Option<AbortReason> {
         let event = self.events;
         self.events += 1;
+        if event < self.next_slow && now < self.max_sim_ns {
+            return None;
+        }
+        self.on_step_slow(event, now)
+    }
+
+    /// Fold every event-ordinal trigger into `next_slow`. Must be called
+    /// after anything that changes `fault` or `next_check`.
+    fn recompute_next_slow(&mut self) {
+        let fault_at = self.fault.map_or(u64::MAX, |f| f.at_event);
+        let probe_at = if self.deadline.is_some() {
+            self.next_check
+        } else {
+            u64::MAX
+        };
+        self.next_slow = fault_at.min(self.max_events).min(probe_at);
+    }
+
+    /// Out-of-line slow path: the original check sequence, verbatim — fault
+    /// fire/disarm, simulated-time ceiling, event ceiling, deadline probe —
+    /// followed by a `next_slow` refresh. Order matters: the fault and probe
+    /// ordinals are pinned by the fault-injection suite.
+    #[cold]
+    fn on_step_slow(&mut self, event: u64, now: Cycle) -> Option<AbortReason> {
+        let result = self.slow_checks(event, now);
+        self.recompute_next_slow();
+        result
+    }
+
+    fn slow_checks(&mut self, event: u64, now: Cycle) -> Option<AbortReason> {
         if let Some(fault) = self.fault {
             if event >= fault.at_event {
                 self.fault = None;
@@ -409,6 +458,53 @@ mod tests {
         RunBudget::unlimited()
             .with_fault(EngineFault::slowdown_at(0, 1))
             .entry_fault();
+    }
+
+    #[test]
+    fn fast_path_does_not_skip_a_fault_at_a_large_ordinal() {
+        // 10_000 fast-path steps must still land the fault on its exact
+        // ordinal — the `next_slow` precomputation may defer checks, never
+        // drop them.
+        let mut meter = RunBudget::unlimited()
+            .with_fault(EngineFault::exhaust_at(10_000))
+            .meter();
+        for now in 0..10_000u64 {
+            assert_eq!(meter.on_step(now), None);
+        }
+        assert_eq!(meter.on_step(10_000), Some(AbortReason::InjectedFault));
+        assert_eq!(meter.on_step(10_001), None);
+        assert_eq!(meter.events(), 10_002);
+    }
+
+    #[test]
+    fn deadline_probes_advance_across_many_intervals() {
+        // A generous deadline with a small interval must take the slow path
+        // exactly at each probe ordinal and nowhere else; `next_check`
+        // re-arming has to keep feeding `next_slow`.
+        let mut meter = RunBudget::unlimited()
+            .with_wall_clock(Duration::from_secs(3600))
+            .with_check_interval(3)
+            .meter();
+        for now in 0..20u64 {
+            assert_eq!(meter.on_step(now), None);
+        }
+        assert_eq!(meter.events(), 20);
+    }
+
+    #[test]
+    fn event_budget_still_trips_after_an_earlier_fault_disarms() {
+        // Fault at 1, event budget at 4: the disarm must not leave
+        // `next_slow` pointing at the dead fault and the budget must trip on
+        // its own ordinal.
+        let mut meter = RunBudget::unlimited()
+            .with_max_events(4)
+            .with_fault(EngineFault::slowdown_at(1, 1))
+            .meter();
+        assert_eq!(meter.on_step(0), None);
+        assert_eq!(meter.on_step(1), None); // slowdown fires, run continues
+        assert_eq!(meter.on_step(2), None);
+        assert_eq!(meter.on_step(3), None);
+        assert_eq!(meter.on_step(4), Some(AbortReason::EventBudget));
     }
 
     #[test]

@@ -285,6 +285,13 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         &self.controllers
     }
 
+    /// Mutable access to the per-channel controllers (for toggling
+    /// controller-internal oracles like the data-oriented scan). Callers
+    /// must not perturb scheduling state mid-run.
+    pub fn controllers_mut(&mut self) -> &mut [C] {
+        &mut self.controllers
+    }
+
     /// The engine-level statistics of the whole system: per-channel
     /// [`crate::controller::StatsSnapshot`]s merged into one (counts and bytes summed,
     /// `mean_read_latency` weighted by per-channel read bytes,

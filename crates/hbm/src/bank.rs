@@ -53,12 +53,21 @@ impl BankState {
     pub const CONVENTIONAL_COUNT: usize = 7;
 }
 
+/// Sentinel stored in [`Bank::open_row`] when no row is open. Row addresses
+/// are bounded by `Organization::rows_per_bank` (far below `u32::MAX`), so the
+/// sentinel can never collide with a real row.
+const NO_ROW: u32 = u32::MAX;
+
 /// One DRAM bank: logical row-buffer state plus the timestamps needed to
 /// derive the transitional FSM states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Every field is plain-old-data (the open row is a `u32` with a `NO_ROW`
+/// sentinel rather than an `Option`), so a `Vec<Bank>` is a flat POD slab:
+/// snapshotting or forking a channel's bank state is a single memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bank {
-    /// The currently open row, if any.
-    open_row: Option<u32>,
+    /// The currently open row, or [`NO_ROW`].
+    open_row: u32,
     /// When the most recent `ACT` finishes opening its row (`tRCD` after it
     /// was issued; valid while a row is open).
     act_ready_at: Cycle,
@@ -82,6 +91,21 @@ pub struct Bank {
     transitions: [Cycle; 4],
 }
 
+impl Default for Bank {
+    fn default() -> Self {
+        Bank {
+            open_row: NO_ROW,
+            act_ready_at: 0,
+            column_busy_until: 0,
+            last_column_was_write: false,
+            precharge_done_at: 0,
+            refresh_done_at: 0,
+            activations: 0,
+            transitions: [0; 4],
+        }
+    }
+}
+
 impl Bank {
     /// A bank in the idle (precharged) state.
     pub fn new() -> Self {
@@ -90,12 +114,12 @@ impl Bank {
 
     /// The currently open row, if any.
     pub fn open_row(&self) -> Option<u32> {
-        self.open_row
+        (self.open_row != NO_ROW).then_some(self.open_row)
     }
 
     /// Whether the bank currently has an open row.
     pub fn is_active(&self) -> bool {
-        self.open_row.is_some()
+        self.open_row != NO_ROW
     }
 
     /// Whether the bank is refreshing at `now`.
@@ -115,7 +139,8 @@ impl Bank {
 
     /// Record an `ACT` of `row` at cycle `now` under `timing`.
     pub fn activate(&mut self, row: u32, now: Cycle, timing: &TimingParams) {
-        self.open_row = Some(row);
+        debug_assert_ne!(row, NO_ROW, "row address collides with the NO_ROW sentinel");
+        self.open_row = row;
         self.act_ready_at = now + Cycle::from(timing.t_rcd_rd.min(timing.t_rcd_wr));
         self.activations += 1;
         self.rebuild_transitions();
@@ -123,7 +148,7 @@ impl Bank {
 
     /// Record a `PRE` issued at cycle `now` under `timing`.
     pub fn precharge(&mut self, now: Cycle, timing: &TimingParams) {
-        self.open_row = None;
+        self.open_row = NO_ROW;
         self.precharge_done_at = now + Cycle::from(timing.t_rp);
         self.rebuild_transitions();
     }
@@ -139,7 +164,7 @@ impl Bank {
     /// Record a refresh issued at `now` lasting `duration` nanoseconds.
     /// Refresh implicitly closes the row buffer.
     pub fn refresh(&mut self, now: Cycle, duration: Cycle) {
-        self.open_row = None;
+        self.open_row = NO_ROW;
         self.refresh_done_at = now + duration;
         self.rebuild_transitions();
     }
@@ -149,7 +174,7 @@ impl Bank {
     fn rebuild_transitions(&mut self) {
         let mut t = [
             self.refresh_done_at,
-            if self.open_row.is_some() {
+            if self.open_row != NO_ROW {
                 self.act_ready_at
             } else {
                 0
@@ -178,27 +203,22 @@ impl Bank {
         if now < self.refresh_done_at {
             return BankState::Refreshing;
         }
-        match self.open_row {
-            Some(_) => {
-                if now < self.act_ready_at {
-                    BankState::Activating
-                } else if now < self.column_busy_until {
-                    if self.last_column_was_write {
-                        BankState::Writing
-                    } else {
-                        BankState::Reading
-                    }
+        if self.open_row != NO_ROW {
+            if now < self.act_ready_at {
+                BankState::Activating
+            } else if now < self.column_busy_until {
+                if self.last_column_was_write {
+                    BankState::Writing
                 } else {
-                    BankState::Active
+                    BankState::Reading
                 }
+            } else {
+                BankState::Active
             }
-            None => {
-                if now < self.precharge_done_at {
-                    BankState::Precharging
-                } else {
-                    BankState::Idle
-                }
-            }
+        } else if now < self.precharge_done_at {
+            BankState::Precharging
+        } else {
+            BankState::Idle
         }
     }
 }

@@ -34,6 +34,14 @@ pub struct HbmChannel {
     timing: TimingParams,
     constraints: ConstraintEngine,
     banks: Vec<Bank>,
+    /// Row-open bitmask over the flat bank index (word `i` covers banks
+    /// `64*i..64*i+64`, bit `b & 63` within word `b >> 6`). Invariant: bit
+    /// `b` is set iff `banks[b].is_active()` — re-derived from the bank by
+    /// [`HbmChannel::sync_bank_bit`] at every row-buffer mutation point in
+    /// [`HbmChannel::issue`] (ACT, PRE, PREab, auto-precharge, REFpb,
+    /// REFab), so rank-wide open-row queries AND a mask word instead of
+    /// walking the bank slab.
+    open_mask: Vec<u64>,
     /// Per pseudo channel: the cycle until which the data bus is occupied.
     bus_busy_until: Vec<Cycle>,
     counters: ChannelCounters,
@@ -45,6 +53,7 @@ impl HbmChannel {
         let banks = vec![Bank::new(); org.banks_per_channel() as usize];
         HbmChannel {
             constraints: ConstraintEngine::new(org, timing),
+            open_mask: vec![0; banks.len().div_ceil(64)],
             banks,
             bus_busy_until: vec![0; org.pseudo_channels as usize],
             org,
@@ -154,11 +163,11 @@ impl HbmChannel {
                 }
             }
             DramCommand::RefAllBank { target } => {
-                // Every bank of the rank must be precharged.
-                let any_open = self
-                    .rank_banks(target.bank.pseudo_channel, target.bank.stack_id)
-                    .any(|b| b.is_active());
-                if any_open {
+                // Every bank of the rank must be precharged: one mask query
+                // over the rank's contiguous flat-index range.
+                let (base, per_sid) =
+                    self.rank_range(target.bank.pseudo_channel, target.bank.stack_id);
+                if self.any_open_in(base, per_sid) {
                     return Err(HbmError::IllegalState {
                         command: *cmd,
                         reason: "REFab with open rows in the rank (precharge all first)",
@@ -169,12 +178,50 @@ impl HbmChannel {
         Ok(())
     }
 
-    fn rank_banks(&self, pc: u8, sid: u8) -> impl Iterator<Item = &Bank> {
+    /// The flat-index range `(base, len)` of the rank `(pc, sid)`. Banks of
+    /// a rank are contiguous in flat index order (PC-major, then stack ID).
+    fn rank_range(&self, pc: u8, sid: u8) -> (usize, usize) {
         let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
         let base = self
             .constraints
             .bank_index(crate::address::BankAddress::new(pc, sid, 0, 0));
-        self.banks[base..base + per_sid].iter()
+        (base, per_sid)
+    }
+
+    /// Re-derive the open-row mask bit for `index` from the bank itself.
+    /// Called after every mutation that may change `is_active`, which makes
+    /// the mask invariant structural rather than per-call-site.
+    #[inline]
+    fn sync_bank_bit(&mut self, index: usize) {
+        let bit = 1u64 << (index & 63);
+        if self.banks[index].is_active() {
+            self.open_mask[index >> 6] |= bit;
+        } else {
+            self.open_mask[index >> 6] &= !bit;
+        }
+    }
+
+    /// Whether any bank in the flat-index range `[base, base + len)` holds an
+    /// open row (mask words only; no bank loads).
+    fn any_open_in(&self, base: usize, len: usize) -> bool {
+        let end = base + len;
+        let mut b = base;
+        while b < end {
+            let word = b >> 6;
+            let lo = b & 63;
+            let word_base = b - lo;
+            let span = (end - word_base).min(64) - lo;
+            let mask = if span == 64 {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << lo
+            };
+            if self.open_mask[word] & mask != 0 {
+                return true;
+            }
+            b = word_base + 64;
+        }
+        false
     }
 
     /// The earliest cycle (≥ `now`) at which `cmd` satisfies every timing
@@ -229,27 +276,23 @@ impl HbmChannel {
         match cmd {
             DramCommand::Act { row, .. } => {
                 self.banks[bank_index].activate(row, now, &timing);
+                self.sync_bank_bit(bank_index);
                 self.counters.activates += 1;
                 self.counters.row_ca_commands += 1;
             }
             DramCommand::Pre { .. } => {
                 self.banks[bank_index].precharge(now, &timing);
+                self.sync_bank_bit(bank_index);
                 self.counters.precharges += 1;
                 self.counters.row_ca_commands += 1;
             }
             DramCommand::PreAll { target } => {
-                let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
-                let base = self
-                    .constraints
-                    .bank_index(crate::address::BankAddress::new(
-                        target.bank.pseudo_channel,
-                        target.bank.stack_id,
-                        0,
-                        0,
-                    ));
-                for b in &mut self.banks[base..base + per_sid] {
-                    if b.is_active() {
-                        b.precharge(now, &timing);
+                let (base, per_sid) =
+                    self.rank_range(target.bank.pseudo_channel, target.bank.stack_id);
+                for i in base..base + per_sid {
+                    if self.banks[i].is_active() {
+                        self.banks[i].precharge(now, &timing);
+                        self.sync_bank_bit(i);
                     }
                 }
                 self.counters.precharge_alls += 1;
@@ -263,6 +306,7 @@ impl HbmChannel {
                 if auto_precharge {
                     let pre_at = now + Cycle::from(timing.t_rtp);
                     self.banks[bank_index].precharge(pre_at, &timing);
+                    self.sync_bank_bit(bank_index);
                     self.constraints
                         .record(CommandKind::Pre, addr, pre_at, burst);
                     self.counters.precharges += 1;
@@ -283,6 +327,7 @@ impl HbmChannel {
                 if auto_precharge {
                     let pre_at = now + Cycle::from(timing.write_to_precharge(burst));
                     self.banks[bank_index].precharge(pre_at, &timing);
+                    self.sync_bank_bit(bank_index);
                     self.constraints
                         .record(CommandKind::Pre, addr, pre_at, burst);
                     self.counters.precharges += 1;
@@ -294,21 +339,16 @@ impl HbmChannel {
             }
             DramCommand::RefPerBank { .. } => {
                 self.banks[bank_index].refresh(now, Cycle::from(timing.t_rfc_pb));
+                self.sync_bank_bit(bank_index);
                 self.counters.refreshes_per_bank += 1;
                 self.counters.row_ca_commands += 1;
             }
             DramCommand::RefAllBank { target } => {
-                let per_sid = (self.org.bank_groups * self.org.banks_per_group) as usize;
-                let base = self
-                    .constraints
-                    .bank_index(crate::address::BankAddress::new(
-                        target.bank.pseudo_channel,
-                        target.bank.stack_id,
-                        0,
-                        0,
-                    ));
-                for b in &mut self.banks[base..base + per_sid] {
-                    b.refresh(now, Cycle::from(timing.t_rfc_ab));
+                let (base, per_sid) =
+                    self.rank_range(target.bank.pseudo_channel, target.bank.stack_id);
+                for i in base..base + per_sid {
+                    self.banks[i].refresh(now, Cycle::from(timing.t_rfc_ab));
+                    self.sync_bank_bit(i);
                 }
                 self.counters.refreshes_all_bank += 1;
                 self.counters.row_ca_commands += 1;
@@ -339,9 +379,17 @@ impl HbmChannel {
         self.bus_busy_until[pc as usize]
     }
 
-    /// Number of banks currently holding an open row.
+    /// Number of banks currently holding an open row (a popcount over the
+    /// open-row mask; no bank loads).
     pub fn open_banks(&self) -> usize {
-        self.banks.iter().filter(|b| b.is_active()).count()
+        self.open_mask.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The row-open bitmask words (flat bank index order; see the field
+    /// docs for the layout). Exposed so controllers and oracle tests can
+    /// cross-check their own bank-availability masks against the channel's.
+    pub fn open_bank_mask(&self) -> &[u64] {
+        &self.open_mask
     }
 }
 
@@ -590,6 +638,73 @@ mod tests {
         assert_eq!(ch.counters().mode_register_sets, 1);
         assert_eq!(ch.counters().precharge_alls, 1);
         assert_eq!(ch.counters().row_ca_commands, 2);
+    }
+
+    #[test]
+    fn open_mask_tracks_bank_state_across_mutations() {
+        let mut ch = channel();
+        let recount = |ch: &HbmChannel| {
+            let mut words = vec![0u64; ch.open_bank_mask().len()];
+            for (i, b) in ch.banks().enumerate() {
+                if b.is_active() {
+                    words[i >> 6] |= 1 << (i & 63);
+                }
+            }
+            words
+        };
+        let check = |ch: &HbmChannel| {
+            assert_eq!(ch.open_bank_mask(), recount(ch).as_slice());
+            assert_eq!(
+                ch.open_banks(),
+                ch.banks().filter(|b| b.is_active()).count()
+            );
+        };
+        check(&ch);
+        ch.issue(
+            DramCommand::Act {
+                target: t(0, 0, 0, 0),
+                row: 1,
+            },
+            0,
+        )
+        .unwrap();
+        ch.issue(
+            DramCommand::Act {
+                target: t(1, 3, 2, 1),
+                row: 9,
+            },
+            2,
+        )
+        .unwrap();
+        check(&ch);
+        // Auto-precharge closes the row and must clear the bit immediately.
+        ch.issue(
+            DramCommand::Rd {
+                target: t(0, 0, 0, 0),
+                column: 0,
+                auto_precharge: true,
+            },
+            20,
+        )
+        .unwrap();
+        check(&ch);
+        ch.issue(
+            DramCommand::Pre {
+                target: t(1, 3, 2, 1),
+            },
+            60,
+        )
+        .unwrap();
+        check(&ch);
+        ch.issue(
+            DramCommand::RefAllBank {
+                target: t(1, 3, 0, 0),
+            },
+            120,
+        )
+        .unwrap();
+        check(&ch);
+        assert_eq!(ch.open_banks(), 0);
     }
 
     #[test]

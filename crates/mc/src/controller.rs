@@ -23,7 +23,7 @@ use rome_hbm::units::Cycle;
 
 use crate::mapping::{AddressMapping, MappingScheme};
 use crate::page_policy::PagePolicy;
-use crate::queue::{QueueEntry, RequestQueue};
+use crate::queue::{BankIndexer, QueueEntry, RequestQueue};
 use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
 use crate::stats::ControllerStats;
 
@@ -75,6 +75,18 @@ pub struct ControllerConfig {
     /// reports with the cache on and off. Disable only to measure its
     /// effect.
     pub ready_cache: bool,
+    /// Whether the FR-FCFS scans run in data-oriented (struct-of-arrays)
+    /// form: the column scan walks the queue's packed ready/bank/row arrays
+    /// and tests row-open state against a per-channel bank bitmask, touching
+    /// an entry's full payload only when it is about to be probed or issued.
+    /// The SoA scans evaluate exactly the same predicates in exactly the
+    /// same order as the original entry-at-a-time scans (which stay compiled
+    /// in as the oracle), so the schedule is bit-identical — the equivalence
+    /// suite pins this with the toggle on and off. Disable only to measure
+    /// the effect or to cross-check against the oracle. The SoA scans
+    /// subsume the ready cache (the packed bound arrays are integral to the
+    /// layout), so `ready_cache` is only consulted by the oracle scan.
+    pub soa: bool,
 }
 
 impl ControllerConfig {
@@ -95,6 +107,7 @@ impl ControllerConfig {
             write_drain_high: 48,
             write_drain_low: 16,
             ready_cache: true,
+            soa: true,
         }
     }
 
@@ -162,6 +175,32 @@ pub struct ChannelController {
     /// The controller's own per-bank state logic: open row per bank, indexed
     /// by the flat bank index.
     open_rows: Vec<Option<u32>>,
+    /// Row-open bitmask over the flat bank index (bit `b & 63` of word
+    /// `b >> 6`). Invariant: bit `b` set iff `open_rows[b].is_some()` —
+    /// both are only mutated through
+    /// [`ChannelController::set_open_row`] /
+    /// [`ChannelController::clear_open_row`], so the SoA column scan can
+    /// test row-open state with one shift instead of loading an `Option`
+    /// per entry.
+    open_mask: Vec<u64>,
+    /// Cached lower bound on the earliest cycle a PRE can issue, per flat
+    /// bank index (0 = unknown). Same monotonicity argument as the queue's
+    /// ready hints: PRE timing only moves later as commands are recorded,
+    /// so a probed bound stays a valid lower bound forever and a
+    /// tRAS-blocked bank is skipped with one comparison per scan instead of
+    /// a CAM walk plus a constraint probe. Only the SoA scan consults it;
+    /// a stale-but-valid bound at worst wakes the event driver early (a
+    /// harmless spurious event).
+    pre_ready: Vec<Cycle>,
+    /// Cached lower bound on the earliest cycle an ACT can issue, per flat
+    /// bank index (0 = unknown). Bank-scoped counterpart of the queues'
+    /// per-entry ACT hints: when one entry's probe finds the bank blocked
+    /// (tRC/tRP), every other queued entry on the same bank is blocked
+    /// until the same cycle, so they skip without their own probes. Same
+    /// monotonicity argument and SoA-only consultation as `pre_ready`.
+    act_ready: Vec<Cycle>,
+    /// Flat bank indexing shared with the queues' packed bank arrays.
+    indexer: BankIndexer,
     write_drain: bool,
     /// A bank that has been precharged in preparation for an urgent refresh;
     /// the scheduler must not re-activate it until the refresh issues.
@@ -190,14 +229,20 @@ impl ChannelController {
             .map(RefreshScheduler::next_due)
             .min()
             .unwrap_or(Cycle::MAX);
+        let indexer = BankIndexer::new(&org);
+        let banks = org.banks_per_channel() as usize;
         ChannelController {
-            read_queue: RequestQueue::new(config.read_queue_capacity),
-            write_queue: RequestQueue::new(config.write_queue_capacity),
+            read_queue: RequestQueue::new(config.read_queue_capacity, indexer),
+            write_queue: RequestQueue::new(config.write_queue_capacity, indexer),
             in_flight: BinaryHeap::new(),
             inflight_seq: 0,
             refresh,
             refresh_due_min,
-            open_rows: vec![None; org.banks_per_channel() as usize],
+            open_rows: vec![None; banks],
+            open_mask: vec![0; banks.div_ceil(64)],
+            pre_ready: vec![0; banks],
+            act_ready: vec![0; banks],
+            indexer,
             write_drain: false,
             refresh_reserved_bank: None,
             stats: ControllerStats::new(),
@@ -210,6 +255,38 @@ impl ChannelController {
     /// The controller configuration.
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    /// Enable or disable the data-oriented (struct-of-arrays) FR-FCFS scans
+    /// (see [`ControllerConfig::soa`]). The SoA and oracle scans make
+    /// identical decisions over identical state, so toggling mid-run is
+    /// safe; it exists so equivalence tests and benchmarks can compare the
+    /// two paths.
+    pub fn set_soa(&mut self, enabled: bool) {
+        self.config.soa = enabled;
+    }
+
+    /// Record `row` as open in `open_rows` and the row-open mask (the only
+    /// writer besides [`ChannelController::clear_open_row`], which keeps the
+    /// mask invariant structural). Both queues refresh their per-entry
+    /// row-match flags and open-row-hit counts here — the single row-state
+    /// mutation point — so the scans can test "row hit" and the
+    /// adaptive-page-policy CAM in O(1).
+    #[inline]
+    fn set_open_row(&mut self, idx: usize, row: u32) {
+        self.open_rows[idx] = Some(row);
+        self.open_mask[idx >> 6] |= 1 << (idx & 63);
+        self.read_queue.note_act(idx, row);
+        self.write_queue.note_act(idx, row);
+    }
+
+    /// Clear the open row in `open_rows` and the row-open mask.
+    #[inline]
+    fn clear_open_row(&mut self, idx: usize) {
+        self.open_rows[idx] = None;
+        self.open_mask[idx >> 6] &= !(1 << (idx & 63));
+        self.read_queue.note_pre(idx);
+        self.write_queue.note_pre(idx);
     }
 
     /// The controller statistics accumulated so far.
@@ -475,6 +552,12 @@ impl ChannelController {
     }
 
     fn try_issue_refresh(&mut self, now: Cycle) -> bool {
+        // O(1) fast path: `refresh_due_min` caches the earliest `next_due`
+        // across ranks, so one comparison answers "is any rank due?". When
+        // none is, the rank scan below is a pure no-op.
+        if self.refresh_due_min > now {
+            return false;
+        }
         let org = self.config.organization;
         for pc in 0..org.pseudo_channels {
             for sid in 0..org.stack_ids {
@@ -520,7 +603,7 @@ impl ChannelController {
                                 let pre = DramCommand::Pre { target };
                                 if self.channel.can_issue(&pre, now) {
                                     self.channel.issue(pre, now).expect("checked");
-                                    self.open_rows[idx] = None;
+                                    self.clear_open_row(idx);
                                     // Keep the bank closed until the refresh
                                     // actually issues.
                                     self.refresh_reserved_bank = Some(bank);
@@ -566,7 +649,7 @@ impl ChannelController {
                                     self.channel.issue(pre_all, now).expect("checked");
                                     let base = self.bank_index(BankAddress::new(pc, sid, 0, 0));
                                     for i in 0..(org.bank_groups * org.banks_per_group) as usize {
-                                        self.open_rows[base + i] = None;
+                                        self.clear_open_row(base + i);
                                     }
                                     return true;
                                 }
@@ -642,6 +725,8 @@ impl ChannelController {
                 config,
                 channel,
                 open_rows,
+                open_mask,
+                indexer,
                 read_queue,
                 write_queue,
                 ..
@@ -651,64 +736,190 @@ impl ChannelController {
             } else {
                 &mut *read_queue
             };
-            let use_cache = config.ready_cache;
-            let mut found: Option<usize> = None;
-            let mut hint = Cycle::MAX;
-            for i in 0..queue.len() {
-                if starved && i != 0 && config.scheduling == SchedulingPolicy::FrFcfs {
-                    break;
+            if config.soa {
+                // Data-oriented scan: identical predicates in identical
+                // order to the oracle scan below, but evaluated over plain
+                // slices of the queue's packed arrays (one `scan_view`
+                // split-borrow, so the base pointers and bounds stay in
+                // registers) and the row-open bitmask — the 64-byte entry
+                // payload is only loaded for the entry that reaches the
+                // earliest-issue probe. The packed bound array is consulted
+                // unconditionally (it subsumes `ready_cache`); the cache is
+                // inert by the monotonicity argument on `ready_cache`, so
+                // this cannot change a decision.
+                let fcfs = config.scheduling == SchedulingPolicy::Fcfs;
+                let frfcfs = config.scheduling == SchedulingPolicy::FrFcfs;
+                let crate::queue::ScanView {
+                    ready_at,
+                    bank,
+                    row,
+                    row_match,
+                    entries,
+                    ..
+                } = queue.scan_view();
+                let n = bank.len();
+                let ready_at = &mut ready_at[..n];
+                let row = &row[..n];
+                let row_match = &row_match[..n];
+                let mut found: Option<usize> = None;
+                let mut hint = Cycle::MAX;
+                if frfcfs && !starved {
+                    // Two-phase blocked scan. Phase 1 is a branchless sweep
+                    // over one `PREPASS_BLOCK` of entries: it min-reduces
+                    // the cached bounds of hint-blocked entries (their only
+                    // effect on the oracle) and collects the entries that
+                    // need real work — expired hint AND open row match —
+                    // into a per-block bitmask (a branchless shift-or, so
+                    // the randomly open/closed banks cost no branch
+                    // mispredicts). Phase 2 runs the
+                    // pseudo-channel gate and earliest-issue probes over the
+                    // (few) candidates in age order — identical decisions to
+                    // the one-pass loop. Sweeping block-by-block keeps the
+                    // one-pass loop's early exit: an issuing tick stops
+                    // within one block of the entry it picks. The hint may
+                    // pick up contributions the oracle skips after its
+                    // candidate-found break; those are valid lower bounds,
+                    // and on an issuing tick the hint is never consulted.
+                    let mut base = 0usize;
+                    'col: while base < n {
+                        let end = (base + PREPASS_BLOCK).min(n);
+                        let mut cand_mask: u32 = 0;
+                        for i in base..end {
+                            let cached = ready_at[i];
+                            let valid = cached > now;
+                            hint = hint.min(if valid { cached } else { Cycle::MAX });
+                            cand_mask |= ((!valid & (row_match[i] == 1)) as u32) << (i - base);
+                        }
+                        let block = base;
+                        base = end;
+                        while cand_mask != 0 {
+                            let i = block + cand_mask.trailing_zeros() as usize;
+                            cand_mask &= cand_mask - 1;
+                            let b = bank[i] as usize;
+                            let pc = indexer.pseudo_channel_of(b);
+                            if pc < pcs.min(MAX_GATED_PCS) && pc_bound[pc] > now {
+                                hint = hint.min(pc_bound[pc]);
+                                ready_at[i] = pc_bound[pc];
+                                continue;
+                            }
+                            let e = entries.entry(i);
+                            let probe = column_command(e, false);
+                            let at = channel.earliest_issue(&probe, now);
+                            if at <= now {
+                                found = Some(i);
+                                break 'col;
+                            }
+                            hint = hint.min(at);
+                            ready_at[i] = at;
+                        }
+                    }
+                } else {
+                    // One-pass form: needed verbatim for FCFS ordering and
+                    // starvation mode (both break the scan early on
+                    // position, which the two-phase sweep cannot honor).
+                    for i in 0..n {
+                        if starved && i != 0 && frfcfs {
+                            break;
+                        }
+                        let cached = ready_at[i];
+                        if cached > now {
+                            hint = hint.min(cached);
+                            if fcfs {
+                                break;
+                            }
+                            continue;
+                        }
+                        let b = bank[i] as usize;
+                        if open_mask[b >> 6] >> (b & 63) & 1 == 0 || open_rows[b] != Some(row[i]) {
+                            if fcfs {
+                                break;
+                            }
+                            continue;
+                        }
+                        let pc = indexer.pseudo_channel_of(b);
+                        if pc < pcs.min(MAX_GATED_PCS) && pc_bound[pc] > now {
+                            hint = hint.min(pc_bound[pc]);
+                            ready_at[i] = pc_bound[pc];
+                            if fcfs {
+                                break;
+                            }
+                            continue;
+                        }
+                        let e = entries.entry(i);
+                        let probe = column_command(e, false);
+                        let at = channel.earliest_issue(&probe, now);
+                        if at <= now {
+                            found = Some(i);
+                            break;
+                        }
+                        hint = hint.min(at);
+                        ready_at[i] = at;
+                        if fcfs {
+                            break;
+                        }
+                    }
                 }
-                // Ready-cache skip before even touching the entry: a cached
-                // bound is timing-only, so it disqualifies the entry whether
-                // or not its row is (still) open, and the stale-but-valid
-                // hint merely wakes the event driver early.
-                if use_cache {
-                    let cached = queue.ready_hint(i);
-                    if cached > now {
-                        hint = hint.min(cached);
+                (found, hint)
+            } else {
+                let use_cache = config.ready_cache;
+                let mut found: Option<usize> = None;
+                let mut hint = Cycle::MAX;
+                for i in 0..queue.len() {
+                    if starved && i != 0 && config.scheduling == SchedulingPolicy::FrFcfs {
+                        break;
+                    }
+                    // Ready-cache skip before even touching the entry: a cached
+                    // bound is timing-only, so it disqualifies the entry whether
+                    // or not its row is (still) open, and the stale-but-valid
+                    // hint merely wakes the event driver early.
+                    if use_cache {
+                        let cached = queue.ready_hint_oracle(i);
+                        if cached > now {
+                            hint = hint.min(cached);
+                            if config.scheduling == SchedulingPolicy::Fcfs {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                    let e = *queue.get(i).expect("index in bounds");
+                    let idx = flat_bank_index(&config.organization, e.dram.bank);
+                    if open_rows[idx] != Some(e.dram.row) {
                         if config.scheduling == SchedulingPolicy::Fcfs {
                             break;
                         }
                         continue;
                     }
-                }
-                let e = *queue.get(i).expect("index in bounds");
-                let idx = flat_bank_index(&config.organization, e.dram.bank);
-                if open_rows[idx] != Some(e.dram.row) {
-                    if config.scheduling == SchedulingPolicy::Fcfs {
+                    let pc = e.dram.bank.pseudo_channel as usize;
+                    if pc < pcs.min(MAX_GATED_PCS) && pc_bound[pc] > now {
+                        hint = hint.min(pc_bound[pc]);
+                        if use_cache {
+                            queue.set_ready_hint_oracle(i, pc_bound[pc]);
+                        }
+                        if config.scheduling == SchedulingPolicy::Fcfs {
+                            break;
+                        }
+                        continue;
+                    }
+                    // Earliest-issue does not depend on the auto-precharge flag,
+                    // so the O(queue) pending-hit lookup that decides it is
+                    // deferred until an entry is actually chosen.
+                    let probe = column_command(&e, false);
+                    let at = channel.earliest_issue(&probe, now);
+                    if at <= now {
+                        found = Some(i);
                         break;
                     }
-                    continue;
-                }
-                let pc = e.dram.bank.pseudo_channel as usize;
-                if pc < pcs.min(MAX_GATED_PCS) && pc_bound[pc] > now {
-                    hint = hint.min(pc_bound[pc]);
+                    hint = hint.min(at);
                     if use_cache {
-                        queue.set_ready_hint(i, pc_bound[pc]);
+                        queue.set_ready_hint_oracle(i, at);
                     }
                     if config.scheduling == SchedulingPolicy::Fcfs {
                         break;
                     }
-                    continue;
                 }
-                // Earliest-issue does not depend on the auto-precharge flag,
-                // so the O(queue) pending-hit lookup that decides it is
-                // deferred until an entry is actually chosen.
-                let probe = column_command(&e, false);
-                let at = channel.earliest_issue(&probe, now);
-                if at <= now {
-                    found = Some(i);
-                    break;
-                }
-                hint = hint.min(at);
-                if use_cache {
-                    queue.set_ready_hint(i, at);
-                }
-                if config.scheduling == SchedulingPolicy::Fcfs {
-                    break;
-                }
+                (found, hint)
             }
-            (found, hint)
         };
         if hint != Cycle::MAX {
             self.hint_event(hint);
@@ -737,7 +948,7 @@ impl ChannelController {
             .issue(cmd, now)
             .expect("probed via earliest_issue");
         if auto_precharge {
-            self.open_rows[idx] = None;
+            self.clear_open_row(idx);
         }
         self.stats.row_hits += 1;
         let seq = self.inflight_seq;
@@ -763,6 +974,10 @@ impl ChannelController {
                 config,
                 channel,
                 open_rows,
+                open_mask,
+                pre_ready,
+                act_ready,
+                indexer,
                 read_queue,
                 write_queue,
                 refresh_reserved_bank,
@@ -774,93 +989,308 @@ impl ChannelController {
             } else {
                 &mut *read_queue
             };
-            let use_cache = config.ready_cache;
-            let mut act: Option<(usize, u32, BankAddress)> = None;
-            let mut pre: Option<BankAddress> = None;
-            let mut hint = Cycle::MAX;
-            for i in 0..queue.len() {
-                let e = *queue.get(i).expect("index in bounds");
-                let idx = flat_bank_index(&config.organization, e.dram.bank);
-                if *refresh_reserved_bank == Some(e.dram.bank) {
-                    continue;
-                }
-                match open_rows[idx] {
-                    None if act.is_none() => {
-                        // Ready cache: a previously computed ACT bound for
-                        // this entry is a permanent lower bound (ACT timing
-                        // constraints are monotone too), so skip with one
-                        // comparison until its cycle arrives.
-                        if use_cache {
-                            let cached = queue.act_ready_hint(i);
-                            if cached > now {
-                                hint = hint.min(cached);
-                                continue;
-                            }
+            if config.soa {
+                // Data-oriented scan: same predicates and order as the
+                // oracle scan below, over the packed bank array and the
+                // row-open bitmask. The refresh-reserved comparison moves
+                // to flat indices (the flat index is injective, so flat
+                // equality is bank-address equality), and the entry payload
+                // is only loaded once an entry survives the reserved /
+                // mask / cached-bound gates.
+                let reserved: Option<usize> = refresh_reserved_bank.map(|b| indexer.flat(b));
+                // Lazy per-rank ACT-bound cache: `rank_act_bound` depends
+                // only on the rank (tRRD window max tFAW window — no `now`,
+                // no per-bank state), so within one scan every entry on the
+                // same rank sees the same bound. Probing the constraint
+                // engine once per distinct rank instead of once per entry is
+                // the scan's biggest saving on dense queues.
+                const MAX_GATED_RANKS: usize = 16;
+                let mut rank_bounds = [Cycle::MAX; MAX_GATED_RANKS];
+                let mut rank_known: u32 = 0;
+                let mut rank_blocked: u32 = 0;
+                let gate_ranks = indexer.ranks() <= MAX_GATED_RANKS;
+                let all_ranks_mask: u32 = if gate_ranks {
+                    (1u32 << indexer.ranks()) - 1
+                } else {
+                    u32::MAX
+                };
+                let crate::queue::ScanView {
+                    act_ready_at,
+                    bank,
+                    row_match,
+                    keep_open,
+                    entries,
+                    ..
+                } = queue.scan_view();
+                let n = bank.len();
+                let act_ready_at = &mut act_ready_at[..n];
+                let row_match = &row_match[..n];
+                let keep_open = &keep_open[..n];
+                let mut act: Option<(usize, u32, BankAddress)> = None;
+                let mut pre: Option<BankAddress> = None;
+                let mut hint = Cycle::MAX;
+                // Two-phase blocked scan. The pre-pass needs only three
+                // position-indexed loads per entry (no per-bank gathers,
+                // no data-dependent branches): an entry is *relevant*
+                // unless it is a row hit (`row_match` — a column
+                // candidate, not a row one) or pinned behind the adaptive
+                // page policy (`keep_open` — its bank's open row is still
+                // wanted, where the oracle's CAM walk contributes neither
+                // action nor hint). A relevant entry whose park bound
+                // (`act_ready_at`) lies in the future contributes that
+                // bound to the wakeup hint and is retired; survivors land
+                // in a per-block bitmask for the full scheduling body
+                // below. `act_ready_at` doubles as a unified park bound:
+                // a cached ACT bound while the bank is closed, a cached
+                // PRE bound while it is open. A bound cached under one
+                // polarity stays valid across a flip — any PRE to the
+                // bank must trail the ACT that opened it (tRAS) and any
+                // ACT must trail the PRE that closed it (tRP), so the old
+                // bound still lower-bounds the entry's next possible row
+                // action. Sweeping block-by-block keeps the one-pass
+                // loop's early exit: an ACT-issuing tick stops within one
+                // block of the entry it picks. Reserved-bank entries may
+                // add a spurious-but-valid extra hint, which at worst
+                // wakes the event driver early.
+                let mut base = 0usize;
+                'row: while base < n {
+                    // Once a PRE candidate is chosen and every rank is
+                    // known ACT-blocked, no later entry can produce the
+                    // higher-priority ACT: the scan's outcome is decided
+                    // (the tick will issue the PRE, so the accumulated
+                    // wakeup hint is never consulted) and the tail of the
+                    // walk is skipped.
+                    if pre.is_some() && rank_blocked == all_ranks_mask {
+                        break;
+                    }
+                    let end = (base + PREPASS_BLOCK).min(n);
+                    let mut cand_mask: u32 = 0;
+                    for i in base..end {
+                        let parked_at = act_ready_at[i];
+                        let parked = parked_at > now;
+                        let relevant = (row_match[i] == 0) & (keep_open[i] == 0);
+                        hint = hint.min(if relevant & parked {
+                            parked_at
+                        } else {
+                            Cycle::MAX
+                        });
+                        cand_mask |= ((relevant & !parked) as u32) << (i - base);
+                    }
+                    let block = base;
+                    base = end;
+                    while cand_mask != 0 {
+                        let i = block + cand_mask.trailing_zeros() as usize;
+                        cand_mask &= cand_mask - 1;
+                        let b = bank[i] as usize;
+                        if reserved == Some(b) {
+                            continue;
                         }
-                        // Rank-scope gate: tRRD/tFAW bound every ACT on
-                        // the rank, so a blocked rank disqualifies all
-                        // of its pending activations with one
-                        // comparison.
-                        let rank_bound = channel.rank_act_bound(e.dram.bank);
-                        if rank_bound > now {
-                            hint = hint.min(rank_bound);
-                            if use_cache {
-                                queue.set_act_ready_hint(i, rank_bound);
+                        if open_mask[b >> 6] >> (b & 63) & 1 == 0 {
+                            if act.is_none() {
+                                let cached = act_ready_at[i];
+                                if cached > now {
+                                    hint = hint.min(cached);
+                                    continue;
+                                }
+                                // Bank-level ACT bound cached by an earlier
+                                // probe (possibly for a different entry on
+                                // the same bank): valid for this entry too,
+                                // so memoize it per entry and skip both the
+                                // rank gate and the probe. Checking the bank
+                                // bound first is decision-equivalent (the
+                                // entry reaches the probe iff neither bound
+                                // lies in the future) and keeps the rank
+                                // computation — an integer divide by the
+                                // runtime bank-per-rank count — off the
+                                // common bank-parked path.
+                                let bank_bound = act_ready[b];
+                                if bank_bound > now {
+                                    hint = hint.min(bank_bound);
+                                    act_ready_at[i] = bank_bound;
+                                    continue;
+                                }
+                                let rank_bound = if gate_ranks {
+                                    let r = indexer.rank_of(b);
+                                    if rank_known & (1 << r) == 0 {
+                                        let bound = channel.rank_act_bound(indexer.rank_address(b));
+                                        rank_bounds[r] = bound;
+                                        rank_known |= 1 << r;
+                                        if bound > now {
+                                            rank_blocked |= 1 << r;
+                                        }
+                                    }
+                                    rank_bounds[r]
+                                } else {
+                                    channel.rank_act_bound(indexer.rank_address(b))
+                                };
+                                if rank_bound > now {
+                                    hint = hint.min(rank_bound);
+                                    act_ready_at[i] = rank_bound;
+                                } else {
+                                    let dram = entries.entry(i).dram;
+                                    let cmd = DramCommand::Act {
+                                        target: CommandTarget::from_bank_address(dram.bank),
+                                        row: dram.row,
+                                    };
+                                    let at = channel.earliest_issue(&cmd, now);
+                                    if at <= now && channel.can_issue(&cmd, now) {
+                                        act = Some((i, dram.row, dram.bank));
+                                    } else {
+                                        let at = at.max(now + 1);
+                                        hint = hint.min(at);
+                                        act_ready_at[i] = at;
+                                        act_ready[b] = at;
+                                    }
+                                }
                             }
                         } else {
-                            let cmd = DramCommand::Act {
-                                target: CommandTarget::from_bank_address(e.dram.bank),
-                                row: e.dram.row,
-                            };
-                            let at = channel.earliest_issue(&cmd, now);
-                            if at <= now && channel.can_issue(&cmd, now) {
-                                act = Some((i, e.dram.row, e.dram.bank));
-                            } else {
-                                let at = at.max(now + 1);
-                                hint = hint.min(at);
-                                if use_cache {
-                                    queue.set_act_ready_hint(i, at);
+                            // Pre-pass candidates on the open arm already
+                            // satisfy the adaptive page policy: the entry's
+                            // row mismatches the open one and no queued
+                            // entry still wants it (`hits_open == 0`), so
+                            // only the timing probe remains. Cross-scan
+                            // bank-level `pre_ready` bound: while it lies
+                            // in the future the bank cannot precharge, so
+                            // one comparison covers the whole blocked
+                            // window (and catches a same-scan duplicate
+                            // candidate on the same bank).
+                            if pre.is_none() {
+                                let cached = pre_ready[b];
+                                if cached > now {
+                                    hint = hint.min(cached);
+                                    // Park this entry on the bank bound so
+                                    // the pre-pass retires it until the
+                                    // bound expires.
+                                    act_ready_at[i] = cached;
+                                } else {
+                                    let dram = entries.entry(i).dram;
+                                    debug_assert!({
+                                        let open =
+                                            open_rows[b].expect("mask bit set implies open row");
+                                        open != dram.row
+                                            && !entries.has_pending_row_hit(
+                                                rome_hbm::address::DramAddress {
+                                                    channel: dram.channel,
+                                                    bank: dram.bank,
+                                                    row: open,
+                                                    column: 0,
+                                                },
+                                            )
+                                    });
+                                    let cmd = DramCommand::Pre {
+                                        target: CommandTarget::from_bank_address(dram.bank),
+                                    };
+                                    let at = channel.earliest_issue(&cmd, now);
+                                    if at <= now {
+                                        pre = Some(dram.bank);
+                                    } else {
+                                        hint = hint.min(at);
+                                        pre_ready[b] = at;
+                                        act_ready_at[i] = at;
+                                    }
                                 }
                             }
                         }
+                        if act.is_some() {
+                            break 'row;
+                        }
                     }
-                    Some(open)
-                        if open != e.dram.row
+                }
+                let action = if let Some((index, row, _bank)) = act {
+                    Some(RowAction::Act { index, row })
+                } else {
+                    pre.map(|bank| RowAction::Pre { bank })
+                };
+                (action, hint)
+            } else {
+                let use_cache = config.ready_cache;
+                let mut act: Option<(usize, u32, BankAddress)> = None;
+                let mut pre: Option<BankAddress> = None;
+                let mut hint = Cycle::MAX;
+                for i in 0..queue.len() {
+                    let e = *queue.get(i).expect("index in bounds");
+                    let idx = flat_bank_index(&config.organization, e.dram.bank);
+                    if *refresh_reserved_bank == Some(e.dram.bank) {
+                        continue;
+                    }
+                    match open_rows[idx] {
+                        None if act.is_none() => {
+                            // Ready cache: a previously computed ACT bound for
+                            // this entry is a permanent lower bound (ACT timing
+                            // constraints are monotone too), so skip with one
+                            // comparison until its cycle arrives.
+                            if use_cache {
+                                let cached = queue.act_ready_hint_oracle(i);
+                                if cached > now {
+                                    hint = hint.min(cached);
+                                    continue;
+                                }
+                            }
+                            // Rank-scope gate: tRRD/tFAW bound every ACT on
+                            // the rank, so a blocked rank disqualifies all
+                            // of its pending activations with one
+                            // comparison.
+                            let rank_bound = channel.rank_act_bound(e.dram.bank);
+                            if rank_bound > now {
+                                hint = hint.min(rank_bound);
+                                if use_cache {
+                                    queue.set_act_ready_hint_oracle(i, rank_bound);
+                                }
+                            } else {
+                                let cmd = DramCommand::Act {
+                                    target: CommandTarget::from_bank_address(e.dram.bank),
+                                    row: e.dram.row,
+                                };
+                                let at = channel.earliest_issue(&cmd, now);
+                                if at <= now && channel.can_issue(&cmd, now) {
+                                    act = Some((i, e.dram.row, e.dram.bank));
+                                } else {
+                                    let at = at.max(now + 1);
+                                    hint = hint.min(at);
+                                    if use_cache {
+                                        queue.set_act_ready_hint_oracle(i, at);
+                                    }
+                                }
+                            }
+                        }
+                        Some(open)
+                            if open != e.dram.row
                         // Row conflict: precharge, but only if no queued
                         // request still wants the open row (fairness).
                         && pre.is_none() =>
-                    {
-                        let open_addr = rome_hbm::address::DramAddress {
-                            channel: e.dram.channel,
-                            bank: e.dram.bank,
-                            row: open,
-                            column: 0,
-                        };
-                        let still_wanted = queue.has_pending_row_hit(open_addr);
-                        let cmd = DramCommand::Pre {
-                            target: CommandTarget::from_bank_address(e.dram.bank),
-                        };
-                        if !still_wanted {
-                            let at = channel.earliest_issue(&cmd, now);
-                            if at <= now {
-                                pre = Some(e.dram.bank);
-                            } else {
-                                hint = hint.min(at);
+                        {
+                            let open_addr = rome_hbm::address::DramAddress {
+                                channel: e.dram.channel,
+                                bank: e.dram.bank,
+                                row: open,
+                                column: 0,
+                            };
+                            let still_wanted = queue.has_pending_row_hit(open_addr);
+                            let cmd = DramCommand::Pre {
+                                target: CommandTarget::from_bank_address(e.dram.bank),
+                            };
+                            if !still_wanted {
+                                let at = channel.earliest_issue(&cmd, now);
+                                if at <= now {
+                                    pre = Some(e.dram.bank);
+                                } else {
+                                    hint = hint.min(at);
+                                }
                             }
                         }
+                        _ => {}
                     }
-                    _ => {}
+                    if act.is_some() {
+                        break;
+                    }
                 }
-                if act.is_some() {
-                    break;
-                }
+                let action = if let Some((index, row, _bank)) = act {
+                    Some(RowAction::Act { index, row })
+                } else {
+                    pre.map(|bank| RowAction::Pre { bank })
+                };
+                (action, hint)
             }
-            let action = if let Some((index, row, _bank)) = act {
-                Some(RowAction::Act { index, row })
-            } else {
-                pre.map(|bank| RowAction::Pre { bank })
-            };
-            (action, hint)
         };
         if hint != Cycle::MAX {
             self.hint_event(hint);
@@ -878,7 +1308,7 @@ impl ChannelController {
                 };
                 self.channel.issue(cmd, now).expect("checked");
                 let idx = self.bank_index(bank);
-                self.open_rows[idx] = Some(row);
+                self.set_open_row(idx, row);
                 self.stats.row_misses += 1;
                 true
             }
@@ -888,7 +1318,7 @@ impl ChannelController {
                 };
                 self.channel.issue(cmd, now).expect("checked");
                 let idx = self.bank_index(bank);
-                self.open_rows[idx] = None;
+                self.clear_open_row(idx);
                 self.stats.row_conflicts += 1;
                 true
             }
@@ -896,6 +1326,12 @@ impl ChannelController {
         }
     }
 }
+
+/// Block size for the two-phase (branchless pre-pass) SoA scans. The
+/// pre-pass sweeps one block at a time so an issuing tick still exits within
+/// one block of the entry it picks, bounding the extra work versus a
+/// straight one-pass walk to under a block per scan.
+const PREPASS_BLOCK: usize = 32;
 
 /// Flat index of `bank` within one channel of `org` (PC-major, then stack
 /// ID, then bank group).
@@ -980,6 +1416,7 @@ fn column_command(entry: &QueueEntry, auto_precharge: bool) -> DramCommand {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn controller() -> ChannelController {
         ChannelController::new(ControllerConfig::hbm4_baseline())
@@ -1153,5 +1590,138 @@ mod tests {
         }
         assert!(ctrl.stats().idle_cycles > 0);
         assert_eq!(ctrl.stats().total_cycles, 100);
+    }
+
+    /// From-scratch per-bank oracle for every bitmask the data-oriented scans
+    /// consult: rebuilds each mask and count from first principles (the
+    /// entries / the bank slab) and compares it to the incrementally
+    /// maintained copy.
+    fn assert_mask_invariants(ctrl: &ChannelController) {
+        // Controller row-open mask ⇔ its own per-bank open-row mirror.
+        for (b, open) in ctrl.open_rows.iter().enumerate() {
+            let bit = ctrl.open_mask[b >> 6] >> (b & 63) & 1 == 1;
+            assert_eq!(bit, open.is_some(), "controller mask bit {b} diverged");
+        }
+        // Channel row-open mask ⇔ a recount of the physical bank slab, and
+        // the controller's mirror ⇔ the physical open row itself (refresh
+        // only ever issues to precharged banks, so the mirror never lags).
+        let mask = ctrl.channel.open_bank_mask();
+        for (b, bank) in ctrl.channel.banks().enumerate() {
+            let bit = mask[b >> 6] >> (b & 63) & 1 == 1;
+            assert_eq!(bit, bank.is_active(), "channel mask bit {b} diverged");
+            assert_eq!(ctrl.open_rows[b], bank.open_row(), "bank {b} row diverged");
+        }
+        // Queue per-bank counts and pending mask ⇔ a recount of the entries.
+        for queue in [&ctrl.read_queue, &ctrl.write_queue] {
+            let mut counts = vec![0u16; ctrl.indexer.banks()];
+            for e in queue.iter() {
+                counts[ctrl.indexer.flat(e.dram.bank)] += 1;
+            }
+            assert_eq!(
+                queue.bank_counts(),
+                counts.as_slice(),
+                "bank counts diverged"
+            );
+            let mut pending = vec![0u64; counts.len().div_ceil(64)];
+            for (b, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    pending[b >> 6] |= 1 << (b & 63);
+                }
+            }
+            assert_eq!(
+                queue.pending_mask_words(),
+                pending.as_slice(),
+                "pending mask diverged"
+            );
+            // Per-entry row-match / keep-open flags and per-bank
+            // open-row-hit counts ⇔ a from-scratch recompute against the
+            // controller's open rows (the incrementally maintained
+            // adaptive-page-policy state the SoA row scan trusts).
+            let mut hits = vec![0u16; ctrl.indexer.banks()];
+            let mut row_match = Vec::new();
+            for e in queue.iter() {
+                let b = ctrl.indexer.flat(e.dram.bank);
+                let hit = ctrl.open_rows[b] == Some(e.dram.row);
+                row_match.push(hit as u8);
+                hits[b] += hit as u16;
+            }
+            assert_eq!(
+                queue.row_match_flags(),
+                row_match.as_slice(),
+                "row-match flags diverged"
+            );
+            assert_eq!(
+                queue.open_row_hits(),
+                hits.as_slice(),
+                "open-row-hit counts diverged"
+            );
+            let keep: Vec<u8> = queue
+                .iter()
+                .map(|e| {
+                    let b = ctrl.indexer.flat(e.dram.bank);
+                    (ctrl.open_rows[b].is_some() && hits[b] > 0) as u8
+                })
+                .collect();
+            assert_eq!(
+                queue.keep_open_flags(),
+                keep.as_slice(),
+                "keep-open flags diverged"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random enqueue/issue/refresh sequences: after every tick, every
+        /// bitmask the SoA scans consult must match a from-scratch per-bank
+        /// recount, and the SoA and oracle controllers must stay in lockstep.
+        #[test]
+        fn bitmasks_match_a_from_scratch_per_bank_oracle(
+            ops in prop::collection::vec((0u64..512, 0u64..2, 0u64..12), 1..32),
+            refresh_mode in prop::sample::select(vec![RefreshMode::PerBank, RefreshMode::AllBank]),
+        ) {
+            let mut cfg = ControllerConfig::hbm4_with_queue_depth(32);
+            cfg.refresh_mode = refresh_mode;
+            let mut soa = ChannelController::new(cfg.clone());
+            let mut cfg_plain = cfg;
+            cfg_plain.soa = false;
+            let mut plain = ChannelController::new(cfg_plain);
+            let mut done_soa = Vec::new();
+            let mut done_plain = Vec::new();
+            let mut now = 0u64;
+            for (i, &(seed, kind, gap)) in ops.iter().enumerate() {
+                let addr = seed * 32;
+                let req = if kind == 1 {
+                    MemoryRequest::write(i as u64 + 1, addr, 32, now)
+                } else {
+                    MemoryRequest::read(i as u64 + 1, addr, 32, now)
+                };
+                prop_assert_eq!(soa.enqueue(req), plain.enqueue(req));
+                for _ in 0..=gap {
+                    done_soa.extend(soa.tick(now));
+                    done_plain.extend(plain.tick(now));
+                    assert_mask_invariants(&soa);
+                    assert_mask_invariants(&plain);
+                    now += 1;
+                }
+            }
+            // Long idle drain so refreshes fire and banks close while the
+            // oracle keeps checking every mutation point.
+            let mut idle = 0u32;
+            while (!soa.is_idle() || idle < 8_000) && now < 60_000 {
+                if soa.is_idle() {
+                    idle += 1;
+                }
+                done_soa.extend(soa.tick(now));
+                done_plain.extend(plain.tick(now));
+                assert_mask_invariants(&soa);
+                assert_mask_invariants(&plain);
+                now += 1;
+            }
+            prop_assert_eq!(done_soa, done_plain);
+            prop_assert_eq!(soa.stats().refreshes_issued, plain.stats().refreshes_issued);
+            prop_assert!(soa.stats().refreshes_issued > 0);
+        }
     }
 }

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::controller::{ChannelController, ControllerConfig, SchedulingPolicy};
     pub use crate::mapping::{AddressMapping, MappingField, MappingScheme};
     pub use crate::page_policy::PagePolicy;
-    pub use crate::queue::RequestQueue;
+    pub use crate::queue::{BankIndexer, RequestQueue};
     pub use crate::request::{MemoryRequest, RequestId, RequestKind};
     pub use crate::simulate::{run_to_completion, SimulationReport};
     pub use crate::stats::ControllerStats;

@@ -6,12 +6,27 @@
 //! bounded capacity, oldest-first iteration, and lookup by DRAM coordinates.
 //! The queue size is one of the five components the paper's Table IV claims
 //! RoMe shrinks, so occupancy statistics are tracked here.
-
-use std::collections::VecDeque;
+//!
+//! # Data-oriented layout
+//!
+//! The queue is stored struct-of-arrays. The FR-FCFS scan only needs a few
+//! fields per entry — the cached ready bounds, the flat bank index, and the
+//! row — so those live in parallel position-indexed POD arrays (`ready_at`,
+//! `act_ready_at`, `bank`, `row`, `chan`) that the scan walks linearly with
+//! no pointer chasing and no 64-byte entry loads for skipped entries. The
+//! full [`QueueEntry`] payloads live in a stable *arena* (slab with a free
+//! list); positions hold only the arena slot number, so removing an entry
+//! shifts a handful of small POD arrays (cheap memmoves) while the payloads
+//! never move. A per-bank occupancy count plus a bank bitmask (`bank_count`,
+//! `pending_mask`; bit `b` set iff `bank_count[b] > 0`) answers the
+//! "anything pending for this bank?" CAM queries with one word test in the
+//! common negative case. Every array is plain-old-data, so checkpointing or
+//! forking a queue is a few memcpys.
 
 use serde::{Deserialize, Serialize};
 
-use rome_hbm::address::DramAddress;
+use rome_hbm::address::{BankAddress, DramAddress};
+use rome_hbm::organization::Organization;
 use rome_hbm::units::Cycle;
 
 use crate::request::{MemoryRequest, RequestKind};
@@ -25,29 +40,154 @@ pub struct QueueEntry {
     pub dram: DramAddress,
 }
 
-/// One queue slot: the entry plus its ready-cache bounds. Keeping the
-/// bounds inside the slot (rather than in parallel containers) makes it
-/// impossible for an entry and its cached bounds to fall out of alignment.
+/// Maps [`BankAddress`]es to flat per-channel bank indices (PC-major, then
+/// stack ID, then bank group) so queue and controller agree on one bank
+/// numbering. Copyable so the queue can own one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct QueueSlot {
+pub struct BankIndexer {
+    per_pc: u32,
+    per_sid: u32,
+    banks_per_group: u32,
+    banks: u32,
+}
+
+impl BankIndexer {
+    /// Build the indexer for one channel of `org`.
+    pub fn new(org: &Organization) -> Self {
+        BankIndexer {
+            per_pc: org.banks_per_pseudo_channel(),
+            per_sid: (org.bank_groups * org.banks_per_group) as u32,
+            banks_per_group: org.banks_per_group as u32,
+            banks: org.banks_per_channel(),
+        }
+    }
+
+    /// Flat index of `bank` within the channel.
+    #[inline]
+    pub fn flat(&self, bank: BankAddress) -> usize {
+        (bank.pseudo_channel as u32 * self.per_pc
+            + bank.stack_id as u32 * self.per_sid
+            + bank.bank_group as u32 * self.banks_per_group
+            + bank.bank as u32) as usize
+    }
+
+    /// Number of banks in the channel.
+    pub fn banks(&self) -> usize {
+        self.banks as usize
+    }
+
+    /// The pseudo channel a flat bank index belongs to.
+    #[inline]
+    pub fn pseudo_channel_of(&self, flat: usize) -> usize {
+        flat / self.per_pc as usize
+    }
+
+    /// The rank (pseudo channel × stack ID) a flat bank index belongs to.
+    /// Flat indices are PC-major then SID-major, so ranks are contiguous
+    /// runs of `per_sid` banks.
+    #[inline]
+    pub fn rank_of(&self, flat: usize) -> usize {
+        flat / self.per_sid as usize
+    }
+
+    /// Number of ranks in the channel.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        (self.banks / self.per_sid) as usize
+    }
+
+    /// A representative bank address in the same rank as `flat` (bank group
+    /// and bank zeroed). Rank-scoped constraint queries give the same answer
+    /// for every bank in the rank, so this suffices to probe them.
+    #[inline]
+    pub fn rank_address(&self, flat: usize) -> BankAddress {
+        let pc = flat / self.per_pc as usize;
+        let sid = (flat % self.per_pc as usize) / self.per_sid as usize;
+        BankAddress::new(pc as u8, sid as u8, 0, 0)
+    }
+}
+
+/// One arena slot: the entry plus the *oracle* scan's ready-cache bounds.
+/// This is the pre-SoA array-of-structs layout, kept so the compiled-in
+/// oracle scan (`soa: false`) exercises the original memory-access pattern:
+/// it reads and writes these fields through the position→slot indirection,
+/// while the SoA scan uses the packed `ready_at`/`act_ready_at` arrays. The
+/// two hint stores are independent memoization caches — every value written
+/// to either is a valid lower bound for the entry's lifetime, and an unset
+/// (0) hint merely costs a re-probe — so the paths need no cross-
+/// synchronization to stay bit-identical.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct ArenaSlot {
     entry: QueueEntry,
+    /// Oracle copy of the cached column-ready bound (0 = unknown).
+    ready_at: Cycle,
+    /// Oracle copy of the cached ACT-ready bound (0 = unknown).
+    act_ready_at: Cycle,
+}
+
+/// A bounded, age-ordered request queue with CAM-style lookups, stored
+/// struct-of-arrays (see the module docs for the layout).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestQueue {
+    indexer: BankIndexer,
+    capacity: usize,
+    // --- Hot, position-indexed, age-ordered parallel arrays. Index i is
+    // the i-th oldest entry; all five shift together on removal. ---
     /// Cached lower bound on the earliest cycle the entry's column command
     /// can issue (0 = unknown). Because DRAM timing constraints only ever
     /// move *later* as commands are recorded, a bound computed once stays a
     /// valid lower bound for the entry's lifetime, so the FR-FCFS scan can
     /// skip the entry with one comparison until its cached cycle arrives
     /// instead of re-evaluating the full constraint engine every tick.
-    ready_at: Cycle,
+    ready_at: Vec<Cycle>,
     /// Cached lower bound on the earliest cycle an ACT for the entry's bank
     /// can issue (0 = unknown). Same monotonicity argument as `ready_at`.
-    act_ready_at: Cycle,
-}
-
-/// A bounded, age-ordered request queue with CAM-style lookups.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RequestQueue {
-    entries: VecDeque<QueueSlot>,
-    capacity: usize,
+    act_ready_at: Vec<Cycle>,
+    /// Flat bank index of the entry's target bank.
+    bank: Vec<u16>,
+    /// The entry's target row.
+    row: Vec<u32>,
+    /// The entry's channel id (CAM queries compare it; see
+    /// [`RequestQueue::has_pending_for_bank`]).
+    chan: Vec<u16>,
+    /// 1 iff the entry's bank currently has the entry's row open (an
+    /// incrementally maintained copy of the scheduler's row-hit predicate;
+    /// see [`RequestQueue::note_act`]). Lets the scans test "row hit" with
+    /// one byte load instead of a mask word plus an open-row compare.
+    row_match: Vec<u8>,
+    /// 1 iff the entry's bank is open AND some queued entry still wants the
+    /// open row (`hits_open[bank] > 0`), i.e. the adaptive page policy
+    /// forbids precharging it. Maintained at the same mutation points as
+    /// `row_match` (plus the 0↔>0 transitions of `hits_open` on
+    /// push/remove), so the row scan's pre-pass can retire these entries
+    /// with one position-indexed byte load instead of a per-bank gather.
+    keep_open: Vec<u8>,
+    /// Arena slot holding the entry's full payload.
+    slot: Vec<u32>,
+    // --- Cold arena: stable-index slab of full payloads plus the oracle
+    // scan's hint fields (the pre-SoA array-of-structs layout). ---
+    arena: Vec<ArenaSlot>,
+    /// Free arena slots available for reuse.
+    free: Vec<u32>,
+    // --- Per-bank occupancy (flat bank index). ---
+    /// Number of queued entries targeting each bank.
+    bank_count: Vec<u16>,
+    /// Bit `b` set iff `bank_count[b] > 0` (word `b >> 6`, bit `b & 63`).
+    pending_mask: Vec<u64>,
+    /// Number of queued entries whose row matches the bank's open row
+    /// (`hits_open[b]` = count of set `row_match` flags among bank `b`'s
+    /// entries; 0 whenever the bank is closed). `hits_open[b] > 0` answers
+    /// the adaptive-page-policy CAM query ("does any queued entry still
+    /// want the open row?") in O(1), replacing a full-queue walk per probe.
+    hits_open: Vec<u16>,
+    /// Mirror of the scheduler's open-row state (bit `b & 63` of word
+    /// `b >> 6` set iff bank `b` has a row open), maintained via
+    /// [`RequestQueue::note_act`] / [`RequestQueue::note_pre`] so `push`
+    /// can compute `row_match` for new entries without asking the
+    /// controller.
+    open_mask: Vec<u64>,
+    /// The open row per bank (valid only where the `open_mask` bit is set).
+    open_row: Vec<u32>,
     /// Sum of occupancy samples (one per `sample_occupancy` call).
     occupancy_sum: u64,
     /// Number of occupancy samples taken.
@@ -56,17 +196,109 @@ pub struct RequestQueue {
     peak_occupancy: usize,
 }
 
+/// Split-borrow view over one queue's hot arrays, handed to the SoA
+/// scheduler scans (see [`RequestQueue::scan_view`]). The hint slices are
+/// mutable (scans memoize bounds in place); everything else is shared.
+pub struct ScanView<'a> {
+    /// Cached column-ready bounds (0 = unknown), position-indexed.
+    pub ready_at: &'a mut [Cycle],
+    /// Cached ACT-ready bounds (0 = unknown), position-indexed.
+    pub act_ready_at: &'a mut [Cycle],
+    /// Flat bank index per entry.
+    pub bank: &'a [u16],
+    /// Target row per entry.
+    pub row: &'a [u32],
+    /// 1 iff the entry's row is open in its bank (incrementally maintained;
+    /// see [`RequestQueue::note_act`]).
+    pub row_match: &'a [u8],
+    /// Per-bank count of entries matching the bank's open row (the O(1)
+    /// adaptive-page-policy CAM; see the field docs on `RequestQueue`).
+    pub hits_open: &'a [u16],
+    /// 1 iff the entry's bank is open and the adaptive page policy forbids
+    /// precharging it (some entry wants the open row). Position-indexed
+    /// mirror of `hits_open[bank] > 0`, so the row-scan pre-pass never
+    /// gathers per-bank state.
+    pub keep_open: &'a [u8],
+    /// Payload and CAM lookups (shared refs, so it stays usable while the
+    /// hint slices above are borrowed mutably).
+    pub entries: EntryView<'a>,
+}
+
+/// Shared-ref companion to [`ScanView`]: the lookups a scan needs beyond
+/// the hot arrays — entry payloads through the position→slot indirection
+/// and the CAM queries.
+#[derive(Clone, Copy)]
+pub struct EntryView<'a> {
+    bank: &'a [u16],
+    row: &'a [u32],
+    chan: &'a [u16],
+    slot: &'a [u32],
+    arena: &'a [ArenaSlot],
+    bank_count: &'a [u16],
+    indexer: BankIndexer,
+}
+
+impl EntryView<'_> {
+    /// The full payload of the entry at `index` (cold arena load).
+    #[inline]
+    pub fn entry(&self, index: usize) -> &QueueEntry {
+        &self.arena[self.slot[index] as usize].entry
+    }
+
+    /// Same predicate as [`RequestQueue::has_pending_row_hit`], evaluated
+    /// branchlessly (an OR-fold over the packed arrays instead of an
+    /// early-exit `any`), which lets the compiler vectorize the walk — the
+    /// common answer in a dense scan is "no hit", which costs a full walk
+    /// either way.
+    #[inline]
+    pub fn has_pending_row_hit(&self, addr: DramAddress) -> bool {
+        let flat = self.indexer.flat(addr.bank);
+        if self.bank_count[flat] == 0 {
+            return false;
+        }
+        let flat = flat as u16;
+        let n = self.slot.len();
+        let (bank, chan, row) = (&self.bank[..n], &self.chan[..n], &self.row[..n]);
+        let mut hit = false;
+        for i in 0..n {
+            hit |= (bank[i] == flat) & (chan[i] == addr.channel) & (row[i] == addr.row);
+        }
+        hit
+    }
+}
+
 impl RequestQueue {
-    /// Create a queue holding at most `capacity` entries.
+    /// Create a queue holding at most `capacity` entries, indexing banks via
+    /// `indexer`.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize, indexer: BankIndexer) -> Self {
         assert!(capacity > 0, "request queue capacity must be non-zero");
+        assert!(
+            capacity <= u16::MAX as usize,
+            "request queue capacity exceeds per-bank counter range"
+        );
+        let banks = indexer.banks();
         RequestQueue {
-            entries: VecDeque::with_capacity(capacity),
+            indexer,
             capacity,
+            ready_at: Vec::with_capacity(capacity),
+            act_ready_at: Vec::with_capacity(capacity),
+            bank: Vec::with_capacity(capacity),
+            row: Vec::with_capacity(capacity),
+            chan: Vec::with_capacity(capacity),
+            slot: Vec::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            row_match: Vec::with_capacity(capacity),
+            keep_open: Vec::with_capacity(capacity),
+            bank_count: vec![0; banks],
+            pending_mask: vec![0; banks.div_ceil(64)],
+            hits_open: vec![0; banks],
+            open_mask: vec![0; banks.div_ceil(64)],
+            open_row: vec![0; banks],
             occupancy_sum: 0,
             occupancy_samples: 0,
             peak_occupancy: 0,
@@ -80,17 +312,17 @@ impl RequestQueue {
 
     /// Current number of queued entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slot.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slot.is_empty()
     }
 
     /// Whether the queue is full.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.slot.len() >= self.capacity
     }
 
     /// Attempt to enqueue an entry; returns `false` (and leaves the entry
@@ -99,90 +331,335 @@ impl RequestQueue {
         if self.is_full() {
             return false;
         }
-        self.entries.push_back(QueueSlot {
+        let flat = self.indexer.flat(entry.dram.bank);
+        let slot = ArenaSlot {
             entry,
             ready_at: 0,
             act_ready_at: 0,
-        });
-        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.arena[s as usize] = slot;
+                s
+            }
+            None => {
+                self.arena.push(slot);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.ready_at.push(0);
+        self.act_ready_at.push(0);
+        self.bank.push(flat as u16);
+        self.row.push(entry.dram.row);
+        self.chan.push(entry.dram.channel);
+        let open = self.open_mask[flat >> 6] >> (flat & 63) & 1 == 1;
+        let hit = open && self.open_row[flat] == entry.dram.row;
+        if hit && self.hits_open[flat] == 0 {
+            // First pending hit on this open bank: the bank's existing
+            // entries flip from "may precharge" to "keep open".
+            let n = self.slot.len();
+            let (bank, keep_open) = (&self.bank[..n], &mut self.keep_open[..n]);
+            let flat16 = flat as u16;
+            for i in 0..n {
+                keep_open[i] |= (bank[i] == flat16) as u8;
+            }
+        }
+        self.row_match.push(hit as u8);
+        self.hits_open[flat] += hit as u16;
+        self.keep_open
+            .push((open && self.hits_open[flat] > 0) as u8);
+        self.slot.push(slot);
+        self.bank_count[flat] += 1;
+        self.pending_mask[flat >> 6] |= 1 << (flat & 63);
+        self.peak_occupancy = self.peak_occupancy.max(self.slot.len());
         true
+    }
+
+    /// Record that the scheduler opened `row` in flat bank `flat`: refresh
+    /// the per-entry `row_match` flags for that bank and its open-row-hit
+    /// count. Must be called for every row activation (the controller's
+    /// `set_open_row` is the single such mutation point) on both queues, so
+    /// the flags stay exact regardless of which queue is being scanned.
+    /// One branchless pass over the packed arrays — the same cost class as
+    /// the position shifts `remove` already performs, paid only on the rare
+    /// ACT, not per scan.
+    pub fn note_act(&mut self, flat: usize, row: u32) {
+        self.open_mask[flat >> 6] |= 1 << (flat & 63);
+        self.open_row[flat] = row;
+        if self.bank_count[flat] == 0 {
+            self.hits_open[flat] = 0;
+            return;
+        }
+        let n = self.slot.len();
+        let (bank, rows) = (&self.bank[..n], &self.row[..n]);
+        let flat16 = flat as u16;
+        let mut hits = 0u16;
+        for i in 0..n {
+            hits += ((bank[i] == flat16) & (rows[i] == row)) as u16;
+        }
+        let keep = (hits > 0) as u8;
+        let (row_match, keep_open) = (&mut self.row_match[..n], &mut self.keep_open[..n]);
+        for i in 0..n {
+            let same = bank[i] == flat16;
+            let hit = same & (rows[i] == row);
+            row_match[i] = (row_match[i] & !(same as u8)) | hit as u8;
+            keep_open[i] = (keep_open[i] & !(same as u8)) | (same as u8 & keep);
+        }
+        self.hits_open[flat] = hits;
+    }
+
+    /// Record that the scheduler closed flat bank `flat` (PRE or refresh):
+    /// clear the bank's `row_match` flags and open-row-hit count. See
+    /// [`RequestQueue::note_act`] for the maintenance contract.
+    pub fn note_pre(&mut self, flat: usize) {
+        self.open_mask[flat >> 6] &= !(1 << (flat & 63));
+        if self.bank_count[flat] != 0 {
+            let n = self.slot.len();
+            let (bank, row_match, keep_open) = (
+                &self.bank[..n],
+                &mut self.row_match[..n],
+                &mut self.keep_open[..n],
+            );
+            let flat16 = flat as u16;
+            for i in 0..n {
+                let other = (bank[i] != flat16) as u8;
+                row_match[i] &= other;
+                keep_open[i] &= other;
+            }
+        }
+        self.hits_open[flat] = 0;
     }
 
     /// The entry at `index` (oldest first), if any.
     pub fn get(&self, index: usize) -> Option<&QueueEntry> {
-        self.entries.get(index).map(|s| &s.entry)
+        self.slot.get(index).map(|&s| &self.arena[s as usize].entry)
     }
 
     /// The cached ready bound of the entry at `index` (0 = unknown).
+    #[inline]
     pub fn ready_hint(&self, index: usize) -> Cycle {
-        self.entries.get(index).map_or(0, |s| s.ready_at)
+        self.ready_at.get(index).copied().unwrap_or(0)
     }
 
     /// Cache a lower bound on the earliest issue cycle of the entry at
     /// `index`. The bound must remain valid for the lifetime of the entry
     /// (DRAM timing constraints are monotone, so any bound read from the
     /// constraint engine qualifies).
+    #[inline]
     pub fn set_ready_hint(&mut self, index: usize, at: Cycle) {
-        if let Some(slot) = self.entries.get_mut(index) {
-            slot.ready_at = at;
+        if let Some(r) = self.ready_at.get_mut(index) {
+            *r = at;
         }
     }
 
     /// The cached ACT-ready bound of the entry at `index` (0 = unknown).
+    #[inline]
     pub fn act_ready_hint(&self, index: usize) -> Cycle {
-        self.entries.get(index).map_or(0, |s| s.act_ready_at)
+        self.act_ready_at.get(index).copied().unwrap_or(0)
     }
 
     /// Cache a lower bound on the earliest ACT issue cycle for the entry at
     /// `index` (see [`RequestQueue::set_ready_hint`] for the validity
     /// argument).
+    #[inline]
     pub fn set_act_ready_hint(&mut self, index: usize, at: Cycle) {
-        if let Some(slot) = self.entries.get_mut(index) {
-            slot.act_ready_at = at;
+        if let Some(r) = self.act_ready_at.get_mut(index) {
+            *r = at;
         }
+    }
+
+    /// Oracle-layout copy of the ready bound for the entry at `index`,
+    /// stored inside the entry's arena slot (0 = unknown). Used only by the
+    /// compiled-in oracle scan; independent of the packed-array hints (see
+    /// the docs on the private `ArenaSlot` type).
+    #[inline]
+    pub fn ready_hint_oracle(&self, index: usize) -> Cycle {
+        self.slot
+            .get(index)
+            .map_or(0, |&s| self.arena[s as usize].ready_at)
+    }
+
+    /// Cache a ready bound in the oracle (arena-slot) hint store.
+    #[inline]
+    pub fn set_ready_hint_oracle(&mut self, index: usize, at: Cycle) {
+        if let Some(&s) = self.slot.get(index) {
+            self.arena[s as usize].ready_at = at;
+        }
+    }
+
+    /// Oracle-layout copy of the ACT-ready bound for the entry at `index`
+    /// (see [`RequestQueue::ready_hint_oracle`]).
+    #[inline]
+    pub fn act_ready_hint_oracle(&self, index: usize) -> Cycle {
+        self.slot
+            .get(index)
+            .map_or(0, |&s| self.arena[s as usize].act_ready_at)
+    }
+
+    /// Cache an ACT-ready bound in the oracle (arena-slot) hint store.
+    #[inline]
+    pub fn set_act_ready_hint_oracle(&mut self, index: usize, at: Cycle) {
+        if let Some(&s) = self.slot.get(index) {
+            self.arena[s as usize].act_ready_at = at;
+        }
+    }
+
+    /// The flat bank index of the entry at `index` (hot array; no arena
+    /// load). The index must be in bounds.
+    #[inline]
+    pub fn bank_at(&self, index: usize) -> usize {
+        self.bank[index] as usize
+    }
+
+    /// The target row of the entry at `index` (hot array; no arena load).
+    /// The index must be in bounds.
+    #[inline]
+    pub fn row_at(&self, index: usize) -> u32 {
+        self.row[index]
     }
 
     /// Iterate over the entries from oldest to youngest.
     pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
-        self.entries.iter().map(|s| &s.entry)
+        self.slot
+            .iter()
+            .map(move |&s| &self.arena[s as usize].entry)
     }
 
     /// The oldest entry, if any.
     pub fn oldest(&self) -> Option<&QueueEntry> {
-        self.entries.front().map(|s| &s.entry)
+        self.slot.first().map(|&s| &self.arena[s as usize].entry)
     }
 
     /// Find the oldest entry matching `pred` and return its position.
     pub fn find_oldest<F: Fn(&QueueEntry) -> bool>(&self, pred: F) -> Option<usize> {
-        self.entries.iter().position(|s| pred(&s.entry))
+        self.slot
+            .iter()
+            .position(|&s| pred(&self.arena[s as usize].entry))
     }
 
     /// Remove and return the entry at `index` (as returned by
-    /// [`RequestQueue::find_oldest`]).
+    /// [`RequestQueue::find_oldest`]). Shifts the hot arrays; the payload
+    /// stays put and its arena slot is recycled.
     pub fn remove(&mut self, index: usize) -> Option<QueueEntry> {
-        self.entries.remove(index).map(|s| s.entry)
+        if index >= self.slot.len() {
+            return None;
+        }
+        self.ready_at.remove(index);
+        self.act_ready_at.remove(index);
+        let flat = self.bank.remove(index) as usize;
+        self.row.remove(index);
+        self.chan.remove(index);
+        let hit = self.row_match.remove(index);
+        self.keep_open.remove(index);
+        self.hits_open[flat] -= hit as u16;
+        if hit == 1 && self.hits_open[flat] == 0 {
+            // Last pending hit gone: the bank's remaining entries may
+            // precharge again.
+            let n = self.slot.len() - 1;
+            let (bank, keep_open) = (&self.bank[..n], &mut self.keep_open[..n]);
+            let flat16 = flat as u16;
+            for i in 0..n {
+                keep_open[i] &= (bank[i] != flat16) as u8;
+            }
+        }
+        let slot = self.slot.remove(index);
+        self.bank_count[flat] -= 1;
+        if self.bank_count[flat] == 0 {
+            self.pending_mask[flat >> 6] &= !(1 << (flat & 63));
+        }
+        self.free.push(slot);
+        Some(self.arena[slot as usize].entry)
     }
 
     /// Whether any queued entry targets the same bank and row as `addr`
     /// (used by the adaptive page policy to decide whether to keep a row
-    /// open).
+    /// open). One mask-word test answers the common negative case; only a
+    /// non-empty bank walks the packed arrays.
     pub fn has_pending_row_hit(&self, addr: DramAddress) -> bool {
-        self.entries.iter().any(|s| {
-            let e = &s.entry;
-            e.dram.channel == addr.channel && e.dram.bank == addr.bank && e.dram.row == addr.row
+        let flat = self.indexer.flat(addr.bank);
+        if self.bank_count[flat] == 0 {
+            return false;
+        }
+        let flat = flat as u16;
+        (0..self.slot.len()).any(|i| {
+            self.bank[i] == flat && self.chan[i] == addr.channel && self.row[i] == addr.row
         })
     }
 
     /// Whether any queued entry targets the given bank.
     pub fn has_pending_for_bank(&self, addr: DramAddress) -> bool {
-        self.entries
-            .iter()
-            .any(|s| s.entry.dram.channel == addr.channel && s.entry.dram.bank == addr.bank)
+        let flat = self.indexer.flat(addr.bank);
+        if self.bank_count[flat] == 0 {
+            return false;
+        }
+        let flat = flat as u16;
+        (0..self.slot.len()).any(|i| self.bank[i] == flat && self.chan[i] == addr.channel)
+    }
+
+    /// Split-borrow view over the hot parallel arrays for one scheduler
+    /// scan. Handing the scan loop plain slices (grabbed once) instead of
+    /// accessor calls on `&mut self` lets the compiler keep the array base
+    /// pointers in registers and hoist the bounds checks out of the
+    /// per-entry loop — through `&mut self` accessors it must reload them
+    /// every iteration, because any such call could in principle reallocate
+    /// the Vecs.
+    pub fn scan_view(&mut self) -> ScanView<'_> {
+        ScanView {
+            ready_at: &mut self.ready_at,
+            act_ready_at: &mut self.act_ready_at,
+            bank: &self.bank,
+            row: &self.row,
+            row_match: &self.row_match,
+            hits_open: &self.hits_open,
+            keep_open: &self.keep_open,
+            entries: EntryView {
+                bank: &self.bank,
+                row: &self.row,
+                chan: &self.chan,
+                slot: &self.slot,
+                arena: &self.arena,
+                bank_count: &self.bank_count,
+                indexer: self.indexer,
+            },
+        }
+    }
+
+    /// Per-bank occupancy count (flat bank index order). Exposed so oracle
+    /// tests can cross-check the counts against a from-scratch recount.
+    pub fn bank_counts(&self) -> &[u16] {
+        &self.bank_count
+    }
+
+    /// Bank-occupancy bitmask words (flat bank index order; bit `b & 63` of
+    /// word `b >> 6` is set iff `bank_counts()[b] > 0`). Exposed so oracle
+    /// tests can cross-check the mask against a from-scratch recount.
+    pub fn pending_mask_words(&self) -> &[u64] {
+        &self.pending_mask
+    }
+
+    /// Per-entry row-match flags (position order; 1 iff the entry's row is
+    /// open in its bank). Exposed so oracle tests can cross-check the
+    /// incrementally maintained flags against a from-scratch recompute.
+    pub fn row_match_flags(&self) -> &[u8] {
+        &self.row_match
+    }
+
+    /// Per-bank open-row-hit counts (flat bank index order). Exposed so
+    /// oracle tests can cross-check against a from-scratch recount.
+    pub fn open_row_hits(&self) -> &[u16] {
+        &self.hits_open
+    }
+
+    /// Per-entry keep-open flags (position order; 1 iff the entry's bank is
+    /// open and still has a pending open-row hit). Exposed so oracle tests
+    /// can cross-check against a from-scratch recompute.
+    pub fn keep_open_flags(&self) -> &[u8] {
+        &self.keep_open
     }
 
     /// Record an occupancy sample (typically once per scheduling cycle).
     pub fn sample_occupancy(&mut self) {
-        self.occupancy_sum += self.entries.len() as u64;
+        self.occupancy_sum += self.slot.len() as u64;
         self.occupancy_samples += 1;
     }
 
@@ -202,25 +679,28 @@ impl RequestQueue {
 
     /// Age (in ns) of the oldest entry relative to `now`, or 0 if empty.
     pub fn oldest_age(&self, now: Cycle) -> Cycle {
-        self.entries
-            .front()
-            .map(|s| now.saturating_sub(s.entry.request.arrival))
+        self.oldest()
+            .map(|e| now.saturating_sub(e.request.arrival))
             .unwrap_or(0)
     }
 
     /// Count entries of the given kind.
     pub fn count_kind(&self, kind: RequestKind) -> usize {
-        self.entries
-            .iter()
-            .filter(|s| s.entry.request.kind == kind)
-            .count()
+        self.iter().filter(|e| e.request.kind == kind).count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rome_hbm::address::BankAddress;
+
+    fn indexer() -> BankIndexer {
+        BankIndexer::new(&Organization::hbm4())
+    }
+
+    fn queue(capacity: usize) -> RequestQueue {
+        RequestQueue::new(capacity, indexer())
+    }
 
     fn entry(id: u64, addr: u64, row: u32, bank: u8, arrival: Cycle) -> QueueEntry {
         QueueEntry {
@@ -231,7 +711,7 @@ mod tests {
 
     #[test]
     fn capacity_is_enforced() {
-        let mut q = RequestQueue::new(2);
+        let mut q = queue(2);
         assert!(q.push(entry(1, 0, 0, 0, 0)));
         assert!(q.push(entry(2, 32, 0, 0, 0)));
         assert!(q.is_full());
@@ -243,12 +723,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
-        RequestQueue::new(0);
+        queue(0);
     }
 
     #[test]
     fn oldest_first_ordering_and_removal() {
-        let mut q = RequestQueue::new(8);
+        let mut q = queue(8);
         q.push(entry(1, 0, 0, 0, 10));
         q.push(entry(2, 32, 1, 1, 20));
         q.push(entry(3, 64, 0, 0, 30));
@@ -262,7 +742,7 @@ mod tests {
 
     #[test]
     fn row_hit_and_bank_lookups() {
-        let mut q = RequestQueue::new(8);
+        let mut q = queue(8);
         q.push(entry(1, 0, 7, 2, 0));
         let same_row = DramAddress::new(0, BankAddress::new(0, 0, 0, 2), 7, 5);
         let other_row = DramAddress::new(0, BankAddress::new(0, 0, 0, 2), 8, 5);
@@ -275,7 +755,7 @@ mod tests {
 
     #[test]
     fn occupancy_statistics() {
-        let mut q = RequestQueue::new(4);
+        let mut q = queue(4);
         q.sample_occupancy();
         q.push(entry(1, 0, 0, 0, 0));
         q.push(entry(2, 32, 0, 0, 0));
@@ -288,10 +768,66 @@ mod tests {
 
     #[test]
     fn empty_queue_defaults() {
-        let q = RequestQueue::new(1);
+        let q = queue(1);
         assert!(q.is_empty());
         assert_eq!(q.mean_occupancy(), 0.0);
         assert_eq!(q.oldest_age(55), 0);
         assert!(q.oldest().is_none());
+    }
+
+    #[test]
+    fn hot_arrays_track_entries_through_churn() {
+        // Push/remove churn with arena-slot reuse: the packed bank/row
+        // arrays, per-bank counts, and mask must stay aligned with the
+        // arena-backed entries at every step.
+        let mut q = queue(8);
+        let check = |q: &RequestQueue| {
+            let mut counts = vec![0u16; q.indexer.banks()];
+            for (i, e) in q.iter().enumerate() {
+                let flat = q.indexer.flat(e.dram.bank);
+                assert_eq!(q.bank_at(i), flat);
+                assert_eq!(q.row_at(i), e.dram.row);
+                counts[flat] += 1;
+            }
+            assert_eq!(q.bank_counts(), counts.as_slice());
+            for (w, word) in q.pending_mask_words().iter().enumerate() {
+                for b in 0..64 {
+                    let flat = w * 64 + b;
+                    let expect = flat < counts.len() && counts[flat] > 0;
+                    assert_eq!(word >> b & 1 == 1, expect, "mask bit {flat}");
+                }
+            }
+        };
+        for i in 0..6u64 {
+            q.push(entry(i, i * 32, (i % 3) as u32, (i % 4) as u8, i));
+            check(&q);
+        }
+        for _ in 0..3 {
+            q.remove(1);
+            check(&q);
+        }
+        for i in 6..10u64 {
+            q.push(entry(i, i * 32, 9, (i % 2) as u8, i));
+            check(&q);
+        }
+        while !q.is_empty() {
+            q.remove(q.len() - 1);
+            check(&q);
+        }
+    }
+
+    #[test]
+    fn ready_hints_follow_their_entry_positions() {
+        let mut q = queue(4);
+        q.push(entry(1, 0, 0, 0, 0));
+        q.push(entry(2, 32, 1, 1, 0));
+        q.push(entry(3, 64, 2, 2, 0));
+        q.set_ready_hint(1, 500);
+        q.set_act_ready_hint(2, 700);
+        // Removing position 0 shifts the hints down with their entries.
+        q.remove(0);
+        assert_eq!(q.ready_hint(0), 500);
+        assert_eq!(q.act_ready_hint(1), 700);
+        assert_eq!(q.ready_hint(1), 0);
     }
 }

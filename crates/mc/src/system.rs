@@ -179,6 +179,16 @@ impl MemorySystem {
         self.inner.set_calendar(enabled);
     }
 
+    /// Enable or disable the data-oriented (struct-of-arrays) FR-FCFS scans
+    /// on every channel controller (enabled by default); results are
+    /// bit-identical either way, only cost differs. See
+    /// [`ChannelController::set_soa`].
+    pub fn set_soa(&mut self, enabled: bool) {
+        for c in self.inner.controllers_mut() {
+            c.set_soa(enabled);
+        }
+    }
+
     /// Run until all submitted requests complete or `max_ns` elapses; returns
     /// the completions (sorted by completion time, then id) and the cycle the
     /// run stopped at. Channels run their event-driven loops in parallel; see

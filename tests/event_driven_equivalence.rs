@@ -9,11 +9,14 @@
 //! (`rome::engine::simulate::run_with_limit`), instantiated per controller
 //! via the `MemoryController` trait.
 //!
-//! The conventional comparisons additionally pin the FR-FCFS *ready cache*:
-//! the stepped baseline runs with the cache disabled (the pre-cache
-//! scheduler) while the event-driven run keeps it enabled, so any cached
-//! bound that changed a single scheduling decision would surface as a
-//! report mismatch here.
+//! The conventional comparisons additionally pin the FR-FCFS *ready cache*
+//! and the *data-oriented (SoA) scans*: the stepped baseline runs with the
+//! cache and the SoA path disabled (the original per-entry scheduler) while
+//! the event-driven run keeps both enabled, so any cached bound or packed
+//! bitmask test that changed a single scheduling decision would surface as
+//! a report mismatch here. A further arm re-runs the event-driven driver
+//! with SoA off to pin that the oracle scan is inert under the fast driver
+//! too.
 //!
 //! The multi-channel comparisons likewise pin the *event calendar*: the
 //! cycle-stepped baseline system runs with the calendar disabled (the
@@ -62,25 +65,39 @@ fn assert_mc_equivalent(
     max_ns: u64,
     label: &str,
 ) {
-    // Event-driven with the ready cache (the default configuration)…
+    // Event-driven with the ready cache and SoA scans (the default
+    // configuration)…
     let mut cached_cfg = cfg.clone();
     cached_cfg.ready_cache = true;
-    let mut event = ChannelController::new(cached_cfg);
-    // …against the cycle-stepped loop with the cache disabled: the
-    // pre-ready-cache scheduler, re-evaluating every candidate every tick.
+    cached_cfg.soa = true;
+    let mut event = ChannelController::new(cached_cfg.clone());
+    // …against the cycle-stepped loop with both disabled: the original
+    // per-entry scheduler, re-evaluating every candidate every tick.
     let mut plain_cfg = cfg;
     plain_cfg.ready_cache = false;
+    plain_cfg.soa = false;
     let mut stepped = ChannelController::new(plain_cfg.clone());
     let mut event_plain = ChannelController::new(plain_cfg);
+    // …and the event-driven driver with only SoA off (ready cache on): the
+    // oracle scan under the fast driver.
+    let mut soa_off_cfg = cached_cfg;
+    soa_off_cfg.soa = false;
+    let mut event_soa_off = ChannelController::new(soa_off_cfg);
 
     let fast = mc_simulate::run_with_limit(&mut event, requests.clone(), max_ns);
     let slow = mc_simulate::run_with_limit_stepped(&mut stepped, requests.clone(), max_ns);
     assert_eq!(fast, slow, "hbm4 reports diverged on {label}");
-    // The cache must also be inert under the event-driven driver alone.
-    let fast_plain = mc_simulate::run_with_limit(&mut event_plain, requests, max_ns);
+    // The cache and SoA scans must also be inert under the event-driven
+    // driver alone.
+    let fast_plain = mc_simulate::run_with_limit(&mut event_plain, requests.clone(), max_ns);
     assert_eq!(
         fast, fast_plain,
-        "ready cache changed the hbm4 schedule on {label}"
+        "ready cache / SoA changed the hbm4 schedule on {label}"
+    );
+    let fast_soa_off = mc_simulate::run_with_limit(&mut event_soa_off, requests, max_ns);
+    assert_eq!(
+        fast, fast_soa_off,
+        "SoA scan changed the hbm4 schedule on {label}"
     );
 }
 
@@ -91,10 +108,20 @@ fn assert_rome_equivalent(
     label: &str,
 ) {
     let mut event = RomeController::new(cfg.clone());
-    let mut stepped = RomeController::new(cfg);
+    let mut stepped = RomeController::new(cfg.clone());
+    // The stepped baseline also disables the packed hot arrays: the
+    // original per-entry ready scan.
+    stepped.set_soa(false);
+    let mut event_soa_off = RomeController::new(cfg);
+    event_soa_off.set_soa(false);
     let fast = rome_simulate::run_with_limit(&mut event, requests.clone(), max_ns);
-    let slow = rome_simulate::run_with_limit_stepped(&mut stepped, requests, max_ns);
+    let slow = rome_simulate::run_with_limit_stepped(&mut stepped, requests.clone(), max_ns);
     assert_eq!(fast, slow, "rome reports diverged on {label}");
+    let fast_soa_off = rome_simulate::run_with_limit(&mut event_soa_off, requests, max_ns);
+    assert_eq!(
+        fast, fast_soa_off,
+        "SoA scan changed the rome schedule on {label}"
+    );
 }
 
 #[test]
@@ -209,6 +236,65 @@ fn ready_cache_is_inert_on_the_dense_64_entry_queue() {
     }
 }
 
+#[test]
+fn soa_scan_is_bit_identical_on_the_dense_64_entry_queue() {
+    // The SoA path's target workload: a 64-entry queue kept saturated, so
+    // every tick scans tens of candidates through the packed arrays and the
+    // row-open bitmask. All four arms of assert_mc_equivalent (SoA+cache on,
+    // stepped both-off, event both-off, event SoA-off) must agree bit for
+    // bit on a larger backlog than the ready-cache case above.
+    for (label, reqs) in workloads(128 * 1024, 32) {
+        assert_mc_equivalent(
+            ControllerConfig::hbm4_with_queue_depth(64),
+            reqs,
+            50_000_000,
+            &format!("{label}@soa-dense64"),
+        );
+    }
+}
+
+#[test]
+fn soa_scan_is_bit_identical_on_dense_multi_channel_backlogs() {
+    // System-level SoA pinning under saturation: deep per-channel queues and
+    // a long single-channel backlog, event calendar on in both arms so the
+    // only difference is the scan representation.
+    let mut cfg = MemorySystemConfig::hbm4(4);
+    cfg.controller.read_queue_capacity = 64;
+    cfg.controller.write_queue_capacity = 64;
+    let mut soa_on = MemorySystem::new(cfg.clone());
+    let mut soa_off = MemorySystem::new(cfg);
+    soa_off.set_soa(false);
+    for i in 0..512u64 {
+        // Stride of one cache line: every channel sees a dense stream.
+        let r = if i % 5 == 0 {
+            MemoryRequest::write(i + 1, i * 32, 32, 0)
+        } else {
+            MemoryRequest::read(i + 1, i * 32, 32, 0)
+        };
+        soa_on.submit(r);
+        soa_off.submit(r);
+    }
+
+    let drive = |sys: &mut MemorySystem| {
+        let mut done: Vec<HostCompletion> = Vec::new();
+        let mut now = 0u64;
+        while !sys.is_idle() && now < 5_000_000 {
+            let issued = sys.tick_into(now, &mut done);
+            now = if issued {
+                now + 1
+            } else {
+                sys.next_event_at(now).map_or(now + 1, |t| t.max(now + 1))
+            };
+        }
+        done
+    };
+    let done_on = drive(&mut soa_on);
+    let done_off = drive(&mut soa_off);
+    assert_eq!(done_on, done_off);
+    assert_eq!(done_on.len(), 512);
+    assert_eq!(soa_on.bytes_per_channel(), soa_off.bytes_per_channel());
+}
+
 /// Host-request mix used for the multi-channel system tests: several
 /// concurrent transfers of both kinds.
 fn host_requests() -> Vec<MemoryRequest> {
@@ -245,6 +331,7 @@ fn mc_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
     // run keeps it on, so stale cached wakeups would surface here.
     let mut stepped = small_mc_system();
     stepped.set_calendar(false);
+    stepped.set_soa(false);
     let mut event = small_mc_system();
     for r in host_requests() {
         stepped.submit(r);
@@ -277,6 +364,7 @@ fn mc_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
 fn rome_system_event_stepping_is_bit_identical_to_per_cycle_ticks() {
     let mut stepped = small_rome_system();
     stepped.set_calendar(false);
+    stepped.set_soa(false);
     let mut event = small_rome_system();
     for r in host_requests() {
         stepped.submit(r);
@@ -314,6 +402,7 @@ fn long_single_channel_backlog_stays_equivalent() {
     // match the pre-calendar stepped loop completion for completion.
     let mut stepped = small_mc_system();
     stepped.set_calendar(false);
+    stepped.set_soa(false);
     let mut event = small_mc_system();
     for i in 0..256u64 {
         let r = MemoryRequest::read(i + 1, i * 4 * 32, 32, 0);
@@ -355,6 +444,7 @@ fn mc_system_run_until_idle_preserves_totals_vs_per_cycle_ticks() {
     // order; every total must nevertheless agree.
     let mut ticked = small_mc_system();
     ticked.set_calendar(false);
+    ticked.set_soa(false);
     let mut parallel = small_mc_system();
     for r in host_requests() {
         ticked.submit(r);
@@ -385,6 +475,7 @@ fn mc_system_run_until_idle_preserves_totals_vs_per_cycle_ticks() {
 fn rome_system_run_until_idle_preserves_totals_vs_per_cycle_ticks() {
     let mut ticked = small_rome_system();
     ticked.set_calendar(false);
+    ticked.set_soa(false);
     let mut parallel = small_rome_system();
     for r in host_requests() {
         ticked.submit(r);
