@@ -283,6 +283,77 @@ fn serve_server_batch_cold() -> f64 {
         .sum()
 }
 
+/// The socket front end over the same warm batch: bind an ephemeral
+/// loopback service on a pre-warmed engine, then measure (a) the round
+/// trip of one small request — the protocol, framing, and scheduling cost
+/// — and (b) the whole warm batch served over the wire, byte-checked
+/// against the in-process render (the byte-identity pin, re-asserted here
+/// so the bench can never time a divergent path). Returns
+/// `(rtt_seconds, batch_seconds)`.
+fn server_socket_times(repeats: u32) -> (f64, f64) {
+    use std::io::{BufRead, BufReader, Write};
+
+    let engine = std::sync::Arc::new(rome_server::ScenarioEngine::new());
+    serve_server_batch(&engine); // warm the calibration cache, untimed
+    let server = rome_server::net::SocketServer::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::clone(&engine),
+        rome_server::net::NetConfig::default(),
+    )
+    .expect("bind loopback service");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(300)))
+        .expect("read timeout");
+    let mut conn = BufReader::new(stream);
+
+    let specs = server_batch_specs();
+    let lines: Vec<String> = specs.iter().map(|s| s.to_json().emit()).collect();
+    let expected = rome_server::render_results(&specs, &engine.serve_batch(&specs));
+
+    fn read_line(conn: &mut BufReader<std::net::TcpStream>) -> String {
+        let mut line = String::new();
+        conn.read_line(&mut line).expect("response line");
+        line
+    }
+
+    let quick = "{\"scenario\":\"sweep\",\"name\":\"rtt\",\"kind\":\"figure13\",\"seq_len\":4096}";
+    let mut rtt = f64::INFINITY;
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        conn.get_mut()
+            .write_all(format!("{quick}\n").as_bytes())
+            .expect("request");
+        let response = read_line(&mut conn);
+        rtt = rtt.min(t0.elapsed().as_secs_f64());
+        assert!(response.starts_with("{\"name\":\"rtt\""), "{response}");
+    }
+
+    let mut batch = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for line in &lines {
+            conn.get_mut()
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("batch request");
+        }
+        let mut got = String::new();
+        for _ in 0..lines.len() {
+            got.push_str(&read_line(&mut conn));
+        }
+        batch = batch.min(t0.elapsed().as_secs_f64());
+        assert_eq!(got, expected, "socket batch diverged from serve_batch");
+    }
+
+    handle.drain(std::time::Duration::from_millis(50));
+    drop(conn);
+    join.join().expect("server thread");
+    (rtt, batch)
+}
+
 fn rome_sweep(stepped: bool) -> f64 {
     let mut bw = 0.0;
     for &depth in &DEPTHS {
@@ -423,6 +494,10 @@ fn bench(c: &mut Criterion) {
         "warm and cold scenario serving diverged"
     );
 
+    // Socket front end on the same warm batch: per-request round trip and
+    // the over-the-wire warm batch vs cold per-scenario serving.
+    let (socket_rtt, socket_batch) = server_socket_times(repeats);
+
     let total_event = mc_event + rome_event;
     let total_stepped = mc_stepped + rome_stepped;
     println!("\nqueue-depth sweep, event-driven vs cycle-stepped (wall-clock):");
@@ -485,6 +560,12 @@ fn bench(c: &mut Criterion) {
         server_warm * 1e3,
         server_cold / server_warm
     );
+    println!(
+        "  socket service: {:6.3} ms request round trip; warm batch over the wire {:8.2} ms  ({:5.2}x vs cold)",
+        socket_rtt * 1e3,
+        socket_batch * 1e3,
+        server_cold / socket_batch
+    );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_json(
@@ -526,6 +607,8 @@ fn bench(c: &mut Criterion) {
             ("server_batch_cold_ms", server_cold * 1e3),
             ("server_batch_warm_ms", server_warm * 1e3),
             ("server_batch_speedup", server_cold / server_warm),
+            ("server_socket_rtt_ms", socket_rtt * 1e3),
+            ("server_socket_warm_speedup", server_cold / socket_batch),
         ],
     );
 

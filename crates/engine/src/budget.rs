@@ -32,6 +32,8 @@
 //! unconditionally — the fault-free bit-identity guarantee above is exactly
 //! the claim that this costs nothing.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rome_hbm::units::Cycle;
@@ -55,6 +57,10 @@ pub enum AbortReason {
     StalledSource,
     /// An [`EngineFault`] with [`FaultAction::ExhaustBudget`] fired.
     InjectedFault,
+    /// A [`DrainSignal`] attached to the run's budget passed its drain
+    /// deadline: the host is shutting down and in-flight work converts to
+    /// partial results instead of being dropped.
+    Drained,
 }
 
 impl AbortReason {
@@ -66,6 +72,7 @@ impl AbortReason {
             AbortReason::WallClockDeadline => "wall_clock_deadline",
             AbortReason::StalledSource => "stalled_source",
             AbortReason::InjectedFault => "injected_fault",
+            AbortReason::Drained => "drained",
         }
     }
 }
@@ -132,6 +139,97 @@ impl EngineFault {
 /// Default number of events between wall-clock deadline probes.
 pub const DEFAULT_CHECK_INTERVAL: u64 = 8192;
 
+/// A shared, late-binding drain deadline: the graceful-shutdown half of the
+/// budget layer.
+///
+/// A [`RunBudget`]'s other limits are fixed when the run starts; a drain
+/// signal is the one that *arrives mid-run* — a serving front end hands every
+/// admitted scenario a clone of its signal, and on shutdown calls
+/// [`DrainSignal::start_drain`] with a grace period. Runs already in flight
+/// keep going until the grace expires, then abort with
+/// [`AbortReason::Drained`] and return their partial reports (PR 6 abort
+/// semantics: work converts to tagged partials, never silent drops). A signal
+/// that never starts draining costs one atomic load per deadline probe
+/// (every [`RunBudget::check_interval`] events, on the metering slow path)
+/// and perturbs nothing.
+///
+/// Clones share state; `start_drain` is idempotent and the earliest deadline
+/// wins, so racing shutdown paths cannot extend the grace.
+#[derive(Debug, Clone)]
+pub struct DrainSignal {
+    inner: Arc<DrainInner>,
+}
+
+#[derive(Debug)]
+struct DrainInner {
+    /// Anchor for the atomic deadline: deadlines are stored as nanoseconds
+    /// after this instant (`u64::MAX` = not draining).
+    epoch: Instant,
+    deadline_ns: AtomicU64,
+}
+
+impl DrainSignal {
+    /// A fresh signal, not draining.
+    pub fn new() -> Self {
+        DrainSignal {
+            inner: Arc::new(DrainInner {
+                epoch: Instant::now(),
+                deadline_ns: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Begin draining: in-flight runs metering against this signal abort
+    /// with [`AbortReason::Drained`] once `grace` has elapsed. Idempotent;
+    /// the earliest deadline across all callers wins.
+    pub fn start_drain(&self, grace: Duration) {
+        let now = self.inner.epoch.elapsed();
+        let deadline = now.saturating_add(grace);
+        let ns = u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX - 1);
+        // Never store the MAX sentinel as a real deadline.
+        self.inner
+            .deadline_ns
+            .fetch_min(ns.min(u64::MAX - 1), Ordering::AcqRel);
+    }
+
+    /// Whether [`DrainSignal::start_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.deadline_ns.load(Ordering::Acquire) != u64::MAX
+    }
+
+    /// Whether the drain deadline has passed (always `false` while not
+    /// draining).
+    pub fn deadline_passed(&self) -> bool {
+        let ns = self.inner.deadline_ns.load(Ordering::Acquire);
+        ns != u64::MAX && self.inner.epoch.elapsed() >= Duration::from_nanos(ns)
+    }
+
+    /// Time until the drain deadline: `None` while not draining,
+    /// `Some(ZERO)` once it has passed.
+    pub fn remaining(&self) -> Option<Duration> {
+        let ns = self.inner.deadline_ns.load(Ordering::Acquire);
+        if ns == u64::MAX {
+            return None;
+        }
+        Some(Duration::from_nanos(ns).saturating_sub(self.inner.epoch.elapsed()))
+    }
+}
+
+impl Default for DrainSignal {
+    fn default() -> Self {
+        DrainSignal::new()
+    }
+}
+
+impl PartialEq for DrainSignal {
+    /// Signals compare by identity: two clones of one signal are equal, two
+    /// independently created signals are not (matching the sharing
+    /// semantics, which is what budget equality cares about).
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
 /// Consecutive fully-idle driver wake-ups (nothing pulled, nothing issued,
 /// nothing completed, controller idle, no pending requests, source not
 /// exhausted) after which `run_with_source` declares the source stalled and
@@ -143,7 +241,7 @@ pub const STALLED_SOURCE_WAKEUPS: u64 = 65_536;
 
 /// Limits for one simulation run. All limits are optional; the default is
 /// unlimited, which is guaranteed not to perturb or tag any run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunBudget {
     /// Abort once the simulated clock reaches this cycle.
     pub max_sim_ns: Option<Cycle>,
@@ -159,6 +257,11 @@ pub struct RunBudget {
     pub check_interval: u64,
     /// Optional deterministic fault armed on this run's meter.
     pub fault: Option<EngineFault>,
+    /// Optional shared drain signal: unlike the fixed limits above, its
+    /// deadline can be set (once) *after* the run starts, which is how a
+    /// serving front end converts in-flight work to tagged partials on
+    /// graceful shutdown. Probed alongside the wall-clock deadline.
+    pub drain: Option<DrainSignal>,
 }
 
 impl Default for RunBudget {
@@ -176,6 +279,7 @@ impl RunBudget {
             wall_clock: None,
             check_interval: DEFAULT_CHECK_INTERVAL,
             fault: None,
+            drain: None,
         }
     }
 
@@ -209,12 +313,21 @@ impl RunBudget {
         self
     }
 
-    /// `true` when no limit and no fault is set.
+    /// Attach a shared drain signal to this budget's meters.
+    pub fn with_drain(mut self, drain: DrainSignal) -> Self {
+        self.drain = Some(drain);
+        self
+    }
+
+    /// `true` when no limit and no fault is set (a never-started drain
+    /// signal is not a limit: it cannot trip unless the host starts
+    /// draining).
     pub fn is_unlimited(&self) -> bool {
         self.max_sim_ns.is_none()
             && self.max_events.is_none()
             && self.wall_clock.is_none()
             && self.fault.is_none()
+            && self.drain.as_ref().is_none_or(|d| !d.is_draining())
     }
 
     /// Start metering one run against this budget. Each run (each channel
@@ -230,6 +343,7 @@ impl RunBudget {
             max_sim_ns: self.max_sim_ns.unwrap_or(Cycle::MAX),
             max_events: self.max_events.unwrap_or(u64::MAX),
             deadline: self.wall_clock.map(|d| Instant::now() + d),
+            drain: self.drain.clone(),
             interval,
             next_check: interval,
             events: 0,
@@ -266,6 +380,7 @@ pub struct BudgetMeter {
     max_sim_ns: Cycle,
     max_events: u64,
     deadline: Option<Instant>,
+    drain: Option<DrainSignal>,
     interval: u64,
     next_check: u64,
     events: u64,
@@ -301,7 +416,7 @@ impl BudgetMeter {
     /// after anything that changes `fault` or `next_check`.
     fn recompute_next_slow(&mut self) {
         let fault_at = self.fault.map_or(u64::MAX, |f| f.at_event);
-        let probe_at = if self.deadline.is_some() {
+        let probe_at = if self.deadline.is_some() || self.drain.is_some() {
             self.next_check
         } else {
             u64::MAX
@@ -339,11 +454,16 @@ impl BudgetMeter {
         if event >= self.max_events {
             return Some(AbortReason::EventBudget);
         }
-        if let Some(deadline) = self.deadline {
-            if event >= self.next_check {
-                self.next_check = event + self.interval;
+        if (self.deadline.is_some() || self.drain.is_some()) && event >= self.next_check {
+            self.next_check = event + self.interval;
+            if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
                     return Some(AbortReason::WallClockDeadline);
+                }
+            }
+            if let Some(drain) = &self.drain {
+                if drain.deadline_passed() {
+                    return Some(AbortReason::Drained);
                 }
             }
         }
@@ -508,6 +628,77 @@ mod tests {
     }
 
     #[test]
+    fn drain_signal_aborts_in_flight_meters_after_the_grace() {
+        let signal = DrainSignal::new();
+        let mut meter = RunBudget::unlimited()
+            .with_drain(signal.clone())
+            .with_check_interval(2)
+            .meter();
+        assert!(!signal.is_draining());
+        assert!(signal.remaining().is_none());
+        // Not draining: probes pass.
+        for now in 0..10u64 {
+            assert_eq!(meter.on_step(now), None);
+        }
+        // Drain with zero grace: the deadline has already passed, so the
+        // next probe ordinal aborts. Probes land every 2 events.
+        signal.start_drain(Duration::from_secs(0));
+        assert!(signal.is_draining());
+        assert!(signal.deadline_passed());
+        assert_eq!(signal.remaining(), Some(Duration::ZERO));
+        let mut aborted = None;
+        for now in 10..14u64 {
+            if let Some(reason) = meter.on_step(now) {
+                aborted = Some(reason);
+                break;
+            }
+        }
+        assert_eq!(aborted, Some(AbortReason::Drained));
+    }
+
+    #[test]
+    fn drain_signal_with_generous_grace_does_not_trip() {
+        let signal = DrainSignal::new();
+        signal.start_drain(Duration::from_secs(3600));
+        assert!(signal.is_draining());
+        assert!(!signal.deadline_passed());
+        let mut meter = RunBudget::unlimited()
+            .with_drain(signal.clone())
+            .with_check_interval(1)
+            .meter();
+        for now in 0..64u64 {
+            assert_eq!(meter.on_step(now), None);
+        }
+        // A budget with a never-started signal still counts as unlimited; a
+        // draining one does not.
+        assert!(RunBudget::unlimited()
+            .with_drain(DrainSignal::new())
+            .is_unlimited());
+        assert!(!RunBudget::unlimited().with_drain(signal).is_unlimited());
+    }
+
+    #[test]
+    fn earliest_drain_deadline_wins() {
+        let signal = DrainSignal::new();
+        signal.start_drain(Duration::from_secs(0));
+        // A later, longer grace must not extend the already-passed deadline.
+        signal.start_drain(Duration::from_secs(3600));
+        assert!(signal.deadline_passed());
+    }
+
+    #[test]
+    fn drain_signal_clones_share_state_and_compare_by_identity() {
+        let a = DrainSignal::new();
+        let b = a.clone();
+        let c = DrainSignal::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        b.start_drain(Duration::from_secs(0));
+        assert!(a.is_draining(), "clones share the drain state");
+        assert!(!c.is_draining());
+    }
+
+    #[test]
     fn abort_reasons_have_stable_snake_case_names() {
         assert_eq!(AbortReason::SimTimeBudget.as_str(), "sim_time_budget");
         assert_eq!(AbortReason::EventBudget.as_str(), "event_budget");
@@ -517,6 +708,7 @@ mod tests {
         );
         assert_eq!(AbortReason::StalledSource.as_str(), "stalled_source");
         assert_eq!(AbortReason::InjectedFault.as_str(), "injected_fault");
+        assert_eq!(AbortReason::Drained.as_str(), "drained");
         assert_eq!(AbortReason::StalledSource.to_string(), "stalled_source");
     }
 }

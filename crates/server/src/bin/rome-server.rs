@@ -1,31 +1,73 @@
-//! The `rome-server` batch CLI: JSONL scenario specs in, JSONL results out.
+//! The `rome-server` front ends: the JSONL batch CLI and the socket
+//! service.
 //!
 //! ```text
 //! rome-server [FILE]          # specs from FILE, or stdin when omitted
 //! cat batch.jsonl | rome-server > results.jsonl
+//! rome-server --serve 127.0.0.1:7654   # persistent socket service
 //! ```
 //!
-//! One spec object per input line (blank lines and `#` comments skipped),
-//! one result object per output line, in input order. The output is a
-//! deterministic function of the input: the same batch always produces
-//! byte-identical results, matching the in-process
+//! Batch mode: one spec object per input line (blank lines and `#`
+//! comments skipped), one result object per output line, in input order.
+//! The output is a deterministic function of the input: the same batch
+//! always produces byte-identical results, matching the in-process
 //! `ScenarioEngine::serve_batch` exactly. Scenarios shed by transient
 //! admission rejections are retried with bounded backoff (the default
 //! engine never sheds, so the default output is unchanged by the retry
 //! loop).
+//!
+//! Serve mode (`--serve ADDR`): bind a socket service on ADDR (see the
+//! README's "Network service" section for the wire protocol), print
+//! `listening on <addr>` to stdout, and serve until stdin reaches EOF —
+//! the shutdown signal — then drain gracefully: stop accepting, let
+//! in-flight scenarios finish (or abort as `drained` partials after the
+//! grace period), notify every connection, and exit 0.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use rome_server::net::{NetConfig, SocketServer};
 use rome_server::{serve_jsonl_with_retry, RetryPolicy, ScenarioEngine};
 
-const USAGE: &str = "usage: rome-server [FILE]
+const USAGE: &str = "usage: rome-server [FILE | --serve ADDR]
 
 Serve a JSONL batch of scenario specs (from FILE, or stdin when omitted),
-writing one JSONL result per spec to stdout, in input order. See the
-\"Scenario server\" section of README.md for the spec format.";
+writing one JSONL result per spec to stdout, in input order; or, with
+--serve, run a persistent socket service on ADDR until stdin reaches EOF,
+then drain gracefully. See the \"Scenario server\" and \"Network service\"
+sections of README.md for the formats.";
+
+fn serve_socket(addr: &str) -> ExitCode {
+    let engine = Arc::new(ScenarioEngine::new());
+    let config = NetConfig::default();
+    let grace = config.drain_grace;
+    let server = match SocketServer::bind(addr, engine, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("rome-server: could not bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        // stdin EOF is the shutdown signal (works under pipes, process
+        // managers, and tests alike).
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().read_to_end(&mut sink);
+        handle.drain(grace);
+    });
+    let stats = server.run();
+    eprintln!(
+        "rome-server: drained ({} accepted, {} closed)",
+        stats.accepted,
+        stats.closed_total()
+    );
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +83,9 @@ fn main() -> ExitCode {
         [arg] if arg == "--help" || arg == "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
+        }
+        [flag, addr] if flag == "--serve" => {
+            return serve_socket(addr);
         }
         [path] => match std::fs::read_to_string(path) {
             Ok(text) => text,

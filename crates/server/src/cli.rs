@@ -70,25 +70,32 @@ pub fn render_results(
 ) -> String {
     let mut out = String::new();
     for (spec, result) in specs.iter().zip(results) {
-        let line = match result {
-            Ok(r) => r.to_json(),
-            Err(e) => {
-                let mut members = vec![
-                    ("name", Json::from(spec.name())),
-                    ("scenario", Json::from("error")),
-                    ("error", Json::from(e.detail.as_str())),
-                    ("code", Json::from(e.code.as_str())),
-                ];
-                if let Some(ms) = e.retry_after_ms {
-                    members.push(("retry_after_ms", Json::from(ms)));
-                }
-                Json::obj(members)
-            }
-        };
-        out.push_str(&line.emit());
+        out.push_str(&result_json(spec, result).emit());
         out.push('\n');
     }
     out
+}
+
+/// One scenario's result line as a [`Json`] value — the unit
+/// [`render_results`] is built from, shared with the socket protocol
+/// ([`crate::proto::render_response`]) so both front ends render
+/// byte-identical lines.
+pub fn result_json(spec: &ScenarioSpec, result: &Result<ScenarioResult, ServerError>) -> Json {
+    match result {
+        Ok(r) => r.to_json(),
+        Err(e) => {
+            let mut members = vec![
+                ("name", Json::from(spec.name())),
+                ("scenario", Json::from("error")),
+                ("error", Json::from(e.detail.as_str())),
+                ("code", Json::from(e.code.as_str())),
+            ];
+            if let Some(ms) = e.retry_after_ms {
+                members.push(("retry_after_ms", Json::from(ms)));
+            }
+            Json::obj(members)
+        }
+    }
 }
 
 /// The whole CLI path in one call: parse the JSONL batch, serve it on
@@ -111,6 +118,11 @@ pub struct RetryPolicy {
     /// `base_backoff_ms << k` ms (the engine's retry hint can only raise
     /// the wait).
     pub base_backoff_ms: u64,
+    /// Seed for the jitter added on top of the backoff floor, so that many
+    /// clients shed at the same instant do not retry in lockstep. The
+    /// jitter is a pure function of `(jitter_seed, round)` — same seed,
+    /// same waits — which keeps retry timing reproducible in tests.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -118,7 +130,34 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 3,
             base_backoff_ms: 10,
+            jitter_seed: 0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry round `round` (0-based), given the largest
+    /// engine retry hint among the shed scenarios: the floor is the larger
+    /// of the hint and the exponential schedule `base_backoff_ms << round`,
+    /// and a seeded jitter in `[0, floor/2]` is added on top. The hint is
+    /// honored as a *floor* — jitter never schedules a retry earlier than
+    /// the engine asked.
+    pub fn backoff_ms(&self, round: u32, hint: u64) -> u64 {
+        let floor = self
+            .base_backoff_ms
+            .checked_shl(round)
+            .unwrap_or(u64::MAX)
+            .max(hint);
+        // splitmix64 over (seed, round): deterministic, well-mixed jitter.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(round).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = z % (floor / 2 + 1);
+        floor.saturating_add(jitter)
     }
 }
 
@@ -156,11 +195,7 @@ pub fn serve_jsonl_with_retry(
             })
             .max()
             .unwrap_or(0);
-        let floor = policy
-            .base_backoff_ms
-            .checked_shl(round)
-            .unwrap_or(u64::MAX);
-        let backoff = hint.max(floor);
+        let backoff = policy.backoff_ms(round, hint);
         if backoff > 0 {
             std::thread::sleep(std::time::Duration::from_millis(backoff));
         }
@@ -271,10 +306,43 @@ mod tests {
         let policy = RetryPolicy {
             max_retries: 2,
             base_backoff_ms: 0,
+            jitter_seed: 0,
         };
         let input = "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\n";
         let out = serve_jsonl_with_retry(&engine, input, &policy).unwrap();
         assert!(out.contains("\"code\":\"rejected\""));
+    }
+
+    #[test]
+    fn backoff_honors_hint_as_floor_and_jitter_is_seeded() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10,
+            jitter_seed: 42,
+        };
+        for round in 0..3 {
+            let floor = (10u64 << round).max(25);
+            let wait = policy.backoff_ms(round, 25);
+            // Never earlier than the engine's hint or the exponential
+            // schedule; jitter bounded at half the floor.
+            assert!(wait >= floor, "round {round}: {wait} < {floor}");
+            assert!(wait <= floor + floor / 2, "round {round}: {wait}");
+            // Deterministic: same seed, same wait.
+            assert_eq!(wait, policy.backoff_ms(round, 25));
+        }
+        // Different seeds de-synchronize (holds for these specific seeds).
+        let other = RetryPolicy {
+            jitter_seed: 7,
+            ..policy
+        };
+        assert_ne!(policy.backoff_ms(0, 25), other.backoff_ms(0, 25));
+        // Zero floor stays zero: a hintless, zero-base policy never sleeps.
+        let zero = RetryPolicy {
+            max_retries: 1,
+            base_backoff_ms: 0,
+            jitter_seed: 42,
+        };
+        assert_eq!(zero.backoff_ms(0, 0), 0);
     }
 
     #[test]

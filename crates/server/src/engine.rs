@@ -48,7 +48,7 @@ use rayon::prelude::*;
 use rome_core::controller::{RomeController, RomeControllerConfig};
 use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
 use rome_engine::{merge_reports, report_from_host_completions, run_cubes, MemoryRequest};
-use rome_engine::{EngineFault, RunBudget};
+use rome_engine::{DrainSignal, EngineFault, RunBudget};
 use rome_mc::controller::{ChannelController, ControllerConfig};
 use rome_mc::system::{MemorySystem, MemorySystemConfig};
 use rome_sim::serving::closed_loop_points;
@@ -79,6 +79,14 @@ pub struct AdmissionConfig {
     pub max_batch_cost: u64,
     /// Retry hint attached to transient (in-flight) rejections.
     pub retry_after_ms: u64,
+    /// Maximum concurrent socket connections the network front end will
+    /// hold open (see `crate::net`). Living here keeps transport and
+    /// engine backpressure in one model: a connection over this limit is
+    /// shed at accept time with a structured `overloaded` frame carrying
+    /// [`AdmissionConfig::retry_after_ms`], exactly as an over-admitted
+    /// batch is shed by [`ScenarioEngine::serve_batch`]. Ignored by the
+    /// in-process and CLI front ends, which have no connections.
+    pub max_connections: usize,
 }
 
 impl Default for AdmissionConfig {
@@ -88,6 +96,7 @@ impl Default for AdmissionConfig {
             max_batch_specs: 1024,
             max_batch_cost: u64::MAX,
             retry_after_ms: 25,
+            max_connections: 256,
         }
     }
 }
@@ -96,7 +105,7 @@ impl Default for AdmissionConfig {
 /// scenario's run loops are metered against, and the admission gate. The
 /// default (unlimited budget, permissive admission) keeps every output
 /// byte-identical to an engine without the robustness layer.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineLimits {
     /// Budget applied to every served scenario's run loops.
     pub budget: RunBudget,
@@ -186,6 +195,7 @@ pub struct ScenarioEngine {
     limits: EngineLimits,
     fault_plan: Option<FaultPlan>,
     in_flight: AtomicUsize,
+    drain: DrainSignal,
 }
 
 impl ScenarioEngine {
@@ -199,6 +209,7 @@ impl ScenarioEngine {
             limits: EngineLimits::default(),
             fault_plan: None,
             in_flight: AtomicUsize::new(0),
+            drain: DrainSignal::new(),
         }
     }
 
@@ -241,6 +252,29 @@ impl ScenarioEngine {
         self.in_flight.load(Ordering::Acquire)
     }
 
+    /// The engine's shared drain signal. Every served scenario's
+    /// [`RunBudget`] meters against a clone of it, so
+    /// [`ScenarioEngine::start_drain`] converts in-flight work to partial
+    /// reports tagged `drained` once the grace expires — the graceful half
+    /// of shutdown. Front ends clone this to coordinate their own drain
+    /// (stop accepting, notify clients) with the engine's.
+    pub fn drain_signal(&self) -> &DrainSignal {
+        &self.drain
+    }
+
+    /// Begin graceful drain: new batches are rejected permanently
+    /// ([`ErrorCode::Unavailable`](crate::error::ErrorCode::Unavailable)),
+    /// in-flight scenarios get `grace` to finish before their budgets abort
+    /// them with tagged partials. Idempotent; the earliest deadline wins.
+    pub fn start_drain(&self, grace: std::time::Duration) {
+        self.drain.start_drain(grace);
+    }
+
+    /// Whether [`ScenarioEngine::start_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.drain.is_draining()
+    }
+
     /// Serve one batch: scenarios fan out across the worker pool, results
     /// return in batch order (deterministic however the pool schedules).
     /// Each element is the scenario's result or the structured error that
@@ -248,6 +282,16 @@ impl ScenarioEngine {
     /// panic, or a batch-wide admission rejection. One bad spec never
     /// poisons the batch, and one bad batch never poisons the engine.
     pub fn serve_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<ScenarioResult, ServerError>> {
+        if self.drain.is_draining() {
+            return (0..specs.len())
+                .map(|index| {
+                    Err(ServerError::unavailable(
+                        index,
+                        "engine draining: no new work accepted",
+                    ))
+                })
+                .collect();
+        }
         let admission = &self.limits.admission;
         if specs.len() > admission.max_batch_specs {
             let detail = format!(
@@ -328,7 +372,7 @@ impl ScenarioEngine {
     /// The budget for the scenario at `index` of a batch: the engine-wide
     /// budget, plus any fault the installed [`FaultPlan`] addresses to it.
     fn budget_for(&self, index: usize) -> RunBudget {
-        let mut budget = self.limits.budget;
+        let mut budget = self.limits.budget.clone().with_drain(self.drain.clone());
         if let Some(fault) = self
             .fault_plan
             .as_ref()

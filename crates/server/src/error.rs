@@ -29,6 +29,14 @@ pub enum ErrorCode {
     Rejected,
     /// An internal invariant failed. A bug, not a caller error.
     Internal,
+    /// A transport-layer shed: the connection's bounded write queue filled
+    /// (stalled reader) or the server is at its connection limit. Transient
+    /// when a retry hint is present, just like [`ErrorCode::Rejected`].
+    Overloaded,
+    /// The service is permanently refusing new work on this connection —
+    /// draining for shutdown or closing an idle/expired session. Never
+    /// transient; reconnecting to a draining server gains nothing.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -39,6 +47,8 @@ impl ErrorCode {
             ErrorCode::Panicked => "panicked",
             ErrorCode::Rejected => "rejected",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 }
@@ -108,11 +118,34 @@ impl ServerError {
         }
     }
 
+    /// A transport-layer shed (write-queue overflow, connection limit).
+    /// Transient when hinted, like [`ServerError::rejected`].
+    pub fn overloaded(scenario_index: usize, detail: String, retry_after_ms: Option<u64>) -> Self {
+        ServerError {
+            code: ErrorCode::Overloaded,
+            scenario_index,
+            detail,
+            retry_after_ms,
+        }
+    }
+
+    /// A permanent service-side refusal (draining, idle close). Carries no
+    /// retry hint by construction.
+    pub fn unavailable(scenario_index: usize, detail: &str) -> Self {
+        ServerError {
+            code: ErrorCode::Unavailable,
+            scenario_index,
+            detail: detail.to_string(),
+            retry_after_ms: None,
+        }
+    }
+
     /// Whether resubmitting the same scenario can plausibly succeed without
-    /// any change to the spec: true exactly for admission rejections that
-    /// carry a retry hint.
+    /// any change to the spec: true exactly for admission rejections and
+    /// transport sheds that carry a retry hint.
     pub fn is_transient(&self) -> bool {
-        self.code == ErrorCode::Rejected && self.retry_after_ms.is_some()
+        matches!(self.code, ErrorCode::Rejected | ErrorCode::Overloaded)
+            && self.retry_after_ms.is_some()
     }
 
     /// Re-address this error to a different batch index (used when a retried
@@ -161,6 +194,8 @@ mod tests {
         assert_eq!(ErrorCode::Panicked.as_str(), "panicked");
         assert_eq!(ErrorCode::Rejected.as_str(), "rejected");
         assert_eq!(ErrorCode::Internal.as_str(), "internal");
+        assert_eq!(ErrorCode::Overloaded.as_str(), "overloaded");
+        assert_eq!(ErrorCode::Unavailable.as_str(), "unavailable");
     }
 
     #[test]
@@ -169,6 +204,9 @@ mod tests {
         assert!(!ServerError::rejected(0, "batch too large".into(), None).is_transient());
         assert!(!ServerError::panicked(0, "boom".into()).is_transient());
         assert!(!ServerError::invalid_spec(0, SpecError("bad".into())).is_transient());
+        assert!(ServerError::overloaded(0, "write queue full".into(), Some(10)).is_transient());
+        assert!(!ServerError::overloaded(0, "shed".into(), None).is_transient());
+        assert!(!ServerError::unavailable(0, "draining").is_transient());
     }
 
     #[test]

@@ -52,9 +52,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cli;
+pub mod conn;
 pub mod engine;
 pub mod error;
 pub mod json;
+pub mod net;
+pub mod proto;
 pub mod spec;
 
 /// Convenient glob-import of the most commonly used items.
@@ -62,8 +65,11 @@ pub mod prelude {
     pub use crate::cli::{
         parse_batch, render_results, serve_jsonl, serve_jsonl_with_retry, RetryPolicy,
     };
+    pub use crate::conn::{ConnClose, ConnConfig};
     pub use crate::engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine};
     pub use crate::error::{ErrorCode, ServerError};
+    pub use crate::net::{NetConfig, NetStats, ServerHandle, SocketServer};
+    pub use crate::proto::{FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan};
     pub use crate::spec::{
         MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec, SpecError,
         TenantDecl, WorkloadSpec,
@@ -73,9 +79,12 @@ pub mod prelude {
 pub use cli::{
     parse_batch, render_results, serve_jsonl, serve_jsonl_with_retry, BatchError, RetryPolicy,
 };
+pub use conn::{ConnClose, ConnConfig};
 pub use engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine};
 pub use error::{ErrorCode, ServerError};
 pub use json::Json;
+pub use net::{NetConfig, NetStats, ServerHandle, SocketServer};
+pub use proto::{FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan};
 pub use spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
     SpecError, TenantDecl, WorkloadSpec,

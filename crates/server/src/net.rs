@@ -1,0 +1,345 @@
+//! The socket service front end: many persistent connections, one warm
+//! engine.
+//!
+//! [`SocketServer`] binds a std `TcpListener` and runs a bounded
+//! thread-per-connection model (the offline build has no async runtime;
+//! blocking threads with deadlines everywhere keep the byte-identity tests
+//! meaningful). Each accepted connection runs [`crate::conn`]'s hardened
+//! loop against the shared [`ScenarioEngine`], so engine admission
+//! (`max_in_flight`, batch limits) gates socket traffic exactly as it
+//! gates in-process batches, and connection-count admission
+//! ([`crate::engine::AdmissionConfig::max_connections`]) extends the same
+//! model to the transport: an over-limit connect receives one structured
+//! `overloaded` frame with a retry hint and is closed — never silently
+//! dropped, never queued unboundedly.
+//!
+//! **Panic isolation.** Scenario panics never escape
+//! [`ScenarioEngine::serve_batch`]; anything else that unwinds a
+//! connection thread is caught here, the peer gets a best-effort
+//! `internal` error frame, and only that connection dies — the engine, its
+//! calibration cache, and every other connection survive (pinned by the
+//! fault-injection suite).
+//!
+//! **Graceful drain.** [`ServerHandle::drain`] starts the engine's
+//! [`rome_engine::DrainSignal`] with a grace period and wakes the accept
+//! loop: new connects are refused with a permanent `unavailable` frame,
+//! established connections finish their in-flight request (or abort it as
+//! a `drained` partial when the grace expires — PR 6 semantics) and are
+//! notified and closed, and [`SocketServer::run`] returns the final
+//! [`NetStats`] once every connection thread has joined. Nothing is
+//! dropped without a structured answer.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::conn::{handle_connection, split_tcp, ConnClose, ConnConfig};
+use crate::engine::ScenarioEngine;
+use crate::error::ServerError;
+use crate::proto;
+
+/// Knobs of the socket front end beyond the per-connection ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Per-connection configuration (timeouts, queue bounds).
+    pub conn: ConnConfig,
+    /// Accept-loop poll quantum: how long the listener waits between
+    /// checks of the drain signal. Bounds drain latency on an idle server.
+    pub accept_poll: Duration,
+    /// Grace period handed to the engine's drain signal when the binary's
+    /// shutdown path (stdin EOF) initiates the drain.
+    pub drain_grace: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            conn: ConnConfig::default(),
+            accept_poll: Duration::from_millis(25),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Counters of everything the server did, snapshot by [`NetStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicUsize,
+    rejected_overloaded: AtomicUsize,
+    rejected_draining: AtomicUsize,
+    poisoned: AtomicUsize,
+    closed_eof: AtomicUsize,
+    closed_eof_mid_frame: AtomicUsize,
+    closed_idle: AtomicUsize,
+    closed_read_error: AtomicUsize,
+    closed_stalled: AtomicUsize,
+    closed_draining: AtomicUsize,
+}
+
+impl Counters {
+    fn record_close(&self, close: ConnClose) {
+        let counter = match close {
+            ConnClose::Eof => &self.closed_eof,
+            ConnClose::EofMidFrame => &self.closed_eof_mid_frame,
+            ConnClose::IdleTimeout => &self.closed_idle,
+            ConnClose::ReadError => &self.closed_read_error,
+            ConnClose::StalledReader => &self.closed_stalled,
+            ConnClose::Draining => &self.closed_draining,
+        };
+        counter.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Acquire),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Acquire),
+            rejected_draining: self.rejected_draining.load(Ordering::Acquire),
+            poisoned: self.poisoned.load(Ordering::Acquire),
+            closed_eof: self.closed_eof.load(Ordering::Acquire),
+            closed_eof_mid_frame: self.closed_eof_mid_frame.load(Ordering::Acquire),
+            closed_idle: self.closed_idle.load(Ordering::Acquire),
+            closed_read_error: self.closed_read_error.load(Ordering::Acquire),
+            closed_stalled: self.closed_stalled.load(Ordering::Acquire),
+            closed_draining: self.closed_draining.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A snapshot of the server's lifetime counters, returned by
+/// [`SocketServer::run`] and readable live via [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted and handed to a worker thread.
+    pub accepted: usize,
+    /// Connects shed at the connection-count limit (transient rejection).
+    pub rejected_overloaded: usize,
+    /// Connects refused because the server was draining (permanent).
+    pub rejected_draining: usize,
+    /// Connection threads that panicked outside scenario isolation; the
+    /// peer got a structured `internal` frame and only that connection
+    /// died.
+    pub poisoned: usize,
+    /// Clean peer closes between frames.
+    pub closed_eof: usize,
+    /// Peer closes mid-frame (torn frames).
+    pub closed_eof_mid_frame: usize,
+    /// Idle-timeout closes (includes slow-loris trickles).
+    pub closed_idle: usize,
+    /// Transport read failures.
+    pub closed_read_error: usize,
+    /// Stalled-reader closes (bounded write queue gave up).
+    pub closed_stalled: usize,
+    /// Connections notified and closed by a drain.
+    pub closed_draining: usize,
+}
+
+impl NetStats {
+    /// Total connections closed for any reason after being accepted.
+    pub fn closed_total(&self) -> usize {
+        self.closed_eof
+            + self.closed_eof_mid_frame
+            + self.closed_idle
+            + self.closed_read_error
+            + self.closed_stalled
+            + self.closed_draining
+            + self.poisoned
+    }
+}
+
+/// A clonable control handle: initiate drain, read live stats.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    engine: Arc<ScenarioEngine>,
+    counters: Arc<Counters>,
+    accepting: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begin graceful drain: stop accepting, give in-flight work `grace`
+    /// to finish (then abort it as `drained` partials), notify and close
+    /// every connection, and let [`SocketServer::run`] return. Idempotent;
+    /// the earliest deadline wins.
+    pub fn drain(&self, grace: Duration) {
+        self.engine.start_drain(grace);
+        self.accepting.store(false, Ordering::Release);
+    }
+
+    /// The bound address (useful when binding port 0 in tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the server's counters.
+    pub fn stats(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+}
+
+/// The socket front end: see the module docs.
+#[derive(Debug)]
+pub struct SocketServer {
+    listener: TcpListener,
+    engine: Arc<ScenarioEngine>,
+    config: NetConfig,
+    counters: Arc<Counters>,
+    accepting: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl SocketServer {
+    /// Bind `addr` (use port 0 for an ephemeral test port) and prepare to
+    /// serve `engine`. Nothing is accepted until [`SocketServer::run`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<ScenarioEngine>,
+        config: NetConfig,
+    ) -> std::io::Result<SocketServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept + poll quantum: the loop must keep probing
+        // the drain signal even when no one is connecting.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(SocketServer {
+            listener,
+            engine,
+            config,
+            counters: Arc::new(Counters::default()),
+            accepting: Arc::new(AtomicBool::new(true)),
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle for this server (clonable across threads).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            engine: Arc::clone(&self.engine),
+            counters: Arc::clone(&self.counters),
+            accepting: Arc::clone(&self.accepting),
+            addr: self.addr,
+        }
+    }
+
+    /// Serve until drained: accept connections, run each on its own scoped
+    /// thread, and — once [`ServerHandle::drain`] fires — refuse new
+    /// connects, wait for every connection thread to finish (bounded by
+    /// the conn loops' poll quanta and the drain grace), and return the
+    /// final counters.
+    pub fn run(self) -> NetStats {
+        let max_connections = self.engine.limits().admission.max_connections;
+        let retry_after_ms = self.engine.limits().admission.retry_after_ms;
+        let live = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            loop {
+                if !self.accepting.load(Ordering::Acquire) || self.engine.is_draining() {
+                    break;
+                }
+                let (stream, _) = match self.listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(self.config.accept_poll);
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    // A listener-level failure (fd exhaustion, teardown):
+                    // stop accepting; established connections keep going.
+                    Err(_) => break,
+                };
+                if self.engine.is_draining() {
+                    self.counters
+                        .rejected_draining
+                        .fetch_add(1, Ordering::AcqRel);
+                    refuse(stream, &draining_refusal(), &self.config.conn);
+                    break;
+                }
+                if live.load(Ordering::Acquire) >= max_connections {
+                    self.counters
+                        .rejected_overloaded
+                        .fetch_add(1, Ordering::AcqRel);
+                    let err = ServerError::overloaded(
+                        0,
+                        format!("connection limit of {max_connections} reached"),
+                        Some(retry_after_ms),
+                    );
+                    refuse(stream, &proto::error_frame(None, &err), &self.config.conn);
+                    continue;
+                }
+                self.counters.accepted.fetch_add(1, Ordering::AcqRel);
+                live.fetch_add(1, Ordering::AcqRel);
+                let engine = Arc::clone(&self.engine);
+                let counters = Arc::clone(&self.counters);
+                let live_conn = Arc::clone(&live);
+                let conn_config = self.config.conn.clone();
+                scope.spawn(move || {
+                    serve_one(&engine, stream, &conn_config, &counters);
+                    live_conn.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            // Drain phase: refuse stragglers with a structured frame until
+            // every connection thread has finished, then let the scope
+            // join them. Connection threads observe the drain signal
+            // within one read poll quantum, so this loop terminates.
+            while live.load(Ordering::Acquire) > 0 {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        self.counters
+                            .rejected_draining
+                            .fetch_add(1, Ordering::AcqRel);
+                        refuse(stream, &draining_refusal(), &self.config.conn);
+                    }
+                    Err(_) => std::thread::sleep(self.config.accept_poll),
+                }
+            }
+        });
+        self.counters.snapshot()
+    }
+}
+
+/// The permanent refusal frame sent to post-drain connects.
+fn draining_refusal() -> String {
+    let err = ServerError::unavailable(0, "server draining: not accepting connections");
+    proto::error_frame(None, &err)
+}
+
+/// Best-effort: write one frame to a refused connect and close it. The
+/// peer may already be gone; that is fine.
+fn refuse(mut stream: TcpStream, frame: &str, config: &ConnConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = stream.write_all(frame.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Run one accepted connection with panic isolation: whatever unwinds out
+/// of the connection loop poisons only this connection — the peer gets a
+/// best-effort structured `internal` frame and the engine lives on.
+fn serve_one(engine: &ScenarioEngine, stream: TcpStream, config: &ConnConfig, counters: &Counters) {
+    let peer_frame = stream.try_clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| match split_tcp(stream, config) {
+        Ok((read, write)) => handle_connection(engine, read, write, config),
+        Err(_) => ConnClose::ReadError,
+    }));
+    match outcome {
+        Ok(close) => counters.record_close(close),
+        Err(payload) => {
+            counters.poisoned.fetch_add(1, Ordering::AcqRel);
+            let detail = format!(
+                "connection poisoned: {}",
+                crate::error::panic_message(payload.as_ref())
+            );
+            let err = ServerError::internal(0, detail);
+            if let Ok(stream) = peer_frame {
+                refuse(stream, &proto::error_frame(None, &err), config);
+            }
+        }
+    }
+}

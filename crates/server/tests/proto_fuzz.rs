@@ -1,0 +1,141 @@
+//! Never-panic and chunking-invariance properties of the wire protocol,
+//! mirroring the `parse_batch` never-panic suite in `cli_binary.rs`: the
+//! frame splitter and request parser face raw network bytes, so arbitrary
+//! malformed, truncated, and interleaved input must yield structured
+//! events and errors — never a panic. (A panic aborts the test process, so
+//! these tests passing IS the no-panic proof.)
+
+use proptest::prelude::*;
+
+use rome_server::proto::{parse_request, FrameEvent, FrameReader};
+
+/// Request-shaped template lines: valid bare specs, valid envelopes, and
+/// every malformation class the parser distinguishes.
+fn request_line_templates() -> Vec<&'static str> {
+    vec![
+        "{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}",
+        "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}",
+        "{\"id\":1,\"spec\":{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}}",
+        "{\"id\":18446744073709551615,\"spec\":{}}",
+        "{\"id\":-3,\"spec\":{\"scenario\":\"sweep\"}}",
+        "{\"id\":2.5,\"spec\":{}}",
+        "{\"spec\":{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"rome\"}}",
+        "{\"id\":\"seven\",\"spec\":{}}",
+        "{\"scenario\":\"nope\",\"name\":\"x\"}",
+        "{\"scenario\":\"sweep\",\"name\":\"s\"",
+        "{\"scenario\":\"sweep\",,}",
+        "[1,2,3]",
+        "\"just a string\"",
+        "42",
+        "null",
+        "not json at all",
+        "{\"k\":\"bad unicode \\u12\"}",
+        "}",
+        "",
+        "   ",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The parser property: any template line, truncated anywhere, either
+    // parses to a request or yields a non-empty protocol error string.
+    #[test]
+    fn arbitrary_request_lines_never_panic(
+        pick in 0usize..20,
+        cut in 0usize..256,
+        truncate in any::<bool>(),
+    ) {
+        let templates = request_line_templates();
+        let mut line = templates[pick].to_string();
+        if truncate {
+            // Truncate on a char boundary (templates are ASCII, but stay
+            // defensive).
+            let mut cut = cut.min(line.len());
+            while !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            line.truncate(cut);
+        }
+        match parse_request(&line) {
+            Ok(req) => prop_assert!(req.id.is_none() || req.id.is_some()),
+            Err(message) => prop_assert!(!message.is_empty()),
+        }
+    }
+
+    // The framing property: arbitrary bytes under arbitrary re-chunking
+    // (including byte-at-a-time) produce exactly the same event sequence
+    // as one monolithic push — chunk boundaries are invisible — and the
+    // reader never panics or buffers past its limit.
+    #[test]
+    fn frame_events_are_invariant_under_rechunking(
+        bytes in prop::collection::vec(0u8..255, 0..512),
+        splits in prop::collection::vec(1usize..32, 0..32),
+        max_frame in 1usize..128,
+    ) {
+        let monolithic = {
+            let mut reader = FrameReader::new(max_frame);
+            reader.push(&bytes)
+        };
+        let rechunked = {
+            let mut reader = FrameReader::new(max_frame);
+            let mut events = Vec::new();
+            let mut rest: &[u8] = &bytes;
+            let mut split_iter = splits.iter().cycle();
+            while !rest.is_empty() {
+                let take = (*split_iter.next().unwrap_or(&1)).min(rest.len());
+                let (chunk, tail) = rest.split_at(take);
+                events.extend(reader.push(chunk));
+                prop_assert!(reader.buffered() <= max_frame);
+                rest = tail;
+            }
+            events
+        };
+        prop_assert_eq!(monolithic, rechunked);
+    }
+
+    // Frame + parse composed: raw fuzz bytes through the whole inbound
+    // path (split, validate UTF-8, parse) never panic, and every complete
+    // line yields either a request or a structured error.
+    #[test]
+    fn raw_bytes_through_the_full_inbound_path_never_panic(
+        bytes in prop::collection::vec(0u8..255, 0..512),
+    ) {
+        let mut reader = FrameReader::new(64);
+        for event in reader.push(&bytes) {
+            match event {
+                FrameEvent::Line(line) => {
+                    let _ = parse_request(&line);
+                }
+                FrameEvent::Oversize { bytes } => prop_assert!(bytes > 64),
+                FrameEvent::NotUtf8 { bytes } => prop_assert!(bytes <= 64),
+            }
+        }
+    }
+}
+
+/// Interleaved frames from a deterministic splitter: many valid and
+/// invalid lines mixed in one stream parse to the same set of outcomes
+/// regardless of how the transport slices them.
+#[test]
+fn interleaved_streams_split_identically_however_chunked() {
+    let mut stream = Vec::new();
+    for (i, line) in request_line_templates().iter().enumerate() {
+        stream.extend_from_slice(line.as_bytes());
+        stream.extend_from_slice(if i % 3 == 0 { b"\r\n" } else { b"\n" });
+    }
+    let whole = {
+        let mut reader = FrameReader::default();
+        reader.push(&stream)
+    };
+    for chunk_size in [1usize, 2, 3, 7, 64, 4096] {
+        let mut reader = FrameReader::default();
+        let mut events = Vec::new();
+        for chunk in stream.chunks(chunk_size) {
+            events.extend(reader.push(chunk));
+        }
+        assert_eq!(events, whole, "chunk size {chunk_size}");
+    }
+    assert_eq!(whole.len(), request_line_templates().len());
+}

@@ -1,0 +1,468 @@
+//! Integration suite for the socket service front end: byte-identity with
+//! the batch path for fault-free traffic, and the transport fault-injection
+//! matrix — misbehaving clients (slow writers, torn frames, mid-frame
+//! disconnects, connect floods, stalled engines) must never stall another
+//! connection or kill the warm engine, and every shed is a structured
+//! frame, never a hang or a silent drop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rome_engine::EngineFault;
+use rome_server::conn::ConnConfig;
+use rome_server::net::{NetConfig, NetStats, ServerHandle, SocketServer};
+use rome_server::proto::{TransportFault, TransportFaultPlan};
+use rome_server::{serve_jsonl, EngineLimits, FaultPlan, ScenarioEngine};
+
+/// Fast specs shared with the CLI byte-identity suite (no calibration).
+const BATCH: &str = concat!(
+    "# socket smoke batch\n",
+    "{\"scenario\":\"sweep\",\"name\":\"fig13\",\"kind\":\"figure13\",\"seq_len\":4096}\n",
+    "\n",
+    "{\"scenario\":\"tpot\",\"name\":\"bad\",\"model\":\"gpt-2\",\"batch\":8,\"seq_len\":4096}\n",
+    "{\"scenario\":\"closed_loop\",\"name\":\"burst\",\"system\":\"rome\",\"channels\":2,",
+    "\"windows\":[1,4],\"max_ns\":10000000,\"workload\":{\"type\":\"burst\",\"base\":0,",
+    "\"span\":1048576,\"bytes_per_burst\":32768,\"granularity\":4096,\"period_ns\":0,",
+    "\"bursts\":2,\"write_period\":0}}\n",
+);
+
+const QUICK_SPEC: &str =
+    "{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}";
+
+/// A scenario that streams ~1 GiB through a queue — far longer than any
+/// test sleeps below, so it is reliably in flight when a drain fires, and
+/// only a `drained` abort (never a wall-clock test timeout) ends it.
+const LONG_SPEC: &str = concat!(
+    "{\"scenario\":\"queue_depth\",\"name\":\"long\",\"system\":\"hbm4\",\"depths\":[4],",
+    "\"total_bytes\":1073741824,\"granularity\":64}",
+);
+
+struct TestServer {
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<NetStats>,
+}
+
+impl TestServer {
+    fn start(engine: ScenarioEngine, config: NetConfig) -> TestServer {
+        let server = SocketServer::bind("127.0.0.1:0", Arc::new(engine), config)
+            .expect("bind ephemeral port");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        TestServer { handle, join }
+    }
+
+    fn connect(&self) -> BufReader<TcpStream> {
+        let stream = TcpStream::connect(self.handle.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        BufReader::new(stream)
+    }
+
+    /// Drain with a short grace and return the final counters.
+    fn shutdown(self) -> NetStats {
+        self.handle.drain(Duration::from_millis(50));
+        self.join.join().expect("server thread")
+    }
+}
+
+fn quick_net_config() -> NetConfig {
+    NetConfig {
+        conn: ConnConfig {
+            read_timeout: Duration::from_millis(5),
+            ..ConnConfig::default()
+        },
+        accept_poll: Duration::from_millis(5),
+        ..NetConfig::default()
+    }
+}
+
+fn send_line(conn: &mut BufReader<TcpStream>, line: &str) {
+    let stream = conn.get_mut();
+    stream.write_all(line.as_bytes()).expect("write line");
+    stream.write_all(b"\n").expect("write newline");
+    stream.flush().expect("flush");
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    let n = conn.read_line(&mut line).expect("read line");
+    assert!(n > 0, "peer closed before a full line arrived");
+    assert!(line.ends_with('\n'), "unterminated frame: {line:?}");
+    line.pop();
+    line
+}
+
+/// Read until EOF, returning any complete lines seen on the way.
+fn read_until_eof(conn: &mut BufReader<TcpStream>) -> Vec<String> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        match conn.read_line(&mut line) {
+            Ok(0) => return lines,
+            Ok(_) => {
+                if line.ends_with('\n') {
+                    line.pop();
+                }
+                lines.push(line);
+            }
+            Err(_) => return lines,
+        }
+    }
+}
+
+fn wait_for(mut probe: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn fault_free_socket_traffic_is_byte_identical_to_the_batch_path() {
+    let expected = serve_jsonl(&ScenarioEngine::new(), BATCH).expect("batch parses");
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let mut conn = server.connect();
+    // The whole batch in one write: comments and blank lines are skipped
+    // without a response, exactly like the CLI.
+    conn.get_mut()
+        .write_all(BATCH.as_bytes())
+        .expect("write batch");
+    let mut got = String::new();
+    for _ in 0..expected.lines().count() {
+        got.push_str(&read_line(&mut conn));
+        got.push('\n');
+    }
+    assert_eq!(
+        got, expected,
+        "socket responses must match serve_jsonl byte for byte"
+    );
+    drop(conn);
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1);
+}
+
+#[test]
+fn envelope_requests_get_their_id_echoed_in_front_of_the_same_bytes() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let mut conn = server.connect();
+    send_line(&mut conn, QUICK_SPEC);
+    let bare = read_line(&mut conn);
+    send_line(&mut conn, &format!("{{\"id\":7,\"spec\":{QUICK_SPEC}}}"));
+    let tagged = read_line(&mut conn);
+    assert_eq!(tagged, format!("{{\"id\":7,{}", &bare[1..]));
+    drop(conn);
+    server.shutdown();
+}
+
+#[test]
+fn byte_at_a_time_and_torn_frames_still_serve_correctly() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let request = format!("{QUICK_SPEC}\n");
+    let bytes = request.as_bytes();
+    let plan = TransportFaultPlan::new(11)
+        .with_fault(
+            0,
+            TransportFault::SlowWriter {
+                chunk: 1,
+                delay_ms: 1,
+            },
+        )
+        .with_fault(
+            1,
+            TransportFault::TornFrame {
+                at: TransportFaultPlan::new(11).derived_offset(1, bytes.len() - 1) + 1,
+                pause_ms: 60,
+            },
+        );
+    let mut expected = None;
+    for conn_index in 0..2 {
+        let mut conn = server.connect();
+        let stream = conn.get_mut();
+        match plan.fault_for(conn_index).expect("fault armed") {
+            TransportFault::SlowWriter { chunk, delay_ms } => {
+                for piece in bytes.chunks(chunk) {
+                    stream.write_all(piece).expect("trickle");
+                    stream.flush().expect("flush");
+                    std::thread::sleep(Duration::from_millis(delay_ms));
+                }
+            }
+            TransportFault::TornFrame { at, pause_ms } => {
+                stream.write_all(&bytes[..at]).expect("first shred");
+                stream.flush().expect("flush");
+                // Long enough for the server to see a torn (partial) frame
+                // across several read quanta before the rest arrives.
+                std::thread::sleep(Duration::from_millis(pause_ms));
+                stream.write_all(&bytes[at..]).expect("second shred");
+                stream.flush().expect("flush");
+            }
+            TransportFault::DisconnectAfter { .. } => unreachable!("not armed here"),
+        }
+        let response = read_line(&mut conn);
+        assert!(
+            response.starts_with("{\"name\":\"s\",\"scenario\":\"sweep\""),
+            "conn {conn_index}: {response}"
+        );
+        match &expected {
+            None => expected = Some(response),
+            Some(first) => assert_eq!(&response, first, "chunking must not change bytes"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnect_neither_stalls_other_connections_nor_kills_the_engine() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let healthy = server.connect();
+    let mut healthy = healthy;
+
+    // A client that dies mid-frame, torn at a seeded offset.
+    let plan = TransportFaultPlan::new(23);
+    let request = format!("{QUICK_SPEC}\n");
+    let cut = plan.derived_offset(0, request.len() - 2) + 1;
+    {
+        let mut doomed = server.connect();
+        doomed
+            .get_mut()
+            .write_all(&request.as_bytes()[..cut])
+            .expect("partial frame");
+        // Dropping the stream closes the socket with the frame torn.
+    }
+    wait_for(
+        || server.handle.stats().closed_eof_mid_frame == 1,
+        "torn-frame close to be recorded",
+    );
+
+    // The healthy connection — opened before the fault — still serves.
+    send_line(&mut healthy, QUICK_SPEC);
+    let response = read_line(&mut healthy);
+    assert!(response.starts_with("{\"name\":\"s\",\"scenario\":\"sweep\""));
+    drop(healthy);
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.closed_eof_mid_frame, 1);
+}
+
+#[test]
+fn connect_flood_over_the_limit_sheds_with_structured_retry_hints() {
+    let mut limits = EngineLimits::default();
+    limits.admission.max_connections = 1;
+    limits.admission.retry_after_ms = 9;
+    let server = TestServer::start(ScenarioEngine::with_limits(limits), quick_net_config());
+
+    // One admitted connection holds the only slot...
+    let mut admitted = server.connect();
+    send_line(&mut admitted, QUICK_SPEC);
+    let response = read_line(&mut admitted);
+    assert!(response.starts_with("{\"name\":\"s\""));
+
+    // ...so a flood of further connects is shed, each with one structured
+    // overloaded frame and a clean close — never a hang, never a silent
+    // drop.
+    for _ in 0..4 {
+        let mut flooded = server.connect();
+        let lines = read_until_eof(&mut flooded);
+        assert_eq!(lines.len(), 1, "exactly one refusal frame: {lines:?}");
+        assert!(lines[0].contains("\"code\":\"overloaded\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"retry_after_ms\":9"), "{}", lines[0]);
+    }
+    wait_for(
+        || server.handle.stats().rejected_overloaded == 4,
+        "flood rejections to be recorded",
+    );
+
+    // The admitted connection never noticed the flood.
+    send_line(&mut admitted, QUICK_SPEC);
+    assert!(read_line(&mut admitted).starts_with("{\"name\":\"s\""));
+    drop(admitted);
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.rejected_overloaded, 4);
+}
+
+#[test]
+fn engine_saturation_reaches_socket_clients_as_transient_rejections() {
+    // max_in_flight 0: every request is shed by ENGINE admission — the
+    // same backpressure model the in-process path uses, surfaced through
+    // the socket with its retry hint intact.
+    let mut limits = EngineLimits::default();
+    limits.admission.max_in_flight = 0;
+    limits.admission.retry_after_ms = 13;
+    let server = TestServer::start(ScenarioEngine::with_limits(limits), quick_net_config());
+    let mut conn = server.connect();
+    send_line(&mut conn, QUICK_SPEC);
+    let response = read_line(&mut conn);
+    assert!(response.contains("\"scenario\":\"error\""), "{response}");
+    assert!(response.contains("\"code\":\"rejected\""), "{response}");
+    assert!(response.contains("\"retry_after_ms\":13"), "{response}");
+    drop(conn);
+    server.shutdown();
+}
+
+#[test]
+fn injected_scenario_panic_is_a_structured_frame_and_the_server_survives() {
+    let mut engine = ScenarioEngine::new();
+    engine.set_fault_plan(Some(
+        FaultPlan::new(5).with_fault(0, EngineFault::panic_at(0)),
+    ));
+    let server = TestServer::start(engine, quick_net_config());
+
+    let mut first = server.connect();
+    send_line(&mut first, QUICK_SPEC);
+    let response = read_line(&mut first);
+    assert!(response.contains("\"code\":\"panicked\""), "{response}");
+
+    // Same connection again, and a brand-new connection: the panic was
+    // isolated to its scenario — the warm engine and the accept loop live.
+    send_line(&mut first, QUICK_SPEC);
+    assert!(read_line(&mut first).contains("\"code\":\"panicked\""));
+    let mut second = server.connect();
+    send_line(&mut second, QUICK_SPEC);
+    assert!(read_line(&mut second).contains("\"code\":\"panicked\""));
+
+    drop(first);
+    drop(second);
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(
+        stats.poisoned, 0,
+        "scenario panics are not connection poisonings"
+    );
+}
+
+#[test]
+fn drain_aborts_in_flight_work_as_tagged_partials_and_notifies_the_peer() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let mut conn = server.connect();
+    send_line(&mut conn, LONG_SPEC);
+    // Let the scenario get firmly in flight, then drain with a short
+    // grace: the budget must abort it as a `drained` partial, the
+    // connection must get the partial AND the drain notice, then close.
+    std::thread::sleep(Duration::from_millis(150));
+    server.handle.drain(Duration::from_millis(50));
+    let lines = read_until_eof(&mut conn);
+    assert_eq!(lines.len(), 2, "partial + drain notice: {lines:?}");
+    assert!(
+        lines[0].contains("\"aborted\":\"drained\""),
+        "in-flight work must come back as a drained partial: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"code\":\"unavailable\""),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("draining"), "{}", lines[1]);
+    let stats = server.join.join().expect("server thread");
+    assert_eq!(stats.closed_draining, 1);
+}
+
+#[test]
+fn drain_with_generous_grace_lets_in_flight_work_complete() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let mut conn = server.connect();
+    // A spec that takes real time but far less than the grace.
+    send_line(
+        &mut conn,
+        "{\"scenario\":\"queue_depth\",\"name\":\"mid\",\"system\":\"hbm4\",\"depths\":[4],\
+         \"total_bytes\":4194304,\"granularity\":64}",
+    );
+    std::thread::sleep(Duration::from_millis(30));
+    server.handle.drain(Duration::from_secs(120));
+    let lines = read_until_eof(&mut conn);
+    assert_eq!(lines.len(), 2, "result + drain notice: {lines:?}");
+    assert!(
+        lines[0].starts_with("{\"name\":\"mid\",\"scenario\":\"queue_depth\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        !lines[0].contains("\"aborted\""),
+        "a generous grace must let the scenario finish: {}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"code\":\"unavailable\""));
+    server.join.join().expect("server thread");
+}
+
+#[test]
+fn post_drain_connects_receive_a_permanent_structured_rejection() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    // An in-flight long scenario keeps the drain phase open (the server
+    // refuses stragglers until every connection finishes), so the late
+    // connect below deterministically lands after the drain started.
+    let mut busy = server.connect();
+    send_line(&mut busy, LONG_SPEC);
+    std::thread::sleep(Duration::from_millis(150));
+    server.handle.drain(Duration::from_secs(120));
+
+    let mut late = server.connect();
+    let lines = read_until_eof(&mut late);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(
+        lines[0].contains("\"code\":\"unavailable\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        !lines[0].contains("retry_after_ms"),
+        "drain rejections are permanent — no retry hint: {}",
+        lines[0]
+    );
+
+    // Tighten the deadline (earliest wins) so the in-flight scenario
+    // aborts as a drained partial and the server can finish.
+    server.handle.drain(Duration::from_millis(50));
+    let busy_lines = read_until_eof(&mut busy);
+    assert!(
+        busy_lines[0].contains("\"aborted\":\"drained\""),
+        "{busy_lines:?}"
+    );
+    let stats = server.join.join().expect("server thread");
+    assert!(stats.rejected_draining >= 1);
+    assert_eq!(stats.closed_draining, 1);
+}
+
+#[test]
+fn idle_and_sloworis_connections_are_closed_with_a_structured_notice() {
+    let mut config = quick_net_config();
+    config.conn.idle_timeout = Duration::from_millis(80);
+    let server = TestServer::start(ScenarioEngine::new(), config);
+
+    // Fully silent connection.
+    let mut silent = server.connect();
+    let lines = read_until_eof(&mut silent);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("idle timeout"), "{}", lines[0]);
+
+    // Slow-loris: keeps sending bytes but never a complete frame. The
+    // idle clock counts from the last complete frame, so it dies too.
+    let mut loris = server.connect();
+    let start = Instant::now();
+    let mut got = Vec::new();
+    for _ in 0..60 {
+        if loris.get_mut().write_all(b"{").is_err() {
+            break; // server already closed us
+        }
+        let _ = loris.get_mut().flush();
+        std::thread::sleep(Duration::from_millis(10));
+        if start.elapsed() > Duration::from_secs(10) {
+            break;
+        }
+    }
+    got.extend(read_until_eof(&mut loris));
+    assert!(
+        got.iter().any(|l| l.contains("idle timeout")),
+        "slow-loris must be closed by the idle clock: {got:?}"
+    );
+    wait_for(
+        || server.handle.stats().closed_idle == 2,
+        "both idle closes to be recorded",
+    );
+    server.shutdown();
+}
