@@ -230,6 +230,55 @@ impl PartialEq for DrainSignal {
     }
 }
 
+/// A shared telemetry sink for run-level engine counters.
+///
+/// Attached to a [`RunBudget`] by a serving layer that wants aggregate ops
+/// metrics; the drivers call [`RunSink::on_run_end`] exactly once per
+/// finished run (never inside the event loop), so an attached sink costs a
+/// handful of counter adds per *run*, not per event, and cannot perturb
+/// simulated state. Budgets without a sink skip even that.
+#[derive(Debug, Clone)]
+pub struct RunSink {
+    registry: Arc<rome_telemetry::Registry>,
+}
+
+impl RunSink {
+    /// A sink recording into `registry` under the `engine.*` namespace.
+    pub fn new(registry: Arc<rome_telemetry::Registry>) -> Self {
+        RunSink { registry }
+    }
+
+    /// The registry this sink records into.
+    pub fn registry(&self) -> &Arc<rome_telemetry::Registry> {
+        &self.registry
+    }
+
+    /// Record one finished run: `events` metered loop iterations, of which
+    /// `idle_wakeups` issued nothing (pure event-horizon jumps), plus the
+    /// abort reason when the run was cut short (counted per
+    /// [`AbortReason::as_str`] name).
+    pub fn on_run_end(&self, events: u64, idle_wakeups: u64, aborted: Option<AbortReason>) {
+        self.registry.counter("engine.runs").inc();
+        self.registry.counter("engine.events").add(events);
+        self.registry
+            .counter("engine.idle_wakeups")
+            .add(idle_wakeups);
+        if let Some(reason) = aborted {
+            self.registry
+                .counter(&format!("engine.aborted.{}", reason.as_str()))
+                .inc();
+        }
+    }
+}
+
+impl PartialEq for RunSink {
+    /// Sinks compare by identity, like [`DrainSignal`]: what budget equality
+    /// cares about is whether two budgets feed the same registry.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.registry, &other.registry)
+    }
+}
+
 /// Consecutive fully-idle driver wake-ups (nothing pulled, nothing issued,
 /// nothing completed, controller idle, no pending requests, source not
 /// exhausted) after which `run_with_source` declares the source stalled and
@@ -262,6 +311,11 @@ pub struct RunBudget {
     /// serving front end converts in-flight work to tagged partials on
     /// graceful shutdown. Probed alongside the wall-clock deadline.
     pub drain: Option<DrainSignal>,
+    /// Optional telemetry sink: drivers record run-level counters (events,
+    /// idle wakeups, abort reasons) into it exactly once, at run end. Not a
+    /// limit — it never trips, and a budget with only a sink is still
+    /// [`RunBudget::is_unlimited`].
+    pub sink: Option<RunSink>,
 }
 
 impl Default for RunBudget {
@@ -280,6 +334,7 @@ impl RunBudget {
             check_interval: DEFAULT_CHECK_INTERVAL,
             fault: None,
             drain: None,
+            sink: None,
         }
     }
 
@@ -316,6 +371,12 @@ impl RunBudget {
     /// Attach a shared drain signal to this budget's meters.
     pub fn with_drain(mut self, drain: DrainSignal) -> Self {
         self.drain = Some(drain);
+        self
+    }
+
+    /// Attach a telemetry sink recording run-level counters at run end.
+    pub fn with_sink(mut self, sink: RunSink) -> Self {
+        self.sink = Some(sink);
         self
     }
 

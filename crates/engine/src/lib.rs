@@ -58,7 +58,7 @@ pub mod system;
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::budget::{
-        AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget,
+        AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget, RunSink,
     };
     pub use crate::controller::{MemoryController, StatsSnapshot};
     pub use crate::events::EventHorizon;
@@ -72,7 +72,9 @@ pub mod prelude {
     pub use crate::system::{run_cubes, HostCompletion, MultiChannelSystem};
 }
 
-pub use budget::{AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget};
+pub use budget::{
+    AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget, RunSink,
+};
 pub use controller::{MemoryController, StatsSnapshot};
 pub use events::EventHorizon;
 pub use request::{CompletedRequest, MemoryRequest, RequestId, RequestKind};

@@ -39,6 +39,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
+use rome_telemetry::LatencyHistogram;
 
 use crate::budget::{AbortReason, RunBudget, STALLED_SOURCE_WAKEUPS};
 use crate::controller::MemoryController;
@@ -79,12 +80,26 @@ pub struct SimulationReport {
     /// report is a valid *partial* summary of the work completed before the
     /// abort.
     pub aborted: Option<AbortReason>,
+    /// Distribution of per-request end-to-end read latencies in simulated ns
+    /// (enqueue to completion), as a mergeable log₂-bucket histogram —
+    /// p50/p95/p99/max alongside the `mean_read_latency` mean. Sim-time data
+    /// only, so it is deterministic: bit-identical run-to-run and across the
+    /// event-driven/stepped drivers. Empty when
+    /// [`rome_telemetry::sim_sampling`] is off (the default stays on), which
+    /// is pinned to leave every other field untouched.
+    pub read_latency: LatencyHistogram,
 }
 
 impl SimulationReport {
     /// Tag this report with an abort reason (`None` clears the tag).
     pub fn with_abort(mut self, aborted: Option<AbortReason>) -> Self {
         self.aborted = aborted;
+        self
+    }
+
+    /// Attach a read-latency histogram to this report.
+    pub fn with_read_latency(mut self, read_latency: LatencyHistogram) -> Self {
+        self.read_latency = read_latency;
         self
     }
 }
@@ -153,6 +168,11 @@ fn drive<C: MemoryController>(
     let mut completions = Vec::new();
     let mut meter = budget.meter();
     let mut aborted = None;
+    // Sampling is latched once per run: toggling it mid-run must not produce
+    // a half-populated histogram.
+    let sampling = rome_telemetry::sim_sampling();
+    let mut read_latency = LatencyHistogram::new();
+    let mut idle_steps: u64 = 0;
 
     while (completed < total || !controller.is_idle()) && now < max_ns {
         if let Some(reason) = meter.on_step(now) {
@@ -175,7 +195,12 @@ fn drive<C: MemoryController>(
             completed += 1;
             finish_time = finish_time.max(done.completed);
             match done.kind {
-                RequestKind::Read => bytes_read += done.bytes,
+                RequestKind::Read => {
+                    bytes_read += done.bytes;
+                    if sampling {
+                        read_latency.record(done.completed.saturating_sub(done.arrival));
+                    }
+                }
                 RequestKind::Write => bytes_written += done.bytes,
             }
         }
@@ -184,6 +209,7 @@ fn drive<C: MemoryController>(
         let arrival_next = pending
             .peek()
             .is_some_and(|next| controller.slots_free_for(next.kind) > 0);
+        idle_steps += (!issued) as u64;
         now = if stepped || issued || arrival_next {
             now + 1
         } else {
@@ -193,6 +219,9 @@ fn drive<C: MemoryController>(
         };
     }
 
+    if let Some(sink) = &budget.sink {
+        sink.on_run_end(meter.events(), idle_steps, aborted);
+    }
     assemble_report(
         controller,
         completed,
@@ -201,6 +230,7 @@ fn drive<C: MemoryController>(
         finish_time,
     )
     .with_abort(aborted)
+    .with_read_latency(read_latency)
 }
 
 /// Drive `controller` from a lazy [`TrafficSource`] instead of a
@@ -254,6 +284,9 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
     let mut meter = budget.meter();
     let mut aborted = None;
     let mut idle_wakeups: u64 = 0;
+    let sampling = rome_telemetry::sim_sampling();
+    let mut read_latency = LatencyHistogram::new();
+    let mut idle_steps: u64 = 0;
 
     loop {
         if let Some(reason) = meter.on_step(now) {
@@ -285,7 +318,12 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
             completed += 1;
             finish_time = finish_time.max(done.completed);
             match done.kind {
-                RequestKind::Read => bytes_read += done.bytes,
+                RequestKind::Read => {
+                    bytes_read += done.bytes;
+                    if sampling {
+                        read_latency.record(done.completed.saturating_sub(done.arrival));
+                    }
+                }
                 RequestKind::Write => bytes_written += done.bytes,
             }
             source.on_completion(&HostCompletion {
@@ -315,6 +353,7 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
         let arrival_next = pending
             .front()
             .is_some_and(|next| controller.slots_free_for(next.kind) > 0);
+        idle_steps += (!issued) as u64;
         now = if issued || arrival_next {
             now + 1
         } else {
@@ -342,6 +381,9 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
         };
     }
 
+    if let Some(sink) = &budget.sink {
+        sink.on_run_end(meter.events(), idle_steps, aborted);
+    }
     assemble_report(
         controller,
         completed,
@@ -350,6 +392,7 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
         finish_time,
     )
     .with_abort(aborted)
+    .with_read_latency(read_latency)
 }
 
 /// Fold the driver-side counters and the controller's statistics snapshot
@@ -398,6 +441,7 @@ pub fn report_from_stats(
             stats.activates as f64 / (useful as f64 / 1024.0)
         },
         aborted: None,
+        read_latency: LatencyHistogram::new(),
     }
 }
 
@@ -412,9 +456,16 @@ pub fn report_from_host_completions(
     let mut bytes_read = 0u64;
     let mut bytes_written = 0u64;
     let mut finish_time = 0;
+    let sampling = rome_telemetry::sim_sampling();
+    let mut read_latency = LatencyHistogram::new();
     for c in completions {
         match c.kind {
-            RequestKind::Read => bytes_read += c.bytes,
+            RequestKind::Read => {
+                bytes_read += c.bytes;
+                if sampling {
+                    read_latency.record(c.completed.saturating_sub(c.arrival));
+                }
+            }
             RequestKind::Write => bytes_written += c.bytes,
         }
         finish_time = finish_time.max(c.completed);
@@ -426,6 +477,7 @@ pub fn report_from_host_completions(
         bytes_written,
         finish_time,
     )
+    .with_read_latency(read_latency)
 }
 
 /// Merge per-shard [`SimulationReport`]s (one per cube of a multi-cube
@@ -456,6 +508,7 @@ pub fn merge_reports(reports: &[SimulationReport]) -> SimulationReport {
         row_hit_rate: 0.0,
         activates_per_kib: 0.0,
         aborted: None,
+        read_latency: LatencyHistogram::new(),
     };
     let mut latency_weight = 0.0;
     let mut latency_sum = 0.0;
@@ -469,6 +522,7 @@ pub fn merge_reports(reports: &[SimulationReport]) -> SimulationReport {
         merged.bytes_transferred += r.bytes_transferred;
         merged.finish_time = merged.finish_time.max(r.finish_time);
         merged.aborted = merged.aborted.or(r.aborted);
+        merged.read_latency.merge(&r.read_latency);
         latency_sum += r.mean_read_latency * r.bytes_read as f64;
         latency_weight += r.bytes_read as f64;
         hit_sum += r.row_hit_rate * r.bytes_transferred as f64;
@@ -507,6 +561,7 @@ mod tests {
             row_hit_rate: 0.5,
             activates_per_kib: 1.0,
             aborted: None,
+            read_latency: LatencyHistogram::new(),
         }
     }
 

@@ -649,6 +649,7 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         let mut meter = budget.meter();
         let mut aborted = None;
         let mut idle_wakeups: u64 = 0;
+        let mut idle_steps: u64 = 0;
         loop {
             if let Some(reason) = meter.on_step(now) {
                 aborted = Some(reason);
@@ -683,6 +684,7 @@ impl<C: MemoryController> MultiChannelSystem<C> {
                     break;
                 }
             }
+            idle_steps += (!issued) as u64;
             now = if issued {
                 now + 1
             } else {
@@ -707,6 +709,9 @@ impl<C: MemoryController> MultiChannelSystem<C> {
                     None => now + 1,
                 }
             };
+        }
+        if let Some(sink) = &budget.sink {
+            sink.on_run_end(meter.events(), idle_steps, aborted);
         }
         (completions, now, aborted)
     }
@@ -760,7 +765,12 @@ impl<C: MemoryController> MultiChannelSystem<C> {
             .iter_mut()
             .zip(backlogs.iter_mut())
             .collect();
-        let per_channel: Vec<(Vec<CompletedRequest>, Cycle, Option<AbortReason>)> = tasks
+        let per_channel: Vec<(
+            Vec<CompletedRequest>,
+            Cycle,
+            Option<AbortReason>,
+            ChannelMeterStats,
+        )> = tasks
             .into_par_iter()
             .map(|(ctrl, backlog)| run_channel_until_idle(ctrl, backlog, max_ns, budget))
             .collect();
@@ -776,10 +786,18 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         let mut stop = 0;
         let mut aborted = None;
         let mut fragments = Vec::new();
-        for (done, t, channel_abort) in per_channel {
+        let mut meter_total = ChannelMeterStats::default();
+        for (done, t, channel_abort, meter_stats) in per_channel {
             stop = stop.max(t);
             aborted = aborted.or(channel_abort);
             fragments.extend(done);
+            meter_total.events += meter_stats.events;
+            meter_total.idle_steps += meter_stats.idle_steps;
+        }
+        // One aggregate record for the sharded run (events summed across
+        // channel workers), mirroring the single-loop drivers.
+        if let Some(sink) = &budget.sink {
+            sink.on_run_end(meter_total.events, meter_total.idle_steps, aborted);
         }
         fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
 
@@ -915,12 +933,18 @@ fn run_channel_until_idle<C: MemoryController>(
     backlog: &mut ChannelBacklog<C>,
     max_ns: Cycle,
     budget: &RunBudget,
-) -> (Vec<CompletedRequest>, Cycle, Option<AbortReason>) {
+) -> (
+    Vec<CompletedRequest>,
+    Cycle,
+    Option<AbortReason>,
+    ChannelMeterStats,
+) {
     let mut done = Vec::new();
     let mut now = 0;
     let mut stop = 0;
     let mut meter = budget.meter();
     let mut aborted = None;
+    let mut idle_steps: u64 = 0;
     while (!backlog.is_empty() || !ctrl.is_idle()) && now < max_ns {
         if let Some(reason) = meter.on_step(now) {
             aborted = Some(reason);
@@ -930,6 +954,7 @@ fn run_channel_until_idle<C: MemoryController>(
         let issued = ctrl.tick_into(now, &mut done);
         stop = now + 1;
         let arrival_next = backlog.can_enqueue(ctrl);
+        idle_steps += (!issued) as u64;
         now = if issued || arrival_next {
             now + 1
         } else {
@@ -946,7 +971,20 @@ fn run_channel_until_idle<C: MemoryController>(
     } else {
         max_ns
     };
-    (done, stop, aborted)
+    let meter_stats = ChannelMeterStats {
+        events: meter.events(),
+        idle_steps,
+    };
+    (done, stop, aborted, meter_stats)
+}
+
+/// Per-channel loop-meter counters surfaced by [`run_channel_until_idle`] so
+/// the system-level driver can record one aggregate [`crate::budget::RunSink`] entry for
+/// the whole sharded run instead of one per channel worker.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelMeterStats {
+    events: u64,
+    idle_steps: u64,
 }
 
 #[cfg(test)]

@@ -21,30 +21,37 @@
 //! `listening on <addr>` to stdout, and serve until stdin reaches EOF —
 //! the shutdown signal — then drain gracefully: stop accepting, let
 //! in-flight scenarios finish (or abort as `drained` partials after the
-//! grace period), notify every connection, and exit 0.
+//! grace period), notify every connection, and exit 0. With
+//! `--stats-interval SECS`, a metrics snapshot (the same canonical JSON
+//! the `{"op":"stats"}` wire frame returns) is additionally emitted to
+//! stdout as one JSONL line every SECS seconds, plus one final snapshot
+//! after the drain completes.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rome_server::net::{NetConfig, SocketServer};
 use rome_server::{serve_jsonl_with_retry, RetryPolicy, ScenarioEngine};
 
-const USAGE: &str = "usage: rome-server [FILE | --serve ADDR]
+const USAGE: &str = "usage: rome-server [FILE | --serve ADDR [--stats-interval SECS]]
 
 Serve a JSONL batch of scenario specs (from FILE, or stdin when omitted),
 writing one JSONL result per spec to stdout, in input order; or, with
 --serve, run a persistent socket service on ADDR until stdin reaches EOF,
-then drain gracefully. See the \"Scenario server\" and \"Network service\"
-sections of README.md for the formats.";
+then drain gracefully. --stats-interval additionally emits a JSONL metrics
+snapshot to stdout every SECS seconds (and once after drain). See the
+\"Scenario server\", \"Network service\", and \"Observability\" sections of
+README.md for the formats.";
 
-fn serve_socket(addr: &str) -> ExitCode {
+fn serve_socket(addr: &str, stats_interval: Option<Duration>) -> ExitCode {
     let engine = Arc::new(ScenarioEngine::new());
     let config = NetConfig::default();
     let grace = config.drain_grace;
-    let server = match SocketServer::bind(addr, engine, config) {
+    let server = match SocketServer::bind(addr, Arc::clone(&engine), config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("rome-server: could not bind {addr}: {e}");
@@ -60,7 +67,24 @@ fn serve_socket(addr: &str) -> ExitCode {
         let _ = std::io::stdin().read_to_end(&mut sink);
         handle.drain(grace);
     });
+    if let Some(interval) = stats_interval {
+        let emitter_engine = Arc::clone(&engine);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            if emitter_engine.is_draining() {
+                // The final snapshot is the drain dump below, emitted
+                // after the last connection settles.
+                break;
+            }
+            println!("{}", emitter_engine.stats_json().emit());
+        });
+    }
     let stats = server.run();
+    if stats_interval.is_some() {
+        // Drain dump: the definitive end-of-life snapshot, after every
+        // connection thread has folded its counters in.
+        println!("{}", engine.stats_json().emit());
+    }
     eprintln!(
         "rome-server: drained ({} accepted, {} closed)",
         stats.accepted,
@@ -85,7 +109,21 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         [flag, addr] if flag == "--serve" => {
-            return serve_socket(addr);
+            return serve_socket(addr, None);
+        }
+        [flag, addr, iflag, secs] if flag == "--serve" && iflag == "--stats-interval" => {
+            let secs: u64 = match secs.parse() {
+                Ok(parsed) => parsed,
+                Err(_) => {
+                    eprintln!("rome-server: --stats-interval takes whole seconds, got {secs:?}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if secs == 0 {
+                eprintln!("rome-server: --stats-interval must be at least 1 second");
+                return ExitCode::FAILURE;
+            }
+            return serve_socket(addr, Some(Duration::from_secs(secs)));
         }
         [path] => match std::fs::read_to_string(path) {
             Ok(text) => text,

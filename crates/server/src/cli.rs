@@ -159,6 +159,62 @@ impl RetryPolicy {
         let jitter = z % (floor / 2 + 1);
         floor.saturating_add(jitter)
     }
+
+    /// The stateful schedule for one retry loop (see [`RetrySchedule`]).
+    pub fn schedule(&self) -> RetrySchedule {
+        RetrySchedule {
+            policy: *self,
+            state: self.jitter_seed,
+            round: 0,
+        }
+    }
+}
+
+/// One retry loop's backoff stream: the stateful form of [`RetryPolicy`].
+///
+/// [`RetryPolicy::backoff_ms`] re-derives its jitter from `(seed, round)`
+/// on every call, so every call site holding the same policy replays the
+/// same waits — many loops shed at the same instant retry in lockstep
+/// anyway, defeating the jitter. A `RetrySchedule` instead owns one seeded
+/// splitmix64 *stream*: it is created once per retry loop
+/// ([`serve_jsonl_with_retry`] threads it through), each draw advances the
+/// state, and the whole end-to-end wait sequence is a deterministic
+/// function of the seed — reproducible in tests, yet streams with
+/// different seeds stay de-synchronized across draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrySchedule {
+    policy: RetryPolicy,
+    state: u64,
+    round: u32,
+}
+
+impl RetrySchedule {
+    /// Draw the wait before the next retry round, honoring `hint` (the
+    /// largest engine retry hint among the shed scenarios) as a floor
+    /// exactly as [`RetryPolicy::backoff_ms`] does, and advance both the
+    /// round counter and the jitter stream.
+    pub fn next_backoff_ms(&mut self, hint: u64) -> u64 {
+        let floor = self
+            .policy
+            .base_backoff_ms
+            .checked_shl(self.round)
+            .unwrap_or(u64::MAX)
+            .max(hint);
+        self.round = self.round.saturating_add(1);
+        // splitmix64: advance the stream, mix the new state into a draw.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = z % (floor / 2 + 1);
+        floor.saturating_add(jitter)
+    }
+
+    /// Retry rounds drawn so far.
+    pub fn rounds_taken(&self) -> u32 {
+        self.round
+    }
 }
 
 /// [`serve_jsonl`] plus the operational retry loop: after the initial
@@ -175,7 +231,10 @@ pub fn serve_jsonl_with_retry(
 ) -> Result<String, BatchError> {
     let specs = parse_batch(input)?;
     let mut results = engine.serve_batch(&specs);
-    for round in 0..policy.max_retries {
+    // One seeded backoff stream for the whole loop: the end-to-end wait
+    // sequence is a deterministic function of the policy's seed.
+    let mut schedule = policy.schedule();
+    for _ in 0..policy.max_retries {
         let transient: Vec<usize> = results
             .iter()
             .enumerate()
@@ -195,7 +254,8 @@ pub fn serve_jsonl_with_retry(
             })
             .max()
             .unwrap_or(0);
-        let backoff = policy.backoff_ms(round, hint);
+        let backoff = schedule.next_backoff_ms(hint);
+        engine.registry().counter("admission.retry_rounds").inc();
         if backoff > 0 {
             std::thread::sleep(std::time::Duration::from_millis(backoff));
         }
@@ -343,6 +403,72 @@ mod tests {
             jitter_seed: 42,
         };
         assert_eq!(zero.backoff_ms(0, 0), 0);
+    }
+
+    #[test]
+    fn retry_schedules_are_seeded_streams() {
+        let policy = RetryPolicy {
+            max_retries: 4,
+            base_backoff_ms: 10,
+            jitter_seed: 42,
+        };
+        let mut a = policy.schedule();
+        let mut b = policy.schedule();
+        for round in 0..4 {
+            let floor = (10u64 << round).max(25);
+            let wait = a.next_backoff_ms(25);
+            // Bounds match the stateless form: hint-or-exponential floor,
+            // jitter at most half the floor.
+            assert!(wait >= floor, "round {round}: {wait} < {floor}");
+            assert!(wait <= floor + floor / 2, "round {round}: {wait}");
+            // Same seed, same stream, draw for draw.
+            assert_eq!(wait, b.next_backoff_ms(25));
+        }
+        assert_eq!(a.rounds_taken(), 4);
+        // Different seeds de-synchronize from the very first draw (holds
+        // for these specific seeds).
+        let mut other = RetryPolicy {
+            jitter_seed: 7,
+            ..policy
+        }
+        .schedule();
+        assert_ne!(
+            policy.schedule().next_backoff_ms(25),
+            other.next_backoff_ms(25)
+        );
+        // Zero floor stays zero: a hintless, zero-base schedule never
+        // sleeps, whatever the seed.
+        let mut zero = RetryPolicy {
+            max_retries: 1,
+            base_backoff_ms: 0,
+            jitter_seed: 42,
+        }
+        .schedule();
+        assert_eq!(zero.next_backoff_ms(0), 0);
+    }
+
+    #[test]
+    fn retry_rounds_are_counted_in_the_registry() {
+        let mut limits = EngineLimits::default();
+        limits.admission.max_in_flight = 0;
+        limits.admission.retry_after_ms = 1;
+        let engine = ScenarioEngine::with_limits(limits);
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 0,
+            jitter_seed: 0,
+        };
+        let input = "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\n";
+        serve_jsonl_with_retry(&engine, input, &policy).unwrap();
+        assert_eq!(engine.registry().counter("admission.retry_rounds").get(), 2);
+        // Every attempt (initial + 2 retries) was shed at saturation.
+        assert_eq!(
+            engine
+                .registry()
+                .counter("admission.rejected_transient")
+                .get(),
+            3
+        );
     }
 
     #[test]

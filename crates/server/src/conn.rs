@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use crate::engine::ScenarioEngine;
 use crate::error::ServerError;
+use crate::json::Json;
 use crate::proto::{self, FrameEvent, FrameReader};
 use crate::spec::SpecError;
 
@@ -305,7 +306,10 @@ fn run_loop(
     }
 }
 
-/// Serve one frame event; `Some(close)` ends the connection.
+/// Serve one frame event; `Some(close)` ends the connection. The time from
+/// frame receipt to response enqueue is recorded into the registry's
+/// `net.frame_rtt_us` histogram (wall-clock ops data — it never touches a
+/// scenario payload).
 fn handle_event(
     engine: &ScenarioEngine,
     event: FrameEvent,
@@ -313,14 +317,21 @@ fn handle_event(
     depth: &AtomicUsize,
     config: &ConnConfig,
 ) -> Option<ConnClose> {
+    let received = Instant::now();
     let frame = match event {
         FrameEvent::Line(line) => {
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 return None;
             }
-            match proto::parse_request(trimmed) {
-                Ok(req) => {
+            let parse_start = Instant::now();
+            let parsed = proto::parse_frame(trimmed);
+            let parse_us = parse_start.elapsed().as_micros() as u64;
+            match parsed {
+                Ok(proto::Frame::Stats { id }) => {
+                    proto::render_stats_frame(id, engine.stats_json())
+                }
+                Ok(proto::Frame::Request(req)) => {
                     if depth.load(Ordering::Acquire) >= config.write_queue_cap {
                         // The peer is not keeping up with its own responses:
                         // shed before burning engine time on output nobody
@@ -331,6 +342,22 @@ fn handle_event(
                             Some(config.overload_retry_after_ms),
                         );
                         proto::error_frame(req.id, &err)
+                    } else if req.trace {
+                        // Traced request: per-phase spans ride back on the
+                        // response frame the client explicitly asked for.
+                        engine
+                            .registry()
+                            .histogram("server.span.parse_us")
+                            .record(parse_us);
+                        let (result, spans) = engine.serve_traced(&req.spec);
+                        let trace = match spans.to_json() {
+                            Json::Obj(mut members) => {
+                                members.insert(0, ("parse_us".to_string(), Json::from(parse_us)));
+                                Json::Obj(members)
+                            }
+                            other => other,
+                        };
+                        proto::render_traced_response(req.id, &req.spec, &result, trace)
                     } else {
                         let mut results = engine.serve_batch(std::slice::from_ref(&req.spec));
                         let result = if results.is_empty() {
@@ -368,6 +395,10 @@ fn handle_event(
             proto::error_frame(None, &err)
         }
     };
+    engine
+        .registry()
+        .histogram("net.frame_rtt_us")
+        .record(received.elapsed().as_micros() as u64);
     match enqueue(tx, depth, frame, config.enqueue_wait) {
         Enqueue::Sent => None,
         Enqueue::Stalled | Enqueue::Closed => Some(ConnClose::StalledReader),

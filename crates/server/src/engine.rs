@@ -42,21 +42,25 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
 use rome_core::controller::{RomeController, RomeControllerConfig};
 use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
 use rome_engine::{merge_reports, report_from_host_completions, run_cubes, MemoryRequest};
-use rome_engine::{DrainSignal, EngineFault, RunBudget};
+use rome_engine::{DrainSignal, EngineFault, RunBudget, RunSink};
 use rome_mc::controller::{ChannelController, ControllerConfig};
 use rome_mc::system::{MemorySystem, MemorySystemConfig};
 use rome_sim::serving::closed_loop_points;
 use rome_sim::sweep::Scenario;
 use rome_sim::tpot::decode_tpot;
 use rome_sim::{AcceleratorSpec, CalibrationCache, MemoryModel, MemorySystemKind, ScenarioSet};
+use rome_telemetry::Registry;
 
 use crate::error::{panic_message, ServerError};
+use crate::json::Json;
 use crate::spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
     SpecError,
@@ -196,6 +200,12 @@ pub struct ScenarioEngine {
     fault_plan: Option<FaultPlan>,
     in_flight: AtomicUsize,
     drain: DrainSignal,
+    /// The engine's unified metrics registry: admission and serve-outcome
+    /// counters, run-level engine counters (via each budget's [`RunSink`]),
+    /// the aggregate sim-time request-latency histogram, trace-span
+    /// histograms, and — recorded by the socket front end — the transport
+    /// counters. Shared with front ends for live stats.
+    registry: Arc<Registry>,
 }
 
 impl ScenarioEngine {
@@ -210,6 +220,7 @@ impl ScenarioEngine {
             fault_plan: None,
             in_flight: AtomicUsize::new(0),
             drain: DrainSignal::new(),
+            registry: Arc::new(Registry::new()),
         }
     }
 
@@ -224,6 +235,13 @@ impl ScenarioEngine {
     /// The warm calibration cache (shared, thread-safe).
     pub fn calibration(&self) -> &CalibrationCache {
         &self.calibration
+    }
+
+    /// The engine's metrics registry (shared, thread-safe). Front ends
+    /// record their own counters here (the socket layer's close reasons,
+    /// frame RTTs) so one snapshot covers the whole serving stack.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The accelerator the analytic scenarios model.
@@ -283,6 +301,9 @@ impl ScenarioEngine {
     /// poisons the batch, and one bad batch never poisons the engine.
     pub fn serve_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<ScenarioResult, ServerError>> {
         if self.drain.is_draining() {
+            self.registry
+                .counter("admission.rejected_draining")
+                .add(specs.len() as u64);
             return (0..specs.len())
                 .map(|index| {
                     Err(ServerError::unavailable(
@@ -299,6 +320,9 @@ impl ScenarioEngine {
                 specs.len(),
                 admission.max_batch_specs
             );
+            self.registry
+                .counter("admission.rejected_permanent")
+                .add(specs.len() as u64);
             return reject_all(specs.len(), &detail, None);
         }
         let cost: u64 = specs
@@ -310,14 +334,25 @@ impl ScenarioEngine {
                 "batch cost estimate {cost} exceeds the per-batch limit of {}",
                 admission.max_batch_cost
             );
+            self.registry
+                .counter("admission.rejected_permanent")
+                .add(specs.len() as u64);
             return reject_all(specs.len(), &detail, None);
         }
         let _guard = match self.try_admit(specs.len()) {
             Ok(guard) => guard,
-            Err(detail) => return reject_all(specs.len(), &detail, Some(admission.retry_after_ms)),
+            Err(detail) => {
+                self.registry
+                    .counter("admission.rejected_transient")
+                    .add(specs.len() as u64);
+                return reject_all(specs.len(), &detail, Some(admission.retry_after_ms));
+            }
         };
+        self.registry
+            .counter("admission.accepted")
+            .add(specs.len() as u64);
 
-        specs
+        let results: Vec<Result<ScenarioResult, ServerError>> = specs
             .iter()
             .enumerate()
             .collect::<Vec<(usize, &ScenarioSpec)>>()
@@ -338,7 +373,42 @@ impl ScenarioEngine {
                     )),
                 }
             })
-            .collect()
+            .collect();
+        for result in &results {
+            self.record_outcome(result);
+        }
+        results
+    }
+
+    /// Fold one served outcome into the registry: an outcome counter
+    /// (`serve.ok` / `serve.errors.<code>`) and, for payloads carrying
+    /// unified reports, their sim-time read-latency histograms merged into
+    /// `engine.read_latency_ns` — the aggregate the stats endpoint extracts
+    /// p50/p95/p99 from.
+    fn record_outcome(&self, result: &Result<ScenarioResult, ServerError>) {
+        match result {
+            Ok(ok) => {
+                self.registry.counter("serve.ok").inc();
+                let hist = self.registry.histogram("engine.read_latency_ns");
+                match &ok.payload {
+                    ResultPayload::QueueDepth(rows) => {
+                        for row in rows {
+                            hist.merge_from(&row.report.read_latency);
+                        }
+                    }
+                    // The merged report's histogram is already the merge of
+                    // the per-cube ones; folding it alone avoids counting a
+                    // cube twice.
+                    ResultPayload::MultiCube(mc) => hist.merge_from(&mc.merged.read_latency),
+                    _ => {}
+                }
+            }
+            Err(err) => {
+                self.registry
+                    .counter(&format!("serve.errors.{}", err.code.as_str()))
+                    .inc();
+            }
+        }
     }
 
     /// Atomically reserve `n` in-flight slots, or explain why not.
@@ -370,9 +440,15 @@ impl ScenarioEngine {
     }
 
     /// The budget for the scenario at `index` of a batch: the engine-wide
-    /// budget, plus any fault the installed [`FaultPlan`] addresses to it.
+    /// budget, plus the engine's drain signal and telemetry sink, plus any
+    /// fault the installed [`FaultPlan`] addresses to it.
     fn budget_for(&self, index: usize) -> RunBudget {
-        let mut budget = self.limits.budget.clone().with_drain(self.drain.clone());
+        let mut budget = self
+            .limits
+            .budget
+            .clone()
+            .with_drain(self.drain.clone())
+            .with_sink(RunSink::new(Arc::clone(&self.registry)));
         if let Some(fault) = self
             .fault_plan
             .as_ref()
@@ -506,14 +582,14 @@ impl ScenarioEngine {
                         "multi-cube run needs cubes, channels, and traffic".into(),
                     ));
                 }
-                ResultPayload::MultiCube(run_multi_cube(
+                ResultPayload::MultiCube(Box::new(run_multi_cube(
                     *system,
                     *cubes,
                     *channels_per_cube,
                     *bytes_per_cube,
                     *max_ns,
                     budget,
-                ))
+                )))
             }
         };
         Ok(ScenarioResult {
@@ -521,6 +597,203 @@ impl ScenarioEngine {
             payload,
         })
     }
+
+    /// Serve one scenario with per-phase wall-clock spans: admission,
+    /// calibration warm-up, and simulation are timed separately, recorded
+    /// into the registry's `server.span.*` histograms, and returned so a
+    /// front end can attach them to the response *when the request opted
+    /// in*. The result itself is byte-identical to the untraced path —
+    /// spans are wall-clock and live strictly outside the
+    /// [`ScenarioResult`] payload.
+    pub fn serve_traced(
+        &self,
+        spec: &ScenarioSpec,
+    ) -> (Result<ScenarioResult, ServerError>, ServeSpans) {
+        let mut spans = ServeSpans::default();
+        let t = Instant::now();
+        let admitted = self.admit_one(spec);
+        spans.admission_us = t.elapsed().as_micros() as u64;
+        let guard = match admitted {
+            Ok(guard) => guard,
+            Err(err) => {
+                let result = Err(err);
+                self.record_outcome(&result);
+                self.record_spans(&spans);
+                return (result, spans);
+            }
+        };
+        // Warm the calibrations the spec will consult so the simulate span
+        // measures simulation, not a cold cache. A warm hit costs ~nothing,
+        // so repeated traces converge on the steady-state phase split.
+        let t = Instant::now();
+        self.prewarm_calibration(spec);
+        spans.calibration_us = t.elapsed().as_micros() as u64;
+        let budget = self.budget_for(0);
+        let t = Instant::now();
+        let result = match catch_unwind(AssertUnwindSafe(|| self.serve_with_budget(spec, &budget)))
+        {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(err)) => Err(ServerError::invalid_spec(0, err)),
+            Err(payload) => Err(ServerError::panicked(0, panic_message(payload.as_ref()))),
+        };
+        spans.simulate_us = t.elapsed().as_micros() as u64;
+        drop(guard);
+        self.record_outcome(&result);
+        self.record_spans(&spans);
+        (result, spans)
+    }
+
+    /// The admission gates of [`ScenarioEngine::serve_batch`], applied to a
+    /// single scenario (the traced path serves one spec at a time).
+    fn admit_one(&self, spec: &ScenarioSpec) -> Result<AdmissionGuard<'_>, ServerError> {
+        if self.drain.is_draining() {
+            self.registry.counter("admission.rejected_draining").inc();
+            return Err(ServerError::unavailable(
+                0,
+                "engine draining: no new work accepted",
+            ));
+        }
+        let admission = &self.limits.admission;
+        let cost = spec.estimated_cost();
+        if cost > admission.max_batch_cost {
+            self.registry.counter("admission.rejected_permanent").inc();
+            let detail = format!(
+                "batch cost estimate {cost} exceeds the per-batch limit of {}",
+                admission.max_batch_cost
+            );
+            return Err(ServerError::rejected(0, detail, None));
+        }
+        match self.try_admit(1) {
+            Ok(guard) => {
+                self.registry.counter("admission.accepted").inc();
+                Ok(guard)
+            }
+            Err(detail) => {
+                self.registry.counter("admission.rejected_transient").inc();
+                Err(ServerError::rejected(
+                    0,
+                    detail,
+                    Some(admission.retry_after_ms),
+                ))
+            }
+        }
+    }
+
+    /// Warm every calibration `spec` will consult (see
+    /// [`ScenarioEngine::serve_traced`]).
+    fn prewarm_calibration(&self, spec: &ScenarioSpec) {
+        match spec {
+            ScenarioSpec::Sweep {
+                calibrated: true, ..
+            }
+            | ScenarioSpec::Tpot {
+                calibrated: true, ..
+            } => {
+                self.calibration.get_or_calibrate(MemorySystemKind::Hbm4);
+                self.calibration.get_or_calibrate(MemorySystemKind::Rome);
+            }
+            ScenarioSpec::Calibration { system, .. } => {
+                self.calibration.get_or_calibrate(*system);
+            }
+            _ => {}
+        }
+    }
+
+    fn record_spans(&self, spans: &ServeSpans) {
+        self.registry
+            .histogram("server.span.admission_us")
+            .record(spans.admission_us);
+        self.registry
+            .histogram("server.span.calibration_us")
+            .record(spans.calibration_us);
+        self.registry
+            .histogram("server.span.simulate_us")
+            .record(spans.simulate_us);
+    }
+
+    /// A canonical-JSON snapshot of the serving stack's metrics: every
+    /// registry counter, gauge, and histogram, plus point-in-time figures
+    /// the registry doesn't own (the calibration cache's hit/miss totals,
+    /// the in-flight gauge). Keys render in lexicographic order, so two
+    /// snapshots of identical state emit byte-identically. This is the body
+    /// of the `{"op":"stats"}` control frame and of each `--stats-interval`
+    /// JSONL line.
+    pub fn stats_json(&self) -> Json {
+        let mut snap = self.registry.snapshot();
+        let (hits, misses) = self.calibration.stats();
+        snap.counters
+            .push(("cache.calibration.hits".to_string(), hits));
+        snap.counters
+            .push(("cache.calibration.misses".to_string(), misses));
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges
+            .push(("engine.in_flight".to_string(), self.in_flight() as i64));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let counters = Json::Obj(
+            snap.counters
+                .into_iter()
+                .map(|(k, v)| (k, Json::from(v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            snap.gauges
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v as f64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            snap.histograms
+                .into_iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(k, h)| (k, histogram_json(&h)))
+                .collect(),
+        );
+        Json::obj([
+            ("scenario", Json::from("stats")),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// Wall-clock phase timings of one traced serve, in microseconds. These are
+/// ops measurements — nondeterministic by nature — and are kept strictly
+/// outside [`ScenarioResult`]; a front end attaches them to a response only
+/// when the request's `trace` flag asked for them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSpans {
+    /// Time in the admission gates (drain check, cost check, slot reserve).
+    pub admission_us: u64,
+    /// Time warming the calibrations the spec consults (≈0 on a warm cache).
+    pub calibration_us: u64,
+    /// Time in the scenario's direct-call serving path.
+    pub simulate_us: u64,
+}
+
+impl ServeSpans {
+    /// The spans as a JSON object (stable keys, µs integers).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("admission_us", Json::from(self.admission_us)),
+            ("calibration_us", Json::from(self.calibration_us)),
+            ("simulate_us", Json::from(self.simulate_us)),
+        ])
+    }
+}
+
+/// The summary of one histogram a stats snapshot renders: sample count,
+/// exact max, mean, and bucket-resolution p50/p95/p99 (the `sum` stays
+/// internal — it can exceed JSON's exact-integer range).
+fn histogram_json(h: &rome_telemetry::LatencyHistogram) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count())),
+        ("max", Json::from(h.max())),
+        ("mean", Json::Num(h.mean())),
+        ("p50", Json::from(h.p50())),
+        ("p95", Json::from(h.p95())),
+        ("p99", Json::from(h.p99())),
+    ])
 }
 
 /// Every slot of a shed batch carries the same rejection, addressed to its

@@ -64,12 +64,15 @@ pub mod spec;
 pub mod prelude {
     pub use crate::cli::{
         parse_batch, render_results, serve_jsonl, serve_jsonl_with_retry, RetryPolicy,
+        RetrySchedule,
     };
     pub use crate::conn::{ConnClose, ConnConfig};
-    pub use crate::engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine};
+    pub use crate::engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine, ServeSpans};
     pub use crate::error::{ErrorCode, ServerError};
     pub use crate::net::{NetConfig, NetStats, ServerHandle, SocketServer};
-    pub use crate::proto::{FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan};
+    pub use crate::proto::{
+        Frame, FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan,
+    };
     pub use crate::spec::{
         MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec, SpecError,
         TenantDecl, WorkloadSpec,
@@ -78,13 +81,14 @@ pub mod prelude {
 
 pub use cli::{
     parse_batch, render_results, serve_jsonl, serve_jsonl_with_retry, BatchError, RetryPolicy,
+    RetrySchedule,
 };
 pub use conn::{ConnClose, ConnConfig};
-pub use engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine};
+pub use engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine, ServeSpans};
 pub use error::{ErrorCode, ServerError};
 pub use json::Json;
 pub use net::{NetConfig, NetStats, ServerHandle, SocketServer};
-pub use proto::{FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan};
+pub use proto::{Frame, FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan};
 pub use spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
     SpecError, TenantDecl, WorkloadSpec,

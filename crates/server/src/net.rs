@@ -36,6 +36,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use rome_telemetry::{Counter, Registry};
+
 use crate::conn::{handle_connection, split_tcp, ConnClose, ConnConfig};
 use crate::engine::ScenarioEngine;
 use crate::error::ServerError;
@@ -64,22 +66,42 @@ impl Default for NetConfig {
     }
 }
 
-/// Counters of everything the server did, snapshot by [`NetStats`].
-#[derive(Debug, Default)]
+/// Cached handles into the engine's [`rome_telemetry::Registry`]
+/// (`net.*` names), one per thing the server counts. Because the backing
+/// counters live in the registry, a `{"op":"stats"}` frame or a
+/// `--stats-interval` snapshot sees them *live, mid-run* — and
+/// [`Counters::snapshot`] converts the same live values into the legacy
+/// [`NetStats`] struct the run/handle APIs return.
+#[derive(Debug)]
 struct Counters {
-    accepted: AtomicUsize,
-    rejected_overloaded: AtomicUsize,
-    rejected_draining: AtomicUsize,
-    poisoned: AtomicUsize,
-    closed_eof: AtomicUsize,
-    closed_eof_mid_frame: AtomicUsize,
-    closed_idle: AtomicUsize,
-    closed_read_error: AtomicUsize,
-    closed_stalled: AtomicUsize,
-    closed_draining: AtomicUsize,
+    accepted: Arc<Counter>,
+    rejected_overloaded: Arc<Counter>,
+    rejected_draining: Arc<Counter>,
+    poisoned: Arc<Counter>,
+    closed_eof: Arc<Counter>,
+    closed_eof_mid_frame: Arc<Counter>,
+    closed_idle: Arc<Counter>,
+    closed_read_error: Arc<Counter>,
+    closed_stalled: Arc<Counter>,
+    closed_draining: Arc<Counter>,
 }
 
 impl Counters {
+    fn new(registry: &Registry) -> Self {
+        Counters {
+            accepted: registry.counter("net.accepted"),
+            rejected_overloaded: registry.counter("net.rejected_overloaded"),
+            rejected_draining: registry.counter("net.rejected_draining"),
+            poisoned: registry.counter("net.poisoned"),
+            closed_eof: registry.counter("net.closed.eof"),
+            closed_eof_mid_frame: registry.counter("net.closed.eof_mid_frame"),
+            closed_idle: registry.counter("net.closed.idle_timeout"),
+            closed_read_error: registry.counter("net.closed.read_error"),
+            closed_stalled: registry.counter("net.closed.stalled_reader"),
+            closed_draining: registry.counter("net.closed.draining"),
+        }
+    }
+
     fn record_close(&self, close: ConnClose) {
         let counter = match close {
             ConnClose::Eof => &self.closed_eof,
@@ -89,21 +111,21 @@ impl Counters {
             ConnClose::StalledReader => &self.closed_stalled,
             ConnClose::Draining => &self.closed_draining,
         };
-        counter.fetch_add(1, Ordering::AcqRel);
+        counter.inc();
     }
 
     fn snapshot(&self) -> NetStats {
         NetStats {
-            accepted: self.accepted.load(Ordering::Acquire),
-            rejected_overloaded: self.rejected_overloaded.load(Ordering::Acquire),
-            rejected_draining: self.rejected_draining.load(Ordering::Acquire),
-            poisoned: self.poisoned.load(Ordering::Acquire),
-            closed_eof: self.closed_eof.load(Ordering::Acquire),
-            closed_eof_mid_frame: self.closed_eof_mid_frame.load(Ordering::Acquire),
-            closed_idle: self.closed_idle.load(Ordering::Acquire),
-            closed_read_error: self.closed_read_error.load(Ordering::Acquire),
-            closed_stalled: self.closed_stalled.load(Ordering::Acquire),
-            closed_draining: self.closed_draining.load(Ordering::Acquire),
+            accepted: self.accepted.get() as usize,
+            rejected_overloaded: self.rejected_overloaded.get() as usize,
+            rejected_draining: self.rejected_draining.get() as usize,
+            poisoned: self.poisoned.get() as usize,
+            closed_eof: self.closed_eof.get() as usize,
+            closed_eof_mid_frame: self.closed_eof_mid_frame.get() as usize,
+            closed_idle: self.closed_idle.get() as usize,
+            closed_read_error: self.closed_read_error.get() as usize,
+            closed_stalled: self.closed_stalled.get() as usize,
+            closed_draining: self.closed_draining.get() as usize,
         }
     }
 }
@@ -203,11 +225,12 @@ impl SocketServer {
         // the drain signal even when no one is connecting.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let counters = Arc::new(Counters::new(engine.registry()));
         Ok(SocketServer {
             listener,
             engine,
             config,
-            counters: Arc::new(Counters::default()),
+            counters,
             accepting: Arc::new(AtomicBool::new(true)),
             addr,
         })
@@ -254,16 +277,12 @@ impl SocketServer {
                     Err(_) => break,
                 };
                 if self.engine.is_draining() {
-                    self.counters
-                        .rejected_draining
-                        .fetch_add(1, Ordering::AcqRel);
+                    self.counters.rejected_draining.inc();
                     refuse(stream, &draining_refusal(), &self.config.conn);
                     break;
                 }
                 if live.load(Ordering::Acquire) >= max_connections {
-                    self.counters
-                        .rejected_overloaded
-                        .fetch_add(1, Ordering::AcqRel);
+                    self.counters.rejected_overloaded.inc();
                     let err = ServerError::overloaded(
                         0,
                         format!("connection limit of {max_connections} reached"),
@@ -272,7 +291,7 @@ impl SocketServer {
                     refuse(stream, &proto::error_frame(None, &err), &self.config.conn);
                     continue;
                 }
-                self.counters.accepted.fetch_add(1, Ordering::AcqRel);
+                self.counters.accepted.inc();
                 live.fetch_add(1, Ordering::AcqRel);
                 let engine = Arc::clone(&self.engine);
                 let counters = Arc::clone(&self.counters);
@@ -290,9 +309,7 @@ impl SocketServer {
             while live.load(Ordering::Acquire) > 0 {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        self.counters
-                            .rejected_draining
-                            .fetch_add(1, Ordering::AcqRel);
+                        self.counters.rejected_draining.inc();
                         refuse(stream, &draining_refusal(), &self.config.conn);
                     }
                     Err(_) => std::thread::sleep(self.config.accept_poll),
@@ -331,7 +348,7 @@ fn serve_one(engine: &ScenarioEngine, stream: TcpStream, config: &ConnConfig, co
     match outcome {
         Ok(close) => counters.record_close(close),
         Err(payload) => {
-            counters.poisoned.fetch_add(1, Ordering::AcqRel);
+            counters.poisoned.inc();
             let detail = format!(
                 "connection poisoned: {}",
                 crate::error::panic_message(payload.as_ref())

@@ -146,6 +146,50 @@ pub struct Request {
     pub id: Option<u64>,
     /// The scenario to serve.
     pub spec: ScenarioSpec,
+    /// Whether the envelope asked for per-phase trace spans
+    /// (`"trace":true`): the response frame gains a `trace` object of
+    /// wall-clock phase timings. Off for bare-spec frames, so their
+    /// responses stay byte-identical to the CLI's.
+    pub trace: bool,
+}
+
+/// One parsed inbound frame: a scenario request, or a control operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A scenario request (bare spec or envelope).
+    Request(Request),
+    /// The `{"op":"stats"}` control frame: answer with a live metrics
+    /// snapshot ([`crate::engine::ScenarioEngine::stats_json`]), echoing
+    /// the optional envelope id.
+    Stats {
+        /// The envelope id to echo, if the client sent one.
+        id: Option<u64>,
+    },
+}
+
+/// Parse one inbound frame: the `{"op":"stats"}` control form (optionally
+/// carrying an `id` to echo), the bare-spec request form, or the request
+/// envelope `{"id":N,"spec":{…}[,"trace":true]}`. Anything else is a
+/// protocol error described by the returned string.
+pub fn parse_frame(line: &str) -> Result<Frame, String> {
+    let value = json::parse(line).map_err(|e| e.to_string())?;
+    if let Some(op) = value.get("op") {
+        match op.as_str() {
+            Some("stats") => {
+                let id = match value.get("id") {
+                    Some(idv) => Some(
+                        idv.as_u64()
+                            .ok_or_else(|| "envelope id must be an unsigned integer".to_string())?,
+                    ),
+                    None => None,
+                };
+                return Ok(Frame::Stats { id });
+            }
+            Some(other) => return Err(format!("unknown op {other:?}")),
+            None => return Err("op must be a string".to_string()),
+        }
+    }
+    request_from_value(&value).map(Frame::Request)
 }
 
 /// Parse one request frame. Accepts the bare-spec form (any object carrying
@@ -153,6 +197,10 @@ pub struct Request {
 /// else is a protocol error described by the returned string.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let value = json::parse(line).map_err(|e| e.to_string())?;
+    request_from_value(&value)
+}
+
+fn request_from_value(value: &Json) -> Result<Request, String> {
     if let Some(spec_value) = value.get("spec") {
         let id = match value.get("id") {
             Some(idv) => Some(
@@ -161,11 +209,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             ),
             None => return Err("envelope with \"spec\" must also carry \"id\"".to_string()),
         };
+        let trace = match value.get("trace") {
+            Some(tv) => tv
+                .as_bool()
+                .ok_or_else(|| "envelope trace must be a boolean".to_string())?,
+            None => false,
+        };
         let spec = ScenarioSpec::from_json(spec_value).map_err(|e| e.to_string())?;
-        return Ok(Request { id, spec });
+        return Ok(Request { id, spec, trace });
     }
-    let spec = ScenarioSpec::from_json(&value).map_err(|e| e.to_string())?;
-    Ok(Request { id: None, spec })
+    let spec = ScenarioSpec::from_json(value).map_err(|e| e.to_string())?;
+    Ok(Request {
+        id: None,
+        spec,
+        trace: false,
+    })
 }
 
 /// Render one response frame (no trailing newline). For bare requests this
@@ -178,6 +236,32 @@ pub fn render_response(
 ) -> String {
     let line = crate::cli::result_json(spec, result);
     with_id(id, line).emit()
+}
+
+/// Render one traced response frame: the ordinary response object with a
+/// trailing `"trace"` member holding the wall-clock span object. Only
+/// requests that asked (`"trace":true`) are rendered this way — every
+/// other response stays byte-identical to the untraced encoding.
+pub fn render_traced_response(
+    id: Option<u64>,
+    spec: &ScenarioSpec,
+    result: &Result<ScenarioResult, ServerError>,
+    trace: Json,
+) -> String {
+    let line = match crate::cli::result_json(spec, result) {
+        Json::Obj(mut members) => {
+            members.push(("trace".to_string(), trace));
+            Json::Obj(members)
+        }
+        other => other,
+    };
+    with_id(id, line).emit()
+}
+
+/// Render one stats response frame (no trailing newline): the snapshot
+/// body, gaining a leading `"id"` when the control frame carried one.
+pub fn render_stats_frame(id: Option<u64>, body: Json) -> String {
+    with_id(id, body).emit()
 }
 
 /// Render a protocol-level error frame (no trailing newline): the CLI error
@@ -376,6 +460,35 @@ mod tests {
         assert!(parse_request("{\"spec\":{}}").is_err());
         assert!(parse_request("{\"id\":\"x\",\"spec\":{}}").is_err());
         assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn stats_and_trace_frames_parse() {
+        assert_eq!(
+            parse_frame("{\"op\":\"stats\"}").unwrap(),
+            Frame::Stats { id: None }
+        );
+        assert_eq!(
+            parse_frame("{\"op\":\"stats\",\"id\":9}").unwrap(),
+            Frame::Stats { id: Some(9) }
+        );
+        assert!(parse_frame("{\"op\":\"flush\"}").is_err());
+        assert!(parse_frame("{\"op\":7}").is_err());
+        assert!(parse_frame("{\"op\":\"stats\",\"id\":\"x\"}").is_err());
+
+        let bare = "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}";
+        let Frame::Request(req) = parse_frame(bare).unwrap() else {
+            panic!("bare spec must parse as a request");
+        };
+        assert!(!req.trace, "bare requests never trace");
+
+        let traced = format!("{{\"id\":2,\"trace\":true,\"spec\":{bare}}}");
+        let Frame::Request(req) = parse_frame(&traced).unwrap() else {
+            panic!("envelope must parse as a request");
+        };
+        assert_eq!(req.id, Some(2));
+        assert!(req.trace);
+        assert!(parse_frame(&format!("{{\"id\":2,\"trace\":1,\"spec\":{bare}}}")).is_err());
     }
 
     #[test]

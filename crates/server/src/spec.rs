@@ -678,7 +678,9 @@ pub enum ResultPayload {
         rome: TpotReport,
     },
     /// Sharded multi-cube run: per-cube reports plus the merged summary.
-    MultiCube(MultiCubeReport),
+    /// Boxed: the embedded reports carry inline latency histograms, which
+    /// would otherwise make this variant dwarf the others.
+    MultiCube(Box<MultiCubeReport>),
 }
 
 /// One row of a queue-depth sweep result.
@@ -902,8 +904,10 @@ fn trace_record_from_json(value: &Json) -> Result<TraceRecord, SpecError> {
 }
 
 /// Encode a unified [`SimulationReport`]. The `aborted` key is emitted only
-/// when the run was actually cut short, so every report of an unbounded run
-/// stays byte-identical to the pre-budget encoding.
+/// when the run was actually cut short, and the `read_latency` percentile
+/// object only when the run recorded a sim-time latency histogram (sampling
+/// on), so every report of an unbounded, unsampled run stays byte-identical
+/// to the pre-budget, pre-telemetry encoding.
 pub fn report_to_json(r: &SimulationReport) -> Json {
     let mut members = vec![
         ("requests_completed", Json::from(r.requests_completed)),
@@ -921,6 +925,19 @@ pub fn report_to_json(r: &SimulationReport) -> Json {
     ];
     if let Some(reason) = r.aborted {
         members.push(("aborted", Json::from(reason.as_str())));
+    }
+    if !r.read_latency.is_empty() {
+        // Sim-time percentiles: deterministic, bit-identical run to run.
+        members.push((
+            "read_latency",
+            Json::obj([
+                ("count", Json::from(r.read_latency.count())),
+                ("max", Json::from(r.read_latency.max())),
+                ("p50", Json::from(r.read_latency.p50())),
+                ("p95", Json::from(r.read_latency.p95())),
+                ("p99", Json::from(r.read_latency.p99())),
+            ]),
+        ));
     }
     Json::obj(members)
 }

@@ -12,9 +12,10 @@ use std::time::{Duration, Instant};
 
 use rome_engine::EngineFault;
 use rome_server::conn::ConnConfig;
+use rome_server::json;
 use rome_server::net::{NetConfig, NetStats, ServerHandle, SocketServer};
 use rome_server::proto::{TransportFault, TransportFaultPlan};
-use rome_server::{serve_jsonl, EngineLimits, FaultPlan, ScenarioEngine};
+use rome_server::{serve_jsonl, EngineLimits, FaultPlan, Json, ScenarioEngine};
 
 /// Fast specs shared with the CLI byte-identity suite (no calibration).
 const BATCH: &str = concat!(
@@ -41,16 +42,24 @@ const LONG_SPEC: &str = concat!(
 
 struct TestServer {
     handle: ServerHandle,
+    /// The warm engine behind the socket — kept so tests can watch its
+    /// metrics registry from outside while connections are live.
+    engine: Arc<ScenarioEngine>,
     join: std::thread::JoinHandle<NetStats>,
 }
 
 impl TestServer {
     fn start(engine: ScenarioEngine, config: NetConfig) -> TestServer {
-        let server = SocketServer::bind("127.0.0.1:0", Arc::new(engine), config)
+        let engine = Arc::new(engine);
+        let server = SocketServer::bind("127.0.0.1:0", Arc::clone(&engine), config)
             .expect("bind ephemeral port");
         let handle = server.handle();
         let join = std::thread::spawn(move || server.run());
-        TestServer { handle, join }
+        TestServer {
+            handle,
+            engine,
+            join,
+        }
     }
 
     fn connect(&self) -> BufReader<TcpStream> {
@@ -464,5 +473,158 @@ fn idle_and_sloworis_connections_are_closed_with_a_structured_notice() {
         || server.handle.stats().closed_idle == 2,
         "both idle closes to be recorded",
     );
+    server.shutdown();
+}
+
+#[test]
+fn the_stats_frame_answers_with_live_counters_and_percentiles() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let mut conn = server.connect();
+    // Traffic whose deltas the snapshot must show: one histogram-bearing
+    // scenario, then two calibration serves — a cold miss and a warm hit.
+    send_line(
+        &mut conn,
+        "{\"scenario\":\"queue_depth\",\"name\":\"q\",\"system\":\"hbm4\",\"depths\":[4],\
+         \"total_bytes\":65536,\"granularity\":4096}",
+    );
+    assert!(read_line(&mut conn).starts_with("{\"name\":\"q\""));
+    for _ in 0..2 {
+        send_line(
+            &mut conn,
+            "{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}",
+        );
+        assert!(read_line(&mut conn).starts_with("{\"name\":\"c\""));
+    }
+
+    // The stats op answers in both the bare and enveloped forms, and the
+    // envelope echoes its id in front of the same bytes, like any request.
+    send_line(&mut conn, "{\"op\":\"stats\"}");
+    let bare = read_line(&mut conn);
+    assert!(bare.starts_with("{\"scenario\":\"stats\""), "{bare}");
+    send_line(&mut conn, "{\"id\":5,\"op\":\"stats\"}");
+    let tagged = read_line(&mut conn);
+    // The snapshot is LIVE — answering the first stats frame recorded a
+    // frame RTT of its own, so the two bodies differ; the envelope just
+    // puts the id in front of the same canonical shape.
+    assert!(
+        tagged.starts_with("{\"id\":5,\"scenario\":\"stats\",\"counters\":{"),
+        "{tagged}"
+    );
+
+    let snap = json::parse(&bare).expect("stats frame parses");
+    let counter = |name: &str| {
+        snap.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("serve.ok"), 3);
+    assert_eq!(counter("admission.accepted"), 3);
+    assert_eq!(counter("cache.calibration.misses"), 1);
+    assert_eq!(counter("cache.calibration.hits"), 1);
+    assert_eq!(counter("net.accepted"), 1);
+
+    // Request-latency percentiles from the queue-depth run, live over the
+    // wire: a real sample count and a monotone p50 ≤ p95 ≤ p99 ≤ max.
+    let hist = snap
+        .get("histograms")
+        .and_then(|h| h.get("engine.read_latency_ns"))
+        .expect("read-latency percentiles in the snapshot");
+    let field = |key: &str| {
+        hist.get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("{key} in {bare}"))
+    };
+    assert!(field("count") >= 1);
+    assert!(field("p50") <= field("p95"));
+    assert!(field("p95") <= field("p99"));
+    assert!(field("p99") <= field("max"));
+    // Wall-clock frame RTTs were recorded for the frames answered above.
+    assert!(snap
+        .get("histograms")
+        .and_then(|h| h.get("net.frame_rtt_us"))
+        .is_some());
+
+    drop(conn);
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1);
+}
+
+#[test]
+fn torn_frames_and_drain_refusals_are_exact_registry_deltas() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let registry = Arc::clone(server.engine.registry());
+    let torn = registry.counter("net.closed.eof_mid_frame");
+    let drain_rejects = registry.counter("net.rejected_draining");
+    assert_eq!(torn.get(), 0);
+
+    // Two clients die mid-frame, each torn at a seeded offset: exactly two
+    // torn-frame closes, visible in the registry while the server runs.
+    let plan = TransportFaultPlan::new(31);
+    let request = format!("{QUICK_SPEC}\n");
+    for conn_index in 0..2 {
+        let cut = plan.derived_offset(conn_index, request.len() - 2) + 1;
+        let mut doomed = server.connect();
+        doomed
+            .get_mut()
+            .write_all(&request.as_bytes()[..cut])
+            .expect("partial frame");
+    }
+    wait_for(|| torn.get() == 2, "both torn-frame closes to be counted");
+
+    // An in-flight long scenario keeps the drain phase open, so the late
+    // connect lands mid-drain and its refusal is a live counter delta too.
+    let mut busy = server.connect();
+    send_line(&mut busy, LONG_SPEC);
+    std::thread::sleep(Duration::from_millis(150));
+    server.handle.drain(Duration::from_secs(120));
+    let mut late = server.connect();
+    let lines = read_until_eof(&mut late);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    wait_for(
+        || drain_rejects.get() == 1,
+        "the drain refusal to be counted",
+    );
+
+    // Tighten the deadline so the long scenario aborts and the server can
+    // finish, then check the final deltas — and that the legacy NetStats
+    // snapshot is just a view of the same registry counters.
+    server.handle.drain(Duration::from_millis(50));
+    let _ = read_until_eof(&mut busy);
+    let stats = server.join.join().expect("server thread");
+    assert_eq!(torn.get(), 2);
+    assert_eq!(drain_rejects.get(), 1);
+    assert_eq!(registry.counter("net.closed.draining").get(), 1);
+    assert_eq!(stats.closed_eof_mid_frame, 2);
+    assert_eq!(stats.rejected_draining, 1);
+    assert_eq!(stats.closed_draining, 1);
+}
+
+#[test]
+fn the_trace_flag_appends_wall_clock_spans_without_touching_result_bytes() {
+    let server = TestServer::start(ScenarioEngine::new(), quick_net_config());
+    let mut conn = server.connect();
+    send_line(&mut conn, &format!("{{\"id\":1,\"spec\":{QUICK_SPEC}}}"));
+    let plain = read_line(&mut conn);
+    send_line(
+        &mut conn,
+        &format!("{{\"id\":1,\"spec\":{QUICK_SPEC},\"trace\":true}}"),
+    );
+    let traced = read_line(&mut conn);
+    // The traced response is the plain response with one extra trailing
+    // member — the result bytes themselves must not move.
+    assert!(
+        traced.starts_with(&plain[..plain.len() - 1]),
+        "plain: {plain}\ntraced: {traced}"
+    );
+    let value = json::parse(&traced).expect("traced response parses");
+    let trace = value.get("trace").expect("trace member");
+    for key in ["parse_us", "admission_us", "calibration_us", "simulate_us"] {
+        assert!(
+            trace.get(key).and_then(Json::as_u64).is_some(),
+            "{key} missing from {traced}"
+        );
+    }
+    drop(conn);
     server.shutdown();
 }

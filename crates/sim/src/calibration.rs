@@ -15,6 +15,7 @@
 //! best-performing one is used.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::Rng;
@@ -192,6 +193,10 @@ impl Calibrator {
 #[derive(Debug, Default)]
 pub struct CalibrationCache {
     entries: Mutex<HashMap<MemorySystemKind, Arc<OnceLock<CalibrationResult>>>>,
+    /// Lookups answered from an already-computed slot.
+    hits: AtomicU64,
+    /// Lookups that found the slot cold and (raced to) run the calibration.
+    misses: AtomicU64,
 }
 
 impl CalibrationCache {
@@ -237,10 +242,27 @@ impl CalibrationCache {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             Arc::clone(entries.entry(key).or_default())
         };
+        // Classify before initializing: a cold slot counts as a miss for
+        // every worker that raced on it (they all paid the wait), a warm one
+        // as a hit.
+        if slot.get().is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         *slot.get_or_init(|| match key {
             MemorySystemKind::Hbm4 => Calibrator::new().hbm4(),
             MemorySystemKind::Rome | MemorySystemKind::RomeIsoBandwidth => Calibrator::new().rome(),
         })
+    }
+
+    /// Lifetime `(hits, misses)` counters of [`CalibrationCache::get_or_calibrate`]:
+    /// the cache's ops metrics, snapshotted atomically mid-run.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 

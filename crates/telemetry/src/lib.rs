@@ -1,0 +1,636 @@
+//! # rome-telemetry — the unified metrics core
+//!
+//! A dependency-free, lock-cheap metrics layer shared by every crate of the
+//! workspace: the engine records per-request simulated latencies, the
+//! scenario server counts admissions and cache hits, and the socket front
+//! end counts close reasons and measures frame round trips — all against
+//! the same three primitives:
+//!
+//! * [`Counter`] — a monotonic counter behind *sharded* atomics: increments
+//!   pick a per-thread shard (no contended cache line on the hot path),
+//!   reads sum the shards. [`Gauge`] is the settable signed sibling.
+//! * [`LatencyHistogram`] — a fixed-bucket log₂-scale histogram of `u64`
+//!   samples (ns for simulated time, µs for wall clock; the histogram does
+//!   not care). Mergeable ([`LatencyHistogram::merge`]), with quantile
+//!   extraction that is *exact up to bucket resolution*: the reported
+//!   quantile is the upper bound of the bucket holding the true rank
+//!   statistic, clamped to the exact observed maximum — so `q ∈ [v, 2v)`
+//!   for a true value `v`, and `max` is always exact. The concurrent form
+//!   is [`AtomicHistogram`], snapshotting into the plain one.
+//! * [`Registry`] — named get-or-register handles to all three, snapshotted
+//!   in one call ([`Registry::snapshot`]) with names in lexicographic order
+//!   so a rendered snapshot is canonical.
+//!
+//! # Determinism contract
+//!
+//! Simulated-time metrics are *derived observations*: recording a completed
+//! request's latency never feeds back into the simulation, so a run is
+//! bit-identical with telemetry recording on or off. The global
+//! [`set_sim_sampling`] switch exists to prove exactly that (and to measure
+//! recording overhead): drivers consult it once per run and skip histogram
+//! recording when off, and every other report field must come out
+//! identical. Wall-clock metrics (server phase spans, frame RTTs) are kept
+//! in the registry — the ops surface — and never enter simulation results
+//! unless a caller explicitly asks for trace spans.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b - 1]`, up to bucket 64 for values with
+/// the top bit set.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Number of shards a [`Counter`] spreads its increments over. A small
+/// power of two: enough to keep a handful of worker threads off each
+/// other's cache lines without bloating every counter.
+const COUNTER_SHARDS: usize = 8;
+
+/// Whether simulated-time histogram recording is enabled (process-global,
+/// default on). See the crate docs: flipping this must change *only*
+/// whether latency histograms fill — every other simulation output is
+/// pinned bit-identical either way.
+static SIM_SAMPLING: AtomicBool = AtomicBool::new(true);
+
+/// Whether simulated-time latency sampling is enabled.
+pub fn sim_sampling() -> bool {
+    SIM_SAMPLING.load(Ordering::Relaxed)
+}
+
+/// Enable or disable simulated-time latency sampling (process-global).
+/// Used by the overhead bench and the on/off bit-identity tests.
+pub fn set_sim_sampling(enabled: bool) {
+    SIM_SAMPLING.store(enabled, Ordering::Relaxed);
+}
+
+/// One cache-line-aligned atomic cell, so neighboring shards never share a
+/// line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// The per-thread shard index, assigned round-robin on first use.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A monotonic counter behind sharded atomics: `add` touches one
+/// thread-local shard with a relaxed fetch-add, `get` sums the shards.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total (sum over shards).
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A settable signed gauge (single atomic; gauges are not hot).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative) to the gauge.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket of a sample: 0 for 0, otherwise `64 - leading_zeros`, i.e.
+/// values `[2^(b-1), 2^b - 1]` land in bucket `b`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+}
+
+/// The largest value bucket `b` can hold (the quantile representative).
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A fixed-bucket log₂-scale latency histogram.
+///
+/// Samples are `u64` in whatever unit the producer uses (simulated ns,
+/// wall-clock µs). Recording is a handful of integer ops; merging is
+/// element-wise addition; quantiles walk the 65 buckets. The reported
+/// quantile is the holding bucket's upper bound clamped to the exact
+/// observed maximum, so for a true rank statistic `v ≥ 1` the answer `q`
+/// satisfies `v ≤ q ≤ 2v - 1` (and `q = v` exactly when `v` is the
+/// maximum); `v = 0` reports 0. The proptest suite pins these bounds
+/// against a sorted-vector oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (wrapping on overflow, matching the atomic
+    /// form's `fetch_add`; realistic latency sums never get close).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile at `numer/denom` (e.g. `quantile(95, 100)` for p95):
+    /// the value at rank `ceil(count · numer / denom)` (1-based), reported
+    /// at bucket resolution (see the type docs). 0 when empty. `denom`
+    /// must be nonzero and `numer ≤ denom`.
+    pub fn quantile(&self, numer: u64, denom: u64) -> u64 {
+        debug_assert!(denom > 0 && numer <= denom);
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * numer).div_ceil(denom).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 95th percentile (bucket resolution).
+    pub fn p95(&self) -> u64 {
+        self.quantile(95, 100)
+    }
+
+    /// 99th percentile (bucket resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// Merge `other` into `self` (exact: recording the concatenation of two
+    /// sample streams yields the same histogram as merging the two
+    /// per-stream histograms).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The per-bucket counts (index = the log₂ bucket exponent).
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+}
+
+/// The concurrent form of [`LatencyHistogram`]: shared recording via
+/// relaxed atomics, snapshotted into the plain histogram for reading.
+/// Under concurrent writers a snapshot is a consistent-enough ops view
+/// (each field individually atomic), which is all a stats endpoint needs.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Fold a plain histogram in (per-bucket atomic adds): how per-run
+    /// sim-time histograms aggregate into a shared registry histogram.
+    /// Equivalent to recording every one of `other`'s samples here.
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        if other.is_empty() {
+            return;
+        }
+        for (c, b) in self.counts.iter().zip(&other.counts) {
+            if *b > 0 {
+                c.fetch_add(*b, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain (mergeable, quantile-extractable) histogram.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        for (o, c) in out.counts.iter_mut().zip(&self.counts) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out.count = self.count.load(Ordering::Relaxed);
+        out.sum = self.sum.load(Ordering::Relaxed);
+        out.max = self.max.load(Ordering::Relaxed);
+        out
+    }
+}
+
+/// A point-in-time view of a [`Registry`], names in lexicographic order
+/// (so a rendered snapshot is canonical).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, LatencyHistogram)>,
+}
+
+/// A named get-or-register home for counters, gauges, and histograms.
+///
+/// Registration takes a write lock (rare — handles are cached by their
+/// owners); recording through a handle is lock-free. Reads for a snapshot
+/// take the read locks briefly to clone the `Arc` maps.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+/// Get-or-register `name` in one of the registry's maps. Lock poisoning is
+/// recoverable here for the same reason as in the calibration cache: the
+/// critical sections only clone/insert `Arc`s, so a poisoned map is never
+/// structurally inconsistent.
+fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(name)
+    {
+        return Arc::clone(found);
+    }
+    let mut guard = map
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    Arc::clone(guard.entry(name.to_string()).or_default())
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it (at zero) on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registering it (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it (empty) on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// A point-in-time view of every registered metric, names sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_max_is_exact_and_top_quantile_clamps_to_it() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 100, 257, 999] {
+            h.record(v);
+        }
+        assert_eq!(h.max(), 999);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 3 + 100 + 257 + 999);
+        // p99 rank = ceil(4*0.99) = 4 → last bucket, clamped to exact max.
+        assert_eq!(h.p99(), 999);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain() {
+        let a = AtomicHistogram::new();
+        let mut p = LatencyHistogram::new();
+        for v in [0u64, 1, 5, 64, 1000, u64::MAX] {
+            a.record(v);
+            p.record(v);
+        }
+        assert_eq!(a.snapshot(), p);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_live() {
+        let r = Registry::new();
+        r.counter("z.last").add(2);
+        r.counter("a.first").inc();
+        r.gauge("g").set(5);
+        r.histogram("h").record(42);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".into(), 1), ("z.last".into(), 2)]
+        );
+        assert_eq!(snap.gauges, vec![("g".into(), 5)]);
+        assert_eq!(snap.histograms[0].1.max(), 42);
+        // Handles are live: the same name is the same counter.
+        r.counter("a.first").add(10);
+        assert_eq!(r.snapshot().counters[0].1, 11);
+    }
+
+    #[test]
+    fn sim_sampling_toggle_round_trips() {
+        assert!(sim_sampling());
+        set_sim_sampling(false);
+        assert!(!sim_sampling());
+        set_sim_sampling(true);
+        assert!(sim_sampling());
+    }
+
+    /// The sorted-vec oracle for a quantile: the 1-based rank statistic
+    /// `ceil(n·q)` of the sorted samples.
+    fn oracle_quantile(sorted: &[u64], numer: u64, denom: u64) -> u64 {
+        let n = sorted.len() as u64;
+        let rank = (n * numer).div_ceil(denom).max(1);
+        sorted[(rank - 1) as usize]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Quantiles are exact up to bucket resolution: for true value v,
+        /// the histogram reports q with v ≤ q ≤ max(2v-1, v), clamped to
+        /// the exact maximum; zero reports zero.
+        #[test]
+        fn quantiles_bound_the_sorted_vec_oracle(
+            samples in prop::collection::vec(0u64..1 << 48, 1..300),
+            numer in 1u64..100,
+        ) {
+            let mut samples = samples;
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            samples.sort_unstable();
+            let v = oracle_quantile(&samples, numer, 100);
+            let q = h.quantile(numer, 100);
+            if v == 0 {
+                // Rank statistic 0 must not be inflated by larger samples.
+                prop_assert_eq!(q, 0);
+            } else {
+                prop_assert!(q >= v, "quantile below oracle: {} < {}", q, v);
+                prop_assert!(
+                    q <= (2 * v - 1).min(h.max()),
+                    "quantile beyond bucket bound: {} > 2*{}-1",
+                    q,
+                    v
+                );
+            }
+            prop_assert_eq!(h.max(), *samples.last().unwrap());
+            prop_assert_eq!(h.quantile(100, 100), h.max());
+        }
+
+        /// Merging per-stream histograms equals recording the concatenated
+        /// stream — exactly, including every bucket count.
+        #[test]
+        fn merge_equals_concatenated_recording(
+            a in prop::collection::vec(0u64..1 << 32, 0..200),
+            b in prop::collection::vec(0u64..1 << 32, 0..200),
+        ) {
+            let mut ha = LatencyHistogram::new();
+            let mut hb = LatencyHistogram::new();
+            let mut hc = LatencyHistogram::new();
+            for &s in &a {
+                ha.record(s);
+                hc.record(s);
+            }
+            for &s in &b {
+                hb.record(s);
+                hc.record(s);
+            }
+            ha.merge(&hb);
+            prop_assert_eq!(ha, hc);
+        }
+    }
+}

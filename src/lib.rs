@@ -27,6 +27,9 @@
 //!   (in process or over the `rome-server` JSONL CLI), with sharded
 //!   multi-cube execution.
 //! * [`energy`] — DRAM energy and area models.
+//! * [`telemetry`] — the unified metrics core: sharded counters, gauges,
+//!   log₂-bucket latency histograms, and the named registry every serving
+//!   layer records into (see the README's "Observability" section).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and per-experiment index.
@@ -39,4 +42,5 @@ pub use rome_llm as llm;
 pub use rome_mc as mc;
 pub use rome_server as server;
 pub use rome_sim as sim;
+pub use rome_telemetry as telemetry;
 pub use rome_workload as workload;

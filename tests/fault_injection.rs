@@ -268,6 +268,69 @@ fn stalled_sources_abort_instead_of_hanging() {
 }
 
 #[test]
+fn injected_faults_show_up_as_exact_counter_deltas() {
+    // The telemetry registry must agree with the structured results: k
+    // injected panics leave `serve.errors.panicked` at exactly k, with
+    // every healthy sibling counted under `serve.ok` and every admitted
+    // spec under `admission.accepted`.
+    let specs = batch_specs();
+    let mut engine = ScenarioEngine::new();
+    engine.set_fault_plan(Some(
+        FaultPlan::new(1).with_fault(2, EngineFault::panic_at(10)),
+    ));
+    let k = 3;
+    for _ in 0..k {
+        engine.serve_batch(&specs);
+    }
+    let registry = engine.registry();
+    assert_eq!(registry.counter("serve.errors.panicked").get(), k);
+    assert_eq!(
+        registry.counter("serve.ok").get(),
+        k * (specs.len() as u64 - 1)
+    );
+    assert_eq!(
+        registry.counter("admission.accepted").get(),
+        k * specs.len() as u64
+    );
+    assert_eq!(registry.counter("admission.rejected_transient").get(), 0);
+    // The loop scenarios ran under sinking budgets: run-level engine
+    // counters accumulated.
+    assert!(registry.counter("engine.runs").get() > 0);
+    assert!(registry.counter("engine.events").get() > 0);
+    // The injected panics interrupt the queue-depth rows before their
+    // reports fold in, but the healthy loop scenarios still feed the
+    // aggregate sim-latency histogram.
+    assert!(registry.histogram("engine.read_latency_ns").count() > 0);
+    // Calibration cache classification: the first consult is a miss, every
+    // repeat is a hit.
+    let calib = parse_batch("{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}\n")
+        .expect("calibration spec parses");
+    engine.set_fault_plan(None);
+    engine.serve_batch(&calib);
+    engine.serve_batch(&calib);
+    let (hits, misses) = engine.calibration().stats();
+    assert_eq!(misses, 1, "first consult calibrates cold");
+    assert_eq!(hits, 1, "repeat consult hits the warm cache");
+}
+
+#[test]
+fn drained_batches_are_counted_per_spec() {
+    let specs = batch_specs();
+    let engine = ScenarioEngine::new();
+    engine.start_drain(std::time::Duration::from_millis(1));
+    let results = engine.serve_batch(&specs);
+    assert!(results.iter().all(|r| r.is_err()));
+    assert_eq!(
+        engine
+            .registry()
+            .counter("admission.rejected_draining")
+            .get(),
+        specs.len() as u64
+    );
+    assert_eq!(engine.registry().counter("admission.accepted").get(), 0);
+}
+
+#[test]
 fn fault_free_runs_are_bit_identical_with_the_harness_compiled_in() {
     // Engine level: the budgeted entry point with an unlimited budget must
     // be bit-identical to the legacy one (same loop body, no tag).

@@ -1,0 +1,101 @@
+//! The telemetry determinism contract, pinned end to end.
+//!
+//! Simulated-time metrics are *derived observations*: recording a
+//! completed request's latency never feeds back into the simulation. Two
+//! consequences, both pinned here:
+//!
+//! * **Run-to-run bit-identity with sampling on** — same input, same
+//!   report, histogram included.
+//! * **Sampling off changes only the histograms** — every other report
+//!   field, and every other output byte of the serving path, is identical
+//!   with sampling on or off. The JSON encoding makes this literal: the
+//!   `read_latency` object is the *only* thing that appears or disappears.
+//!
+//! This file owns the process-global [`rome::telemetry::set_sim_sampling`]
+//! switch. It lives in its own integration-test binary (its own process)
+//! so flipping the switch cannot race the other suites, and it keeps all
+//! flipping inside one `#[test]` so its own tests cannot race either.
+
+use rome::engine::simulate::run_with_budget;
+use rome::engine::RunBudget;
+use rome::mc::controller::{ChannelController, ControllerConfig};
+use rome::server::json;
+use rome::server::{serve_jsonl, Json, ScenarioEngine};
+use rome::telemetry::{set_sim_sampling, LatencyHistogram};
+
+/// Scenarios whose results carry unified reports (the shapes that gained
+/// the `read_latency` percentile object).
+const BATCH: &str = concat!(
+    "{\"scenario\":\"queue_depth\",\"name\":\"q\",\"system\":\"hbm4\",\"depths\":[4],",
+    "\"total_bytes\":65536,\"granularity\":4096}\n",
+    "{\"scenario\":\"multi_cube\",\"name\":\"m\",\"system\":\"rome\",\"cubes\":2,",
+    "\"channels_per_cube\":2,\"bytes_per_cube\":65536,\"max_ns\":5000000}\n",
+);
+
+/// Remove every `read_latency` member, recursively — the only delta the
+/// sampling switch is allowed to produce in rendered output.
+fn strip_read_latency(value: Json) -> Json {
+    match value {
+        Json::Obj(members) => Json::Obj(
+            members
+                .into_iter()
+                .filter(|(k, _)| k != "read_latency")
+                .map(|(k, v)| (k, strip_read_latency(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.into_iter().map(strip_read_latency).collect()),
+        other => other,
+    }
+}
+
+#[test]
+fn sampling_toggle_changes_only_the_latency_histograms() {
+    // --- Engine level: the raw unified report. ---
+    let reqs = rome::mc::workload::streaming_reads(0, 1 << 18, 256);
+    let mut ctrl = ChannelController::new(ControllerConfig::hbm4_baseline());
+    let on_a = run_with_budget(&mut ctrl, reqs.clone(), 50_000_000, &RunBudget::unlimited());
+    let mut ctrl = ChannelController::new(ControllerConfig::hbm4_baseline());
+    let on_b = run_with_budget(&mut ctrl, reqs.clone(), 50_000_000, &RunBudget::unlimited());
+    // Run-to-run bit-identity, histogram included (PartialEq covers it).
+    assert_eq!(on_a, on_b);
+    assert!(!on_a.read_latency.is_empty());
+    // A pure-read stream: one histogram sample per completed request, and
+    // the histogram's mean agrees with the report's (up to f64 rounding —
+    // both are sums of the same latencies).
+    assert_eq!(on_a.read_latency.count(), on_a.requests_completed);
+    assert!((on_a.read_latency.mean() - on_a.mean_read_latency).abs() < 1e-6);
+
+    set_sim_sampling(false);
+    let mut ctrl = ChannelController::new(ControllerConfig::hbm4_baseline());
+    let off = run_with_budget(&mut ctrl, reqs, 50_000_000, &RunBudget::unlimited());
+    set_sim_sampling(true);
+    assert!(off.read_latency.is_empty(), "sampling off records nothing");
+    let mut on_stripped = on_a.clone();
+    on_stripped.read_latency = LatencyHistogram::new();
+    assert_eq!(
+        on_stripped, off,
+        "sampling must not perturb any other report field"
+    );
+
+    // --- Serving level: rendered JSONL bytes. ---
+    let engine = ScenarioEngine::new();
+    let on_out = serve_jsonl(&engine, BATCH).expect("batch serves");
+    let on_again = serve_jsonl(&engine, BATCH).expect("batch serves");
+    assert_eq!(on_out, on_again, "sampled output is deterministic");
+    assert!(on_out.contains("\"read_latency\":{\"count\":"));
+
+    set_sim_sampling(false);
+    let off_out = serve_jsonl(&engine, BATCH).expect("batch serves");
+    set_sim_sampling(true);
+    assert!(!off_out.contains("\"read_latency\""));
+    // Stripping the read_latency objects from the sampled output must
+    // yield the unsampled output byte for byte — nothing else may move.
+    let stripped: String = on_out
+        .lines()
+        .map(|line| {
+            let value = json::parse(line).expect("output line parses");
+            strip_read_latency(value).emit() + "\n"
+        })
+        .collect();
+    assert_eq!(stripped, off_out);
+}
