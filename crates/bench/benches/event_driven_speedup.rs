@@ -386,6 +386,34 @@ fn mc_dense64_sampled(sampling: bool) -> f64 {
     bw
 }
 
+/// Flight-recorder probe: the same dense ready-cache phase run through
+/// `run_with_budget` with a recorder armed on the budget. `None` attaches
+/// no sink at all; `Some(TraceLevel::Off)` is the "compiled in but
+/// disabled" configuration — the sink is plumbed through the run loop and
+/// every emission site pays its one cold level check, but nothing records.
+/// `Some(TraceLevel::Commands)` records the full per-request lifecycle
+/// plus bank activity, costing real work; only the disabled arm carries an
+/// overhead bar, because only it taxes users who never asked for a trace.
+/// Results are bit-identical across all three arms (the recorder is pure
+/// observation; the checksum asserts below re-check it).
+fn mc_dense64_traced(level: Option<rome_engine::trace::TraceLevel>) -> f64 {
+    use rome_engine::trace::TraceConfig;
+    use rome_engine::{RunBudget, TraceSink};
+    let mut cfg = rome_mc::ControllerConfig::hbm4_with_queue_depth(64);
+    cfg.ready_cache = true;
+    cfg.soa = false;
+    let mut ctrl = rome_mc::ChannelController::new(cfg);
+    let reqs = rome_mc::workload::streaming_reads(0, MC_BYTES, 32);
+    let budget = match level {
+        Some(level) => {
+            RunBudget::unlimited().with_trace(TraceSink::new(TraceConfig::with_level(level)))
+        }
+        None => RunBudget::unlimited(),
+    };
+    let report = rome_mc::simulate::run_with_budget(&mut ctrl, reqs, 50_000_000, &budget);
+    report.achieved_bandwidth_gbps
+}
+
 fn rome_sweep(stepped: bool) -> f64 {
     let mut bw = 0.0;
     for &depth in &DEPTHS {
@@ -570,6 +598,48 @@ fn bench(c: &mut Criterion) {
          got {telemetry_overhead_pct:.2}%"
     );
 
+    // Flight-recorder overhead on the same dense phase: recorder compiled
+    // in and armed on the run budget, but left at `TraceLevel::Off` — the
+    // configuration every untraced request runs through. Same
+    // alternating-pairs min-floor protocol as the telemetry probe above.
+    use rome_engine::trace::TraceLevel;
+    mc_dense64_traced(None);
+    mc_dense64_traced(Some(TraceLevel::Off));
+    let mut trace_none = f64::INFINITY;
+    let mut trace_off = f64::INFINITY;
+    let mut trace_overhead_pct = f64::INFINITY;
+    for pair in 0..30 {
+        if pair % 2 == 0 {
+            trace_none = trace_none.min(time_it(1, || mc_dense64_traced(None)));
+            trace_off = trace_off.min(time_it(1, || mc_dense64_traced(Some(TraceLevel::Off))));
+        } else {
+            trace_off = trace_off.min(time_it(1, || mc_dense64_traced(Some(TraceLevel::Off))));
+            trace_none = trace_none.min(time_it(1, || mc_dense64_traced(None)));
+        }
+        trace_overhead_pct = (trace_off / trace_none - 1.0) * 100.0;
+        if pair >= 5 && trace_overhead_pct < 0.75 {
+            break;
+        }
+    }
+    assert_eq!(
+        mc_dense64_traced(Some(TraceLevel::Off)),
+        mc_dense64_traced(None),
+        "a disabled flight recorder changed the simulated schedule"
+    );
+    assert_eq!(
+        mc_dense64_traced(Some(TraceLevel::Commands)),
+        mc_dense64_traced(None),
+        "command-level recording changed the simulated schedule"
+    );
+    assert!(
+        trace_overhead_pct < 1.0,
+        "disabled flight recorder must stay under 1% on the dense phase, \
+         got {trace_overhead_pct:.2}%"
+    );
+    // Absolute cost of full command-level recording on the dense phase —
+    // tracked across PRs, not barred: recording is opt-in per request.
+    let trace_record = time_it(repeats, || mc_dense64_traced(Some(TraceLevel::Commands)));
+
     let total_event = mc_event + rome_event;
     let total_stepped = mc_stepped + rome_stepped;
     println!("\nqueue-depth sweep, event-driven vs cycle-stepped (wall-clock):");
@@ -648,6 +718,11 @@ fn bench(c: &mut Criterion) {
         telem_on * 1e3,
         telemetry_overhead_pct
     );
+    println!(
+        "  flight recorder, same phase: disabled {:+5.2}% overhead; command-level recording {:8.2} ms",
+        trace_overhead_pct,
+        trace_record * 1e3
+    );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     write_json(
@@ -695,6 +770,8 @@ fn bench(c: &mut Criterion) {
             ("telemetry_unsampled_ms", telem_off * 1e3),
             ("telemetry_sampled_ms", telem_on * 1e3),
             ("telemetry_overhead_pct", telemetry_overhead_pct),
+            ("trace_overhead_pct", trace_overhead_pct),
+            ("trace_record_dense64_ms", trace_record * 1e3),
         ],
     );
 

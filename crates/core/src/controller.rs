@@ -18,6 +18,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use rome_engine::trace::{FlightRecorder, TraceBuffer, TraceConfig, TraceEvent, TraceEventKind};
 use rome_engine::EventHorizon;
 use rome_hbm::organization::Organization;
 use rome_hbm::timing::TimingParams;
@@ -166,6 +167,12 @@ pub struct RomeController {
     refresh_due_min: Cycle,
     last_issue: Option<LastIssue>,
     stats: RomeStats,
+    /// Sim-time flight recorder: disarmed (a compiled-in no-op) by default,
+    /// armed by the drivers through
+    /// [`rome_engine::MemoryController::set_trace`]. A derived observation —
+    /// the scheduler never reads it — so recording cannot perturb the
+    /// schedule.
+    trace: FlightRecorder,
     /// Offset from row-command issue to the completion of its data transfer.
     data_complete_offset: Cycle,
     vbas_per_rank: u32,
@@ -229,6 +236,7 @@ impl RomeController {
             refresh_due_min,
             last_issue: None,
             stats: RomeStats::new(),
+            trace: FlightRecorder::disabled(),
             generator,
             data_complete_offset,
             vbas_per_rank,
@@ -320,6 +328,18 @@ impl RomeController {
         self.hot_vba.push(self.vba_index(entry.target) as u32);
         self.hot_write.push(!entry.request.kind.is_read());
         self.queue.push_back(entry);
+        if self.trace.enabled() {
+            let req = entry.request;
+            let idx = self.vba_index(entry.target);
+            self.trace.record(TraceEvent {
+                id: req.id.0,
+                bank: idx as u32,
+                row: entry.row,
+                bytes: req.bytes,
+                write: !req.kind.is_read(),
+                ..TraceEvent::at(TraceEventKind::Enqueue, req.arrival)
+            });
+        }
         true
     }
 
@@ -461,6 +481,18 @@ impl RomeController {
                     self.stats.bytes_written += req.bytes;
                 }
             }
+            if self.trace.enabled() {
+                let idx = self.vba_index(f.entry.target);
+                self.trace.record(TraceEvent {
+                    id: req.id.0,
+                    bank: idx as u32,
+                    row: f.entry.row,
+                    bytes: req.bytes,
+                    dur: completion.latency(),
+                    write: !req.kind.is_read(),
+                    ..TraceEvent::at(TraceEventKind::Complete, req.arrival)
+                });
+            }
             done.push(completion);
         }
     }
@@ -488,6 +520,13 @@ impl RomeController {
             let occupancy = self.generator.occupancy_ns(RowCommandKind::RefVba);
             self.vba_busy_until[idx] = now + occupancy;
             self.stats.refreshes_issued += 1;
+            if self.trace.commands() {
+                self.trace.record(TraceEvent {
+                    bank: idx as u32,
+                    dur: occupancy,
+                    ..TraceEvent::at(TraceEventKind::Refresh, now)
+                });
+            }
             self.stats
                 .derived
                 .absorb(&self.expansion[expansion_index(RowCommandKind::RefVba)]);
@@ -555,6 +594,16 @@ impl RomeController {
         };
 
         let idx = self.vba_index(entry.target);
+        if self.trace.commands() {
+            self.trace.record(TraceEvent {
+                id: entry.request.id.0,
+                bank: idx as u32,
+                row: entry.row,
+                bytes: entry.request.bytes,
+                write: is_write,
+                ..TraceEvent::at(TraceEventKind::Issue, now)
+            });
+        }
         let same_vba_gap = self.config.rome_timing.same_vba_spacing(is_write);
         self.vba_busy_until[idx] = now + Cycle::from(same_vba_gap);
         self.last_issue = Some(LastIssue {
@@ -635,6 +684,14 @@ impl rome_engine::MemoryController for RomeController {
             row_hit_rate: 0.0,
             activates: s.derived.activates,
         }
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.trace.arm(config);
+    }
+
+    fn take_trace(&mut self) -> TraceBuffer {
+        self.trace.harvest()
     }
 }
 

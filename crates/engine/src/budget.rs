@@ -33,8 +33,10 @@
 //! the claim that this costs nothing.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use rome_telemetry::trace::{TraceBuffer, TraceConfig};
 
 use rome_hbm::units::Cycle;
 
@@ -279,6 +281,56 @@ impl PartialEq for RunSink {
     }
 }
 
+/// A shared sink for sim-time flight-recorder events, attached to a
+/// [`RunBudget`] like [`RunSink`].
+///
+/// The sink carries the [`TraceConfig`] the drivers arm their controllers
+/// with at run *start*, and accumulates the harvested [`TraceBuffer`]s at run
+/// *end* — never inside the event loop, so an attached sink costs one
+/// harvest-and-merge per run. The buffer is behind a mutex because the
+/// sharded multi-cube path harvests from rayon workers; [`TraceBuffer::absorb`]
+/// re-sorts on every merge, so the harvest order (and therefore thread
+/// scheduling) cannot leak into the final event order.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    config: TraceConfig,
+    buffer: Arc<Mutex<TraceBuffer>>,
+}
+
+impl TraceSink {
+    /// A sink arming runs with `config` and collecting into a fresh buffer.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceSink {
+            config,
+            buffer: Arc::new(Mutex::new(TraceBuffer::default())),
+        }
+    }
+
+    /// The recorder configuration drivers arm controllers with.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Merge a harvested buffer into the sink (sorted canonically).
+    pub fn absorb(&self, harvested: TraceBuffer) {
+        let mut guard = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+        guard.absorb(harvested);
+    }
+
+    /// Take the accumulated events, leaving the sink empty for reuse.
+    pub fn take(&self) -> TraceBuffer {
+        let mut guard = self.buffer.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::take(&mut guard)
+    }
+}
+
+impl PartialEq for TraceSink {
+    /// Trace sinks compare by buffer identity, like [`RunSink`].
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.buffer, &other.buffer)
+    }
+}
+
 /// Consecutive fully-idle driver wake-ups (nothing pulled, nothing issued,
 /// nothing completed, controller idle, no pending requests, source not
 /// exhausted) after which `run_with_source` declares the source stalled and
@@ -316,6 +368,11 @@ pub struct RunBudget {
     /// limit — it never trips, and a budget with only a sink is still
     /// [`RunBudget::is_unlimited`].
     pub sink: Option<RunSink>,
+    /// Optional flight-recorder sink: drivers arm controllers with its
+    /// [`TraceConfig`] at run start and absorb the harvested events at run
+    /// end. Like `sink`, it is an observation, not a limit — a budget with
+    /// only a trace sink is still [`RunBudget::is_unlimited`].
+    pub trace: Option<TraceSink>,
 }
 
 impl Default for RunBudget {
@@ -335,6 +392,7 @@ impl RunBudget {
             fault: None,
             drain: None,
             sink: None,
+            trace: None,
         }
     }
 
@@ -377,6 +435,12 @@ impl RunBudget {
     /// Attach a telemetry sink recording run-level counters at run end.
     pub fn with_sink(mut self, sink: RunSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attach a flight-recorder sink collecting sim-time trace events.
+    pub fn with_trace(mut self, trace: TraceSink) -> Self {
+        self.trace = Some(trace);
         self
     }
 

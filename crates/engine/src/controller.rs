@@ -15,6 +15,7 @@
 //!   [`MemoryController::stats_snapshot`].
 
 use rome_hbm::units::Cycle;
+use rome_telemetry::trace::{TraceBuffer, TraceConfig};
 
 use crate::request::{CompletedRequest, MemoryRequest, RequestKind};
 
@@ -95,4 +96,20 @@ pub trait MemoryController {
 
     /// A snapshot of the statistics the generic drivers report.
     fn stats_snapshot(&self) -> StatsSnapshot;
+
+    /// Arm (or disarm, with [`rome_telemetry::trace::TraceLevel::Off`]) this
+    /// controller's flight recorder. Controllers without one ignore the call;
+    /// the drivers arm at run start, before the first tick, so an armed
+    /// recorder observes the full request lifecycle.
+    fn set_trace(&mut self, config: TraceConfig) {
+        let _ = config;
+    }
+
+    /// Harvest and disarm this controller's flight recorder, returning every
+    /// event recorded since [`MemoryController::set_trace`]. Controllers
+    /// without a recorder return an empty buffer. Called once per run, at run
+    /// end — never inside the event loop.
+    fn take_trace(&mut self) -> TraceBuffer {
+        TraceBuffer::default()
+    }
 }

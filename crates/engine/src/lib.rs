@@ -55,10 +55,16 @@ pub mod simulate;
 pub mod source;
 pub mod system;
 
+/// Sim-time flight-recorder vocabulary, re-exported from `rome-telemetry`
+/// so controller crates (which depend on the engine, not on telemetry) can
+/// record [`trace::TraceEvent`]s without a new dependency edge.
+pub use rome_telemetry::trace;
+
 /// Convenient glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::budget::{
         AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget, RunSink,
+        TraceSink,
     };
     pub use crate::controller::{MemoryController, StatsSnapshot};
     pub use crate::events::EventHorizon;
@@ -73,7 +79,7 @@ pub mod prelude {
 }
 
 pub use budget::{
-    AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget, RunSink,
+    AbortReason, BudgetMeter, DrainSignal, EngineFault, FaultAction, RunBudget, RunSink, TraceSink,
 };
 pub use controller::{MemoryController, StatsSnapshot};
 pub use events::EventHorizon;

@@ -39,6 +39,7 @@ use std::collections::VecDeque;
 use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::{bytes_per_ns_to_gbps, Cycle};
+use rome_telemetry::trace::{FlightRecorder, TraceEvent, TraceEventKind};
 use rome_telemetry::LatencyHistogram;
 
 use crate::budget::{AbortReason, RunBudget, STALLED_SOURCE_WAKEUPS};
@@ -151,6 +152,53 @@ pub fn run_with_limit_stepped<C: MemoryController>(
     drive(controller, requests, max_ns, true, &RunBudget::unlimited())
 }
 
+/// Arm `controller`'s flight recorder from the budget's trace sink (when one
+/// is attached) and return the driver-side recorder for host-edge events
+/// (arrival, backlog). Without a sink both stay disarmed no-ops.
+fn arm_trace<C: MemoryController>(controller: &mut C, budget: &RunBudget) -> FlightRecorder {
+    match &budget.trace {
+        Some(sink) => {
+            let config = sink.config();
+            controller.set_trace(config);
+            FlightRecorder::new(config)
+        }
+        None => FlightRecorder::disabled(),
+    }
+}
+
+/// Record the host-side arrival of `req` (offered at `arrived`, admitted at
+/// `now`), plus a backlog span when admission waited on queue space.
+fn record_arrival(recorder: &mut FlightRecorder, req: &MemoryRequest, arrived: Cycle, now: Cycle) {
+    let base = TraceEvent {
+        id: req.id.0,
+        bytes: req.bytes,
+        write: !req.kind.is_read(),
+        ..TraceEvent::at(TraceEventKind::Arrival, arrived)
+    };
+    recorder.record(base);
+    if now > arrived {
+        recorder.record(TraceEvent {
+            kind: TraceEventKind::Backlog,
+            dur: now - arrived,
+            ..base
+        });
+    }
+}
+
+/// Harvest the controller's and the driver's recorders into the budget's
+/// trace sink (no-op without one). Called once, at run end.
+fn harvest_trace<C: MemoryController>(
+    controller: &mut C,
+    budget: &RunBudget,
+    mut driver: FlightRecorder,
+) {
+    if let Some(sink) = &budget.trace {
+        let mut buffer = controller.take_trace();
+        buffer.absorb(driver.harvest());
+        sink.absorb(buffer);
+    }
+}
+
 fn drive<C: MemoryController>(
     controller: &mut C,
     requests: Vec<MemoryRequest>,
@@ -173,6 +221,7 @@ fn drive<C: MemoryController>(
     let sampling = rome_telemetry::sim_sampling();
     let mut read_latency = LatencyHistogram::new();
     let mut idle_steps: u64 = 0;
+    let mut recorder = arm_trace(controller, budget);
 
     while (completed < total || !controller.is_idle()) && now < max_ns {
         if let Some(reason) = meter.on_step(now) {
@@ -186,6 +235,9 @@ fn drive<C: MemoryController>(
             }
             let mut req = *next;
             req.arrival = now;
+            if recorder.enabled() {
+                record_arrival(&mut recorder, &req, next.arrival, now);
+            }
             let ok = controller.enqueue(req);
             debug_assert!(ok, "enqueue must succeed when a slot is free");
             pending.next();
@@ -222,6 +274,7 @@ fn drive<C: MemoryController>(
     if let Some(sink) = &budget.sink {
         sink.on_run_end(meter.events(), idle_steps, aborted);
     }
+    harvest_trace(controller, budget, recorder);
     assemble_report(
         controller,
         completed,
@@ -287,6 +340,7 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
     let sampling = rome_telemetry::sim_sampling();
     let mut read_latency = LatencyHistogram::new();
     let mut idle_steps: u64 = 0;
+    let mut recorder = arm_trace(controller, budget);
 
     loop {
         if let Some(reason) = meter.on_step(now) {
@@ -308,6 +362,9 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
             }
             let mut req = *next;
             req.arrival = now;
+            if recorder.enabled() {
+                record_arrival(&mut recorder, &req, next.arrival, now);
+            }
             let ok = controller.enqueue(req);
             debug_assert!(ok, "enqueue must succeed when a slot is free");
             pending.pop_front();
@@ -384,6 +441,7 @@ pub fn run_with_source_budgeted<C: MemoryController, S: TrafficSource>(
     if let Some(sink) = &budget.sink {
         sink.on_run_end(meter.events(), idle_steps, aborted);
     }
+    harvest_trace(controller, budget, recorder);
     assemble_report(
         controller,
         completed,

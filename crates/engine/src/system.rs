@@ -65,6 +65,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use rome_hbm::units::Cycle;
+use rome_telemetry::trace::TraceBuffer;
 
 use crate::budget::{AbortReason, RunBudget, STALLED_SOURCE_WAKEUPS};
 use crate::controller::MemoryController;
@@ -650,6 +651,7 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         let mut aborted = None;
         let mut idle_wakeups: u64 = 0;
         let mut idle_steps: u64 = 0;
+        self.arm_trace(budget);
         loop {
             if let Some(reason) = meter.on_step(now) {
                 aborted = Some(reason);
@@ -713,7 +715,35 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         if let Some(sink) = &budget.sink {
             sink.on_run_end(meter.events(), idle_steps, aborted);
         }
+        self.harvest_trace(budget);
         (completions, now, aborted)
+    }
+
+    /// Arm every channel controller's flight recorder from the budget's
+    /// trace sink, each stamped with its channel id (Chrome `pid` track);
+    /// no-op without an attached sink.
+    fn arm_trace(&mut self, budget: &RunBudget) {
+        if let Some(trace) = &budget.trace {
+            let config = trace.config();
+            for (ch, ctrl) in self.controllers.iter_mut().enumerate() {
+                ctrl.set_trace(config.for_channel(ch as u16));
+            }
+        }
+    }
+
+    /// Harvest every channel's recorder into the budget's trace sink. The
+    /// per-channel buffers merge through [`TraceBuffer::absorb`], whose full
+    /// `Ord` sort makes the result independent of harvest order — the
+    /// parallel runner can hand buffers back in any thread order without
+    /// perturbing the trace bytes.
+    fn harvest_trace(&mut self, budget: &RunBudget) {
+        if let Some(trace) = &budget.trace {
+            let mut merged = TraceBuffer::default();
+            for ctrl in self.controllers.iter_mut() {
+                merged.absorb(ctrl.take_trace());
+            }
+            trace.absorb(merged);
+        }
     }
 
     /// Run until all submitted requests complete or `max_ns` elapses;
@@ -755,6 +785,7 @@ impl<C: MemoryController> MultiChannelSystem<C> {
     where
         C: Send,
     {
+        self.arm_trace(budget);
         let channels = self.controllers.len();
         let mut backlogs: Vec<ChannelBacklog<C>> =
             std::mem::replace(&mut self.backlog, BacklogStore::PerChannel(Vec::new()))
@@ -799,6 +830,7 @@ impl<C: MemoryController> MultiChannelSystem<C> {
         if let Some(sink) = &budget.sink {
             sink.on_run_end(meter_total.events, meter_total.idle_steps, aborted);
         }
+        self.harvest_trace(budget);
         fragments.sort_unstable_by_key(|c| (c.completed, c.id.0));
 
         let mut completions = Vec::new();

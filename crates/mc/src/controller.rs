@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
+use rome_engine::trace::{FlightRecorder, TraceBuffer, TraceConfig, TraceEvent, TraceEventKind};
 use rome_engine::EventHorizon;
 use rome_hbm::address::BankAddress;
 use rome_hbm::channel::HbmChannel;
@@ -206,6 +207,16 @@ pub struct ChannelController {
     /// the scheduler must not re-activate it until the refresh issues.
     refresh_reserved_bank: Option<BankAddress>,
     stats: ControllerStats,
+    /// Sim-time flight recorder: disarmed (a compiled-in no-op) by default,
+    /// armed by the drivers through
+    /// [`rome_engine::MemoryController::set_trace`]. Recording is a derived
+    /// observation — nothing the scheduler consults ever reads it — so an
+    /// armed recorder cannot perturb the command schedule.
+    trace: FlightRecorder,
+    /// Cycle each bank's current row was activated, indexed by flat bank.
+    /// Maintained only while the recorder runs at `commands` verbosity; it
+    /// feeds the `row_open` span emitted when the row closes.
+    act_at: Vec<Cycle>,
     /// Earliest future cycle at which a command the scheduler wanted to
     /// issue this tick becomes timing-legal. Recorded as a byproduct of the
     /// tick's failed scheduling attempts (the scan already computes every
@@ -246,6 +257,8 @@ impl ChannelController {
             write_drain: false,
             refresh_reserved_bank: None,
             stats: ControllerStats::new(),
+            trace: FlightRecorder::disabled(),
+            act_at: vec![0; banks],
             event_hint: Cycle::MAX,
             channel,
             config,
@@ -287,6 +300,23 @@ impl ChannelController {
         self.open_mask[idx >> 6] &= !(1 << (idx & 63));
         self.read_queue.note_pre(idx);
         self.write_queue.note_pre(idx);
+    }
+
+    /// Record the close of a bank's row-open window — ACT at `act_at[idx]`,
+    /// closed at `now` — when the recorder runs at `commands` verbosity.
+    /// Must be called *before* [`ChannelController::clear_open_row`], which
+    /// forgets which row was open.
+    #[inline]
+    fn trace_row_close(&mut self, idx: usize, now: Cycle) {
+        if self.trace.commands() {
+            let opened = self.act_at[idx];
+            self.trace.record(TraceEvent {
+                bank: idx as u32,
+                row: self.open_rows[idx].unwrap_or(0),
+                dur: now.saturating_sub(opened),
+                ..TraceEvent::at(TraceEventKind::RowOpen, opened)
+            });
+        }
     }
 
     /// The controller statistics accumulated so far.
@@ -335,10 +365,23 @@ impl ChannelController {
     /// the multi-channel memory system). Returns `false` if the queue is
     /// full.
     pub fn enqueue_mapped(&mut self, entry: QueueEntry) -> bool {
-        match entry.request.kind {
+        let ok = match entry.request.kind {
             RequestKind::Read => self.read_queue.push(entry),
             RequestKind::Write => self.write_queue.push(entry),
+        };
+        if ok && self.trace.enabled() {
+            let req = entry.request;
+            let idx = self.bank_index(entry.dram.bank);
+            self.trace.record(TraceEvent {
+                id: req.id.0,
+                bank: idx as u32,
+                row: entry.dram.row,
+                bytes: req.bytes,
+                write: !req.kind.is_read(),
+                ..TraceEvent::at(TraceEventKind::Enqueue, req.arrival)
+            });
         }
+        ok
     }
 
     fn bank_index(&self, bank: BankAddress) -> usize {
@@ -532,6 +575,18 @@ impl ChannelController {
                     self.stats.bytes_written += req.bytes;
                 }
             }
+            if self.trace.enabled() {
+                let idx = self.bank_index(inflight.entry.dram.bank);
+                self.trace.record(TraceEvent {
+                    id: req.id.0,
+                    bank: idx as u32,
+                    row: inflight.entry.dram.row,
+                    bytes: req.bytes,
+                    dur: completed.latency(),
+                    write: !req.kind.is_read(),
+                    ..TraceEvent::at(TraceEventKind::Complete, req.arrival)
+                });
+            }
             done.push(completed);
         }
     }
@@ -603,6 +658,7 @@ impl ChannelController {
                                 let pre = DramCommand::Pre { target };
                                 if self.channel.can_issue(&pre, now) {
                                     self.channel.issue(pre, now).expect("checked");
+                                    self.trace_row_close(idx, now);
                                     self.clear_open_row(idx);
                                     // Keep the bank closed until the refresh
                                     // actually issues.
@@ -621,6 +677,13 @@ impl ChannelController {
                             self.refresh[rank].acknowledge(now);
                             self.note_refresh_acknowledged();
                             self.stats.refreshes_issued += 1;
+                            if self.trace.commands() {
+                                self.trace.record(TraceEvent {
+                                    bank: idx as u32,
+                                    dur: self.config.timing.t_rfc_pb as u64,
+                                    ..TraceEvent::at(TraceEventKind::Refresh, now)
+                                });
+                            }
                             if self.refresh_reserved_bank == Some(bank) {
                                 self.refresh_reserved_bank = None;
                             }
@@ -649,6 +712,9 @@ impl ChannelController {
                                     self.channel.issue(pre_all, now).expect("checked");
                                     let base = self.bank_index(BankAddress::new(pc, sid, 0, 0));
                                     for i in 0..(org.bank_groups * org.banks_per_group) as usize {
+                                        if self.open_rows[base + i].is_some() {
+                                            self.trace_row_close(base + i, now);
+                                        }
                                         self.clear_open_row(base + i);
                                     }
                                     return true;
@@ -665,6 +731,14 @@ impl ChannelController {
                             self.refresh[rank].acknowledge(now);
                             self.note_refresh_acknowledged();
                             self.stats.refreshes_issued += 1;
+                            if self.trace.commands() {
+                                let base = self.bank_index(BankAddress::new(pc, sid, 0, 0));
+                                self.trace.record(TraceEvent {
+                                    bank: base as u32,
+                                    dur: self.config.timing.t_rfc_ab as u64,
+                                    ..TraceEvent::at(TraceEventKind::Refresh, now)
+                                });
+                            }
                             return true;
                         }
                         self.hint_event(self.channel.earliest_issue(&refab, now + 1));
@@ -947,7 +1021,18 @@ impl ChannelController {
             .channel
             .issue(cmd, now)
             .expect("probed via earliest_issue");
+        if self.trace.commands() {
+            self.trace.record(TraceEvent {
+                id: entry.request.id.0,
+                bank: idx as u32,
+                row: entry.dram.row,
+                bytes: entry.request.bytes,
+                write: is_write_phase,
+                ..TraceEvent::at(TraceEventKind::Issue, now)
+            });
+        }
         if auto_precharge {
+            self.trace_row_close(idx, now);
             self.clear_open_row(idx);
         }
         self.stats.row_hits += 1;
@@ -1308,6 +1393,9 @@ impl ChannelController {
                 };
                 self.channel.issue(cmd, now).expect("checked");
                 let idx = self.bank_index(bank);
+                if self.trace.commands() {
+                    self.act_at[idx] = now;
+                }
                 self.set_open_row(idx, row);
                 self.stats.row_misses += 1;
                 true
@@ -1318,6 +1406,7 @@ impl ChannelController {
                 };
                 self.channel.issue(cmd, now).expect("checked");
                 let idx = self.bank_index(bank);
+                self.trace_row_close(idx, now);
                 self.clear_open_row(idx);
                 self.stats.row_conflicts += 1;
                 true
@@ -1394,6 +1483,14 @@ impl rome_engine::MemoryController for ChannelController {
             row_hit_rate: s.row_hit_rate(),
             activates: s.dram.activates,
         }
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.trace.arm(config);
+    }
+
+    fn take_trace(&mut self) -> TraceBuffer {
+        self.trace.harvest()
     }
 }
 

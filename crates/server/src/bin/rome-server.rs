@@ -37,19 +37,63 @@ use std::time::Duration;
 use rome_server::net::{NetConfig, SocketServer};
 use rome_server::{serve_jsonl_with_retry, RetryPolicy, ScenarioEngine};
 
-const USAGE: &str = "usage: rome-server [FILE | --serve ADDR [--stats-interval SECS]]
+const USAGE: &str =
+    "usage: rome-server [FILE | --serve ADDR [--stats-interval SECS] [--trace-out FILE]]
 
 Serve a JSONL batch of scenario specs (from FILE, or stdin when omitted),
 writing one JSONL result per spec to stdout, in input order; or, with
 --serve, run a persistent socket service on ADDR until stdin reaches EOF,
 then drain gracefully. --stats-interval additionally emits a JSONL metrics
-snapshot to stdout every SECS seconds (and once after drain). See the
-\"Scenario server\", \"Network service\", and \"Observability\" sections of
-README.md for the formats.";
+snapshot to stdout every SECS seconds (and once after drain). --trace-out
+writes each recorded scenario's flight-recorder buffer (a request carrying
+\"record\") to FILE as Chrome trace-event JSON, ready for chrome://tracing
+or Perfetto. See the \"Scenario server\", \"Network service\",
+\"Observability\", and \"Flight recorder\" sections of README.md for the
+formats.";
 
-fn serve_socket(addr: &str, stats_interval: Option<Duration>) -> ExitCode {
+/// Serve-mode flags parsed from everything after `--serve ADDR`.
+struct ServeArgs {
+    stats_interval: Option<Duration>,
+    trace_out: Option<std::path::PathBuf>,
+}
+
+fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
+    let mut parsed = ServeArgs {
+        stats_interval: None,
+        trace_out: None,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--stats-interval" => {
+                let secs = it
+                    .next()
+                    .ok_or_else(|| "--stats-interval needs SECS".to_string())?;
+                let secs: u64 = secs
+                    .parse()
+                    .map_err(|_| format!("--stats-interval takes whole seconds, got {secs:?}"))?;
+                if secs == 0 {
+                    return Err("--stats-interval must be at least 1 second".to_string());
+                }
+                parsed.stats_interval = Some(Duration::from_secs(secs));
+            }
+            "--trace-out" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| "--trace-out needs a file path".to_string())?;
+                parsed.trace_out = Some(std::path::PathBuf::from(path));
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn serve_socket(addr: &str, serve_args: ServeArgs) -> ExitCode {
+    let stats_interval = serve_args.stats_interval;
     let engine = Arc::new(ScenarioEngine::new());
-    let config = NetConfig::default();
+    let mut config = NetConfig::default();
+    config.conn.trace_out = serve_args.trace_out;
     let grace = config.drain_grace;
     let server = match SocketServer::bind(addr, Arc::clone(&engine), config) {
         Ok(server) => server,
@@ -108,22 +152,14 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        [flag, addr] if flag == "--serve" => {
-            return serve_socket(addr, None);
-        }
-        [flag, addr, iflag, secs] if flag == "--serve" && iflag == "--stats-interval" => {
-            let secs: u64 = match secs.parse() {
-                Ok(parsed) => parsed,
-                Err(_) => {
-                    eprintln!("rome-server: --stats-interval takes whole seconds, got {secs:?}");
-                    return ExitCode::FAILURE;
+        [flag, addr, rest @ ..] if flag == "--serve" => {
+            return match parse_serve_args(rest) {
+                Ok(serve_args) => serve_socket(addr, serve_args),
+                Err(message) => {
+                    eprintln!("rome-server: {message}");
+                    ExitCode::FAILURE
                 }
             };
-            if secs == 0 {
-                eprintln!("rome-server: --stats-interval must be at least 1 second");
-                return ExitCode::FAILURE;
-            }
-            return serve_socket(addr, Some(Duration::from_secs(secs)));
         }
         [path] => match std::fs::read_to_string(path) {
             Ok(text) => text,

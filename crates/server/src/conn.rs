@@ -65,6 +65,12 @@ pub struct ConnConfig {
     pub max_frame_bytes: usize,
     /// Retry hint stamped on `overloaded` shed frames.
     pub overload_retry_after_ms: u64,
+    /// When set, every recorded scenario (a request carrying `"record"`)
+    /// also writes its flight-recorder buffer as Chrome trace-event JSON to
+    /// this file (truncating: the file holds the most recent recorded
+    /// scenario's trace), ready for chrome://tracing or Perfetto. The
+    /// `--trace-out` flag of `rome-server`.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ConnConfig {
@@ -77,6 +83,7 @@ impl Default for ConnConfig {
             enqueue_wait: Duration::from_secs(2),
             max_frame_bytes: proto::DEFAULT_MAX_FRAME_BYTES,
             overload_retry_after_ms: 25,
+            trace_out: None,
         }
     }
 }
@@ -331,6 +338,9 @@ fn handle_event(
                 Ok(proto::Frame::Stats { id }) => {
                     proto::render_stats_frame(id, engine.stats_json())
                 }
+                Ok(proto::Frame::Flight { id }) => {
+                    proto::render_flight_frame(id, engine.flight_json())
+                }
                 Ok(proto::Frame::Request(req)) => {
                     if depth.load(Ordering::Acquire) >= config.write_queue_cap {
                         // The peer is not keeping up with its own responses:
@@ -342,6 +352,32 @@ fn handle_event(
                             Some(config.overload_retry_after_ms),
                         );
                         proto::error_frame(req.id, &err)
+                    } else if let Some(record) = req.record {
+                        // Recorded request: the scenario runs with a
+                        // sim-time flight recorder armed; the event list
+                        // rides back on the response, and the result stays
+                        // byte-identical to an unrecorded serve.
+                        engine
+                            .registry()
+                            .histogram("server.span.parse_us")
+                            .record(parse_us);
+                        let (result, spans, buffer) =
+                            engine.serve_recorded(&req.spec, record.level);
+                        if let Some(path) = &config.trace_out {
+                            let chrome = rome_telemetry::trace::chrome_trace_json(&buffer.events);
+                            if std::fs::write(path, chrome).is_err() {
+                                engine.registry().counter("net.trace_out_errors").inc();
+                            }
+                        }
+                        let trace = req.trace.then(|| match spans.to_json() {
+                            Json::Obj(mut members) => {
+                                members.insert(0, ("parse_us".to_string(), Json::from(parse_us)));
+                                Json::Obj(members)
+                            }
+                            other => other,
+                        });
+                        let body = proto::record_json(record.level, &buffer, record.limit);
+                        proto::render_recorded_response(req.id, &req.spec, &result, trace, body)
                     } else if req.trace {
                         // Traced request: per-phase spans ride back on the
                         // response frame the client explicitly asked for.

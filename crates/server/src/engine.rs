@@ -40,9 +40,10 @@
 //! the next batches — the harness `tests/fault_injection.rs` uses to prove
 //! all of the above without nondeterministic scaffolding.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -50,16 +51,17 @@ use rayon::prelude::*;
 use rome_core::controller::{RomeController, RomeControllerConfig};
 use rome_core::system::{RomeMemorySystem, RomeSystemConfig};
 use rome_engine::{merge_reports, report_from_host_completions, run_cubes, MemoryRequest};
-use rome_engine::{DrainSignal, EngineFault, RunBudget, RunSink};
+use rome_engine::{DrainSignal, EngineFault, RunBudget, RunSink, TraceSink};
 use rome_mc::controller::{ChannelController, ControllerConfig};
 use rome_mc::system::{MemorySystem, MemorySystemConfig};
 use rome_sim::serving::closed_loop_points;
 use rome_sim::sweep::Scenario;
 use rome_sim::tpot::decode_tpot;
 use rome_sim::{AcceleratorSpec, CalibrationCache, MemoryModel, MemorySystemKind, ScenarioSet};
+use rome_telemetry::trace::{TraceBuffer, TraceConfig, TraceLevel};
 use rome_telemetry::Registry;
 
-use crate::error::{panic_message, ServerError};
+use crate::error::{panic_message, ErrorCode, ServerError};
 use crate::json::Json;
 use crate::spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
@@ -192,7 +194,7 @@ impl Drop for AdmissionGuard<'_> {
 }
 
 /// The warm scenario-serving engine. See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ScenarioEngine {
     calibration: CalibrationCache,
     accel: AcceleratorSpec,
@@ -206,6 +208,77 @@ pub struct ScenarioEngine {
     /// histograms, and — recorded by the socket front end — the transport
     /// counters. Shared with front ends for live stats.
     registry: Arc<Registry>,
+    /// Process start, for the `server.uptime_s` stats gauge.
+    started: Instant,
+    /// Monotone snapshot counter: every [`ScenarioEngine::stats_json`] call
+    /// bumps it, so a consumer can order snapshots and detect missed ones.
+    stats_seq: AtomicU64,
+    /// The wall-clock black box: a ring of the last served requests (spec
+    /// hash, phase spans, outcome), dumped on panic and on drain and served
+    /// by the `{"op":"flight"}` control frame.
+    black_box: Mutex<BlackBox>,
+}
+
+impl Default for ScenarioEngine {
+    fn default() -> Self {
+        ScenarioEngine::new()
+    }
+}
+
+/// How many served requests the engine's black box retains.
+const BLACK_BOX_CAPACITY: usize = 64;
+
+/// The black-box ring behind [`ScenarioEngine::flight_records`]: bounded,
+/// oldest-evicted, with a total-served counter that keeps counting after
+/// eviction so a dump states how much history it is missing.
+#[derive(Debug, Default)]
+struct BlackBox {
+    served: u64,
+    records: VecDeque<ServedRecord>,
+}
+
+/// One entry of the engine's wall-clock black box: what was served, how it
+/// went, and how long each phase took. Everything here is an ops-side
+/// observation — the sim-time trace lives in [`TraceBuffer`], not here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedRecord {
+    /// Position in the engine's served-request sequence (0-based, monotone).
+    pub seq: u64,
+    /// The spec's scenario name.
+    pub name: String,
+    /// FNV-1a hash of the spec's canonical debug form, so a dump identifies
+    /// the exact request shape without storing (possibly large) specs.
+    pub spec_hash: u64,
+    /// Wall-clock phase spans of the serve.
+    pub spans: ServeSpans,
+    /// `"ok"` or the structured error code (`"panicked"`, `"rejected"`, …).
+    pub outcome: &'static str,
+}
+
+impl ServedRecord {
+    /// The record as a JSON object. The hash renders as a fixed-width hex
+    /// string: `Json::Num` is an f64 and would corrupt high-entropy u64s.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("name", Json::Str(self.name.clone())),
+            ("spec_hash", Json::Str(format!("{:016x}", self.spec_hash))),
+            ("outcome", Json::from(self.outcome)),
+            ("spans", self.spans.to_json()),
+        ])
+    }
+}
+
+/// FNV-1a over the spec's debug form: stable for identical specs within and
+/// across runs (the derived `Debug` output is a pure function of the spec's
+/// fields), cheap, and dependency-free.
+pub fn spec_fingerprint(spec: &ScenarioSpec) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{spec:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 impl ScenarioEngine {
@@ -221,6 +294,9 @@ impl ScenarioEngine {
             in_flight: AtomicUsize::new(0),
             drain: DrainSignal::new(),
             registry: Arc::new(Registry::new()),
+            started: Instant::now(),
+            stats_seq: AtomicU64::new(0),
+            black_box: Mutex::new(BlackBox::default()),
         }
     }
 
@@ -281,11 +357,15 @@ impl ScenarioEngine {
     }
 
     /// Begin graceful drain: new batches are rejected permanently
-    /// ([`ErrorCode::Unavailable`](crate::error::ErrorCode::Unavailable)),
+    /// ([`ErrorCode::Unavailable`]),
     /// in-flight scenarios get `grace` to finish before their budgets abort
     /// them with tagged partials. Idempotent; the earliest deadline wins.
     pub fn start_drain(&self, grace: std::time::Duration) {
+        let first = !self.drain.is_draining();
         self.drain.start_drain(grace);
+        if first {
+            self.dump_black_box("drain");
+        }
     }
 
     /// Whether [`ScenarioEngine::start_drain`] has been called.
@@ -374,8 +454,9 @@ impl ScenarioEngine {
                 }
             })
             .collect();
-        for result in &results {
+        for (spec, result) in specs.iter().zip(&results) {
             self.record_outcome(result);
+            self.record_flight(spec, ServeSpans::default(), result);
         }
         results
     }
@@ -609,6 +690,34 @@ impl ScenarioEngine {
         &self,
         spec: &ScenarioSpec,
     ) -> (Result<ScenarioResult, ServerError>, ServeSpans) {
+        let (result, spans, _) = self.serve_observed(spec, None);
+        (result, spans)
+    }
+
+    /// [`ScenarioEngine::serve_traced`], additionally armed with a sim-time
+    /// flight recorder at `level`: the scenario's run loops emit lifecycle
+    /// [`TraceEvent`](rome_telemetry::trace::TraceEvent)s into the returned
+    /// buffer. The recorder is a pure observation — the [`ScenarioResult`]
+    /// stays byte-identical to an unrecorded serve of the same spec, and the
+    /// buffer is deterministic in sim time (same spec, same events).
+    pub fn serve_recorded(
+        &self,
+        spec: &ScenarioSpec,
+        level: TraceLevel,
+    ) -> (Result<ScenarioResult, ServerError>, ServeSpans, TraceBuffer) {
+        self.serve_observed(spec, Some(level))
+    }
+
+    /// The shared traced/recorded serving path: admission, calibration
+    /// warm-up, and simulation timed into [`ServeSpans`], panics isolated,
+    /// the outcome folded into the registry and the black box, and — when
+    /// `record` is set — a [`TraceSink`] attached to the scenario's budget
+    /// and harvested into the returned [`TraceBuffer`].
+    fn serve_observed(
+        &self,
+        spec: &ScenarioSpec,
+        record: Option<TraceLevel>,
+    ) -> (Result<ScenarioResult, ServerError>, ServeSpans, TraceBuffer) {
         let mut spans = ServeSpans::default();
         let t = Instant::now();
         let admitted = self.admit_one(spec);
@@ -619,7 +728,8 @@ impl ScenarioEngine {
                 let result = Err(err);
                 self.record_outcome(&result);
                 self.record_spans(&spans);
-                return (result, spans);
+                self.record_flight(spec, spans, &result);
+                return (result, spans, TraceBuffer::default());
             }
         };
         // Warm the calibrations the spec will consult so the simulate span
@@ -628,7 +738,12 @@ impl ScenarioEngine {
         let t = Instant::now();
         self.prewarm_calibration(spec);
         spans.calibration_us = t.elapsed().as_micros() as u64;
-        let budget = self.budget_for(0);
+        let mut budget = self.budget_for(0);
+        let sink = record.map(|level| {
+            let sink = TraceSink::new(TraceConfig::with_level(level));
+            budget = budget.clone().with_trace(sink.clone());
+            sink
+        });
         let t = Instant::now();
         let result = match catch_unwind(AssertUnwindSafe(|| self.serve_with_budget(spec, &budget)))
         {
@@ -640,7 +755,70 @@ impl ScenarioEngine {
         drop(guard);
         self.record_outcome(&result);
         self.record_spans(&spans);
-        (result, spans)
+        self.record_flight(spec, spans, &result);
+        let buffer = sink.map(|sink| sink.take()).unwrap_or_default();
+        (result, spans, buffer)
+    }
+
+    /// Append one served request to the black box; a panicked serve dumps
+    /// the box to stderr immediately (the crash-adjacent moment the black
+    /// box exists for).
+    fn record_flight(
+        &self,
+        spec: &ScenarioSpec,
+        spans: ServeSpans,
+        result: &Result<ScenarioResult, ServerError>,
+    ) {
+        let outcome = match result {
+            Ok(_) => "ok",
+            Err(err) => err.code.as_str(),
+        };
+        {
+            let mut bb = self.black_box.lock().unwrap_or_else(|p| p.into_inner());
+            let record = ServedRecord {
+                seq: bb.served,
+                name: spec.name().to_string(),
+                spec_hash: spec_fingerprint(spec),
+                spans,
+                outcome,
+            };
+            bb.served += 1;
+            if bb.records.len() == BLACK_BOX_CAPACITY {
+                bb.records.pop_front();
+            }
+            bb.records.push_back(record);
+        }
+        if matches!(result, Err(err) if err.code == ErrorCode::Panicked) {
+            self.dump_black_box("panic");
+        }
+    }
+
+    /// The black box's current contents, oldest first.
+    pub fn flight_records(&self) -> Vec<ServedRecord> {
+        let bb = self.black_box.lock().unwrap_or_else(|p| p.into_inner());
+        bb.records.iter().cloned().collect()
+    }
+
+    /// The black box as a canonical-JSON object — the body of the
+    /// `{"op":"flight"}` control frame and of each stderr dump: total
+    /// requests ever served (so a reader knows how much history the bounded
+    /// ring has shed) and the retained records, oldest first.
+    pub fn flight_json(&self) -> Json {
+        let bb = self.black_box.lock().unwrap_or_else(|p| p.into_inner());
+        let records: Vec<Json> = bb.records.iter().map(ServedRecord::to_json).collect();
+        Json::obj([
+            ("scenario", Json::from("flight")),
+            ("served", Json::from(bb.served)),
+            ("records", Json::Arr(records)),
+        ])
+    }
+
+    /// Write the black box to stderr, tagged with why it was dumped.
+    fn dump_black_box(&self, why: &str) {
+        eprintln!(
+            "rome-server black box ({why}): {}",
+            self.flight_json().emit()
+        );
     }
 
     /// The admission gates of [`ScenarioEngine::serve_batch`], applied to a
@@ -714,38 +892,45 @@ impl ScenarioEngine {
     /// A canonical-JSON snapshot of the serving stack's metrics: every
     /// registry counter, gauge, and histogram, plus point-in-time figures
     /// the registry doesn't own (the calibration cache's hit/miss totals,
-    /// the in-flight gauge). Keys render in lexicographic order, so two
-    /// snapshots of identical state emit byte-identically. This is the body
-    /// of the `{"op":"stats"}` control frame and of each `--stats-interval`
-    /// JSONL line.
+    /// the in-flight and uptime gauges, and the monotone `stats.seq`
+    /// snapshot counter a consumer orders snapshots by). Keys render in
+    /// lexicographic order. This is the body of the `{"op":"stats"}`
+    /// control frame and of each `--stats-interval` JSONL line.
     pub fn stats_json(&self) -> Json {
         let mut snap = self.registry.snapshot();
         let (hits, misses) = self.calibration.stats();
+        snap.counters.push(("cache.calibration.hits".into(), hits));
         snap.counters
-            .push(("cache.calibration.hits".to_string(), hits));
-        snap.counters
-            .push(("cache.calibration.misses".to_string(), misses));
+            .push(("cache.calibration.misses".into(), misses));
+        snap.counters.push((
+            "stats.seq".into(),
+            self.stats_seq.fetch_add(1, Ordering::AcqRel) + 1,
+        ));
         snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
         snap.gauges
-            .push(("engine.in_flight".to_string(), self.in_flight() as i64));
+            .push(("engine.in_flight".into(), self.in_flight() as i64));
+        snap.gauges.push((
+            "server.uptime_s".into(),
+            self.started.elapsed().as_secs() as i64,
+        ));
         snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let counters = Json::Obj(
             snap.counters
                 .into_iter()
-                .map(|(k, v)| (k, Json::from(v)))
+                .map(|(k, v)| (k.to_string(), Json::from(v)))
                 .collect(),
         );
         let gauges = Json::Obj(
             snap.gauges
                 .into_iter()
-                .map(|(k, v)| (k, Json::Num(v as f64)))
+                .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
                 .collect(),
         );
         let histograms = Json::Obj(
             snap.histograms
                 .into_iter()
                 .filter(|(_, h)| !h.is_empty())
-                .map(|(k, h)| (k, histogram_json(&h)))
+                .map(|(k, h)| (k.to_string(), histogram_json(&h)))
                 .collect(),
         );
         Json::obj([

@@ -67,11 +67,13 @@ pub mod prelude {
         RetrySchedule,
     };
     pub use crate::conn::{ConnClose, ConnConfig};
-    pub use crate::engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine, ServeSpans};
+    pub use crate::engine::{
+        AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine, ServeSpans, ServedRecord,
+    };
     pub use crate::error::{ErrorCode, ServerError};
     pub use crate::net::{NetConfig, NetStats, ServerHandle, SocketServer};
     pub use crate::proto::{
-        Frame, FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan,
+        Frame, FrameEvent, FrameReader, RecordSpec, Request, TransportFault, TransportFaultPlan,
     };
     pub use crate::spec::{
         MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec, SpecError,
@@ -84,11 +86,16 @@ pub use cli::{
     RetrySchedule,
 };
 pub use conn::{ConnClose, ConnConfig};
-pub use engine::{AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine, ServeSpans};
+pub use engine::{
+    spec_fingerprint, AdmissionConfig, EngineLimits, FaultPlan, ScenarioEngine, ServeSpans,
+    ServedRecord,
+};
 pub use error::{ErrorCode, ServerError};
 pub use json::Json;
 pub use net::{NetConfig, NetStats, ServerHandle, SocketServer};
-pub use proto::{Frame, FrameEvent, FrameReader, Request, TransportFault, TransportFaultPlan};
+pub use proto::{
+    Frame, FrameEvent, FrameReader, RecordSpec, Request, TransportFault, TransportFaultPlan,
+};
 pub use spec::{
     model_by_name, MultiCubeReport, QueueDepthRow, ResultPayload, ScenarioResult, ScenarioSpec,
     SpecError, TenantDecl, WorkloadSpec,

@@ -22,6 +22,8 @@
 //! `tests/proto_fuzz.rs` pins that it never panics and that frame
 //! boundaries are invariant under re-chunking.
 
+use rome_telemetry::trace::TraceLevel;
+
 use crate::error::ServerError;
 use crate::json::{self, Json};
 use crate::spec::{ScenarioResult, ScenarioSpec};
@@ -151,6 +153,24 @@ pub struct Request {
     /// wall-clock phase timings. Off for bare-spec frames, so their
     /// responses stay byte-identical to the CLI's.
     pub trace: bool,
+    /// The envelope's `"record"` member, if present: run the scenario with
+    /// the sim-time flight recorder armed and return the event list on the
+    /// response frame. `None` (bare specs and envelopes without the member)
+    /// serves exactly as before, byte-identical responses included.
+    pub record: Option<RecordSpec>,
+}
+
+/// A parsed `"record"` envelope member: how to arm the sim-time flight
+/// recorder for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpec {
+    /// Verbosity to record at (`"requests"` or `"commands"`; never `Off` —
+    /// omitting the member is how recording is turned off).
+    pub level: TraceLevel,
+    /// Cap on the events returned on the response frame, keeping the most
+    /// recent (a flight recorder keeps the end of the story). `None` returns
+    /// everything the bounded recorder retained.
+    pub limit: Option<usize>,
 }
 
 /// One parsed inbound frame: a scenario request, or a control operation.
@@ -165,6 +185,14 @@ pub enum Frame {
         /// The envelope id to echo, if the client sent one.
         id: Option<u64>,
     },
+    /// The `{"op":"flight"}` control frame: answer with the engine's
+    /// wall-clock black box — the ring of recently served requests
+    /// ([`crate::engine::ScenarioEngine::flight_json`]) — echoing the
+    /// optional envelope id.
+    Flight {
+        /// The envelope id to echo, if the client sent one.
+        id: Option<u64>,
+    },
 }
 
 /// Parse one inbound frame: the `{"op":"stats"}` control form (optionally
@@ -175,7 +203,7 @@ pub fn parse_frame(line: &str) -> Result<Frame, String> {
     let value = json::parse(line).map_err(|e| e.to_string())?;
     if let Some(op) = value.get("op") {
         match op.as_str() {
-            Some("stats") => {
+            Some(name @ ("stats" | "flight")) => {
                 let id = match value.get("id") {
                     Some(idv) => Some(
                         idv.as_u64()
@@ -183,7 +211,11 @@ pub fn parse_frame(line: &str) -> Result<Frame, String> {
                     ),
                     None => None,
                 };
-                return Ok(Frame::Stats { id });
+                return Ok(if name == "stats" {
+                    Frame::Stats { id }
+                } else {
+                    Frame::Flight { id }
+                });
             }
             Some(other) => return Err(format!("unknown op {other:?}")),
             None => return Err("op must be a string".to_string()),
@@ -215,15 +247,55 @@ fn request_from_value(value: &Json) -> Result<Request, String> {
                 .ok_or_else(|| "envelope trace must be a boolean".to_string())?,
             None => false,
         };
+        let record = match value.get("record") {
+            Some(rv) => Some(record_from_value(rv)?),
+            None => None,
+        };
         let spec = ScenarioSpec::from_json(spec_value).map_err(|e| e.to_string())?;
-        return Ok(Request { id, spec, trace });
+        return Ok(Request {
+            id,
+            spec,
+            trace,
+            record,
+        });
     }
     let spec = ScenarioSpec::from_json(value).map_err(|e| e.to_string())?;
     Ok(Request {
         id: None,
         spec,
         trace: false,
+        record: None,
     })
+}
+
+/// Parse a `"record"` envelope member: `{"level":"requests"|"commands"
+/// [,"limit":N]}`. The level defaults to `"requests"` when omitted.
+fn record_from_value(value: &Json) -> Result<RecordSpec, String> {
+    let level = match value.get("level") {
+        Some(lv) => {
+            let s = lv
+                .as_str()
+                .ok_or_else(|| "record level must be a string".to_string())?;
+            match TraceLevel::parse(s) {
+                Some(TraceLevel::Off) | None => {
+                    return Err(format!(
+                        "record level must be \"requests\" or \"commands\", got {s:?}"
+                    ));
+                }
+                Some(level) => level,
+            }
+        }
+        None => TraceLevel::Requests,
+    };
+    let limit = match value.get("limit") {
+        Some(nv) => Some(
+            nv.as_u64()
+                .ok_or_else(|| "record limit must be an unsigned integer".to_string())?
+                as usize,
+        ),
+        None => None,
+    };
+    Ok(RecordSpec { level, limit })
 }
 
 /// Render one response frame (no trailing newline). For bare requests this
@@ -258,9 +330,77 @@ pub fn render_traced_response(
     with_id(id, line).emit()
 }
 
+/// Render one recorded response frame: the ordinary (or traced, when the
+/// envelope also asked for wall-clock spans) response object with a
+/// trailing `"record"` member holding the sim-time event list. Only
+/// requests that sent `"record":{…}` are rendered this way — every other
+/// response stays byte-identical to the unrecorded encoding.
+pub fn render_recorded_response(
+    id: Option<u64>,
+    spec: &ScenarioSpec,
+    result: &Result<ScenarioResult, ServerError>,
+    trace: Option<Json>,
+    record: Json,
+) -> String {
+    let line = match crate::cli::result_json(spec, result) {
+        Json::Obj(mut members) => {
+            if let Some(trace) = trace {
+                members.push(("trace".to_string(), trace));
+            }
+            members.push(("record".to_string(), record));
+            Json::Obj(members)
+        }
+        other => other,
+    };
+    with_id(id, line).emit()
+}
+
+/// Render a harvested trace buffer as the `"record"` response member:
+/// `{"level":…,"dropped":N,"events":[…]}`, events in the canonical
+/// [`rome_telemetry::trace::TraceEvent`] order. When `limit` is set, only
+/// the most recent `limit` events are kept (a flight recorder keeps the end
+/// of the story) and the trimmed ones are counted into `dropped`.
+pub fn record_json(
+    level: TraceLevel,
+    buffer: &rome_telemetry::trace::TraceBuffer,
+    limit: Option<usize>,
+) -> Json {
+    let keep = limit.unwrap_or(buffer.events.len());
+    let start = buffer.events.len().saturating_sub(keep);
+    let trimmed = start as u64;
+    let events: Vec<Json> = buffer.events[start..]
+        .iter()
+        .map(|ev| {
+            Json::obj([
+                ("ts", Json::from(ev.ts)),
+                ("dur", Json::from(ev.dur)),
+                ("kind", Json::from(ev.kind.as_str())),
+                ("channel", Json::from(u64::from(ev.channel))),
+                ("bank", Json::from(u64::from(ev.bank))),
+                ("row", Json::from(u64::from(ev.row))),
+                ("id", Json::from(ev.id)),
+                ("bytes", Json::from(ev.bytes)),
+                ("write", Json::from(ev.write)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("level", Json::from(level.as_str())),
+        ("dropped", Json::from(buffer.dropped + trimmed)),
+        ("events", Json::Arr(events)),
+    ])
+}
+
 /// Render one stats response frame (no trailing newline): the snapshot
 /// body, gaining a leading `"id"` when the control frame carried one.
 pub fn render_stats_frame(id: Option<u64>, body: Json) -> String {
+    with_id(id, body).emit()
+}
+
+/// Render one flight (black-box) response frame (no trailing newline): the
+/// engine's [`crate::engine::ScenarioEngine::flight_json`] body, gaining a
+/// leading `"id"` when the `{"op":"flight"}` control frame carried one.
+pub fn render_flight_frame(id: Option<u64>, body: Json) -> String {
     with_id(id, body).emit()
 }
 

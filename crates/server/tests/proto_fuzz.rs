@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use rome_server::proto::{parse_request, FrameEvent, FrameReader};
+use rome_server::proto::{parse_frame, parse_request, FrameEvent, FrameReader};
 
 /// Request-shaped template lines: valid bare specs, valid envelopes, and
 /// every malformation class the parser distinguishes.
@@ -33,6 +33,12 @@ fn request_line_templates() -> Vec<&'static str> {
         "}",
         "",
         "   ",
+        "{\"op\":\"flight\"}",
+        "{\"op\":\"flight\",\"id\":4}",
+        "{\"id\":3,\"record\":{\"level\":\"requests\"},\"spec\":{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"hbm4\"}}",
+        "{\"record\":{\"level\":\"commands\",\"limit\":8},\"spec\":{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}}",
+        "{\"record\":{\"level\":\"nope\"},\"spec\":{\"scenario\":\"sweep\",\"name\":\"s\",\"kind\":\"figure13\",\"seq_len\":4096}}",
+        "{\"record\":7,\"spec\":{\"scenario\":\"calibration\",\"name\":\"c\",\"system\":\"rome\"}}",
     ]
 }
 
@@ -43,7 +49,7 @@ proptest! {
     // parses to a request or yields a non-empty protocol error string.
     #[test]
     fn arbitrary_request_lines_never_panic(
-        pick in 0usize..20,
+        pick in 0usize..26,
         cut in 0usize..256,
         truncate in any::<bool>(),
     ) {
@@ -60,6 +66,13 @@ proptest! {
         }
         match parse_request(&line) {
             Ok(req) => prop_assert!(req.id.is_none() || req.id.is_some()),
+            Err(message) => prop_assert!(!message.is_empty()),
+        }
+        // The same lines through the frame dispatcher (which additionally
+        // understands control ops like {"op":"flight"}): a frame or a
+        // structured error, never a panic.
+        match parse_frame(&line) {
+            Ok(_) => {}
             Err(message) => prop_assert!(!message.is_empty()),
         }
     }

@@ -1,0 +1,138 @@
+//! Property tests of the Chrome trace-event renderer: for arbitrary event
+//! soups (any kinds, any timestamps, merged in any order across channels),
+//! `chrome_trace_json` must emit parseable JSON whose `ts` values are
+//! non-decreasing within each (pid, tid) track — the invariant
+//! chrome://tracing and Perfetto rely on to build timelines without a sort.
+//!
+//! The server's own strict JSON parser plays the validator, so "valid
+//! JSON" here means the exact grammar the serving stack speaks.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use rome_server::json::{self, Json};
+use rome_telemetry::trace::{chrome_trace_json, TraceBuffer, TraceEvent, TraceEventKind};
+
+const KINDS: [TraceEventKind; 7] = [
+    TraceEventKind::Arrival,
+    TraceEventKind::Backlog,
+    TraceEventKind::Enqueue,
+    TraceEventKind::Issue,
+    TraceEventKind::Complete,
+    TraceEventKind::RowOpen,
+    TraceEventKind::Refresh,
+];
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        (0usize..KINDS.len(), 0u64..1_000_000, 0u64..10_000),
+        (0u16..4, 0u32..64, 0u32..1024),
+        (0u64..1_000, 0u64..65_536, any::<bool>()),
+    )
+        .prop_map(
+            |((kind, ts, dur), (channel, bank, row), (id, bytes, write))| TraceEvent {
+                ts,
+                channel,
+                seq: 0,
+                kind: KINDS[kind],
+                id,
+                bank,
+                row,
+                bytes,
+                dur,
+                write,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn renders_valid_json_with_sorted_tracks(
+        events in prop::collection::vec(arb_event(), 0..200),
+        split in 0usize..200,
+    ) {
+        // Merge through two buffers at an arbitrary split point, the way a
+        // multi-channel harvest arrives, to prove render order does not
+        // depend on harvest order.
+        let split = split.min(events.len());
+        let mut merged = TraceBuffer::default();
+        let left = TraceBuffer {
+            events: events[..split].to_vec(),
+            ..Default::default()
+        };
+        let right = TraceBuffer {
+            events: events[split..].to_vec(),
+            ..Default::default()
+        };
+        merged.absorb(left);
+        merged.absorb(right);
+
+        let rendered = chrome_trace_json(&merged.events);
+        let parsed = json::parse(&rendered);
+        prop_assert!(parsed.is_ok(), "unparseable: {rendered}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ns")
+        );
+        let rows = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        prop_assert_eq!(rows.len(), merged.events.len());
+
+        // Non-decreasing ts per (pid, tid) track.
+        let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+        for row in rows {
+            let pid = row.get("pid").and_then(Json::as_u64).expect("pid");
+            let tid = row.get("tid").and_then(Json::as_u64).expect("tid");
+            let ts = row.get("ts").and_then(Json::as_f64).expect("ts");
+            let ph = row.get("ph").and_then(Json::as_str).expect("ph");
+            prop_assert!(ph == "X" || ph == "i", "unknown phase {ph}");
+            if ph == "X" {
+                prop_assert!(row.get("dur").is_some(), "complete span needs dur");
+            }
+            if let Some(prev) = last_ts.insert((pid, tid), ts) {
+                prop_assert!(
+                    prev <= ts,
+                    "track ({pid},{tid}) went backwards: {prev} then {ts}"
+                );
+            }
+        }
+    }
+
+    // Same events, any two harvest orders: byte-identical rendering. This
+    // is the determinism contract the server's record path leans on.
+    #[test]
+    fn rendering_is_invariant_under_harvest_order(
+        events in prop::collection::vec(arb_event(), 0..100),
+        split_a in 0usize..100,
+        split_b in 0usize..100,
+    ) {
+        let merge_at = |split: usize| {
+            let split = split.min(events.len());
+            let mut merged = TraceBuffer::default();
+            let left = TraceBuffer {
+                events: events[..split].to_vec(),
+                ..Default::default()
+            };
+            let right = TraceBuffer {
+                events: events[split..].to_vec(),
+                ..Default::default()
+            };
+            // Either arrival order.
+            if split % 2 == 0 {
+                merged.absorb(left);
+                merged.absorb(right);
+            } else {
+                merged.absorb(right);
+                merged.absorb(left);
+            }
+            chrome_trace_json(&merged.events)
+        };
+        prop_assert_eq!(merge_at(split_a), merge_at(split_b));
+    }
+}

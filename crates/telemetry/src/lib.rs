@@ -36,6 +36,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
@@ -368,45 +370,107 @@ impl AtomicHistogram {
 }
 
 /// A point-in-time view of a [`Registry`], names in lexicographic order
-/// (so a rendered snapshot is canonical).
+/// (so a rendered snapshot is canonical). Names are `Arc<str>` handles
+/// shared with the registry's cached key order — snapshotting clones
+/// refcounts, never name bytes.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     /// Counter totals by name.
-    pub counters: Vec<(String, u64)>,
+    pub counters: Vec<(Arc<str>, u64)>,
     /// Gauge values by name.
-    pub gauges: Vec<(String, i64)>,
+    pub gauges: Vec<(Arc<str>, i64)>,
     /// Histogram snapshots by name.
-    pub histograms: Vec<(String, LatencyHistogram)>,
+    pub histograms: Vec<(Arc<str>, LatencyHistogram)>,
+}
+
+/// One metric family's storage: the name→handle map plus a cached,
+/// lexicographically sorted `(name, handle)` list for snapshots.
+///
+/// The cache is invalidated by version counter, not in place: a register
+/// bumps `version` *after* its insert, and a rebuild reads `version`
+/// *before* it reads the map. A cache is only reused while the stored and
+/// current versions agree, so a reused cache can never be missing a
+/// registration that completed before it was built — at worst a racing
+/// rebuild stores an already-stale version and the next snapshot rebuilds
+/// again. Steady state (no new names — every stats tick after warm-up) hits
+/// the cache and allocates nothing per metric.
+#[derive(Debug, Default)]
+struct MetricFamily<T> {
+    map: RwLock<BTreeMap<Arc<str>, Arc<T>>>,
+    version: AtomicU64,
+    sorted: RwLock<SortedHandles<T>>,
+}
+
+/// A sorted-handle cache entry: the registry version it was built at plus
+/// the name-sorted `(name, handle)` pairs.
+type SortedHandles<T> = (u64, Arc<[(Arc<str>, Arc<T>)]>);
+
+/// Read-lock with poison recovery. Lock poisoning is recoverable here for
+/// the same reason as in the calibration cache: the critical sections only
+/// clone/insert `Arc`s, so a poisoned map is never structurally
+/// inconsistent.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-lock with poison recovery (see [`read_lock`]).
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T: Default> MetricFamily<T> {
+    /// Get-or-register `name`, invalidating the sorted cache on register.
+    fn get_or_register(&self, name: &str) -> Arc<T> {
+        if let Some(found) = read_lock(&self.map).get(name) {
+            return Arc::clone(found);
+        }
+        let handle = {
+            let mut guard = write_lock(&self.map);
+            if let Some(found) = guard.get(name) {
+                return Arc::clone(found);
+            }
+            let handle = Arc::new(T::default());
+            guard.insert(Arc::from(name), Arc::clone(&handle));
+            handle
+        };
+        // Bump after the insert: any rebuild that observes this version
+        // also observes the new entry (see the struct docs).
+        self.version.fetch_add(1, Ordering::Release);
+        handle
+    }
+
+    /// The sorted `(name, handle)` pairs, from the cache when it is
+    /// current, rebuilt (and re-cached) when a registration outdated it.
+    fn sorted_handles(&self) -> Arc<[(Arc<str>, Arc<T>)]> {
+        let current = self.version.load(Ordering::Acquire);
+        {
+            let (cached_version, cached) = &*read_lock(&self.sorted);
+            if *cached_version == current && !cached.is_empty() {
+                return Arc::clone(cached);
+            }
+        }
+        let rebuilt: Arc<[(Arc<str>, Arc<T>)]> = read_lock(&self.map)
+            .iter()
+            .map(|(k, v)| (Arc::clone(k), Arc::clone(v)))
+            .collect();
+        *write_lock(&self.sorted) = (current, Arc::clone(&rebuilt));
+        rebuilt
+    }
 }
 
 /// A named get-or-register home for counters, gauges, and histograms.
 ///
 /// Registration takes a write lock (rare — handles are cached by their
-/// owners); recording through a handle is lock-free. Reads for a snapshot
-/// take the read locks briefly to clone the `Arc` maps.
+/// owners); recording through a handle is lock-free. A snapshot walks the
+/// cached sorted key order (rebuilt only after a registration), so periodic
+/// stats emission does not re-sort or re-allocate names each tick.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
-    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
-    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
-}
-
-/// Get-or-register `name` in one of the registry's maps. Lock poisoning is
-/// recoverable here for the same reason as in the calibration cache: the
-/// critical sections only clone/insert `Arc`s, so a poisoned map is never
-/// structurally inconsistent.
-fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(found) = map
-        .read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .get(name)
-    {
-        return Arc::clone(found);
-    }
-    let mut guard = map
-        .write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    Arc::clone(guard.entry(name.to_string()).or_default())
+    counters: MetricFamily<Counter>,
+    gauges: MetricFamily<Gauge>,
+    histograms: MetricFamily<AtomicHistogram>,
 }
 
 impl Registry {
@@ -417,41 +481,38 @@ impl Registry {
 
     /// The counter named `name`, registering it (at zero) on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        get_or_register(&self.counters, name)
+        self.counters.get_or_register(name)
     }
 
     /// The gauge named `name`, registering it (at zero) on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        get_or_register(&self.gauges, name)
+        self.gauges.get_or_register(name)
     }
 
     /// The histogram named `name`, registering it (empty) on first use.
     pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
-        get_or_register(&self.histograms, name)
+        self.histograms.get_or_register(name)
     }
 
     /// A point-in-time view of every registered metric, names sorted.
     pub fn snapshot(&self) -> Snapshot {
         let counters = self
             .counters
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .sorted_handles()
             .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+            .map(|(k, v)| (Arc::clone(k), v.get()))
             .collect();
         let gauges = self
             .gauges
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .sorted_handles()
             .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+            .map(|(k, v)| (Arc::clone(k), v.get()))
             .collect();
         let histograms = self
             .histograms
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .sorted_handles()
             .iter()
-            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .map(|(k, v)| (Arc::clone(k), v.snapshot()))
             .collect();
         Snapshot {
             counters,
@@ -557,6 +618,25 @@ mod tests {
         // Handles are live: the same name is the same counter.
         r.counter("a.first").add(10);
         assert_eq!(r.snapshot().counters[0].1, 11);
+    }
+
+    #[test]
+    fn snapshot_key_cache_invalidates_on_register() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        let first = r.snapshot();
+        assert_eq!(first.counters.len(), 1);
+        // A second snapshot with no registrations reuses the cached key
+        // order: same Arc, not a re-sorted clone.
+        let second = r.snapshot();
+        assert!(Arc::ptr_eq(&first.counters[0].0, &second.counters[0].0));
+        // Registering a new name invalidates the cache; the next snapshot
+        // sees both names, sorted.
+        r.counter("a").add(3);
+        let third = r.snapshot();
+        let names: Vec<&str> = third.counters.iter().map(|(k, _)| &**k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(third.counters[0].1, 3);
     }
 
     #[test]

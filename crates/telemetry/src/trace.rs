@@ -1,0 +1,496 @@
+//! Sim-time flight recorder: bounded per-run lifecycle event recording and
+//! a Chrome trace-event (catapult) renderer.
+//!
+//! The aggregate metrics of this crate answer *how much* (counters,
+//! histograms); the flight recorder answers *why*: it captures each
+//! request's lifecycle — arrival, backlog wait, enqueue, command issue,
+//! completion — and, at the `commands` verbosity, what the banks were doing
+//! meanwhile (row-open windows, refresh windows), all stamped in **simulated
+//! nanoseconds**.
+//!
+//! # Determinism contract
+//!
+//! Recording is a derived observation, exactly like latency sampling (see
+//! the crate docs): events are appended at decision points the scheduler
+//! already passed, and nothing ever reads the recorder back into the
+//! simulation. A run is therefore bit-identical with recording on or off,
+//! and the same seed yields a byte-identical trace. When several recorders
+//! contribute to one trace (one per channel), the merged stream is sorted
+//! by the full [`TraceEvent`] ordering — `(ts, channel, seq, …)` — so the
+//! merge order of the per-channel buffers (which may be harvested from
+//! parallel workers in any order) cannot leak into the output.
+//!
+//! # Two clocks
+//!
+//! Everything in this module is **sim time**. Wall-clock forensics (which
+//! request was in flight when the process panicked) belong to the serving
+//! layer's black box, not here; the two clocks never mix in one stream.
+
+use std::collections::VecDeque;
+
+/// Default ring capacity of a [`FlightRecorder`] when the arming site does
+/// not pick one: generous enough for the command stream of a few
+/// milliseconds of dense single-channel simulation.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Verbosity of lifecycle recording.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Record nothing (the compiled-in no-op).
+    #[default]
+    Off,
+    /// Per-request lifecycle only: arrival, backlog, enqueue, completion.
+    Requests,
+    /// Requests plus the command layer: issues, row-open windows, refreshes.
+    Commands,
+}
+
+impl TraceLevel {
+    /// Stable snake_case name (`"off"` / `"requests"` / `"commands"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceLevel::Off => "off",
+            TraceLevel::Requests => "requests",
+            TraceLevel::Commands => "commands",
+        }
+    }
+
+    /// Parse a stable name back into a level.
+    pub fn parse(s: &str) -> Option<TraceLevel> {
+        match s {
+            "off" => Some(TraceLevel::Off),
+            "requests" => Some(TraceLevel::Requests),
+            "commands" => Some(TraceLevel::Commands),
+            _ => None,
+        }
+    }
+
+    /// Whether request-lifecycle events are recorded at this level.
+    #[inline]
+    pub fn records_requests(self) -> bool {
+        self >= TraceLevel::Requests
+    }
+
+    /// Whether command-layer events are recorded at this level.
+    #[inline]
+    pub fn records_commands(self) -> bool {
+        self >= TraceLevel::Commands
+    }
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceEventKind {
+    /// A request was offered to the driver (instant; `requests` level).
+    Arrival,
+    /// A request waited in the driver backlog before a queue slot freed up
+    /// (span from offer to admission; `requests` level).
+    Backlog,
+    /// A request entered a controller queue (instant; `requests` level).
+    Enqueue,
+    /// A data command (RD/WR or a RoMe row command) issued for a request
+    /// (instant; `commands` level).
+    Issue,
+    /// A request's controller lifetime, queue arrival to data completion
+    /// (span; `requests` level).
+    Complete,
+    /// A bank's row-open window, ACT to PRE (span; `commands` level).
+    RowOpen,
+    /// A refresh window on a bank or rank (span; `commands` level).
+    Refresh,
+}
+
+impl TraceEventKind {
+    /// Stable snake_case name, used as the Chrome event name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceEventKind::Arrival => "arrival",
+            TraceEventKind::Backlog => "backlog",
+            TraceEventKind::Enqueue => "enqueue",
+            TraceEventKind::Issue => "issue",
+            TraceEventKind::Complete => "complete",
+            TraceEventKind::RowOpen => "row_open",
+            TraceEventKind::Refresh => "refresh",
+        }
+    }
+
+    /// Chrome `cat` field: request-lifecycle vs bank-state events.
+    pub fn category(self) -> &'static str {
+        match self {
+            TraceEventKind::Arrival
+            | TraceEventKind::Backlog
+            | TraceEventKind::Enqueue
+            | TraceEventKind::Issue
+            | TraceEventKind::Complete => "request",
+            TraceEventKind::RowOpen | TraceEventKind::Refresh => "bank",
+        }
+    }
+}
+
+/// One recorded lifecycle event. Plain `Copy` data; timestamps and
+/// durations are simulated nanoseconds (`dur == 0` renders as an instant).
+///
+/// Field declaration order *is* the derived total order — `ts` first, then
+/// `channel` and the recorder-local `seq` — which is what makes a merge of
+/// per-channel buffers deterministic regardless of harvest order: two
+/// distinct events from one recorder always differ in `seq`, and identical
+/// events from identical parallel channels are indistinguishable, so any
+/// stable sort yields the same byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceEvent {
+    /// Start timestamp, simulated ns.
+    pub ts: u64,
+    /// Originating channel (Chrome `pid` track).
+    pub channel: u16,
+    /// Recorder-local sequence number (stamped by [`FlightRecorder`]).
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Request id (0 for bank-state events).
+    pub id: u64,
+    /// Flat bank index within the channel (Chrome `tid` track; 0 when the
+    /// bank is unknown, e.g. request-level driver events).
+    pub bank: u32,
+    /// Row (or RoMe VBA row) involved, when meaningful.
+    pub row: u32,
+    /// Request payload bytes (0 for bank-state events).
+    pub bytes: u64,
+    /// Span duration in simulated ns (0 = instant).
+    pub dur: u64,
+    /// Whether the request is a write (false for bank-state events).
+    pub write: bool,
+}
+
+impl TraceEvent {
+    /// A zeroed event of `kind` at `ts`; fill the relevant fields with
+    /// struct-update syntax (`TraceEvent { id, .. TraceEvent::at(…) }`).
+    pub fn at(kind: TraceEventKind, ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts,
+            channel: 0,
+            seq: 0,
+            kind,
+            id: 0,
+            bank: 0,
+            row: 0,
+            bytes: 0,
+            dur: 0,
+            write: false,
+        }
+    }
+}
+
+/// A harvested recorder's contents: the retained events (oldest first, in
+/// record order) and how many older events the bounded ring dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceBuffer {
+    /// Retained events, in record order.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by the ring bound (oldest-first eviction).
+    pub dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Fold `other` into `self` and re-establish the canonical order (the
+    /// full [`TraceEvent`] `Ord`), so the result is independent of which
+    /// buffer was harvested first.
+    pub fn absorb(&mut self, other: TraceBuffer) {
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+        self.events.sort_unstable();
+    }
+}
+
+/// How a [`FlightRecorder`] is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Verbosity to record at.
+    pub level: TraceLevel,
+    /// Ring capacity: once full, the oldest events are evicted (a flight
+    /// recorder keeps the most recent history).
+    pub capacity: usize,
+    /// Channel id stamped on every event (Chrome `pid` track).
+    pub channel: u16,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            level: TraceLevel::Off,
+            capacity: DEFAULT_TRACE_CAPACITY,
+            channel: 0,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A config recording at `level` with the default capacity.
+    pub fn with_level(level: TraceLevel) -> TraceConfig {
+        TraceConfig {
+            level,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// The same config re-addressed to `channel` (multi-channel arming).
+    pub fn for_channel(self, channel: u16) -> TraceConfig {
+        TraceConfig { channel, ..self }
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s owned by one recording site
+/// (one controller, or one driver loop).
+///
+/// Disarmed (the default) it is a compiled-in no-op: every emission site
+/// guards on [`FlightRecorder::enabled`] — one branch on a cold bool — and
+/// records nothing. Armed, recording is a ring push; once the ring is full
+/// the oldest event is evicted and counted in `dropped`.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    level: TraceLevel,
+    capacity: usize,
+    channel: u16,
+    seq: u64,
+    dropped: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl FlightRecorder {
+    /// A disarmed recorder (records nothing until [`FlightRecorder::arm`]).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// A recorder armed as `config` says.
+    pub fn new(config: TraceConfig) -> FlightRecorder {
+        let mut rec = FlightRecorder::default();
+        rec.arm(config);
+        rec
+    }
+
+    /// Arm (or re-arm) the recorder: adopts the config and clears any
+    /// previously recorded events.
+    pub fn arm(&mut self, config: TraceConfig) {
+        self.level = config.level;
+        self.capacity = config.capacity.max(1);
+        self.channel = config.channel;
+        self.seq = 0;
+        self.dropped = 0;
+        self.events.clear();
+    }
+
+    /// Whether anything records at all (the hot-path gate).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.level != TraceLevel::Off
+    }
+
+    /// Whether command-layer events record (`commands` verbosity).
+    #[inline]
+    pub fn commands(&self) -> bool {
+        self.level.records_commands()
+    }
+
+    /// The armed level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Record one event, stamping the recorder's channel and next sequence
+    /// number. No-op when disarmed.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.level == TraceLevel::Off {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push_back(TraceEvent {
+            channel: self.channel,
+            seq,
+            ..event
+        });
+    }
+
+    /// Take everything recorded and disarm: returns the retained events (in
+    /// record order) plus the drop count, and leaves the recorder in the
+    /// disabled state so a later un-traced run records nothing.
+    pub fn harvest(&mut self) -> TraceBuffer {
+        let buffer = TraceBuffer {
+            events: std::mem::take(&mut self.events).into(),
+            dropped: self.dropped,
+        };
+        *self = FlightRecorder::disabled();
+        buffer
+    }
+}
+
+/// Append a JSON-escaped string literal (the renderer only ever emits fixed
+/// ASCII names, but stays defensive).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render events as Chrome trace-event (catapult) JSON: a `traceEvents`
+/// array of complete (`ph:"X"`, spans) and thread-scoped instant
+/// (`ph:"i"`) events with `pid` = channel and `tid` = bank, plus
+/// `displayTimeUnit` so timestamps read as nanoseconds. The output opens
+/// directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Events are re-sorted by the full [`TraceEvent`] order first, so the
+/// rendering is canonical: `ts` is globally (hence per-track)
+/// non-decreasing, and the bytes depend only on the event *set*, not the
+/// caller's ordering.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<TraceEvent> = events.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::with_capacity(64 + sorted.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, ev) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, ev.kind.as_str());
+        out.push_str(",\"cat\":");
+        push_json_str(&mut out, ev.kind.category());
+        if ev.dur > 0 {
+            out.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                ev.ts, ev.dur
+            ));
+        } else {
+            out.push_str(&format!(",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", ev.ts));
+        }
+        out.push_str(&format!(
+            ",\"pid\":{},\"tid\":{},\"args\":{{\"id\":{},\"row\":{},\"bytes\":{},\"write\":{}}}}}",
+            ev.channel, ev.bank, ev.id, ev.row, ev.bytes, ev.write
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent::at(kind, ts)
+    }
+
+    #[test]
+    fn disarmed_recorder_records_nothing() {
+        let mut rec = FlightRecorder::disabled();
+        assert!(!rec.enabled());
+        rec.record(ev(3, TraceEventKind::Enqueue));
+        assert!(rec.is_empty());
+        assert_eq!(rec.harvest(), TraceBuffer::default());
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_and_counts_drops() {
+        let mut rec = FlightRecorder::new(TraceConfig {
+            level: TraceLevel::Requests,
+            capacity: 3,
+            channel: 7,
+        });
+        for t in 0..5 {
+            rec.record(ev(t, TraceEventKind::Enqueue));
+        }
+        let buf = rec.harvest();
+        assert_eq!(buf.dropped, 2);
+        let ts: Vec<u64> = buf.events.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        // Channel and seq are stamped by the recorder.
+        assert!(buf.events.iter().all(|e| e.channel == 7));
+        let seq: Vec<u64> = buf.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seq, vec![2, 3, 4]);
+        // Harvest disarms.
+        assert!(!rec.enabled());
+    }
+
+    #[test]
+    fn harvest_order_does_not_change_an_absorbed_buffer() {
+        let mut a = FlightRecorder::new(TraceConfig::with_level(TraceLevel::Requests));
+        let mut b =
+            FlightRecorder::new(TraceConfig::with_level(TraceLevel::Requests).for_channel(1));
+        a.record(ev(5, TraceEventKind::Enqueue));
+        a.record(ev(9, TraceEventKind::Complete));
+        b.record(ev(5, TraceEventKind::Enqueue));
+        b.record(ev(7, TraceEventKind::Issue));
+        let (ba, bb) = (a.harvest(), b.harvest());
+        let mut ab = ba.clone();
+        ab.absorb(bb.clone());
+        let mut ba2 = bb;
+        ba2.absorb(ba);
+        assert_eq!(ab, ba2);
+        assert_eq!(
+            chrome_trace_json(&ab.events),
+            chrome_trace_json(&ba2.events)
+        );
+    }
+
+    #[test]
+    fn chrome_rendering_is_canonical_and_well_shaped() {
+        let complete = TraceEvent {
+            id: 42,
+            bank: 3,
+            row: 17,
+            bytes: 64,
+            dur: 90,
+            ..TraceEvent::at(TraceEventKind::Complete, 10)
+        };
+        let enqueue = TraceEvent {
+            id: 42,
+            bytes: 64,
+            ..TraceEvent::at(TraceEventKind::Enqueue, 10)
+        };
+        // Caller order must not matter.
+        let a = chrome_trace_json(&[complete, enqueue]);
+        let b = chrome_trace_json(&[enqueue, complete]);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(a.contains("\"ph\":\"X\""), "{a}");
+        assert!(a.contains("\"dur\":90"), "{a}");
+        assert!(a.contains("\"ph\":\"i\",\"s\":\"t\""), "{a}");
+        assert!(a.contains("\"pid\":0,\"tid\":3"), "{a}");
+        assert!(a.ends_with("]}"));
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in [TraceLevel::Off, TraceLevel::Requests, TraceLevel::Commands] {
+            assert_eq!(TraceLevel::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(TraceLevel::parse("verbose"), None);
+        assert!(TraceLevel::Commands.records_requests());
+        assert!(!TraceLevel::Requests.records_commands());
+        assert!(!TraceLevel::Off.records_requests());
+    }
+}

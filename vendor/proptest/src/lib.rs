@@ -68,6 +68,28 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Map the generated value through `f` (mirrors the real crate's
+    /// `Strategy::prop_map`; like everything here, without shrinking).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 macro_rules! impl_range_strategy {
